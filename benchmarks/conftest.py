@@ -1,0 +1,34 @@
+"""Benchmark-harness fixtures.
+
+Each bench runs its experiment exactly once (``benchmark.pedantic`` with
+one round) — experiments are deterministic and minutes-long sweeps must
+not be repeated for timing statistics — and prints the table/series the
+paper reports through the ``report`` fixture, which bypasses pytest's
+output capture so the rows appear in the bench log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a titled block straight to the terminal (capture bypassed)."""
+
+    def _report(title: str, text: str) -> None:
+        with capsys.disabled():
+            print(f"\n===== {title} =====")
+            print(text)
+
+    return _report
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a zero-argument callable exactly once under the benchmark timer."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,25 @@
+"""Ablation bench — vectorized engine vs message-level protocol.
+
+DESIGN.md decision 1: the round-synchronous vectorized engine used for
+the big sweeps must be a faithful stand-in for the true message-level
+protocol (Algorithms 1-2 with latency, jittered timers and in-flight
+staleness).  Checked: same accuracy regime (AUC gap < 0.1) under the
+same measurement budget, and the protocol's message accounting is
+consistent (2 messages per completed measurement cycle).
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_engine_vs_protocol(run_once, report):
+    result = run_once(ablations.run_engine_vs_protocol)
+    report("Ablation — engine vs protocol", ablations.format_result(result))
+
+    assert result["engine_auc"] > 0.7
+    assert result["protocol_auc"] > 0.7
+    assert abs(result["engine_auc"] - result["protocol_auc"]) < 0.1
+
+    # Algorithm 1 costs one probe + one reply per measurement; the
+    # protocol may have probes in flight at the horizon, so allow slack.
+    per_measurement = result["protocol_messages"] / result["protocol_measurements"]
+    assert 1.8 < per_measurement < 2.6

@@ -1,0 +1,23 @@
+"""Ablation bench — DMFSGD vs IDES-style landmark factorization.
+
+The paper's architectural pitch: no landmarks, no hotspots.  Checked:
+DMFSGD matches or beats the landmark system's accuracy while its
+per-node measurement load is an order of magnitude below the load each
+landmark must answer.
+"""
+
+from repro.experiments import ext_applications
+
+
+def test_ablation_landmarks(run_once, report):
+    result = run_once(ext_applications.run_landmarks)
+    report("Ablation — landmarks vs DMFSGD", ext_applications.format_result(result))
+
+    assert result["dmfsgd_auc"] > 0.85
+    assert result["dmfsgd_auc"] > result["landmark_auc"] - 0.05, (
+        "DMFSGD should be competitive with the landmark architecture"
+    )
+    assert (
+        result["landmark_per_node_load"]
+        > 10 * result["dmfsgd_per_node_load"]
+    ), "the landmark hotspot cost should dominate DMFSGD's k probes"

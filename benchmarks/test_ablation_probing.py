@@ -1,0 +1,25 @@
+"""Ablation bench — random vs active (uncertainty-driven) probing.
+
+DESIGN.md documents a deliberately *negative* result: the
+active-sampling idea from the MMMF prior work (probe the
+smallest-margin neighbor) underperforms the paper's uniform random
+probing at small budgets, because randomly initialized margins carry no
+information and margin-chasing starves coverage.  Checked: random wins
+at the small budget, and both strategies reach a usable AUC at the
+large budget (active sampling recovers once estimates are meaningful).
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_probe_strategies(run_once, report):
+    result = run_once(ablations.run_probe_strategies)
+    report("Ablation — probe strategies", ablations.format_result(result))
+
+    assert result["random_small_auc"] > result["uncertain_small_auc"], (
+        "random probing should win at small budgets (uninformed margins)"
+    )
+    assert result["random_large_auc"] > 0.9
+    assert result["uncertain_large_auc"] > 0.85, (
+        "active sampling should still converge at large budgets"
+    )

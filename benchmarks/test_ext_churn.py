@@ -1,0 +1,23 @@
+"""Extension bench — accuracy under node churn (cold rejoin).
+
+Flaps 25% of nodes mid-deployment, wiping their coordinates on rejoin.
+Checked: the dent is bounded (rejoined nodes predict from scratch but
+the rest of the system is intact) and continued probing recovers the
+pre-churn accuracy — the "insensitive to random initialization"
+property (Section 5.3) at system scale.
+"""
+
+from repro.experiments import ext_robustness
+
+
+def test_ext_churn(run_once, report):
+    result = run_once(ext_robustness.run_churn)
+    report("Extension — churn recovery", ext_robustness.format_result(result))
+
+    before = result["before_churn_auc"]
+    dent = result["after_cold_rejoin_auc"]
+    recovered = result["recovered_auc"]
+
+    assert before > 0.85
+    assert dent < before, "wiping a quarter of the nodes must show up"
+    assert recovered > before - 0.03, "system failed to re-converge"

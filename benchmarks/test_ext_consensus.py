@@ -1,0 +1,24 @@
+"""Extension bench — consensus filtering of transient label errors.
+
+Paper Section 6.3 proposes countering random (anomaly-driven) label
+errors with history-based consensus.  Checked: with 20% transient
+per-measurement flips, consensus-filtered training recovers most of
+the accuracy lost by raw training and lands near the clean reference.
+"""
+
+from repro.experiments import ext_robustness
+
+
+def test_ext_consensus(run_once, report):
+    result = run_once(ext_robustness.run_consensus)
+    report("Extension — consensus vs transient flips", ext_robustness.format_result(result))
+
+    clean = result["clean_auc"]
+    raw = result["raw_auc"]
+    filtered = result["consensus_auc"]
+
+    assert clean > 0.9
+    assert raw < clean - 0.02, "20% flips should visibly hurt raw training"
+    assert filtered > raw, "consensus must improve on raw noisy training"
+    # consensus recovers at least half of the damage
+    assert (filtered - raw) > 0.5 * (clean - raw) - 0.02

@@ -1,0 +1,23 @@
+"""Extension bench (beyond the paper) — ordinal multiclass prediction.
+
+Section 7 proposes multiclass prediction as future work; this bench
+exercises the ordinal-decomposition implementation on three classes.
+Checked: exact accuracy beats the majority-class baseline by a clear
+margin and within-one-class accuracy is near-perfect (mistakes stay
+between adjacent classes).
+"""
+
+from repro.experiments import ext_multiclass
+
+
+def test_ext_multiclass(run_once, report):
+    result = run_once(ext_multiclass.run)
+    report("Extension — 3-class ordinal DMFSGD", ext_multiclass.format_result(result))
+
+    for name in result["datasets"]:
+        data = result[name]
+        assert data["exact"] > data["majority"] + 0.1, (
+            f"{name}: no lift over majority baseline"
+        )
+        assert data["within_one"] > 0.9, f"{name}: distant-class mistakes"
+        assert data["exact"] > 0.6, name

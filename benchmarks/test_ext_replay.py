@@ -1,0 +1,65 @@
+"""Extension bench — message-level trace replay fidelity.
+
+The Harvard experiments run through the vectorized engine for speed;
+this bench replays a slice of the same trace through the full
+message-level protocol (per-sample coordinate request/reply with
+latency and staleness) and checks both reach the same accuracy regime,
+plus the protocol cost accounting (exactly two messages per passively
+observed sample).
+"""
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.evaluation import auc_score
+from repro.experiments.common import DEFAULT_SEED, get_harvard_trace
+from repro.measurement.classifier import ThresholdClassifier
+from repro.simnet.replay import TraceReplaySimulation
+from repro.utils.tables import format_table
+
+SAMPLES = 40_000
+
+
+def run(seed: int = DEFAULT_SEED):
+    bundle = get_harvard_trace(seed=seed)
+    dataset, trace = bundle.dataset, bundle.trace
+    tau = dataset.median()
+    labels = dataset.class_matrix(tau)
+    classifier = ThresholdClassifier("rtt", tau)
+    config = DMFSGDConfig(neighbors=10)
+
+    replay = TraceReplaySimulation(
+        trace, classifier, config, max_samples=SAMPLES, rng=seed + 1
+    )
+    replay.run()
+    replay_auc = auc_score(labels, replay.coordinate_table().estimate_matrix())
+
+    engine = DMFSGDEngine(
+        trace.n_nodes, matrix_label_fn(labels), config, metric="rtt",
+        rng=seed + 1,
+    )
+    sub = next(trace.batches(SAMPLES))
+    engine_auc = auc_score(
+        labels, engine.run_trace(sub, classifier).estimate_matrix()
+    )
+
+    return {
+        "replay_auc": float(replay_auc),
+        "engine_auc": float(engine_auc),
+        "replay_messages": float(replay.network.total_messages()),
+        "replay_measurements": float(replay.measurements),
+    }
+
+
+def test_ext_replay(run_once, report):
+    result = run_once(run)
+    rows = [[key, value] for key, value in result.items()]
+    report(
+        "Extension — protocol trace replay",
+        format_table(rows, headers=["quantity", "value"], float_fmt=".4f"),
+    )
+
+    assert result["replay_auc"] > 0.8
+    assert abs(result["replay_auc"] - result["engine_auc"]) < 0.1
+    # two messages (request + reply) per observed sample
+    assert result["replay_messages"] == 2 * SAMPLES
+    assert result["replay_measurements"] == SAMPLES

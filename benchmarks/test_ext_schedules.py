@@ -1,0 +1,36 @@
+"""Ablation bench — learning-rate schedules (constant vs decaying).
+
+The paper's constant eta = 0.1 keeps the system adaptive; decaying
+steps are the textbook cure for gradient noise.  Checked: on clean
+labels the constant schedule is competitive (within noise of the best),
+and on noisy labels no schedule collapses — the practical takeaway
+being that the paper's choice is reasonable, with decay as a viable
+alternative for stationary deployments.
+"""
+
+from repro.experiments import ext_robustness
+
+
+def test_ext_schedules(run_once, report):
+    result = run_once(ext_robustness.run_schedules)
+    report("Ablation — learning-rate schedules", ext_robustness.format_result(result))
+
+    # every configuration learns
+    for key, value in result.items():
+        assert value > 0.75, f"{key} failed to learn ({value:.3f})"
+
+    clean_best = max(
+        result["clean_constant"],
+        result["clean_inverse_sqrt"],
+        result["clean_inverse_time"],
+    )
+    # the paper's constant step is within noise of the best on clean data
+    assert result["clean_constant"] > clean_best - 0.02
+
+    noisy_best = max(
+        result["noisy_constant"],
+        result["noisy_inverse_sqrt"],
+        result["noisy_inverse_time"],
+    )
+    # decaying steps are at least competitive under label noise
+    assert result["noisy_inverse_sqrt"] > noisy_best - 0.03

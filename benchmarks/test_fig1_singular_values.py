@@ -1,0 +1,31 @@
+"""Bench for paper Fig. 1 — singular values of performance matrices.
+
+Regenerates the four spectra (RTT, RTT class, ABW, ABW class) and checks
+the paper's qualitative claim: all spectra decay fast (low effective
+rank), with the raw quantity matrices decaying at least as fast as their
+class counterparts.
+"""
+
+from repro.experiments import fig1_rank
+
+
+def test_fig1_singular_values(run_once, report):
+    result = run_once(fig1_rank.run)
+    report("Fig. 1 — normalized singular values", fig1_rank.format_result(result))
+
+    spectra = result["spectra"]
+    for name in ("RTT", "ABW"):
+        quantity = spectra[name]
+        classes = spectra[f"{name} class"]
+        # normalization
+        assert quantity[0] == 1.0 and classes[0] == 1.0
+        # fast decay of the quantity spectrum: rank-5 tail below 20%
+        assert quantity[4] < 0.2, f"{name} spectrum decays too slowly"
+        # class spectrum still collapses within the plot window
+        assert classes[-1] < 0.5, f"{name} class spectrum not low rank"
+        # non-increasing spectra
+        assert (quantity[1:] <= quantity[:-1] + 1e-12).all()
+        assert (classes[1:] <= classes[:-1] + 1e-12).all()
+
+    # ABW (tiered bottlenecks) is even lower rank than RTT
+    assert spectra["ABW"][2] < spectra["RTT"][4] + 0.2

@@ -1,0 +1,43 @@
+"""Bench for paper Fig. 3 — AUC vs learning rate eta and regularization.
+
+Shapes checked:
+
+* the default (eta=0.1, lambda=0.1, logistic) exceeds 0.9 AUC on all
+  datasets;
+* eta=0.1 beats the too-small eta=0.001 everywhere (slow convergence);
+* over-regularization (lambda=1.0) never beats lambda=0.1 by much;
+* at the default cell the logistic loss matches or beats the hinge.
+"""
+
+from repro.experiments import fig3_learning
+from repro.experiments.fig3_learning import LOSSES
+
+
+def test_fig3_eta_lambda(run_once, report):
+    result = run_once(fig3_learning.run)
+    report("Fig. 3 — AUC vs eta and lambda", fig3_learning.format_result(result))
+
+    eta_sweep = result["eta_sweep"]
+    lambda_sweep = result["lambda_sweep"]
+    datasets = result["datasets"]
+
+    for name in datasets:
+        # default configuration is accurate
+        assert eta_sweep[(name, "logistic", 0.1)] > 0.9, name
+        # eta too small has not converged within the probe budget
+        for loss in LOSSES:
+            assert (
+                eta_sweep[(name, loss, 0.1)]
+                > eta_sweep[(name, loss, 0.001)] - 0.01
+            ), (name, loss)
+        # heavy regularization is never better by a margin
+        assert (
+            lambda_sweep[(name, "logistic", 1.0)]
+            <= lambda_sweep[(name, "logistic", 0.1)] + 0.02
+        ), name
+        # logistic >= hinge at the default cell (paper: logistic wins
+        # in most cases)
+        assert (
+            eta_sweep[(name, "logistic", 0.1)]
+            >= eta_sweep[(name, "hinge", 0.1)] - 0.03
+        ), name

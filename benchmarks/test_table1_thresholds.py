@@ -1,0 +1,31 @@
+"""Bench for paper Table 1 — tau vs proportion of "good" paths.
+
+Checks the orientation of each metric (RTT thresholds grow with the
+good fraction, ABW thresholds shrink) and that the 50% row matches the
+paper's medians, to which the synthetic datasets are calibrated:
+Harvard 131.6 ms, Meridian 56.4 ms, HP-S3 43.1 Mbps.
+"""
+
+import pytest
+
+from repro.experiments import table1_thresholds
+from repro.experiments.table1_thresholds import GOOD_FRACTIONS
+
+PAPER_MEDIANS = {"harvard": 131.6, "meridian": 56.4, "hps3": 43.1}
+
+
+def test_table1_thresholds(run_once, report):
+    result = run_once(table1_thresholds.run)
+    report("Table 1 — tau per good-path fraction", table1_thresholds.format_result(result))
+
+    taus = result["taus"]
+    for name in ("harvard", "meridian"):  # RTT: good below tau
+        values = [taus[name][f] for f in GOOD_FRACTIONS]
+        assert values == sorted(values), f"{name} taus must increase"
+    abw_values = [taus["hps3"][f] for f in GOOD_FRACTIONS]
+    assert abw_values == sorted(abw_values, reverse=True), "hps3 taus must decrease"
+
+    for name, median in PAPER_MEDIANS.items():
+        assert taus[name][0.50] == pytest.approx(median, rel=0.15), (
+            f"{name} median tau drifted from the calibrated value"
+        )

@@ -1,0 +1,24 @@
+"""Bench for paper Table 2 — accuracy rates and confusion matrices.
+
+The paper reports 89.4% / 85.4% / 87.3% accuracy for Harvard / Meridian
+/ HP-S3.  Shapes checked: overall accuracy within the same regime
+(> 0.8 for every dataset), both per-class recalls above 70% (diagonal
+dominance), and the good class at least as easy as the bad class (the
+paper's asymmetry).
+"""
+
+from repro.experiments import table2_confusion
+
+
+def test_table2_confusion(run_once, report):
+    result = run_once(table2_confusion.run)
+    report("Table 2 — confusion matrices", table2_confusion.format_result(result))
+
+    for name in result["datasets"]:
+        matrix = result[name]
+        assert matrix.accuracy > 0.80, f"{name}: accuracy {matrix.accuracy:.3f}"
+        norm = matrix.row_normalized()
+        assert norm[0, 0] > 0.7, f"{name}: good-class recall too low"
+        assert norm[1, 1] > 0.7, f"{name}: bad-class recall too low"
+        # the paper's asymmetry: good -> good >= bad -> bad (roughly)
+        assert norm[0, 0] >= norm[1, 1] - 0.05, name

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Can this path stream HD video?  ABW classes without ABW values.
+
+Scenario from the paper's Section 3.2: a streaming service needs to
+know whether paths clear 10 Mbps (HD) — the Google TV requirement the
+paper quotes — without paying for full available-bandwidth estimation.
+Each node runs the simulated *pathload* tool: it sends constant-rate
+UDP trains at exactly tau = 10 Mbps and only learns a yes/no congestion
+verdict.  DMFSGD (the asymmetric Algorithm 2, since ABW is inferred at
+the target) then predicts the verdict for every unmeasured pair.
+
+Run:
+    python examples/abw_streaming.py
+"""
+
+import numpy as np
+
+from repro.core import DMFSGDConfig
+from repro.core.dmfsgd import DMFSGDSimulation
+from repro.datasets import load_hps3
+from repro.evaluation import auc_score, confusion_matrix
+from repro.measurement import PathLoad
+
+SEED = 11
+HD_RATE_MBPS = 10.0
+
+
+def main() -> None:
+    dataset = load_hps3(rng=SEED)
+    print(f"dataset: {dataset}")
+    print(f"probing rate (tau): {HD_RATE_MBPS} Mbps (HD streaming)")
+    truth = dataset.class_matrix(HD_RATE_MBPS)
+    good = dataset.good_fraction(HD_RATE_MBPS)
+    print(f"paths that can stream HD: {good:.0%}")
+
+    # the measurement module: pathload trains at 10 Mbps with a little
+    # congestion-detection noise and the tools' underestimation bias
+    tool = PathLoad(
+        dataset.quantities,
+        rate=HD_RATE_MBPS,
+        noise=0.05,
+        underestimation=0.05,
+        rng=SEED,
+    )
+
+    # Algorithm 2 deployment: probes carry u_i, verdicts materialize at
+    # the target, replies ship (x_ij, v_j) back
+    simulation = DMFSGDSimulation(
+        dataset.n,
+        lambda i, j: tool.probe(i, j),
+        DMFSGDConfig(neighbors=10),
+        metric="abw",
+        probe_interval=1.0,
+        rng=SEED,
+    )
+    simulation.run(duration=300.0)
+
+    table = simulation.coordinate_table()
+    full_mesh = dataset.n * (dataset.n - 1)
+    distinct_pairs = dataset.n * 10  # each node probes its k=10 neighbors
+    print(f"\nprobe trains sent: {tool.trains_sent}")
+    print(
+        f"distinct pairs ever measured: {distinct_pairs} "
+        f"({distinct_pairs / full_mesh:.1%} of the {full_mesh}-pair full mesh;"
+        " every other pair is predicted, never probed)"
+    )
+    print(f"protocol messages: {simulation.network.total_messages()} "
+          f"({simulation.network.bytes_sent / 1e6:.1f} MB)")
+
+    estimates = table.estimate_matrix()
+    print(f"\nAUC: {auc_score(truth, estimates):.3f}")
+    predicted_classes = np.where(estimates > 0, 1.0, -1.0)
+    predicted_classes[~np.isfinite(estimates)] = np.nan
+    print(confusion_matrix(truth, predicted_classes).as_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""DMFSGD: decentralized prediction of end-to-end network performance classes.
+
+A full reproduction of Liao, Du, Geurts & Leduc, *"Decentralized
+Prediction of End-to-End Network Performance Classes"*, ACM CoNEXT 2011.
+
+Quick start::
+
+    from repro import DMFSGDConfig, DMFSGDEngine, matrix_label_fn
+    from repro.datasets import load_meridian
+    from repro.evaluation import auc_score
+
+    dataset = load_meridian(n_hosts=300, rng=1)
+    labels = dataset.class_matrix()            # tau = median
+    config = DMFSGDConfig.paper_defaults("meridian")
+    engine = DMFSGDEngine(dataset.n, matrix_label_fn(labels),
+                          config, metric="rtt", rng=1)
+    result = engine.run(rounds=20 * config.neighbors)
+    print(auc_score(labels, result.estimate_matrix()))
+
+Package map:
+
+* :mod:`repro.core` — losses, update rules, the message-level protocol
+  (Algorithms 1-2), the vectorized engine, centralized reference MF and
+  the multiclass extension;
+* :mod:`repro.simnet` — discrete-event simulation substrate;
+* :mod:`repro.measurement` — metric semantics, simulated
+  ping/pathload/pathChirp, threshold classification, error models;
+* :mod:`repro.datasets` — synthetic Harvard/Meridian/HP-S3 twins and
+  the transit-stub topology generator;
+* :mod:`repro.evaluation` — ROC/AUC, precision-recall, confusion
+  matrices, stretch, singular-value analysis;
+* :mod:`repro.baselines` — Vivaldi and a centralized MMMF stand-in;
+* :mod:`repro.apps` — peer selection;
+* :mod:`repro.experiments` — one runnable definition per paper
+  table/figure.
+"""
+
+from repro.core import (
+    DMFSGDConfig,
+    DMFSGDEngine,
+    DMFSGDSimulation,
+    TrainResult,
+    matrix_label_fn,
+)
+from repro.datasets import load_dataset
+from repro.measurement import Metric
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DMFSGDConfig",
+    "DMFSGDEngine",
+    "DMFSGDSimulation",
+    "TrainResult",
+    "matrix_label_fn",
+    "load_dataset",
+    "Metric",
+    "__version__",
+]

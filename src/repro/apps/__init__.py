@@ -1,0 +1,31 @@
+"""Applications built on class-based prediction.
+
+Peer selection (paper Section 6.4) is the motivating application: each
+node must pick, from a set of candidate peers, one that performs well —
+where "well" means *satisfactory* (a good-class peer) rather than
+necessarily *optimal* (the single best peer).
+"""
+
+from repro.apps.overlay import (
+    OverlayQuality,
+    build_overlay,
+    evaluate_overlay,
+    random_overlay,
+)
+from repro.apps.peer_selection import (
+    PeerSelectionExperiment,
+    PeerSelectionResult,
+    build_peer_sets,
+    select_peers,
+)
+
+__all__ = [
+    "PeerSelectionExperiment",
+    "PeerSelectionResult",
+    "build_peer_sets",
+    "select_peers",
+    "OverlayQuality",
+    "build_overlay",
+    "evaluate_overlay",
+    "random_overlay",
+]

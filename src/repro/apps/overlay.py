@@ -1,0 +1,130 @@
+"""Performance-aware overlay construction.
+
+The paper's introduction motivates class prediction with
+"topologically-aware overlay construction and server selection"
+[Ratnasamy et al.; paper refs. 17-18].  This application builds a
+directed overlay where each node links to the ``degree`` peers it
+predicts most confidently "good", and evaluates it against the ground
+truth:
+
+* **edge goodness** — fraction of overlay edges that are truly good
+  paths;
+* **connectivity** — whether the overlay stays (weakly) connected,
+  since prediction-greedy neighbor choice can fragment a network;
+* **load skew** — max/mean in-degree, the popularity concentration the
+  paper warns about ("always selecting best-connected nodes ... may
+  cause congestions and overloading").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.datasets.base import PerformanceDataset
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["build_overlay", "random_overlay", "OverlayQuality", "evaluate_overlay"]
+
+
+def build_overlay(decision_matrix: np.ndarray, degree: int) -> nx.DiGraph:
+    """Connect every node to its ``degree`` highest-scored peers.
+
+    Parameters
+    ----------
+    decision_matrix:
+        ``(n, n)`` predictions (larger = more confidently good); the
+        diagonal and NaN entries are never selected.
+    degree:
+        Out-degree per node.
+    """
+    scores = np.asarray(decision_matrix, dtype=float).copy()
+    n = scores.shape[0]
+    if scores.ndim != 2 or scores.shape != (n, n):
+        raise ValueError(f"decision matrix must be square, got {scores.shape}")
+    if not 0 < degree < n:
+        raise ValueError(f"degree must be in (0, n), got {degree}")
+    np.fill_diagonal(scores, -np.inf)
+    scores[~np.isfinite(scores)] = -np.inf
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    top = np.argpartition(-scores, degree, axis=1)[:, :degree]
+    for node in range(n):
+        for peer in top[node]:
+            graph.add_edge(int(node), int(peer))
+    return graph
+
+
+def random_overlay(n: int, degree: int, rng: RngLike = None) -> nx.DiGraph:
+    """Baseline: every node links to ``degree`` uniform random peers."""
+    if not 0 < degree < n:
+        raise ValueError(f"degree must be in (0, n), got {degree}")
+    generator = ensure_rng(rng)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    for node in range(n):
+        peers = generator.choice(
+            np.setdiff1d(np.arange(n), [node]), size=degree, replace=False
+        )
+        for peer in peers:
+            graph.add_edge(int(node), int(peer))
+    return graph
+
+
+@dataclass(frozen=True)
+class OverlayQuality:
+    """Ground-truth quality of an overlay graph.
+
+    Attributes
+    ----------
+    edge_goodness:
+        Fraction of edges whose underlying path is truly "good".
+    weakly_connected:
+        Whether the overlay forms one weakly connected component.
+    max_in_degree:
+        Largest in-degree (hotspot indicator).
+    in_degree_skew:
+        ``max_in_degree / mean_in_degree``; 1 means perfectly balanced.
+    """
+
+    edge_goodness: float
+    weakly_connected: bool
+    max_in_degree: int
+    in_degree_skew: float
+
+
+def evaluate_overlay(
+    graph: nx.DiGraph,
+    dataset: PerformanceDataset,
+    tau: Optional[float] = None,
+) -> OverlayQuality:
+    """Score an overlay against a dataset's ground truth."""
+    if graph.number_of_edges() == 0:
+        raise ValueError("overlay has no edges")
+    if tau is None:
+        tau = dataset.median()
+
+    good = bad = 0
+    for src, dst in graph.edges():
+        quantity = dataset.quantity(src, dst)
+        if not np.isfinite(quantity):
+            continue
+        if dataset.metric.is_good(quantity, tau):
+            good += 1
+        else:
+            bad += 1
+    if good + bad == 0:
+        raise ValueError("no overlay edge has ground truth")
+
+    in_degrees = np.array([deg for _, deg in graph.in_degree()])
+    mean_in = float(in_degrees.mean()) if in_degrees.size else 0.0
+    return OverlayQuality(
+        edge_goodness=good / (good + bad),
+        weakly_connected=nx.is_weakly_connected(graph),
+        max_in_degree=int(in_degrees.max()),
+        in_degree_skew=float(in_degrees.max() / mean_in) if mean_in else 0.0,
+    )

@@ -1,0 +1,266 @@
+"""Peer selection: optimality vs satisfaction (paper Section 6.4).
+
+Setup: every node draws a *peer set* of ``m`` candidate peers, disjoint
+from its neighbor (training) set.  It then selects one peer using a
+strategy:
+
+* ``"classification"`` — the peer with the largest raw prediction
+  ``xhat_ij = u_i . v_j`` (no sign/threshold taken: the magnitude orders
+  peers by confidence of being good);
+* ``"regression"`` — the peer with the best *predicted quantity* (lowest
+  predicted RTT / highest predicted ABW) from a quantity-based model;
+* ``"random"`` — a uniform random peer (the paper's baseline).
+
+Evaluation criteria:
+
+* **stretch** ``x_selected / x_best`` (optimality; 1 is perfect), and
+* **unsatisfied-node percentage** (satisfaction): fraction of nodes that
+  picked a truly-bad peer although a good peer existed in their peer
+  set; nodes with all-bad peer sets are excluded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.datasets.base import PerformanceDataset
+from repro.evaluation.stretch import unsatisfied
+from repro.measurement.metrics import Metric
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = [
+    "build_peer_sets",
+    "select_peers",
+    "PeerSelectionResult",
+    "PeerSelectionExperiment",
+]
+
+STRATEGIES = ("classification", "regression", "random")
+
+
+def build_peer_sets(
+    n: int,
+    peer_count: int,
+    *,
+    exclude: Optional[np.ndarray] = None,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Random ``(n, peer_count)`` peer sets, disjoint from ``exclude``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    peer_count:
+        Candidate peers per node.
+    exclude:
+        Optional ``(n, k)`` array (the training neighbor sets); the
+        paper forces peer sets to be disjoint from neighbor sets so
+        selection is evaluated on *predicted*, never measured, pairs.
+    rng:
+        Seed or generator.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes, got {n}")
+    generator = ensure_rng(rng)
+    peers = np.empty((n, peer_count), dtype=int)
+    base = np.arange(n)
+    for i in range(n):
+        forbidden = {i}
+        if exclude is not None:
+            forbidden.update(int(x) for x in exclude[i])
+        candidates = np.setdiff1d(base, np.fromiter(forbidden, dtype=int))
+        if candidates.size < peer_count:
+            raise ValueError(
+                f"node {i}: only {candidates.size} candidates for "
+                f"peer_count={peer_count}"
+            )
+        peers[i] = generator.choice(candidates, size=peer_count, replace=False)
+    return peers
+
+
+def select_peers(
+    strategy: str,
+    peer_sets: np.ndarray,
+    *,
+    metric: Union[str, Metric],
+    decision_matrix: Optional[np.ndarray] = None,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Pick one peer per node according to ``strategy``.
+
+    Parameters
+    ----------
+    strategy:
+        ``"classification"``, ``"regression"`` or ``"random"``.
+    peer_sets:
+        ``(n, m)`` candidate table from :func:`build_peer_sets`.
+    metric:
+        Decides the direction for the regression strategy.
+    decision_matrix:
+        ``(n, n)`` predictions: class margins for ``"classification"``
+        (larger = more likely good), predicted quantities for
+        ``"regression"``.
+    rng:
+        Generator for the random strategy.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n,)`` selected peer ids.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; expected {STRATEGIES}")
+    metric = Metric.parse(metric)
+    peer_sets = np.asarray(peer_sets, dtype=int)
+    n, m = peer_sets.shape
+
+    if strategy == "random":
+        generator = ensure_rng(rng)
+        picks = generator.integers(0, m, size=n)
+        return peer_sets[np.arange(n), picks]
+
+    if decision_matrix is None:
+        raise ValueError(f"strategy {strategy!r} requires a decision matrix")
+    decision_matrix = np.asarray(decision_matrix, dtype=float)
+    rows = np.repeat(np.arange(n), m).reshape(n, m)
+    values = decision_matrix[rows, peer_sets]
+
+    if strategy == "classification":
+        # j_p = argmax_j xhat_ij over the peer set (paper's rule); NaN
+        # predictions are ranked last.
+        values = np.where(np.isfinite(values), values, -np.inf)
+        choice = np.argmax(values, axis=1)
+    else:  # regression: predicted best quantity
+        if metric.higher_is_better:
+            values = np.where(np.isfinite(values), values, -np.inf)
+            choice = np.argmax(values, axis=1)
+        else:
+            values = np.where(np.isfinite(values), values, np.inf)
+            choice = np.argmin(values, axis=1)
+    return peer_sets[np.arange(n), choice]
+
+
+@dataclass(frozen=True)
+class PeerSelectionResult:
+    """Aggregated outcome of a selection experiment.
+
+    Attributes
+    ----------
+    strategy:
+        The strategy evaluated.
+    peer_count:
+        Peer-set size ``m``.
+    mean_stretch:
+        Average ``x_selected / x_best`` over nodes with valid ground
+        truth (>= 1 for RTT, <= 1 for ABW).
+    unsatisfied_fraction:
+        Fraction of could-be-satisfied nodes that picked a bad peer.
+    evaluated_nodes:
+        Number of nodes contributing to the stretch average.
+    """
+
+    strategy: str
+    peer_count: int
+    mean_stretch: float
+    unsatisfied_fraction: float
+    evaluated_nodes: int
+
+
+class PeerSelectionExperiment:
+    """Evaluate selection strategies against a dataset's ground truth.
+
+    Parameters
+    ----------
+    dataset:
+        Ground-truth quantities (stretch) and classes via ``tau``
+        (satisfaction).
+    tau:
+        Classification threshold; default the dataset median.
+    peer_sets:
+        ``(n, m)`` candidates; build with :func:`build_peer_sets`.
+    """
+
+    def __init__(
+        self,
+        dataset: PerformanceDataset,
+        peer_sets: np.ndarray,
+        *,
+        tau: Optional[float] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.peer_sets = np.asarray(peer_sets, dtype=int)
+        if self.peer_sets.ndim != 2 or self.peer_sets.shape[0] != dataset.n:
+            raise ValueError(
+                f"peer_sets must be (n, m) with n={dataset.n}, "
+                f"got {self.peer_sets.shape}"
+            )
+        self.tau = dataset.median() if tau is None else float(tau)
+
+    def evaluate(self, strategy: str, selected: np.ndarray) -> PeerSelectionResult:
+        """Score a selection vector against the ground truth."""
+        selected = np.asarray(selected, dtype=int)
+        n, m = self.peer_sets.shape
+        if selected.shape != (n,):
+            raise ValueError(f"selected must be ({n},), got {selected.shape}")
+
+        quantities = self.dataset.quantities
+        metric = self.dataset.metric
+        rows = np.repeat(np.arange(n), m).reshape(n, m)
+        peer_quantities = quantities[rows, self.peer_sets]
+
+        selected_quantity = quantities[np.arange(n), selected]
+
+        # --- stretch (optimality) ---------------------------------------
+        with np.errstate(invalid="ignore"):
+            if metric.higher_is_better:
+                best = np.nanmax(peer_quantities, axis=1)
+            else:
+                best = np.nanmin(peer_quantities, axis=1)
+        valid = (
+            np.isfinite(selected_quantity)
+            & np.isfinite(best)
+            & (best > 0)
+        )
+        if not valid.any():
+            raise ValueError("no node has valid ground truth for stretch")
+        stretch = selected_quantity[valid] / best[valid]
+
+        # --- satisfaction ------------------------------------------------
+        peer_good = metric.is_good(peer_quantities, self.tau)
+        peer_good &= np.isfinite(peer_quantities)
+        any_good = peer_good.any(axis=1)
+        selected_good = np.zeros(n, dtype=bool)
+        observed_selection = np.isfinite(selected_quantity)
+        selected_good[observed_selection] = metric.is_good(
+            selected_quantity[observed_selection], self.tau
+        )
+        unsat = unsatisfied(selected_good, any_good)
+
+        return PeerSelectionResult(
+            strategy=strategy,
+            peer_count=m,
+            mean_stretch=float(np.mean(stretch)),
+            unsatisfied_fraction=float(unsat),
+            evaluated_nodes=int(valid.sum()),
+        )
+
+    def run(
+        self,
+        strategy: str,
+        *,
+        decision_matrix: Optional[np.ndarray] = None,
+        rng: RngLike = None,
+    ) -> PeerSelectionResult:
+        """Select with ``strategy`` and evaluate in one call."""
+        selected = select_peers(
+            strategy,
+            self.peer_sets,
+            metric=self.dataset.metric,
+            decision_matrix=decision_matrix,
+            rng=rng,
+        )
+        return self.evaluate(strategy, selected)

@@ -1,0 +1,19 @@
+"""Baselines the paper positions DMFSGD against (Section 2).
+
+* :mod:`repro.baselines.vivaldi` — the Vivaldi network coordinate
+  system: decentralized *quantity* prediction of RTT by Euclidean
+  embedding (+ height).  DMFSGD borrows its architecture (random
+  neighbor sets, probe-one-at-a-time) while replacing the metric-space
+  model with a factorization, so Vivaldi is the natural quantity-based
+  decentralized baseline.
+* :mod:`repro.baselines.mmmf` — a centralized max-margin matrix
+  factorization stand-in: hinge-loss batch MF over the collected
+  measurements, representing the prior class-prediction work [20, 22]
+  that required a central solver.
+"""
+
+from repro.baselines.landmarks import LandmarkMF
+from repro.baselines.mmmf import MMMFBaseline
+from repro.baselines.vivaldi import Vivaldi, VivaldiConfig
+
+__all__ = ["Vivaldi", "VivaldiConfig", "MMMFBaseline", "LandmarkMF"]

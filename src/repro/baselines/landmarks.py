@@ -1,0 +1,149 @@
+"""Landmark-based matrix factorization (IDES-style baseline).
+
+The Internet Distance Estimation Service [Mao et al., JSAC'06; paper
+ref. 13] predicts pairwise performance through special *landmark*
+nodes: the landmark-to-landmark matrix is factorized centrally, and an
+ordinary node derives its coordinates purely from measurements to the
+landmarks by least squares.  DMFSGD's pitch (Section 1) is precisely
+that it needs *no* landmarks; this baseline quantifies what the
+landmark architecture costs and achieves on class data:
+
+* accuracy depends on how representative the landmark set is;
+* landmarks carry ``O(n)`` measurement load each (hotspots), while
+  DMFSGD spreads ``k`` probes per node uniformly.
+
+Implementation: rank-``r`` SVD of the (class) landmark matrix gives
+bases ``U_L, V_L``; node ``i`` solves two regularized least-squares
+problems for ``u_i`` (from its row of measurements to landmarks) and
+``v_i`` (from the column of measurements from landmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_rank, check_square_matrix
+
+__all__ = ["LandmarkMF"]
+
+
+class LandmarkMF:
+    """Landmark-based low-rank prediction of pairwise classes.
+
+    Parameters
+    ----------
+    rank:
+        Factorization rank ``r`` (must be <= number of landmarks).
+    regularization:
+        Ridge coefficient for the per-node least squares.
+    rng:
+        Seed or generator for the landmark choice.
+    """
+
+    def __init__(
+        self,
+        rank: int = 10,
+        *,
+        regularization: float = 0.1,
+        rng: RngLike = None,
+    ) -> None:
+        self.rank = check_rank(rank)
+        if regularization < 0:
+            raise ValueError(
+                f"regularization must be >= 0, got {regularization}"
+            )
+        self.regularization = float(regularization)
+        self._rng = ensure_rng(rng)
+        self.landmarks: Optional[np.ndarray] = None
+        self.U: Optional[np.ndarray] = None
+        self.V: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        observed: np.ndarray,
+        n_landmarks: int,
+        *,
+        landmarks: Optional[np.ndarray] = None,
+    ) -> "LandmarkMF":
+        """Fit from landmark measurements only.
+
+        Parameters
+        ----------
+        observed:
+            Full ``(n, n)`` measurement matrix; ONLY the landmark rows
+            and columns are read (the architecture cannot see anything
+            else), NaN entries are imputed with the landmark-matrix
+            mean.
+        n_landmarks:
+            Landmark count ``L >= rank``.
+        landmarks:
+            Explicit landmark indices (random when omitted).
+        """
+        observed = check_square_matrix(np.asarray(observed, dtype=float))
+        n = observed.shape[0]
+        if landmarks is None:
+            if not self.rank <= n_landmarks <= n:
+                raise ValueError(
+                    f"n_landmarks must be in [rank={self.rank}, {n}]"
+                )
+            landmarks = self._rng.choice(n, size=n_landmarks, replace=False)
+        landmarks = np.asarray(landmarks, dtype=int)
+        if len(landmarks) < self.rank:
+            raise ValueError("need at least `rank` landmarks")
+        self.landmarks = np.sort(landmarks)
+
+        core = observed[np.ix_(self.landmarks, self.landmarks)].copy()
+        fill = np.nanmean(core)
+        if not np.isfinite(fill):
+            raise ValueError("landmark matrix has no observed entries")
+        core[~np.isfinite(core)] = fill
+
+        # rank-r bases of the landmark-to-landmark matrix
+        left, singular, right_t = np.linalg.svd(core)
+        scale = np.sqrt(singular[: self.rank])
+        U_land = left[:, : self.rank] * scale  # (L, r)
+        V_land = right_t[: self.rank].T * scale  # (L, r)
+
+        # every node solves ridge least squares against the bases:
+        #   row_i ~ u_i @ V_land.T   and   col_i ~ U_land @ v_i
+        rows = observed[:, self.landmarks].copy()  # (n, L): i -> landmarks
+        cols = observed[self.landmarks, :].T.copy()  # (n, L): landmarks -> i
+        rows[~np.isfinite(rows)] = fill
+        cols[~np.isfinite(cols)] = fill
+
+        eye = self.regularization * np.eye(self.rank)
+        gram_v = V_land.T @ V_land + eye
+        gram_u = U_land.T @ U_land + eye
+        self.U = np.linalg.solve(gram_v, V_land.T @ rows.T).T
+        self.V = np.linalg.solve(gram_u, U_land.T @ cols.T).T
+
+        # landmarks know their own exact factorization
+        self.U[self.landmarks] = U_land
+        self.V[self.landmarks] = V_land
+        return self
+
+    # ------------------------------------------------------------------
+
+    def decision_matrix(self) -> np.ndarray:
+        """Predicted ``X_hat = U V^T`` with NaN diagonal."""
+        if self.U is None or self.V is None:
+            raise RuntimeError("fit() has not been called")
+        xhat = self.U @ self.V.T
+        np.fill_diagonal(xhat, np.nan)
+        return xhat
+
+    def landmark_load(self, n: int) -> float:
+        """Measurements each landmark answers (the hotspot cost).
+
+        Every non-landmark node measures every landmark in both
+        directions, plus the landmark full mesh.
+        """
+        if self.landmarks is None:
+            raise RuntimeError("fit() has not been called")
+        L = len(self.landmarks)
+        return float(2 * (n - L) + 2 * (L - 1))

@@ -1,0 +1,305 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the everyday workflows:
+
+* ``datasets`` — generate the synthetic datasets and print their vitals;
+* ``train`` — train one DMFSGD model and report AUC / accuracy /
+  confusion matrix;
+* ``experiment`` — run a paper table/figure reproduction by id and
+  print the same rows the paper reports.
+
+Examples::
+
+    python -m repro datasets --nodes 200
+    python -m repro train --dataset hps3 --rounds 300
+    python -m repro experiment table2
+    python -m repro experiment list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import __version__
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+
+def _experiment_registry() -> Dict[str, Tuple[Callable, Callable]]:
+    """Lazy registry: experiment id -> (run, format_result)."""
+    from repro.experiments import (
+        ablations,
+        ext_applications,
+        ext_dynamics,
+        ext_multiclass,
+        ext_robustness,
+        fig1_rank,
+        fig3_learning,
+        fig4_parameters,
+        fig5_accuracy,
+        fig6_robustness,
+        fig7_peer_selection,
+        table1_thresholds,
+        table2_confusion,
+        table3_deltas,
+    )
+
+    return {
+        "fig1": (fig1_rank.run, fig1_rank.format_result),
+        "table1": (table1_thresholds.run, table1_thresholds.format_result),
+        "fig3": (fig3_learning.run, fig3_learning.format_result),
+        "fig4": (fig4_parameters.run, fig4_parameters.format_result),
+        "fig5": (fig5_accuracy.run, fig5_accuracy.format_result),
+        "table2": (table2_confusion.run, table2_confusion.format_result),
+        "table3": (table3_deltas.run, table3_deltas.format_result),
+        "fig6": (fig6_robustness.run, fig6_robustness.format_result),
+        "fig7": (fig7_peer_selection.run, fig7_peer_selection.format_result),
+        "ablation-engines": (
+            ablations.run_engine_vs_protocol,
+            ablations.format_result,
+        ),
+        "ablation-baselines": (ablations.run_baselines, ablations.format_result),
+        "ablation-landmarks": (
+            ext_applications.run_landmarks,
+            ext_applications.format_result,
+        ),
+        "ablation-schedules": (
+            ext_robustness.run_schedules,
+            ext_robustness.format_result,
+        ),
+        "ablation-probing": (
+            ablations.run_probe_strategies,
+            ablations.format_result,
+        ),
+        "multiclass": (ext_multiclass.run, ext_multiclass.format_result),
+        "consensus": (ext_robustness.run_consensus, ext_robustness.format_result),
+        "churn": (ext_robustness.run_churn, ext_robustness.format_result),
+        "overlay": (ext_applications.run_overlay, ext_applications.format_result),
+        "dynamics": (ext_dynamics.run, ext_dynamics.format_result),
+    }
+
+
+#: Public experiment ids (kept in the paper's presentation order).
+EXPERIMENTS = (
+    "fig1",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "table2",
+    "table3",
+    "fig6",
+    "fig7",
+    "ablation-engines",
+    "ablation-baselines",
+    "ablation-landmarks",
+    "ablation-schedules",
+    "ablation-probing",
+    "multiclass",
+    "consensus",
+    "churn",
+    "overlay",
+    "dynamics",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "DMFSGD — decentralized prediction of end-to-end network "
+            "performance classes (CoNEXT 2011 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    datasets = commands.add_parser(
+        "datasets", help="generate the synthetic datasets and show vitals"
+    )
+    datasets.add_argument(
+        "--nodes", type=int, default=None, help="override node count"
+    )
+    datasets.add_argument("--seed", type=int, default=20111206)
+
+    train = commands.add_parser("train", help="train one DMFSGD model")
+    train.add_argument(
+        "--dataset",
+        choices=["harvard", "meridian", "hps3"],
+        default="meridian",
+    )
+    train.add_argument("--nodes", type=int, default=None)
+    train.add_argument("--rank", type=int, default=10)
+    train.add_argument("--eta", type=float, default=0.1)
+    train.add_argument("--reg", type=float, default=0.1, metavar="LAMBDA")
+    train.add_argument(
+        "--loss", choices=["logistic", "hinge", "l2"], default="logistic"
+    )
+    train.add_argument("--neighbors", type=int, default=None, metavar="K")
+    train.add_argument("--rounds", type=int, default=None)
+    train.add_argument(
+        "--good-fraction",
+        type=float,
+        default=None,
+        help="set tau so this fraction of paths is good (default median)",
+    )
+    train.add_argument(
+        "--trace",
+        action="store_true",
+        help="Harvard only: replay the dynamic trace",
+    )
+    train.add_argument("--seed", type=int, default=20111206)
+
+    experiment = commands.add_parser(
+        "experiment", help="reproduce a paper table/figure by id"
+    )
+    experiment.add_argument(
+        "id", help="experiment id, or 'list' to enumerate them"
+    )
+    experiment.add_argument("--seed", type=int, default=20111206)
+
+    report = commands.add_parser(
+        "report", help="run experiments and write a markdown report"
+    )
+    report.add_argument(
+        "--output", default="report.md", help="output markdown file"
+    )
+    report.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated experiment ids (default: all)",
+    )
+    report.add_argument("--seed", type=int, default=20111206)
+    return parser
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.experiments.common import DATASET_NAMES, get_dataset
+    from repro.utils.tables import format_table
+
+    rows: List[List[object]] = []
+    for name in DATASET_NAMES:
+        dataset = get_dataset(name, n_hosts=args.nodes, seed=args.seed)
+        rows.append(
+            [
+                name,
+                dataset.metric.value,
+                dataset.n,
+                f"{dataset.median():.1f} {dataset.metric.unit}",
+                f"{dataset.density():.1%}",
+                f"{dataset.good_fraction():.0%}",
+            ]
+        )
+    print(
+        format_table(
+            rows,
+            headers=["dataset", "metric", "nodes", "median", "density", "good@median"],
+        )
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.evaluation import confusion_matrix
+    from repro.experiments.common import get_dataset, train_classifier
+
+    if args.loss == "l2":
+        print("note: --loss l2 trains the quantity-based variant", file=sys.stderr)
+
+    tau = None
+    if args.good_fraction is not None:
+        dataset = get_dataset(args.dataset, n_hosts=args.nodes, seed=args.seed)
+        tau = dataset.tau_for_good_fraction(args.good_fraction)
+
+    run = train_classifier(
+        args.dataset,
+        tau=tau,
+        rounds=args.rounds,
+        use_trace=args.trace,
+        n_hosts=args.nodes,
+        seed=args.seed,
+        rank=args.rank,
+        learning_rate=args.eta,
+        regularization=args.reg,
+        loss=args.loss,
+        **({"neighbors": args.neighbors} if args.neighbors else {}),
+    )
+    print(f"dataset : {run.dataset}")
+    print(f"tau     : {run.tau:.1f} {run.dataset.metric.unit}")
+    print(f"AUC     : {run.auc:.3f}")
+    print(confusion_matrix(run.truth_labels, run.result.predicted_classes()).as_text())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.id == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.id not in registry:
+        print(
+            f"unknown experiment {args.id!r}; try 'experiment list'",
+            file=sys.stderr,
+        )
+        return 2
+    run, format_result = registry[args.id]
+    result = run(seed=args.seed)
+    print(format_result(result))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    registry = _experiment_registry()
+    if args.only:
+        wanted = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = [name for name in wanted if name not in registry]
+        if unknown:
+            print(f"unknown experiment ids: {unknown}", file=sys.stderr)
+            return 2
+    else:
+        wanted = list(EXPERIMENTS)
+
+    sections = [
+        "# DMFSGD reproduction report",
+        "",
+        f"Seed: {args.seed}.  One section per experiment; see",
+        "EXPERIMENTS.md for the paper-vs-measured discussion.",
+        "",
+    ]
+    for name in wanted:
+        run, format_result = registry[name]
+        print(f"running {name} ...", file=sys.stderr)
+        result = run(seed=args.seed)
+        sections.append(f"## {name}")
+        sections.append("")
+        sections.append("```")
+        sections.append(format_result(result))
+        sections.append("```")
+        sections.append("")
+    with open(args.output, "w") as handle:
+        handle.write("\n".join(sections))
+    print(f"wrote {args.output} ({len(wanted)} experiments)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "datasets": _cmd_datasets,
+        "train": _cmd_train,
+        "experiment": _cmd_experiment,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Core DMFSGD machinery: the paper's primary contribution.
+
+This package implements Sections 4 and 5 of the paper:
+
+* :mod:`repro.core.losses` — L2 / hinge / logistic losses and their
+  gradients (eqs. 14–19).
+* :mod:`repro.core.coordinates` — the per-node factor vectors ``u_i`` and
+  ``v_i`` and the global coordinate table used by simulations.
+* :mod:`repro.core.updates` — the SGD update rules for the RTT variant
+  (eqs. 9–10) and the ABW variant (eqs. 12–13).
+* :mod:`repro.core.config` — hyper-parameter bundle with the paper's
+  defaults (``r=10``, ``eta=0.1``, ``lambda=0.1``, logistic loss).
+* :mod:`repro.core.engine` — vectorized round-based trainer for large
+  sweeps.
+* :mod:`repro.core.dmfsgd` — the faithful message-level protocol
+  (Algorithms 1 and 2) running on :mod:`repro.simnet`.
+* :mod:`repro.core.matrix_completion` — centralized batch matrix
+  factorization used as a reference solver.
+* :mod:`repro.core.history` — convergence tracking.
+* :mod:`repro.core.multiclass` — one-vs-rest extension to more than two
+  performance classes (the paper's future work, Section 7).
+"""
+
+from repro.core.config import DMFSGDConfig
+from repro.core.coordinates import CoordinateTable, NodeCoordinates
+from repro.core.dmfsgd import DMFSGDSimulation
+from repro.core.engine import DMFSGDEngine, TrainResult, matrix_label_fn
+from repro.core.history import TrainingHistory
+from repro.core.losses import (
+    HingeLoss,
+    L2Loss,
+    LogisticLoss,
+    Loss,
+    available_losses,
+    get_loss,
+)
+from repro.core.matrix_completion import BatchMatrixFactorization, complete_matrix
+from repro.core.multiclass import MulticlassDMFSGD, quantize_classes
+from repro.core.schedules import constant, get_schedule, inverse_sqrt, inverse_time
+from repro.core.updates import (
+    abw_update_prober,
+    abw_update_target,
+    rtt_update,
+)
+
+__all__ = [
+    "DMFSGDConfig",
+    "CoordinateTable",
+    "NodeCoordinates",
+    "DMFSGDSimulation",
+    "DMFSGDEngine",
+    "TrainResult",
+    "matrix_label_fn",
+    "MulticlassDMFSGD",
+    "quantize_classes",
+    "constant",
+    "inverse_sqrt",
+    "inverse_time",
+    "get_schedule",
+    "TrainingHistory",
+    "Loss",
+    "L2Loss",
+    "HingeLoss",
+    "LogisticLoss",
+    "get_loss",
+    "available_losses",
+    "BatchMatrixFactorization",
+    "complete_matrix",
+    "rtt_update",
+    "abw_update_prober",
+    "abw_update_target",
+]

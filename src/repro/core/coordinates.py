@@ -1,0 +1,203 @@
+"""Node coordinates: the distributed state of DMFSGD (paper Section 5.2).
+
+Each node ``i`` stores two ``r``-dimensional vectors: ``u_i`` (its row in
+``U``) and ``v_i`` (its row in ``V``).  The estimate of the performance
+measure from ``i`` to ``j`` is the inner product ``u_i . v_j``.
+
+Two views are provided:
+
+* :class:`NodeCoordinates` — the state a single simulated node owns, used
+  by the message-level protocol in :mod:`repro.core.dmfsgd`;
+* :class:`CoordinateTable` — the stacked ``(n, r)`` arrays used by the
+  vectorized engine and by evaluation code (the full ``X_hat = U V^T`` is
+  only ever materialized for *evaluation*, never by the protocol itself).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_index, check_rank
+
+__all__ = ["NodeCoordinates", "CoordinateTable"]
+
+
+class NodeCoordinates:
+    """The ``(u_i, v_i)`` pair owned by one node.
+
+    Parameters
+    ----------
+    rank:
+        Coordinate dimension ``r``.
+    rng:
+        Generator (or seed) for the uniform random initialization; the
+        paper initializes coordinates uniformly in [0, 1] and reports the
+        algorithm to be insensitive to this choice.
+    low, high:
+        Initialization range.
+    """
+
+    __slots__ = ("u", "v")
+
+    def __init__(
+        self,
+        rank: int,
+        rng: RngLike = None,
+        *,
+        low: float = 0.0,
+        high: float = 1.0,
+    ) -> None:
+        rank = check_rank(rank)
+        generator = ensure_rng(rng)
+        self.u = generator.uniform(low, high, size=rank)
+        self.v = generator.uniform(low, high, size=rank)
+
+    @property
+    def rank(self) -> int:
+        """Coordinate dimension ``r``."""
+        return self.u.shape[0]
+
+    def estimate(self, other_v: np.ndarray) -> float:
+        """Estimate ``x_hat`` towards a node whose ``v`` vector is given."""
+        return float(np.dot(self.u, other_v))
+
+    def copy(self) -> "NodeCoordinates":
+        """Deep copy (used by tests and by snapshotting)."""
+        clone = object.__new__(NodeCoordinates)
+        clone.u = self.u.copy()
+        clone.v = self.v.copy()
+        return clone
+
+    def norm(self) -> float:
+        """``||u||^2 + ||v||^2`` — the node's regularization penalty."""
+        return float(np.dot(self.u, self.u) + np.dot(self.v, self.v))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NodeCoordinates(rank={self.rank})"
+
+
+class CoordinateTable:
+    """Stacked coordinates ``U`` and ``V`` of all ``n`` nodes.
+
+    The table is the *evaluation-time* view: simulations either own one
+    (vectorized engine) or export one from per-node state (protocol
+    simulation).  ``U`` and ``V`` have shape ``(n, rank)``.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        rank: int,
+        rng: RngLike = None,
+        *,
+        low: float = 0.0,
+        high: float = 1.0,
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        rank = check_rank(rank)
+        generator = ensure_rng(rng)
+        self.U = generator.uniform(low, high, size=(n, rank))
+        self.V = generator.uniform(low, high, size=(n, rank))
+
+    @classmethod
+    def from_arrays(cls, U: np.ndarray, V: np.ndarray) -> "CoordinateTable":
+        """Wrap existing factor arrays (copies are taken)."""
+        U = np.asarray(U, dtype=float)
+        V = np.asarray(V, dtype=float)
+        if U.shape != V.shape or U.ndim != 2:
+            raise ValueError(
+                f"U and V must be matching 2-D arrays, got {U.shape} and {V.shape}"
+            )
+        table = object.__new__(cls)
+        table.U = U.copy()
+        table.V = V.copy()
+        return table
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.U.shape[0]
+
+    @property
+    def rank(self) -> int:
+        """Coordinate dimension ``r``."""
+        return self.U.shape[1]
+
+    def estimate(self, i: int, j: int) -> float:
+        """Estimate ``x_hat_ij = u_i . v_j``."""
+        i = check_index(i, self.n, "i")
+        j = check_index(j, self.n, "j")
+        return float(np.dot(self.U[i], self.V[j]))
+
+    def estimate_pairs(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Vectorized estimates for index arrays ``rows``/``cols``."""
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        return np.einsum("ij,ij->i", self.U[rows], self.V[cols])
+
+    def estimate_matrix(self, fill_diagonal: Optional[float] = np.nan) -> np.ndarray:
+        """The dense prediction matrix ``X_hat = U V^T``.
+
+        The diagonal (a node's path to itself) is meaningless in the
+        paper's setting and is filled with ``fill_diagonal`` (NaN by
+        default); pass ``None`` to keep the raw products.
+        """
+        xhat = self.U @ self.V.T
+        if fill_diagonal is not None:
+            np.fill_diagonal(xhat, fill_diagonal)
+        return xhat
+
+    def node_view(self, i: int) -> NodeCoordinates:
+        """A :class:`NodeCoordinates` copy of node ``i``'s state."""
+        i = check_index(i, self.n, "i")
+        view = object.__new__(NodeCoordinates)
+        view.u = self.U[i].copy()
+        view.v = self.V[i].copy()
+        return view
+
+    def set_node(self, i: int, coords: NodeCoordinates) -> None:
+        """Write a node's ``(u, v)`` pair back into the table."""
+        i = check_index(i, self.n, "i")
+        if coords.rank != self.rank:
+            raise ValueError(
+                f"rank mismatch: table has {self.rank}, node has {coords.rank}"
+            )
+        self.U[i] = coords.u
+        self.V[i] = coords.v
+
+    def copy(self) -> "CoordinateTable":
+        """Deep copy of the table."""
+        return CoordinateTable.from_arrays(self.U, self.V)
+
+    def frobenius_penalty(self) -> float:
+        """``sum_i u_i u_i^T + sum_i v_i v_i^T`` (regularizer of eq. 3)."""
+        return float(np.sum(self.U * self.U) + np.sum(self.V * self.V))
+
+    def save(self, path: "str | object") -> None:
+        """Persist the factors to an ``.npz`` file.
+
+        A deployment snapshot: reload with :meth:`load` to warm-start a
+        simulation or to serve predictions without retraining.
+        """
+        import os
+
+        np.savez(os.fspath(path), U=self.U, V=self.V)
+
+    @classmethod
+    def load(cls, path: "str | object") -> "CoordinateTable":
+        """Load factors previously written by :meth:`save`."""
+        import os
+
+        with np.load(os.fspath(path)) as data:
+            return cls.from_arrays(data["U"], data["V"])
+
+    def __iter__(self) -> Iterator[NodeCoordinates]:
+        for i in range(self.n):
+            yield self.node_view(i)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CoordinateTable(n={self.n}, rank={self.rank})"

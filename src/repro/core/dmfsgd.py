@@ -1,0 +1,362 @@
+"""Message-level DMFSGD protocol (paper Algorithms 1 and 2).
+
+This is the faithful implementation: nodes are
+:class:`~repro.simnet.node.SimNode` objects that own their coordinates,
+pick random neighbors, exchange probe/reply messages through the
+discrete-event simulator and apply the SGD updates *on message receipt*.
+Nothing global is ever constructed during training — the full
+``X_hat = U V^T`` only exists when an experiment exports a
+:class:`~repro.core.coordinates.CoordinateTable` snapshot for
+evaluation.
+
+Protocol transcripts follow the paper exactly:
+
+**Algorithm 1 (RTT)** —
+1. node *i* probes node *j* for the RTT;
+2. node *j* sends ``u_j`` and ``v_j`` to node *i* when probed;
+3. node *i* infers ``x_ij`` when receiving the reply (the reply's
+   round-trip *is* the measurement for real ping; here the oracle
+   supplies the class);
+4. node *i* updates ``u_i`` and ``v_i`` by eqs. 9 and 10.
+
+**Algorithm 2 (ABW)** —
+1. node *i* probes node *j* for the ABW and sends ``u_i``;
+2. node *j* infers ``x_ij`` when probed;
+3. node *j* sends ``x_ij`` and ``v_j`` to node *i*;
+4. node *j* updates ``v_j`` by eq. 13;
+5. node *i* updates ``u_i`` by eq. 12 when receiving the reply.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.config import DMFSGDConfig
+from repro.core.coordinates import CoordinateTable, NodeCoordinates
+from repro.core.history import TrainingHistory
+from repro.core.updates import abw_update_prober, abw_update_target, rtt_update
+from repro.measurement.metrics import Metric
+from repro.simnet.messages import Message
+from repro.simnet.neighbors import NeighborSet, sample_neighbor_sets
+from repro.simnet.node import SimNode
+from repro.simnet.simulator import LatencyFn, NetworkSimulator
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.validation import check_square_matrix
+
+__all__ = ["DMFSGDSimulation", "oracle_from_matrix"]
+
+#: A measurement oracle returns the measured value (class label +1/-1,
+#: or quantity for the regression variant) of path (i, j); NaN = failed.
+MeasurementOracle = Callable[[int, int], float]
+
+
+def oracle_from_matrix(class_matrix: np.ndarray) -> MeasurementOracle:
+    """Oracle backed by a (possibly corrupted) class/quantity matrix."""
+    matrix = check_square_matrix(np.asarray(class_matrix, dtype=float))
+
+    def measure(i: int, j: int) -> float:
+        return float(matrix[i, j])
+
+    return measure
+
+
+class _RttNode(SimNode):
+    """A DMFSGD node speaking the symmetric RTT protocol (Algorithm 1)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        coords: NodeCoordinates,
+        neighbor_set: NeighborSet,
+        oracle: MeasurementOracle,
+        config: DMFSGDConfig,
+        probe_interval: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(node_id)
+        self.coords = coords
+        self.neighbor_set = neighbor_set
+        self._oracle = oracle
+        self._config = config
+        self._loss = config.loss_fn
+        self._interval = float(probe_interval)
+        self._rng = rng
+        self.measurements = 0
+
+    def _next_delay(self) -> float:
+        # jittered probing avoids synchronized bursts
+        return self._interval * float(self._rng.uniform(0.5, 1.5))
+
+    def start(self) -> None:
+        self.set_timer(self._next_delay(), "probe")
+
+    def on_timer(self, tag: str) -> None:
+        if tag != "probe":
+            return
+        target = self.neighbor_set.pick()
+        self.send(target, "rtt_probe")  # step 1
+        self.set_timer(self._next_delay(), "probe")
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "rtt_probe":
+            # step 2: reply with our coordinates
+            self.send(
+                message.src,
+                "rtt_reply",
+                u=self.coords.u.copy(),
+                v=self.coords.v.copy(),
+            )
+        elif message.kind == "rtt_reply":
+            # step 3: the sender infers x_ij from the completed round trip
+            x_ij = self._oracle(self.node_id, message.src)
+            if not np.isfinite(x_ij):
+                return
+            # step 4: update u_i and v_i (eqs. 9-10)
+            self.coords.u, self.coords.v = rtt_update(
+                self.coords.u,
+                self.coords.v,
+                message.payload["u"],
+                message.payload["v"],
+                x_ij,
+                self._loss,
+                self._config.learning_rate,
+                self._config.regularization,
+            )
+            self.measurements += 1
+
+
+class _AbwNode(SimNode):
+    """A DMFSGD node speaking the asymmetric ABW protocol (Algorithm 2)."""
+
+    def __init__(
+        self,
+        node_id: int,
+        coords: NodeCoordinates,
+        neighbor_set: NeighborSet,
+        oracle: MeasurementOracle,
+        config: DMFSGDConfig,
+        probe_interval: float,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(node_id)
+        self.coords = coords
+        self.neighbor_set = neighbor_set
+        self._oracle = oracle
+        self._config = config
+        self._loss = config.loss_fn
+        self._interval = float(probe_interval)
+        self._rng = rng
+        self.measurements = 0
+
+    def _next_delay(self) -> float:
+        return self._interval * float(self._rng.uniform(0.5, 1.5))
+
+    def start(self) -> None:
+        self.set_timer(self._next_delay(), "probe")
+
+    def on_timer(self, tag: str) -> None:
+        if tag != "probe":
+            return
+        target = self.neighbor_set.pick()
+        # step 1: probe and ship u_i with the train
+        self.send(target, "abw_probe", u=self.coords.u.copy())
+        self.set_timer(self._next_delay(), "probe")
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "abw_probe":
+            # step 2: the target infers x_ij from the probe train
+            x_ij = self._oracle(message.src, self.node_id)
+            if not np.isfinite(x_ij):
+                return
+            u_i = np.asarray(message.payload["u"], dtype=float)
+            # step 3: reply with x_ij and v_j (pre-update, per Algorithm 2)
+            self.send(message.src, "abw_reply", x=float(x_ij), v=self.coords.v.copy())
+            # step 4: update v_j (eq. 13)
+            self.coords.v = abw_update_target(
+                u_i,
+                self.coords.v,
+                x_ij,
+                self._loss,
+                self._config.learning_rate,
+                self._config.regularization,
+            )
+            self.measurements += 1
+        elif message.kind == "abw_reply":
+            # step 5: update u_i (eq. 12)
+            x_ij = float(message.payload["x"])
+            if not np.isfinite(x_ij):
+                return
+            self.coords.u = abw_update_prober(
+                self.coords.u,
+                np.asarray(message.payload["v"], dtype=float),
+                x_ij,
+                self._loss,
+                self._config.learning_rate,
+                self._config.regularization,
+            )
+
+
+class DMFSGDSimulation:
+    """A decentralized DMFSGD deployment on the event simulator.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    oracle:
+        Measurement oracle ``(i, j) -> value``: the interface to the
+        measurement module of Fig. 2 (use :func:`oracle_from_matrix`, or
+        the simulated tools' ``classify``/``probe`` methods).
+    config:
+        Hyper-parameters.
+    metric:
+        RTT selects Algorithm 1 nodes, ABW Algorithm 2 nodes.
+    probe_interval:
+        Mean seconds between a node's probes (jittered +/-50%).
+    latency:
+        One-way message latency model; default random 10-100 ms.
+    loss_rate:
+        Message drop probability.
+    rng:
+        Seed or generator (per-node child generators are spawned).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        oracle: MeasurementOracle,
+        config: Optional[DMFSGDConfig] = None,
+        *,
+        metric: Union[str, Metric] = Metric.RTT,
+        probe_interval: float = 1.0,
+        latency: Optional[LatencyFn] = None,
+        loss_rate: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        if n < 2:
+            raise ValueError(f"need at least 2 nodes, got {n}")
+        if probe_interval <= 0:
+            raise ValueError(f"probe_interval must be > 0, got {probe_interval}")
+        self.n = int(n)
+        self.config = config or DMFSGDConfig()
+        self.metric = Metric.parse(metric)
+        self.probe_interval = float(probe_interval)
+        master = ensure_rng(rng if rng is not None else self.config.seed)
+        node_rngs = spawn_rngs(master, self.n)
+
+        self.network = NetworkSimulator(
+            latency=latency, loss_rate=loss_rate, rng=master
+        )
+        neighbor_table = sample_neighbor_sets(
+            self.n, self.config.neighbors, master
+        )
+
+        node_cls = _RttNode if self.metric.symmetric else _AbwNode
+        self.nodes: Dict[int, SimNode] = {}
+        for i in range(self.n):
+            node = node_cls(
+                node_id=i,
+                coords=NodeCoordinates(
+                    self.config.rank,
+                    node_rngs[i],
+                    low=self.config.init_low,
+                    high=self.config.init_high,
+                ),
+                neighbor_set=NeighborSet(i, neighbor_table[i], node_rngs[i]),
+                oracle=oracle,
+                config=self.config,
+                probe_interval=self.probe_interval,
+                rng=node_rngs[i],
+            )
+            self.network.add_node(node)
+            self.nodes[i] = node
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # churn
+    # ------------------------------------------------------------------
+
+    def take_down(self, node_id: int) -> None:
+        """Crash a node: probes stop, in-flight messages to it drop."""
+        self.network.set_down(node_id)
+
+    def bring_up(self, node_id: int, *, fresh_coordinates: bool = False) -> None:
+        """Rejoin a node; optionally reset its coordinates (cold boot).
+
+        A warm rejoin keeps the learned ``(u, v)`` (process restart on
+        the same host); a cold one re-randomizes them (replacement
+        host), and the paper's insensitivity to initialization predicts
+        quick re-convergence either way.
+        """
+        node = self.nodes[node_id]
+        if fresh_coordinates:
+            fresh = NodeCoordinates(
+                self.config.rank,
+                ensure_rng(None),
+                low=self.config.init_low,
+                high=self.config.init_high,
+            )
+            node.coords.u = fresh.u
+            node.coords.v = fresh.v
+        self.network.set_up(node_id)
+
+    # ------------------------------------------------------------------
+    # state export
+    # ------------------------------------------------------------------
+
+    def coordinate_table(self) -> CoordinateTable:
+        """Snapshot all nodes' coordinates for evaluation."""
+        table = CoordinateTable(self.n, self.config.rank)
+        for i, node in self.nodes.items():
+            table.set_node(i, node.coords)
+        return table
+
+    @property
+    def measurements(self) -> int:
+        """Total measurements consumed across all nodes."""
+        return sum(node.measurements for node in self.nodes.values())
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        duration: float,
+        *,
+        evaluator: Optional[Callable[[CoordinateTable], Dict[str, float]]] = None,
+        eval_every: Optional[float] = None,
+        history: Optional[TrainingHistory] = None,
+    ) -> TrainingHistory:
+        """Run the deployment for ``duration`` virtual seconds.
+
+        Each node probes roughly every ``probe_interval`` seconds, so
+        ``duration = cycles * probe_interval`` gives each node ~``cycles``
+        measurements.  Snapshots are recorded every ``eval_every``
+        seconds when an evaluator is provided.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        if history is None:
+            history = TrainingHistory(self.n, neighbors=self.config.neighbors)
+        if not self._started:
+            self.network.start()
+            self._started = True
+        if evaluator is not None and len(history) == 0:
+            history.record(self.measurements, **evaluator(self.coordinate_table()))
+
+        end_time = self.network.now + duration
+        if evaluator is not None and eval_every:
+            next_eval = self.network.now + eval_every
+            while next_eval < end_time:
+                self.network.run_until(next_eval)
+                history.record(
+                    self.measurements, **evaluator(self.coordinate_table())
+                )
+                next_eval += eval_every
+        self.network.run_until(end_time)
+        if evaluator is not None:
+            history.record(self.measurements, **evaluator(self.coordinate_table()))
+        return history

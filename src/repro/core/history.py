@@ -1,0 +1,123 @@
+"""Convergence tracking for DMFSGD training runs.
+
+The paper reports convergence as AUC versus the *average measurement
+number per node* (Fig. 5, rightmost plot): the total number of
+measurements consumed by all nodes divided by ``n``, expressed in units of
+``k``.  :class:`TrainingHistory` records periodic snapshots of arbitrary
+scalar metrics keyed by that normalized probe count, so the same object
+backs the convergence curves of Fig. 5 and ad-hoc debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["TrainingHistory", "Snapshot"]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One evaluation point during training.
+
+    Attributes
+    ----------
+    measurements:
+        Total measurements consumed so far across all nodes.
+    per_node:
+        ``measurements / n`` — the paper's x-axis unit before dividing
+        by ``k``.
+    metrics:
+        Scalar metric values (e.g. ``{"auc": 0.93}``) at this point.
+    """
+
+    measurements: int
+    per_node: float
+    metrics: Dict[str, float]
+
+
+class TrainingHistory:
+    """Time series of evaluation snapshots for a training run.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes in the simulation, used to normalize probe counts.
+    neighbors:
+        The neighbor count ``k``; when set, :meth:`per_node_in_k` converts
+        the x-axis into the "measurement number (x k)" unit of Fig. 5.
+    """
+
+    def __init__(self, n_nodes: int, neighbors: Optional[int] = None) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        self.n_nodes = int(n_nodes)
+        self.neighbors = int(neighbors) if neighbors else None
+        self._snapshots: List[Snapshot] = []
+
+    def record(self, measurements: int, **metrics: float) -> Snapshot:
+        """Append a snapshot taken after ``measurements`` total probes."""
+        if measurements < 0:
+            raise ValueError(f"measurements must be >= 0, got {measurements}")
+        if self._snapshots and measurements < self._snapshots[-1].measurements:
+            raise ValueError(
+                "snapshots must be recorded in non-decreasing measurement order"
+            )
+        snap = Snapshot(
+            measurements=int(measurements),
+            per_node=measurements / self.n_nodes,
+            metrics={key: float(val) for key, val in metrics.items()},
+        )
+        self._snapshots.append(snap)
+        return snap
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def __iter__(self):
+        return iter(self._snapshots)
+
+    @property
+    def snapshots(self) -> List[Snapshot]:
+        """The recorded snapshots, oldest first."""
+        return list(self._snapshots)
+
+    def series(self, metric: str) -> "tuple[np.ndarray, np.ndarray]":
+        """``(per_node_counts, values)`` arrays for one metric.
+
+        Snapshots that did not record the metric are skipped.
+        """
+        xs = [s.per_node for s in self._snapshots if metric in s.metrics]
+        ys = [s.metrics[metric] for s in self._snapshots if metric in s.metrics]
+        return np.asarray(xs, dtype=float), np.asarray(ys, dtype=float)
+
+    def per_node_in_k(self, metric: str) -> "tuple[np.ndarray, np.ndarray]":
+        """Like :meth:`series` but with the x-axis in units of ``k``."""
+        if not self.neighbors:
+            raise ValueError("neighbors (k) was not provided to TrainingHistory")
+        xs, ys = self.series(metric)
+        return xs / self.neighbors, ys
+
+    def final(self, metric: str) -> float:
+        """The last recorded value of a metric."""
+        for snap in reversed(self._snapshots):
+            if metric in snap.metrics:
+                return snap.metrics[metric]
+        raise KeyError(f"metric {metric!r} was never recorded")
+
+    def converged_at(
+        self, metric: str, threshold: float, *, in_k: bool = True
+    ) -> Optional[float]:
+        """First x-axis point at which ``metric >= threshold``.
+
+        Returns ``None`` when the threshold is never reached.  Used by the
+        Fig. 5 bench to check the "converges within ~20 x k measurements
+        per node" claim.
+        """
+        xs, ys = self.per_node_in_k(metric) if in_k else self.series(metric)
+        hits = np.nonzero(ys >= threshold)[0]
+        if hits.size == 0:
+            return None
+        return float(xs[hits[0]])

@@ -1,0 +1,200 @@
+"""Loss functions and their gradients (paper Section 4.1 and 5.2.3).
+
+The paper uses three losses:
+
+* **L2 (square)** — ``l(x, xhat) = (x - xhat)^2`` — for quantity-based
+  (regression) prediction;
+* **hinge** — ``l(x, xhat) = max(0, 1 - x * xhat)`` — for class-based
+  prediction;
+* **logistic** — ``l(x, xhat) = ln(1 + exp(-x * xhat))`` — class-based,
+  the paper's default.
+
+Each loss exposes ``value`` and the derivative with respect to the
+estimate ``xhat = u . v``; the gradients with respect to ``u`` and ``v``
+(eqs. 14–19) follow by the chain rule: ``dl/du = (dl/dxhat) * v`` and
+``dl/dv = (dl/dxhat) * u``.  As in the paper, the factor 2 of the L2 loss
+derivative is dropped for mathematical convenience, and the hinge "gradient"
+is a subgradient.
+
+All methods are vectorized: ``x`` and ``xhat`` may be scalars or arrays of
+matching (broadcastable) shape, and ``u``/``v`` may be single ``(r,)``
+vectors or batches ``(n, r)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Type
+
+import numpy as np
+from scipy.special import expit
+
+__all__ = [
+    "Loss",
+    "L2Loss",
+    "HingeLoss",
+    "LogisticLoss",
+    "get_loss",
+    "available_losses",
+]
+
+
+class Loss(ABC):
+    """Interface of a loss function ``l(x, xhat)``.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``"l2"``, ``"hinge"``, ``"logistic"``).
+    is_classification:
+        True for margin-based losses whose input labels are in {+1, -1}.
+    """
+
+    name: str = "abstract"
+    is_classification: bool = True
+
+    @abstractmethod
+    def value(self, x: np.ndarray, xhat: np.ndarray) -> np.ndarray:
+        """Loss value ``l(x, xhat)`` (elementwise)."""
+
+    @abstractmethod
+    def dvalue_dxhat(self, x: np.ndarray, xhat: np.ndarray) -> np.ndarray:
+        """Derivative of the loss with respect to the estimate ``xhat``."""
+
+    def grad_u(self, x: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Gradient of ``l(x, u . v)`` with respect to ``u``.
+
+        ``u`` and ``v`` may be ``(r,)`` vectors or ``(n, r)`` batches with
+        ``x`` of shape ``()`` or ``(n,)`` respectively.
+        """
+        u = np.asarray(u, dtype=float)
+        v = np.asarray(v, dtype=float)
+        xhat = np.sum(u * v, axis=-1)
+        scale = self.dvalue_dxhat(np.asarray(x, dtype=float), xhat)
+        return np.expand_dims(scale, -1) * v
+
+    def grad_v(self, x: np.ndarray, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Gradient of ``l(x, u . v)`` with respect to ``v``."""
+        u = np.asarray(u, dtype=float)
+        v = np.asarray(v, dtype=float)
+        xhat = np.sum(u * v, axis=-1)
+        scale = self.dvalue_dxhat(np.asarray(x, dtype=float), xhat)
+        return np.expand_dims(scale, -1) * u
+
+    def total(self, x: np.ndarray, xhat: np.ndarray) -> float:
+        """Sum of the elementwise loss over observed (finite) entries."""
+        x = np.asarray(x, dtype=float)
+        xhat = np.asarray(xhat, dtype=float)
+        mask = np.isfinite(x)
+        if not mask.any():
+            return 0.0
+        return float(np.sum(self.value(x[mask], xhat[mask])))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class L2Loss(Loss):
+    """Square loss ``(x - xhat)^2`` for quantity-based prediction.
+
+    The derivative used in the update rules drops the factor of 2, exactly
+    as the paper does below eq. 8, so ``dl/dxhat = -(x - xhat)`` and the
+    gradients match eqs. 18–19.
+    """
+
+    name = "l2"
+    is_classification = False
+
+    def value(self, x, xhat):
+        x = np.asarray(x, dtype=float)
+        xhat = np.asarray(xhat, dtype=float)
+        return (x - xhat) ** 2
+
+    def dvalue_dxhat(self, x, xhat):
+        x = np.asarray(x, dtype=float)
+        xhat = np.asarray(xhat, dtype=float)
+        return -(x - xhat)
+
+
+class HingeLoss(Loss):
+    """Hinge loss ``max(0, 1 - x * xhat)`` for class-based prediction.
+
+    The loss is not differentiable at the hinge; the subgradient is zero
+    for correctly classified samples with margin ``x * xhat >= 1`` and
+    ``-x`` otherwise (eqs. 14–15 give the resulting ``u``/``v`` gradients).
+    """
+
+    name = "hinge"
+    is_classification = True
+
+    def value(self, x, xhat):
+        x = np.asarray(x, dtype=float)
+        xhat = np.asarray(xhat, dtype=float)
+        return np.maximum(0.0, 1.0 - x * xhat)
+
+    def dvalue_dxhat(self, x, xhat):
+        x = np.asarray(x, dtype=float)
+        xhat = np.asarray(xhat, dtype=float)
+        active = (1.0 - x * xhat) > 0.0
+        return np.where(active, -x, 0.0)
+
+
+class LogisticLoss(Loss):
+    """Logistic loss ``ln(1 + exp(-x * xhat))`` — the paper's default.
+
+    ``value`` uses ``logaddexp`` and the derivative uses the logistic
+    sigmoid, both numerically stable for large margins of either sign.
+    The derivative is ``-x / (1 + exp(x * xhat))`` (eqs. 16–17).
+    """
+
+    name = "logistic"
+    is_classification = True
+
+    def value(self, x, xhat):
+        x = np.asarray(x, dtype=float)
+        xhat = np.asarray(xhat, dtype=float)
+        return np.logaddexp(0.0, -x * xhat)
+
+    def dvalue_dxhat(self, x, xhat):
+        x = np.asarray(x, dtype=float)
+        xhat = np.asarray(xhat, dtype=float)
+        return -x * expit(-x * xhat)
+
+
+_REGISTRY: Dict[str, Type[Loss]] = {
+    L2Loss.name: L2Loss,
+    HingeLoss.name: HingeLoss,
+    LogisticLoss.name: LogisticLoss,
+}
+
+_ALIASES: Dict[str, str] = {
+    "square": "l2",
+    "squared": "l2",
+    "mse": "l2",
+    "log": "logistic",
+}
+
+
+def available_losses() -> List[str]:
+    """Names of the registered loss functions."""
+    return sorted(_REGISTRY)
+
+
+def get_loss(loss: "str | Loss") -> Loss:
+    """Resolve a loss name (or pass an instance through).
+
+    Accepts the canonical names ``"l2"``, ``"hinge"``, ``"logistic"`` plus
+    a few aliases (``"square"``, ``"log"``, ...).
+    """
+    if isinstance(loss, Loss):
+        return loss
+    if not isinstance(loss, str):
+        raise TypeError(f"loss must be a name or Loss instance, got {type(loss)!r}")
+    key = loss.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]()
+    except KeyError:
+        raise ValueError(
+            f"unknown loss {loss!r}; available: {available_losses()}"
+        ) from None

@@ -1,0 +1,205 @@
+"""Multiclass extension: more than two performance classes.
+
+The paper's future-work section (Section 7) proposes extending the
+binary framework to multiple ordered classes (e.g. "excellent" /
+"acceptable" / "poor").  Performance classes are naturally *ordinal* —
+they come from cutting a quantity axis at thresholds
+``tau_1 < tau_2 < ... < tau_{C-1}`` — so this module uses the standard
+ordinal-decomposition scheme (Frank & Hall): train ``C - 1`` binary
+DMFSGD models, model ``m`` predicting "is the path's class better than
+class m?", and read the predicted class off the number of positive
+verdicts.  Each binary model is an unmodified
+:class:`~repro.core.engine.DMFSGDEngine`, so the extension remains fully
+decentralized: a node stores ``C - 1`` coordinate pairs.
+
+This module is an extension beyond the paper's evaluation; its bench
+(`benchmarks/test_ext_multiclass.py`) is marked accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.measurement.metrics import Metric
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+from repro.utils.validation import check_square_matrix
+
+__all__ = ["quantize_classes", "MulticlassDMFSGD"]
+
+
+def quantize_classes(
+    quantities: np.ndarray,
+    thresholds: Sequence[float],
+    metric: Union[str, Metric],
+) -> np.ndarray:
+    """Cut quantities into ordinal classes ``0 .. C-1`` (higher = better).
+
+    Parameters
+    ----------
+    quantities:
+        Quantity matrix (NaN passes through).
+    thresholds:
+        Strictly increasing quantity cut points; ``C = len + 1`` classes
+        result.
+    metric:
+        Orientation: for RTT, *smaller* quantities get *higher* class
+        indices; for ABW, larger quantities do.
+    """
+    metric = Metric.parse(metric)
+    thresholds = np.asarray(sorted(float(t) for t in thresholds))
+    if thresholds.size == 0:
+        raise ValueError("need at least one threshold")
+    if np.unique(thresholds).size != thresholds.size:
+        raise ValueError("thresholds must be distinct")
+    quantities = np.asarray(quantities, dtype=float)
+    # number of thresholds the quantity clears, oriented so that higher
+    # class index always means better performance
+    if metric.higher_is_better:
+        ranks = np.searchsorted(thresholds, quantities, side="right")
+    else:
+        ranks = thresholds.size - np.searchsorted(
+            thresholds, quantities, side="left"
+        )
+    classes = ranks.astype(float)
+    classes[~np.isfinite(quantities)] = np.nan
+    return classes
+
+
+class MulticlassDMFSGD:
+    """Ordinal multiclass prediction from ``C - 1`` binary DMFSGD models.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    class_matrix:
+        ``(n, n)`` ordinal classes from :func:`quantize_classes`
+        (NaN = unobserved).
+    n_classes:
+        Number of classes ``C``; inferred from the matrix when omitted.
+    config:
+        Shared binary-model hyper-parameters.
+    metric:
+        RTT/ABW — forwarded to each binary engine to pick the update
+        family.
+    rng:
+        Seed; each binary model gets an independent child generator but
+        they share one neighbor-set realization (a node probes the same
+        neighbors for all boundary models — one probe yields all
+        boundary labels at once, so measurement cost stays that of a
+        single binary deployment).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        class_matrix: np.ndarray,
+        *,
+        n_classes: Optional[int] = None,
+        config: Optional[DMFSGDConfig] = None,
+        metric: Union[str, Metric] = Metric.RTT,
+        rng: RngLike = None,
+    ) -> None:
+        class_matrix = check_square_matrix(
+            np.asarray(class_matrix, dtype=float), "class_matrix"
+        )
+        if class_matrix.shape[0] != n:
+            raise ValueError(
+                f"class_matrix is {class_matrix.shape}, expected ({n}, {n})"
+            )
+        observed = class_matrix[np.isfinite(class_matrix)]
+        if observed.size == 0:
+            raise ValueError("class matrix has no observed entries")
+        if np.any(observed != np.round(observed)) or observed.min() < 0:
+            raise ValueError("classes must be non-negative integers")
+        inferred = int(observed.max()) + 1
+        self.n_classes = int(n_classes) if n_classes else inferred
+        if self.n_classes < 2:
+            raise ValueError(f"need >= 2 classes, got {self.n_classes}")
+        if inferred > self.n_classes:
+            raise ValueError(
+                f"matrix contains class {inferred - 1} but n_classes="
+                f"{self.n_classes}"
+            )
+        self.n = int(n)
+        self.config = config or DMFSGDConfig()
+        self.metric = Metric.parse(metric)
+        self.class_matrix = class_matrix
+
+        master = ensure_rng(rng)
+        child_rngs = spawn_rngs(master, self.n_classes - 1)
+        # one shared neighbor realization across boundary models
+        from repro.simnet.neighbors import sample_neighbor_sets
+
+        neighbor_sets = sample_neighbor_sets(
+            self.n, self.config.neighbors, master
+        )
+
+        self.engines: List[DMFSGDEngine] = []
+        for boundary in range(self.n_classes - 1):
+            # binary question: is the class strictly better than `boundary`?
+            labels = np.where(class_matrix > boundary, 1.0, -1.0)
+            labels[~np.isfinite(class_matrix)] = np.nan
+            self.engines.append(
+                DMFSGDEngine(
+                    self.n,
+                    matrix_label_fn(labels),
+                    self.config,
+                    metric=self.metric,
+                    rng=child_rngs[boundary],
+                    neighbor_sets=neighbor_sets,
+                )
+            )
+
+    def train(self, rounds: int) -> "MulticlassDMFSGD":
+        """Train every boundary model for ``rounds`` probing rounds."""
+        for engine in self.engines:
+            engine.run(rounds)
+        return self
+
+    def decision_matrices(self) -> List[np.ndarray]:
+        """Per-boundary real-valued margins."""
+        return [e.coordinates.estimate_matrix() for e in self.engines]
+
+    def predict_classes(self) -> np.ndarray:
+        """Predicted ordinal class = number of positive boundary verdicts.
+
+        The monotonicity of ordinal decomposition is enforced implicitly:
+        counting positive verdicts is robust to individual boundary
+        inversions.
+        """
+        votes = np.zeros((self.n, self.n))
+        for margins in self.decision_matrices():
+            votes += (margins > 0).astype(float)
+        np.fill_diagonal(votes, np.nan)
+        return votes
+
+    def accuracy(self, mask: Optional[np.ndarray] = None) -> float:
+        """Exact-class accuracy over observed (optionally masked) pairs."""
+        predicted = self.predict_classes()
+        truth = self.class_matrix
+        valid = np.isfinite(truth) & np.isfinite(predicted)
+        if mask is not None:
+            valid &= np.asarray(mask, dtype=bool)
+        if not valid.any():
+            raise ValueError("no pairs to evaluate")
+        return float(np.mean(predicted[valid] == truth[valid]))
+
+    def off_by_at_most(self, distance: int, mask: Optional[np.ndarray] = None) -> float:
+        """Fraction of pairs predicted within ``distance`` classes."""
+        if distance < 0:
+            raise ValueError(f"distance must be >= 0, got {distance}")
+        predicted = self.predict_classes()
+        truth = self.class_matrix
+        valid = np.isfinite(truth) & np.isfinite(predicted)
+        if mask is not None:
+            valid &= np.asarray(mask, dtype=bool)
+        if not valid.any():
+            raise ValueError("no pairs to evaluate")
+        return float(
+            np.mean(np.abs(predicted[valid] - truth[valid]) <= distance)
+        )

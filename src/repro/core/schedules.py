@@ -1,0 +1,72 @@
+"""Learning-rate schedules for SGD (ablation of the paper's constant eta).
+
+The paper uses a constant ``eta = 0.1`` throughout.  Stochastic
+approximation theory [Bottou; paper ref. 3] prescribes decaying steps
+for convergence *to a point* under noisy gradients; with clean labels a
+constant step converges fast and then hovers, which is exactly what the
+paper's dynamic setting wants (stale coordinates keep adapting).  The
+schedules here let the ablation bench quantify that trade-off:
+
+* :func:`constant` — the paper's choice;
+* :func:`inverse_sqrt` — ``eta_t = eta / sqrt(1 + t / t0)``, the
+  classic Robbins-Monro compatible decay;
+* :func:`inverse_time` — ``eta_t = eta / (1 + t / t0)``, aggressive
+  decay for stationary problems.
+
+All return a multiplier callable ``schedule(round_index) -> float`` to
+plug into :class:`~repro.core.engine.DMFSGDEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["constant", "inverse_sqrt", "inverse_time", "get_schedule"]
+
+Schedule = Callable[[int], float]
+
+
+def constant() -> Schedule:
+    """The paper's constant learning rate (multiplier 1 forever)."""
+
+    def schedule(round_index: int) -> float:  # noqa: ARG001
+        return 1.0
+
+    return schedule
+
+
+def inverse_sqrt(t0: float = 100.0) -> Schedule:
+    """``1 / sqrt(1 + t / t0)`` decay.
+
+    ``t0`` sets how many rounds pass before decay becomes noticeable.
+    """
+    if t0 <= 0:
+        raise ValueError(f"t0 must be positive, got {t0}")
+
+    def schedule(round_index: int) -> float:
+        return 1.0 / (1.0 + round_index / t0) ** 0.5
+
+    return schedule
+
+
+def inverse_time(t0: float = 100.0) -> Schedule:
+    """``1 / (1 + t / t0)`` decay."""
+    if t0 <= 0:
+        raise ValueError(f"t0 must be positive, got {t0}")
+
+    def schedule(round_index: int) -> float:
+        return 1.0 / (1.0 + round_index / t0)
+
+    return schedule
+
+
+def get_schedule(name: str, t0: float = 100.0) -> Schedule:
+    """Resolve a schedule by name (``constant``/``inverse_sqrt``/``inverse_time``)."""
+    key = name.strip().lower()
+    if key == "constant":
+        return constant()
+    if key in ("inverse_sqrt", "invsqrt", "1/sqrt"):
+        return inverse_sqrt(t0)
+    if key in ("inverse_time", "invtime", "1/t"):
+        return inverse_time(t0)
+    raise ValueError(f"unknown schedule {name!r}")

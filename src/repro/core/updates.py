@@ -1,0 +1,108 @@
+"""SGD update rules (paper eqs. 9–10 and 12–13).
+
+Two families of updates exist because of the different measurement
+methodologies (Section 5.2):
+
+* **RTT** is symmetric and inferred by the *sender*: when node ``i``
+  measures ``x_ij`` it can update both its ``u_i`` (because ``x_ij`` is an
+  observation of ``u_i . v_j``) and its ``v_i`` (because ``x_ji = x_ij``
+  is an observation of ``u_j . v_i``).  This requires ``u_j`` and ``v_j``
+  shipped back in the probe reply (Algorithm 1).
+* **ABW** is asymmetric and inferred by the *target*: node ``j`` learns
+  ``x_ij`` and sends it to node ``i`` along with ``v_j``; node ``j``
+  updates its own ``v_j`` and node ``i`` updates its ``u_i``
+  (Algorithm 2).
+
+All functions are pure: they return new vectors and never mutate their
+inputs, which keeps the message-level protocol easy to reason about.  The
+shared shrinkage factor ``(1 - eta * lambda)`` implements the weight decay
+induced by the regularization terms of eq. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.losses import Loss
+
+__all__ = ["rtt_update", "abw_update_prober", "abw_update_target"]
+
+
+def _validate_step(eta: float, lam: float) -> None:
+    if eta <= 0:
+        raise ValueError(f"learning rate eta must be > 0, got {eta}")
+    if lam < 0:
+        raise ValueError(f"regularization lambda must be >= 0, got {lam}")
+
+
+def rtt_update(
+    u_i: np.ndarray,
+    v_i: np.ndarray,
+    u_j: np.ndarray,
+    v_j: np.ndarray,
+    x_ij: float,
+    loss: Loss,
+    eta: float,
+    lam: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One RTT update at node ``i`` (eqs. 9 and 10).
+
+    Parameters
+    ----------
+    u_i, v_i:
+        Node ``i``'s own coordinates (not modified).
+    u_j, v_j:
+        Node ``j``'s coordinates as received in the probe reply.
+    x_ij:
+        The measured class (+1/-1) or quantity between ``i`` and ``j``;
+        symmetry means it serves as both ``x_ij`` and ``x_ji``.
+    loss:
+        Loss object providing the gradients.
+    eta, lam:
+        Learning rate and regularization coefficient.
+
+    Returns
+    -------
+    (new_u_i, new_v_i)
+    """
+    _validate_step(eta, lam)
+    shrink = 1.0 - eta * lam
+    new_u = shrink * u_i - eta * loss.grad_u(x_ij, u_i, v_j)
+    new_v = shrink * v_i - eta * loss.grad_v(x_ij, u_j, v_i)
+    return new_u, new_v
+
+
+def abw_update_prober(
+    u_i: np.ndarray,
+    v_j: np.ndarray,
+    x_ij: float,
+    loss: Loss,
+    eta: float,
+    lam: float,
+) -> np.ndarray:
+    """ABW update of ``u_i`` at the probing node ``i`` (eq. 12).
+
+    Node ``i`` receives ``x_ij`` and ``v_j`` from the target and refines
+    its row factor.
+    """
+    _validate_step(eta, lam)
+    return (1.0 - eta * lam) * u_i - eta * loss.grad_u(x_ij, u_i, v_j)
+
+
+def abw_update_target(
+    u_i: np.ndarray,
+    v_j: np.ndarray,
+    x_ij: float,
+    loss: Loss,
+    eta: float,
+    lam: float,
+) -> np.ndarray:
+    """ABW update of ``v_j`` at the target node ``j`` (eq. 13).
+
+    Node ``j`` infers ``x_ij`` locally (it observes whether the probe
+    train congested the path) using the ``u_i`` shipped with the probe.
+    """
+    _validate_step(eta, lam)
+    return (1.0 - eta * lam) * v_j - eta * loss.grad_v(x_ij, u_i, v_j)

@@ -1,0 +1,181 @@
+"""Dataset container shared by all three dataset families.
+
+A :class:`PerformanceDataset` is the ground truth an experiment runs
+against: an ``(n, n)`` quantity matrix (NaN = unobserved / diagonal), the
+metric semantics, and helpers for thresholding that implement the paper's
+Table 1 conventions (``tau`` as a percentile of the observed values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.measurement.classifier import (
+    threshold_classify,
+    threshold_for_good_fraction,
+)
+from repro.measurement.metrics import Metric
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_square_matrix
+
+__all__ = ["PerformanceDataset"]
+
+
+@dataclass
+class PerformanceDataset:
+    """Ground-truth pairwise performance quantities.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``"harvard"``, ``"meridian"``, ``"hps3"`` or
+        a custom name).
+    metric:
+        :class:`~repro.measurement.metrics.Metric` of the quantities.
+    quantities:
+        ``(n, n)`` float array; NaN marks unobserved entries and the
+        diagonal is always NaN (paths to self are undefined, Fig. 2).
+    description:
+        Free-text provenance note (what was synthesized and how).
+    """
+
+    name: str
+    metric: Metric
+    quantities: np.ndarray
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.metric = Metric.parse(self.metric)
+        matrix = check_square_matrix(
+            np.asarray(self.quantities, dtype=float), "quantities"
+        ).copy()
+        np.fill_diagonal(matrix, np.nan)
+        finite = matrix[np.isfinite(matrix)]
+        if finite.size == 0:
+            raise ValueError("dataset has no observed entries")
+        if (finite < 0).any():
+            raise ValueError("performance quantities must be non-negative")
+        self.quantities = matrix
+
+    # ------------------------------------------------------------------
+    # basic geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.quantities.shape[0]
+
+    def observed_mask(self) -> np.ndarray:
+        """Boolean mask of observed (finite, off-diagonal) entries."""
+        return np.isfinite(self.quantities)
+
+    def density(self) -> float:
+        """Fraction of observed off-diagonal entries."""
+        off_diag = self.n * (self.n - 1)
+        return float(self.observed_mask().sum()) / off_diag
+
+    def observed_values(self) -> np.ndarray:
+        """1-D array of the observed quantities."""
+        return self.quantities[self.observed_mask()]
+
+    def quantity(self, i: int, j: int) -> float:
+        """Ground-truth quantity from ``i`` to ``j`` (NaN if unobserved)."""
+        return float(self.quantities[i, j])
+
+    # ------------------------------------------------------------------
+    # thresholds and class matrices (Table 1 conventions)
+    # ------------------------------------------------------------------
+
+    def median(self) -> float:
+        """Median of the observed quantities (the paper's default tau)."""
+        return float(np.median(self.observed_values()))
+
+    def tau_for_good_fraction(self, good_fraction: float) -> float:
+        """The tau that makes ``good_fraction`` of observed paths good."""
+        return threshold_for_good_fraction(
+            self.observed_values(), good_fraction, self.metric
+        )
+
+    def class_matrix(self, tau: Optional[float] = None) -> np.ndarray:
+        """{+1, -1, NaN} matrix under threshold ``tau`` (default median)."""
+        if tau is None:
+            tau = self.median()
+        return threshold_classify(self.quantities, tau, self.metric)
+
+    def good_fraction(self, tau: Optional[float] = None) -> float:
+        """Fraction of observed paths that are good under ``tau``."""
+        if tau is None:
+            tau = self.median()
+        values = self.observed_values()
+        return float(np.mean(self.metric.is_good(values, tau)))
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+
+    def symmetrized(self) -> "PerformanceDataset":
+        """Average with the transpose (used for RTT sanity checks)."""
+        forward, backward = self.quantities, self.quantities.T
+        avg = np.where(
+            np.isnan(forward),
+            backward,
+            np.where(np.isnan(backward), forward, 0.5 * (forward + backward)),
+        )
+        return PerformanceDataset(
+            name=self.name,
+            metric=self.metric,
+            quantities=avg,
+            description=self.description + " (symmetrized)",
+        )
+
+    def subsample(self, m: int, rng: RngLike = None) -> "PerformanceDataset":
+        """Random principal submatrix of ``m`` nodes.
+
+        Used e.g. by the Fig. 1 bench, which analyzes a 2255-node
+        extraction of Meridian and a 201-node extraction of HP-S3.
+        """
+        if not 0 < m <= self.n:
+            raise ValueError(f"m must be in (0, {self.n}], got {m}")
+        generator = ensure_rng(rng)
+        idx = np.sort(generator.choice(self.n, size=m, replace=False))
+        return PerformanceDataset(
+            name=f"{self.name}[{m}]",
+            metric=self.metric,
+            quantities=self.quantities[np.ix_(idx, idx)],
+            description=self.description + f" (random {m}-node subsample)",
+        )
+
+    def with_missing(
+        self, missing_fraction: float, rng: RngLike = None
+    ) -> "PerformanceDataset":
+        """Blank out a random fraction of the observed entries."""
+        if not 0.0 <= missing_fraction < 1.0:
+            raise ValueError(
+                f"missing_fraction must be in [0, 1), got {missing_fraction}"
+            )
+        generator = ensure_rng(rng)
+        matrix = self.quantities.copy()
+        observed = np.argwhere(np.isfinite(matrix))
+        count = int(round(missing_fraction * len(observed)))
+        if count:
+            chosen = observed[
+                generator.choice(len(observed), size=count, replace=False)
+            ]
+            matrix[chosen[:, 0], chosen[:, 1]] = np.nan
+        return PerformanceDataset(
+            name=self.name,
+            metric=self.metric,
+            quantities=matrix,
+            description=self.description
+            + f" ({missing_fraction:.0%} entries blanked)",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PerformanceDataset(name={self.name!r}, metric={self.metric.value!r}, "
+            f"n={self.n}, density={self.density():.2f})"
+        )

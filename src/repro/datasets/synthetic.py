@@ -1,0 +1,156 @@
+"""Controlled synthetic matrices for validation and theory checks.
+
+The transit-stub datasets are realistic but uncontrolled; when a test
+needs to *know* the ground-truth structure (exact rank, planted
+blocks, known noise level), these generators provide it:
+
+* :func:`exact_low_rank_classes` — a ±1 matrix that is exactly the
+  sign of a rank-``r`` product, the idealized input for which matrix
+  completion should approach perfect recovery;
+* :func:`planted_blocks` — a block-community class matrix (nodes in
+  the same group are "good" to each other), the caricature of
+  geographic clustering with analytically known rank;
+* :func:`noisy_low_rank_quantities` — a rank-``r`` non-negative
+  quantity matrix plus controlled multiplicative noise, for regression
+  (L2) validation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_probability, check_rank
+
+__all__ = [
+    "exact_low_rank_classes",
+    "planted_blocks",
+    "noisy_low_rank_quantities",
+]
+
+
+def exact_low_rank_classes(
+    n: int,
+    rank: int,
+    rng: RngLike = None,
+    *,
+    flip_probability: float = 0.0,
+    symmetric: bool = False,
+) -> np.ndarray:
+    """±1 matrix that is exactly ``sign(U V^T)`` for rank-``r`` factors.
+
+    Parameters
+    ----------
+    n:
+        Matrix size.
+    rank:
+        Rank of the underlying real-valued matrix.
+    rng:
+        Seed or generator.
+    flip_probability:
+        Optional label noise applied after signing.
+    symmetric:
+        Use ``V = U`` so the sign matrix is symmetric — required when
+        the matrix will be consumed by the symmetric (RTT) update
+        rules, which treat ``x_ij`` as ``x_ji``.  The default
+        asymmetric matrix matches the ABW semantics.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, n)`` of {+1, -1} with NaN diagonal.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    rank = check_rank(rank, n)
+    check_probability(flip_probability, "flip_probability")
+    generator = ensure_rng(rng)
+    U = generator.normal(size=(n, rank))
+    V = U if symmetric else generator.normal(size=(n, rank))
+    product = U @ V.T
+    # exact zeros are measure-zero but guard against them anyway
+    product[product == 0.0] = 1e-12
+    labels = np.sign(product)
+    if flip_probability:
+        flips = generator.random((n, n)) < flip_probability
+        labels[flips] = -labels[flips]
+    labels = labels.astype(float)
+    np.fill_diagonal(labels, np.nan)
+    return labels
+
+
+def planted_blocks(
+    n: int,
+    groups: int,
+    rng: RngLike = None,
+    *,
+    inter_good_probability: float = 0.0,
+    return_assignment: bool = False,
+) -> "np.ndarray | Tuple[np.ndarray, np.ndarray]":
+    """Block-community class matrix: same-group pairs are "good".
+
+    The resulting ±1 matrix has rank at most ``groups`` + 1 in the
+    real-valued sense — the idealized version of "nearby nodes have
+    good paths to each other".
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    groups:
+        Number of equally likely communities.
+    inter_good_probability:
+        Chance that a cross-group pair is nevertheless good (blurs the
+        blocks; 0 gives the pure planted structure).
+    return_assignment:
+        Also return the group index per node.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if groups < 1:
+        raise ValueError(f"groups must be >= 1, got {groups}")
+    check_probability(inter_good_probability, "inter_good_probability")
+    generator = ensure_rng(rng)
+    assignment = generator.integers(0, groups, size=n)
+    same = assignment[:, None] == assignment[None, :]
+    labels = np.where(same, 1.0, -1.0)
+    if inter_good_probability:
+        blur = (~same) & (generator.random((n, n)) < inter_good_probability)
+        labels[blur] = 1.0
+    np.fill_diagonal(labels, np.nan)
+    if return_assignment:
+        return labels, assignment
+    return labels
+
+
+def noisy_low_rank_quantities(
+    n: int,
+    rank: int,
+    rng: RngLike = None,
+    *,
+    noise_sigma: float = 0.0,
+    scale: float = 100.0,
+) -> np.ndarray:
+    """Non-negative rank-``r`` quantity matrix with lognormal noise.
+
+    Built as ``exp`` of a low-rank Gaussian product rescaled to the
+    requested median ``scale`` — always positive, heavy-tailed like
+    real RTTs, and exactly low rank in log-space.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    rank = check_rank(rank, n)
+    if noise_sigma < 0:
+        raise ValueError(f"noise_sigma must be >= 0, got {noise_sigma}")
+    generator = ensure_rng(rng)
+    U = generator.normal(size=(n, rank)) / np.sqrt(rank)
+    V = generator.normal(size=(n, rank)) / np.sqrt(rank)
+    quantities = np.exp(U @ V.T)
+    if noise_sigma:
+        quantities *= generator.lognormal(0.0, noise_sigma, size=(n, n))
+    median = float(np.median(quantities))
+    quantities *= scale / median
+    np.fill_diagonal(quantities, np.nan)
+    return quantities

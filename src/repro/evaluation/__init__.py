@@ -1,0 +1,62 @@
+"""Evaluation criteria (paper Section 6.1) and matrix-rank analysis.
+
+* :mod:`repro.evaluation.roc` — ROC curves and AUC (the paper's primary
+  accuracy criterion).
+* :mod:`repro.evaluation.precision_recall` — precision-recall curves.
+* :mod:`repro.evaluation.confusion` — confusion matrices and accuracy
+  rates (Table 2).
+* :mod:`repro.evaluation.rank` — singular-value spectra and effective
+  rank (Fig. 1).
+* :mod:`repro.evaluation.stretch` — peer-selection stretch and
+  satisfaction criteria (Section 6.4).
+"""
+
+from repro.evaluation.calibration import (
+    brier_score,
+    expected_calibration_error,
+    predicted_probability,
+    reliability_curve,
+)
+from repro.evaluation.confusion import (
+    ConfusionMatrix,
+    accuracy_score,
+    confusion_matrix,
+)
+from repro.evaluation.precision_recall import (
+    average_precision,
+    precision_recall_curve,
+)
+from repro.evaluation.rank import (
+    effective_rank,
+    low_rank_relative_error,
+    normalized_singular_values,
+)
+from repro.evaluation.roc import auc_score, roc_curve
+from repro.evaluation.significance import (
+    BootstrapResult,
+    auc_confidence_interval,
+    bootstrap_metric,
+)
+from repro.evaluation.stretch import stretch_ratio, unsatisfied
+
+__all__ = [
+    "roc_curve",
+    "auc_score",
+    "precision_recall_curve",
+    "average_precision",
+    "confusion_matrix",
+    "ConfusionMatrix",
+    "accuracy_score",
+    "normalized_singular_values",
+    "effective_rank",
+    "low_rank_relative_error",
+    "stretch_ratio",
+    "unsatisfied",
+    "predicted_probability",
+    "brier_score",
+    "reliability_curve",
+    "expected_calibration_error",
+    "BootstrapResult",
+    "bootstrap_metric",
+    "auc_confidence_interval",
+]

@@ -1,0 +1,108 @@
+"""Probability calibration of class predictions.
+
+The logistic loss gives DMFSGD's raw outputs a probabilistic reading:
+``P(good) = sigmoid(xhat)``.  Applications that rank peers only need
+the ordering (Section 6.4), but admission-control-style consumers
+("accept the path if P(good) > 90%") need the probabilities to be
+*calibrated*.  This module provides the standard diagnostics:
+
+* :func:`predicted_probability` — margins to probabilities;
+* :func:`brier_score` — mean squared probability error;
+* :func:`reliability_curve` — binned predicted-vs-empirical rates;
+* :func:`expected_calibration_error` — the weighted gap summary.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy.special import expit
+
+from repro.utils.validation import check_binary_labels
+
+__all__ = [
+    "predicted_probability",
+    "brier_score",
+    "reliability_curve",
+    "expected_calibration_error",
+]
+
+
+def predicted_probability(margins: np.ndarray) -> np.ndarray:
+    """``P(good) = sigmoid(xhat)`` (NaN margins pass through)."""
+    margins = np.asarray(margins, dtype=float)
+    probabilities = expit(margins)
+    return np.where(np.isfinite(margins), probabilities, np.nan)
+
+
+def _paired(labels: np.ndarray, probabilities: np.ndarray):
+    labels = check_binary_labels(np.asarray(labels, dtype=float)).ravel()
+    probabilities = np.asarray(probabilities, dtype=float).ravel()
+    if labels.shape != probabilities.shape:
+        raise ValueError("labels and probabilities must have matching shapes")
+    mask = np.isfinite(labels) & np.isfinite(probabilities)
+    if not mask.any():
+        raise ValueError("no observed pairs")
+    probabilities = probabilities[mask]
+    if ((probabilities < 0) | (probabilities > 1)).any():
+        raise ValueError("probabilities must lie in [0, 1]")
+    outcomes = (labels[mask] == 1.0).astype(float)
+    return outcomes, probabilities
+
+
+def brier_score(labels: np.ndarray, probabilities: np.ndarray) -> float:
+    """Mean squared error between P(good) and the {0, 1} outcome.
+
+    0 is perfect; 0.25 is the score of a constant 0.5 forecast on
+    balanced classes.
+    """
+    outcomes, probabilities = _paired(labels, probabilities)
+    return float(np.mean((probabilities - outcomes) ** 2))
+
+
+def reliability_curve(
+    labels: np.ndarray,
+    probabilities: np.ndarray,
+    bins: int = 10,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Binned calibration diagram.
+
+    Returns
+    -------
+    (mean_predicted, empirical_rate, counts):
+        Per non-empty probability bin: the average forecast, the
+        observed good-rate and the bin population.
+    """
+    if bins <= 0:
+        raise ValueError(f"bins must be positive, got {bins}")
+    outcomes, probabilities = _paired(labels, probabilities)
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    indices = np.clip(np.digitize(probabilities, edges) - 1, 0, bins - 1)
+
+    mean_predicted, empirical, counts = [], [], []
+    for b in range(bins):
+        mask = indices == b
+        if not mask.any():
+            continue
+        mean_predicted.append(float(probabilities[mask].mean()))
+        empirical.append(float(outcomes[mask].mean()))
+        counts.append(int(mask.sum()))
+    return (
+        np.asarray(mean_predicted),
+        np.asarray(empirical),
+        np.asarray(counts),
+    )
+
+
+def expected_calibration_error(
+    labels: np.ndarray,
+    probabilities: np.ndarray,
+    bins: int = 10,
+) -> float:
+    """Population-weighted mean |forecast - empirical| over bins (ECE)."""
+    mean_predicted, empirical, counts = reliability_curve(
+        labels, probabilities, bins
+    )
+    weights = counts / counts.sum()
+    return float(np.sum(weights * np.abs(mean_predicted - empirical)))

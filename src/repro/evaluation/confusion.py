@@ -1,0 +1,133 @@
+"""Confusion matrices and accuracy rates (paper Table 2).
+
+Predicted classes are obtained by taking the sign of ``xhat``; the
+confusion matrix counts Actual x Predicted combinations.  The paper
+reports the matrix *row-normalized* (each actual class summing to 100%)
+together with the overall accuracy rate, so :class:`ConfusionMatrix`
+exposes both views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_binary_labels
+
+__all__ = ["ConfusionMatrix", "confusion_matrix", "accuracy_score"]
+
+
+def _paired(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = check_binary_labels(np.asarray(y_true, dtype=float), "y_true").ravel()
+    y_pred = check_binary_labels(np.asarray(y_pred, dtype=float), "y_pred").ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true and y_pred must match, got {y_true.shape} vs {y_pred.shape}"
+        )
+    mask = np.isfinite(y_true) & np.isfinite(y_pred)
+    if not mask.any():
+        raise ValueError("no observed label pairs")
+    return y_true[mask], y_pred[mask]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """2x2 confusion counts for the {good=+1, bad=-1} classes.
+
+    Attributes use the standard names with "positive" meaning "good":
+    ``tp`` (good predicted good), ``fn`` (good predicted bad), ``fp``
+    (bad predicted good), ``tn`` (bad predicted bad).
+    """
+
+    tp: int
+    fn: int
+    fp: int
+    tn: int
+
+    @property
+    def total(self) -> int:
+        """Number of evaluated pairs."""
+        return self.tp + self.fn + self.fp + self.tn
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions."""
+        if self.total == 0:
+            raise ValueError("empty confusion matrix")
+        return (self.tp + self.tn) / self.total
+
+    @property
+    def true_positive_rate(self) -> float:
+        """Good predicted good / all good (recall of the good class)."""
+        actual_good = self.tp + self.fn
+        if actual_good == 0:
+            raise ValueError("no actual-good samples")
+        return self.tp / actual_good
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Bad predicted good / all bad."""
+        actual_bad = self.fp + self.tn
+        if actual_bad == 0:
+            raise ValueError("no actual-bad samples")
+        return self.fp / actual_bad
+
+    @property
+    def true_negative_rate(self) -> float:
+        """Bad predicted bad / all bad."""
+        return 1.0 - self.false_positive_rate
+
+    @property
+    def precision(self) -> float:
+        """Good predicted good / all predicted good."""
+        predicted_good = self.tp + self.fp
+        if predicted_good == 0:
+            raise ValueError("no predicted-good samples")
+        return self.tp / predicted_good
+
+    def row_normalized(self) -> np.ndarray:
+        """The percentage view the paper prints in Table 2.
+
+        Rows are Actual (good, bad); columns are Predicted (good, bad);
+        each row sums to 1.
+        """
+        rows = np.array(
+            [[self.tp, self.fn], [self.fp, self.tn]], dtype=float
+        )
+        sums = rows.sum(axis=1, keepdims=True)
+        if (sums == 0).any():
+            raise ValueError("a class has no samples; cannot normalize rows")
+        return rows / sums
+
+    def as_text(self) -> str:
+        """Human-readable rendering in the paper's layout."""
+        norm = self.row_normalized() * 100.0
+        lines = [
+            f"Accuracy={self.accuracy * 100:.1f}%   Predicted",
+            '                  "Good"   "Bad"',
+            f'Actual "Good"     {norm[0, 0]:5.1f}%  {norm[0, 1]:5.1f}%',
+            f'       "Bad"      {norm[1, 0]:5.1f}%  {norm[1, 1]:5.1f}%',
+        ]
+        return "\n".join(lines)
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionMatrix:
+    """Count the four Actual x Predicted combinations.
+
+    NaN entries in either input (unobserved pairs) are dropped so the
+    function applies directly to class matrices.
+    """
+    y_true, y_pred = _paired(y_true, y_pred)
+    return ConfusionMatrix(
+        tp=int(np.sum((y_true == 1.0) & (y_pred == 1.0))),
+        fn=int(np.sum((y_true == 1.0) & (y_pred == -1.0))),
+        fp=int(np.sum((y_true == -1.0) & (y_pred == 1.0))),
+        tn=int(np.sum((y_true == -1.0) & (y_pred == -1.0))),
+    )
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct class predictions over observed pairs."""
+    return confusion_matrix(y_true, y_pred).accuracy

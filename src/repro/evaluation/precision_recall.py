@@ -1,0 +1,67 @@
+"""Precision-recall curves (paper Section 6.1, Fig. 5b).
+
+Precision for the positive ("good") class is TP / (TP + FP); recall is
+the true positive rate.  The curve is traced by sweeping the
+discrimination threshold ``tau_c`` over the prediction values, like the
+ROC curve.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.evaluation.roc import _clean
+
+__all__ = ["precision_recall_curve", "average_precision"]
+
+
+def precision_recall_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision-recall curve of a binary scorer.
+
+    Parameters
+    ----------
+    y_true:
+        True classes in {+1, -1}; NaN pairs are dropped.
+    scores:
+        Real-valued predictions (higher = more "good").
+
+    Returns
+    -------
+    (precision, recall, thresholds):
+        Points ordered by decreasing threshold, i.e. increasing recall;
+        recall spans (0, 1] provided positives exist.
+    """
+    y_true, scores = _clean(y_true, scores)
+    positives = float(np.sum(y_true == 1.0))
+    if positives == 0:
+        raise ValueError("precision-recall needs positive samples")
+
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_scores = scores[order]
+    sorted_true = y_true[order]
+
+    distinct = np.nonzero(np.diff(sorted_scores))[0]
+    cut = np.concatenate([distinct, [y_true.size - 1]])
+
+    tps = np.cumsum(sorted_true == 1.0)[cut]
+    predicted_positive = cut + 1.0
+
+    precision = tps / predicted_positive
+    recall = tps / positives
+    thresholds = sorted_scores[cut]
+    return precision, recall, thresholds
+
+
+def average_precision(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the precision-recall curve (step interpolation).
+
+    Computed as ``sum_k (R_k - R_{k-1}) * P_k`` over the curve points,
+    the standard average-precision estimator.
+    """
+    precision, recall, _ = precision_recall_curve(y_true, scores)
+    recall_steps = np.diff(np.concatenate([[0.0], recall]))
+    return float(np.sum(recall_steps * precision))

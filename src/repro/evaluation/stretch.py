@@ -1,0 +1,66 @@
+"""Peer-selection evaluation criteria (paper Section 6.4).
+
+* **Stretch** ``s_i = x_{i,selected} / x_{i,best}`` measures
+  *optimality*: >= 1 for RTT, <= 1 for ABW, 1 is perfect.
+* **Unsatisfied nodes** measure *satisfaction*: a node is unsatisfied
+  when it selects a "bad" peer although a "good" peer existed in its
+  peer set.  Nodes whose peer set contains no good peer are excluded —
+  no satisfactory choice was possible.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.measurement.metrics import Metric
+
+__all__ = ["stretch_ratio", "unsatisfied"]
+
+
+def stretch_ratio(
+    selected_quantity: np.ndarray,
+    best_quantity: np.ndarray,
+    metric: Union[str, Metric],
+) -> np.ndarray:
+    """Elementwise stretch ``x_selected / x_best``.
+
+    The metric argument only validates the orientation claim of the
+    paper (stretch >= 1 for RTT, <= 1 for ABW) in debug contexts; the
+    ratio itself is metric-independent.
+    """
+    Metric.parse(metric)  # validate the metric name early
+    selected = np.asarray(selected_quantity, dtype=float)
+    best = np.asarray(best_quantity, dtype=float)
+    if np.any(best == 0):
+        raise ValueError("best quantities must be nonzero")
+    return selected / best
+
+
+def unsatisfied(
+    selected_is_good: np.ndarray,
+    any_good_available: np.ndarray,
+) -> float:
+    """Fraction of unsatisfied nodes among those that could be satisfied.
+
+    Parameters
+    ----------
+    selected_is_good:
+        Boolean per node: the peer it selected is truly good.
+    any_good_available:
+        Boolean per node: its peer set contained at least one good peer.
+
+    Returns
+    -------
+    float
+        ``P(not selected_is_good | any_good_available)``.
+    """
+    selected_is_good = np.asarray(selected_is_good, dtype=bool)
+    any_good_available = np.asarray(any_good_available, dtype=bool)
+    if selected_is_good.shape != any_good_available.shape:
+        raise ValueError("inputs must have matching shapes")
+    eligible = any_good_available
+    if not eligible.any():
+        raise ValueError("no node had a good peer available")
+    return float(np.mean(~selected_is_good[eligible]))

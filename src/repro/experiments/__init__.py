@@ -1,0 +1,30 @@
+"""Runnable experiment definitions, one per paper table/figure.
+
+Every module exposes ``run(...) -> dict`` returning the rows/series the
+paper reports, plus a ``format_result`` helper used by the benchmark
+harness to print them.  The benches in ``benchmarks/`` are thin wrappers
+that execute these definitions and assert the paper's qualitative
+*shapes* (who wins, where curves plateau) rather than absolute numbers.
+
+Index (see DESIGN.md for the full mapping):
+
+====================  ===================================================
+Module                Reproduces
+====================  ===================================================
+``fig1_rank``         Fig. 1 — singular values of RTT/ABW (class) matrices
+``table1_thresholds`` Table 1 — tau percentiles vs good-path fractions
+``fig3_learning``     Fig. 3 — AUC vs eta and lambda, hinge vs logistic
+``fig4_parameters``   Fig. 4 — AUC vs rank r, neighbors k, threshold tau
+``fig5_accuracy``     Fig. 5 — ROC, precision-recall, convergence
+``table2_confusion``  Table 2 — accuracy and confusion matrices
+``table3_deltas``     Table 3 — delta values per error level
+``fig6_robustness``   Fig. 6 — AUC under erroneous labels
+``fig7_peer_selection`` Fig. 7 — stretch and unsatisfied-node fractions
+``ablations``         engine-vs-protocol and baseline comparisons
+``ext_multiclass``    beyond-paper: ordinal multiclass extension
+====================  ===================================================
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,183 @@
+"""Ablations of the design decisions called out in DESIGN.md.
+
+Not figures from the paper — these benches justify implementation
+choices and position DMFSGD against the related work of Section 2:
+
+* **engine vs protocol**: the vectorized round-synchronous engine and
+  the faithful message-level protocol (Algorithms 1-2, with real
+  message latency and jittered probe timers) must reach equivalent
+  accuracy on the same data — validating the engine as a stand-in for
+  the protocol in large sweeps.
+* **baselines**: class-based DMFSGD vs (a) Vivaldi coordinates +
+  thresholding (decentralized quantity prediction, the NCS lineage) and
+  (b) the centralized hinge-loss MMMF stand-in trained on the same
+  observed pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines.mmmf import MMMFBaseline
+from repro.baselines.vivaldi import Vivaldi
+from repro.core.config import DMFSGDConfig
+from repro.core.dmfsgd import DMFSGDSimulation, oracle_from_matrix
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.evaluation import auc_score
+from repro.experiments.common import DEFAULT_SEED, get_dataset
+from repro.simnet.neighbors import sample_neighbor_sets
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import format_table
+
+__all__ = [
+    "run_engine_vs_protocol",
+    "run_baselines",
+    "run_probe_strategies",
+    "format_result",
+]
+
+
+def run_engine_vs_protocol(
+    seed: int = DEFAULT_SEED,
+    *,
+    n_hosts: int = 150,
+    metric_dataset: str = "meridian",
+) -> Dict[str, float]:
+    """Same dataset, same budget: engine vs message-level protocol.
+
+    Both train until every node consumed ~30 x k measurements; the
+    protocol run additionally experiences random 10-100 ms message
+    latency and jittered probe timers.
+
+    Returns AUC per implementation plus protocol message statistics.
+    """
+    dataset = get_dataset(metric_dataset, n_hosts=n_hosts, seed=seed)
+    labels = dataset.class_matrix()
+    config = DMFSGDConfig(neighbors=10)
+    cycles = 30 * config.neighbors
+
+    engine = DMFSGDEngine(
+        dataset.n,
+        matrix_label_fn(labels),
+        config,
+        metric=dataset.metric,
+        rng=ensure_rng(seed + 1),
+    )
+    engine_result = engine.run(rounds=cycles)
+    engine_auc = auc_score(labels, engine_result.estimate_matrix())
+
+    simulation = DMFSGDSimulation(
+        dataset.n,
+        oracle_from_matrix(labels),
+        config,
+        metric=dataset.metric,
+        probe_interval=1.0,
+        rng=ensure_rng(seed + 2),
+    )
+    simulation.run(duration=float(cycles))
+    protocol_auc = auc_score(
+        labels, simulation.coordinate_table().estimate_matrix()
+    )
+
+    return {
+        "engine_auc": float(engine_auc),
+        "protocol_auc": float(protocol_auc),
+        "protocol_messages": float(simulation.network.total_messages()),
+        "protocol_measurements": float(simulation.measurements),
+        "engine_measurements": float(engine_result.measurements),
+    }
+
+
+def run_baselines(
+    seed: int = DEFAULT_SEED, *, n_hosts: int = 250
+) -> Dict[str, float]:
+    """DMFSGD vs Vivaldi+thresholding vs centralized MMMF stand-in.
+
+    All methods see the same probing schedule (same neighbor sets, same
+    number of rounds) on the Meridian-like RTT dataset.  The MMMF
+    baseline trains centrally on exactly the pairs the decentralized
+    runs probed (the neighbor-set union).
+    """
+    dataset = get_dataset("meridian", n_hosts=n_hosts, seed=seed)
+    tau = dataset.median()
+    labels = dataset.class_matrix(tau)
+    config = DMFSGDConfig(neighbors=10)
+    rounds = 30 * config.neighbors
+    master = ensure_rng(seed + 3)
+    neighbor_sets = sample_neighbor_sets(dataset.n, config.neighbors, master)
+
+    # --- class-based DMFSGD -------------------------------------------
+    engine = DMFSGDEngine(
+        dataset.n,
+        matrix_label_fn(labels),
+        config,
+        metric=dataset.metric,
+        rng=master,
+        neighbor_sets=neighbor_sets,
+    )
+    dmfsgd_auc = auc_score(labels, engine.run(rounds).estimate_matrix())
+
+    # --- Vivaldi + thresholding -----------------------------------------
+    vivaldi = Vivaldi(dataset.n, rng=master)
+    vivaldi.train(dataset.quantities, neighbor_sets, rounds, rng=master)
+    predicted_rtt = vivaldi.predict_matrix()
+    # smaller predicted RTT = more likely good -> score is -rtt
+    vivaldi_auc = auc_score(labels, -predicted_rtt)
+
+    # --- centralized MMMF on the probed pairs ----------------------------
+    observed = np.full_like(labels, np.nan)
+    rows = np.repeat(np.arange(dataset.n), neighbor_sets.shape[1])
+    cols = neighbor_sets.ravel()
+    observed[rows, cols] = labels[rows, cols]
+    observed[cols, rows] = labels[cols, rows]  # RTT symmetry
+    mmmf = MMMFBaseline(rank=10, rng=master).fit(observed)
+    mmmf_auc = auc_score(labels, mmmf.decision_matrix())
+
+    return {
+        "dmfsgd_auc": float(dmfsgd_auc),
+        "vivaldi_auc": float(vivaldi_auc),
+        "mmmf_auc": float(mmmf_auc),
+    }
+
+
+def run_probe_strategies(
+    seed: int = DEFAULT_SEED, *, n_hosts: int = 300
+) -> Dict[str, float]:
+    """Random vs uncertainty-driven (active) neighbor probing.
+
+    The MMMF-based prior work [paper ref. 20] leaned on active
+    sampling; DMFSGD probes uniformly at random.  This ablation
+    measures both at a small and a large probe budget.  Expected (and
+    documented) outcome: margin-chasing *hurts* early — with randomly
+    initialized coordinates the margins carry no information, so the
+    active strategy starves coverage — and random probing remains
+    competitive even once estimates are informative, supporting the
+    paper's simpler rule.
+    """
+    dataset = get_dataset("meridian", n_hosts=n_hosts, seed=seed)
+    labels = dataset.class_matrix()
+    config = DMFSGDConfig(neighbors=10)
+
+    results: Dict[str, float] = {}
+    for strategy in ("random", "uncertain"):
+        for budget_name, rounds in (("small", 5 * config.neighbors),
+                                    ("large", 30 * config.neighbors)):
+            engine = DMFSGDEngine(
+                dataset.n,
+                matrix_label_fn(labels),
+                config,
+                metric=dataset.metric,
+                rng=ensure_rng(seed + 9),
+                probe_strategy=strategy,
+            )
+            auc = auc_score(labels, engine.run(rounds).estimate_matrix())
+            results[f"{strategy}_{budget_name}_auc"] = float(auc)
+    return results
+
+
+def format_result(result: Dict[str, float]) -> str:
+    """Render any of the ablation result dicts as a two-column table."""
+    rows = [[key, float(value)] for key, value in result.items()]
+    return format_table(rows, headers=["quantity", "value"], float_fmt=".4f")

@@ -1,0 +1,175 @@
+"""Extension experiments: consensus filtering, LR schedules, churn.
+
+Three studies that go beyond the paper's evaluation while staying on
+its agenda:
+
+* **consensus** — Section 6.3 suggests countering random label errors
+  with "consensus based on recorded historical measurements"; this
+  experiment injects *transient* per-measurement flips and compares raw
+  training against training through the
+  :class:`~repro.measurement.consensus.ConsensusOracle`.
+* **schedules** — the paper fixes ``eta = 0.1``; stochastic
+  approximation theory prefers decaying steps under gradient noise.
+  The ablation trains with constant vs ``1/sqrt(t)`` vs ``1/t`` steps
+  on clean and corrupted labels.
+* **churn** — a live deployment loses and regains nodes; the
+  experiment flaps 25% of nodes mid-run (cold rejoin, coordinates
+  wiped) and measures the accuracy dent and recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import DMFSGDConfig
+from repro.core.dmfsgd import DMFSGDSimulation, oracle_from_matrix
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.core.schedules import constant, inverse_sqrt, inverse_time
+from repro.evaluation import auc_score
+from repro.experiments.common import DEFAULT_SEED, get_dataset
+from repro.measurement.consensus import ConsensusOracle, TransientFlipOracle
+from repro.measurement.errors import FlipRandom
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import format_table
+
+__all__ = [
+    "run_consensus",
+    "run_schedules",
+    "run_churn",
+    "format_result",
+]
+
+
+def run_consensus(
+    seed: int = DEFAULT_SEED,
+    *,
+    n_hosts: int = 200,
+    flip_probability: float = 0.20,
+) -> Dict[str, float]:
+    """Transient label flips: raw vs consensus-filtered training.
+
+    Both deployments run the message-level RTT protocol with the same
+    budget; the unreliable oracle flips each individual measurement
+    with ``flip_probability``, and the consensus variant majority-votes
+    over each path's last five samples.
+    """
+    dataset = get_dataset("meridian", n_hosts=n_hosts, seed=seed)
+    labels = dataset.class_matrix()
+    config = DMFSGDConfig(neighbors=10)
+    duration = 40.0 * config.neighbors  # enough revisits to build history
+
+    results: Dict[str, float] = {"flip_probability": flip_probability}
+    for name, wrap in (
+        ("raw_auc", lambda oracle: oracle),
+        ("consensus_auc", lambda oracle: ConsensusOracle(oracle, window=5)),
+    ):
+        noisy = TransientFlipOracle(
+            oracle_from_matrix(labels), flip_probability, rng=ensure_rng(seed)
+        )
+        simulation = DMFSGDSimulation(
+            dataset.n,
+            wrap(noisy),
+            config,
+            metric="rtt",
+            rng=ensure_rng(seed + 1),
+        )
+        simulation.run(duration=duration)
+        results[name] = float(
+            auc_score(labels, simulation.coordinate_table().estimate_matrix())
+        )
+
+    # clean reference
+    clean = DMFSGDSimulation(
+        dataset.n,
+        oracle_from_matrix(labels),
+        config,
+        metric="rtt",
+        rng=ensure_rng(seed + 1),
+    )
+    clean.run(duration=duration)
+    results["clean_auc"] = float(
+        auc_score(labels, clean.coordinate_table().estimate_matrix())
+    )
+    return results
+
+
+def run_schedules(
+    seed: int = DEFAULT_SEED, *, n_hosts: int = 300
+) -> Dict[str, float]:
+    """Constant vs decaying learning rates, clean and noisy labels."""
+    dataset = get_dataset("meridian", n_hosts=n_hosts, seed=seed)
+    labels = dataset.class_matrix()
+    noisy_labels = FlipRandom(0.10).apply(labels, rng=ensure_rng(seed + 2))
+    config = DMFSGDConfig(neighbors=10)
+    rounds = 60 * config.neighbors  # long run: where decay should pay off
+
+    schedules = {
+        "constant": constant(),
+        "inverse_sqrt": inverse_sqrt(t0=10.0 * config.neighbors),
+        "inverse_time": inverse_time(t0=10.0 * config.neighbors),
+    }
+    results: Dict[str, float] = {}
+    for label_kind, train_labels in (("clean", labels), ("noisy", noisy_labels)):
+        for schedule_name, schedule in schedules.items():
+            engine = DMFSGDEngine(
+                dataset.n,
+                matrix_label_fn(train_labels),
+                config,
+                metric="rtt",
+                rng=ensure_rng(seed + 3),
+                lr_schedule=schedule,
+            )
+            result = engine.run(rounds=rounds)
+            results[f"{label_kind}_{schedule_name}"] = float(
+                auc_score(labels, result.estimate_matrix())
+            )
+    return results
+
+
+def run_churn(
+    seed: int = DEFAULT_SEED, *, n_hosts: int = 150
+) -> Dict[str, float]:
+    """Flap 25% of nodes (cold rejoin) and measure dent + recovery."""
+    dataset = get_dataset("meridian", n_hosts=n_hosts, seed=seed)
+    labels = dataset.class_matrix()
+    config = DMFSGDConfig(neighbors=10)
+
+    deployment = DMFSGDSimulation(
+        dataset.n,
+        oracle_from_matrix(labels),
+        config,
+        metric="rtt",
+        rng=ensure_rng(seed + 4),
+    )
+
+    def auc_now() -> float:
+        return float(
+            auc_score(labels, deployment.coordinate_table().estimate_matrix())
+        )
+
+    deployment.run(duration=250.0)
+    before = auc_now()
+
+    churned = list(range(0, dataset.n, 4))
+    for node in churned:
+        deployment.take_down(node)
+    deployment.run(duration=100.0)
+    for node in churned:
+        deployment.bring_up(node, fresh_coordinates=True)
+    after_rejoin = auc_now()
+
+    deployment.run(duration=250.0)
+    recovered = auc_now()
+
+    return {
+        "before_churn_auc": before,
+        "after_cold_rejoin_auc": after_rejoin,
+        "recovered_auc": recovered,
+        "churned_fraction": len(churned) / dataset.n,
+    }
+
+
+def format_result(result: Dict[str, float]) -> str:
+    """Render any extension result dict as a two-column table."""
+    rows = [[key, float(value)] for key, value in result.items()]
+    return format_table(rows, headers=["quantity", "value"], float_fmt=".4f")

@@ -1,0 +1,119 @@
+"""Fig. 4 — AUC under different ranks r, neighbor counts k and taus.
+
+Three sweeps with the paper's grids:
+
+* **r** in {3, 10, 20, 100} with k at the per-dataset default;
+* **k** in {5, 10, 30, 50} for Harvard/HP-S3 and {16, 32, 64, 128} for
+  Meridian, with r = 10;
+* **tau** at the percentiles that make 10/25/50/75/90 % of paths good
+  (Table 1's rows), with r = 10 and default k.
+
+Expected shapes: AUC saturates by r ~ 10 (more variables just consume
+data); AUC increases with k with diminishing returns; AUC stays usable
+across the tau range with mild degradation at extreme class imbalance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import (
+    DATASET_NAMES,
+    DEFAULT_SEED,
+    get_dataset,
+    train_classifier,
+)
+from repro.utils.tables import format_table
+
+__all__ = ["run", "format_result", "RANK_GRID", "NEIGHBOR_GRIDS", "TAU_FRACTIONS"]
+
+#: The r values of Fig. 4(a).
+RANK_GRID = (3, 10, 20, 100)
+
+#: The k values of Fig. 4(b), per dataset.
+NEIGHBOR_GRIDS: Dict[str, tuple] = {
+    "harvard": (5, 10, 30, 50),
+    "meridian": (16, 32, 64, 128),
+    "hps3": (5, 10, 30, 50),
+}
+
+#: Good-path fractions of Fig. 4(c) / Table 1.
+TAU_FRACTIONS = (0.10, 0.25, 0.50, 0.75, 0.90)
+
+
+def run(
+    seed: int = DEFAULT_SEED, *, datasets: tuple = DATASET_NAMES
+) -> Dict[str, object]:
+    """Run the three parameter sweeps.
+
+    Returns
+    -------
+    dict
+        ``rank_sweep``: ``(dataset, r) -> auc``;
+        ``neighbor_sweep``: ``(dataset, k) -> auc``;
+        ``tau_sweep``: ``(dataset, fraction) -> auc``.
+    """
+    rank_sweep: Dict[tuple, float] = {}
+    neighbor_sweep: Dict[tuple, float] = {}
+    tau_sweep: Dict[tuple, float] = {}
+
+    for name in datasets:
+        for rank in RANK_GRID:
+            rank_sweep[(name, rank)] = train_classifier(
+                name, seed=seed, rank=rank
+            ).auc
+        for k in NEIGHBOR_GRIDS[name]:
+            neighbor_sweep[(name, k)] = train_classifier(
+                name, seed=seed, neighbors=k
+            ).auc
+        dataset = get_dataset(name, seed=seed)
+        for fraction in TAU_FRACTIONS:
+            tau = dataset.tau_for_good_fraction(fraction)
+            tau_sweep[(name, fraction)] = train_classifier(
+                name, seed=seed, tau=tau
+            ).auc
+
+    return {
+        "rank_sweep": rank_sweep,
+        "neighbor_sweep": neighbor_sweep,
+        "tau_sweep": tau_sweep,
+        "datasets": tuple(datasets),
+    }
+
+
+def format_result(result: Dict[str, object]) -> str:
+    """Render the three panels as AUC tables."""
+    datasets = result["datasets"]
+    sections: List[str] = []
+
+    rows = [
+        [rank] + [result["rank_sweep"][(name, rank)] for name in datasets]
+        for rank in RANK_GRID
+    ]
+    sections.append(
+        "AUC vs rank r:\n"
+        + format_table(rows, headers=["r"] + list(datasets), float_fmt=".3f")
+    )
+
+    rows = []
+    for idx in range(4):
+        row: List[object] = [f"k{idx + 1}"]
+        for name in datasets:
+            k = NEIGHBOR_GRIDS[name][idx]
+            row.append(f"{k}:{result['neighbor_sweep'][(name, k)]:.3f}")
+        rows.append(row)
+    sections.append(
+        "AUC vs neighbors k (k:auc):\n"
+        + format_table(rows, headers=["k"] + list(datasets))
+    )
+
+    rows = [
+        [f"{fraction:.0%}"]
+        + [result["tau_sweep"][(name, fraction)] for name in datasets]
+        for fraction in TAU_FRACTIONS
+    ]
+    sections.append(
+        "AUC vs tau (good-path fraction):\n"
+        + format_table(rows, headers=["good%"] + list(datasets), float_fmt=".3f")
+    )
+    return "\n\n".join(sections)

@@ -1,0 +1,143 @@
+"""Fig. 7 — peer selection: optimality vs satisfaction.
+
+For each dataset, four strategies are compared across peer-set sizes
+m in {10, 20, 30, 40, 50, 60}:
+
+* **Random** — baseline;
+* **Classification** — class-based DMFSGD, peer with largest ``xhat``;
+* **Regression** — quantity-based DMFSGD (L2), predicted-best peer;
+* **Classification with noise** — class-based trained on labels with
+  10% "flip near tau" + 5% "good-to-bad" corruption (15% total).
+
+Criteria: average stretch (top row of the paper's figure) and
+unsatisfied-node percentage (bottom row).
+
+Expected shapes: both predictors beat random on stretch, regression
+being the most optimal; on *satisfaction* classification is on par with
+regression (~10% unsatisfied on average) and the 15% label noise costs
+it less than ~5 points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.apps.peer_selection import PeerSelectionExperiment, build_peer_sets
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    get_dataset,
+    train_classifier,
+    train_regressor,
+)
+from repro.measurement.errors import GoodToBad, FlipNearThreshold, delta_for_error_level
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import format_table
+
+__all__ = ["run", "format_result", "PEER_COUNTS", "STRATEGY_LABELS"]
+
+#: Peer-set sizes of the x-axis.
+PEER_COUNTS = (10, 20, 30, 40, 50, 60)
+
+#: Row labels in the paper's legend order.
+STRATEGY_LABELS = (
+    "random",
+    "classification",
+    "regression",
+    "classification+noise",
+)
+
+
+def _noisy_labels(name: str, seed: int) -> np.ndarray:
+    """10% flip-near-tau + 5% good-to-bad = 15% total corruption."""
+    dataset = get_dataset(name, seed=seed)
+    tau = dataset.median()
+    labels = dataset.class_matrix(tau)
+    delta = delta_for_error_level(
+        dataset.observed_values(), tau, 0.10, error_type=1
+    )
+    rng = ensure_rng(seed + 13)
+    labels = FlipNearThreshold(tau, delta).apply(
+        labels, dataset.quantities, rng=rng
+    )
+    labels = GoodToBad(0.05).apply(labels, dataset.quantities, rng=rng)
+    return labels
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    *,
+    datasets: tuple = ("harvard", "meridian", "hps3"),
+    peer_counts: tuple = PEER_COUNTS,
+) -> Dict[str, object]:
+    """Train the three predictors per dataset and sweep peer counts.
+
+    Returns
+    -------
+    dict
+        ``stretch`` and ``unsatisfied``: mappings
+        ``(dataset, strategy, m) -> value``.
+    """
+    stretch: Dict[tuple, float] = {}
+    unsat: Dict[tuple, float] = {}
+
+    for name in datasets:
+        clean = train_classifier(name, seed=seed)
+        noisy = train_classifier(
+            name, seed=seed, train_labels=_noisy_labels(name, seed)
+        )
+        dataset, predicted_quantities = train_regressor(name, seed=seed)
+        tau = dataset.median()
+
+        decision = {
+            "classification": clean.decision_matrix,
+            "classification+noise": noisy.decision_matrix,
+            "regression": predicted_quantities,
+            "random": None,
+        }
+
+        for m in peer_counts:
+            peer_sets = build_peer_sets(
+                dataset.n, m, rng=ensure_rng(seed + 1000 + m)
+            )
+            experiment = PeerSelectionExperiment(dataset, peer_sets, tau=tau)
+            for strategy_label in STRATEGY_LABELS:
+                base = (
+                    "classification"
+                    if strategy_label.startswith("classification")
+                    else strategy_label
+                )
+                outcome = experiment.run(
+                    base,
+                    decision_matrix=decision[strategy_label],
+                    rng=ensure_rng(seed + 2000 + m),
+                )
+                stretch[(name, strategy_label, m)] = outcome.mean_stretch
+                unsat[(name, strategy_label, m)] = outcome.unsatisfied_fraction
+
+    return {
+        "stretch": stretch,
+        "unsatisfied": unsat,
+        "datasets": tuple(datasets),
+        "peer_counts": tuple(peer_counts),
+    }
+
+
+def format_result(result: Dict[str, object]) -> str:
+    """Two tables (stretch, unsatisfied%) per dataset."""
+    sections: List[str] = []
+    for name in result["datasets"]:
+        for criterion, key in (("stretch", "stretch"), ("unsatisfied", "unsatisfied")):
+            headers = ["m"] + list(STRATEGY_LABELS)
+            rows = []
+            for m in result["peer_counts"]:
+                row: List[object] = [m]
+                for strategy in STRATEGY_LABELS:
+                    row.append(result[key][(name, strategy, m)])
+                rows.append(row)
+            sections.append(
+                f"[{name}] {criterion}:\n"
+                + format_table(rows, headers=headers, float_fmt=".3f")
+            )
+    return "\n\n".join(sections)

@@ -1,0 +1,59 @@
+"""Measurement module (paper Section 3 and the left half of Fig. 2).
+
+This package models how performance *classes* are acquired:
+
+* :mod:`repro.measurement.metrics` — the semantics of RTT and ABW
+  (symmetry, measurement side, "which direction is good").
+* :mod:`repro.measurement.classifier` — thresholding quantities by ``tau``.
+* :mod:`repro.measurement.ping` — simulated ICMP round-trip probing.
+* :mod:`repro.measurement.pathload` — simulated constant-rate UDP-train
+  probing that yields a binary congestion verdict (class measurement
+  without ever learning the ABW quantity).
+* :mod:`repro.measurement.pathchirp` — simulated chirp-train estimation
+  giving coarse, underestimation-biased ABW quantities.
+* :mod:`repro.measurement.errors` — the four erroneous-label models of
+  Section 6.3.
+"""
+
+from repro.measurement.consensus import ConsensusOracle, TransientFlipOracle
+from repro.measurement.cost import ProbeCost, acquisition_cost, cost_table
+from repro.measurement.classifier import (
+    ThresholdClassifier,
+    threshold_classify,
+    threshold_for_good_fraction,
+)
+from repro.measurement.errors import (
+    FlipNearThreshold,
+    FlipRandom,
+    GoodToBad,
+    LabelNoiseModel,
+    UnderestimationBias,
+    delta_for_error_level,
+    make_error_model,
+)
+from repro.measurement.metrics import Metric
+from repro.measurement.pathchirp import PathChirp
+from repro.measurement.pathload import PathLoad
+from repro.measurement.ping import Ping
+
+__all__ = [
+    "Metric",
+    "ThresholdClassifier",
+    "threshold_classify",
+    "threshold_for_good_fraction",
+    "Ping",
+    "PathLoad",
+    "PathChirp",
+    "LabelNoiseModel",
+    "FlipNearThreshold",
+    "UnderestimationBias",
+    "FlipRandom",
+    "GoodToBad",
+    "delta_for_error_level",
+    "make_error_model",
+    "ConsensusOracle",
+    "TransientFlipOracle",
+    "ProbeCost",
+    "acquisition_cost",
+    "cost_table",
+]

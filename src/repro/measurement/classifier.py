@@ -1,0 +1,118 @@
+"""Threshold classification of performance quantities (Section 3.2).
+
+A path is "good" (+1) when its metric quantity is on the good side of the
+classification threshold ``tau`` (below for RTT, above for ABW) and "bad"
+(-1) otherwise.  ``tau`` is application-defined in practice (the paper
+quotes Google TV's 2.5 Mbps / 10 Mbps); experiments typically set it to a
+percentile of the dataset — Table 1 of the paper reports those
+percentile thresholds and the class balance they induce.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.measurement.metrics import Metric
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "threshold_classify",
+    "threshold_for_good_fraction",
+    "ThresholdClassifier",
+]
+
+
+def threshold_classify(
+    quantities: np.ndarray,
+    tau: float,
+    metric: Union[str, Metric],
+) -> np.ndarray:
+    """Map quantities to {+1, -1} class labels under threshold ``tau``.
+
+    NaN quantities (missing measurements) map to NaN labels, preserving
+    the observation mask of partially observed matrices.
+
+    Parameters
+    ----------
+    quantities:
+        Scalar or array of metric quantities.
+    tau:
+        Classification threshold in the metric's unit.
+    metric:
+        ``"rtt"``/``"abw"`` or a :class:`Metric`; decides which side of
+        ``tau`` is good.
+    """
+    metric = Metric.parse(metric)
+    quantities = np.asarray(quantities, dtype=float)
+    labels = np.where(metric.is_good(quantities, tau), 1.0, -1.0)
+    labels = np.where(np.isfinite(quantities), labels, np.nan)
+    if labels.ndim == 0:
+        return labels[()]
+    return labels
+
+
+def threshold_for_good_fraction(
+    quantities: np.ndarray,
+    good_fraction: float,
+    metric: Union[str, Metric],
+) -> float:
+    """The ``tau`` that labels a target fraction of paths "good".
+
+    This inverts Table 1 of the paper: given e.g. ``good_fraction=0.25``
+    it returns the threshold under which 25% of the observed paths are
+    good.  For RTT that is the 25th percentile of the quantities; for ABW
+    (higher is better) it is the 75th.
+    """
+    metric = Metric.parse(metric)
+    check_probability(good_fraction, "good_fraction")
+    values = np.asarray(quantities, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise ValueError("no finite quantities to compute a threshold from")
+    if metric.higher_is_better:
+        percentile = 100.0 * (1.0 - good_fraction)
+    else:
+        percentile = 100.0 * good_fraction
+    return float(np.percentile(values, percentile))
+
+
+class ThresholdClassifier:
+    """Stateful convenience wrapper around :func:`threshold_classify`.
+
+    Bundles the metric and the threshold so measurement tools and
+    experiments can pass a single object around.
+    """
+
+    def __init__(self, metric: Union[str, Metric], tau: float) -> None:
+        self.metric = Metric.parse(metric)
+        self.tau = float(tau)
+        if not np.isfinite(self.tau):
+            raise ValueError(f"tau must be finite, got {tau}")
+
+    def __call__(self, quantities: np.ndarray) -> np.ndarray:
+        """Classify quantities into {+1, -1} (NaN passes through)."""
+        return threshold_classify(quantities, self.tau, self.metric)
+
+    def good_fraction(self, quantities: np.ndarray) -> float:
+        """Fraction of observed paths labeled good under this threshold."""
+        values = np.asarray(quantities, dtype=float)
+        mask = np.isfinite(values)
+        if not mask.any():
+            raise ValueError("no finite quantities")
+        return float(np.mean(self.metric.is_good(values[mask], self.tau)))
+
+    @classmethod
+    def at_percentile(
+        cls,
+        quantities: np.ndarray,
+        good_fraction: float,
+        metric: Union[str, Metric],
+    ) -> "ThresholdClassifier":
+        """Build a classifier whose ``tau`` yields the given good fraction."""
+        tau = threshold_for_good_fraction(quantities, good_fraction, metric)
+        return cls(metric, tau)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThresholdClassifier({self.metric.value!r}, tau={self.tau:g})"

@@ -1,0 +1,176 @@
+"""Measurement-cost accounting (the paper's Section 1/3 argument).
+
+The paper's case for *class-based* prediction rests on two cost
+reductions that this module quantifies:
+
+1. **class probes are cheaper than quantity probes** — a pathload-style
+   class probe sends one UDP train at the single rate ``tau``, while a
+   quantity estimate must binary-search the rate (pathload) or send
+   long chirp trains (pathChirp);
+2. **"probe a few, predict many"** — DMFSGD measures ``n * k`` pairs
+   instead of the ``n * (n-1)`` full mesh.
+
+Costs are modeled in probe packets and bytes from the tool parameters
+of the underlying papers: ping (few ICMP echos), pathload (UDP trains
+of ~100 packets, ~12 rate iterations for a quantity), pathChirp
+(exponentially spaced trains).  Absolute byte counts are nominal; the
+*ratios* are what the benches assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["ProbeCost", "TOOL_COSTS", "acquisition_cost", "cost_table"]
+
+#: Nominal packet size in bytes for probe traffic (UDP payload + headers).
+PACKET_BYTES = 1000
+
+#: ICMP echo request+reply size.
+ICMP_BYTES = 64
+
+
+@dataclass(frozen=True)
+class ProbeCost:
+    """Cost of acquiring one path's measurement with one tool.
+
+    Attributes
+    ----------
+    packets:
+        Probe packets sent end-to-end for one measurement.
+    bytes:
+        Total bytes on the wire for one measurement.
+    yields_quantity:
+        True when the measurement produces the metric *value*; False
+        when it produces only a class verdict.
+    """
+
+    packets: int
+    bytes: int
+    yields_quantity: bool
+
+
+def _pathload_class() -> ProbeCost:
+    # one constant-rate train at tau: ~100 packets
+    packets = 100
+    return ProbeCost(packets, packets * PACKET_BYTES, False)
+
+
+def _pathload_quantity() -> ProbeCost:
+    # binary search over rates: ~12 iterations x 100-packet trains
+    packets = 12 * 100
+    return ProbeCost(packets, packets * PACKET_BYTES, True)
+
+
+def _pathchirp_class() -> ProbeCost:
+    # few, short chirps thresholded by tau: 2 trains x 30 packets
+    packets = 2 * 30
+    return ProbeCost(packets, packets * PACKET_BYTES, False)
+
+
+def _pathchirp_quantity() -> ProbeCost:
+    # accurate estimate needs many chirps: 16 trains x 30 packets
+    packets = 16 * 30
+    return ProbeCost(packets, packets * PACKET_BYTES, True)
+
+
+def _ping_class() -> ProbeCost:
+    # thresholding needs the RTT anyway; ping is cheap either way
+    packets = 3 * 2  # 3 echos, request+reply
+    return ProbeCost(packets, packets * ICMP_BYTES, False)
+
+
+def _ping_quantity() -> ProbeCost:
+    packets = 3 * 2
+    return ProbeCost(packets, packets * ICMP_BYTES, True)
+
+
+#: Per-(tool, kind) costs; kind is "class" or "quantity".
+TOOL_COSTS: Dict[str, Dict[str, ProbeCost]] = {
+    "ping": {"class": _ping_class(), "quantity": _ping_quantity()},
+    "pathload": {"class": _pathload_class(), "quantity": _pathload_quantity()},
+    "pathchirp": {
+        "class": _pathchirp_class(),
+        "quantity": _pathchirp_quantity(),
+    },
+}
+
+
+def acquisition_cost(
+    n: int,
+    k: int,
+    tool: str,
+    kind: str,
+    *,
+    full_mesh: bool = False,
+    rounds: int = 1,
+) -> ProbeCost:
+    """Total cost of measuring a deployment's paths.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    k:
+        Neighbors per node (ignored for ``full_mesh``).
+    tool:
+        ``"ping"``, ``"pathload"`` or ``"pathchirp"``.
+    kind:
+        ``"class"`` or ``"quantity"``.
+    full_mesh:
+        Measure all ``n * (n-1)`` ordered pairs instead of ``n * k``.
+    rounds:
+        Repeated measurement rounds (dynamics tracking).
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if not full_mesh and not 0 < k <= n - 1:
+        raise ValueError(f"k must be in [1, n-1], got {k}")
+    if rounds <= 0:
+        raise ValueError(f"rounds must be positive, got {rounds}")
+    try:
+        per_path = TOOL_COSTS[tool][kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown tool/kind {tool!r}/{kind!r}; tools: "
+            f"{sorted(TOOL_COSTS)}, kinds: class/quantity"
+        ) from None
+    paths = n * (n - 1) if full_mesh else n * k
+    total = paths * rounds
+    return ProbeCost(
+        packets=per_path.packets * total,
+        bytes=per_path.bytes * total,
+        yields_quantity=per_path.yields_quantity,
+    )
+
+
+def cost_table(n: int, k: int, *, rounds: int = 1) -> Dict[str, float]:
+    """The cost-reduction headline numbers for an ``n``-node system.
+
+    Returns byte totals for the four ABW acquisition strategies the
+    paper contrasts, plus the two reduction ratios:
+
+    * ``class_vs_quantity`` — pathload class probing vs quantity
+      estimation over the same DMFSGD schedule;
+    * ``dmfsgd_vs_full_mesh`` — DMFSGD class probing vs full-mesh
+      class probing.
+    """
+    dmfsgd_class = acquisition_cost(n, k, "pathload", "class", rounds=rounds)
+    dmfsgd_quantity = acquisition_cost(
+        n, k, "pathload", "quantity", rounds=rounds
+    )
+    mesh_class = acquisition_cost(
+        n, k, "pathload", "class", full_mesh=True, rounds=rounds
+    )
+    mesh_quantity = acquisition_cost(
+        n, k, "pathload", "quantity", full_mesh=True, rounds=rounds
+    )
+    return {
+        "dmfsgd_class_bytes": float(dmfsgd_class.bytes),
+        "dmfsgd_quantity_bytes": float(dmfsgd_quantity.bytes),
+        "full_mesh_class_bytes": float(mesh_class.bytes),
+        "full_mesh_quantity_bytes": float(mesh_quantity.bytes),
+        "class_vs_quantity": dmfsgd_quantity.bytes / dmfsgd_class.bytes,
+        "dmfsgd_vs_full_mesh": mesh_class.bytes / dmfsgd_class.bytes,
+    }

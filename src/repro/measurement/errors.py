@@ -1,0 +1,263 @@
+"""Erroneous-label models (paper Section 6.3, Fig. 6 and Table 3).
+
+Measured classes can be wrong for two reasons: measurement-tool
+inaccuracy (which only perturbs paths whose quantity is close to the
+threshold ``tau``) and network anomalies (which hit every path equally).
+The paper simulates four error types:
+
+* **Type 1 — flip near tau**: flip, with probability 0.5, the labels of
+  paths whose quantity lies within ``[tau - delta, tau + delta]``.
+* **Type 2 — underestimation bias** (ABW): label paths with quantity in
+  ``[tau, tau + delta]`` erroneously as "bad" (bandwidth tools
+  systematically underestimate).
+* **Type 3 — flip randomly** (ABW): flip the labels of ``p%`` randomly
+  chosen paths (malicious targets can lie because ABW is inferred
+  remotely).
+* **Type 4 — good-to-bad**: relabel randomly chosen "good" paths as
+  "bad".
+
+Error models transform a ground-truth *label matrix* once, producing the
+persistent per-path corruption the paper trains on.  The helper
+:func:`delta_for_error_level` inverts the ``delta -> error level``
+relationship to regenerate Table 3.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_binary_labels, check_probability
+
+__all__ = [
+    "LabelNoiseModel",
+    "FlipNearThreshold",
+    "UnderestimationBias",
+    "FlipRandom",
+    "GoodToBad",
+    "delta_for_error_level",
+    "make_error_model",
+]
+
+
+class LabelNoiseModel(ABC):
+    """Base class: a persistent corruption of a class-label matrix."""
+
+    #: paper's error type number (1-4)
+    error_type: int = 0
+
+    @abstractmethod
+    def apply(
+        self,
+        labels: np.ndarray,
+        quantities: Optional[np.ndarray] = None,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Return a corrupted copy of ``labels``.
+
+        Parameters
+        ----------
+        labels:
+            {+1, -1, NaN} matrix of true classes.
+        quantities:
+            Raw metric quantities, required by the near-threshold models
+            (types 1 and 2), ignored by the random models.
+        rng:
+            Seed/generator for the random choices.
+        """
+
+    def error_fraction(
+        self, original: np.ndarray, corrupted: np.ndarray
+    ) -> float:
+        """Fraction of observed labels that were changed."""
+        original = np.asarray(original, dtype=float)
+        corrupted = np.asarray(corrupted, dtype=float)
+        mask = np.isfinite(original) & np.isfinite(corrupted)
+        if not mask.any():
+            return 0.0
+        return float(np.mean(original[mask] != corrupted[mask]))
+
+
+class FlipNearThreshold(LabelNoiseModel):
+    """Type 1: flip labels of near-threshold paths with probability 0.5.
+
+    Models measurement-tool inaccuracy: paths whose quantity is within
+    ``delta`` of ``tau`` are the ones a cheap/coarse probe may
+    misclassify.
+    """
+
+    error_type = 1
+
+    def __init__(self, tau: float, delta: float) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        self.tau = float(tau)
+        self.delta = float(delta)
+
+    def apply(self, labels, quantities=None, rng=None):
+        if quantities is None:
+            raise ValueError("FlipNearThreshold requires the quantity matrix")
+        labels = check_binary_labels(labels).copy()
+        quantities = np.asarray(quantities, dtype=float)
+        generator = ensure_rng(rng)
+        near = (
+            np.isfinite(labels)
+            & np.isfinite(quantities)
+            & (np.abs(quantities - self.tau) <= self.delta)
+        )
+        flips = near & (generator.random(labels.shape) < 0.5)
+        labels[flips] = -labels[flips]
+        return labels
+
+
+class UnderestimationBias(LabelNoiseModel):
+    """Type 2: mislabel barely-good ABW paths as "bad".
+
+    Bandwidth estimation tools (pathload, pathChirp) tend to
+    underestimate; a path whose true ABW sits just above ``tau`` (within
+    ``delta``) is measured below it and labeled bad.  Only meaningful for
+    higher-is-better metrics.
+    """
+
+    error_type = 2
+
+    def __init__(self, tau: float, delta: float) -> None:
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        self.tau = float(tau)
+        self.delta = float(delta)
+
+    def apply(self, labels, quantities=None, rng=None):
+        if quantities is None:
+            raise ValueError("UnderestimationBias requires the quantity matrix")
+        labels = check_binary_labels(labels).copy()
+        quantities = np.asarray(quantities, dtype=float)
+        hit = (
+            np.isfinite(labels)
+            & np.isfinite(quantities)
+            & (quantities >= self.tau)
+            & (quantities <= self.tau + self.delta)
+        )
+        labels[hit] = -1.0
+        return labels
+
+
+class FlipRandom(LabelNoiseModel):
+    """Type 3: flip the labels of a random fraction ``p`` of paths.
+
+    Models network anomalies / malicious ABW targets that lie about the
+    inferred class; every observed path is equally at risk.
+    """
+
+    error_type = 3
+
+    def __init__(self, p: float) -> None:
+        self.p = check_probability(p, "p")
+
+    def apply(self, labels, quantities=None, rng=None):
+        labels = check_binary_labels(labels).copy()
+        generator = ensure_rng(rng)
+        observed = np.argwhere(np.isfinite(labels))
+        count = int(round(self.p * len(observed)))
+        if count == 0:
+            return labels
+        chosen = observed[generator.choice(len(observed), size=count, replace=False)]
+        rows, cols = chosen[:, 0], chosen[:, 1]
+        labels[rows, cols] = -labels[rows, cols]
+        return labels
+
+
+class GoodToBad(LabelNoiseModel):
+    """Type 4: relabel randomly chosen "good" paths as "bad".
+
+    ``p`` is the *overall* fraction of observed labels corrupted (the
+    paper reports error levels of 5/10/15% of labels), so the model draws
+    ``p * observed`` entries from the good ones.  If fewer good paths
+    exist, all of them are flipped.
+    """
+
+    error_type = 4
+
+    def __init__(self, p: float) -> None:
+        self.p = check_probability(p, "p")
+
+    def apply(self, labels, quantities=None, rng=None):
+        labels = check_binary_labels(labels).copy()
+        generator = ensure_rng(rng)
+        observed = np.isfinite(labels)
+        good = np.argwhere(observed & (labels == 1.0))
+        count = min(int(round(self.p * observed.sum())), len(good))
+        if count == 0:
+            return labels
+        chosen = good[generator.choice(len(good), size=count, replace=False)]
+        labels[chosen[:, 0], chosen[:, 1]] = -1.0
+        return labels
+
+
+def delta_for_error_level(
+    quantities: np.ndarray,
+    tau: float,
+    error_level: float,
+    error_type: int,
+) -> float:
+    """The ``delta`` that produces a target expected error level (Table 3).
+
+    For Type 1 the expected fraction of corrupted labels is half the mass
+    of quantities within ``[tau - delta, tau + delta]``; for Type 2 it is
+    the mass of *good* quantities within ``[tau, tau + delta]`` relative
+    to all observed paths.  The inverse is computed from the empirical
+    distribution of ``quantities``.
+    """
+    check_probability(error_level, "error_level")
+    values = np.asarray(quantities, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise ValueError("no finite quantities")
+    if error_type == 1:
+        # P(|q - tau| <= delta) * 0.5 == error_level
+        distances = np.sort(np.abs(values - tau))
+        target_mass = min(2.0 * error_level, 1.0)
+        index = int(np.ceil(target_mass * values.size)) - 1
+        index = max(0, min(index, values.size - 1))
+        return float(distances[index])
+    if error_type == 2:
+        # P(tau <= q <= tau + delta) == error_level
+        above = np.sort(values[values >= tau] - tau)
+        if above.size == 0:
+            raise ValueError("no quantities above tau; cannot reach error level")
+        index = int(np.ceil(error_level * values.size)) - 1
+        index = max(0, min(index, above.size - 1))
+        return float(above[index])
+    raise ValueError(
+        f"delta only parameterizes error types 1 and 2, got type {error_type}"
+    )
+
+
+def make_error_model(
+    error_type: int,
+    *,
+    tau: Optional[float] = None,
+    delta: Optional[float] = None,
+    p: Optional[float] = None,
+) -> LabelNoiseModel:
+    """Factory mapping the paper's error type number to a model instance."""
+    if error_type == 1:
+        if tau is None or delta is None:
+            raise ValueError("error type 1 requires tau and delta")
+        return FlipNearThreshold(tau, delta)
+    if error_type == 2:
+        if tau is None or delta is None:
+            raise ValueError("error type 2 requires tau and delta")
+        return UnderestimationBias(tau, delta)
+    if error_type == 3:
+        if p is None:
+            raise ValueError("error type 3 requires p")
+        return FlipRandom(p)
+    if error_type == 4:
+        if p is None:
+            raise ValueError("error type 4 requires p")
+        return GoodToBad(p)
+    raise ValueError(f"unknown error type {error_type}; expected 1-4")

@@ -1,0 +1,105 @@
+"""Performance metric semantics (paper Section 3.1).
+
+The paper studies two metrics whose *measurement methodology* differs in
+ways the decentralized algorithms must respect:
+
+* **RTT** — symmetric (``x_ij ~= x_ji``), cheap, probed *and inferred* by
+  the sender (ping); lower is better.
+* **ABW** — asymmetric, expensive, probed by the sender but *inferred at
+  the target* (self-induced congestion); higher is better.
+
+:class:`Metric` encodes those semantics so the rest of the library never
+hard-codes per-metric conditionals beyond this enum.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["Metric"]
+
+
+class Metric(enum.Enum):
+    """End-to-end path performance metric."""
+
+    RTT = "rtt"
+    ABW = "abw"
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+
+    @property
+    def symmetric(self) -> bool:
+        """Whether ``x_ij`` can be treated as equal to ``x_ji``."""
+        return self is Metric.RTT
+
+    @property
+    def higher_is_better(self) -> bool:
+        """Direction of "good": False for RTT (delay), True for ABW."""
+        return self is Metric.ABW
+
+    @property
+    def inferred_at_target(self) -> bool:
+        """Where the measurement outcome materializes.
+
+        RTT is inferred by the sender (it times the echo); ABW is
+        inferred at the target (it observes whether the probe train
+        suffered congestion) and must be shipped back — this drives the
+        difference between Algorithms 1 and 2.
+        """
+        return self is Metric.ABW
+
+    @property
+    def unit(self) -> str:
+        """Human-readable quantity unit."""
+        return "ms" if self is Metric.RTT else "Mbps"
+
+    # ------------------------------------------------------------------
+    # helpers used by classification and peer selection
+    # ------------------------------------------------------------------
+
+    def is_good(self, quantity: np.ndarray, tau: float) -> np.ndarray:
+        """Boolean "good" verdict(s) for quantities under threshold ``tau``.
+
+        Good means RTT strictly below ``tau`` or ABW strictly above
+        ``tau``; values exactly at the threshold count as "bad", which
+        only matters for degenerate discrete inputs.
+        """
+        quantity = np.asarray(quantity, dtype=float)
+        if self.higher_is_better:
+            return quantity > tau
+        return quantity < tau
+
+    def best(self, quantities: np.ndarray) -> int:
+        """Index of the best-performing entry (ignoring NaN)."""
+        quantities = np.asarray(quantities, dtype=float)
+        if not np.isfinite(quantities).any():
+            raise ValueError("no finite quantities to choose from")
+        if self.higher_is_better:
+            return int(np.nanargmax(quantities))
+        return int(np.nanargmin(quantities))
+
+    def stretch(self, selected: float, best: float) -> float:
+        """Peer-selection stretch ``x_selected / x_best`` (Section 6.4).
+
+        By construction the stretch is >= 1 for RTT and <= 1 for ABW;
+        closer to 1 is better for both.
+        """
+        if best == 0:
+            raise ValueError("best quantity must be nonzero to compute stretch")
+        return float(selected) / float(best)
+
+    @classmethod
+    def parse(cls, value: "str | Metric") -> "Metric":
+        """Coerce a string (case-insensitive) or Metric into a Metric."""
+        if isinstance(value, Metric):
+            return value
+        try:
+            return cls(value.strip().lower())
+        except (AttributeError, ValueError):
+            raise ValueError(
+                f"unknown metric {value!r}; expected 'rtt' or 'abw'"
+            ) from None

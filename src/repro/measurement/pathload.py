@@ -1,0 +1,99 @@
+"""Simulated pathload-style class probing of ABW (paper Section 3.2).
+
+The self-induced-congestion principle: send a UDP packet train at a
+constant rate ``tau``; if the train rate exceeds the available bandwidth
+the packets queue and the *target* observes increasing one-way delays
+(congestion).  The class verdict is therefore obtained directly —
+"good" (+1) when no congestion is seen (ABW > tau), "bad" (-1) otherwise
+— without ever estimating the ABW quantity, which is the measurement-cost
+argument at the heart of the paper.
+
+The simulation models the tool's two imperfections:
+
+* a *noise band* around the probing rate within which the verdict is
+  unreliable (short trains cannot resolve ABW ~ tau), and
+* an *underestimation bias*: traffic burstiness makes the tool see
+  congestion slightly below the true ABW, shifting verdicts toward
+  "bad".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.measurement.ping import QuantitySource, _as_quantity_fn
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["PathLoad"]
+
+
+class PathLoad:
+    """Simulated constant-rate UDP-train prober.
+
+    Parameters
+    ----------
+    abw_source:
+        Ground-truth ABW matrix in Mbps (NaN = unmeasurable pair) or a
+        callable ``(i, j) -> Mbps``.
+    rate:
+        The probing rate ``tau`` in Mbps; doubles as the classification
+        threshold.
+    noise:
+        Relative width of the unreliable band: the effective measured
+        ABW is perturbed by a zero-mean Gaussian with standard deviation
+        ``noise * rate``.  Paths far from ``tau`` are unaffected in
+        practice.
+    underestimation:
+        Relative systematic bias: the tool behaves as if the ABW were
+        ``(1 - underestimation) * abw``.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        abw_source: QuantitySource,
+        rate: float,
+        *,
+        noise: float = 0.0,
+        underestimation: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        self._quantity = _as_quantity_fn(abw_source)
+        self.rate = check_positive(rate, "rate")
+        if noise < 0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        if not 0.0 <= underestimation < 1.0:
+            raise ValueError(
+                f"underestimation must be in [0, 1), got {underestimation}"
+            )
+        self.noise = float(noise)
+        self.underestimation = float(underestimation)
+        self._rng = ensure_rng(rng)
+        self.trains_sent = 0
+
+    def effective_abw(self, i: int, j: int) -> float:
+        """The ABW the tool *acts on* (bias and noise applied)."""
+        true_abw = self._quantity(i, j)
+        if not np.isfinite(true_abw):
+            return float("nan")
+        observed = (1.0 - self.underestimation) * true_abw
+        if self.noise:
+            observed += self._rng.normal(0.0, self.noise * self.rate)
+        return observed
+
+    def probe(self, i: int, j: int) -> float:
+        """One probe train from ``i`` to ``j``: +1 / -1 / NaN.
+
+        +1 ("good") when no congestion was observed, i.e. the effective
+        ABW exceeds the probing rate; the verdict materializes at the
+        *target* ``j`` in the real protocol.
+        """
+        if i == j:
+            raise ValueError("a node does not probe itself in this model")
+        self.trains_sent += 1
+        observed = self.effective_abw(i, j)
+        if not np.isfinite(observed):
+            return float("nan")
+        return 1.0 if observed > self.rate else -1.0

@@ -1,0 +1,110 @@
+"""Simulated ICMP round-trip probing (paper Section 3.1.1).
+
+A real deployment sends a handful of ICMP echo request/response packets
+and times them at the sender.  In this reproduction the "network" is a
+ground-truth RTT matrix (or any callable), and :class:`Ping` adds the
+sampling behaviour of the tool: per-probe jitter, optional packet loss
+(a lost probe yields no measurement) and multi-packet aggregation
+(`count` echoes per measurement, minimum taken, as ping-based tools do).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_probability, check_square_matrix
+
+__all__ = ["Ping"]
+
+QuantitySource = Union[np.ndarray, Callable[[int, int], float]]
+
+
+def _as_quantity_fn(source: QuantitySource) -> Callable[[int, int], float]:
+    if callable(source):
+        return source
+    matrix = check_square_matrix(np.asarray(source, dtype=float))
+
+    def lookup(i: int, j: int) -> float:
+        return float(matrix[i, j])
+
+    return lookup
+
+
+class Ping:
+    """Simulated ping measurement of RTT.
+
+    Parameters
+    ----------
+    rtt_source:
+        Ground-truth RTT matrix in ms (NaN = unreachable pair) or a
+        callable ``(i, j) -> ms``.
+    jitter:
+        Standard deviation of multiplicative lognormal jitter applied to
+        each echo; 0 reproduces the ground truth exactly.
+    loss_rate:
+        Probability that a single echo is lost.
+    count:
+        Echo packets per measurement; the reported RTT is the minimum of
+        the surviving echoes (the convention of ``ping -c``-style
+        tooling, which suppresses queueing outliers).
+    rng:
+        Seed or generator for jitter/loss draws.
+    """
+
+    def __init__(
+        self,
+        rtt_source: QuantitySource,
+        *,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        count: int = 3,
+        rng: RngLike = None,
+    ) -> None:
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._quantity = _as_quantity_fn(rtt_source)
+        self.jitter = float(jitter)
+        self.loss_rate = check_probability(loss_rate, "loss_rate")
+        self.count = int(count)
+        self._rng = ensure_rng(rng)
+        self.probes_sent = 0
+
+    def measure(self, i: int, j: int) -> float:
+        """One RTT measurement from node ``i`` to node ``j`` in ms.
+
+        Returns NaN when the pair is unreachable in the ground truth or
+        when every echo of this measurement was lost.
+        """
+        if i == j:
+            raise ValueError("a node does not ping itself in this model")
+        base = self._quantity(i, j)
+        self.probes_sent += self.count
+        if not np.isfinite(base):
+            return float("nan")
+        echoes = []
+        for _ in range(self.count):
+            if self.loss_rate and self._rng.random() < self.loss_rate:
+                continue
+            if self.jitter:
+                sample = base * self._rng.lognormal(mean=0.0, sigma=self.jitter)
+            else:
+                sample = base
+            echoes.append(sample)
+        if not echoes:
+            return float("nan")
+        return float(min(echoes))
+
+    def classify(self, i: int, j: int, tau: float) -> float:
+        """Measure and threshold: +1 when RTT < ``tau``, -1 otherwise.
+
+        NaN (no reply) propagates so callers can retry or skip.
+        """
+        rtt = self.measure(i, j)
+        if not np.isfinite(rtt):
+            return float("nan")
+        return 1.0 if rtt < tau else -1.0

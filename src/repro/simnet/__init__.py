@@ -1,0 +1,33 @@
+"""Discrete-event network simulation substrate.
+
+DMFSGD is a *protocol*: nodes exchange probe and reply messages and
+update local state on receipt (paper Algorithms 1 and 2).  This package
+provides the machinery to execute such protocols faithfully:
+
+* :mod:`repro.simnet.events` — virtual clock and event queue;
+* :mod:`repro.simnet.messages` — typed messages with payload sizes (so
+  experiments can account for protocol overhead);
+* :mod:`repro.simnet.node` — the node interface (message and timer
+  handlers);
+* :mod:`repro.simnet.simulator` — the network: delivers messages with
+  configurable latency and drop rate, owns the clock;
+* :mod:`repro.simnet.neighbors` — random reference-set management.
+"""
+
+from repro.simnet.events import EventQueue, ScheduledEvent
+from repro.simnet.messages import Message
+from repro.simnet.neighbors import NeighborSet, sample_neighbor_sets
+from repro.simnet.node import SimNode
+from repro.simnet.replay import TraceReplaySimulation
+from repro.simnet.simulator import NetworkSimulator
+
+__all__ = [
+    "EventQueue",
+    "ScheduledEvent",
+    "Message",
+    "SimNode",
+    "NetworkSimulator",
+    "NeighborSet",
+    "sample_neighbor_sets",
+    "TraceReplaySimulation",
+]

@@ -1,0 +1,100 @@
+"""Virtual clock and event queue for discrete-event simulation.
+
+A minimal, deterministic priority queue of timestamped callbacks.
+Events at equal times fire in scheduling order (a monotonically
+increasing sequence number breaks ties), which keeps simulations
+reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["ScheduledEvent", "EventQueue"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """An event in the queue, ordered by (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic discrete-event queue with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.processed = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        event = ScheduledEvent(
+            time=self.now + delay, sequence=next(self._counter), callback=callback
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` at an absolute virtual time."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now={self.now}"
+            )
+        return self.schedule(time - self.now, callback)
+
+    def step(self) -> bool:
+        """Fire the next pending event; returns False when queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            self.processed += 1
+            return True
+        return False
+
+    def run_until(self, time: float, *, max_events: Optional[int] = None) -> int:
+        """Fire all events up to virtual ``time``; returns events fired.
+
+        ``max_events`` is a safety valve against runaway protocols.
+        """
+        fired = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        self.now = max(self.now, time)
+        return fired
+
+    def run(self, *, max_events: int = 1_000_000) -> int:
+        """Drain the queue completely (bounded by ``max_events``)."""
+        fired = 0
+        while fired < max_events and self.step():
+            fired += 1
+        return fired

@@ -1,0 +1,114 @@
+"""Neighbor-set management (paper Section 5.3).
+
+DMFSGD shares Vivaldi's architecture: each node randomly and
+independently chooses ``k`` other nodes as its *neighbor set* (its
+references) and at each step probes one of them at random.  The paper
+reports the algorithm insensitive to this random selection.
+
+:func:`sample_neighbor_sets` builds the ``(n, k)`` index table both the
+vectorized engine and the message-level simulator use;
+:class:`NeighborSet` is the per-node object the protocol nodes own, with
+optional churn (neighbor replacement) used by robustness extensions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["sample_neighbor_sets", "NeighborSet"]
+
+
+def sample_neighbor_sets(
+    n: int,
+    k: int,
+    rng: RngLike = None,
+    *,
+    exclude: Optional[Sequence[Sequence[int]]] = None,
+) -> np.ndarray:
+    """Sample ``k`` distinct random neighbors (!= self) for each node.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    k:
+        Neighbors per node; must satisfy ``k <= n - 1``.
+    rng:
+        Seed or generator.
+    exclude:
+        Optional per-node sequences of ids that must not be chosen
+        (used by peer-selection experiments to keep peer sets disjoint
+        from neighbor sets).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n, k)`` integer array; row ``i`` lists node ``i``'s
+        neighbors.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 nodes, got {n}")
+    if not 0 < k <= n - 1:
+        raise ValueError(f"k must be in [1, n-1] = [1, {n - 1}], got {k}")
+    generator = ensure_rng(rng)
+    table = np.empty((n, k), dtype=int)
+    for i in range(n):
+        forbidden = {i}
+        if exclude is not None:
+            forbidden.update(int(x) for x in exclude[i])
+        candidates = np.setdiff1d(np.arange(n), np.fromiter(forbidden, dtype=int))
+        if candidates.size < k:
+            raise ValueError(
+                f"node {i}: only {candidates.size} candidates for k={k}"
+            )
+        table[i] = generator.choice(candidates, size=k, replace=False)
+    return table
+
+
+class NeighborSet:
+    """One node's reference set with random probing and optional churn."""
+
+    def __init__(
+        self,
+        owner: int,
+        members: Sequence[int],
+        rng: RngLike = None,
+    ) -> None:
+        members = [int(m) for m in members]
+        if owner in members:
+            raise ValueError(f"node {owner} cannot be its own neighbor")
+        if len(set(members)) != len(members):
+            raise ValueError("neighbor set contains duplicates")
+        if not members:
+            raise ValueError("neighbor set must not be empty")
+        self.owner = int(owner)
+        self._members: List[int] = members
+        self._rng = ensure_rng(rng)
+
+    @property
+    def members(self) -> List[int]:
+        """Current neighbor ids (copy)."""
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: int) -> bool:
+        return int(node) in self._members
+
+    def pick(self) -> int:
+        """Choose a random neighbor to probe next."""
+        return int(self._rng.choice(self._members))
+
+    def replace(self, old: int, new: int) -> None:
+        """Swap one neighbor for another (churn handling)."""
+        old, new = int(old), int(new)
+        if old not in self._members:
+            raise ValueError(f"{old} is not a member")
+        if new == self.owner or new in self._members:
+            raise ValueError(f"{new} is an invalid replacement")
+        self._members[self._members.index(old)] = new

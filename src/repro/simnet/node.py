@@ -1,0 +1,75 @@
+"""Node interface for protocol simulations.
+
+A :class:`SimNode` owns local state and reacts to two stimuli delivered
+by the :class:`~repro.simnet.simulator.NetworkSimulator`:
+
+* :meth:`on_message` — a message addressed to it arrived;
+* :meth:`on_timer` — a timer it armed has fired.
+
+Nodes never touch each other's state directly; everything flows through
+messages, which is what makes the DMFSGD implementation on top of this
+substrate genuinely decentralized.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.simnet.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simnet.simulator import NetworkSimulator
+
+__all__ = ["SimNode"]
+
+
+class SimNode:
+    """Base class for simulated protocol nodes."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = int(node_id)
+        self._simulator: "NetworkSimulator | None" = None
+
+    # ------------------------------------------------------------------
+    # wiring (called by the simulator)
+    # ------------------------------------------------------------------
+
+    def attach(self, simulator: "NetworkSimulator") -> None:
+        """Bind the node to a simulator; called on registration."""
+        self._simulator = simulator
+
+    @property
+    def simulator(self) -> "NetworkSimulator":
+        """The simulator this node runs in."""
+        if self._simulator is None:
+            raise RuntimeError(
+                f"node {self.node_id} is not attached to a simulator"
+            )
+        return self._simulator
+
+    # ------------------------------------------------------------------
+    # conveniences for subclasses
+    # ------------------------------------------------------------------
+
+    def send(self, dst: int, kind: str, **payload: object) -> Message:
+        """Send a message to another node."""
+        message = Message(src=self.node_id, dst=int(dst), kind=kind, payload=payload)
+        self.simulator.send(message)
+        return message
+
+    def set_timer(self, delay: float, tag: str = "") -> None:
+        """Arm a timer that calls :meth:`on_timer` after ``delay`` seconds."""
+        self.simulator.set_timer(self.node_id, delay, tag)
+
+    # ------------------------------------------------------------------
+    # handlers (override in subclasses)
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Called once when the simulation begins."""
+
+    def on_message(self, message: Message) -> None:
+        """Handle an incoming message."""
+
+    def on_timer(self, tag: str) -> None:
+        """Handle a fired timer."""

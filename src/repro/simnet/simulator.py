@@ -1,0 +1,188 @@
+"""The network simulator: message delivery, latency, loss, timers.
+
+:class:`NetworkSimulator` owns the virtual clock, a registry of
+:class:`~repro.simnet.node.SimNode` objects, and the delivery model:
+
+* **latency** — a callable ``(src, dst) -> seconds``; by default a
+  small uniform random delay, or derive it from a ground-truth RTT
+  matrix via :func:`latency_from_rtt` for co-simulation fidelity;
+* **loss** — messages are dropped independently with ``loss_rate``;
+* **accounting** — per-kind message and byte counters, so experiments
+  can report the probe-traffic cost the paper argues about.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.simnet.events import EventQueue
+from repro.simnet.messages import Message
+from repro.simnet.node import SimNode
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["NetworkSimulator", "latency_from_rtt"]
+
+LatencyFn = Callable[[int, int], float]
+
+
+def latency_from_rtt(rtt_matrix: np.ndarray, default_ms: float = 50.0) -> LatencyFn:
+    """Latency model derived from a ground-truth RTT matrix.
+
+    One-way delay is half the pair's RTT; unknown pairs fall back to
+    ``default_ms``.  Returned values are in **seconds**.
+    """
+    matrix = np.asarray(rtt_matrix, dtype=float)
+
+    def latency(src: int, dst: int) -> float:
+        value = matrix[src, dst]
+        if not np.isfinite(value):
+            value = default_ms
+        return float(value) / 2.0 / 1000.0
+
+    return latency
+
+
+class NetworkSimulator:
+    """Deterministic discrete-event message network.
+
+    Parameters
+    ----------
+    latency:
+        ``(src, dst) -> seconds`` one-way delivery delay; default is a
+        uniform random 10-100 ms per message.
+    loss_rate:
+        Independent probability of dropping each message.
+    rng:
+        Seed or generator for the default latency and loss draws.
+    """
+
+    def __init__(
+        self,
+        *,
+        latency: Optional[LatencyFn] = None,
+        loss_rate: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        self.queue = EventQueue()
+        self.nodes: Dict[int, SimNode] = {}
+        self._rng = ensure_rng(rng)
+        self.loss_rate = check_probability(loss_rate, "loss_rate")
+        self._latency = latency or self._default_latency
+        self.messages_sent: Counter = Counter()
+        self.messages_delivered: Counter = Counter()
+        self.messages_dropped: Counter = Counter()
+        self.bytes_sent = 0
+        self._down: set = set()
+
+    def _default_latency(self, src: int, dst: int) -> float:
+        return float(self._rng.uniform(0.010, 0.100))
+
+    # ------------------------------------------------------------------
+    # topology management
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.queue.now
+
+    def add_node(self, node: SimNode) -> None:
+        """Register a node (ids must be unique)."""
+        if node.node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self.nodes[node.node_id] = node
+        node.attach(self)
+
+    # ------------------------------------------------------------------
+    # churn: nodes going down and coming back
+    # ------------------------------------------------------------------
+
+    def is_down(self, node_id: int) -> bool:
+        """Whether a node is currently down (churned out)."""
+        return node_id in self._down
+
+    def set_down(self, node_id: int) -> None:
+        """Take a node down: it stops receiving messages and timers.
+
+        Messages addressed to it are dropped (counted as such) and its
+        pending timers are silently discarded when they fire, exactly
+        like a crashed process.
+        """
+        if node_id not in self.nodes:
+            raise ValueError(f"unknown node {node_id}")
+        self._down.add(node_id)
+
+    def set_up(self, node_id: int) -> None:
+        """Bring a node back up and re-run its ``start`` hook.
+
+        ``start`` re-arms the node's timers (a rejoining process boots
+        from scratch); local state handling is up to the caller.
+        """
+        if node_id not in self.nodes:
+            raise ValueError(f"unknown node {node_id}")
+        self._down.discard(node_id)
+        self.nodes[node_id].start()
+
+    # ------------------------------------------------------------------
+    # message and timer plumbing
+    # ------------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Enqueue a message for delivery (or drop it)."""
+        if message.dst not in self.nodes:
+            raise ValueError(f"unknown destination node {message.dst}")
+        message.sent_at = self.now
+        self.messages_sent[message.kind] += 1
+        self.bytes_sent += message.size_bytes()
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.messages_dropped[message.kind] += 1
+            return
+        delay = self._latency(message.src, message.dst)
+        if delay < 0:
+            raise ValueError(f"latency must be >= 0, got {delay}")
+
+        def deliver() -> None:
+            if message.dst in self._down:  # crashed meanwhile
+                self.messages_dropped[message.kind] += 1
+                return
+            self.messages_delivered[message.kind] += 1
+            self.nodes[message.dst].on_message(message)
+
+        self.queue.schedule(delay, deliver)
+
+    def set_timer(self, node_id: int, delay: float, tag: str) -> None:
+        """Arm a node timer."""
+        if node_id not in self.nodes:
+            raise ValueError(f"unknown node {node_id}")
+
+        def fire() -> None:
+            if node_id in self._down:  # timers die with the process
+                return
+            self.nodes[node_id].on_timer(tag)
+
+        self.queue.schedule(delay, fire)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Invoke every node's ``start`` hook."""
+        for node in self.nodes.values():
+            node.start()
+
+    def run_until(self, time: float, *, max_events: Optional[int] = None) -> int:
+        """Advance the virtual clock to ``time``."""
+        return self.queue.run_until(time, max_events=max_events)
+
+    def run(self, *, max_events: int = 1_000_000) -> int:
+        """Run until no events remain (bounded)."""
+        return self.queue.run(max_events=max_events)
+
+    def total_messages(self) -> int:
+        """Total messages sent across all kinds."""
+        return sum(self.messages_sent.values())

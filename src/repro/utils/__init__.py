@@ -1,0 +1,22 @@
+"""Shared utilities: RNG handling, validation, tables, terminal plots."""
+
+from repro.utils.ascii_plot import ascii_plot
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_binary_labels,
+    check_positive,
+    check_probability,
+    check_square_matrix,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_binary_labels",
+    "check_positive",
+    "check_probability",
+    "check_square_matrix",
+    "format_table",
+    "ascii_plot",
+]

@@ -1,0 +1,110 @@
+"""Terminal line plots for examples and experiment summaries.
+
+A tiny dependency-free renderer: series are drawn on a character grid
+with per-series markers and a labeled y-axis.  Good enough to eyeball
+convergence curves and sweeps in a terminal session; the benchmark
+harness prints exact tables instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ascii_plot"]
+
+#: Marker cycle for multiple series.
+MARKERS = "*o+x#@%&"
+
+
+def _scale(
+    values: np.ndarray, lo: float, hi: float, cells: int
+) -> np.ndarray:
+    """Map values in [lo, hi] to integer cell indices [0, cells-1]."""
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    fraction = (values - lo) / (hi - lo)
+    return np.clip((fraction * (cells - 1)).round().astype(int), 0, cells - 1)
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render named ``(xs, ys)`` series as an ASCII chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name to ``(xs, ys)``; all series share axes.
+    width, height:
+        Plot-area size in characters.
+    title, xlabel, ylabel:
+        Optional labels.
+    y_range:
+        Fix the y-axis; defaults to the data range padded by 5%.
+
+    Returns
+    -------
+    str
+        Multi-line chart with a legend mapping markers to series names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+
+    cleaned = {}
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.shape != ys.shape or xs.ndim != 1:
+            raise ValueError(f"series {name!r}: xs/ys must be matching 1-D")
+        mask = np.isfinite(xs) & np.isfinite(ys)
+        if not mask.any():
+            raise ValueError(f"series {name!r} has no finite points")
+        cleaned[name] = (xs[mask], ys[mask])
+
+    all_x = np.concatenate([xs for xs, _ in cleaned.values()])
+    all_y = np.concatenate([ys for _, ys in cleaned.values()])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    if y_range is not None:
+        y_lo, y_hi = float(y_range[0]), float(y_range[1])
+    else:
+        pad = 0.05 * max(float(all_y.max() - all_y.min()), 1e-12)
+        y_lo, y_hi = float(all_y.min()) - pad, float(all_y.max()) + pad
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(cleaned.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        cols = _scale(xs, x_lo, x_hi, width)
+        rows = _scale(ys, y_lo, y_hi, height)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    for row_index, row in enumerate(grid):
+        y_value = y_hi - (y_hi - y_lo) * row_index / (height - 1)
+        prefix = f"{y_value:8.3f} |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_axis = f"{x_lo:<12.4g}{x_hi:>{max(width - 12, 1)}.4g}"
+    lines.append(" " * 10 + x_axis)
+    if xlabel:
+        lines.append(" " * 10 + xlabel.center(width))
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(cleaned)
+    )
+    lines.append("legend: " + legend)
+    if ylabel:
+        lines.insert(1 if title else 0, f"[y: {ylabel}]")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper reports; this module
+keeps the formatting consistent (fixed-width columns, optional float
+formatting) without pulling in a third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Sequence[object]],
+    headers: Optional[Sequence[str]] = None,
+    *,
+    float_fmt: str = ".3f",
+    indent: str = "",
+) -> str:
+    """Render ``rows`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of row sequences; cells may be any object, floats are
+        formatted with ``float_fmt``.
+    headers:
+        Optional column headers; a separator rule is added beneath them.
+    float_fmt:
+        ``format()`` spec applied to float cells.
+    indent:
+        Prefix prepended to every output line.
+    """
+    rendered: List[List[str]] = [
+        [_render_cell(cell, float_fmt) for cell in row] for row in rows
+    ]
+    if headers is not None:
+        header_row = [str(h) for h in headers]
+    else:
+        header_row = []
+
+    ncols = max(
+        [len(r) for r in rendered] + ([len(header_row)] if header_row else [0]) or [0]
+    )
+    for row in rendered:
+        row.extend([""] * (ncols - len(row)))
+    if header_row:
+        header_row.extend([""] * (ncols - len(header_row)))
+
+    widths = [0] * ncols
+    for row in ([header_row] if header_row else []) + rendered:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt_row(row: Sequence[str]) -> str:
+        return indent + "  ".join(
+            cell.rjust(widths[idx]) for idx, cell in enumerate(row)
+        ).rstrip()
+
+    lines: List[str] = []
+    if header_row:
+        lines.append(fmt_row(header_row))
+        lines.append(indent + "  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in rendered)
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Argument validation helpers shared across the library.
+
+Validation failures raise ``ValueError``/``TypeError`` with messages that
+name the offending argument, following the "errors should never pass
+silently" principle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is a positive (or non-negative) scalar."""
+    if not np.isscalar(value) or isinstance(value, (bool, np.bool_)):
+        raise TypeError(f"{name} must be a numeric scalar, got {value!r}")
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+def check_square_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that ``matrix`` is a 2-D square numpy array."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {matrix.shape}")
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {matrix.shape}")
+    return matrix
+
+
+def check_binary_labels(
+    labels: np.ndarray, name: str = "labels", *, allow_nan: bool = True
+) -> np.ndarray:
+    """Validate that the array contains only {+1, -1} (optionally NaN).
+
+    NaN marks unobserved entries in class matrices; callers that require a
+    fully observed array pass ``allow_nan=False``.
+    """
+    labels = np.asarray(labels, dtype=float)
+    finite = labels[np.isfinite(labels)]
+    if not allow_nan and finite.size != labels.size:
+        raise ValueError(f"{name} must not contain NaN/inf")
+    bad = finite[(finite != 1.0) & (finite != -1.0)]
+    if bad.size:
+        raise ValueError(
+            f"{name} must contain only +1/-1 labels, found values like {bad[:5]}"
+        )
+    return labels
+
+
+def check_index(index: int, size: int, name: str = "index") -> int:
+    """Validate an integer index against a container size."""
+    index = int(index)
+    if not 0 <= index < size:
+        raise ValueError(f"{name} must be in [0, {size}), got {index}")
+    return index
+
+
+def check_rank(rank: int, n: Optional[int] = None) -> int:
+    """Validate a factorization rank (positive, optionally < n)."""
+    rank = int(rank)
+    if rank <= 0:
+        raise ValueError(f"rank must be positive, got {rank}")
+    if n is not None and rank > n:
+        raise ValueError(f"rank must be <= number of nodes ({n}), got {rank}")
+    return rank

@@ -1,0 +1,49 @@
+"""Shared fixtures: small, session-cached datasets and generators.
+
+Fixtures keep sizes small (tens of nodes) so the full unit suite runs in
+seconds; integration tests that need paper-scale behaviour build their
+own inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_harvard, load_hps3, load_meridian
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def rtt_dataset():
+    """Small Meridian-like RTT dataset (session cached)."""
+    return load_meridian(n_hosts=60, rng=7)
+
+
+@pytest.fixture(scope="session")
+def abw_dataset():
+    """Small HP-S3-like ABW dataset (session cached)."""
+    return load_hps3(n_hosts=60, rng=7)
+
+
+@pytest.fixture(scope="session")
+def harvard_bundle():
+    """Small Harvard-like dynamic dataset + trace (session cached)."""
+    return load_harvard(n_hosts=50, n_samples=30_000, rng=7)
+
+
+@pytest.fixture(scope="session")
+def rtt_labels(rtt_dataset):
+    """Median-threshold class matrix of the RTT dataset."""
+    return rtt_dataset.class_matrix()
+
+
+@pytest.fixture(scope="session")
+def abw_labels(abw_dataset):
+    """Median-threshold class matrix of the ABW dataset."""
+    return abw_dataset.class_matrix()

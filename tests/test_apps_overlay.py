@@ -1,0 +1,117 @@
+"""Tests for the overlay-construction application."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.apps.overlay import (
+    build_overlay,
+    evaluate_overlay,
+    random_overlay,
+)
+
+
+class TestBuildOverlay:
+    def test_degrees(self, rng):
+        scores = rng.normal(size=(20, 20))
+        graph = build_overlay(scores, degree=4)
+        assert all(deg == 4 for _, deg in graph.out_degree())
+
+    def test_no_self_loops(self, rng):
+        scores = rng.normal(size=(15, 15))
+        graph = build_overlay(scores, degree=3)
+        assert all(src != dst for src, dst in graph.edges())
+
+    def test_picks_top_scores(self, rng):
+        scores = rng.normal(size=(10, 10))
+        np.fill_diagonal(scores, np.nan)
+        graph = build_overlay(scores, degree=2)
+        for node in range(10):
+            chosen = {dst for _, dst in graph.out_edges(node)}
+            best = set(np.argsort(-np.nan_to_num(scores[node], nan=-np.inf))[:2])
+            assert chosen == best
+
+    def test_nan_scores_never_selected(self):
+        scores = np.full((5, 5), np.nan)
+        scores[:, 0] = 1.0  # only edges to node 0 are scored
+        np.fill_diagonal(scores, np.nan)
+        graph = build_overlay(scores, degree=1)
+        for src, dst in graph.edges():
+            if src != 0:
+                assert dst == 0
+
+    def test_rejects_bad_degree(self, rng):
+        with pytest.raises(ValueError):
+            build_overlay(rng.normal(size=(5, 5)), degree=5)
+
+    def test_rejects_rectangular(self, rng):
+        with pytest.raises(ValueError):
+            build_overlay(rng.normal(size=(4, 5)), degree=2)
+
+
+class TestRandomOverlay:
+    def test_degrees(self):
+        graph = random_overlay(20, 4, rng=0)
+        assert all(deg == 4 for _, deg in graph.out_degree())
+
+    def test_no_self_loops(self):
+        graph = random_overlay(10, 3, rng=0)
+        assert all(src != dst for src, dst in graph.edges())
+
+    def test_deterministic(self):
+        a = random_overlay(10, 3, rng=1)
+        b = random_overlay(10, 3, rng=1)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestEvaluateOverlay:
+    def test_oracle_overlay_is_perfect(self, rtt_dataset):
+        # score by true quantities: every edge lands on a good path
+        scores = -rtt_dataset.quantities
+        graph = build_overlay(scores, degree=5)
+        quality = evaluate_overlay(graph, rtt_dataset)
+        assert quality.edge_goodness > 0.95
+
+    def test_random_overlay_near_base_rate(self, rtt_dataset):
+        graph = random_overlay(rtt_dataset.n, 5, rng=0)
+        quality = evaluate_overlay(graph, rtt_dataset)
+        assert quality.edge_goodness == pytest.approx(0.5, abs=0.12)
+
+    def test_in_degree_skew_flags_hotspots(self, rtt_dataset):
+        # all nodes pointing at the same targets -> heavy skew
+        scores = np.tile(np.arange(rtt_dataset.n, dtype=float), (rtt_dataset.n, 1))
+        np.fill_diagonal(scores, np.nan)
+        graph = build_overlay(scores, degree=3)
+        quality = evaluate_overlay(graph, rtt_dataset)
+        assert quality.in_degree_skew > 5.0
+
+    def test_connectivity_flag(self, rtt_dataset):
+        graph = random_overlay(rtt_dataset.n, 5, rng=0)
+        quality = evaluate_overlay(graph, rtt_dataset)
+        assert quality.weakly_connected == nx.is_weakly_connected(graph)
+
+    def test_empty_overlay_rejected(self, rtt_dataset):
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(rtt_dataset.n))
+        with pytest.raises(ValueError):
+            evaluate_overlay(graph, rtt_dataset)
+
+    def test_predicted_overlay_beats_random(self, rtt_dataset, rtt_labels):
+        """End-to-end: DMFSGD-scored overlay has far better edges."""
+        from repro.core import DMFSGDConfig, DMFSGDEngine, matrix_label_fn
+
+        engine = DMFSGDEngine(
+            rtt_dataset.n,
+            matrix_label_fn(rtt_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=4,
+        )
+        result = engine.run(rounds=250)
+        predicted = evaluate_overlay(
+            build_overlay(result.estimate_matrix(), degree=5), rtt_dataset
+        )
+        random_quality = evaluate_overlay(
+            random_overlay(rtt_dataset.n, 5, rng=4), rtt_dataset
+        )
+        assert predicted.edge_goodness > random_quality.edge_goodness + 0.2

@@ -1,0 +1,144 @@
+"""Tests for the peer-selection application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.peer_selection import (
+    PeerSelectionExperiment,
+    build_peer_sets,
+    select_peers,
+)
+
+
+class TestBuildPeerSets:
+    def test_shape(self):
+        peers = build_peer_sets(20, 5, rng=0)
+        assert peers.shape == (20, 5)
+
+    def test_no_self(self):
+        peers = build_peer_sets(20, 5, rng=0)
+        own = np.arange(20)[:, None]
+        assert not (peers == own).any()
+
+    def test_distinct(self):
+        peers = build_peer_sets(20, 10, rng=0)
+        for row in peers:
+            assert len(set(row.tolist())) == 10
+
+    def test_exclusion_disjoint(self):
+        exclude = np.tile(np.array([[1, 2, 3]]), (10, 1))
+        peers = build_peer_sets(10, 4, exclude=exclude, rng=0)
+        # nodes 1..3 are excluded from every peer set
+        assert not np.isin(peers, [1, 2, 3]).any()
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            build_peer_sets(5, 5, rng=0)
+
+
+class TestSelectPeers:
+    @pytest.fixture
+    def setup(self, rng):
+        n, m = 12, 4
+        peers = build_peer_sets(n, m, rng=0)
+        decision = rng.normal(size=(n, n))
+        np.fill_diagonal(decision, np.nan)
+        return n, peers, decision
+
+    def test_classification_picks_argmax(self, setup):
+        n, peers, decision = setup
+        chosen = select_peers(
+            "classification", peers, metric="rtt", decision_matrix=decision
+        )
+        for i in range(n):
+            values = decision[i, peers[i]]
+            assert decision[i, chosen[i]] == np.nanmax(values)
+
+    def test_regression_rtt_picks_min(self, setup):
+        n, peers, decision = setup
+        quantities = np.abs(decision) + 1.0
+        chosen = select_peers(
+            "regression", peers, metric="rtt", decision_matrix=quantities
+        )
+        for i in range(n):
+            assert quantities[i, chosen[i]] == np.nanmin(quantities[i, peers[i]])
+
+    def test_regression_abw_picks_max(self, setup):
+        n, peers, decision = setup
+        quantities = np.abs(decision) + 1.0
+        chosen = select_peers(
+            "regression", peers, metric="abw", decision_matrix=quantities
+        )
+        for i in range(n):
+            assert quantities[i, chosen[i]] == np.nanmax(quantities[i, peers[i]])
+
+    def test_random_stays_in_peer_set(self, setup):
+        n, peers, _ = setup
+        chosen = select_peers("random", peers, metric="rtt", rng=0)
+        for i in range(n):
+            assert chosen[i] in peers[i]
+
+    def test_nan_predictions_ranked_last(self):
+        peers = np.array([[1, 2]])
+        decision = np.array(
+            [[np.nan, np.nan, 0.1], [0, 0, 0], [0, 0, 0]], dtype=float
+        )
+        chosen = select_peers(
+            "classification", peers, metric="rtt", decision_matrix=decision
+        )
+        assert chosen[0] == 2
+
+    def test_requires_decision_matrix(self, setup):
+        _, peers, _ = setup
+        with pytest.raises(ValueError):
+            select_peers("classification", peers, metric="rtt")
+
+    def test_unknown_strategy(self, setup):
+        _, peers, decision = setup
+        with pytest.raises(ValueError):
+            select_peers("oracle", peers, metric="rtt", decision_matrix=decision)
+
+
+class TestExperiment:
+    @pytest.fixture
+    def experiment(self, rtt_dataset):
+        peers = build_peer_sets(rtt_dataset.n, 8, rng=1)
+        return PeerSelectionExperiment(rtt_dataset, peers)
+
+    def test_oracle_selection_perfect(self, experiment, rtt_dataset):
+        """Selecting with the true quantities yields stretch 1, unsat 0."""
+        truth = rtt_dataset.quantities
+        result = experiment.run("regression", decision_matrix=truth)
+        assert result.mean_stretch == pytest.approx(1.0)
+        assert result.unsatisfied_fraction == 0.0
+
+    def test_random_worse_than_oracle(self, experiment, rtt_dataset):
+        random_result = experiment.run("random", rng=3)
+        assert random_result.mean_stretch > 1.0
+        assert random_result.unsatisfied_fraction > 0.0
+
+    def test_rtt_stretch_at_least_one(self, experiment):
+        result = experiment.run("random", rng=3)
+        assert result.mean_stretch >= 1.0
+
+    def test_abw_stretch_at_most_one(self, abw_dataset):
+        peers = build_peer_sets(abw_dataset.n, 8, rng=1)
+        experiment = PeerSelectionExperiment(abw_dataset, peers)
+        result = experiment.run(
+            "regression", decision_matrix=abw_dataset.quantities
+        )
+        assert result.mean_stretch <= 1.0 + 1e-9
+
+    def test_result_fields(self, experiment):
+        result = experiment.run("random", rng=3)
+        assert result.strategy == "random"
+        assert result.peer_count == 8
+        assert result.evaluated_nodes > 0
+
+    def test_shape_validation(self, rtt_dataset):
+        with pytest.raises(ValueError):
+            PeerSelectionExperiment(rtt_dataset, np.zeros((3, 2), dtype=int))
+
+    def test_selected_shape_validation(self, experiment, rtt_dataset):
+        with pytest.raises(ValueError):
+            experiment.evaluate("random", np.zeros(3, dtype=int))

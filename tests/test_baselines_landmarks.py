@@ -1,0 +1,78 @@
+"""Tests for the landmark-based (IDES-style) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.landmarks import LandmarkMF
+from repro.evaluation import auc_score
+
+
+class TestFit:
+    def test_learns_classes(self, rtt_labels):
+        model = LandmarkMF(rank=8, rng=0).fit(rtt_labels, n_landmarks=25)
+        auc = auc_score(rtt_labels, model.decision_matrix())
+        assert auc > 0.8
+
+    def test_more_landmarks_not_worse(self, rtt_labels):
+        few = LandmarkMF(rank=8, rng=0).fit(rtt_labels, n_landmarks=10)
+        many = LandmarkMF(rank=8, rng=0).fit(rtt_labels, n_landmarks=30)
+        auc_few = auc_score(rtt_labels, few.decision_matrix())
+        auc_many = auc_score(rtt_labels, many.decision_matrix())
+        assert auc_many > auc_few - 0.05
+
+    def test_explicit_landmarks(self, rtt_labels):
+        landmarks = np.arange(12)
+        model = LandmarkMF(rank=8, rng=0).fit(
+            rtt_labels, n_landmarks=12, landmarks=landmarks
+        )
+        np.testing.assert_array_equal(model.landmarks, landmarks)
+
+    def test_rejects_too_few_landmarks(self, rtt_labels):
+        with pytest.raises(ValueError):
+            LandmarkMF(rank=10, rng=0).fit(rtt_labels, n_landmarks=5)
+
+    def test_decision_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LandmarkMF().decision_matrix()
+
+    def test_diagonal_nan(self, rtt_labels):
+        model = LandmarkMF(rank=8, rng=0).fit(rtt_labels, n_landmarks=20)
+        assert np.isnan(np.diag(model.decision_matrix())).all()
+
+    def test_handles_missing_entries(self, rtt_labels, rng):
+        sparse = rtt_labels.copy()
+        hide = rng.random(sparse.shape) < 0.1
+        sparse[hide] = np.nan
+        model = LandmarkMF(rank=8, rng=0).fit(sparse, n_landmarks=25)
+        assert np.isfinite(
+            model.decision_matrix()[~np.eye(sparse.shape[0], dtype=bool)]
+        ).all()
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            LandmarkMF(rank=0)
+
+    def test_rejects_negative_regularization(self):
+        with pytest.raises(ValueError):
+            LandmarkMF(regularization=-1.0)
+
+
+class TestArchitecturalCost:
+    def test_landmark_load_is_linear_in_n(self, rtt_labels):
+        n = rtt_labels.shape[0]
+        model = LandmarkMF(rank=8, rng=0).fit(rtt_labels, n_landmarks=15)
+        load = model.landmark_load(n)
+        # each landmark answers every other node twice + landmark mesh
+        assert load == 2 * (n - 15) + 2 * 14
+
+    def test_load_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LandmarkMF().landmark_load(100)
+
+    def test_landmark_hotspot_vs_dmfsgd(self, rtt_labels):
+        """The architectural argument: landmarks are O(n) hotspots while
+        DMFSGD nodes each answer O(k) probes."""
+        n = rtt_labels.shape[0]
+        model = LandmarkMF(rank=8, rng=0).fit(rtt_labels, n_landmarks=15)
+        dmfsgd_per_node_load = 10  # k probes
+        assert model.landmark_load(n) > 5 * dmfsgd_per_node_load

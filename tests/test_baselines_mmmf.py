@@ -1,0 +1,42 @@
+"""Tests for the centralized MMMF-style baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mmmf import MMMFBaseline
+from repro.evaluation import auc_score
+
+
+class TestFit:
+    def test_fits_observed_labels(self, rtt_labels):
+        baseline = MMMFBaseline(rank=8, rng=0).fit(rtt_labels)
+        auc = auc_score(rtt_labels, baseline.decision_matrix())
+        assert auc > 0.9
+
+    def test_generalizes_to_hidden(self, rtt_labels, rng):
+        observed = rtt_labels.copy()
+        hide = rng.random(observed.shape) < 0.5
+        observed[hide] = np.nan
+        baseline = MMMFBaseline(rank=8, rng=0).fit(observed)
+        hidden_mask = hide & np.isfinite(rtt_labels)
+        truth = np.where(hidden_mask, rtt_labels, np.nan)
+        auc = auc_score(truth, baseline.decision_matrix())
+        assert auc > 0.8
+
+    def test_predicted_classes_binary(self, rtt_labels):
+        baseline = MMMFBaseline(rank=4, max_iter=50, rng=0).fit(rtt_labels)
+        classes = baseline.predicted_classes()
+        observed = classes[np.isfinite(classes)]
+        assert set(np.unique(observed)) <= {1.0, -1.0}
+
+    def test_decision_diagonal_nan(self, rtt_labels):
+        baseline = MMMFBaseline(rank=4, max_iter=20, rng=0).fit(rtt_labels)
+        assert np.isnan(np.diag(baseline.decision_matrix())).all()
+
+    def test_unfit_raises(self):
+        with pytest.raises(RuntimeError):
+            MMMFBaseline().decision_matrix()
+
+    def test_fit_returns_self(self, rtt_labels):
+        baseline = MMMFBaseline(rank=4, max_iter=10, rng=0)
+        assert baseline.fit(rtt_labels) is baseline

@@ -1,0 +1,102 @@
+"""Tests for the Vivaldi baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.vivaldi import Vivaldi, VivaldiConfig
+from repro.evaluation import auc_score
+from repro.simnet.neighbors import sample_neighbor_sets
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = VivaldiConfig()
+        assert config.dimensions == 2 and config.use_height
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            VivaldiConfig(dimensions=0)
+        with pytest.raises(ValueError):
+            VivaldiConfig(ce=0.0)
+
+
+class TestObserve:
+    def test_initial_prediction_zero(self):
+        system = Vivaldi(5, rng=0)
+        assert system.predict(0, 1) == 0.0
+
+    def test_observation_moves_prediction_toward_rtt(self):
+        system = Vivaldi(2, rng=0)
+        for _ in range(60):
+            system.observe(0, 1, 100.0)
+            system.observe(1, 0, 100.0)
+        assert system.predict(0, 1) == pytest.approx(100.0, rel=0.3)
+
+    def test_error_estimate_shrinks(self):
+        system = Vivaldi(2, rng=0)
+        initial = system.errors[0]
+        for _ in range(40):
+            system.observe(0, 1, 50.0)
+            system.observe(1, 0, 50.0)
+        assert system.errors[0] < initial
+
+    def test_nan_measurement_ignored(self):
+        system = Vivaldi(2, rng=0)
+        system.observe(0, 1, float("nan"))
+        assert system.updates == 0
+
+    def test_nonpositive_rtt_ignored(self):
+        system = Vivaldi(2, rng=0)
+        system.observe(0, 1, 0.0)
+        assert system.updates == 0
+
+    def test_self_measurement_rejected(self):
+        with pytest.raises(ValueError):
+            Vivaldi(2, rng=0).observe(1, 1, 10.0)
+
+    def test_heights_nonnegative(self):
+        system = Vivaldi(3, rng=0)
+        for _ in range(50):
+            system.observe(0, 1, 10.0)
+            system.observe(0, 2, 500.0)
+        assert (system.heights >= 0).all()
+
+
+class TestPredictMatrix:
+    def test_symmetric(self):
+        system = Vivaldi(4, rng=0)
+        system.observe(0, 1, 50.0)
+        matrix = system.predict_matrix()
+        off = ~np.eye(4, dtype=bool)
+        np.testing.assert_allclose(matrix[off], matrix.T[off])
+
+    def test_diagonal_nan(self):
+        matrix = Vivaldi(3, rng=0).predict_matrix()
+        assert np.isnan(np.diag(matrix)).all()
+
+    def test_matches_pairwise_predict(self):
+        system = Vivaldi(4, rng=0)
+        system.observe(0, 1, 50.0)
+        matrix = system.predict_matrix()
+        assert matrix[0, 1] == pytest.approx(system.predict(0, 1))
+
+
+class TestTrain:
+    def test_learns_rtt_classes(self, rtt_dataset):
+        """Vivaldi + thresholding gives a usable (if weaker) classifier."""
+        neighbor_sets = sample_neighbor_sets(rtt_dataset.n, 8, rng=0)
+        system = Vivaldi(rtt_dataset.n, rng=0)
+        system.train(rtt_dataset.quantities, neighbor_sets, rounds=300, rng=0)
+        labels = rtt_dataset.class_matrix()
+        auc = auc_score(labels, -system.predict_matrix())
+        assert auc > 0.7
+
+    def test_rejects_zero_rounds(self, rtt_dataset):
+        system = Vivaldi(rtt_dataset.n, rng=0)
+        neighbor_sets = sample_neighbor_sets(rtt_dataset.n, 4, rng=0)
+        with pytest.raises(ValueError):
+            system.train(rtt_dataset.quantities, neighbor_sets, rounds=0)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            Vivaldi(1)

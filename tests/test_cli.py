@@ -1,0 +1,125 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _experiment_registry, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+        assert args.seed == 20111206
+
+    def test_train_options(self):
+        args = build_parser().parse_args(
+            ["train", "--dataset", "hps3", "--rank", "5", "--eta", "0.01"]
+        )
+        assert args.dataset == "hps3"
+        assert args.rank == 5
+        assert args.eta == 0.01
+
+    def test_train_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "planetlab"])
+
+    def test_version_exits(self):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+
+class TestRegistry:
+    def test_all_ids_resolvable(self):
+        registry = _experiment_registry()
+        for name in EXPERIMENTS:
+            run, fmt = registry[name]
+            assert callable(run) and callable(fmt)
+
+    def test_registry_matches_public_list(self):
+        assert set(_experiment_registry()) == set(EXPERIMENTS)
+
+
+class TestCommands:
+    def test_datasets_command(self, capsys):
+        code = main(["datasets", "--nodes", "40", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("harvard", "meridian", "hps3"):
+            assert name in out
+
+    def test_train_command(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "meridian",
+                "--nodes",
+                "50",
+                "--rounds",
+                "100",
+                "--neighbors",
+                "8",
+                "--seed",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "AUC" in out and "Accuracy" in out
+
+    def test_train_with_good_fraction(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "meridian",
+                "--nodes",
+                "50",
+                "--rounds",
+                "60",
+                "--neighbors",
+                "8",
+                "--good-fraction",
+                "0.25",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        assert "tau" in capsys.readouterr().out
+
+    def test_experiment_list(self, capsys):
+        code = main(["experiment", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig1" in out and "table2" in out
+
+    def test_experiment_unknown(self, capsys):
+        code = main(["experiment", "fig99"])
+        assert code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_runs_table1(self, capsys):
+        code = main(["experiment", "table1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "harvard" in out
+
+    def test_report_writes_file(self, capsys, tmp_path):
+        output = tmp_path / "report.md"
+        code = main(["report", "--only", "table1", "--output", str(output)])
+        assert code == 0
+        text = output.read_text()
+        assert "# DMFSGD reproduction report" in text
+        assert "## table1" in text
+
+    def test_report_rejects_unknown_id(self, capsys, tmp_path):
+        output = tmp_path / "report.md"
+        code = main(["report", "--only", "fig99", "--output", str(output)])
+        assert code == 2
+        assert not output.exists()

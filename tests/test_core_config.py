@@ -1,0 +1,80 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.losses import LogisticLoss
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = DMFSGDConfig()
+        assert config.rank == 10
+        assert config.learning_rate == 0.1
+        assert config.regularization == 0.1
+        assert config.loss == "logistic"
+
+    def test_loss_fn_resolution(self):
+        assert isinstance(DMFSGDConfig().loss_fn, LogisticLoss)
+
+    def test_is_classification(self):
+        assert DMFSGDConfig().is_classification
+        assert not DMFSGDConfig(loss="l2").is_classification
+
+    @pytest.mark.parametrize(
+        "dataset,k", [("harvard", 10), ("meridian", 32), ("hps3", 10)]
+    )
+    def test_per_dataset_neighbors(self, dataset, k):
+        assert DMFSGDConfig.paper_defaults(dataset).neighbors == k
+
+    def test_paper_defaults_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            DMFSGDConfig.paper_defaults("planetlab")
+
+    def test_paper_defaults_none(self):
+        assert DMFSGDConfig.paper_defaults().neighbors == 10
+
+
+class TestValidation:
+    def test_rejects_zero_rank(self):
+        with pytest.raises(ValueError):
+            DMFSGDConfig(rank=0)
+
+    def test_rejects_negative_learning_rate(self):
+        with pytest.raises(ValueError):
+            DMFSGDConfig(learning_rate=-0.1)
+
+    def test_rejects_negative_regularization(self):
+        with pytest.raises(ValueError):
+            DMFSGDConfig(regularization=-0.1)
+
+    def test_accepts_zero_regularization(self):
+        assert DMFSGDConfig(regularization=0.0).regularization == 0.0
+
+    def test_rejects_zero_neighbors(self):
+        with pytest.raises(ValueError):
+            DMFSGDConfig(neighbors=0)
+
+    def test_rejects_bad_init_range(self):
+        with pytest.raises(ValueError):
+            DMFSGDConfig(init_low=1.0, init_high=0.0)
+
+    def test_rejects_unknown_loss(self):
+        with pytest.raises(ValueError):
+            DMFSGDConfig(loss="nope")
+
+
+class TestWithUpdates:
+    def test_returns_new_instance(self):
+        config = DMFSGDConfig()
+        updated = config.with_updates(rank=5)
+        assert updated.rank == 5
+        assert config.rank == 10
+
+    def test_is_frozen(self):
+        with pytest.raises(Exception):
+            DMFSGDConfig().rank = 3
+
+    def test_update_validates(self):
+        with pytest.raises(ValueError):
+            DMFSGDConfig().with_updates(learning_rate=0.0)

@@ -1,0 +1,129 @@
+"""Tests for repro.core.coordinates."""
+
+import numpy as np
+import pytest
+
+from repro.core.coordinates import CoordinateTable, NodeCoordinates
+
+
+class TestNodeCoordinates:
+    def test_init_shape(self):
+        coords = NodeCoordinates(5, rng=0)
+        assert coords.u.shape == (5,) and coords.v.shape == (5,)
+        assert coords.rank == 5
+
+    def test_init_range(self):
+        coords = NodeCoordinates(100, rng=0, low=0.0, high=1.0)
+        assert (coords.u >= 0).all() and (coords.u <= 1).all()
+
+    def test_custom_range(self):
+        coords = NodeCoordinates(100, rng=0, low=2.0, high=3.0)
+        assert (coords.u >= 2).all() and (coords.u <= 3).all()
+
+    def test_deterministic_with_seed(self):
+        a = NodeCoordinates(4, rng=1)
+        b = NodeCoordinates(4, rng=1)
+        np.testing.assert_array_equal(a.u, b.u)
+
+    def test_estimate(self):
+        coords = NodeCoordinates(3, rng=0)
+        other_v = np.array([1.0, 2.0, 3.0])
+        assert coords.estimate(other_v) == pytest.approx(float(coords.u @ other_v))
+
+    def test_copy_is_deep(self):
+        coords = NodeCoordinates(3, rng=0)
+        clone = coords.copy()
+        clone.u[0] = 99.0
+        assert coords.u[0] != 99.0
+
+    def test_norm(self):
+        coords = NodeCoordinates(3, rng=0)
+        expected = float(coords.u @ coords.u + coords.v @ coords.v)
+        assert coords.norm() == pytest.approx(expected)
+
+    def test_rejects_zero_rank(self):
+        with pytest.raises(ValueError):
+            NodeCoordinates(0)
+
+
+class TestCoordinateTable:
+    def test_shapes(self):
+        table = CoordinateTable(7, 3, rng=0)
+        assert table.U.shape == (7, 3) and table.V.shape == (7, 3)
+        assert table.n == 7 and table.rank == 3
+
+    def test_estimate_matches_dot(self):
+        table = CoordinateTable(5, 3, rng=0)
+        assert table.estimate(1, 2) == pytest.approx(float(table.U[1] @ table.V[2]))
+
+    def test_estimate_pairs_vectorized(self):
+        table = CoordinateTable(5, 3, rng=0)
+        rows = np.array([0, 1, 2])
+        cols = np.array([3, 4, 0])
+        pairs = table.estimate_pairs(rows, cols)
+        for idx in range(3):
+            assert pairs[idx] == pytest.approx(table.estimate(rows[idx], cols[idx]))
+
+    def test_estimate_matrix_diagonal_nan(self):
+        matrix = CoordinateTable(4, 2, rng=0).estimate_matrix()
+        assert np.isnan(np.diag(matrix)).all()
+
+    def test_estimate_matrix_keep_diagonal(self):
+        matrix = CoordinateTable(4, 2, rng=0).estimate_matrix(fill_diagonal=None)
+        assert np.isfinite(np.diag(matrix)).all()
+
+    def test_estimate_matrix_equals_uvt(self):
+        table = CoordinateTable(4, 2, rng=0)
+        matrix = table.estimate_matrix(fill_diagonal=None)
+        np.testing.assert_allclose(matrix, table.U @ table.V.T)
+
+    def test_node_view_roundtrip(self):
+        table = CoordinateTable(4, 2, rng=0)
+        view = table.node_view(2)
+        view.u[:] = 7.0
+        table.set_node(2, view)
+        assert (table.U[2] == 7.0).all()
+
+    def test_node_view_is_copy(self):
+        table = CoordinateTable(4, 2, rng=0)
+        view = table.node_view(1)
+        view.u[0] = 42.0
+        assert table.U[1, 0] != 42.0
+
+    def test_set_node_rank_mismatch(self):
+        table = CoordinateTable(4, 2, rng=0)
+        with pytest.raises(ValueError):
+            table.set_node(0, NodeCoordinates(3, rng=0))
+
+    def test_from_arrays_copies(self):
+        U = np.ones((3, 2))
+        table = CoordinateTable.from_arrays(U, np.ones((3, 2)))
+        U[0, 0] = 5.0
+        assert table.U[0, 0] == 1.0
+
+    def test_from_arrays_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            CoordinateTable.from_arrays(np.ones((3, 2)), np.ones((4, 2)))
+
+    def test_copy_independent(self):
+        table = CoordinateTable(3, 2, rng=0)
+        clone = table.copy()
+        clone.U[0, 0] = 99.0
+        assert table.U[0, 0] != 99.0
+
+    def test_frobenius_penalty(self):
+        table = CoordinateTable.from_arrays(np.ones((2, 2)), 2 * np.ones((2, 2)))
+        assert table.frobenius_penalty() == pytest.approx(4 + 16)
+
+    def test_iteration_yields_all_nodes(self):
+        table = CoordinateTable(5, 2, rng=0)
+        assert len(list(table)) == 5
+
+    def test_index_validation(self):
+        table = CoordinateTable(3, 2, rng=0)
+        with pytest.raises(ValueError):
+            table.estimate(3, 0)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            CoordinateTable(0, 2)

@@ -1,0 +1,142 @@
+"""Fine-grained tests of protocol node internals."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.dmfsgd import DMFSGDSimulation, oracle_from_matrix
+
+
+@pytest.fixture
+def rtt_sim(rtt_labels):
+    return DMFSGDSimulation(
+        rtt_labels.shape[0],
+        oracle_from_matrix(rtt_labels),
+        DMFSGDConfig(neighbors=8),
+        metric="rtt",
+        rng=0,
+    )
+
+
+@pytest.fixture
+def abw_sim(abw_labels):
+    return DMFSGDSimulation(
+        abw_labels.shape[0],
+        oracle_from_matrix(abw_labels),
+        DMFSGDConfig(neighbors=8),
+        metric="abw",
+        rng=0,
+    )
+
+
+class TestPayloadSafety:
+    def test_rtt_reply_carries_copies(self, rtt_sim):
+        """Coordinates in flight must be snapshots: mutating the sender's
+        state after sending cannot alter the in-flight payload."""
+        captured = []
+        original = rtt_sim.network.send
+
+        def spy(message):
+            if message.kind == "rtt_reply":
+                captured.append(
+                    (message.src, message.payload["u"], message.payload["u"].copy())
+                )
+            original(message)
+
+        rtt_sim.network.send = spy
+        rtt_sim.run(duration=5.0)
+        assert captured
+        src, payload, snapshot = captured[0]
+        # run further: node src's coordinates move on
+        rtt_sim.run(duration=30.0)
+        np.testing.assert_array_equal(payload, snapshot)
+        assert not np.array_equal(rtt_sim.nodes[src].coords.u, snapshot)
+
+    def test_abw_probe_carries_u(self, abw_sim):
+        kinds = {}
+        original = abw_sim.network.send
+
+        def spy(message):
+            kinds.setdefault(message.kind, message)
+            original(message)
+
+        abw_sim.network.send = spy
+        abw_sim.run(duration=5.0)
+        probe = kinds["abw_probe"]
+        assert probe.payload["u"].shape == (abw_sim.config.rank,)
+        assert "v" not in probe.payload  # the probe never ships v
+
+
+class TestProbeScheduling:
+    def test_jitter_bounds(self, rtt_sim):
+        node = rtt_sim.nodes[0]
+        delays = [node._next_delay() for _ in range(300)]
+        assert min(delays) >= 0.5 * rtt_sim.probe_interval
+        assert max(delays) <= 1.5 * rtt_sim.probe_interval
+
+    def test_probe_rate_matches_interval(self, rtt_labels):
+        sim = DMFSGDSimulation(
+            rtt_labels.shape[0],
+            oracle_from_matrix(rtt_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            probe_interval=2.0,
+            rng=0,
+        )
+        sim.run(duration=100.0)
+        probes = sim.network.messages_sent["rtt_probe"]
+        expected = sim.n * 100.0 / 2.0
+        assert probes == pytest.approx(expected, rel=0.2)
+
+    def test_unknown_timer_tag_ignored(self, rtt_sim):
+        node = rtt_sim.nodes[0]
+        before = rtt_sim.network.total_messages()
+        node.attach(rtt_sim.network)
+        node.on_timer("not-a-probe")
+        assert rtt_sim.network.total_messages() == before
+
+
+class TestTargetsWithinNeighborSets:
+    def test_rtt_probes_only_neighbors(self, rtt_sim):
+        probes = []
+        original = rtt_sim.network.send
+
+        def spy(message):
+            if message.kind == "rtt_probe":
+                probes.append((message.src, message.dst))
+            original(message)
+
+        rtt_sim.network.send = spy
+        rtt_sim.run(duration=10.0)
+        assert probes
+        for src, dst in probes:
+            assert dst in rtt_sim.nodes[src].neighbor_set
+
+    def test_nan_oracle_rtt_consumes_nothing(self):
+        labels = np.full((10, 10), np.nan)
+        sim = DMFSGDSimulation(
+            10,
+            oracle_from_matrix(labels),
+            DMFSGDConfig(neighbors=4),
+            metric="rtt",
+            rng=0,
+        )
+        before = {i: sim.nodes[i].coords.u.copy() for i in range(10)}
+        sim.run(duration=30.0)
+        assert sim.measurements == 0
+        for i in range(10):
+            np.testing.assert_array_equal(sim.nodes[i].coords.u, before[i])
+
+    def test_nan_oracle_abw_no_reply(self):
+        labels = np.full((10, 10), np.nan)
+        sim = DMFSGDSimulation(
+            10,
+            oracle_from_matrix(labels),
+            DMFSGDConfig(neighbors=4),
+            metric="abw",
+            rng=0,
+        )
+        sim.run(duration=30.0)
+        # probes flow but no replies (target cannot infer a class)
+        assert sim.network.messages_sent["abw_probe"] > 0
+        assert sim.network.messages_sent["abw_reply"] == 0

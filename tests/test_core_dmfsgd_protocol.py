@@ -1,0 +1,160 @@
+"""Tests for the message-level DMFSGD protocol (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.dmfsgd import DMFSGDSimulation, oracle_from_matrix
+from repro.evaluation import auc_score
+
+
+@pytest.fixture
+def config():
+    return DMFSGDConfig(neighbors=6)
+
+
+class TestOracle:
+    def test_lookup(self):
+        matrix = np.array([[np.nan, 1.0], [-1.0, np.nan]])
+        oracle = oracle_from_matrix(matrix)
+        assert oracle(0, 1) == 1.0
+        assert oracle(1, 0) == -1.0
+        assert np.isnan(oracle(0, 0))
+
+
+class TestRttProtocol:
+    def test_messages_flow(self, rtt_labels, config):
+        n = rtt_labels.shape[0]
+        sim = DMFSGDSimulation(
+            n, oracle_from_matrix(rtt_labels), config, metric="rtt", rng=0
+        )
+        sim.run(duration=20.0)
+        sent = sim.network.messages_sent
+        assert sent["rtt_probe"] > 0
+        assert sent["rtt_reply"] > 0
+        # every delivered probe generates one reply
+        assert sent["rtt_reply"] == sim.network.messages_delivered["rtt_probe"]
+
+    def test_learning_happens(self, rtt_labels, config):
+        n = rtt_labels.shape[0]
+        sim = DMFSGDSimulation(
+            n, oracle_from_matrix(rtt_labels), config, metric="rtt", rng=0
+        )
+        before = auc_score(rtt_labels, sim.coordinate_table().estimate_matrix())
+        sim.run(duration=150.0)
+        after = auc_score(rtt_labels, sim.coordinate_table().estimate_matrix())
+        assert after > before
+        assert after > 0.8
+
+    def test_measurements_accumulate(self, rtt_labels, config):
+        n = rtt_labels.shape[0]
+        sim = DMFSGDSimulation(
+            n, oracle_from_matrix(rtt_labels), config, metric="rtt", rng=0
+        )
+        sim.run(duration=30.0)
+        # roughly one probe per node per second, minus NaN pairs
+        assert sim.measurements > 10 * n
+
+    def test_history_snapshots(self, rtt_labels, config):
+        n = rtt_labels.shape[0]
+        sim = DMFSGDSimulation(
+            n, oracle_from_matrix(rtt_labels), config, metric="rtt", rng=0
+        )
+        evaluator = lambda table: {
+            "auc": auc_score(rtt_labels, table.estimate_matrix())
+        }
+        history = sim.run(duration=40.0, evaluator=evaluator, eval_every=10.0)
+        assert len(history) >= 4
+
+    def test_message_loss_tolerated(self, rtt_labels, config):
+        n = rtt_labels.shape[0]
+        sim = DMFSGDSimulation(
+            n,
+            oracle_from_matrix(rtt_labels),
+            config,
+            metric="rtt",
+            loss_rate=0.2,
+            rng=0,
+        )
+        sim.run(duration=150.0)
+        auc = auc_score(rtt_labels, sim.coordinate_table().estimate_matrix())
+        assert auc > 0.75  # learning survives 20% message loss
+        assert sum(sim.network.messages_dropped.values()) > 0
+
+
+class TestAbwProtocol:
+    def test_messages_flow(self, abw_labels, config):
+        n = abw_labels.shape[0]
+        sim = DMFSGDSimulation(
+            n, oracle_from_matrix(abw_labels), config, metric="abw", rng=0
+        )
+        sim.run(duration=20.0)
+        sent = sim.network.messages_sent
+        assert sent["abw_probe"] > 0 and sent["abw_reply"] > 0
+
+    def test_learning_happens(self, abw_labels, config):
+        n = abw_labels.shape[0]
+        sim = DMFSGDSimulation(
+            n, oracle_from_matrix(abw_labels), config, metric="abw", rng=0
+        )
+        sim.run(duration=200.0)
+        auc = auc_score(abw_labels, sim.coordinate_table().estimate_matrix())
+        assert auc > 0.8
+
+    def test_reply_carries_label_and_v(self, abw_labels, config):
+        """Algorithm 2 step 3: the reply ships x_ij and v_j."""
+        n = abw_labels.shape[0]
+        sim = DMFSGDSimulation(
+            n, oracle_from_matrix(abw_labels), config, metric="abw", rng=0
+        )
+        captured = []
+        original_send = sim.network.send
+
+        def spy(message):
+            if message.kind == "abw_reply":
+                captured.append(message)
+            original_send(message)
+
+        sim.network.send = spy
+        sim.run(duration=5.0)
+        assert captured, "no ABW replies observed"
+        reply = captured[0]
+        assert reply.payload["x"] in (1.0, -1.0)
+        assert reply.payload["v"].shape == (sim.config.rank,)
+
+
+class TestValidation:
+    def test_rejects_tiny_n(self, config):
+        with pytest.raises(ValueError):
+            DMFSGDSimulation(1, oracle_from_matrix(np.zeros((1, 1))), config)
+
+    def test_rejects_bad_interval(self, rtt_labels, config):
+        with pytest.raises(ValueError):
+            DMFSGDSimulation(
+                rtt_labels.shape[0],
+                oracle_from_matrix(rtt_labels),
+                config,
+                probe_interval=0.0,
+            )
+
+    def test_rejects_bad_duration(self, rtt_labels, config):
+        sim = DMFSGDSimulation(
+            rtt_labels.shape[0], oracle_from_matrix(rtt_labels), config, rng=0
+        )
+        with pytest.raises(ValueError):
+            sim.run(duration=0.0)
+
+
+class TestDecentralization:
+    def test_state_is_per_node(self, rtt_labels, config):
+        """Coordinates live in the nodes, not in any central table."""
+        n = rtt_labels.shape[0]
+        sim = DMFSGDSimulation(
+            n, oracle_from_matrix(rtt_labels), config, metric="rtt", rng=0
+        )
+        sim.run(duration=10.0)
+        table_a = sim.coordinate_table()
+        # mutating the exported snapshot must not affect node state
+        table_a.U[:] = 0.0
+        table_b = sim.coordinate_table()
+        assert not np.allclose(table_b.U, 0.0)

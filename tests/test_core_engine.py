@@ -1,0 +1,194 @@
+"""Tests for the vectorized DMFSGD engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.evaluation import auc_score
+from repro.measurement.classifier import ThresholdClassifier
+
+
+@pytest.fixture
+def small_config():
+    return DMFSGDConfig(neighbors=8, seed=0)
+
+
+class TestMatrixLabelFn:
+    def test_lookup(self):
+        matrix = np.array([[np.nan, 1.0], [-1.0, np.nan]])
+        fn = matrix_label_fn(matrix)
+        out = fn(np.array([0, 1]), np.array([1, 0]))
+        np.testing.assert_array_equal(out, [1.0, -1.0])
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            matrix_label_fn(np.zeros((2, 3)))
+
+
+class TestConstruction:
+    def test_rejects_tiny_n(self, small_config):
+        with pytest.raises(ValueError):
+            DMFSGDEngine(1, matrix_label_fn(np.zeros((1, 1))), small_config)
+
+    def test_neighbor_sets_built(self, rtt_labels, small_config):
+        engine = DMFSGDEngine(
+            rtt_labels.shape[0], matrix_label_fn(rtt_labels), small_config, rng=0
+        )
+        assert engine.neighbor_sets.shape == (rtt_labels.shape[0], 8)
+
+    def test_custom_neighbor_sets_validated(self, rtt_labels, small_config):
+        with pytest.raises(ValueError):
+            DMFSGDEngine(
+                rtt_labels.shape[0],
+                matrix_label_fn(rtt_labels),
+                small_config,
+                neighbor_sets=np.zeros((3, 2), dtype=int),
+            )
+
+    def test_no_self_neighbors(self, rtt_labels, small_config):
+        engine = DMFSGDEngine(
+            rtt_labels.shape[0], matrix_label_fn(rtt_labels), small_config, rng=0
+        )
+        n = rtt_labels.shape[0]
+        own = np.arange(n)[:, None]
+        assert not (engine.neighbor_sets == own).any()
+
+
+class TestTrainingRtt:
+    def test_auc_improves(self, rtt_labels, small_config):
+        n = rtt_labels.shape[0]
+        engine = DMFSGDEngine(
+            n, matrix_label_fn(rtt_labels), small_config, metric="rtt", rng=1
+        )
+        before = auc_score(rtt_labels, engine.coordinates.estimate_matrix())
+        result = engine.run(rounds=200)
+        after = auc_score(rtt_labels, result.estimate_matrix())
+        assert after > before
+        assert after > 0.85
+
+    def test_measurement_count(self, rtt_labels, small_config):
+        n = rtt_labels.shape[0]
+        engine = DMFSGDEngine(
+            n, matrix_label_fn(rtt_labels), small_config, metric="rtt", rng=1
+        )
+        result = engine.run(rounds=10)
+        # every probe of an observed pair consumes one measurement
+        assert 0 < result.measurements <= 10 * n
+
+    def test_nan_labels_consume_nothing(self, small_config):
+        labels = np.full((10, 10), np.nan)
+        engine = DMFSGDEngine(
+            10, matrix_label_fn(labels), small_config, metric="rtt", rng=1
+        )
+        U_before = engine.coordinates.U.copy()
+        result = engine.run(rounds=5)
+        assert result.measurements == 0
+        np.testing.assert_array_equal(engine.coordinates.U, U_before)
+
+    def test_deterministic_given_seed(self, rtt_labels, small_config):
+        n = rtt_labels.shape[0]
+        runs = []
+        for _ in range(2):
+            engine = DMFSGDEngine(
+                n, matrix_label_fn(rtt_labels), small_config, metric="rtt", rng=9
+            )
+            runs.append(engine.run(rounds=20).coordinates.U)
+        np.testing.assert_allclose(runs[0], runs[1])
+
+    def test_history_recorded(self, rtt_labels, small_config):
+        n = rtt_labels.shape[0]
+        engine = DMFSGDEngine(
+            n, matrix_label_fn(rtt_labels), small_config, metric="rtt", rng=1
+        )
+        evaluator = lambda table: {
+            "auc": auc_score(rtt_labels, table.estimate_matrix())
+        }
+        result = engine.run(rounds=40, evaluator=evaluator, eval_every=10)
+        assert len(result.history) >= 5  # initial + 4 periodic
+        xs, ys = result.history.series("auc")
+        assert ys[-1] > ys[0]
+
+    def test_predicted_classes_are_binary(self, rtt_labels, small_config):
+        n = rtt_labels.shape[0]
+        engine = DMFSGDEngine(
+            n, matrix_label_fn(rtt_labels), small_config, metric="rtt", rng=1
+        )
+        classes = engine.run(rounds=20).predicted_classes()
+        observed = classes[np.isfinite(classes)]
+        assert set(np.unique(observed)) <= {1.0, -1.0}
+
+
+class TestTrainingAbw:
+    def test_auc_improves(self, abw_labels, small_config):
+        n = abw_labels.shape[0]
+        engine = DMFSGDEngine(
+            n, matrix_label_fn(abw_labels), small_config, metric="abw", rng=1
+        )
+        result = engine.run(rounds=250)
+        assert auc_score(abw_labels, result.estimate_matrix()) > 0.85
+
+    def test_asymmetric_updates_touch_targets(self, abw_labels, small_config):
+        """In ABW mode a probed node's v must change even if it never probes."""
+        n = abw_labels.shape[0]
+        engine = DMFSGDEngine(
+            n, matrix_label_fn(abw_labels), small_config, metric="abw", rng=1
+        )
+        V_before = engine.coordinates.V.copy()
+        engine.step_round()
+        assert not np.allclose(engine.coordinates.V, V_before)
+
+
+class TestRunValidation:
+    def test_rejects_zero_rounds(self, rtt_labels, small_config):
+        engine = DMFSGDEngine(
+            rtt_labels.shape[0], matrix_label_fn(rtt_labels), small_config, rng=1
+        )
+        with pytest.raises(ValueError):
+            engine.run(rounds=0)
+
+    def test_rejects_zero_eval_every(self, rtt_labels, small_config):
+        engine = DMFSGDEngine(
+            rtt_labels.shape[0], matrix_label_fn(rtt_labels), small_config, rng=1
+        )
+        with pytest.raises(ValueError):
+            engine.run(rounds=5, eval_every=0)
+
+
+class TestTraceTraining:
+    def test_trace_replay_learns(self, harvard_bundle, small_config):
+        dataset = harvard_bundle.dataset
+        tau = dataset.median()
+        labels = dataset.class_matrix(tau)
+        engine = DMFSGDEngine(
+            dataset.n, matrix_label_fn(labels), small_config, metric="rtt", rng=1
+        )
+        classifier = ThresholdClassifier("rtt", tau)
+        result = engine.run_trace(harvard_bundle.trace, classifier, batch_size=128)
+        assert auc_score(labels, result.estimate_matrix()) > 0.8
+
+    def test_trace_node_count_mismatch(self, harvard_bundle, small_config):
+        engine = DMFSGDEngine(
+            harvard_bundle.dataset.n + 1,
+            matrix_label_fn(np.zeros((51, 51))),
+            small_config,
+            rng=1,
+        )
+        with pytest.raises(ValueError):
+            engine.run_trace(
+                harvard_bundle.trace, ThresholdClassifier("rtt", 100.0)
+            )
+
+    def test_trace_measurements_counted(self, harvard_bundle, small_config):
+        dataset = harvard_bundle.dataset
+        engine = DMFSGDEngine(
+            dataset.n,
+            matrix_label_fn(dataset.class_matrix()),
+            small_config,
+            metric="rtt",
+            rng=1,
+        )
+        result = engine.run_trace(
+            harvard_bundle.trace, ThresholdClassifier("rtt", dataset.median())
+        )
+        assert result.measurements == len(harvard_bundle.trace)

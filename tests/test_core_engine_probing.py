@@ -1,0 +1,70 @@
+"""Tests for the probe-strategy option of the vectorized engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.evaluation import auc_score
+
+
+@pytest.fixture
+def engine_factory(rtt_labels):
+    def make(**kwargs):
+        return DMFSGDEngine(
+            rtt_labels.shape[0],
+            matrix_label_fn(rtt_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=3,
+            **kwargs,
+        )
+
+    return make
+
+
+class TestProbeStrategies:
+    def test_default_is_random(self, engine_factory):
+        assert engine_factory().probe_strategy == "random"
+
+    def test_unknown_strategy_rejected(self, engine_factory):
+        with pytest.raises(ValueError):
+            engine_factory(probe_strategy="oracle")
+
+    def test_bad_explore_rejected(self, engine_factory):
+        with pytest.raises(ValueError):
+            engine_factory(probe_strategy="uncertain", explore=1.5)
+
+    def test_uncertain_still_learns(self, engine_factory, rtt_labels):
+        engine = engine_factory(probe_strategy="uncertain")
+        result = engine.run(rounds=300)
+        assert auc_score(rtt_labels, result.estimate_matrix()) > 0.8
+
+    def test_uncertain_targets_small_margins(self, engine_factory):
+        """With explore=0 every pick is the smallest-margin neighbor."""
+        engine = engine_factory(probe_strategy="uncertain", explore=0.0)
+        margins = np.abs(
+            np.einsum(
+                "ir,ikr->ik",
+                engine.coordinates.U,
+                engine.coordinates.V[engine.neighbor_sets],
+            )
+        )
+        expected = np.argmin(margins, axis=1)
+        picks = engine._pick_neighbors()
+        np.testing.assert_array_equal(picks, expected)
+
+    def test_explore_mixes_random(self, engine_factory):
+        """With explore=1 the strategy degenerates to random probing."""
+        engine = engine_factory(probe_strategy="uncertain", explore=1.0)
+        picks = [engine._pick_neighbors() for _ in range(5)]
+        # five full-random draws almost surely differ
+        assert any(
+            not np.array_equal(picks[0], later) for later in picks[1:]
+        )
+
+    def test_probes_stay_in_neighbor_sets(self, engine_factory):
+        engine = engine_factory(probe_strategy="uncertain")
+        picks = engine._pick_neighbors()
+        assert (picks >= 0).all()
+        assert (picks < engine.neighbor_sets.shape[1]).all()

@@ -1,0 +1,89 @@
+"""Tests for repro.core.history."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import TrainingHistory
+
+
+class TestRecord:
+    def test_record_and_length(self):
+        history = TrainingHistory(10)
+        history.record(0, auc=0.5)
+        history.record(100, auc=0.8)
+        assert len(history) == 2
+
+    def test_per_node_normalization(self):
+        history = TrainingHistory(10)
+        snap = history.record(50, auc=0.7)
+        assert snap.per_node == 5.0
+
+    def test_rejects_decreasing_measurements(self):
+        history = TrainingHistory(10)
+        history.record(100, auc=0.5)
+        with pytest.raises(ValueError):
+            history.record(50, auc=0.6)
+
+    def test_allows_equal_measurements(self):
+        history = TrainingHistory(10)
+        history.record(100, auc=0.5)
+        history.record(100, auc=0.6)
+        assert len(history) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TrainingHistory(10).record(-1, auc=0.5)
+
+    def test_rejects_bad_n_nodes(self):
+        with pytest.raises(ValueError):
+            TrainingHistory(0)
+
+
+class TestSeries:
+    def make(self):
+        history = TrainingHistory(10, neighbors=5)
+        history.record(0, auc=0.5)
+        history.record(100, auc=0.8, accuracy=0.7)
+        history.record(200, auc=0.9)
+        return history
+
+    def test_series_values(self):
+        xs, ys = self.make().series("auc")
+        np.testing.assert_allclose(xs, [0.0, 10.0, 20.0])
+        np.testing.assert_allclose(ys, [0.5, 0.8, 0.9])
+
+    def test_series_skips_missing_metric(self):
+        xs, ys = self.make().series("accuracy")
+        assert len(xs) == 1 and ys[0] == 0.7
+
+    def test_per_node_in_k(self):
+        xs, ys = self.make().per_node_in_k("auc")
+        np.testing.assert_allclose(xs, [0.0, 2.0, 4.0])
+
+    def test_per_node_in_k_requires_neighbors(self):
+        history = TrainingHistory(10)
+        history.record(10, auc=0.5)
+        with pytest.raises(ValueError):
+            history.per_node_in_k("auc")
+
+    def test_final(self):
+        assert self.make().final("auc") == 0.9
+        assert self.make().final("accuracy") == 0.7
+
+    def test_final_missing_metric(self):
+        with pytest.raises(KeyError):
+            self.make().final("loss")
+
+    def test_converged_at(self):
+        assert self.make().converged_at("auc", 0.8) == pytest.approx(2.0)
+
+    def test_converged_at_never(self):
+        assert self.make().converged_at("auc", 0.99) is None
+
+    def test_iteration(self):
+        assert len(list(self.make())) == 3
+
+    def test_snapshots_copy(self):
+        history = self.make()
+        history.snapshots.clear()
+        assert len(history) == 3

@@ -1,0 +1,181 @@
+"""Tests for repro.core.losses: values, gradients, registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.losses import (
+    HingeLoss,
+    L2Loss,
+    LogisticLoss,
+    available_losses,
+    get_loss,
+)
+
+FINITE = st.floats(-20.0, 20.0, allow_nan=False)
+LABEL = st.sampled_from([1.0, -1.0])
+
+
+def numeric_dvalue(loss, x, xhat, eps=1e-6):
+    return (loss.value(x, xhat + eps) - loss.value(x, xhat - eps)) / (2 * eps)
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_losses() == ["hinge", "l2", "logistic"]
+
+    @pytest.mark.parametrize("name", ["l2", "hinge", "logistic"])
+    def test_get_by_name(self, name):
+        assert get_loss(name).name == name
+
+    @pytest.mark.parametrize(
+        "alias,canonical", [("square", "l2"), ("mse", "l2"), ("log", "logistic")]
+    )
+    def test_aliases(self, alias, canonical):
+        assert get_loss(alias).name == canonical
+
+    def test_case_insensitive(self):
+        assert get_loss("Logistic").name == "logistic"
+
+    def test_instance_passthrough(self):
+        loss = HingeLoss()
+        assert get_loss(loss) is loss
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            get_loss("nope")
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            get_loss(3.14)
+
+    def test_classification_flags(self):
+        assert LogisticLoss().is_classification
+        assert HingeLoss().is_classification
+        assert not L2Loss().is_classification
+
+
+class TestL2Loss:
+    def test_zero_at_match(self):
+        assert L2Loss().value(3.0, 3.0) == 0.0
+
+    def test_quadratic(self):
+        assert L2Loss().value(1.0, 4.0) == 9.0
+
+    def test_derivative_drops_factor_two(self):
+        # paper convention: dl/dxhat = -(x - xhat), not -2(x - xhat)
+        assert L2Loss().dvalue_dxhat(1.0, 4.0) == 3.0
+
+    def test_grad_u_matches_eq18(self):
+        u = np.array([1.0, 2.0])
+        v = np.array([0.5, -1.0])
+        x = 2.0
+        expected = -(x - u @ v) * v
+        np.testing.assert_allclose(L2Loss().grad_u(x, u, v), expected)
+
+    def test_grad_v_matches_eq19(self):
+        u = np.array([1.0, 2.0])
+        v = np.array([0.5, -1.0])
+        x = 2.0
+        expected = -(x - u @ v) * u
+        np.testing.assert_allclose(L2Loss().grad_v(x, u, v), expected)
+
+
+class TestHingeLoss:
+    def test_zero_when_margin_met(self):
+        assert HingeLoss().value(1.0, 1.5) == 0.0
+        assert HingeLoss().value(-1.0, -1.0) == 0.0
+
+    def test_linear_when_violated(self):
+        assert HingeLoss().value(1.0, 0.0) == 1.0
+        assert HingeLoss().value(1.0, -1.0) == 2.0
+
+    def test_subgradient_zero_when_correct(self):
+        # margin >= 1 -> zero gradient (eqs. 14-15 precondition)
+        assert HingeLoss().dvalue_dxhat(1.0, 2.0) == 0.0
+        assert HingeLoss().dvalue_dxhat(-1.0, -2.0) == 0.0
+
+    def test_subgradient_minus_x_when_violated(self):
+        assert HingeLoss().dvalue_dxhat(1.0, 0.0) == -1.0
+        assert HingeLoss().dvalue_dxhat(-1.0, 0.0) == 1.0
+
+    def test_grad_matches_eq14(self):
+        u = np.array([0.1, 0.2])
+        v = np.array([0.3, 0.1])
+        # margin violated: gradient is -x*v
+        np.testing.assert_allclose(HingeLoss().grad_u(1.0, u, v), -v)
+
+    @given(x=LABEL, xhat=FINITE)
+    @settings(max_examples=50)
+    def test_nonnegative(self, x, xhat):
+        assert HingeLoss().value(x, xhat) >= 0.0
+
+
+class TestLogisticLoss:
+    def test_value_at_zero_margin(self):
+        np.testing.assert_allclose(LogisticLoss().value(1.0, 0.0), np.log(2.0))
+
+    def test_value_decreases_with_margin(self):
+        loss = LogisticLoss()
+        assert loss.value(1.0, 2.0) < loss.value(1.0, 1.0) < loss.value(1.0, 0.0)
+
+    def test_stable_for_large_negative_margin(self):
+        value = LogisticLoss().value(1.0, -1000.0)
+        assert np.isfinite(value) and value == pytest.approx(1000.0)
+
+    def test_stable_for_large_positive_margin(self):
+        value = LogisticLoss().value(1.0, 1000.0)
+        assert value == pytest.approx(0.0, abs=1e-12)
+
+    def test_gradient_matches_eq16(self):
+        u = np.array([0.5, 0.5])
+        v = np.array([1.0, -2.0])
+        x = -1.0
+        xhat = u @ v
+        expected = -x * v / (1.0 + np.exp(x * xhat))
+        np.testing.assert_allclose(LogisticLoss().grad_u(x, u, v), expected)
+
+    @given(x=LABEL, xhat=FINITE)
+    @settings(max_examples=50)
+    def test_derivative_matches_numeric(self, x, xhat):
+        loss = LogisticLoss()
+        analytic = loss.dvalue_dxhat(x, xhat)
+        numeric = numeric_dvalue(loss, x, xhat)
+        assert analytic == pytest.approx(numeric, abs=1e-4)
+
+    @given(x=LABEL, xhat=FINITE)
+    @settings(max_examples=50)
+    def test_gradient_sign_pushes_margin_up(self, x, xhat):
+        # moving against the gradient must not decrease the margin
+        d = LogisticLoss().dvalue_dxhat(x, xhat)
+        assert x * (-d) >= 0.0
+
+
+class TestVectorization:
+    @pytest.mark.parametrize("loss_name", ["l2", "hinge", "logistic"])
+    def test_batched_grad_matches_single(self, loss_name, rng):
+        loss = get_loss(loss_name)
+        U = rng.normal(size=(6, 4))
+        V = rng.normal(size=(6, 4))
+        x = rng.choice([1.0, -1.0], size=6)
+        batched = loss.grad_u(x, U, V)
+        for i in range(6):
+            single = loss.grad_u(x[i], U[i], V[i])
+            np.testing.assert_allclose(batched[i], single)
+
+    @pytest.mark.parametrize("loss_name", ["l2", "hinge", "logistic"])
+    def test_value_broadcasts(self, loss_name):
+        loss = get_loss(loss_name)
+        values = loss.value(np.array([1.0, -1.0]), np.array([0.5, 0.5]))
+        assert values.shape == (2,)
+
+    def test_total_skips_nan(self):
+        loss = get_loss("logistic")
+        x = np.array([1.0, np.nan, -1.0])
+        xhat = np.array([1.0, 5.0, -1.0])
+        full = loss.total(x, xhat)
+        assert full == pytest.approx(2 * float(loss.value(1.0, 1.0)))
+
+    def test_total_empty_is_zero(self):
+        assert get_loss("l2").total(np.array([np.nan]), np.array([1.0])) == 0.0

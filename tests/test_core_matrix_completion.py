@@ -1,0 +1,108 @@
+"""Tests for repro.core.matrix_completion."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix_completion import BatchMatrixFactorization, complete_matrix
+
+
+def low_rank_matrix(n, rank, rng, scale=1.0):
+    U = rng.normal(size=(n, rank)) * scale
+    V = rng.normal(size=(n, rank)) * scale
+    return U @ V.T
+
+
+class TestFit:
+    def test_objective_decreases(self, rng):
+        matrix = low_rank_matrix(20, 3, rng)
+        np.fill_diagonal(matrix, np.nan)
+        solver = BatchMatrixFactorization(
+            rank=3, loss="l2", learning_rate=0.5, max_iter=100, rng=0
+        )
+        result = solver.fit(matrix)
+        objective = np.array(result.objective)
+        assert objective[-1] < objective[0]
+
+    def test_l2_recovers_low_rank(self, rng):
+        matrix = low_rank_matrix(25, 2, rng)
+        np.fill_diagonal(matrix, np.nan)
+        # hide 30% of entries
+        mask = rng.random(matrix.shape) < 0.3
+        observed = matrix.copy()
+        observed[mask] = np.nan
+        solver = BatchMatrixFactorization(
+            rank=4, loss="l2", regularization=0.001,
+            learning_rate=1.0, max_iter=2000, rng=0,
+        )
+        result = solver.fit(observed)
+        estimate = result.estimate_matrix()
+        hidden = mask & ~np.eye(25, dtype=bool)
+        error = np.abs(estimate[hidden] - matrix[hidden])
+        baseline = np.abs(matrix[hidden]).mean()
+        assert error.mean() < 0.35 * baseline
+
+    def test_classification_fits_signs(self, rng):
+        signs = np.sign(low_rank_matrix(20, 2, rng))
+        np.fill_diagonal(signs, np.nan)
+        solver = BatchMatrixFactorization(
+            rank=4, loss="logistic", learning_rate=2.0, max_iter=800, rng=0
+        )
+        result = solver.fit(signs)
+        estimate = result.estimate_matrix()
+        mask = np.isfinite(signs)
+        agreement = np.mean(np.sign(estimate[mask]) == signs[mask])
+        assert agreement > 0.9
+
+    def test_rejects_all_missing(self):
+        with pytest.raises(ValueError):
+            BatchMatrixFactorization().fit(np.full((4, 4), np.nan))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            BatchMatrixFactorization().fit(np.zeros((3, 4)))
+
+    def test_converged_flag_with_loose_tol(self, rng):
+        matrix = low_rank_matrix(10, 2, rng)
+        np.fill_diagonal(matrix, np.nan)
+        solver = BatchMatrixFactorization(
+            rank=2, loss="l2", tol=0.5, max_iter=500, rng=0
+        )
+        assert solver.fit(matrix).converged
+
+    def test_deterministic_given_rng(self, rng):
+        matrix = low_rank_matrix(10, 2, rng)
+        np.fill_diagonal(matrix, np.nan)
+        a = BatchMatrixFactorization(rank=2, max_iter=20, rng=3).fit(matrix)
+        b = BatchMatrixFactorization(rank=2, max_iter=20, rng=3).fit(matrix)
+        np.testing.assert_allclose(a.U, b.U)
+
+
+class TestValidation:
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            BatchMatrixFactorization(rank=0)
+
+    def test_rejects_bad_max_iter(self):
+        with pytest.raises(ValueError):
+            BatchMatrixFactorization(max_iter=0)
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            BatchMatrixFactorization(learning_rate=0.0)
+
+
+class TestCompleteMatrix:
+    def test_observed_entries_preserved(self, rng):
+        matrix = low_rank_matrix(12, 2, rng)
+        np.fill_diagonal(matrix, np.nan)
+        matrix[1, 2] = np.nan
+        completed = complete_matrix(matrix, rank=3, loss="l2", max_iter=50, rng=0)
+        observed = np.isfinite(matrix)
+        np.testing.assert_array_equal(completed[observed], matrix[observed])
+
+    def test_missing_entries_filled(self, rng):
+        matrix = low_rank_matrix(12, 2, rng)
+        np.fill_diagonal(matrix, np.nan)
+        matrix[1, 2] = np.nan
+        completed = complete_matrix(matrix, rank=3, loss="l2", max_iter=50, rng=0)
+        assert np.isfinite(completed[1, 2])

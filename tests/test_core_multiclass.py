@@ -1,0 +1,124 @@
+"""Tests for the ordinal multiclass extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.multiclass import MulticlassDMFSGD, quantize_classes
+
+
+class TestQuantizeClasses:
+    def test_rtt_orientation(self):
+        # smaller RTT = better = higher class index
+        quantities = np.array([[np.nan, 10.0], [200.0, np.nan]])
+        classes = quantize_classes(quantities, [50.0, 150.0], "rtt")
+        assert classes[0, 1] == 2.0  # 10ms clears both thresholds
+        assert classes[1, 0] == 0.0  # 200ms clears none
+
+    def test_abw_orientation(self):
+        quantities = np.array([[np.nan, 100.0], [5.0, np.nan]])
+        classes = quantize_classes(quantities, [10.0, 50.0], "abw")
+        assert classes[0, 1] == 2.0
+        assert classes[1, 0] == 0.0
+
+    def test_middle_class(self):
+        quantities = np.array([[np.nan, 100.0], [100.0, np.nan]])
+        classes = quantize_classes(quantities, [50.0, 150.0], "rtt")
+        assert classes[0, 1] == 1.0
+
+    def test_nan_passthrough(self):
+        quantities = np.array([[np.nan, np.nan], [1.0, np.nan]])
+        classes = quantize_classes(quantities, [5.0], "rtt")
+        assert np.isnan(classes[0, 1])
+
+    def test_rejects_empty_thresholds(self):
+        with pytest.raises(ValueError):
+            quantize_classes(np.ones((2, 2)), [], "rtt")
+
+    def test_rejects_duplicate_thresholds(self):
+        with pytest.raises(ValueError):
+            quantize_classes(np.ones((2, 2)), [5.0, 5.0], "rtt")
+
+    def test_class_count(self, rtt_dataset):
+        thresholds = [
+            rtt_dataset.tau_for_good_fraction(0.25),
+            rtt_dataset.tau_for_good_fraction(0.75),
+        ]
+        classes = quantize_classes(
+            rtt_dataset.quantities, sorted(thresholds), "rtt"
+        )
+        observed = classes[np.isfinite(classes)]
+        assert set(np.unique(observed)) <= {0.0, 1.0, 2.0}
+
+
+class TestMulticlassDMFSGD:
+    @pytest.fixture(scope="class")
+    def trained(self, rtt_dataset):
+        thresholds = sorted(
+            (
+                rtt_dataset.tau_for_good_fraction(0.25),
+                rtt_dataset.tau_for_good_fraction(0.75),
+            )
+        )
+        classes = quantize_classes(rtt_dataset.quantities, thresholds, "rtt")
+        model = MulticlassDMFSGD(
+            rtt_dataset.n,
+            classes,
+            n_classes=3,
+            config=DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=0,
+        )
+        model.train(rounds=200)
+        return model, classes
+
+    def test_engine_count(self, trained):
+        model, _ = trained
+        assert len(model.engines) == 2  # C - 1 boundary models
+
+    def test_predictions_in_range(self, trained):
+        model, _ = trained
+        predicted = model.predict_classes()
+        observed = predicted[np.isfinite(predicted)]
+        assert observed.min() >= 0 and observed.max() <= 2
+
+    def test_beats_majority_baseline(self, trained):
+        model, classes = trained
+        observed = classes[np.isfinite(classes)]
+        majority = np.bincount(observed.astype(int)).max() / observed.size
+        assert model.accuracy() > majority
+
+    def test_within_one_accuracy_high(self, trained):
+        model, _ = trained
+        assert model.off_by_at_most(1) > 0.9
+
+    def test_off_by_zero_equals_accuracy(self, trained):
+        model, _ = trained
+        assert model.off_by_at_most(0) == pytest.approx(model.accuracy())
+
+    def test_rejects_negative_distance(self, trained):
+        model, _ = trained
+        with pytest.raises(ValueError):
+            model.off_by_at_most(-1)
+
+
+class TestMulticlassValidation:
+    def test_rejects_non_integer_classes(self):
+        with pytest.raises(ValueError):
+            MulticlassDMFSGD(3, np.full((3, 3), 0.5))
+
+    def test_rejects_single_class(self):
+        matrix = np.zeros((5, 5))
+        np.fill_diagonal(matrix, np.nan)
+        with pytest.raises(ValueError):
+            MulticlassDMFSGD(5, matrix, n_classes=1)
+
+    def test_rejects_class_above_count(self):
+        matrix = np.full((5, 5), 4.0)
+        np.fill_diagonal(matrix, np.nan)
+        with pytest.raises(ValueError):
+            MulticlassDMFSGD(5, matrix, n_classes=3)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MulticlassDMFSGD(4, np.zeros((3, 3)))

@@ -1,0 +1,58 @@
+"""Tests for coordinate persistence (save/load snapshots)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coordinates import CoordinateTable
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        table = CoordinateTable(10, 4, rng=0)
+        path = tmp_path / "snapshot.npz"
+        table.save(path)
+        loaded = CoordinateTable.load(path)
+        np.testing.assert_array_equal(loaded.U, table.U)
+        np.testing.assert_array_equal(loaded.V, table.V)
+
+    def test_predictions_preserved(self, tmp_path):
+        table = CoordinateTable(8, 3, rng=1)
+        path = tmp_path / "snapshot.npz"
+        table.save(path)
+        loaded = CoordinateTable.load(path)
+        np.testing.assert_allclose(
+            loaded.estimate_matrix(fill_diagonal=None),
+            table.estimate_matrix(fill_diagonal=None),
+        )
+
+    def test_loaded_is_independent(self, tmp_path):
+        table = CoordinateTable(5, 2, rng=0)
+        path = tmp_path / "snapshot.npz"
+        table.save(path)
+        loaded = CoordinateTable.load(path)
+        loaded.U[0, 0] = 999.0
+        assert table.U[0, 0] != 999.0
+
+    def test_warm_start_training(self, tmp_path, rtt_labels):
+        """A saved snapshot warm-starts a new engine run."""
+        from repro.core.config import DMFSGDConfig
+        from repro.core.engine import DMFSGDEngine, matrix_label_fn
+        from repro.evaluation import auc_score
+
+        n = rtt_labels.shape[0]
+        config = DMFSGDConfig(neighbors=8)
+        engine = DMFSGDEngine(
+            n, matrix_label_fn(rtt_labels), config, metric="rtt", rng=0
+        )
+        engine.run(rounds=200)
+        path = tmp_path / "warm.npz"
+        engine.coordinates.save(path)
+
+        fresh = DMFSGDEngine(
+            n, matrix_label_fn(rtt_labels), config, metric="rtt", rng=1
+        )
+        warm = CoordinateTable.load(path)
+        fresh.coordinates.U[:] = warm.U
+        fresh.coordinates.V[:] = warm.V
+        auc = auc_score(rtt_labels, fresh.coordinates.estimate_matrix())
+        assert auc > 0.85  # inherited accuracy without retraining

@@ -1,0 +1,118 @@
+"""Tests for learning-rate schedules and their engine integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.core.schedules import constant, get_schedule, inverse_sqrt, inverse_time
+from repro.evaluation import auc_score
+
+
+class TestScheduleFunctions:
+    def test_constant_is_one(self):
+        schedule = constant()
+        assert schedule(0) == 1.0
+        assert schedule(10_000) == 1.0
+
+    def test_inverse_sqrt_decays(self):
+        schedule = inverse_sqrt(t0=100.0)
+        assert schedule(0) == 1.0
+        assert schedule(100) == pytest.approx(1.0 / np.sqrt(2.0))
+        assert schedule(300) == pytest.approx(0.5)
+
+    def test_inverse_time_decays_faster(self):
+        sqrt_schedule = inverse_sqrt(t0=50.0)
+        time_schedule = inverse_time(t0=50.0)
+        for t in (10, 100, 1000):
+            assert time_schedule(t) < sqrt_schedule(t)
+
+    def test_monotone_non_increasing(self):
+        for schedule in (inverse_sqrt(10.0), inverse_time(10.0)):
+            values = [schedule(t) for t in range(0, 500, 7)]
+            assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_t0(self):
+        with pytest.raises(ValueError):
+            inverse_sqrt(0.0)
+        with pytest.raises(ValueError):
+            inverse_time(-1.0)
+
+
+class TestGetSchedule:
+    @pytest.mark.parametrize(
+        "name", ["constant", "inverse_sqrt", "invsqrt", "1/sqrt", "inverse_time", "1/t"]
+    )
+    def test_known_names(self, name):
+        schedule = get_schedule(name)
+        assert callable(schedule)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_schedule("exponential")
+
+
+class TestEngineIntegration:
+    def test_schedule_applied(self, rtt_labels):
+        """With a collapsed schedule, coordinates barely move."""
+        n = rtt_labels.shape[0]
+        config = DMFSGDConfig(neighbors=8)
+
+        frozen = DMFSGDEngine(
+            n,
+            matrix_label_fn(rtt_labels),
+            config,
+            metric="rtt",
+            rng=5,
+            lr_schedule=lambda t: 1e-9,
+        )
+        start = frozen.coordinates.U.copy()
+        frozen.run(rounds=20)
+        assert np.abs(frozen.coordinates.U - start).max() < 1e-6
+
+    def test_rounds_done_drives_schedule(self, rtt_labels):
+        n = rtt_labels.shape[0]
+        seen = []
+
+        def recording(t):
+            seen.append(t)
+            return 1.0
+
+        engine = DMFSGDEngine(
+            n,
+            matrix_label_fn(rtt_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=5,
+            lr_schedule=recording,
+        )
+        engine.run(rounds=5)
+        assert seen[0] == 0 and max(seen) == 4
+
+    def test_decay_still_learns(self, rtt_labels):
+        n = rtt_labels.shape[0]
+        engine = DMFSGDEngine(
+            n,
+            matrix_label_fn(rtt_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=5,
+            lr_schedule=inverse_sqrt(t0=200.0),
+        )
+        result = engine.run(rounds=250)
+        assert auc_score(rtt_labels, result.estimate_matrix()) > 0.85
+
+    def test_default_matches_constant(self, rtt_labels):
+        n = rtt_labels.shape[0]
+        runs = []
+        for schedule in (None, constant()):
+            engine = DMFSGDEngine(
+                n,
+                matrix_label_fn(rtt_labels),
+                DMFSGDConfig(neighbors=8),
+                metric="rtt",
+                rng=5,
+                lr_schedule=schedule,
+            )
+            runs.append(engine.run(rounds=30).coordinates.U)
+        np.testing.assert_allclose(runs[0], runs[1])

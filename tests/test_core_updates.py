@@ -1,0 +1,150 @@
+"""Tests for repro.core.updates (eqs. 9-10 and 12-13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.losses import get_loss
+from repro.core.updates import abw_update_prober, abw_update_target, rtt_update
+
+VEC = st.lists(st.floats(-2.0, 2.0, allow_nan=False), min_size=3, max_size=3).map(
+    np.array
+)
+LABEL = st.sampled_from([1.0, -1.0])
+
+
+@pytest.fixture
+def vectors(rng):
+    return {name: rng.uniform(0, 1, size=4) for name in ("u_i", "v_i", "u_j", "v_j")}
+
+
+class TestRttUpdate:
+    def test_matches_manual_eq9_eq10(self, vectors):
+        loss = get_loss("logistic")
+        eta, lam, x = 0.1, 0.1, 1.0
+        new_u, new_v = rtt_update(
+            vectors["u_i"], vectors["v_i"], vectors["u_j"], vectors["v_j"],
+            x, loss, eta, lam,
+        )
+        expected_u = (1 - eta * lam) * vectors["u_i"] - eta * loss.grad_u(
+            x, vectors["u_i"], vectors["v_j"]
+        )
+        expected_v = (1 - eta * lam) * vectors["v_i"] - eta * loss.grad_v(
+            x, vectors["u_j"], vectors["v_i"]
+        )
+        np.testing.assert_allclose(new_u, expected_u)
+        np.testing.assert_allclose(new_v, expected_v)
+
+    def test_pure_no_mutation(self, vectors):
+        originals = {k: v.copy() for k, v in vectors.items()}
+        rtt_update(
+            vectors["u_i"], vectors["v_i"], vectors["u_j"], vectors["v_j"],
+            1.0, get_loss("hinge"), 0.1, 0.1,
+        )
+        for key, original in originals.items():
+            np.testing.assert_array_equal(vectors[key], original)
+
+    def test_reduces_loss_on_misclassified(self, vectors):
+        loss = get_loss("logistic")
+        x = -1.0  # coordinates start positive -> initially misclassified
+        before = float(loss.value(x, vectors["u_i"] @ vectors["v_j"]))
+        new_u, _ = rtt_update(
+            vectors["u_i"], vectors["v_i"], vectors["u_j"], vectors["v_j"],
+            x, loss, 0.05, 0.0,
+        )
+        after = float(loss.value(x, new_u @ vectors["v_j"]))
+        assert after < before
+
+    def test_regularization_shrinks_norm_at_zero_gradient(self):
+        # hinge with satisfied margin: gradient zero, only shrinkage acts
+        loss = get_loss("hinge")
+        u_i = np.array([10.0, 0.0])
+        v_j = np.array([1.0, 0.0])  # margin = 10 >= 1 -> no gradient
+        new_u, _ = rtt_update(
+            u_i, np.zeros(2), np.zeros(2), v_j, 1.0, loss, 0.1, 0.5
+        )
+        np.testing.assert_allclose(new_u, 0.95 * u_i)
+
+    @given(x=LABEL, u_i=VEC, v_i=VEC, u_j=VEC, v_j=VEC)
+    @settings(max_examples=40)
+    def test_finite_outputs(self, x, u_i, v_i, u_j, v_j):
+        new_u, new_v = rtt_update(
+            u_i, v_i, u_j, v_j, x, get_loss("logistic"), 0.1, 0.1
+        )
+        assert np.isfinite(new_u).all() and np.isfinite(new_v).all()
+
+    def test_rejects_bad_eta(self, vectors):
+        with pytest.raises(ValueError):
+            rtt_update(
+                vectors["u_i"], vectors["v_i"], vectors["u_j"], vectors["v_j"],
+                1.0, get_loss("l2"), 0.0, 0.1,
+            )
+
+    def test_rejects_negative_lambda(self, vectors):
+        with pytest.raises(ValueError):
+            rtt_update(
+                vectors["u_i"], vectors["v_i"], vectors["u_j"], vectors["v_j"],
+                1.0, get_loss("l2"), 0.1, -0.1,
+            )
+
+
+class TestAbwUpdates:
+    def test_prober_matches_eq12(self, vectors):
+        loss = get_loss("logistic")
+        eta, lam, x = 0.1, 0.1, -1.0
+        new_u = abw_update_prober(vectors["u_i"], vectors["v_j"], x, loss, eta, lam)
+        expected = (1 - eta * lam) * vectors["u_i"] - eta * loss.grad_u(
+            x, vectors["u_i"], vectors["v_j"]
+        )
+        np.testing.assert_allclose(new_u, expected)
+
+    def test_target_matches_eq13(self, vectors):
+        loss = get_loss("logistic")
+        eta, lam, x = 0.1, 0.1, -1.0
+        new_v = abw_update_target(vectors["u_i"], vectors["v_j"], x, loss, eta, lam)
+        expected = (1 - eta * lam) * vectors["v_j"] - eta * loss.grad_v(
+            x, vectors["u_i"], vectors["v_j"]
+        )
+        np.testing.assert_allclose(new_v, expected)
+
+    def test_joint_update_reduces_loss(self, vectors):
+        loss = get_loss("logistic")
+        x = -1.0
+        before = float(loss.value(x, vectors["u_i"] @ vectors["v_j"]))
+        new_u = abw_update_prober(vectors["u_i"], vectors["v_j"], x, loss, 0.05, 0.0)
+        new_v = abw_update_target(vectors["u_i"], vectors["v_j"], x, loss, 0.05, 0.0)
+        after = float(loss.value(x, new_u @ new_v))
+        assert after < before
+
+    def test_prober_does_not_touch_v(self, vectors):
+        v_before = vectors["v_j"].copy()
+        abw_update_prober(
+            vectors["u_i"], vectors["v_j"], 1.0, get_loss("hinge"), 0.1, 0.1
+        )
+        np.testing.assert_array_equal(vectors["v_j"], v_before)
+
+    @given(x=LABEL, u=VEC, v=VEC)
+    @settings(max_examples=40)
+    def test_finite(self, x, u, v):
+        assert np.isfinite(
+            abw_update_prober(u, v, x, get_loss("logistic"), 0.1, 0.1)
+        ).all()
+        assert np.isfinite(
+            abw_update_target(u, v, x, get_loss("logistic"), 0.1, 0.1)
+        ).all()
+
+
+class TestRepeatedUpdatesConverge:
+    @pytest.mark.parametrize("loss_name", ["hinge", "logistic"])
+    def test_margin_becomes_positive(self, loss_name, rng):
+        """Hammering one pair with the same label must fit that label."""
+        loss = get_loss(loss_name)
+        u_i = rng.uniform(0, 1, 5)
+        v_i = rng.uniform(0, 1, 5)
+        u_j = rng.uniform(0, 1, 5)
+        v_j = rng.uniform(0, 1, 5)
+        x = -1.0
+        for _ in range(200):
+            u_i, v_i = rtt_update(u_i, v_i, u_j, v_j, x, loss, 0.1, 0.01)
+        assert float(u_i @ v_j) < 0.0  # now predicts the "bad" class

@@ -1,0 +1,118 @@
+"""Tests for the PerformanceDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import PerformanceDataset
+from repro.measurement.metrics import Metric
+
+
+@pytest.fixture
+def dataset(rng):
+    matrix = rng.uniform(10, 200, size=(30, 30))
+    matrix[2, 3] = np.nan
+    return PerformanceDataset("test", Metric.RTT, matrix)
+
+
+class TestConstruction:
+    def test_diagonal_forced_nan(self, rng):
+        matrix = rng.uniform(1, 2, size=(5, 5))
+        dataset = PerformanceDataset("t", "rtt", matrix)
+        assert np.isnan(np.diag(dataset.quantities)).all()
+
+    def test_metric_parsed_from_string(self, rng):
+        dataset = PerformanceDataset("t", "abw", rng.uniform(1, 2, (4, 4)))
+        assert dataset.metric is Metric.ABW
+
+    def test_rejects_negative_quantities(self):
+        matrix = np.full((3, 3), -1.0)
+        with pytest.raises(ValueError):
+            PerformanceDataset("t", "rtt", matrix)
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(ValueError):
+            PerformanceDataset("t", "rtt", np.full((3, 3), np.nan))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            PerformanceDataset("t", "rtt", np.ones((3, 4)))
+
+    def test_input_not_aliased(self, rng):
+        matrix = rng.uniform(1, 2, size=(4, 4))
+        dataset = PerformanceDataset("t", "rtt", matrix)
+        matrix[0, 1] = 999.0
+        assert dataset.quantities[0, 1] != 999.0
+
+
+class TestGeometry:
+    def test_n(self, dataset):
+        assert dataset.n == 30
+
+    def test_observed_mask(self, dataset):
+        mask = dataset.observed_mask()
+        assert not mask[2, 3]
+        assert not mask.diagonal().any()
+
+    def test_density(self, dataset):
+        expected = (30 * 29 - 1) / (30 * 29)
+        assert dataset.density() == pytest.approx(expected)
+
+    def test_quantity_lookup(self, dataset):
+        assert dataset.quantity(0, 1) == dataset.quantities[0, 1]
+        assert np.isnan(dataset.quantity(2, 3))
+
+
+class TestThresholds:
+    def test_median(self, dataset):
+        values = dataset.observed_values()
+        assert dataset.median() == pytest.approx(float(np.median(values)))
+
+    def test_tau_for_good_fraction(self, dataset):
+        tau = dataset.tau_for_good_fraction(0.25)
+        assert dataset.good_fraction(tau) == pytest.approx(0.25, abs=0.02)
+
+    def test_class_matrix_default_median(self, dataset):
+        labels = dataset.class_matrix()
+        observed = labels[np.isfinite(labels)]
+        assert np.mean(observed == 1.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_class_matrix_preserves_mask(self, dataset):
+        labels = dataset.class_matrix()
+        np.testing.assert_array_equal(
+            np.isfinite(labels), dataset.observed_mask()
+        )
+
+    def test_good_fraction_at_median(self, dataset):
+        assert dataset.good_fraction() == pytest.approx(0.5, abs=0.02)
+
+
+class TestTransforms:
+    def test_symmetrized(self, rng):
+        matrix = rng.uniform(10, 20, size=(6, 6))
+        dataset = PerformanceDataset("t", "rtt", matrix).symmetrized()
+        off = ~np.eye(6, dtype=bool)
+        np.testing.assert_allclose(
+            dataset.quantities[off], dataset.quantities.T[off]
+        )
+
+    def test_subsample_size(self, dataset):
+        sub = dataset.subsample(10, rng=0)
+        assert sub.n == 10
+
+    def test_subsample_is_principal_submatrix(self, dataset):
+        sub = dataset.subsample(10, rng=0)
+        values = sub.observed_values()
+        parent = set(np.round(dataset.observed_values(), 9))
+        assert all(np.round(v, 9) in parent for v in values)
+
+    def test_subsample_rejects_oversize(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.subsample(31)
+
+    def test_with_missing_fraction(self, dataset):
+        sparse = dataset.with_missing(0.2, rng=0)
+        assert sparse.density() == pytest.approx(0.8 * dataset.density(), abs=0.02)
+
+    def test_with_missing_rejects_one(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.with_missing(1.0)

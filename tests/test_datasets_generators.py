@@ -1,0 +1,127 @@
+"""Tests for the Harvard/Meridian/HP-S3 synthetic twins."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset, load_harvard, load_hps3, load_meridian
+from repro.datasets.harvard import HARVARD_MEDIAN_MS
+from repro.datasets.hps3 import HPS3_MEDIAN_MBPS
+from repro.datasets.meridian import MERIDIAN_MEDIAN_MS
+from repro.measurement.metrics import Metric
+
+
+class TestMeridian:
+    def test_metric_and_median(self, rtt_dataset):
+        assert rtt_dataset.metric is Metric.RTT
+        # median is calibrated before noise/missing; allow modest drift
+        assert rtt_dataset.median() == pytest.approx(MERIDIAN_MEDIAN_MS, rel=0.1)
+
+    def test_nearly_complete(self, rtt_dataset):
+        assert rtt_dataset.density() > 0.97
+
+    def test_roughly_symmetric(self, rtt_dataset):
+        q = rtt_dataset.quantities
+        both = np.isfinite(q) & np.isfinite(q.T)
+        ratio = q[both] / q.T[both]
+        assert np.median(np.abs(np.log(ratio))) < 0.2
+
+    def test_deterministic(self):
+        a = load_meridian(n_hosts=30, rng=9)
+        b = load_meridian(n_hosts=30, rng=9)
+        np.testing.assert_array_equal(a.quantities, b.quantities)
+
+    def test_seed_changes_data(self):
+        a = load_meridian(n_hosts=30, rng=1)
+        b = load_meridian(n_hosts=30, rng=2)
+        assert not np.array_equal(a.quantities, b.quantities)
+
+
+class TestHps3:
+    def test_metric_and_median(self, abw_dataset):
+        assert abw_dataset.metric is Metric.ABW
+        assert abw_dataset.median() == pytest.approx(HPS3_MEDIAN_MBPS, rel=0.15)
+
+    def test_missing_fraction(self):
+        dataset = load_hps3(n_hosts=80, rng=0)
+        assert dataset.density() == pytest.approx(0.96, abs=0.02)
+
+    def test_asymmetric(self, abw_dataset):
+        q = abw_dataset.quantities
+        both = np.isfinite(q) & np.isfinite(q.T) & ~np.eye(q.shape[0], dtype=bool)
+        assert not np.allclose(q[both], q.T[both])
+
+    def test_noiseless_option(self):
+        dataset = load_hps3(n_hosts=30, measurement_noise=0.0, rng=0)
+        assert dataset.n == 30
+
+
+class TestHarvard:
+    def test_bundle_contents(self, harvard_bundle):
+        assert harvard_bundle.dataset.metric is Metric.RTT
+        assert harvard_bundle.trace.n_nodes == harvard_bundle.dataset.n
+
+    def test_median_calibration(self, harvard_bundle):
+        assert harvard_bundle.dataset.median() == pytest.approx(
+            HARVARD_MEDIAN_MS, rel=0.15
+        )
+
+    def test_trace_time_ordered(self, harvard_bundle):
+        assert (np.diff(harvard_bundle.trace.timestamps) >= 0).all()
+
+    def test_trace_duration_window(self, harvard_bundle):
+        assert harvard_bundle.trace.duration <= 4 * 3600.0
+
+    def test_uneven_probing(self, harvard_bundle):
+        """Footnote 4: per-node measurement counts differ significantly."""
+        counts = harvard_bundle.trace.measurement_counts()
+        assert counts.max() > 3 * max(counts.min(), 1)
+
+    def test_ground_truth_is_pair_median_where_sampled(self):
+        bundle = load_harvard(n_hosts=20, n_samples=20_000, rng=1)
+        medians = bundle.trace.pair_median_matrix()
+        sampled = np.isfinite(medians)
+        np.testing.assert_allclose(
+            bundle.dataset.quantities[sampled], medians[sampled]
+        )
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            load_harvard(n_hosts=10, n_samples=0)
+
+
+class TestRegistry:
+    def test_load_by_name(self):
+        dataset = load_dataset("meridian", n_hosts=20, rng=0)
+        assert dataset.name == "meridian"
+
+    def test_load_harvard_returns_bundle(self):
+        bundle = load_dataset("harvard", n_hosts=15, n_samples=2000, rng=0)
+        assert hasattr(bundle, "trace")
+
+    @pytest.mark.parametrize("alias", ["hps3", "hp-s3", "HP_S3"])
+    def test_hps3_aliases(self, alias):
+        dataset = load_dataset(alias, n_hosts=20, rng=0)
+        assert dataset.name == "hps3"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_dataset("planetlab")
+
+
+class TestLowRank:
+    """Fig. 1 premise holds on the generated datasets themselves."""
+
+    @pytest.mark.parametrize("loader", [load_meridian, load_hps3])
+    def test_quantity_spectrum_decays(self, loader):
+        from repro.evaluation.rank import normalized_singular_values
+
+        dataset = loader(n_hosts=80, rng=3)
+        spectrum = normalized_singular_values(dataset.quantities, 10)
+        assert spectrum[5] < 0.2
+
+    def test_class_spectrum_decays(self):
+        from repro.evaluation.rank import normalized_singular_values
+
+        dataset = load_hps3(n_hosts=80, rng=3)
+        spectrum = normalized_singular_values(dataset.class_matrix(), 10)
+        assert spectrum[5] < 0.5

@@ -1,0 +1,76 @@
+"""Tests for file-based dataset I/O."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_matrix_file, save_matrix_file
+from repro.datasets.base import PerformanceDataset
+from repro.measurement.metrics import Metric
+
+
+@pytest.fixture
+def dataset(rng):
+    matrix = rng.uniform(10, 100, size=(8, 8))
+    matrix[1, 2] = np.nan
+    return PerformanceDataset("disk", Metric.RTT, matrix)
+
+
+class TestRoundTrip:
+    def test_npy(self, dataset, tmp_path):
+        path = tmp_path / "matrix.npy"
+        save_matrix_file(dataset, path)
+        loaded = load_matrix_file(path, "rtt")
+        np.testing.assert_allclose(
+            loaded.quantities[loaded.observed_mask()],
+            dataset.quantities[dataset.observed_mask()],
+        )
+
+    def test_text(self, dataset, tmp_path):
+        path = tmp_path / "matrix.txt"
+        save_matrix_file(dataset, path)
+        loaded = load_matrix_file(path, "rtt")
+        np.testing.assert_allclose(
+            loaded.quantities[loaded.observed_mask()],
+            dataset.quantities[dataset.observed_mask()],
+            rtol=1e-6,
+        )
+
+    def test_mask_preserved(self, dataset, tmp_path):
+        path = tmp_path / "matrix.npy"
+        save_matrix_file(dataset, path)
+        loaded = load_matrix_file(path, "rtt")
+        np.testing.assert_array_equal(
+            loaded.observed_mask(), dataset.observed_mask()
+        )
+
+
+class TestLoading:
+    def test_missing_marker(self, tmp_path):
+        matrix = np.array([[0.0, 5.0], [-1.0, 0.0]])
+        path = tmp_path / "m.txt"
+        np.savetxt(path, matrix)
+        loaded = load_matrix_file(path, "rtt", missing_marker=-1.0)
+        assert np.isnan(loaded.quantities[1, 0])
+
+    def test_name_from_filename(self, tmp_path, dataset):
+        path = tmp_path / "meridian_real.npy"
+        save_matrix_file(dataset, path)
+        loaded = load_matrix_file(path, "rtt")
+        assert loaded.name == "meridian_real"
+
+    def test_explicit_name(self, tmp_path, dataset):
+        path = tmp_path / "x.npy"
+        save_matrix_file(dataset, path)
+        loaded = load_matrix_file(path, "rtt", name="custom")
+        assert loaded.name == "custom"
+
+    def test_metric_parsed(self, tmp_path, dataset):
+        path = tmp_path / "x.npy"
+        save_matrix_file(dataset, path)
+        assert load_matrix_file(path, "abw").metric is Metric.ABW
+
+    def test_rejects_rectangular(self, tmp_path):
+        path = tmp_path / "bad.npy"
+        np.save(path, np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            load_matrix_file(path, "rtt")

@@ -1,0 +1,162 @@
+"""Tests for the controlled synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    exact_low_rank_classes,
+    noisy_low_rank_quantities,
+    planted_blocks,
+)
+from repro.evaluation.rank import normalized_singular_values
+
+
+class TestExactLowRankClasses:
+    def test_binary_with_nan_diagonal(self):
+        labels = exact_low_rank_classes(20, 3, rng=0)
+        assert np.isnan(np.diag(labels)).all()
+        observed = labels[np.isfinite(labels)]
+        assert set(np.unique(observed)) <= {1.0, -1.0}
+
+    def test_deterministic(self):
+        a = exact_low_rank_classes(15, 2, rng=5)
+        b = exact_low_rank_classes(15, 2, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_flip_probability(self):
+        clean = exact_low_rank_classes(40, 3, rng=1)
+        noisy = exact_low_rank_classes(40, 3, rng=1, flip_probability=0.2)
+        mask = np.isfinite(clean)
+        flip_rate = np.mean(clean[mask] != noisy[mask])
+        assert flip_rate == pytest.approx(0.2, abs=0.05)
+
+    def test_default_is_asymmetric(self):
+        labels = exact_low_rank_classes(40, 3, rng=2)
+        mask = np.isfinite(labels) & np.isfinite(labels.T)
+        assert np.mean(labels[mask] == labels.T[mask]) < 0.7
+
+    def test_symmetric_option(self):
+        labels = exact_low_rank_classes(40, 3, rng=2, symmetric=True)
+        mask = np.isfinite(labels) & np.isfinite(labels.T)
+        np.testing.assert_array_equal(labels[mask], labels.T[mask])
+
+    def test_asymmetric_recoverable_with_abw_updates(self):
+        """The idealized input under the matching (asymmetric) update."""
+        from repro.core import DMFSGDConfig, DMFSGDEngine, matrix_label_fn
+        from repro.evaluation import auc_score
+
+        labels = exact_low_rank_classes(60, 3, rng=2)
+        engine = DMFSGDEngine(
+            60,
+            matrix_label_fn(labels),
+            DMFSGDConfig(neighbors=10),
+            metric="abw",
+            rng=2,
+        )
+        result = engine.run(rounds=400)
+        assert auc_score(labels, result.estimate_matrix()) > 0.85
+
+    def test_symmetric_recoverable_with_rtt_updates(self):
+        from repro.core import DMFSGDConfig, DMFSGDEngine, matrix_label_fn
+        from repro.evaluation import auc_score
+
+        labels = exact_low_rank_classes(60, 3, rng=2, symmetric=True)
+        engine = DMFSGDEngine(
+            60,
+            matrix_label_fn(labels),
+            DMFSGDConfig(neighbors=10),
+            metric="rtt",
+            rng=2,
+        )
+        result = engine.run(rounds=400)
+        assert auc_score(labels, result.estimate_matrix()) > 0.85
+
+    def test_update_metric_mismatch_fails_to_learn(self):
+        """Cross-check of the paper's Algorithm 1 vs 2 distinction:
+        feeding an asymmetric matrix to the symmetric update rules
+        trains on wrong transpose labels and stalls near chance."""
+        from repro.core import DMFSGDConfig, DMFSGDEngine, matrix_label_fn
+        from repro.evaluation import auc_score
+
+        labels = exact_low_rank_classes(60, 3, rng=2)  # asymmetric
+        engine = DMFSGDEngine(
+            60,
+            matrix_label_fn(labels),
+            DMFSGDConfig(neighbors=10),
+            metric="rtt",  # wrong semantics on purpose
+            rng=2,
+        )
+        result = engine.run(rounds=400)
+        assert auc_score(labels, result.estimate_matrix()) < 0.7
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            exact_low_rank_classes(1, 1)
+        with pytest.raises(ValueError):
+            exact_low_rank_classes(10, 0)
+        with pytest.raises(ValueError):
+            exact_low_rank_classes(10, 2, flip_probability=1.5)
+
+
+class TestPlantedBlocks:
+    def test_same_group_good(self):
+        labels, assignment = planted_blocks(
+            30, 3, rng=0, return_assignment=True
+        )
+        for i in range(30):
+            for j in range(30):
+                if i == j:
+                    continue
+                expected = 1.0 if assignment[i] == assignment[j] else -1.0
+                assert labels[i, j] == expected
+
+    def test_low_rank(self):
+        labels = planted_blocks(60, 4, rng=1)
+        # fill the diagonal consistently (self = same group = +1) so the
+        # spectrum reflects the planted structure, not the imputation
+        filled = labels.copy()
+        np.fill_diagonal(filled, 1.0)
+        spectrum = normalized_singular_values(filled, 10)
+        # rank <= groups + 1 in the real-valued sense
+        assert spectrum[5] < 1e-8
+
+    def test_blur_probability(self):
+        labels, assignment = planted_blocks(
+            200, 4, rng=2, inter_good_probability=0.3, return_assignment=True
+        )
+        cross = assignment[:, None] != assignment[None, :]
+        cross &= np.isfinite(labels)
+        good_rate = np.mean(labels[cross] == 1.0)
+        assert good_rate == pytest.approx(0.3, abs=0.05)
+
+    def test_single_group_all_good(self):
+        labels = planted_blocks(10, 1, rng=0)
+        observed = labels[np.isfinite(labels)]
+        assert (observed == 1.0).all()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            planted_blocks(1, 2)
+        with pytest.raises(ValueError):
+            planted_blocks(10, 0)
+
+
+class TestNoisyLowRankQuantities:
+    def test_positive_with_nan_diagonal(self):
+        quantities = noisy_low_rank_quantities(20, 3, rng=0)
+        assert np.isnan(np.diag(quantities)).all()
+        assert (quantities[np.isfinite(quantities)] > 0).all()
+
+    def test_median_scale(self):
+        quantities = noisy_low_rank_quantities(40, 3, rng=0, scale=55.0)
+        # scaling happens before the diagonal is blanked, so allow slack
+        assert np.nanmedian(quantities) == pytest.approx(55.0, rel=0.1)
+
+    def test_noise_increases_spread(self):
+        clean = noisy_low_rank_quantities(40, 3, rng=3, noise_sigma=0.0)
+        noisy = noisy_low_rank_quantities(40, 3, rng=3, noise_sigma=0.5)
+        assert np.nanstd(np.log(noisy)) > np.nanstd(np.log(clean))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            noisy_low_rank_quantities(10, 2, noise_sigma=-1.0)

@@ -1,0 +1,145 @@
+"""Tests for the transit-stub topology generator and matrix extraction."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.datasets.topology import abw_matrix, generate_transit_stub, rtt_matrix
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return generate_transit_stub(40, rng=0)
+
+
+class TestGeneration:
+    def test_host_count(self, topology):
+        assert topology.n_hosts == 40
+
+    def test_connected(self, topology):
+        assert nx.is_connected(topology.graph)
+
+    def test_node_kinds(self, topology):
+        kinds = {data["kind"] for _, data in topology.graph.nodes(data=True)}
+        assert kinds == {"transit", "stub", "host"}
+
+    def test_hosts_have_single_access_link(self, topology):
+        for host in topology.hosts:
+            assert topology.graph.degree[host] == 1
+
+    def test_edge_attributes_present(self, topology):
+        for _, _, data in topology.graph.edges(data=True):
+            assert data["delay_ms"] > 0
+            assert data["capacity"] > 0
+            assert 0.0 <= data["util_fwd"] < 1.0
+            assert 0.0 <= data["util_rev"] < 1.0
+
+    def test_deterministic(self):
+        a = generate_transit_stub(20, rng=5)
+        b = generate_transit_stub(20, rng=5)
+        assert sorted(a.graph.edges()) == sorted(b.graph.edges())
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            generate_transit_stub(1)
+
+    def test_rejects_bad_transit_shape(self):
+        with pytest.raises(ValueError):
+            generate_transit_stub(10, transit_domains=0)
+
+    def test_directed_residual_positive(self, topology):
+        a, b = next(iter(topology.graph.edges()))
+        assert topology.directed_residual(a, b) > 0
+        assert topology.directed_residual(b, a) > 0
+
+    def test_residual_direction_dependent_somewhere(self, topology):
+        asymmetric = any(
+            topology.directed_residual(a, b) != topology.directed_residual(b, a)
+            for a, b in topology.graph.edges()
+        )
+        assert asymmetric
+
+
+class TestRttMatrix:
+    def test_shape_and_diagonal(self, topology):
+        rtt = rtt_matrix(topology)
+        assert rtt.shape == (40, 40)
+        assert np.isnan(np.diag(rtt)).all()
+
+    def test_symmetric(self, topology):
+        rtt = rtt_matrix(topology)
+        off = ~np.eye(40, dtype=bool)
+        np.testing.assert_allclose(rtt[off], rtt.T[off])
+
+    def test_positive(self, topology):
+        rtt = rtt_matrix(topology)
+        assert (rtt[np.isfinite(rtt)] > 0).all()
+
+    def test_triangle_inequality_from_shortest_paths(self, topology):
+        """Shortest-path RTT obeys the triangle inequality exactly."""
+        rtt = rtt_matrix(topology)
+        n = 12  # spot-check a subset
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    if len({i, j, k}) == 3:
+                        assert rtt[i, j] <= rtt[i, k] + rtt[k, j] + 1e-9
+
+    def test_median_calibration(self, topology):
+        rtt = rtt_matrix(topology, target_median=56.4)
+        assert np.nanmedian(rtt) == pytest.approx(56.4, rel=1e-6)
+
+    def test_processing_adds_asymmetry_free_offset(self, topology):
+        plain = rtt_matrix(topology)
+        app = rtt_matrix(topology, include_processing=True)
+        off = ~np.eye(40, dtype=bool)
+        assert (app[off] >= plain[off]).all()
+
+
+class TestAbwMatrix:
+    def test_shape_and_diagonal(self, topology):
+        abw = abw_matrix(topology)
+        assert abw.shape == (40, 40)
+        assert np.isnan(np.diag(abw)).all()
+
+    def test_positive_and_finite(self, topology):
+        abw = abw_matrix(topology)
+        values = abw[~np.eye(40, dtype=bool)]
+        assert np.isfinite(values).all()
+        assert (values > 0).all()
+
+    def test_asymmetric(self, topology):
+        abw = abw_matrix(topology)
+        off = ~np.eye(40, dtype=bool)
+        assert not np.allclose(abw[off], abw.T[off])
+
+    def test_bounded_by_access_residual(self, topology):
+        """ABW(i, j) cannot exceed i's access-link residual capacity."""
+        abw = abw_matrix(topology)
+        for row, host in enumerate(topology.hosts[:10]):
+            stub = next(iter(topology.graph.neighbors(host)))
+            residual = topology.directed_residual(host, stub)
+            finite = abw[row][np.isfinite(abw[row])]
+            assert (finite <= residual + 1e-9).all()
+
+    def test_median_calibration(self, topology):
+        abw = abw_matrix(topology, target_median=43.1)
+        assert np.nanmedian(abw) == pytest.approx(43.1, rel=1e-6)
+
+
+class TestLowRankEmergence:
+    """The central premise: route-induced matrices have low effective rank."""
+
+    def test_rtt_spectrum_decays(self, topology):
+        from repro.evaluation.rank import normalized_singular_values
+
+        rtt = rtt_matrix(topology)
+        spectrum = normalized_singular_values(rtt, 10)
+        assert spectrum[4] < 0.2  # fifth singular value under 20% of first
+
+    def test_abw_spectrum_decays(self, topology):
+        from repro.evaluation.rank import normalized_singular_values
+
+        abw = abw_matrix(topology)
+        spectrum = normalized_singular_values(abw, 10)
+        assert spectrum[4] < 0.25

@@ -1,0 +1,113 @@
+"""Tests for MeasurementTrace."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.trace import MeasurementTrace
+
+
+def make_trace(n_nodes=5, m=20, rng=None):
+    rng = rng or np.random.default_rng(0)
+    timestamps = np.sort(rng.uniform(0, 100, size=m))
+    sources = rng.integers(0, n_nodes, size=m)
+    targets = (sources + 1 + rng.integers(0, n_nodes - 1, size=m)) % n_nodes
+    values = rng.uniform(10, 200, size=m)
+    return MeasurementTrace(timestamps, sources, targets, values, n_nodes)
+
+
+class TestValidation:
+    def test_valid_trace(self):
+        trace = make_trace()
+        assert len(trace) == 20
+
+    def test_rejects_unsorted_timestamps(self):
+        with pytest.raises(ValueError):
+            MeasurementTrace(
+                np.array([2.0, 1.0]),
+                np.array([0, 0]),
+                np.array([1, 1]),
+                np.array([5.0, 5.0]),
+                3,
+            )
+
+    def test_rejects_self_measurements(self):
+        with pytest.raises(ValueError):
+            MeasurementTrace(
+                np.array([1.0]), np.array([0]), np.array([0]), np.array([5.0]), 3
+            )
+
+    def test_rejects_out_of_range_nodes(self):
+        with pytest.raises(ValueError):
+            MeasurementTrace(
+                np.array([1.0]), np.array([0]), np.array([9]), np.array([5.0]), 3
+            )
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            MeasurementTrace(
+                np.array([1.0, 2.0]), np.array([0]), np.array([1]), np.array([5.0]), 3
+            )
+
+    def test_empty_trace_allowed(self):
+        trace = MeasurementTrace(
+            np.array([]), np.array([]), np.array([]), np.array([]), 3
+        )
+        assert len(trace) == 0 and trace.duration == 0.0
+
+
+class TestIteration:
+    def test_yields_tuples_in_order(self):
+        trace = make_trace()
+        rows = list(trace)
+        assert len(rows) == 20
+        times = [row[0] for row in rows]
+        assert times == sorted(times)
+
+    def test_duration(self):
+        trace = make_trace()
+        assert trace.duration == pytest.approx(
+            float(trace.timestamps[-1] - trace.timestamps[0])
+        )
+
+
+class TestBatches:
+    def test_batch_sizes(self):
+        trace = make_trace(m=25)
+        batches = list(trace.batches(10))
+        assert [len(b) for b in batches] == [10, 10, 5]
+
+    def test_batches_preserve_order(self):
+        trace = make_trace(m=25)
+        merged = np.concatenate([b.timestamps for b in trace.batches(7)])
+        np.testing.assert_array_equal(merged, trace.timestamps)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(make_trace().batches(0))
+
+
+class TestPairMedianMatrix:
+    def test_median_per_pair(self):
+        trace = MeasurementTrace(
+            np.array([0.0, 1.0, 2.0, 3.0]),
+            np.array([0, 0, 0, 1]),
+            np.array([1, 1, 1, 0]),
+            np.array([10.0, 30.0, 20.0, 99.0]),
+            3,
+        )
+        matrix = trace.pair_median_matrix()
+        assert matrix[0, 1] == 20.0
+        assert matrix[1, 0] == 99.0
+        assert np.isnan(matrix[0, 2])
+        assert np.isnan(np.diag(matrix)).all()
+
+    def test_counts(self):
+        trace = MeasurementTrace(
+            np.array([0.0, 1.0, 2.0]),
+            np.array([0, 0, 2]),
+            np.array([1, 2, 1]),
+            np.array([1.0, 2.0, 3.0]),
+            3,
+        )
+        counts = trace.measurement_counts()
+        np.testing.assert_array_equal(counts, [2, 0, 1])

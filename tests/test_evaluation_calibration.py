@@ -1,0 +1,111 @@
+"""Tests for probability calibration metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.calibration import (
+    brier_score,
+    expected_calibration_error,
+    predicted_probability,
+    reliability_curve,
+)
+
+
+class TestPredictedProbability:
+    def test_sigmoid_at_zero(self):
+        assert predicted_probability(0.0) == pytest.approx(0.5)
+
+    def test_monotone(self):
+        margins = np.array([-3.0, -1.0, 0.0, 1.0, 3.0])
+        probabilities = predicted_probability(margins)
+        assert (np.diff(probabilities) > 0).all()
+
+    def test_bounded(self):
+        probabilities = predicted_probability(np.array([-100.0, 100.0]))
+        assert 0.0 <= probabilities[0] < 0.01
+        assert 0.99 < probabilities[1] <= 1.0
+
+    def test_nan_passthrough(self):
+        out = predicted_probability(np.array([np.nan, 0.0]))
+        assert np.isnan(out[0]) and out[1] == 0.5
+
+
+class TestBrierScore:
+    def test_perfect_forecast(self):
+        labels = np.array([1.0, -1.0])
+        probabilities = np.array([1.0, 0.0])
+        assert brier_score(labels, probabilities) == 0.0
+
+    def test_worst_forecast(self):
+        labels = np.array([1.0, -1.0])
+        probabilities = np.array([0.0, 1.0])
+        assert brier_score(labels, probabilities) == 1.0
+
+    def test_uninformative_half(self):
+        labels = np.array([1.0, -1.0, 1.0, -1.0])
+        probabilities = np.full(4, 0.5)
+        assert brier_score(labels, probabilities) == 0.25
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            brier_score(np.array([1.0]), np.array([1.5]))
+
+    def test_nan_pairs_dropped(self):
+        labels = np.array([1.0, np.nan])
+        probabilities = np.array([1.0, 0.3])
+        assert brier_score(labels, probabilities) == 0.0
+
+
+class TestReliabilityCurve:
+    def test_calibrated_forecaster(self, rng):
+        probabilities = rng.uniform(0, 1, size=20_000)
+        outcomes = (rng.random(20_000) < probabilities).astype(float)
+        labels = np.where(outcomes == 1.0, 1.0, -1.0)
+        mean_predicted, empirical, counts = reliability_curve(
+            labels, probabilities, bins=10
+        )
+        assert counts.sum() == 20_000
+        np.testing.assert_allclose(mean_predicted, empirical, atol=0.05)
+
+    def test_empty_bins_skipped(self):
+        labels = np.array([1.0, -1.0])
+        probabilities = np.array([0.95, 0.05])
+        mean_predicted, empirical, counts = reliability_curve(
+            labels, probabilities, bins=10
+        )
+        assert len(counts) == 2
+
+    def test_rejects_bad_bins(self):
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([1.0]), np.array([0.5]), bins=0)
+
+
+class TestECE:
+    def test_calibrated_is_small(self, rng):
+        probabilities = rng.uniform(0, 1, size=20_000)
+        outcomes = (rng.random(20_000) < probabilities).astype(float)
+        labels = np.where(outcomes == 1.0, 1.0, -1.0)
+        assert expected_calibration_error(labels, probabilities) < 0.03
+
+    def test_anticalibrated_is_large(self, rng):
+        probabilities = rng.uniform(0, 1, size=5_000)
+        outcomes = (rng.random(5_000) < (1.0 - probabilities)).astype(float)
+        labels = np.where(outcomes == 1.0, 1.0, -1.0)
+        assert expected_calibration_error(labels, probabilities) > 0.3
+
+    def test_trained_model_is_roughly_calibrated(self, rtt_labels):
+        """Logistic DMFSGD margins give usable probabilities."""
+        from repro.core import DMFSGDConfig, DMFSGDEngine, matrix_label_fn
+
+        n = rtt_labels.shape[0]
+        engine = DMFSGDEngine(
+            n,
+            matrix_label_fn(rtt_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=2,
+        )
+        result = engine.run(rounds=250)
+        probabilities = predicted_probability(result.estimate_matrix())
+        ece = expected_calibration_error(rtt_labels, probabilities)
+        assert ece < 0.25

@@ -1,0 +1,91 @@
+"""Tests for confusion matrices and accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.confusion import (
+    ConfusionMatrix,
+    accuracy_score,
+    confusion_matrix,
+)
+
+
+@pytest.fixture
+def example():
+    y_true = np.array([1.0, 1.0, 1.0, -1.0, -1.0, np.nan])
+    y_pred = np.array([1.0, 1.0, -1.0, -1.0, 1.0, 1.0])
+    return y_true, y_pred
+
+
+class TestCounts:
+    def test_cells(self, example):
+        matrix = confusion_matrix(*example)
+        assert (matrix.tp, matrix.fn, matrix.fp, matrix.tn) == (2, 1, 1, 1)
+
+    def test_total_skips_nan(self, example):
+        assert confusion_matrix(*example).total == 5
+
+    def test_accuracy(self, example):
+        assert confusion_matrix(*example).accuracy == pytest.approx(3 / 5)
+
+    def test_accuracy_score_helper(self, example):
+        assert accuracy_score(*example) == pytest.approx(3 / 5)
+
+    def test_matrix_inputs(self, rng):
+        y = rng.choice([1.0, -1.0], size=(8, 8))
+        np.fill_diagonal(y, np.nan)
+        matrix = confusion_matrix(y, y)
+        assert matrix.accuracy == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([1.0]), np.array([1.0, -1.0]))
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([np.nan]), np.array([np.nan]))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0.5]), np.array([1.0]))
+
+
+class TestRates:
+    def test_tpr_fpr(self, example):
+        matrix = confusion_matrix(*example)
+        assert matrix.true_positive_rate == pytest.approx(2 / 3)
+        assert matrix.false_positive_rate == pytest.approx(1 / 2)
+        assert matrix.true_negative_rate == pytest.approx(1 / 2)
+
+    def test_precision(self, example):
+        assert confusion_matrix(*example).precision == pytest.approx(2 / 3)
+
+    def test_degenerate_rates_raise(self):
+        matrix = ConfusionMatrix(tp=0, fn=0, fp=1, tn=1)
+        with pytest.raises(ValueError):
+            matrix.true_positive_rate
+
+    def test_empty_accuracy_raises(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix(0, 0, 0, 0).accuracy
+
+
+class TestRowNormalized:
+    def test_rows_sum_to_one(self, example):
+        norm = confusion_matrix(*example).row_normalized()
+        np.testing.assert_allclose(norm.sum(axis=1), [1.0, 1.0])
+
+    def test_layout(self, example):
+        norm = confusion_matrix(*example).row_normalized()
+        assert norm[0, 0] == pytest.approx(2 / 3)  # good -> good
+        assert norm[1, 1] == pytest.approx(1 / 2)  # bad -> bad
+
+    def test_missing_class_raises(self):
+        matrix = ConfusionMatrix(tp=1, fn=0, fp=0, tn=0)
+        with pytest.raises(ValueError):
+            matrix.row_normalized()
+
+    def test_as_text_contains_accuracy(self, example):
+        text = confusion_matrix(*example).as_text()
+        assert "Accuracy=60.0%" in text
+        assert '"Good"' in text

@@ -1,0 +1,73 @@
+"""Tests for precision-recall curves."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.precision_recall import (
+    average_precision,
+    precision_recall_curve,
+)
+
+
+class TestCurve:
+    def test_perfect_classifier(self):
+        y = np.array([1.0, 1.0, -1.0, -1.0])
+        scores = np.array([2.0, 1.0, -1.0, -2.0])
+        precision, recall, _ = precision_recall_curve(y, scores)
+        assert recall[-1] == 1.0
+        # while only positives are selected, precision is 1
+        assert precision[0] == 1.0
+
+    def test_recall_monotone(self, rng):
+        y = rng.choice([1.0, -1.0], size=200)
+        scores = rng.normal(size=200)
+        _, recall, _ = precision_recall_curve(y, scores)
+        assert (np.diff(recall) >= 0).all()
+
+    def test_recall_reaches_one(self, rng):
+        y = rng.choice([1.0, -1.0], size=100)
+        scores = rng.normal(size=100)
+        _, recall, _ = precision_recall_curve(y, scores)
+        assert recall[-1] == 1.0
+
+    def test_final_precision_is_base_rate(self, rng):
+        y = rng.choice([1.0, -1.0], size=500, p=[0.3, 0.7])
+        scores = rng.normal(size=500)
+        precision, _, _ = precision_recall_curve(y, scores)
+        base_rate = np.mean(y == 1.0)
+        assert precision[-1] == pytest.approx(base_rate)
+
+    def test_no_positives_raises(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve(np.array([-1.0, -1.0]), np.array([0.1, 0.2]))
+
+    def test_nan_dropped(self):
+        y = np.array([1.0, np.nan, -1.0])
+        scores = np.array([1.0, 0.5, 0.0])
+        precision, recall, _ = precision_recall_curve(y, scores)
+        assert recall[-1] == 1.0
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        y = np.array([1.0, 1.0, -1.0, -1.0])
+        scores = np.array([2.0, 1.0, -1.0, -2.0])
+        assert average_precision(y, scores) == 1.0
+
+    def test_random_near_base_rate(self, rng):
+        y = rng.choice([1.0, -1.0], size=4000, p=[0.4, 0.6])
+        scores = rng.normal(size=4000)
+        assert average_precision(y, scores) == pytest.approx(0.4, abs=0.05)
+
+    def test_bounded(self, rng):
+        y = rng.choice([1.0, -1.0], size=100)
+        scores = rng.normal(size=100)
+        value = average_precision(y, scores)
+        assert 0.0 <= value <= 1.0
+
+    def test_better_scores_higher_ap(self, rng):
+        y = rng.choice([1.0, -1.0], size=500)
+        noise = rng.normal(size=500)
+        weak = noise + (y == 1.0) * 0.5
+        strong = noise + (y == 1.0) * 3.0
+        assert average_precision(y, strong) > average_precision(y, weak)

@@ -1,0 +1,85 @@
+"""Tests for singular-value analysis."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.rank import (
+    effective_rank,
+    low_rank_relative_error,
+    normalized_singular_values,
+)
+
+
+def exact_low_rank(n, rank, rng):
+    U = rng.normal(size=(n, rank))
+    V = rng.normal(size=(n, rank))
+    return U @ V.T
+
+
+class TestNormalizedSingularValues:
+    def test_first_is_one(self, rng):
+        values = normalized_singular_values(rng.normal(size=(10, 10)))
+        assert values[0] == 1.0
+
+    def test_non_increasing(self, rng):
+        values = normalized_singular_values(rng.normal(size=(15, 15)))
+        assert (np.diff(values) <= 1e-12).all()
+
+    def test_count_truncates(self, rng):
+        values = normalized_singular_values(rng.normal(size=(10, 10)), count=4)
+        assert len(values) == 4
+
+    def test_exact_rank_k_matrix(self, rng):
+        matrix = exact_low_rank(20, 3, rng)
+        values = normalized_singular_values(matrix)
+        assert values[3] < 1e-10
+
+    def test_nan_imputed(self, rng):
+        matrix = exact_low_rank(20, 3, rng)
+        matrix[0, 1] = np.nan
+        values = normalized_singular_values(matrix)
+        assert np.isfinite(values).all()
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(ValueError):
+            normalized_singular_values(np.zeros((5, 5)))
+
+    def test_bad_count_raises(self, rng):
+        with pytest.raises(ValueError):
+            normalized_singular_values(rng.normal(size=(5, 5)), count=0)
+
+
+class TestEffectiveRank:
+    def test_exact_low_rank(self, rng):
+        matrix = exact_low_rank(30, 4, rng)
+        assert effective_rank(matrix, energy=0.999) <= 4
+
+    def test_identity_is_full_rank(self):
+        assert effective_rank(np.eye(10), energy=0.99) == 10
+
+    def test_energy_monotone(self, rng):
+        matrix = rng.normal(size=(20, 20))
+        assert effective_rank(matrix, 0.5) <= effective_rank(matrix, 0.95)
+
+    def test_bad_energy_raises(self, rng):
+        with pytest.raises(ValueError):
+            effective_rank(rng.normal(size=(5, 5)), energy=0.0)
+
+
+class TestLowRankRelativeError:
+    def test_zero_for_exact_rank(self, rng):
+        matrix = exact_low_rank(20, 3, rng)
+        assert low_rank_relative_error(matrix, 3) == pytest.approx(0.0, abs=1e-10)
+
+    def test_decreasing_in_rank(self, rng):
+        matrix = rng.normal(size=(15, 15))
+        errors = [low_rank_relative_error(matrix, r) for r in (1, 3, 7, 14)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_bounded_by_one(self, rng):
+        matrix = rng.normal(size=(10, 10))
+        assert 0.0 <= low_rank_relative_error(matrix, 1) <= 1.0
+
+    def test_bad_rank_raises(self, rng):
+        with pytest.raises(ValueError):
+            low_rank_relative_error(rng.normal(size=(5, 5)), 0)

@@ -1,0 +1,132 @@
+"""Tests for ROC curves and AUC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.roc import auc_score, roc_curve
+
+
+def brute_force_auc(y_true, scores):
+    """P(score_pos > score_neg) + 0.5 P(tie), by enumeration."""
+    positives = scores[y_true == 1.0]
+    negatives = scores[y_true == -1.0]
+    wins = ties = 0
+    for p in positives:
+        for n in negatives:
+            if p > n:
+                wins += 1
+            elif p == n:
+                ties += 1
+    return (wins + 0.5 * ties) / (len(positives) * len(negatives))
+
+
+class TestAucScore:
+    def test_perfect_classifier(self):
+        y = np.array([1.0, 1.0, -1.0, -1.0])
+        scores = np.array([2.0, 1.0, -1.0, -2.0])
+        assert auc_score(y, scores) == 1.0
+
+    def test_inverted_classifier(self):
+        y = np.array([1.0, -1.0])
+        scores = np.array([-5.0, 5.0])
+        assert auc_score(y, scores) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        y = rng.choice([1.0, -1.0], size=3000)
+        scores = rng.normal(size=3000)
+        assert auc_score(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_matches_brute_force(self, rng):
+        y = rng.choice([1.0, -1.0], size=60)
+        scores = rng.normal(size=60).round(1)  # rounding creates ties
+        assert auc_score(y, scores) == pytest.approx(brute_force_auc(y, scores))
+
+    def test_ties_give_half_credit(self):
+        y = np.array([1.0, -1.0])
+        scores = np.array([3.0, 3.0])
+        assert auc_score(y, scores) == 0.5
+
+    def test_nan_pairs_dropped(self):
+        y = np.array([1.0, -1.0, np.nan, 1.0])
+        scores = np.array([2.0, 1.0, 0.0, np.nan])
+        assert auc_score(y, scores) == 1.0
+
+    def test_matrix_input(self, rng):
+        y = rng.choice([1.0, -1.0], size=(10, 10))
+        np.fill_diagonal(y, np.nan)
+        scores = rng.normal(size=(10, 10))
+        value = auc_score(y, scores)
+        assert 0.0 <= value <= 1.0
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            auc_score(np.array([1.0, 1.0]), np.array([0.1, 0.2]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            auc_score(np.array([np.nan]), np.array([np.nan]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            auc_score(np.array([1.0]), np.array([1.0, 2.0]))
+
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.sampled_from([1.0, -1.0]),
+                # round to a 1e-3 grid so the affine transform below
+                # cannot collapse distinct scores into float ties
+                st.floats(-5, 5, allow_nan=False).map(lambda v: round(v, 3)),
+            ),
+            min_size=4,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40)
+    def test_invariant_under_monotone_transform(self, data):
+        y = np.array([d[0] for d in data])
+        scores = np.array([d[1] for d in data])
+        if (y == 1.0).sum() == 0 or (y == -1.0).sum() == 0:
+            return
+        base = auc_score(y, scores)
+        # strictly increasing affine map preserves the ranking exactly
+        transformed = auc_score(y, 2.0 * scores + 1.0)
+        assert base == pytest.approx(transformed)
+
+
+class TestRocCurve:
+    def test_endpoints(self, rng):
+        y = rng.choice([1.0, -1.0], size=100)
+        scores = rng.normal(size=100)
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_monotone(self, rng):
+        y = rng.choice([1.0, -1.0], size=200)
+        scores = rng.normal(size=200)
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+
+    def test_trapezoid_area_matches_auc(self, rng):
+        y = rng.choice([1.0, -1.0], size=300)
+        scores = rng.normal(size=300) + (y == 1.0) * 0.8
+        fpr, tpr, _ = roc_curve(y, scores)
+        area = float(np.trapezoid(tpr, fpr))
+        assert area == pytest.approx(auc_score(y, scores), abs=1e-9)
+
+    def test_perfect_curve(self):
+        y = np.array([1.0, 1.0, -1.0, -1.0])
+        scores = np.array([2.0, 1.5, 0.5, 0.2])
+        fpr, tpr, _ = roc_curve(y, scores)
+        # reaches (0, 1) before any false positive
+        assert tpr[np.searchsorted(fpr, 0.0, side="right") - 1] <= 1.0
+        assert auc_score(y, scores) == 1.0
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([1.0, 1.0]), np.array([0.1, 0.2]))

@@ -1,0 +1,103 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import auc_score
+from repro.evaluation.significance import (
+    BootstrapResult,
+    auc_confidence_interval,
+    bootstrap_metric,
+)
+
+
+@pytest.fixture
+def scored_sample(rng):
+    y = rng.choice([1.0, -1.0], size=400)
+    scores = rng.normal(size=400) + y * 1.2
+    return y, scores
+
+
+class TestBootstrapMetric:
+    def test_point_matches_direct_metric(self, scored_sample):
+        y, scores = scored_sample
+        result = bootstrap_metric(y, scores, auc_score, rng=0)
+        assert result.point == pytest.approx(auc_score(y, scores))
+
+    def test_interval_contains_point(self, scored_sample):
+        y, scores = scored_sample
+        result = bootstrap_metric(y, scores, auc_score, rng=0)
+        assert result.contains(result.point)
+
+    def test_interval_ordering(self, scored_sample):
+        y, scores = scored_sample
+        result = bootstrap_metric(y, scores, auc_score, rng=0)
+        assert result.low <= result.high
+        assert result.width >= 0.0
+
+    def test_more_data_narrower_interval(self, rng):
+        def make(size):
+            y = rng.choice([1.0, -1.0], size=size)
+            scores = rng.normal(size=size) + y
+            return auc_confidence_interval(y, scores, n_boot=150, rng=1)
+
+        small = make(80)
+        large = make(3000)
+        assert large.width < small.width
+
+    def test_higher_confidence_wider(self, scored_sample):
+        y, scores = scored_sample
+        narrow = bootstrap_metric(
+            y, scores, auc_score, confidence=0.5, rng=2
+        )
+        wide = bootstrap_metric(
+            y, scores, auc_score, confidence=0.99, rng=2
+        )
+        assert wide.width > narrow.width
+
+    def test_nan_pairs_dropped(self):
+        y = np.array([1.0, -1.0, np.nan] * 50)
+        scores = np.array([1.0, -1.0, 0.0] * 50)
+        result = auc_confidence_interval(y, scores, n_boot=50, rng=0)
+        assert result.point == 1.0
+
+    def test_deterministic_given_seed(self, scored_sample):
+        y, scores = scored_sample
+        a = auc_confidence_interval(y, scores, n_boot=50, rng=7)
+        b = auc_confidence_interval(y, scores, n_boot=50, rng=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_rejects_bad_args(self, scored_sample):
+        y, scores = scored_sample
+        with pytest.raises(ValueError):
+            bootstrap_metric(y, scores, auc_score, n_boot=0)
+        with pytest.raises(ValueError):
+            bootstrap_metric(np.array([np.nan]), np.array([np.nan]), auc_score)
+
+    def test_degenerate_resamples_skipped(self, rng):
+        """A tiny one-sided sample still yields an interval when enough
+        replicates contain both classes."""
+        y = np.array([1.0] * 28 + [-1.0, -1.0])
+        scores = rng.normal(size=30) + y
+        result = auc_confidence_interval(y, scores, n_boot=300, rng=3)
+        assert isinstance(result, BootstrapResult)
+        assert len(result.samples) >= 10
+
+
+class TestPaperUseCase:
+    def test_default_config_auc_is_significantly_above_chance(self, rtt_labels):
+        from repro.core import DMFSGDConfig, DMFSGDEngine, matrix_label_fn
+
+        n = rtt_labels.shape[0]
+        engine = DMFSGDEngine(
+            n,
+            matrix_label_fn(rtt_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=0,
+        )
+        result = engine.run(rounds=250)
+        interval = auc_confidence_interval(
+            rtt_labels, result.estimate_matrix(), n_boot=100, rng=0
+        )
+        assert interval.low > 0.5  # better than chance with confidence

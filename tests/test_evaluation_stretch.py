@@ -1,0 +1,51 @@
+"""Tests for stretch and satisfaction criteria."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.stretch import stretch_ratio, unsatisfied
+
+
+class TestStretchRatio:
+    def test_elementwise(self):
+        out = stretch_ratio(np.array([20.0, 30.0]), np.array([10.0, 30.0]), "rtt")
+        np.testing.assert_allclose(out, [2.0, 1.0])
+
+    def test_abw_below_one(self):
+        out = stretch_ratio(np.array([50.0]), np.array([100.0]), "abw")
+        assert out[0] == 0.5
+
+    def test_zero_best_raises(self):
+        with pytest.raises(ValueError):
+            stretch_ratio(np.array([1.0]), np.array([0.0]), "rtt")
+
+    def test_bad_metric_raises(self):
+        with pytest.raises(ValueError):
+            stretch_ratio(np.array([1.0]), np.array([1.0]), "plr")
+
+
+class TestUnsatisfied:
+    def test_basic(self):
+        selected_good = np.array([True, False, True, False])
+        any_good = np.array([True, True, True, False])
+        # 3 eligible nodes, 1 picked badly
+        assert unsatisfied(selected_good, any_good) == pytest.approx(1 / 3)
+
+    def test_all_satisfied(self):
+        assert unsatisfied(np.array([True, True]), np.array([True, True])) == 0.0
+
+    def test_none_satisfied(self):
+        assert unsatisfied(np.array([False]), np.array([True])) == 1.0
+
+    def test_ineligible_excluded(self):
+        selected_good = np.array([False, True])
+        any_good = np.array([False, True])
+        assert unsatisfied(selected_good, any_good) == 0.0
+
+    def test_no_eligible_raises(self):
+        with pytest.raises(ValueError):
+            unsatisfied(np.array([False]), np.array([False]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            unsatisfied(np.array([True]), np.array([True, False]))

@@ -1,0 +1,126 @@
+"""Tests for the experiment harness plumbing (small datasets).
+
+The full experiment sweeps live in ``benchmarks/``; these tests check
+the shared drivers behave correctly on reduced inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    ClassifierRun,
+    get_dataset,
+    get_harvard_trace,
+    make_auc_evaluator,
+    train_classifier,
+    train_regressor,
+)
+
+SMALL = {"n_hosts": 60, "seed": 123}
+
+
+class TestDatasetCache:
+    def test_same_object_returned(self):
+        a = get_dataset("meridian", **SMALL)
+        b = get_dataset("meridian", **SMALL)
+        assert a is b
+
+    def test_different_seed_different_data(self):
+        a = get_dataset("meridian", n_hosts=60, seed=1)
+        b = get_dataset("meridian", n_hosts=60, seed=2)
+        assert not np.array_equal(a.quantities, b.quantities)
+
+    def test_harvard_returns_static_dataset(self):
+        dataset = get_dataset("harvard", n_hosts=40, seed=123)
+        assert dataset.metric.value == "rtt"
+
+    def test_harvard_trace_accessible(self):
+        bundle = get_harvard_trace(n_hosts=40, seed=123)
+        assert len(bundle.trace) > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            get_dataset("planetlab")
+
+
+class TestTrainClassifier:
+    def test_returns_run(self):
+        run = train_classifier("meridian", **SMALL, rounds=150, neighbors=8)
+        assert isinstance(run, ClassifierRun)
+        assert run.auc > 0.8
+
+    def test_tau_defaults_to_median(self):
+        run = train_classifier("meridian", **SMALL, rounds=60, neighbors=8)
+        assert run.tau == pytest.approx(run.dataset.median())
+
+    def test_custom_tau_respected(self):
+        dataset = get_dataset("meridian", **SMALL)
+        tau = dataset.tau_for_good_fraction(0.25)
+        run = train_classifier(
+            "meridian", **SMALL, tau=tau, rounds=60, neighbors=8
+        )
+        observed = run.truth_labels[np.isfinite(run.truth_labels)]
+        assert np.mean(observed == 1.0) == pytest.approx(0.25, abs=0.03)
+
+    def test_config_overrides(self):
+        run = train_classifier(
+            "meridian", **SMALL, rounds=30, neighbors=8, learning_rate=0.01
+        )
+        assert run.result.config.learning_rate == 0.01
+
+    def test_train_labels_override(self):
+        dataset = get_dataset("meridian", **SMALL)
+        corrupted = -dataset.class_matrix()
+        run = train_classifier(
+            "meridian", **SMALL, train_labels=corrupted, rounds=150, neighbors=8
+        )
+        # trained on inverted labels -> AUC against truth collapses
+        assert run.auc < 0.5
+
+    def test_history_recorded_when_requested(self):
+        run = train_classifier(
+            "meridian", **SMALL, rounds=60, neighbors=8, record_history=True
+        )
+        assert len(run.result.history) > 2
+
+    def test_trace_mode_only_for_harvard(self):
+        with pytest.raises(ValueError):
+            train_classifier("meridian", **SMALL, use_trace=True)
+
+    def test_trace_mode_harvard(self):
+        run = train_classifier(
+            "harvard", n_hosts=40, seed=123, use_trace=True, neighbors=8
+        )
+        assert run.auc > 0.7
+
+
+class TestTrainRegressor:
+    def test_predictions_scaled_back(self):
+        dataset, predicted = train_regressor(
+            "meridian", **SMALL, rounds=200, neighbors=8
+        )
+        finite = predicted[np.isfinite(predicted)]
+        # predictions live on the quantity scale (tens of ms), not [0, 1]
+        assert np.median(np.abs(finite)) > 5.0
+
+    def test_rank_correlates_with_truth(self):
+        dataset, predicted = train_regressor(
+            "meridian", **SMALL, rounds=300, neighbors=8
+        )
+        mask = np.isfinite(dataset.quantities) & np.isfinite(predicted)
+        truth = dataset.quantities[mask]
+        estimate = predicted[mask]
+        rho = np.corrcoef(truth, estimate)[0, 1]
+        assert rho > 0.5
+
+
+class TestEvaluator:
+    def test_auc_evaluator(self):
+        dataset = get_dataset("meridian", **SMALL)
+        labels = dataset.class_matrix()
+        evaluator = make_auc_evaluator(labels)
+        from repro.core.coordinates import CoordinateTable
+
+        metrics = evaluator(CoordinateTable(dataset.n, 10, rng=0))
+        assert set(metrics) == {"auc"}
+        assert 0.0 <= metrics["auc"] <= 1.0

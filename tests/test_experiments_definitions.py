@@ -1,0 +1,84 @@
+"""Smoke tests for the (fast) experiment definitions and formatters.
+
+The slow sweeps are exercised by ``benchmarks/``; here we check that
+the cheap experiment definitions produce well-formed structures and
+that every formatter renders without blowing up.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig1_rank,
+    table1_thresholds,
+    table3_deltas,
+)
+from repro.experiments.table1_thresholds import GOOD_FRACTIONS
+
+
+class TestFig1Definition:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1_rank.run()
+
+    def test_four_spectra(self, result):
+        assert set(result["spectra"]) == {
+            "RTT",
+            "RTT class",
+            "ABW",
+            "ABW class",
+        }
+
+    def test_spectra_normalized(self, result):
+        for values in result["spectra"].values():
+            assert values[0] == 1.0
+            assert (values > 0).all()
+
+    def test_effective_ranks_present(self, result):
+        assert set(result["effective_rank"]) == set(result["spectra"])
+
+    def test_format(self, result):
+        text = fig1_rank.format_result(result)
+        assert "RTT class" in text and "effective rank" in text
+
+
+class TestTable1Definition:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1_thresholds.run()
+
+    def test_all_cells_present(self, result):
+        for name in ("harvard", "meridian", "hps3"):
+            assert set(result["taus"][name]) == set(GOOD_FRACTIONS)
+
+    def test_units(self, result):
+        assert result["units"]["harvard"] == "ms"
+        assert result["units"]["hps3"] == "Mbps"
+
+    def test_taus_finite_positive(self, result):
+        for per_dataset in result["taus"].values():
+            for tau in per_dataset.values():
+                assert np.isfinite(tau) and tau > 0
+
+    def test_format_layout(self, result):
+        text = table1_thresholds.format_result(result)
+        assert '"Good"%' in text
+        assert "50%" in text
+
+
+class TestTable3Definition:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3_deltas.run()
+
+    def test_type1_for_all_datasets(self, result):
+        for name in ("harvard", "meridian", "hps3"):
+            assert (name, 1, 0.05) in result["deltas"]
+
+    def test_type2_only_for_abw(self, result):
+        assert ("hps3", 2, 0.05) in result["deltas"]
+        assert ("harvard", 2, 0.05) not in result["deltas"]
+
+    def test_format(self, result):
+        text = table3_deltas.format_result(result)
+        assert "T2" in text and "5%" in text

@@ -1,0 +1,93 @@
+"""Tests for held-out evaluation and reduced-scope sweep definitions."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.coordinates import CoordinateTable
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.experiments.common import make_auc_evaluator, neighbor_pairs
+
+
+class TestNeighborPairs:
+    def test_shape_and_content(self):
+        table = np.array([[1, 2], [0, 2], [0, 1]])
+        pairs = neighbor_pairs(table)
+        assert pairs.shape == (6, 2)
+        assert pairs.tolist()[:2] == [[0, 1], [0, 2]]
+
+
+class TestHeldOutEvaluator:
+    def test_exclusion_drops_pairs(self, rtt_labels):
+        n = rtt_labels.shape[0]
+        table = CoordinateTable(n, 10, rng=0)
+        exclude = neighbor_pairs(np.tile(np.arange(1, 9), (n, 1)))
+        held = make_auc_evaluator(rtt_labels, exclude_pairs=exclude)(table)
+        assert 0.0 <= held["auc"] <= 1.0
+
+    def test_exclusion_changes_the_sample(self, rtt_labels):
+        """Excluding one class's easiest pairs must move the score."""
+        n = rtt_labels.shape[0]
+        # a scorer that is perfect on row 0 and random elsewhere
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(n, n))
+        scores[0] = rtt_labels[0] * 10.0
+        table_scores = scores  # evaluate directly via auc on matrices
+        from repro.evaluation import auc_score
+
+        full = auc_score(rtt_labels, table_scores)
+        truth_without_row0 = rtt_labels.copy()
+        truth_without_row0[0, :] = np.nan
+        reduced = auc_score(truth_without_row0, table_scores)
+        assert reduced < full
+
+    def test_heldout_auc_close_to_full(self, rtt_labels):
+        """Training pairs are a small minority, so held-out AUC should
+        track the all-pairs number the paper reports."""
+        n = rtt_labels.shape[0]
+        config = DMFSGDConfig(neighbors=8)
+        engine = DMFSGDEngine(
+            n, matrix_label_fn(rtt_labels), config, metric="rtt", rng=0
+        )
+        result = engine.run(rounds=250)
+        full = make_auc_evaluator(rtt_labels)(result.coordinates)["auc"]
+        held = make_auc_evaluator(
+            rtt_labels, exclude_pairs=neighbor_pairs(engine.neighbor_sets)
+        )(result.coordinates)["auc"]
+        assert held > 0.8
+        assert abs(full - held) < 0.08
+
+
+class TestReducedSweeps:
+    """The big sweep definitions accept reduced scopes for smoke runs."""
+
+    def test_fig3_single_dataset_reduced_grid(self):
+        from repro.experiments import fig3_learning
+
+        result = fig3_learning.run(datasets=("hps3",), grid=(0.1,))
+        assert set(result["eta_sweep"]) == {
+            ("hps3", "logistic", 0.1),
+            ("hps3", "hinge", 0.1),
+        }
+        assert result["eta_sweep"][("hps3", "logistic", 0.1)] > 0.9
+
+    def test_fig6_single_dataset(self):
+        from repro.experiments import fig6_robustness
+
+        result = fig6_robustness.run(datasets=("meridian",))
+        assert ("meridian", 1, 0.15) in result["auc"]
+        assert ("hps3", 1, 0.15) not in result["auc"]
+
+    def test_table2_single_dataset(self):
+        from repro.experiments import table2_confusion
+
+        result = table2_confusion.run(datasets=("hps3",))
+        assert result["hps3"].accuracy > 0.8
+
+    def test_fig7_reduced(self):
+        from repro.experiments import fig7_peer_selection
+
+        result = fig7_peer_selection.run(
+            datasets=("meridian",), peer_counts=(10,)
+        )
+        assert ("meridian", "classification", 10) in result["stretch"]

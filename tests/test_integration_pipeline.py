@@ -1,0 +1,143 @@
+"""End-to-end integration tests across modules.
+
+These exercise the full Fig. 2 pipeline: dataset -> measurement module
+(threshold / tools / noise) -> decentralized prediction -> evaluation ->
+application (peer selection), on small inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.peer_selection import PeerSelectionExperiment, build_peer_sets
+from repro.core.config import DMFSGDConfig
+from repro.core.dmfsgd import DMFSGDSimulation
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.evaluation import accuracy_score, auc_score
+from repro.measurement.errors import GoodToBad
+from repro.measurement.pathload import PathLoad
+from repro.measurement.ping import Ping
+
+
+class TestStaticPipelineRtt:
+    def test_dataset_to_selection(self, rtt_dataset):
+        tau = rtt_dataset.median()
+        labels = rtt_dataset.class_matrix(tau)
+        config = DMFSGDConfig(neighbors=8)
+        engine = DMFSGDEngine(
+            rtt_dataset.n, matrix_label_fn(labels), config, metric="rtt", rng=0
+        )
+        neighbor_sets = engine.neighbor_sets
+        result = engine.run(rounds=250)
+
+        assert auc_score(labels, result.estimate_matrix()) > 0.85
+        assert accuracy_score(labels, result.predicted_classes()) > 0.75
+
+        peers = build_peer_sets(
+            rtt_dataset.n, 6, exclude=neighbor_sets, rng=1
+        )
+        experiment = PeerSelectionExperiment(rtt_dataset, peers, tau=tau)
+        predicted = experiment.run(
+            "classification", decision_matrix=result.estimate_matrix()
+        )
+        random = experiment.run("random", rng=2)
+        assert predicted.unsatisfied_fraction < random.unsatisfied_fraction
+
+
+class TestToolDrivenProtocol:
+    def test_ping_oracle_rtt(self, rtt_dataset):
+        """Algorithm 1 fed by the simulated ping tool, jitter included."""
+        tau = rtt_dataset.median()
+        ping = Ping(rtt_dataset.quantities, jitter=0.05, rng=0)
+        sim = DMFSGDSimulation(
+            rtt_dataset.n,
+            lambda i, j: ping.classify(i, j, tau),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=0,
+        )
+        sim.run(duration=150.0)
+        labels = rtt_dataset.class_matrix(tau)
+        auc = auc_score(labels, sim.coordinate_table().estimate_matrix())
+        assert auc > 0.8
+
+    def test_pathload_oracle_abw(self, abw_dataset):
+        """Algorithm 2 fed by the simulated pathload tool."""
+        tau = abw_dataset.median()
+        tool = PathLoad(
+            abw_dataset.quantities, rate=tau, noise=0.05, rng=0
+        )
+        sim = DMFSGDSimulation(
+            abw_dataset.n,
+            lambda i, j: tool.probe(i, j),
+            DMFSGDConfig(neighbors=8),
+            metric="abw",
+            rng=0,
+        )
+        sim.run(duration=200.0)
+        labels = abw_dataset.class_matrix(tau)
+        auc = auc_score(labels, sim.coordinate_table().estimate_matrix())
+        assert auc > 0.75
+
+
+class TestNoisyPipeline:
+    def test_corruption_degrades_but_survives(self, rtt_dataset):
+        tau = rtt_dataset.median()
+        labels = rtt_dataset.class_matrix(tau)
+        corrupted = GoodToBad(0.10).apply(labels, rng=0)
+        config = DMFSGDConfig(neighbors=8)
+
+        clean_engine = DMFSGDEngine(
+            rtt_dataset.n, matrix_label_fn(labels), config, metric="rtt", rng=0
+        )
+        noisy_engine = DMFSGDEngine(
+            rtt_dataset.n, matrix_label_fn(corrupted), config, metric="rtt", rng=0
+        )
+        clean_auc = auc_score(labels, clean_engine.run(250).estimate_matrix())
+        noisy_auc = auc_score(labels, noisy_engine.run(250).estimate_matrix())
+        assert noisy_auc <= clean_auc + 0.02
+        assert noisy_auc > 0.75
+
+
+class TestDynamicPipeline:
+    def test_harvard_trace_end_to_end(self, harvard_bundle):
+        from repro.measurement.classifier import ThresholdClassifier
+
+        dataset = harvard_bundle.dataset
+        tau = dataset.median()
+        labels = dataset.class_matrix(tau)
+        engine = DMFSGDEngine(
+            dataset.n,
+            matrix_label_fn(labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=0,
+        )
+        result = engine.run_trace(
+            harvard_bundle.trace,
+            ThresholdClassifier("rtt", tau),
+            batch_size=128,
+        )
+        assert auc_score(labels, result.estimate_matrix()) > 0.8
+
+
+class TestEngineProtocolParity:
+    def test_same_accuracy_regime(self, rtt_labels):
+        """Design decision 1: both training paths land in the same regime."""
+        n = rtt_labels.shape[0]
+        config = DMFSGDConfig(neighbors=8)
+
+        engine = DMFSGDEngine(
+            n, matrix_label_fn(rtt_labels), config, metric="rtt", rng=1
+        )
+        engine_auc = auc_score(rtt_labels, engine.run(200).estimate_matrix())
+
+        from repro.core.dmfsgd import oracle_from_matrix
+
+        sim = DMFSGDSimulation(
+            n, oracle_from_matrix(rtt_labels), config, metric="rtt", rng=1
+        )
+        sim.run(duration=200.0)
+        protocol_auc = auc_score(
+            rtt_labels, sim.coordinate_table().estimate_matrix()
+        )
+        assert abs(engine_auc - protocol_auc) < 0.1

@@ -1,0 +1,95 @@
+"""Tests for threshold classification."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurement.classifier import (
+    ThresholdClassifier,
+    threshold_classify,
+    threshold_for_good_fraction,
+)
+
+
+class TestThresholdClassify:
+    def test_rtt_direction(self):
+        labels = threshold_classify(np.array([10.0, 90.0]), 50.0, "rtt")
+        np.testing.assert_array_equal(labels, [1.0, -1.0])
+
+    def test_abw_direction(self):
+        labels = threshold_classify(np.array([10.0, 90.0]), 50.0, "abw")
+        np.testing.assert_array_equal(labels, [-1.0, 1.0])
+
+    def test_nan_passthrough(self):
+        labels = threshold_classify(np.array([np.nan, 10.0]), 50.0, "rtt")
+        assert np.isnan(labels[0]) and labels[1] == 1.0
+
+    def test_scalar_input(self):
+        assert threshold_classify(10.0, 50.0, "rtt") == 1.0
+
+    def test_matrix_input_keeps_shape(self):
+        matrix = np.array([[np.nan, 10.0], [90.0, np.nan]])
+        labels = threshold_classify(matrix, 50.0, "rtt")
+        assert labels.shape == (2, 2)
+        assert labels[0, 1] == 1.0 and labels[1, 0] == -1.0
+
+
+class TestThresholdForGoodFraction:
+    def test_rtt_quantile(self, rng):
+        values = rng.uniform(0, 100, size=10_000)
+        tau = threshold_for_good_fraction(values, 0.25, "rtt")
+        good = np.mean(values < tau)
+        assert good == pytest.approx(0.25, abs=0.02)
+
+    def test_abw_quantile(self, rng):
+        values = rng.uniform(0, 100, size=10_000)
+        tau = threshold_for_good_fraction(values, 0.25, "abw")
+        good = np.mean(values > tau)
+        assert good == pytest.approx(0.25, abs=0.02)
+
+    def test_nan_ignored(self):
+        values = np.array([1.0, 2.0, 3.0, np.nan])
+        tau = threshold_for_good_fraction(values, 0.5, "rtt")
+        assert np.isfinite(tau)
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError):
+            threshold_for_good_fraction(np.array([np.nan]), 0.5, "rtt")
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            threshold_for_good_fraction(np.array([1.0]), 1.5, "rtt")
+
+    @given(fraction=st.floats(0.05, 0.95))
+    @settings(max_examples=20)
+    def test_monotone_in_fraction_rtt(self, fraction):
+        values = np.linspace(1, 100, 500)
+        lo = threshold_for_good_fraction(values, fraction * 0.5, "rtt")
+        hi = threshold_for_good_fraction(values, fraction, "rtt")
+        assert lo <= hi
+
+
+class TestThresholdClassifier:
+    def test_callable(self):
+        clf = ThresholdClassifier("rtt", 50.0)
+        assert clf(10.0) == 1.0
+
+    def test_good_fraction(self, rng):
+        values = rng.uniform(0, 100, size=1000)
+        clf = ThresholdClassifier("rtt", 50.0)
+        assert clf.good_fraction(values) == pytest.approx(0.5, abs=0.06)
+
+    def test_at_percentile_builder(self, rng):
+        values = rng.uniform(0, 100, size=1000)
+        clf = ThresholdClassifier.at_percentile(values, 0.3, "rtt")
+        assert clf.good_fraction(values) == pytest.approx(0.3, abs=0.02)
+
+    def test_rejects_nan_tau(self):
+        with pytest.raises(ValueError):
+            ThresholdClassifier("rtt", float("nan"))
+
+    def test_good_fraction_all_nan_raises(self):
+        clf = ThresholdClassifier("rtt", 50.0)
+        with pytest.raises(ValueError):
+            clf.good_fraction(np.array([np.nan]))

@@ -1,0 +1,113 @@
+"""Tests for transient errors and consensus filtering."""
+
+import numpy as np
+import pytest
+
+from repro.core.dmfsgd import oracle_from_matrix
+from repro.measurement.consensus import ConsensusOracle, TransientFlipOracle
+
+
+@pytest.fixture
+def truth_oracle():
+    labels = np.array(
+        [
+            [np.nan, 1.0, -1.0],
+            [1.0, np.nan, 1.0],
+            [-1.0, 1.0, np.nan],
+        ]
+    )
+    return oracle_from_matrix(labels)
+
+
+class TestTransientFlipOracle:
+    def test_zero_p_faithful(self, truth_oracle):
+        noisy = TransientFlipOracle(truth_oracle, 0.0, rng=0)
+        assert noisy(0, 1) == 1.0
+        assert noisy.flips == 0
+
+    def test_one_p_always_flips(self, truth_oracle):
+        noisy = TransientFlipOracle(truth_oracle, 1.0, rng=0)
+        assert noisy(0, 1) == -1.0
+        assert noisy(0, 2) == 1.0
+
+    def test_flip_rate_statistical(self, truth_oracle):
+        noisy = TransientFlipOracle(truth_oracle, 0.3, rng=0)
+        flips = sum(noisy(0, 1) == -1.0 for _ in range(2000))
+        assert flips / 2000 == pytest.approx(0.3, abs=0.03)
+
+    def test_flips_are_transient_not_persistent(self, truth_oracle):
+        """Unlike the Section 6.3 models, repeated probes disagree."""
+        noisy = TransientFlipOracle(truth_oracle, 0.5, rng=0)
+        outcomes = {noisy(0, 1) for _ in range(50)}
+        assert outcomes == {1.0, -1.0}
+
+    def test_nan_passthrough(self, truth_oracle):
+        noisy = TransientFlipOracle(truth_oracle, 1.0, rng=0)
+        assert np.isnan(noisy(0, 0))
+        assert noisy.measurements == 0
+
+    def test_rejects_bad_p(self, truth_oracle):
+        with pytest.raises(ValueError):
+            TransientFlipOracle(truth_oracle, 1.5)
+
+
+class TestConsensusOracle:
+    def test_warmup_passes_raw_label(self, truth_oracle):
+        consensus = ConsensusOracle(truth_oracle, window=5, warmup=3)
+        assert consensus(0, 1) == 1.0
+        assert consensus.history_length(0, 1) == 1
+
+    def test_majority_overrides_transient_flip(self, truth_oracle):
+        consensus = ConsensusOracle(truth_oracle, window=5, warmup=3)
+        for _ in range(4):
+            consensus(0, 1)
+        # slip one adversarial flipped sample into the history: the
+        # 4-to-2 majority of truthful +1 samples must still win
+        consensus._history[(0, 1)].append(-1.0)
+        assert consensus(0, 1) == 1.0
+
+    def test_reduces_error_rate(self, truth_oracle):
+        """20% transient flips -> well under 10% after 5-vote majority."""
+        flipping = TransientFlipOracle(truth_oracle, 0.2, rng=1)
+        consensus = ConsensusOracle(flipping, window=5, warmup=5)
+        errors = 0
+        trials = 3000
+        # build history first
+        for _ in range(5):
+            consensus(0, 1)
+        for _ in range(trials):
+            if consensus(0, 1) != 1.0:
+                errors += 1
+        assert errors / trials < 0.10
+
+    def test_window_bounds_history(self, truth_oracle):
+        consensus = ConsensusOracle(truth_oracle, window=3, warmup=1)
+        for _ in range(10):
+            consensus(0, 1)
+        assert consensus.history_length(0, 1) == 3
+
+    def test_per_pair_isolation(self, truth_oracle):
+        consensus = ConsensusOracle(truth_oracle, window=5, warmup=1)
+        consensus(0, 1)
+        assert consensus.history_length(0, 2) == 0
+
+    def test_nan_not_recorded(self, truth_oracle):
+        consensus = ConsensusOracle(truth_oracle, window=5, warmup=1)
+        assert np.isnan(consensus(0, 0))
+        assert consensus.history_length(0, 0) == 0
+
+    def test_tie_trusts_latest(self):
+        sequence = iter([1.0, -1.0, 1.0, -1.0])
+        consensus = ConsensusOracle(
+            lambda i, j: next(sequence), window=4, warmup=4
+        )
+        for _ in range(3):
+            consensus(0, 1)
+        # history is now [+1, -1, +1, -1]: tie -> latest sample (-1)
+        assert consensus(0, 1) == -1.0
+
+    def test_validation(self, truth_oracle):
+        with pytest.raises(ValueError):
+            ConsensusOracle(truth_oracle, window=0)
+        with pytest.raises(ValueError):
+            ConsensusOracle(truth_oracle, window=3, warmup=5)

@@ -1,0 +1,95 @@
+"""Tests for measurement-cost accounting."""
+
+import pytest
+
+from repro.measurement.cost import (
+    TOOL_COSTS,
+    acquisition_cost,
+    cost_table,
+)
+
+
+class TestToolCosts:
+    def test_all_tools_have_both_kinds(self):
+        for tool, kinds in TOOL_COSTS.items():
+            assert set(kinds) == {"class", "quantity"}
+
+    @pytest.mark.parametrize("tool", ["pathload", "pathchirp"])
+    def test_abw_class_cheaper_than_quantity(self, tool):
+        """The Section 3.2 claim: class measures cost less."""
+        assert (
+            TOOL_COSTS[tool]["class"].bytes
+            < TOOL_COSTS[tool]["quantity"].bytes
+        )
+
+    def test_ping_class_equals_quantity(self):
+        """RTT classes come from thresholding the value: same cost."""
+        assert (
+            TOOL_COSTS["ping"]["class"].bytes
+            == TOOL_COSTS["ping"]["quantity"].bytes
+        )
+
+    def test_abw_far_costlier_than_rtt(self):
+        """Compared to RTT, measuring ABW is much more costly (3.1.2)."""
+        assert (
+            TOOL_COSTS["pathload"]["class"].bytes
+            > 100 * TOOL_COSTS["ping"]["class"].bytes
+        )
+
+    def test_yields_quantity_flags(self):
+        assert not TOOL_COSTS["pathload"]["class"].yields_quantity
+        assert TOOL_COSTS["pathload"]["quantity"].yields_quantity
+
+
+class TestAcquisitionCost:
+    def test_scales_with_paths(self):
+        small = acquisition_cost(100, 10, "pathload", "class")
+        large = acquisition_cost(100, 20, "pathload", "class")
+        assert large.bytes == 2 * small.bytes
+
+    def test_full_mesh(self):
+        mesh = acquisition_cost(50, 10, "ping", "class", full_mesh=True)
+        per_path = TOOL_COSTS["ping"]["class"].bytes
+        assert mesh.bytes == 50 * 49 * per_path
+
+    def test_rounds_multiply(self):
+        one = acquisition_cost(50, 10, "ping", "class")
+        five = acquisition_cost(50, 10, "ping", "class", rounds=5)
+        assert five.bytes == 5 * one.bytes
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            acquisition_cost(1, 1, "ping", "class")
+        with pytest.raises(ValueError):
+            acquisition_cost(10, 0, "ping", "class")
+        with pytest.raises(ValueError):
+            acquisition_cost(10, 5, "ping", "class", rounds=0)
+        with pytest.raises(ValueError):
+            acquisition_cost(10, 5, "traceroute", "class")
+        with pytest.raises(ValueError):
+            acquisition_cost(10, 5, "ping", "exact")
+
+
+class TestCostTable:
+    def test_headline_ratios(self):
+        table = cost_table(2500, 32)
+        # class probing is an order of magnitude cheaper than quantity
+        assert table["class_vs_quantity"] == pytest.approx(12.0)
+        # DMFSGD probes n*k of n*(n-1) pairs
+        assert table["dmfsgd_vs_full_mesh"] == pytest.approx(2499 / 32)
+
+    def test_combined_reduction_is_large(self):
+        """The paper's overall pitch: class-based DMFSGD vs full-mesh
+        quantity estimation is a two-orders-of-magnitude saving."""
+        table = cost_table(2500, 32)
+        combined = (
+            table["full_mesh_quantity_bytes"] / table["dmfsgd_class_bytes"]
+        )
+        assert combined > 500
+
+    def test_bytes_consistent(self):
+        table = cost_table(100, 10)
+        assert (
+            table["dmfsgd_quantity_bytes"]
+            == table["class_vs_quantity"] * table["dmfsgd_class_bytes"]
+        )

@@ -1,0 +1,176 @@
+"""Tests for the four erroneous-label models (Section 6.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.measurement.errors import (
+    FlipNearThreshold,
+    FlipRandom,
+    GoodToBad,
+    UnderestimationBias,
+    delta_for_error_level,
+    make_error_model,
+)
+
+
+@pytest.fixture
+def quantities(rng):
+    matrix = rng.uniform(0, 100, size=(40, 40))
+    np.fill_diagonal(matrix, np.nan)
+    return matrix
+
+
+@pytest.fixture
+def labels(quantities):
+    labels = np.where(quantities < 50.0, 1.0, -1.0)
+    labels[~np.isfinite(quantities)] = np.nan
+    return labels
+
+
+class TestFlipNearThreshold:
+    def test_only_near_band_flipped(self, labels, quantities):
+        model = FlipNearThreshold(tau=50.0, delta=5.0)
+        corrupted = model.apply(labels, quantities, rng=0)
+        changed = labels != corrupted
+        changed &= np.isfinite(labels)
+        assert np.abs(quantities[changed] - 50.0).max() <= 5.0
+
+    def test_roughly_half_of_band_flipped(self, labels, quantities):
+        model = FlipNearThreshold(tau=50.0, delta=20.0)
+        corrupted = model.apply(labels, quantities, rng=0)
+        in_band = np.isfinite(labels) & (np.abs(quantities - 50.0) <= 20.0)
+        flip_rate = np.mean(labels[in_band] != corrupted[in_band])
+        assert flip_rate == pytest.approx(0.5, abs=0.1)
+
+    def test_zero_delta_changes_almost_nothing(self, labels, quantities):
+        model = FlipNearThreshold(tau=50.0, delta=0.0)
+        corrupted = model.apply(labels, quantities, rng=0)
+        mask = np.isfinite(labels)
+        assert np.mean(labels[mask] != corrupted[mask]) < 0.01
+
+    def test_requires_quantities(self, labels):
+        with pytest.raises(ValueError):
+            FlipNearThreshold(50.0, 5.0).apply(labels)
+
+    def test_original_untouched(self, labels, quantities):
+        snapshot = labels.copy()
+        FlipNearThreshold(50.0, 20.0).apply(labels, quantities, rng=0)
+        np.testing.assert_array_equal(labels, snapshot)
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            FlipNearThreshold(50.0, -1.0)
+
+
+class TestUnderestimationBias:
+    def test_only_barely_good_become_bad(self, labels, quantities):
+        # treat quantities as ABW: good means > tau here, so rebuild labels
+        abw_labels = np.where(quantities > 50.0, 1.0, -1.0)
+        abw_labels[~np.isfinite(quantities)] = np.nan
+        model = UnderestimationBias(tau=50.0, delta=10.0)
+        corrupted = model.apply(abw_labels, quantities, rng=0)
+        changed = (abw_labels != corrupted) & np.isfinite(abw_labels)
+        assert (quantities[changed] >= 50.0).all()
+        assert (quantities[changed] <= 60.0).all()
+        assert (corrupted[changed] == -1.0).all()
+
+    def test_deterministic(self, labels, quantities):
+        model = UnderestimationBias(tau=50.0, delta=10.0)
+        a = model.apply(labels, quantities, rng=0)
+        b = model.apply(labels, quantities, rng=99)
+        np.testing.assert_array_equal(a, b)  # no randomness involved
+
+
+class TestFlipRandom:
+    @pytest.mark.parametrize("p", [0.05, 0.10, 0.15])
+    def test_error_fraction_matches_p(self, labels, quantities, p):
+        model = FlipRandom(p)
+        corrupted = model.apply(labels, rng=1)
+        assert model.error_fraction(labels, corrupted) == pytest.approx(
+            p, abs=0.01
+        )
+
+    def test_zero_p_no_change(self, labels):
+        corrupted = FlipRandom(0.0).apply(labels, rng=1)
+        mask = np.isfinite(labels)
+        np.testing.assert_array_equal(labels[mask], corrupted[mask])
+
+    def test_nan_entries_never_flipped(self, labels):
+        corrupted = FlipRandom(0.5).apply(labels, rng=1)
+        assert np.isnan(corrupted[np.isnan(labels)]).all()
+
+
+class TestGoodToBad:
+    def test_only_good_corrupted(self, labels):
+        corrupted = GoodToBad(0.1).apply(labels, rng=1)
+        changed = (labels != corrupted) & np.isfinite(labels)
+        assert (labels[changed] == 1.0).all()
+        assert (corrupted[changed] == -1.0).all()
+
+    @pytest.mark.parametrize("p", [0.05, 0.15])
+    def test_overall_error_level(self, labels, p):
+        model = GoodToBad(p)
+        corrupted = model.apply(labels, rng=1)
+        assert model.error_fraction(labels, corrupted) == pytest.approx(
+            p, abs=0.01
+        )
+
+    def test_caps_at_all_good(self, labels):
+        corrupted = GoodToBad(1.0).apply(labels, rng=1)
+        mask = np.isfinite(labels)
+        assert not (corrupted[mask] == 1.0).any()
+
+
+class TestDeltaForErrorLevel:
+    def test_type1_inverse(self, quantities):
+        values = quantities[np.isfinite(quantities)]
+        tau = float(np.median(values))
+        delta = delta_for_error_level(values, tau, 0.10, error_type=1)
+        # expected corruption = half the band mass
+        band = np.mean(np.abs(values - tau) <= delta)
+        assert band * 0.5 == pytest.approx(0.10, abs=0.02)
+
+    def test_type2_inverse(self, quantities):
+        values = quantities[np.isfinite(quantities)]
+        tau = float(np.median(values))
+        delta = delta_for_error_level(values, tau, 0.10, error_type=2)
+        mass = np.mean((values >= tau) & (values <= tau + delta))
+        assert mass == pytest.approx(0.10, abs=0.02)
+
+    @given(level=st.sampled_from([0.02, 0.05, 0.10, 0.15, 0.20]))
+    @settings(max_examples=10)
+    def test_monotone_in_level(self, level):
+        values = np.linspace(0, 100, 2000)
+        small = delta_for_error_level(values, 50.0, level / 2, error_type=1)
+        large = delta_for_error_level(values, 50.0, level, error_type=1)
+        assert small <= large
+
+    def test_rejects_other_types(self, quantities):
+        with pytest.raises(ValueError):
+            delta_for_error_level(quantities, 50.0, 0.1, error_type=3)
+
+
+class TestFactory:
+    def test_builds_each_type(self):
+        assert isinstance(make_error_model(1, tau=1.0, delta=1.0), FlipNearThreshold)
+        assert isinstance(
+            make_error_model(2, tau=1.0, delta=1.0), UnderestimationBias
+        )
+        assert isinstance(make_error_model(3, p=0.1), FlipRandom)
+        assert isinstance(make_error_model(4, p=0.1), GoodToBad)
+
+    def test_error_type_attribute(self):
+        assert make_error_model(3, p=0.1).error_type == 3
+
+    @pytest.mark.parametrize("error_type", [0, 5])
+    def test_unknown_type(self, error_type):
+        with pytest.raises(ValueError):
+            make_error_model(error_type, p=0.1)
+
+    def test_missing_parameters(self):
+        with pytest.raises(ValueError):
+            make_error_model(1, tau=1.0)
+        with pytest.raises(ValueError):
+            make_error_model(4)

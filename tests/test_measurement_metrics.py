@@ -1,0 +1,86 @@
+"""Tests for metric semantics."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.metrics import Metric
+
+
+class TestSemantics:
+    def test_rtt_symmetric(self):
+        assert Metric.RTT.symmetric
+        assert not Metric.ABW.symmetric
+
+    def test_direction_of_good(self):
+        assert not Metric.RTT.higher_is_better
+        assert Metric.ABW.higher_is_better
+
+    def test_inference_side(self):
+        assert not Metric.RTT.inferred_at_target
+        assert Metric.ABW.inferred_at_target
+
+    def test_units(self):
+        assert Metric.RTT.unit == "ms"
+        assert Metric.ABW.unit == "Mbps"
+
+
+class TestIsGood:
+    def test_rtt_good_below(self):
+        assert Metric.RTT.is_good(10.0, 50.0)
+        assert not Metric.RTT.is_good(100.0, 50.0)
+
+    def test_abw_good_above(self):
+        assert Metric.ABW.is_good(100.0, 50.0)
+        assert not Metric.ABW.is_good(10.0, 50.0)
+
+    def test_boundary_is_bad(self):
+        assert not Metric.RTT.is_good(50.0, 50.0)
+        assert not Metric.ABW.is_good(50.0, 50.0)
+
+    def test_vectorized(self):
+        out = Metric.RTT.is_good(np.array([1.0, 100.0]), 50.0)
+        np.testing.assert_array_equal(out, [True, False])
+
+
+class TestBest:
+    def test_rtt_picks_min(self):
+        assert Metric.RTT.best(np.array([5.0, 1.0, 3.0])) == 1
+
+    def test_abw_picks_max(self):
+        assert Metric.ABW.best(np.array([5.0, 1.0, 3.0])) == 0
+
+    def test_ignores_nan(self):
+        assert Metric.RTT.best(np.array([np.nan, 2.0, 3.0])) == 1
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ValueError):
+            Metric.RTT.best(np.array([np.nan, np.nan]))
+
+
+class TestStretch:
+    def test_ratio(self):
+        assert Metric.RTT.stretch(20.0, 10.0) == 2.0
+
+    def test_zero_best_raises(self):
+        with pytest.raises(ValueError):
+            Metric.RTT.stretch(1.0, 0.0)
+
+
+class TestParse:
+    @pytest.mark.parametrize("text", ["rtt", "RTT", " rtt "])
+    def test_parse_rtt(self, text):
+        assert Metric.parse(text) is Metric.RTT
+
+    def test_parse_abw(self):
+        assert Metric.parse("abw") is Metric.ABW
+
+    def test_parse_metric_passthrough(self):
+        assert Metric.parse(Metric.ABW) is Metric.ABW
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            Metric.parse("plr")
+
+    def test_parse_non_string(self):
+        with pytest.raises(ValueError):
+            Metric.parse(42)

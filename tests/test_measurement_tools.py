@@ -1,0 +1,183 @@
+"""Tests for the simulated measurement tools (ping, pathload, pathChirp)."""
+
+import numpy as np
+import pytest
+
+from repro.measurement.pathchirp import PathChirp
+from repro.measurement.pathload import PathLoad
+from repro.measurement.ping import Ping
+
+
+@pytest.fixture
+def rtt_matrix():
+    matrix = np.array(
+        [
+            [np.nan, 40.0, 120.0],
+            [40.0, np.nan, 80.0],
+            [120.0, 80.0, np.nan],
+        ]
+    )
+    return matrix
+
+
+@pytest.fixture
+def abw_matrix():
+    return np.array(
+        [
+            [np.nan, 90.0, 10.0],
+            [30.0, np.nan, 55.0],
+            [45.0, 70.0, np.nan],
+        ]
+    )
+
+
+class TestPing:
+    def test_exact_without_jitter(self, rtt_matrix):
+        ping = Ping(rtt_matrix, rng=0)
+        assert ping.measure(0, 1) == 40.0
+
+    def test_jitter_spreads_samples(self, rtt_matrix):
+        ping = Ping(rtt_matrix, jitter=0.3, count=1, rng=0)
+        samples = {ping.measure(0, 1) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_min_of_count_reduces_jitter(self, rtt_matrix):
+        noisy = Ping(rtt_matrix, jitter=0.3, count=1, rng=0)
+        steady = Ping(rtt_matrix, jitter=0.3, count=8, rng=0)
+        noisy_samples = [noisy.measure(0, 1) for _ in range(200)]
+        steady_samples = [steady.measure(0, 1) for _ in range(200)]
+        assert np.mean(steady_samples) < np.mean(noisy_samples)
+
+    def test_unreachable_pair_nan(self):
+        matrix = np.full((2, 2), np.nan)
+        ping = Ping(matrix, rng=0)
+        assert np.isnan(ping.measure(0, 1))
+
+    def test_total_loss_nan(self, rtt_matrix):
+        ping = Ping(rtt_matrix, loss_rate=1.0, rng=0)
+        assert np.isnan(ping.measure(0, 1))
+
+    def test_self_ping_rejected(self, rtt_matrix):
+        with pytest.raises(ValueError):
+            Ping(rtt_matrix, rng=0).measure(1, 1)
+
+    def test_classify(self, rtt_matrix):
+        ping = Ping(rtt_matrix, rng=0)
+        assert ping.classify(0, 1, tau=50.0) == 1.0
+        assert ping.classify(0, 2, tau=50.0) == -1.0
+
+    def test_probe_accounting(self, rtt_matrix):
+        ping = Ping(rtt_matrix, count=3, rng=0)
+        ping.measure(0, 1)
+        ping.measure(0, 2)
+        assert ping.probes_sent == 6
+
+    def test_callable_source(self):
+        ping = Ping(lambda i, j: 25.0, rng=0)
+        assert ping.measure(0, 1) == 25.0
+
+    def test_rejects_bad_params(self, rtt_matrix):
+        with pytest.raises(ValueError):
+            Ping(rtt_matrix, jitter=-0.1)
+        with pytest.raises(ValueError):
+            Ping(rtt_matrix, count=0)
+
+
+class TestPathLoad:
+    def test_verdict_above_rate_is_good(self, abw_matrix):
+        tool = PathLoad(abw_matrix, rate=50.0, rng=0)
+        assert tool.probe(0, 1) == 1.0  # 90 > 50
+
+    def test_verdict_below_rate_is_bad(self, abw_matrix):
+        tool = PathLoad(abw_matrix, rate=50.0, rng=0)
+        assert tool.probe(0, 2) == -1.0  # 10 < 50
+
+    def test_never_reveals_quantity(self, abw_matrix):
+        tool = PathLoad(abw_matrix, rate=50.0, rng=0)
+        assert tool.probe(1, 2) in (1.0, -1.0)
+
+    def test_missing_pair_nan(self):
+        tool = PathLoad(np.full((2, 2), np.nan), rate=50.0, rng=0)
+        assert np.isnan(tool.probe(0, 1))
+
+    def test_underestimation_shifts_to_bad(self, abw_matrix):
+        # true 55 just above rate 50; 20% bias maps it to 44 -> bad
+        tool = PathLoad(abw_matrix, rate=50.0, underestimation=0.2, rng=0)
+        assert tool.probe(1, 2) == -1.0
+
+    def test_noise_makes_near_rate_unreliable(self, abw_matrix):
+        tool = PathLoad(abw_matrix, rate=50.0, noise=0.4, rng=0)
+        verdicts = {tool.probe(1, 2) for _ in range(50)}  # true abw 55
+        assert verdicts == {1.0, -1.0}
+
+    def test_far_from_rate_reliable_despite_noise(self, abw_matrix):
+        tool = PathLoad(abw_matrix, rate=50.0, noise=0.1, rng=0)
+        verdicts = {tool.probe(0, 1) for _ in range(50)}  # true abw 90
+        assert verdicts == {1.0}
+
+    def test_train_accounting(self, abw_matrix):
+        tool = PathLoad(abw_matrix, rate=50.0, rng=0)
+        tool.probe(0, 1)
+        tool.probe(0, 2)
+        assert tool.trains_sent == 2
+
+    def test_self_probe_rejected(self, abw_matrix):
+        with pytest.raises(ValueError):
+            PathLoad(abw_matrix, rate=50.0, rng=0).probe(2, 2)
+
+    def test_rejects_bad_params(self, abw_matrix):
+        with pytest.raises(ValueError):
+            PathLoad(abw_matrix, rate=0.0)
+        with pytest.raises(ValueError):
+            PathLoad(abw_matrix, rate=50.0, noise=-0.1)
+        with pytest.raises(ValueError):
+            PathLoad(abw_matrix, rate=50.0, underestimation=1.0)
+
+
+class TestPathChirp:
+    def test_estimate_below_truth_on_average(self, abw_matrix):
+        tool = PathChirp(abw_matrix, underestimation=0.2, base_noise=0.1, rng=0)
+        estimates = [tool.estimate(0, 1) for _ in range(300)]
+        assert np.mean(estimates) < 90.0
+
+    def test_more_trains_less_noise(self, abw_matrix):
+        cheap = PathChirp(abw_matrix, trains=1, rng=0)
+        thorough = PathChirp(abw_matrix, trains=16, rng=0)
+        assert thorough.noise < cheap.noise
+
+    def test_estimate_nonnegative(self, abw_matrix):
+        tool = PathChirp(abw_matrix, base_noise=1.0, rng=0)
+        assert all(tool.estimate(0, 1) >= 0.0 for _ in range(50))
+
+    def test_classify_thresholds_estimate(self, abw_matrix):
+        tool = PathChirp(abw_matrix, underestimation=0.0, base_noise=0.0, rng=0)
+        assert tool.classify(0, 1, tau=50.0) == 1.0
+        assert tool.classify(0, 2, tau=50.0) == -1.0
+
+    def test_missing_pair_nan(self):
+        tool = PathChirp(np.full((2, 2), np.nan), rng=0)
+        assert np.isnan(tool.estimate(0, 1))
+        assert np.isnan(tool.classify(0, 1, tau=10.0))
+
+    def test_train_accounting(self, abw_matrix):
+        tool = PathChirp(abw_matrix, trains=4, rng=0)
+        tool.estimate(0, 1)
+        assert tool.trains_sent == 4
+
+    def test_cheaper_than_pathload_per_class(self, abw_matrix):
+        """The measurement-cost argument: chirp with few trains vs many."""
+        chirp = PathChirp(abw_matrix, trains=2, rng=0)
+        chirp.classify(0, 1, tau=50.0)
+        assert chirp.trains_sent == 2
+
+    def test_rejects_bad_params(self, abw_matrix):
+        with pytest.raises(ValueError):
+            PathChirp(abw_matrix, trains=0)
+        with pytest.raises(ValueError):
+            PathChirp(abw_matrix, underestimation=1.5)
+        with pytest.raises(ValueError):
+            PathChirp(abw_matrix, base_noise=-1.0)
+
+    def test_self_probe_rejected(self, abw_matrix):
+        with pytest.raises(ValueError):
+            PathChirp(abw_matrix, rng=0).estimate(1, 1)

@@ -1,0 +1,142 @@
+"""The abstract's claims, each as an executable assertion.
+
+The paper's abstract makes five testable claims; this module is the
+executive summary of the reproduction, checking each on small inputs
+(the full-scale versions live in ``benchmarks/``):
+
+1. performance matrices (and their class matrices) have low rank;
+2. the resolution is *fully decentralized* — no matrices built, no
+   landmarks, no central server;
+3. the approach is accurate on both RTT and ABW class data;
+4. it is robust against large amounts of erroneous measurements;
+5. it is usable for peer selection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.peer_selection import PeerSelectionExperiment, build_peer_sets
+from repro.core.config import DMFSGDConfig
+from repro.core.dmfsgd import DMFSGDSimulation, oracle_from_matrix
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.evaluation import auc_score
+from repro.evaluation.rank import effective_rank
+from repro.measurement.errors import GoodToBad
+
+
+class TestClaim1LowRank:
+    def test_quantity_matrices_low_rank(self, rtt_dataset, abw_dataset):
+        for dataset in (rtt_dataset, abw_dataset):
+            rank = effective_rank(dataset.quantities, energy=0.95)
+            assert rank <= dataset.n // 4, (
+                f"{dataset.name}: effective rank {rank} not low"
+            )
+
+    def test_class_matrices_low_rank_enough_to_complete(self, rtt_dataset):
+        """The operational meaning of 'low rank': rank-10 completion
+        of the class matrix is accurate."""
+        labels = rtt_dataset.class_matrix()
+        filled = labels.copy()
+        filled[~np.isfinite(filled)] = 0.0
+        left, singular, right_t = np.linalg.svd(filled)
+        approx = (left[:, :10] * singular[:10]) @ right_t[:10]
+        assert auc_score(labels, approx) > 0.95
+
+
+class TestClaim2Decentralized:
+    def test_no_global_state_during_training(self, rtt_labels):
+        """Every update reads only the two endpoints' vectors; the
+        protocol simulation holds per-node state exclusively."""
+        sim = DMFSGDSimulation(
+            rtt_labels.shape[0],
+            oracle_from_matrix(rtt_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=0,
+        )
+        # nodes own NodeCoordinates; the simulation owns no U/V arrays
+        assert not hasattr(sim, "U") and not hasattr(sim, "V")
+        per_node = [sim.nodes[i].coords for i in range(sim.n)]
+        assert len({id(c) for c in per_node}) == sim.n
+
+    def test_per_message_state_is_constant_size(self, rtt_labels):
+        """Messages carry O(r) floats — no row/column of any matrix."""
+        from repro.simnet.messages import Message
+
+        sim = DMFSGDSimulation(
+            rtt_labels.shape[0],
+            oracle_from_matrix(rtt_labels),
+            DMFSGDConfig(neighbors=8, rank=10),
+            metric="rtt",
+            rng=0,
+        )
+        sizes = []
+        original = sim.network.send
+
+        def spy(message: Message) -> None:
+            sizes.append(message.size_bytes())
+            original(message)
+
+        sim.network.send = spy
+        sim.run(duration=5.0)
+        assert max(sizes) < 1000  # two rank-10 vectors + headers
+
+
+class TestClaim3Accuracy:
+    def test_rtt_classes(self, rtt_dataset, rtt_labels):
+        engine = DMFSGDEngine(
+            rtt_dataset.n,
+            matrix_label_fn(rtt_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=1,
+        )
+        assert auc_score(rtt_labels, engine.run(250).estimate_matrix()) > 0.85
+
+    def test_abw_classes(self, abw_dataset, abw_labels):
+        engine = DMFSGDEngine(
+            abw_dataset.n,
+            matrix_label_fn(abw_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="abw",
+            rng=1,
+        )
+        assert auc_score(abw_labels, engine.run(250).estimate_matrix()) > 0.85
+
+
+class TestClaim4Robustness:
+    @pytest.mark.parametrize("error_level", [0.05, 0.10, 0.15])
+    def test_degrades_gracefully(self, rtt_dataset, rtt_labels, error_level):
+        corrupted = GoodToBad(error_level).apply(rtt_labels, rng=0)
+        engine = DMFSGDEngine(
+            rtt_dataset.n,
+            matrix_label_fn(corrupted),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=1,
+        )
+        auc = auc_score(rtt_labels, engine.run(250).estimate_matrix())
+        # "as large as 15% erroneous labels" leaves a usable predictor
+        assert auc > 0.75
+
+
+class TestClaim5PeerSelection:
+    def test_class_predictions_select_satisfactory_peers(
+        self, rtt_dataset, rtt_labels
+    ):
+        engine = DMFSGDEngine(
+            rtt_dataset.n,
+            matrix_label_fn(rtt_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=1,
+        )
+        decision = engine.run(250).estimate_matrix()
+        peers = build_peer_sets(
+            rtt_dataset.n, 8, exclude=engine.neighbor_sets, rng=2
+        )
+        experiment = PeerSelectionExperiment(rtt_dataset, peers)
+        predicted = experiment.run("classification", decision_matrix=decision)
+        random = experiment.run("random", rng=3)
+        assert predicted.unsatisfied_fraction < 0.5 * random.unsatisfied_fraction
+        assert predicted.mean_stretch < random.mean_stretch

@@ -1,0 +1,207 @@
+"""Property-based tests on cross-cutting invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.coordinates import CoordinateTable
+from repro.core.losses import get_loss
+from repro.evaluation.roc import auc_score
+from repro.measurement.classifier import threshold_classify
+from repro.measurement.metrics import Metric
+
+DIM = st.integers(2, 5)
+
+
+class TestFactorizationInvariance:
+    """Eq. 4: X_hat = U V^T is invariant under U -> UG, V^T -> G^-1 V^T."""
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(3, 8),
+        r=st.integers(2, 4),
+    )
+    @settings(max_examples=30)
+    def test_gauge_invariance(self, seed, n, r):
+        rng = np.random.default_rng(seed)
+        table = CoordinateTable(n, r, rng)
+        # random invertible G (diagonally dominated to stay well conditioned)
+        G = rng.normal(size=(r, r)) + 3.0 * np.eye(r)
+        transformed = CoordinateTable.from_arrays(
+            table.U @ G, table.V @ np.linalg.inv(G).T
+        )
+        np.testing.assert_allclose(
+            table.estimate_matrix(fill_diagonal=None),
+            transformed.estimate_matrix(fill_diagonal=None),
+            atol=1e-8,
+        )
+
+
+class TestLossProperties:
+    @given(
+        x=st.sampled_from([1.0, -1.0]),
+        a=st.floats(-10, 10, allow_nan=False),
+        b=st.floats(-10, 10, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_logistic_convex_in_xhat(self, x, a, b):
+        loss = get_loss("logistic")
+        mid = loss.value(x, (a + b) / 2.0)
+        chord = (loss.value(x, a) + loss.value(x, b)) / 2.0
+        assert mid <= chord + 1e-9
+
+    @given(
+        x=st.sampled_from([1.0, -1.0]),
+        a=st.floats(-10, 10, allow_nan=False),
+        b=st.floats(-10, 10, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_hinge_convex_in_xhat(self, x, a, b):
+        loss = get_loss("hinge")
+        mid = loss.value(x, (a + b) / 2.0)
+        chord = (loss.value(x, a) + loss.value(x, b)) / 2.0
+        assert mid <= chord + 1e-9
+
+    @given(x=st.sampled_from([1.0, -1.0]), xhat=st.floats(-20, 20, allow_nan=False))
+    @settings(max_examples=50)
+    def test_logistic_upper_bounds_zero_one(self, x, xhat):
+        """Logistic loss (in nats / ln2) upper-bounds the 0-1 error."""
+        loss = get_loss("logistic")
+        misclassified = float(x * xhat <= 0)
+        assert loss.value(x, xhat) / np.log(2.0) >= misclassified - 1e-9
+
+
+class TestClassifierProperties:
+    @given(
+        values=hnp.arrays(
+            float,
+            st.integers(5, 40),
+            elements=st.floats(0.1, 1000.0, allow_nan=False),
+        ),
+        tau=st.floats(0.5, 500.0, allow_nan=False),
+    )
+    @settings(max_examples=40)
+    def test_rtt_abw_labels_are_opposite(self, values, tau):
+        """At a shared tau, RTT and ABW labelings are mirror images
+        except exactly at the threshold (both call it bad)."""
+        rtt = threshold_classify(values, tau, "rtt")
+        abw = threshold_classify(values, tau, "abw")
+        off_threshold = values != tau
+        assert (rtt[off_threshold] == -abw[off_threshold]).all()
+
+    @given(
+        values=hnp.arrays(
+            float,
+            st.integers(5, 40),
+            elements=st.floats(0.1, 1000.0, allow_nan=False),
+        ),
+        tau=st.floats(0.5, 500.0),
+    )
+    @settings(max_examples=40)
+    def test_labels_always_binary(self, values, tau):
+        labels = threshold_classify(values, tau, "rtt")
+        assert set(np.unique(labels)) <= {1.0, -1.0}
+
+
+class TestAucProperties:
+    @given(seed=st.integers(0, 10_000), size=st.integers(10, 80))
+    @settings(max_examples=30)
+    def test_auc_symmetry_under_label_flip(self, seed, size):
+        """AUC(y, s) + AUC(-y, s) == 1."""
+        rng = np.random.default_rng(seed)
+        y = rng.choice([1.0, -1.0], size=size)
+        if len(np.unique(y)) < 2:
+            return
+        scores = rng.normal(size=size)
+        assert auc_score(y, scores) + auc_score(-y, scores) == pytest.approx(1.0)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_auc_improves_with_signal(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.choice([1.0, -1.0], size=300)
+        if len(np.unique(y)) < 2:
+            return
+        noise = rng.normal(size=300)
+        weak = auc_score(y, noise + 0.3 * y)
+        strong = auc_score(y, noise + 3.0 * y)
+        assert strong >= weak - 0.02
+
+
+class TestPermutationEquivariance:
+    """Relabeling nodes must not change what the system computes."""
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_updates_equivariant_under_relabeling(self, seed):
+        """One SGD round applied to permuted state equals the permuted
+        result of the round on the original state (exact, since the
+        update rules are per-pair and carry no node identity)."""
+        from repro.core.losses import get_loss
+        from repro.core.updates import rtt_update
+
+        rng = np.random.default_rng(seed)
+        n, r = 8, 3
+        U = rng.normal(size=(n, r))
+        V = rng.normal(size=(n, r))
+        x = rng.choice([1.0, -1.0], size=n)
+        partner = rng.permutation(n)
+        loss = get_loss("logistic")
+
+        # original round: node i probes partner[i]
+        new_U = np.empty_like(U)
+        new_V = np.empty_like(V)
+        for i in range(n):
+            j = partner[i]
+            new_U[i], new_V[i] = rtt_update(
+                U[i], V[i], U[j], V[j], x[i], loss, 0.1, 0.1
+            )
+
+        # permuted world
+        perm = rng.permutation(n)
+        inverse = np.empty(n, dtype=int)
+        inverse[perm] = np.arange(n)
+        U_p, V_p, x_p = U[perm], V[perm], x[perm]
+        partner_p = inverse[partner[perm]]
+        new_U_p = np.empty_like(U_p)
+        new_V_p = np.empty_like(V_p)
+        for i in range(n):
+            j = partner_p[i]
+            new_U_p[i], new_V_p[i] = rtt_update(
+                U_p[i], V_p[i], U_p[j], V_p[j], x_p[i], loss, 0.1, 0.1
+            )
+
+        np.testing.assert_allclose(new_U_p, new_U[perm])
+        np.testing.assert_allclose(new_V_p, new_V[perm])
+
+    def test_auc_invariant_under_relabeling(self):
+        """The weaker (and sufficient) property: evaluation metrics are
+        invariant when predictions and labels are permuted together."""
+        from repro.datasets.synthetic import exact_low_rank_classes
+
+        rng = np.random.default_rng(0)
+        n = 30
+        labels = exact_low_rank_classes(n, 2, rng=1)
+        scores = rng.normal(size=(n, n))
+        np.fill_diagonal(scores, np.nan)
+        permutation = rng.permutation(n)
+        ix = np.ix_(permutation, permutation)
+        assert auc_score(labels, scores) == pytest.approx(
+            auc_score(labels[ix], scores[ix])
+        )
+
+
+class TestMetricDuality:
+    @given(
+        quantities=hnp.arrays(
+            float, st.integers(3, 20), elements=st.floats(1.0, 100.0)
+        )
+    )
+    @settings(max_examples=30)
+    def test_best_is_argopt(self, quantities):
+        best_rtt = Metric.RTT.best(quantities)
+        best_abw = Metric.ABW.best(quantities)
+        assert quantities[best_rtt] == quantities.min()
+        assert quantities[best_abw] == quantities.max()

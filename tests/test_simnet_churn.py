@@ -1,0 +1,145 @@
+"""Tests for node churn (crash / rejoin) in the simulator and protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.dmfsgd import DMFSGDSimulation, oracle_from_matrix
+from repro.evaluation import auc_score
+from repro.simnet.node import SimNode
+from repro.simnet.simulator import NetworkSimulator
+
+
+class Beacon(SimNode):
+    """Test node: counts timer ticks and received messages."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.ticks = 0
+        self.received = 0
+
+    def start(self):
+        self.set_timer(1.0, "tick")
+
+    def on_timer(self, tag):
+        self.ticks += 1
+        self.set_timer(1.0, "tick")
+
+    def on_message(self, message):
+        self.received += 1
+
+
+class TestSimulatorChurn:
+    def make(self):
+        sim = NetworkSimulator(rng=0, latency=lambda s, d: 0.1)
+        nodes = [Beacon(i) for i in range(3)]
+        for node in nodes:
+            sim.add_node(node)
+        sim.start()
+        return sim, nodes
+
+    def test_down_node_receives_nothing(self):
+        sim, nodes = self.make()
+        sim.set_down(1)
+        nodes[0].send(1, "hello")
+        sim.run_until(1.0)
+        assert nodes[1].received == 0
+        assert sim.messages_dropped["hello"] == 1
+
+    def test_down_node_timers_die(self):
+        sim, nodes = self.make()
+        sim.set_down(2)
+        sim.run_until(5.5)
+        assert nodes[2].ticks == 0
+        assert nodes[0].ticks >= 4
+
+    def test_message_in_flight_to_crashing_node_dropped(self):
+        sim, nodes = self.make()
+        nodes[0].send(1, "hello")  # 0.1 s in flight
+        sim.set_down(1)
+        sim.run_until(1.0)
+        assert nodes[1].received == 0
+
+    def test_rejoin_restarts_timers(self):
+        sim, nodes = self.make()
+        sim.set_down(1)
+        sim.run_until(3.0)
+        sim.set_up(1)
+        sim.run_until(6.5)
+        assert nodes[1].ticks >= 2
+
+    def test_is_down_flag(self):
+        sim, _ = self.make()
+        sim.set_down(0)
+        assert sim.is_down(0)
+        sim.set_up(0)
+        assert not sim.is_down(0)
+
+    def test_unknown_node_rejected(self):
+        sim, _ = self.make()
+        with pytest.raises(ValueError):
+            sim.set_down(99)
+        with pytest.raises(ValueError):
+            sim.set_up(99)
+
+
+class TestProtocolChurn:
+    @pytest.fixture
+    def deployment(self, rtt_labels):
+        return DMFSGDSimulation(
+            rtt_labels.shape[0],
+            oracle_from_matrix(rtt_labels),
+            DMFSGDConfig(neighbors=8),
+            metric="rtt",
+            rng=0,
+        )
+
+    def test_learning_survives_churn(self, deployment, rtt_labels):
+        """A quarter of the nodes flapping must not break the rest."""
+        deployment.run(duration=50.0)
+        churned = list(range(0, deployment.n, 4))
+        for node in churned:
+            deployment.take_down(node)
+        deployment.run(duration=50.0)
+        for node in churned:
+            deployment.bring_up(node)
+        deployment.run(duration=100.0)
+        auc = auc_score(
+            rtt_labels, deployment.coordinate_table().estimate_matrix()
+        )
+        assert auc > 0.8
+
+    def test_down_node_coordinates_frozen(self, deployment):
+        deployment.run(duration=10.0)
+        deployment.take_down(0)
+        before = deployment.nodes[0].coords.u.copy()
+        deployment.run(duration=30.0)
+        np.testing.assert_array_equal(deployment.nodes[0].coords.u, before)
+
+    def test_cold_rejoin_resets_coordinates(self, deployment):
+        deployment.run(duration=10.0)
+        deployment.take_down(0)
+        before = deployment.nodes[0].coords.u.copy()
+        deployment.bring_up(0, fresh_coordinates=True)
+        assert not np.array_equal(deployment.nodes[0].coords.u, before)
+
+    def test_warm_rejoin_keeps_coordinates(self, deployment):
+        deployment.run(duration=10.0)
+        deployment.take_down(0)
+        before = deployment.nodes[0].coords.u.copy()
+        deployment.bring_up(0)
+        np.testing.assert_array_equal(deployment.nodes[0].coords.u, before)
+
+    def test_cold_rejoin_reconverges(self, deployment, rtt_labels):
+        """Insensitivity to initialization: a wiped node recovers."""
+        deployment.run(duration=150.0)
+        deployment.take_down(3)
+        deployment.bring_up(3, fresh_coordinates=True)
+        deployment.run(duration=150.0)
+        table = deployment.coordinate_table()
+        estimates = table.estimate_matrix()
+        # node 3's own row must be informative again
+        row_truth = rtt_labels[3]
+        mask = np.isfinite(row_truth)
+        row_auc = auc_score(row_truth[mask], estimates[3][mask])
+        assert row_auc > 0.75

@@ -1,0 +1,118 @@
+"""Tests for the discrete-event queue."""
+
+import pytest
+
+from repro.simnet.events import EventQueue
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda: fired.append("b"))
+        queue.schedule(1.0, lambda: fired.append("a"))
+        queue.run()
+        assert fired == ["a", "b"]
+
+    def test_ties_fire_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abc":
+            queue.schedule(1.0, lambda n=name: fired.append(n))
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule(1.5, lambda: times.append(queue.now))
+        queue.run()
+        assert times == [1.5]
+
+    def test_schedule_during_event(self):
+        queue = EventQueue()
+        fired = []
+
+        def first():
+            fired.append("first")
+            queue.schedule(1.0, lambda: fired.append("second"))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert fired == ["first", "second"]
+        assert queue.now == 2.0
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        queue = EventQueue()
+        queue.schedule_at(5.0, lambda: None)
+        queue.run()
+        assert queue.now == 5.0
+
+    def test_schedule_at_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run()
+        with pytest.raises(ValueError):
+            queue.schedule_at(0.5, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        queue.run()
+        assert fired == []
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+
+class TestRunUntil:
+    def test_stops_at_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda: fired.append(1))
+        queue.schedule(3.0, lambda: fired.append(3))
+        queue.run_until(2.0)
+        assert fired == [1]
+        assert queue.now == 2.0
+
+    def test_later_events_survive(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3.0, lambda: fired.append(3))
+        queue.run_until(2.0)
+        queue.run()
+        assert fired == [3]
+
+    def test_max_events_bound(self):
+        queue = EventQueue()
+        for _ in range(10):
+            queue.schedule(1.0, lambda: None)
+        fired = queue.run_until(5.0, max_events=3)
+        assert fired == 3
+
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert queue.run_until(10.0) == 0
+        assert queue.now == 10.0
+
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False
+
+    def test_processed_counter(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: None)
+        queue.run()
+        assert queue.processed == 1

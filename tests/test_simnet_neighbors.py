@@ -1,0 +1,102 @@
+"""Tests for neighbor-set management."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.neighbors import NeighborSet, sample_neighbor_sets
+
+
+class TestSampleNeighborSets:
+    def test_shape(self):
+        table = sample_neighbor_sets(20, 5, rng=0)
+        assert table.shape == (20, 5)
+
+    def test_no_self(self):
+        table = sample_neighbor_sets(20, 5, rng=0)
+        own = np.arange(20)[:, None]
+        assert not (table == own).any()
+
+    def test_distinct_within_row(self):
+        table = sample_neighbor_sets(20, 10, rng=0)
+        for row in table:
+            assert len(set(row.tolist())) == 10
+
+    def test_k_equals_n_minus_one(self):
+        table = sample_neighbor_sets(6, 5, rng=0)
+        for i, row in enumerate(table):
+            assert sorted(row.tolist()) == sorted(set(range(6)) - {i})
+
+    def test_rejects_k_too_large(self):
+        with pytest.raises(ValueError):
+            sample_neighbor_sets(5, 5, rng=0)
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            sample_neighbor_sets(5, 0, rng=0)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            sample_neighbor_sets(1, 1, rng=0)
+
+    def test_exclusions_respected(self):
+        exclude = [[1, 2]] * 10
+        table = sample_neighbor_sets(10, 3, rng=0, exclude=exclude)
+        assert 1 not in table[0] and 2 not in table[0]
+
+    def test_exclusions_can_make_infeasible(self):
+        exclude = [list(range(1, 10))] + [[]] * 9
+        with pytest.raises(ValueError):
+            sample_neighbor_sets(10, 3, rng=0, exclude=exclude)
+
+    def test_deterministic(self):
+        a = sample_neighbor_sets(15, 4, rng=3)
+        b = sample_neighbor_sets(15, 4, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestNeighborSet:
+    def test_members(self):
+        ns = NeighborSet(0, [1, 2, 3], rng=0)
+        assert ns.members == [1, 2, 3]
+        assert len(ns) == 3
+
+    def test_pick_from_members(self):
+        ns = NeighborSet(0, [1, 2, 3], rng=0)
+        for _ in range(20):
+            assert ns.pick() in (1, 2, 3)
+
+    def test_contains(self):
+        ns = NeighborSet(0, [1, 2], rng=0)
+        assert 1 in ns and 5 not in ns
+
+    def test_rejects_self_membership(self):
+        with pytest.raises(ValueError):
+            NeighborSet(0, [0, 1], rng=0)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            NeighborSet(0, [1, 1], rng=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            NeighborSet(0, [], rng=0)
+
+    def test_replace(self):
+        ns = NeighborSet(0, [1, 2], rng=0)
+        ns.replace(1, 5)
+        assert ns.members == [5, 2]
+
+    def test_replace_missing(self):
+        ns = NeighborSet(0, [1, 2], rng=0)
+        with pytest.raises(ValueError):
+            ns.replace(9, 5)
+
+    def test_replace_with_owner(self):
+        ns = NeighborSet(0, [1, 2], rng=0)
+        with pytest.raises(ValueError):
+            ns.replace(1, 0)
+
+    def test_members_returns_copy(self):
+        ns = NeighborSet(0, [1, 2], rng=0)
+        ns.members.append(99)
+        assert len(ns) == 2

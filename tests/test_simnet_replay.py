@@ -1,0 +1,130 @@
+"""Tests for protocol-level trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.evaluation import auc_score
+from repro.measurement.classifier import ThresholdClassifier
+from repro.simnet.replay import TraceReplaySimulation
+
+
+@pytest.fixture
+def setup(harvard_bundle):
+    dataset = harvard_bundle.dataset
+    tau = dataset.median()
+    return (
+        harvard_bundle.trace,
+        ThresholdClassifier("rtt", tau),
+        dataset.class_matrix(tau),
+    )
+
+
+class TestReplay:
+    def test_learns_from_trace(self, setup):
+        trace, classifier, labels = setup
+        replay = TraceReplaySimulation(
+            trace,
+            classifier,
+            DMFSGDConfig(neighbors=8),
+            max_samples=15_000,
+            rng=0,
+        )
+        replay.run()
+        auc = auc_score(labels, replay.coordinate_table().estimate_matrix())
+        assert auc > 0.8
+
+    def test_each_sample_two_messages(self, setup):
+        trace, classifier, _ = setup
+        replay = TraceReplaySimulation(
+            trace, classifier, DMFSGDConfig(neighbors=8), max_samples=500, rng=0
+        )
+        replay.run()
+        sent = replay.network.messages_sent
+        assert sent["coord_request"] == 500
+        assert sent["coord_reply"] == 500
+
+    def test_measurements_counted(self, setup):
+        trace, classifier, _ = setup
+        replay = TraceReplaySimulation(
+            trace, classifier, DMFSGDConfig(neighbors=8), max_samples=500, rng=0
+        )
+        replay.run()
+        assert replay.measurements == 500
+
+    def test_time_compression_stress(self, setup):
+        """Compressing 4 hours into seconds floods the network with
+        stale coordinates; learning must survive."""
+        trace, classifier, labels = setup
+        replay = TraceReplaySimulation(
+            trace,
+            classifier,
+            DMFSGDConfig(neighbors=8),
+            max_samples=15_000,
+            time_scale=1e-4,
+            rng=0,
+        )
+        replay.run()
+        auc = auc_score(labels, replay.coordinate_table().estimate_matrix())
+        assert auc > 0.75
+
+    def test_history_snapshots(self, setup):
+        trace, classifier, labels = setup
+
+        def evaluator(table):
+            return {"auc": auc_score(labels, table.estimate_matrix())}
+
+        replay = TraceReplaySimulation(
+            trace, classifier, DMFSGDConfig(neighbors=8), max_samples=6000, rng=0
+        )
+        history = replay.run(evaluator=evaluator, eval_every_samples=2000)
+        assert len(history) >= 3
+        xs, ys = history.series("auc")
+        assert ys[-1] > 0.6
+
+    def test_matches_engine_regime(self, setup):
+        """Replay and vectorized trace training land in the same regime."""
+        from repro.core.engine import DMFSGDEngine, matrix_label_fn
+
+        trace, classifier, labels = setup
+        config = DMFSGDConfig(neighbors=8)
+
+        replay = TraceReplaySimulation(
+            trace, classifier, config, max_samples=15_000, rng=1
+        )
+        replay.run()
+        replay_auc = auc_score(
+            labels, replay.coordinate_table().estimate_matrix()
+        )
+
+        engine = DMFSGDEngine(
+            trace.n_nodes,
+            matrix_label_fn(labels),
+            config,
+            metric="rtt",
+            rng=1,
+        )
+        sub = next(trace.batches(15_000))
+        engine_result = engine.run_trace(sub, classifier, batch_size=256)
+        engine_auc = auc_score(labels, engine_result.estimate_matrix())
+        assert abs(replay_auc - engine_auc) < 0.12
+
+    def test_validation(self, setup):
+        trace, classifier, _ = setup
+        with pytest.raises(ValueError):
+            TraceReplaySimulation(trace, classifier, time_scale=0.0)
+        with pytest.raises(ValueError):
+            TraceReplaySimulation(trace, classifier, max_samples=0)
+
+    def test_empty_trace_noop(self):
+        from repro.datasets.trace import MeasurementTrace
+
+        empty = MeasurementTrace(
+            np.array([]), np.array([]), np.array([]), np.array([]), 5
+        )
+        replay = TraceReplaySimulation(
+            empty, ThresholdClassifier("rtt", 100.0), rng=0
+        )
+        history = replay.run()
+        assert len(history) == 0
+        assert replay.measurements == 0

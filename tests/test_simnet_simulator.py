@@ -1,0 +1,131 @@
+"""Tests for the network simulator and message/node plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.messages import HEADER_BYTES, Message
+from repro.simnet.node import SimNode
+from repro.simnet.simulator import NetworkSimulator, latency_from_rtt
+
+
+class Echo(SimNode):
+    """Test node: records messages, echoes 'ping' with 'pong'."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.received = []
+        self.timers = []
+
+    def on_message(self, message):
+        self.received.append(message)
+        if message.kind == "ping":
+            self.send(message.src, "pong")
+
+    def on_timer(self, tag):
+        self.timers.append(tag)
+
+
+class TestMessage:
+    def test_size_counts_arrays(self):
+        message = Message(0, 1, "m", {"u": np.zeros(10)})
+        assert message.size_bytes() == HEADER_BYTES + 1 + 80
+
+    def test_size_counts_scalars(self):
+        message = Message(0, 1, "m", {"x": 1.0})
+        assert message.size_bytes() == HEADER_BYTES + 1 + 8
+
+    def test_size_counts_strings(self):
+        message = Message(0, 1, "kind", {"s": "abcd"})
+        assert message.size_bytes() == HEADER_BYTES + 4 + 4
+
+
+class TestDelivery:
+    def make(self, **kwargs):
+        sim = NetworkSimulator(rng=0, **kwargs)
+        nodes = [Echo(i) for i in range(3)]
+        for node in nodes:
+            sim.add_node(node)
+        return sim, nodes
+
+    def test_message_delivered(self):
+        sim, nodes = self.make()
+        nodes[0].send(1, "hello")
+        sim.run()
+        assert len(nodes[1].received) == 1
+        assert nodes[1].received[0].kind == "hello"
+
+    def test_ping_pong(self):
+        sim, nodes = self.make()
+        nodes[0].send(1, "ping")
+        sim.run()
+        assert nodes[0].received[0].kind == "pong"
+
+    def test_latency_delays_delivery(self):
+        sim, nodes = self.make(latency=lambda s, d: 0.5)
+        nodes[0].send(1, "hello")
+        sim.run_until(0.4)
+        assert nodes[1].received == []
+        sim.run_until(0.6)
+        assert len(nodes[1].received) == 1
+
+    def test_unknown_destination_rejected(self):
+        sim, nodes = self.make()
+        with pytest.raises(ValueError):
+            nodes[0].send(99, "hello")
+
+    def test_duplicate_node_rejected(self):
+        sim, _ = self.make()
+        with pytest.raises(ValueError):
+            sim.add_node(Echo(0))
+
+    def test_loss_drops_messages(self):
+        sim, nodes = self.make(loss_rate=1.0)
+        nodes[0].send(1, "hello")
+        sim.run()
+        assert nodes[1].received == []
+        assert sim.messages_dropped["hello"] == 1
+
+    def test_accounting(self):
+        sim, nodes = self.make()
+        nodes[0].send(1, "ping")
+        sim.run()
+        assert sim.messages_sent["ping"] == 1
+        assert sim.messages_sent["pong"] == 1
+        assert sim.total_messages() == 2
+        assert sim.bytes_sent > 0
+
+    def test_timers_fire(self):
+        sim, nodes = self.make()
+        nodes[2].set_timer(1.0, "tick")
+        sim.run()
+        assert nodes[2].timers == ["tick"]
+
+    def test_start_hook(self):
+        sim = NetworkSimulator(rng=0)
+        calls = []
+
+        class Starter(SimNode):
+            def start(self):
+                calls.append(self.node_id)
+
+        sim.add_node(Starter(0))
+        sim.add_node(Starter(1))
+        sim.start()
+        assert sorted(calls) == [0, 1]
+
+    def test_detached_node_raises(self):
+        node = Echo(0)
+        with pytest.raises(RuntimeError):
+            node.send(1, "x")
+
+
+class TestLatencyFromRtt:
+    def test_half_rtt_in_seconds(self):
+        matrix = np.array([[np.nan, 100.0], [100.0, np.nan]])
+        latency = latency_from_rtt(matrix)
+        assert latency(0, 1) == pytest.approx(0.05)
+
+    def test_default_for_missing(self):
+        matrix = np.full((2, 2), np.nan)
+        latency = latency_from_rtt(matrix, default_ms=80.0)
+        assert latency(0, 1) == pytest.approx(0.04)

@@ -1,0 +1,66 @@
+"""Tests for the ASCII plot renderer."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_contains_markers(self):
+        text = ascii_plot({"a": ([0, 1, 2], [0, 1, 2])})
+        assert "*" in text
+
+    def test_legend_lists_series(self):
+        text = ascii_plot(
+            {"first": ([0, 1], [0, 1]), "second": ([0, 1], [1, 0])}
+        )
+        assert "first" in text and "second" in text
+        assert "* first" in text and "o second" in text
+
+    def test_title_and_labels(self):
+        text = ascii_plot(
+            {"a": ([0, 1], [0, 1])},
+            title="My Plot",
+            xlabel="x axis",
+            ylabel="y axis",
+        )
+        assert "My Plot" in text
+        assert "x axis" in text
+        assert "y: y axis" in text
+
+    def test_y_range_respected(self):
+        text = ascii_plot({"a": ([0, 1], [0.2, 0.4])}, y_range=(0.0, 1.0))
+        first_axis_value = float(text.splitlines()[0].split("|")[0])
+        assert first_axis_value == pytest.approx(1.0)
+
+    def test_rising_series_orientation(self):
+        text = ascii_plot({"a": ([0, 1, 2, 3], [0, 1, 2, 3])}, height=8, width=20)
+        rows = [line.split("|", 1)[1] for line in text.splitlines() if "|" in line]
+        top_marker_col = rows[0].index("*")
+        bottom_marker_col = rows[-1].index("*")
+        assert top_marker_col > bottom_marker_col  # rises left to right
+
+    def test_nan_points_skipped(self):
+        text = ascii_plot({"a": ([0, 1, 2], [0.0, np.nan, 2.0])})
+        assert "*" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_rejects_all_nan_series(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([0.0], [np.nan])})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([0, 1], [0, 1])}, width=5, height=2)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": ([0, 1], [0, 1, 2])})
+
+    def test_constant_series_ok(self):
+        text = ascii_plot({"flat": ([0, 1, 2], [1.0, 1.0, 1.0])})
+        assert "*" in text

@@ -1,0 +1,47 @@
+"""Tests for repro.utils.tables."""
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_simple_rows(self):
+        text = format_table([[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "1" in lines[0] and "4" in lines[1]
+
+    def test_headers_add_rule(self):
+        text = format_table([[1]], headers=["col"])
+        lines = text.splitlines()
+        assert lines[0].strip() == "col"
+        assert set(lines[1].strip()) == {"-"}
+
+    def test_float_formatting(self):
+        text = format_table([[0.123456]], float_fmt=".2f")
+        assert "0.12" in text
+        assert "0.1234" not in text
+
+    def test_integer_not_float_formatted(self):
+        text = format_table([[7]], float_fmt=".3f")
+        assert "7" in text and "7.000" not in text
+
+    def test_columns_aligned(self):
+        text = format_table([[1, "aa"], [100, "b"]])
+        lines = text.splitlines()
+        # right-justified columns give every row the same rendered width
+        assert len(lines[0]) == len(lines[1])
+
+    def test_indent(self):
+        text = format_table([[1]], indent="  ")
+        assert text.startswith("  ")
+
+    def test_ragged_rows_padded(self):
+        text = format_table([[1, 2, 3], [4]])
+        assert len(text.splitlines()) == 2
+
+    def test_empty_rows(self):
+        assert format_table([]) == ""
+
+    def test_string_cells(self):
+        text = format_table([["abc", "def"]])
+        assert "abc" in text and "def" in text

@@ -1,0 +1,121 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_binary_labels,
+    check_index,
+    check_positive,
+    check_probability,
+    check_rank,
+    check_square_matrix,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(float("inf"), "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive(True, "x")
+
+    def test_rejects_array(self):
+        with pytest.raises(TypeError):
+            check_positive(np.array([1.0, 2.0]), "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5.0])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+
+class TestCheckSquareMatrix:
+    def test_accepts_square(self):
+        matrix = check_square_matrix(np.zeros((3, 3)))
+        assert matrix.shape == (3, 3)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square_matrix(np.zeros((3, 4)))
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_square_matrix(np.zeros(3))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_square_matrix(np.zeros((2, 2, 2)))
+
+
+class TestCheckBinaryLabels:
+    def test_accepts_plus_minus_one(self):
+        labels = check_binary_labels(np.array([1.0, -1.0, 1.0]))
+        assert labels.shape == (3,)
+
+    def test_accepts_nan_by_default(self):
+        check_binary_labels(np.array([1.0, np.nan, -1.0]))
+
+    def test_rejects_nan_when_disallowed(self):
+        with pytest.raises(ValueError):
+            check_binary_labels(np.array([1.0, np.nan]), allow_nan=False)
+
+    @pytest.mark.parametrize("bad", [0.0, 0.5, 2.0, -3.0])
+    def test_rejects_non_binary(self, bad):
+        with pytest.raises(ValueError):
+            check_binary_labels(np.array([1.0, bad]))
+
+
+class TestCheckIndex:
+    def test_accepts_valid(self):
+        assert check_index(2, 5) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_index(-1, 5)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            check_index(5, 5)
+
+
+class TestCheckRank:
+    def test_accepts_positive(self):
+        assert check_rank(10) == 10
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_rank(0)
+
+    def test_rejects_above_n(self):
+        with pytest.raises(ValueError):
+            check_rank(11, n=10)
+
+    def test_accepts_equal_to_n(self):
+        assert check_rank(10, n=10) == 10
