@@ -1,5 +1,40 @@
-"""Legacy setup shim for environments without PEP 517 wheel support."""
+"""Legacy setup shim for environments without PEP 517 wheel support.
 
-from setuptools import setup
+The single source of truth for the version is ``repro.__version__``;
+it is parsed (not imported — the package's dependencies may not be
+installed at build time) so ``setup.py`` never drifts from the code.
+"""
 
-setup()
+import os
+import re
+
+from setuptools import find_packages, setup
+
+_HERE = os.path.abspath(os.path.dirname(__file__))
+
+
+def _read_version() -> str:
+    init_path = os.path.join(_HERE, "src", "repro", "__init__.py")
+    with open(init_path, encoding="utf-8") as handle:
+        match = re.search(
+            r"^__version__\s*=\s*[\"']([^\"']+)[\"']", handle.read(), re.M
+        )
+    if not match:
+        raise RuntimeError(f"__version__ not found in {init_path}")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=_read_version(),
+    description=(
+        "Reproduction of 'Decentralized Prediction of End-to-End Network "
+        "Performance Classes' (DMFSGD, CoNEXT 2011), with an online "
+        "serving subsystem"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

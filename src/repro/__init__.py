@@ -32,7 +32,10 @@ Package map:
 * :mod:`repro.baselines` — Vivaldi and a centralized MMMF stand-in;
 * :mod:`repro.apps` — peer selection;
 * :mod:`repro.experiments` — one runnable definition per paper
-  table/figure.
+  table/figure;
+* :mod:`repro.serving` — the online serving subsystem: versioned
+  coordinate store, cached prediction service, streaming ingest with
+  incremental updates, and a JSON/HTTP gateway (``repro serve``).
 """
 
 from repro.core import (
@@ -45,7 +48,7 @@ from repro.core import (
 from repro.datasets import load_dataset
 from repro.measurement import Metric
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DMFSGDConfig",

@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the everyday workflows:
+The commands cover the everyday workflows:
 
 * ``datasets`` — generate the synthetic datasets and print their vitals;
 * ``train`` — train one DMFSGD model and report AUC / accuracy /
   confusion matrix;
 * ``experiment`` — run a paper table/figure reproduction by id and
-  print the same rows the paper reports.
+  print the same rows the paper reports;
+* ``serve`` — pre-train a model and run the online prediction gateway
+  (:mod:`repro.serving`).
 
 Examples::
 
@@ -14,6 +16,7 @@ Examples::
     python -m repro train --dataset hps3 --rounds 300
     python -m repro experiment table2
     python -m repro experiment list
+    python -m repro serve --dataset meridian --nodes 200 --port 8787
 """
 
 from __future__ import annotations
@@ -163,6 +166,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--seed", type=int, default=20111206)
 
+    serve = commands.add_parser(
+        "serve", help="run the online prediction gateway (repro.serving)"
+    )
+    serve.add_argument(
+        "--dataset",
+        choices=["harvard", "meridian", "hps3"],
+        default="meridian",
+    )
+    serve.add_argument("--nodes", type=int, default=None)
+    serve.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="pre-training rounds (default 20*k; 0 serves untrained)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="0 picks a free port"
+    )
+    serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument("--batch-size", type=int, default=256)
+    serve.add_argument(
+        "--refresh-every",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="publish a new snapshot every N ingested measurements",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        default=None,
+        help="load factors from a CoordinateStore .npz instead of training",
+    )
+    serve.add_argument("--seed", type=int, default=20111206)
+
     report = commands.add_parser(
         "report", help="run experiments and write a markdown report"
     )
@@ -243,14 +281,49 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             print(name)
         return 0
     if args.id not in registry:
+        available = "\n  ".join(EXPERIMENTS)
         print(
-            f"unknown experiment {args.id!r}; try 'experiment list'",
+            f"unknown experiment {args.id!r}; available ids:\n  {available}",
             file=sys.stderr,
         )
         return 2
     run, format_result = registry[args.id]
     result = run(seed=args.seed)
     print(format_result(result))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import build_gateway
+
+    print(
+        f"building {args.dataset} model "
+        f"(nodes={args.nodes or 'default'}, rounds={args.rounds if args.rounds is not None else 'default'}) ...",
+        file=sys.stderr,
+    )
+    gateway = build_gateway(
+        args.dataset,
+        nodes=args.nodes,
+        rounds=args.rounds,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        batch_size=args.batch_size,
+        refresh_interval=args.refresh_every,
+        checkpoint=args.checkpoint,
+    )
+    print(f"serving on {gateway.url}", file=sys.stderr)
+    print(
+        f"try: curl '{gateway.url}/predict?src=0&dst=1'",
+        file=sys.stderr,
+    )
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        gateway.stop()
     return 0
 
 
@@ -296,6 +369,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "datasets": _cmd_datasets,
         "train": _cmd_train,
         "experiment": _cmd_experiment,
+        "serve": _cmd_serve,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -22,7 +22,68 @@ import numpy as np
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_index, check_rank
 
-__all__ = ["NodeCoordinates", "CoordinateTable"]
+__all__ = [
+    "NodeCoordinates",
+    "CoordinateTable",
+    "row_estimate",
+    "matrix_estimate",
+    "resolve_npz_path",
+]
+
+
+def resolve_npz_path(path: "str | object") -> str:
+    """Mirror ``np.savez``'s suffix handling on the load side.
+
+    ``np.savez`` appends ``.npz`` to suffix-less paths on save, so the
+    path handed to a ``save`` must always load back.
+    """
+    import os
+
+    path = os.fspath(path)
+    if not os.path.exists(path) and not path.endswith(".npz"):
+        path += ".npz"
+    return path
+
+
+def row_estimate(
+    U: np.ndarray,
+    V: np.ndarray,
+    i: int,
+    targets: Optional[np.ndarray] = None,
+    *,
+    fill_self: Optional[float] = np.nan,
+) -> np.ndarray:
+    """One-to-many estimates from factor arrays as one matrix product.
+
+    Shared by :meth:`CoordinateTable.estimate_row` and the serving
+    layer's immutable snapshots, so validation and fill semantics stay
+    identical everywhere the one-to-many hot path exists.
+    """
+    n = U.shape[0]
+    i = check_index(i, n, "i")
+    if targets is not None:
+        targets = np.asarray(targets, dtype=int)
+        if targets.ndim != 1:
+            raise ValueError(f"targets must be 1-D, got shape {targets.shape}")
+        if targets.size and (targets.min() < 0 or targets.max() >= n):
+            raise ValueError("targets out of range")
+        return V[targets] @ U[i]
+    row = V @ U[i]
+    if fill_self is not None:
+        row[i] = fill_self
+    return row
+
+
+def matrix_estimate(
+    U: np.ndarray,
+    V: np.ndarray,
+    fill_diagonal: Optional[float] = np.nan,
+) -> np.ndarray:
+    """Dense ``X_hat = U V^T`` from factor arrays (NaN diagonal)."""
+    xhat = U @ V.T
+    if fill_diagonal is not None:
+        np.fill_diagonal(xhat, fill_diagonal)
+    return xhat
 
 
 class NodeCoordinates:
@@ -139,6 +200,34 @@ class CoordinateTable:
         cols = np.asarray(cols, dtype=int)
         return np.einsum("ij,ij->i", self.U[rows], self.V[cols])
 
+    def estimate_row(
+        self,
+        i: int,
+        targets: Optional[np.ndarray] = None,
+        *,
+        fill_self: Optional[float] = np.nan,
+    ) -> np.ndarray:
+        """One-to-many estimates from node ``i`` as a single matrix product.
+
+        This is the serving-layer hot path: ``V @ u_i`` predicts the
+        performance from ``i`` towards every node (or towards ``targets``
+        when given) without materializing ``X_hat`` or looping over
+        pairs.
+
+        Parameters
+        ----------
+        i:
+            Source node.
+        targets:
+            Optional 1-D index array restricting the destinations; the
+            full one-to-all row is returned when omitted.
+        fill_self:
+            Value written at ``i``'s own slot in the one-to-all row (the
+            path to self is undefined); pass ``None`` to keep the raw
+            product.  Ignored when ``targets`` is given.
+        """
+        return row_estimate(self.U, self.V, i, targets, fill_self=fill_self)
+
     def estimate_matrix(self, fill_diagonal: Optional[float] = np.nan) -> np.ndarray:
         """The dense prediction matrix ``X_hat = U V^T``.
 
@@ -146,10 +235,7 @@ class CoordinateTable:
         paper's setting and is filled with ``fill_diagonal`` (NaN by
         default); pass ``None`` to keep the raw products.
         """
-        xhat = self.U @ self.V.T
-        if fill_diagonal is not None:
-            np.fill_diagonal(xhat, fill_diagonal)
-        return xhat
+        return matrix_estimate(self.U, self.V, fill_diagonal)
 
     def node_view(self, i: int) -> NodeCoordinates:
         """A :class:`NodeCoordinates` copy of node ``i``'s state."""
@@ -190,9 +276,7 @@ class CoordinateTable:
     @classmethod
     def load(cls, path: "str | object") -> "CoordinateTable":
         """Load factors previously written by :meth:`save`."""
-        import os
-
-        with np.load(os.fspath(path)) as data:
+        with np.load(resolve_npz_path(path)) as data:
             return cls.from_arrays(data["U"], data["V"])
 
     def __iter__(self) -> Iterator[NodeCoordinates]:

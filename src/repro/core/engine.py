@@ -228,6 +228,47 @@ class DMFSGDEngine:
             self._apply_abw(rows, cols, x)
         return int(valid.sum())
 
+    def apply_measurements(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        values: np.ndarray,
+    ) -> int:
+        """Apply one externally supplied mini-batch of measurements.
+
+        This is the *online* entry point used by the serving layer
+        (:mod:`repro.serving`): instead of the engine probing via its
+        ``label_fn``, the caller hands over already-measured training
+        values (classes from a
+        :class:`~repro.measurement.classifier.ThresholdClassifier`, or
+        raw quantities for the L2 variant) for arbitrary pairs.  NaN
+        values are skipped, the batch counts as one schedule step, and
+        the number of consumed measurements is returned.
+        """
+        rows = np.asarray(rows, dtype=int)
+        cols = np.asarray(cols, dtype=int)
+        values = np.asarray(values, dtype=float)
+        if not rows.shape == cols.shape == values.shape or rows.ndim != 1:
+            raise ValueError(
+                "rows, cols and values must be matching 1-D arrays, got "
+                f"{rows.shape}, {cols.shape}, {values.shape}"
+            )
+        if rows.size == 0:
+            return 0
+        if (
+            rows.min() < 0
+            or cols.min() < 0
+            or rows.max() >= self.n
+            or cols.max() >= self.n
+        ):
+            raise ValueError("node indices out of range")
+        if np.any(rows == cols):
+            raise ValueError("self-measurements are undefined")
+        used = self._apply(rows, cols, values)
+        self.measurements += used
+        self.rounds_done += 1  # one schedule step per batch
+        return used
+
     # ------------------------------------------------------------------
     # training drivers
     # ------------------------------------------------------------------

@@ -1,0 +1,59 @@
+"""Online serving subsystem: a queryable, incrementally-updated service.
+
+The offline pipeline ends with a trained factor pair ``(U, V)``; this
+package turns that into the long-lived system the paper envisions —
+every node's performance class towards every other node, predictable on
+demand while fresh measurements keep improving the model:
+
+* :mod:`repro.serving.store` — :class:`CoordinateStore`, versioned
+  copy-on-write snapshots of the factors with save/load checkpointing;
+* :mod:`repro.serving.service` — :class:`PredictionService`,
+  single-pair / one-to-many / full-batch prediction with a bounded,
+  version-keyed LRU cache;
+* :mod:`repro.serving.ingest` — :class:`IngestPipeline`, streaming
+  measurements applied as incremental mini-batch SGD with a
+  staleness-bounded refresh policy;
+* :mod:`repro.serving.gateway` — :class:`ServingGateway`, a
+  stdlib-only JSON/HTTP frontend (``repro serve``);
+* :mod:`repro.serving.client` — :class:`ServingClient`, the matching
+  :mod:`urllib` client;
+* :mod:`repro.serving.app` — :func:`build_gateway`, the one-stop
+  dataset-to-gateway assembler.
+
+Quick start::
+
+    from repro.serving import build_gateway, ServingClient
+
+    with build_gateway("meridian", nodes=120, port=0) as gateway:
+        client = ServingClient(gateway.url)
+        print(client.predict(3, 17))         # {'estimate': ..., 'label': 1, ...}
+        client.ingest([(3, 17, 250.0)] * 64) # stream new measurements
+        client.refresh()                     # publish -> new version
+"""
+
+from repro.serving.app import build_gateway
+from repro.serving.client import GatewayError, ServingClient
+from repro.serving.gateway import ServingGateway
+from repro.serving.ingest import IngestPipeline, IngestStats
+from repro.serving.service import (
+    PairPrediction,
+    PredictionService,
+    RowPrediction,
+    ServiceStats,
+)
+from repro.serving.store import CoordinateSnapshot, CoordinateStore
+
+__all__ = [
+    "build_gateway",
+    "GatewayError",
+    "ServingClient",
+    "ServingGateway",
+    "IngestPipeline",
+    "IngestStats",
+    "PairPrediction",
+    "PredictionService",
+    "RowPrediction",
+    "ServiceStats",
+    "CoordinateSnapshot",
+    "CoordinateStore",
+]

@@ -1,0 +1,105 @@
+"""Assembly of a complete serving stack from a dataset name.
+
+``repro serve`` (and the examples) need the whole chain — dataset,
+pre-trained engine, store, service, ingest, gateway — wired
+consistently; :func:`build_gateway` is that one-stop constructor.  The
+returned gateway is not yet started, so callers choose between
+:meth:`~repro.serving.gateway.ServingGateway.start` (background thread,
+tests/examples) and
+:meth:`~repro.serving.gateway.ServingGateway.serve_forever` (blocking,
+CLI).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.measurement.classifier import ThresholdClassifier
+from repro.serving.gateway import ServingGateway
+from repro.serving.ingest import IngestPipeline
+from repro.serving.service import PredictionService
+from repro.serving.store import CoordinateStore
+
+__all__ = ["build_gateway"]
+
+
+def build_gateway(
+    dataset: str = "meridian",
+    *,
+    nodes: Optional[int] = None,
+    rounds: Optional[int] = None,
+    good_fraction: Optional[float] = None,
+    seed: int = 20111206,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_size: int = 4096,
+    batch_size: int = 256,
+    refresh_interval: int = 1000,
+    checkpoint: Optional[str] = None,
+    verbose: bool = False,
+) -> ServingGateway:
+    """Pre-train a model on a synthetic dataset and wrap it for serving.
+
+    Parameters
+    ----------
+    dataset:
+        ``"harvard"``, ``"meridian"`` or ``"hps3"``.
+    nodes:
+        Node count (the experiments' sweep size when omitted).
+    rounds:
+        Pre-training rounds (``20 * k``, the paper's convergence
+        point, when omitted; 0 skips pre-training and serves the
+        random initialization — useful to watch ingest learn live).
+    good_fraction:
+        Sets ``tau`` so this fraction of paths is good (median when
+        omitted).
+    checkpoint:
+        Optional path to a :meth:`~repro.serving.store.CoordinateStore.save`
+        checkpoint; when given, the factors are loaded instead of
+        pre-trained (the dataset still provides the classifier's
+        ``tau`` and the ingest dimensions).
+    """
+    from repro.experiments.common import PAPER_NEIGHBORS, get_dataset
+
+    data = get_dataset(dataset, n_hosts=nodes, seed=seed)
+    tau = (
+        data.tau_for_good_fraction(good_fraction)
+        if good_fraction is not None
+        else data.median()
+    )
+    labels = data.class_matrix(tau)
+    config = DMFSGDConfig.paper_defaults(dataset)
+    engine = DMFSGDEngine(
+        data.n,
+        matrix_label_fn(labels),
+        config,
+        metric=data.metric,
+        rng=seed,
+    )
+    if checkpoint is not None:
+        store = CoordinateStore.load(checkpoint)
+        if store.n != engine.n:
+            raise ValueError(
+                f"checkpoint has {store.n} nodes, dataset has {engine.n}"
+            )
+        engine.coordinates = store.snapshot().as_table()
+    else:
+        if rounds is None:
+            rounds = 20 * PAPER_NEIGHBORS.get(dataset, config.neighbors)
+        if rounds > 0:
+            engine.run(rounds=rounds)
+        store = CoordinateStore(engine.coordinates)
+
+    service = PredictionService(store, cache_size=cache_size)
+    ingest = IngestPipeline(
+        engine,
+        store,
+        classify=ThresholdClassifier(data.metric, tau),
+        batch_size=batch_size,
+        refresh_interval=refresh_interval,
+    )
+    return ServingGateway(
+        service, ingest, host=host, port=port, verbose=verbose
+    )

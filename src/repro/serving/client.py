@@ -1,0 +1,133 @@
+"""Minimal stdlib client for the serving gateway.
+
+Mirrors the gateway's endpoints one method per route, speaking the same
+JSON bodies.  Implemented on :mod:`urllib.request` so scripts, examples
+and tests need nothing beyond the standard library.  The measurement
+submission method is named ``submit_many`` on purpose: the client
+satisfies the same sink protocol as
+:class:`~repro.serving.ingest.IngestPipeline`, so a
+:class:`~repro.simnet.livefeed.LiveFeedDriver` can stream simulator
+traffic either in-process or over HTTP without changing code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+import numpy as np
+
+__all__ = ["GatewayError", "ServingClient"]
+
+
+class GatewayError(RuntimeError):
+    """A non-2xx gateway response, carrying the HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServingClient:
+    """HTTP client bound to one gateway base URL.
+
+    Parameters
+    ----------
+    base_url:
+        E.g. ``"http://127.0.0.1:8787"`` (a trailing slash is fine).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, path: str, payload: Optional[Dict] = None
+    ) -> Dict:
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(self.base_url + path, data=data, headers=headers)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8"))["error"]
+            except Exception:
+                message = error.reason
+            raise GatewayError(error.code, str(message)) from None
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict:
+        """GET /health — liveness and model vitals."""
+        return self._request("/health")
+
+    def version(self) -> int:
+        """GET /version — the served snapshot version."""
+        return int(self._request("/version")["version"])
+
+    def stats(self) -> Dict:
+        """GET /stats — service and ingest counters."""
+        return self._request("/stats")
+
+    def predict(self, source: int, target: int) -> Dict:
+        """GET /predict — single-pair estimate + class label."""
+        return self._request(f"/predict?src={int(source)}&dst={int(target)}")
+
+    def predict_from(
+        self, source: int, targets: Optional[Iterable[int]] = None
+    ) -> Dict:
+        """GET /predict_from — one-to-many estimates from one source."""
+        path = f"/predict_from?src={int(source)}"
+        if targets is not None:
+            joined = ",".join(str(int(t)) for t in targets)
+            path += f"&targets={joined}"
+        return self._request(path)
+
+    def ingest(
+        self, measurements: Sequence[Tuple[int, int, float]]
+    ) -> Dict:
+        """POST /ingest — stream measurement triples into the pipeline."""
+        payload = {
+            "measurements": [
+                [int(s), int(t), float(v)] for s, t, v in measurements
+            ]
+        }
+        return self._request("/ingest", payload)
+
+    def submit_many(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        values: np.ndarray,
+    ) -> int:
+        """Sink-protocol alias for :meth:`ingest` (see module docstring)."""
+        triples: List[Tuple[int, int, float]] = list(
+            zip(
+                np.asarray(sources).tolist(),
+                np.asarray(targets).tolist(),
+                np.asarray(values).tolist(),
+            )
+        )
+        return int(self.ingest(triples)["accepted"])
+
+    def refresh(self) -> int:
+        """POST /refresh — force a publish; returns the new version."""
+        return int(self._request("/refresh", {})["version"])
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServingClient({self.base_url!r})"

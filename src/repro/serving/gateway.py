@@ -1,0 +1,292 @@
+"""Stdlib-only JSON/HTTP gateway in front of the serving components.
+
+A thin transport layer: every endpoint delegates to
+:class:`~repro.serving.service.PredictionService` and
+:class:`~repro.serving.ingest.IngestPipeline`; no model logic lives
+here.  Built on :mod:`http.server`'s ``ThreadingHTTPServer`` so the
+repo stays dependency-free — the store/service/ingest triple is
+thread-safe precisely so concurrent gateway requests are sound.
+
+Endpoints (all JSON):
+
+========  =======================  =======================================
+method    path                     meaning
+========  =======================  =======================================
+GET       ``/health``              liveness + model vitals
+GET       ``/version``             served snapshot version
+GET       ``/stats``               service + ingest counters
+GET       ``/predict``             ``?src=i&dst=j`` single-pair prediction
+GET       ``/predict_from``        ``?src=i[&targets=j,k,...]`` one-to-many
+POST      ``/ingest``              ``{"measurements": [[src, dst, value], ...]}``
+POST      ``/refresh``             force flush + publish (new version)
+========  =======================  =======================================
+
+Use :class:`ServingGateway` programmatically (``start()`` /
+``stop()``, or as a context manager — port 0 picks a free port, which
+is how the end-to-end tests run it in-process) or via the ``repro
+serve`` CLI command.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+import numpy as np
+
+from repro.serving.ingest import IngestPipeline
+from repro.serving.service import PredictionService
+
+__all__ = ["ServingGateway"]
+
+
+class _BadRequest(ValueError):
+    """Client error: reported as HTTP 400 with a JSON body."""
+
+
+def _get_int(params: Dict[str, list], name: str) -> int:
+    if name not in params:
+        raise _BadRequest(f"missing query parameter {name!r}")
+    raw = params[name][-1]
+    try:
+        return int(raw)
+    except ValueError:
+        raise _BadRequest(f"parameter {name!r} must be an integer, got {raw!r}")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "_ServingHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> Dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise _BadRequest("empty request body")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _BadRequest("request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        params = parse_qs(url.query)
+        service = self.server.service
+        try:
+            if url.path == "/health":
+                snapshot = service.store.snapshot()
+                self._send_json(
+                    {
+                        "status": "ok",
+                        "version": snapshot.version,
+                        "nodes": snapshot.n,
+                        "rank": snapshot.rank,
+                    }
+                )
+            elif url.path == "/version":
+                self._send_json({"version": service.store.version})
+            elif url.path == "/stats":
+                payload = {"service": service.stats().as_dict()}
+                if self.server.ingest is not None:
+                    payload["ingest"] = self.server.ingest.stats().as_dict()
+                    payload["ingest"]["buffered"] = self.server.ingest.buffered
+                self._send_json(payload)
+            elif url.path == "/predict":
+                src = _get_int(params, "src")
+                dst = _get_int(params, "dst")
+                self._send_json(service.predict_pair(src, dst).as_dict())
+            elif url.path == "/predict_from":
+                src = _get_int(params, "src")
+                targets = None
+                if "targets" in params:
+                    raw = params["targets"][-1]
+                    try:
+                        targets = np.array(
+                            [int(t) for t in raw.split(",") if t != ""],
+                            dtype=int,
+                        )
+                    except ValueError:
+                        raise _BadRequest(
+                            f"targets must be comma-separated integers, got {raw!r}"
+                        )
+                self._send_json(service.predict_from(src, targets).as_dict())
+            else:
+                self._send_error_json(404, f"unknown path {url.path!r}")
+        except (_BadRequest, ValueError, TypeError, IndexError) as exc:
+            self._send_error_json(400, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        ingest = self.server.ingest
+        try:
+            if url.path == "/ingest":
+                if ingest is None:
+                    self._send_error_json(400, "gateway is read-only")
+                    return
+                payload = self._read_body()
+                measurements = payload.get("measurements")
+                if not isinstance(measurements, list):
+                    raise _BadRequest('body must contain a "measurements" list')
+                triples = []
+                for entry in measurements:
+                    if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                        raise _BadRequest(
+                            "each measurement must be [source, target, value]"
+                        )
+                    triples.append(entry)
+                if triples:
+                    array = np.asarray(triples, dtype=float)
+                    kept = ingest.submit_many(
+                        array[:, 0], array[:, 1], array[:, 2]
+                    )
+                else:
+                    kept = 0
+                self._send_json(
+                    {
+                        "accepted": kept,
+                        "received": len(triples),
+                        "buffered": ingest.buffered,
+                        "version": ingest.store.version,
+                    }
+                )
+            elif url.path == "/refresh":
+                if ingest is None:
+                    self._send_error_json(400, "gateway is read-only")
+                    return
+                version = ingest.publish()
+                self._send_json({"version": version})
+            else:
+                self._send_error_json(404, f"unknown path {url.path!r}")
+        except (_BadRequest, ValueError, TypeError) as exc:
+            # TypeError covers np.asarray on non-numeric JSON entries; a
+            # serving endpoint answers 400, it never drops the connection.
+            self._send_error_json(400, str(exc))
+
+
+class _ServingHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: PredictionService,
+        ingest: Optional[IngestPipeline],
+        verbose: bool,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.ingest = ingest
+        self.verbose = verbose
+
+
+class ServingGateway:
+    """Owns the HTTP server wrapping a service (+ optional ingest).
+
+    Parameters
+    ----------
+    service:
+        Query frontend.
+    ingest:
+        Write path; omit for a read-only gateway (POST endpoints then
+        return 400).
+    host, port:
+        Bind address; ``port=0`` lets the OS pick a free port (read it
+        back from :attr:`port` / :attr:`url`).
+    verbose:
+        Log requests to stderr (quiet by default: tests and benches).
+    """
+
+    def __init__(
+        self,
+        service: PredictionService,
+        ingest: Optional[IngestPipeline] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.ingest = ingest
+        self._server = _ServingHTTPServer((host, port), service, ingest, verbose)
+        self._thread: Optional[threading.Thread] = None
+        self._activated = False
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServingGateway":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("gateway already started")
+        self._activated = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serving-gateway",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's blocking mode)."""
+        self._activated = True
+        self._server.serve_forever()
+
+    def stop(self) -> None:
+        """Shut down the server and release the port."""
+        if self._activated:
+            # shutdown() blocks forever unless serve_forever has run.
+            self._server.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "ServingGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ServingGateway(url={self.url!r})"

@@ -1,0 +1,247 @@
+"""Streaming measurement ingestion with incremental model refresh.
+
+The paper's deployment story is a *living* system: application traffic
+keeps producing new RTT/ABW observations, and the factor model must
+track them (Section 6.1 runs the Harvard stream in time order for
+exactly this reason).  :class:`IngestPipeline` is that loop as a
+service component:
+
+1. measurements arrive one at a time (:meth:`IngestPipeline.submit`),
+   in arrays (:meth:`IngestPipeline.submit_many`) or as a whole
+   :class:`~repro.datasets.trace.MeasurementTrace`
+   (:meth:`IngestPipeline.ingest_trace`);
+2. they are buffered into mini-batches and applied to the training
+   engine with :meth:`~repro.core.engine.DMFSGDEngine.apply_measurements`
+   — the same eqs. 9-13 SGD updates as offline training, so online
+   serving needs no second learning rule;
+3. a **refresh policy** bounds staleness: once ``refresh_interval``
+   measurements have been applied since the last publish, the updated
+   factors are pushed to the :class:`~repro.serving.store.CoordinateStore`,
+   bumping the version (which invalidates the service's cache).
+
+Raw measured quantities are mapped to training values by ``classify``
+(the engine's ``label_fn`` value contract): a
+:class:`~repro.measurement.classifier.ThresholdClassifier` for
+class-based serving, or the identity for the L2/quantity variant.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.engine import DMFSGDEngine
+from repro.datasets.trace import MeasurementTrace
+from repro.serving.store import CoordinateStore
+
+__all__ = ["IngestStats", "IngestPipeline"]
+
+Classifier = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class IngestStats:
+    """Cumulative ingestion counters."""
+
+    received: int = 0
+    applied: int = 0
+    dropped: int = 0
+    batches: int = 0
+    publishes: int = 0
+    since_publish: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class IngestPipeline:
+    """Mini-batch SGD ingestion feeding a coordinate store.
+
+    Parameters
+    ----------
+    engine:
+        The (typically pre-trained) trainer whose coordinates are
+        served.  The pipeline owns further updates to it.
+    store:
+        Destination of published snapshots; its model shape must match
+        the engine.
+    classify:
+        Maps raw measured quantities to training values (see module
+        docstring); identity when omitted.
+    batch_size:
+        Buffered measurements per SGD step; within a batch updates read
+        batch-start coordinates, the engine's asynchrony model.
+    refresh_interval:
+        Publish after this many *applied* measurements (staleness
+        bound).  Measurements still in the buffer are not yet applied;
+        call :meth:`flush` or :meth:`publish` to force them out.
+    """
+
+    def __init__(
+        self,
+        engine: DMFSGDEngine,
+        store: CoordinateStore,
+        *,
+        classify: Optional[Classifier] = None,
+        batch_size: int = 256,
+        refresh_interval: int = 1000,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if refresh_interval <= 0:
+            raise ValueError(
+                f"refresh_interval must be positive, got {refresh_interval}"
+            )
+        if store.n != engine.n:
+            raise ValueError(
+                f"store has {store.n} nodes, engine has {engine.n}"
+            )
+        self.engine = engine
+        self.store = store
+        self.classify = classify or (lambda values: values)
+        self.batch_size = int(batch_size)
+        self.refresh_interval = int(refresh_interval)
+        self._lock = threading.RLock()
+        self._sources: List[int] = []
+        self._targets: List[int] = []
+        self._values: List[float] = []
+        self._stats = IngestStats()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, source: int, target: int, value: float) -> None:
+        """Accept one measurement (flushes when a batch fills up)."""
+        self.submit_many([source], [target], [value])
+
+    def submit_many(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        values: np.ndarray,
+    ) -> int:
+        """Accept a batch of measurements; returns how many were kept.
+
+        Invalid samples — NaN values, out-of-range indices,
+        self-measurements — are dropped and counted, never raised:
+        a serving endpoint must survive malformed traffic.
+        """
+        sources = np.asarray(sources, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if not sources.shape == targets.shape == values.shape or sources.ndim != 1:
+            raise ValueError(
+                "sources, targets and values must be matching 1-D arrays"
+            )
+        n = self.engine.n
+        with np.errstate(invalid="ignore"):
+            keep = (
+                np.isfinite(values)
+                & np.isfinite(sources)
+                & np.isfinite(targets)
+                & (sources == np.floor(sources))
+                & (targets == np.floor(targets))
+                & (sources >= 0)
+                & (sources < n)
+                & (targets >= 0)
+                & (targets < n)
+                & (sources != targets)
+            )
+        kept = int(keep.sum())
+        with self._lock:
+            self._stats.received += int(values.size)
+            self._stats.dropped += int(values.size) - kept
+            if kept:
+                self._sources.extend(int(s) for s in sources[keep])
+                self._targets.extend(int(t) for t in targets[keep])
+                self._values.extend(float(v) for v in values[keep])
+                while len(self._values) >= self.batch_size:
+                    self._flush_one_batch()
+        return kept
+
+    def ingest_trace(
+        self, trace: MeasurementTrace, *, batch_size: Optional[int] = None
+    ) -> int:
+        """Stream a whole trace through the pipeline in time order."""
+        if trace.n_nodes != self.engine.n:
+            raise ValueError(
+                f"trace has {trace.n_nodes} nodes, engine has {self.engine.n}"
+            )
+        kept = 0
+        for batch in trace.batches(batch_size or self.batch_size):
+            kept += self.submit_many(batch.sources, batch.targets, batch.values)
+        return kept
+
+    # ------------------------------------------------------------------
+    # flushing / publishing
+    # ------------------------------------------------------------------
+
+    def _flush_one_batch(self) -> int:
+        """Apply the first ``batch_size`` buffered samples (lock held)."""
+        take = min(self.batch_size, len(self._values))
+        if take == 0:
+            return 0
+        sources = np.array(self._sources[:take], dtype=int)
+        targets = np.array(self._targets[:take], dtype=int)
+        values = np.array(self._values[:take], dtype=float)
+        del self._sources[:take], self._targets[:take], self._values[:take]
+        training_values = np.asarray(self.classify(values), dtype=float)
+        used = self.engine.apply_measurements(sources, targets, training_values)
+        self._stats.applied += used
+        self._stats.dropped += take - used  # classify may emit NaN
+        self._stats.batches += 1
+        self._stats.since_publish += used
+        if self._stats.since_publish >= self.refresh_interval:
+            self._publish_locked()
+        return used
+
+    def _publish_locked(self) -> None:
+        self.store.publish(self.engine.coordinates)
+        self._stats.publishes += 1
+        self._stats.since_publish = 0
+
+    def flush(self) -> int:
+        """Apply everything buffered, regardless of batch size."""
+        applied = 0
+        with self._lock:
+            while self._values:
+                applied += self._flush_one_batch()
+        return applied
+
+    def publish(self) -> int:
+        """Flush and publish unconditionally; returns the new version."""
+        with self._lock:
+            self.flush()
+            self._publish_locked()
+            return self.store.version
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def staleness(self) -> int:
+        """Measurements applied to the engine but not yet published."""
+        with self._lock:
+            return self._stats.since_publish
+
+    @property
+    def buffered(self) -> int:
+        """Measurements accepted but not yet applied."""
+        with self._lock:
+            return len(self._values)
+
+    def stats(self) -> IngestStats:
+        """A point-in-time copy of the counters."""
+        with self._lock:
+            return IngestStats(**self._stats.as_dict())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IngestPipeline(n={self.engine.n}, batch_size={self.batch_size}, "
+            f"refresh_interval={self.refresh_interval})"
+        )

@@ -1,0 +1,297 @@
+"""Query-side API of the serving layer: cached, vectorized prediction.
+
+:class:`PredictionService` turns a :class:`~repro.serving.store.CoordinateStore`
+into the paper's *prediction module* as an online facility: any node
+pair's performance class (and the underlying real-valued estimate) is
+available on demand, without any further measurement.
+
+Three query granularities, matching how applications consume network
+performance predictions:
+
+* :meth:`PredictionService.predict_pair` — one ``(source, target)``
+  lookup, served from a bounded LRU cache keyed by the snapshot
+  version, so repeated queries against an unchanged model cost a dict
+  hit instead of a dot product;
+* :meth:`PredictionService.predict_from` — one-to-many (peer
+  selection's shape: rank all candidate targets of one source) as a
+  single ``V @ u_i`` matrix product;
+* :meth:`PredictionService.predict_matrix` — the full ``U V^T`` batch,
+  for offline-style consumers.
+
+Consistency model: every query is answered from one immutable snapshot,
+so a one-to-many or full-batch answer is internally consistent.  When
+the ingest pipeline publishes a new snapshot the service notices the
+version bump on the next query and drops the entire cache — cached
+entries can therefore never outlive the model they were computed from
+(staleness is bounded by the ingest refresh policy, not by the cache).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.serving.store import CoordinateSnapshot, CoordinateStore
+
+__all__ = ["PairPrediction", "RowPrediction", "ServiceStats", "PredictionService"]
+
+
+def classify_score(estimate: float) -> Optional[int]:
+    """Map a real-valued estimate to the {+1, -1} class.
+
+    Exact-zero ties break toward good, matching
+    :meth:`repro.core.engine.TrainResult.predicted_classes`; a
+    non-finite estimate (untrained/diverged model) has no class and
+    maps to ``None``, matching the NaN propagation of
+    :meth:`RowPrediction.labels`.
+    """
+    if not np.isfinite(estimate):
+        return None
+    return -1 if estimate < 0 else 1
+
+
+@dataclass(frozen=True)
+class PairPrediction:
+    """Answer to a single-pair query."""
+
+    source: int
+    target: int
+    estimate: float
+    label: Optional[int]
+    version: int
+    cached: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (used by the gateway).
+
+        A non-finite estimate (diverged/untrained model) becomes
+        ``null`` — bare NaN is not valid JSON.
+        """
+        finite = np.isfinite(self.estimate)
+        return {
+            "source": self.source,
+            "target": self.target,
+            "estimate": float(self.estimate) if finite else None,
+            "label": self.label,
+            "version": self.version,
+            "cached": self.cached,
+        }
+
+
+@dataclass(frozen=True)
+class RowPrediction:
+    """Answer to a one-to-many query (targets aligned with estimates)."""
+
+    source: int
+    targets: np.ndarray
+    estimates: np.ndarray
+    version: int
+
+    def labels(self) -> np.ndarray:
+        """{+1, -1} classes of the estimates (NaN slots stay NaN)."""
+        labels = np.where(self.estimates < 0, -1.0, 1.0)
+        return np.where(np.isfinite(self.estimates), labels, np.nan)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (NaN estimates become None)."""
+        estimates = [
+            float(e) if np.isfinite(e) else None for e in self.estimates
+        ]
+        labels = [
+            int(l) if np.isfinite(l) else None for l in self.labels()
+        ]
+        return {
+            "source": self.source,
+            "targets": [int(t) for t in self.targets],
+            "estimates": estimates,
+            "labels": labels,
+            "version": self.version,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Cumulative query counters (all monotone except ``cache_entries``)."""
+
+    pair_queries: int = 0
+    row_queries: int = 0
+    matrix_queries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    invalidations: int = 0
+    cache_entries: int = 0
+    version: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class PredictionService:
+    """Cached prediction frontend over a :class:`CoordinateStore`.
+
+    Parameters
+    ----------
+    store:
+        Source of model snapshots.
+    cache_size:
+        Maximum number of cached pair predictions (LRU eviction);
+        0 disables caching entirely.
+    """
+
+    def __init__(self, store: CoordinateStore, *, cache_size: int = 4096) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self.store = store
+        self.cache_size = int(cache_size)
+        self._cache: "OrderedDict[tuple, float]" = OrderedDict()
+        self._cache_version = store.version
+        self._lock = threading.Lock()
+        self._stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    # cache plumbing
+    # ------------------------------------------------------------------
+
+    def _roll_version(self, snapshot: CoordinateSnapshot) -> None:
+        """Advance the cache epoch when a newer model was published.
+
+        Forward-only: a straggler request still holding a pre-publish
+        snapshot must not wipe the freshly rebuilt cache of the newer
+        version — it bypasses the cache instead (see :meth:`_cache_get`).
+        """
+        if snapshot.version > self._cache_version:
+            if self._cache:
+                self._stats.invalidations += 1
+            self._cache.clear()
+            self._cache_version = snapshot.version
+
+    def _cache_get(self, snapshot: CoordinateSnapshot, key: tuple):
+        self._roll_version(snapshot)
+        if snapshot.version != self._cache_version:
+            # stale snapshot: its model is not the cached one
+            self._stats.cache_misses += 1
+            return None
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self._stats.cache_hits += 1
+            return self._cache[key]
+        self._stats.cache_misses += 1
+        return None
+
+    def _cache_put(self, key: tuple, value: float) -> None:
+        self._cache[key] = value
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self._stats.cache_evictions += 1
+
+    def clear_cache(self) -> None:
+        """Explicitly drop every cached prediction."""
+        with self._lock:
+            self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def predict_pair(self, source: int, target: int) -> PairPrediction:
+        """Predict the performance class of one directed pair.
+
+        The path to self is undefined (as everywhere in the repo), so
+        ``source == target`` is rejected rather than answered with a
+        meaningless product.
+        """
+        if int(source) == int(target):
+            raise ValueError(
+                f"the path from node {int(source)} to itself is undefined"
+            )
+        snapshot = self.store.snapshot()
+        if self.cache_size == 0:
+            with self._lock:
+                self._stats.pair_queries += 1
+            estimate = snapshot.estimate(source, target)
+            return PairPrediction(
+                source=int(source),
+                target=int(target),
+                estimate=estimate,
+                label=classify_score(estimate),
+                version=snapshot.version,
+                cached=False,
+            )
+        key = (int(source), int(target))
+        with self._lock:
+            self._stats.pair_queries += 1
+            hit = self._cache_get(snapshot, key)
+        if hit is not None:
+            return PairPrediction(
+                source=key[0],
+                target=key[1],
+                estimate=hit,
+                label=classify_score(hit),
+                version=snapshot.version,
+                cached=True,
+            )
+        estimate = snapshot.estimate(source, target)
+        with self._lock:
+            # Re-check the epoch: a publish may have raced the compute.
+            self._roll_version(self.store.snapshot())
+            if self._cache_version == snapshot.version:
+                self._cache_put(key, estimate)
+        return PairPrediction(
+            source=key[0],
+            target=key[1],
+            estimate=estimate,
+            label=classify_score(estimate),
+            version=snapshot.version,
+            cached=False,
+        )
+
+    def predict_from(
+        self, source: int, targets: Optional[np.ndarray] = None
+    ) -> RowPrediction:
+        """One-to-many prediction via a single ``V @ u_i`` product."""
+        snapshot = self.store.snapshot()
+        with self._lock:
+            self._stats.row_queries += 1
+        estimates = snapshot.estimate_row(source, targets)
+        if targets is None:
+            targets = np.arange(snapshot.n)
+        else:
+            targets = np.asarray(targets, dtype=int)
+            # mask the undefined self-path in explicit target lists too
+            estimates = np.where(targets == int(source), np.nan, estimates)
+        return RowPrediction(
+            source=int(source),
+            targets=targets,
+            estimates=estimates,
+            version=snapshot.version,
+        )
+
+    def predict_matrix(self) -> np.ndarray:
+        """Full-batch ``X_hat = U V^T`` (NaN diagonal)."""
+        snapshot = self.store.snapshot()
+        with self._lock:
+            self._stats.matrix_queries += 1
+        return snapshot.estimate_matrix()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """A point-in-time copy of the counters."""
+        with self._lock:
+            stats = ServiceStats(**self._stats.as_dict())
+            stats.cache_entries = len(self._cache)
+            stats.version = self.store.version
+            return stats
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PredictionService(n={self.store.n}, "
+            f"cache_size={self.cache_size})"
+        )

@@ -1,0 +1,218 @@
+"""Versioned coordinate storage for the online serving layer.
+
+The trained state of DMFSGD is the factor pair ``(U, V)``.  Serving
+reads it on every query while the ingest pipeline keeps mutating the
+trainer's copy, so the two must never share arrays.  The
+:class:`CoordinateStore` decouples them with copy-on-write snapshots:
+
+* a :class:`CoordinateSnapshot` is an **immutable** ``(U, V, version)``
+  triple — its arrays are private read-only copies, so a reader can
+  hold one across an arbitrary number of queries and always see a
+  consistent model (snapshot isolation);
+* :meth:`CoordinateStore.publish` installs a new snapshot atomically
+  and bumps the monotonically increasing version; readers holding the
+  previous snapshot are unaffected;
+* :meth:`CoordinateStore.save` / :meth:`CoordinateStore.load`
+  checkpoint the current snapshot (including its version) to an
+  ``.npz`` file, so a service can restart without retraining.
+
+The version doubles as the cache key epoch of
+:class:`~repro.serving.service.PredictionService` — bumping it is what
+invalidates cached predictions.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.coordinates import (
+    CoordinateTable,
+    matrix_estimate,
+    resolve_npz_path,
+    row_estimate,
+)
+from repro.utils.validation import check_index
+
+__all__ = ["CoordinateSnapshot", "CoordinateStore"]
+
+
+def _frozen_copy(array: np.ndarray) -> np.ndarray:
+    copy = np.array(array, dtype=float, copy=True)
+    copy.setflags(write=False)
+    return copy
+
+
+class CoordinateSnapshot:
+    """An immutable, versioned view of the factor matrices.
+
+    Attributes
+    ----------
+    version:
+        Monotonically increasing publish counter of the owning store.
+    U, V:
+        Read-only ``(n, rank)`` arrays; attempts to write raise.
+    """
+
+    __slots__ = ("version", "U", "V")
+
+    def __init__(self, version: int, U: np.ndarray, V: np.ndarray) -> None:
+        if U.shape != V.shape or U.ndim != 2:
+            raise ValueError(
+                f"U and V must be matching 2-D arrays, got {U.shape} and {V.shape}"
+            )
+        object.__setattr__(self, "version", int(version))
+        object.__setattr__(self, "U", _frozen_copy(U))
+        object.__setattr__(self, "V", _frozen_copy(V))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("CoordinateSnapshot is immutable")
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.U.shape[0]
+
+    @property
+    def rank(self) -> int:
+        """Coordinate dimension ``r``."""
+        return self.U.shape[1]
+
+    # ------------------------------------------------------------------
+    # prediction primitives (zero-copy; the serving hot paths)
+    # ------------------------------------------------------------------
+
+    def estimate(self, i: int, j: int) -> float:
+        """Single-pair estimate ``x_hat_ij = u_i . v_j``."""
+        i = check_index(i, self.n, "i")
+        j = check_index(j, self.n, "j")
+        return float(self.U[i] @ self.V[j])
+
+    def estimate_row(
+        self, i: int, targets: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """One-to-many estimates from ``i`` as a single matrix product.
+
+        The full one-to-all row (``targets=None``) has NaN at ``i``'s
+        own slot (the path to self is undefined).
+        """
+        return row_estimate(self.U, self.V, i, targets)
+
+    def estimate_matrix(self) -> np.ndarray:
+        """Dense ``X_hat = U V^T`` with NaN diagonal (full-batch path)."""
+        return matrix_estimate(self.U, self.V)
+
+    def as_table(self) -> CoordinateTable:
+        """A mutable :class:`CoordinateTable` copy (for warm-starting)."""
+        return CoordinateTable.from_arrays(self.U, self.V)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CoordinateSnapshot(version={self.version}, n={self.n}, "
+            f"rank={self.rank})"
+        )
+
+
+class CoordinateStore:
+    """Thread-safe holder of the latest published snapshot.
+
+    Parameters
+    ----------
+    coordinates:
+        Initial model state: a :class:`CoordinateTable` or a ``(U, V)``
+        pair.  Copied — the store never aliases trainer arrays.
+    version:
+        Starting version (1 by default; restored on :meth:`load`).
+    """
+
+    def __init__(
+        self,
+        coordinates: Union[CoordinateTable, Tuple[np.ndarray, np.ndarray]],
+        *,
+        version: int = 1,
+    ) -> None:
+        U, V = self._unpack(coordinates)
+        if version < 1:
+            raise ValueError(f"version must be >= 1, got {version}")
+        self._lock = threading.Lock()
+        self._snapshot = CoordinateSnapshot(version, U, V)
+
+    @staticmethod
+    def _unpack(
+        coordinates: Union[CoordinateTable, Tuple[np.ndarray, np.ndarray]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if isinstance(coordinates, CoordinateTable):
+            return coordinates.U, coordinates.V
+        U, V = coordinates
+        return np.asarray(U, dtype=float), np.asarray(V, dtype=float)
+
+    @property
+    def version(self) -> int:
+        """Version of the currently published snapshot."""
+        return self.snapshot().version
+
+    @property
+    def n(self) -> int:
+        """Number of nodes in the served model."""
+        return self.snapshot().n
+
+    def snapshot(self) -> CoordinateSnapshot:
+        """The latest published snapshot (atomic read)."""
+        with self._lock:
+            return self._snapshot
+
+    def publish(
+        self,
+        coordinates: Union[CoordinateTable, Tuple[np.ndarray, np.ndarray]],
+    ) -> CoordinateSnapshot:
+        """Install new factors as the served model (copy-on-write).
+
+        The model's shape is fixed at construction; publishing a
+        different ``(n, rank)`` raises.  Returns the new snapshot.
+        """
+        U, V = self._unpack(coordinates)
+        with self._lock:
+            if U.shape != self._snapshot.U.shape:
+                raise ValueError(
+                    f"shape mismatch: store holds {self._snapshot.U.shape}, "
+                    f"got {U.shape}"
+                )
+            self._snapshot = CoordinateSnapshot(
+                self._snapshot.version + 1, U, V
+            )
+            return self._snapshot
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def save(self, path: "str | os.PathLike") -> None:
+        """Checkpoint the current snapshot (factors + version) to .npz."""
+        snap = self.snapshot()
+        np.savez(
+            os.fspath(path),
+            U=snap.U,
+            V=snap.V,
+            version=np.asarray(snap.version, dtype=np.int64),
+        )
+
+    @classmethod
+    def load(cls, path: "str | os.PathLike") -> "CoordinateStore":
+        """Restore a store from a :meth:`save` checkpoint.
+
+        The restored store serves predictions identical to the one that
+        was saved, at the same version.
+        """
+        with np.load(resolve_npz_path(path)) as data:
+            version = int(data["version"]) if "version" in data else 1
+            return cls((data["U"], data["V"]), version=version)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        snap = self.snapshot()
+        return (
+            f"CoordinateStore(n={snap.n}, rank={snap.rank}, "
+            f"version={snap.version})"
+        )

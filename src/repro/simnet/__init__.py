@@ -11,10 +11,13 @@ provides the machinery to execute such protocols faithfully:
   handlers);
 * :mod:`repro.simnet.simulator` — the network: delivers messages with
   configurable latency and drop rate, owns the clock;
-* :mod:`repro.simnet.neighbors` — random reference-set management.
+* :mod:`repro.simnet.neighbors` — random reference-set management;
+* :mod:`repro.simnet.livefeed` — drivers replaying simulator traffic
+  into the online serving ingest pipeline.
 """
 
 from repro.simnet.events import EventQueue, ScheduledEvent
+from repro.simnet.livefeed import LiveFeedDriver, replay_trace
 from repro.simnet.messages import Message
 from repro.simnet.neighbors import NeighborSet, sample_neighbor_sets
 from repro.simnet.node import SimNode
@@ -30,4 +33,6 @@ __all__ = [
     "NeighborSet",
     "sample_neighbor_sets",
     "TraceReplaySimulation",
+    "LiveFeedDriver",
+    "replay_trace",
 ]

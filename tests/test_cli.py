@@ -32,6 +32,43 @@ class TestParser:
             build_parser().parse_args(["--version"])
         assert excinfo.value.code == 0
 
+    def test_version_matches_package(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.dataset == "meridian"
+        assert args.port == 8787
+        assert args.refresh_every == 1000
+        assert args.checkpoint is None
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--dataset",
+                "hps3",
+                "--nodes",
+                "64",
+                "--rounds",
+                "0",
+                "--port",
+                "0",
+                "--refresh-every",
+                "128",
+            ]
+        )
+        assert args.dataset == "hps3"
+        assert args.nodes == 64
+        assert args.rounds == 0
+        assert args.port == 0
+        assert args.refresh_every == 128
+
 
 class TestRegistry:
     def test_all_ids_resolvable(self):
@@ -103,6 +140,13 @@ class TestCommands:
         code = main(["experiment", "fig99"])
         assert code == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_unknown_lists_available_ids(self, capsys):
+        code = main(["experiment", "fig99"])
+        err = capsys.readouterr().err
+        assert code == 2
+        for name in EXPERIMENTS:
+            assert name in err
 
     def test_experiment_runs_table1(self, capsys):
         code = main(["experiment", "table1"])

@@ -127,3 +127,45 @@ class TestCoordinateTable:
     def test_rejects_nonpositive_n(self):
         with pytest.raises(ValueError):
             CoordinateTable(0, 2)
+
+
+class TestEstimateRow:
+    """One-to-many serving hot path."""
+
+    def test_matches_pairwise_estimates(self):
+        table = CoordinateTable(8, 3, rng=0)
+        row = table.estimate_row(2)
+        assert np.isnan(row[2])
+        for j in range(8):
+            if j != 2:
+                assert row[j] == pytest.approx(table.estimate(2, j))
+
+    def test_targets_subset(self):
+        table = CoordinateTable(8, 3, rng=0)
+        targets = np.array([0, 4, 7])
+        np.testing.assert_allclose(
+            table.estimate_row(2, targets),
+            [table.estimate(2, t) for t in targets],
+        )
+
+    def test_fill_self_none_keeps_raw_product(self):
+        table = CoordinateTable(8, 3, rng=0)
+        row = table.estimate_row(2, fill_self=None)
+        assert row[2] == pytest.approx(float(table.U[2] @ table.V[2]))
+
+    def test_consistent_with_estimate_matrix(self):
+        table = CoordinateTable(8, 3, rng=0)
+        xhat = table.estimate_matrix()
+        np.testing.assert_allclose(
+            table.estimate_row(5)[np.arange(8) != 5],
+            xhat[5][np.arange(8) != 5],
+        )
+
+    def test_validation(self):
+        table = CoordinateTable(8, 3, rng=0)
+        with pytest.raises(ValueError):
+            table.estimate_row(8)
+        with pytest.raises(ValueError):
+            table.estimate_row(0, np.array([[1, 2]]))
+        with pytest.raises(ValueError):
+            table.estimate_row(0, np.array([9]))

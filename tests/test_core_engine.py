@@ -192,3 +192,65 @@ class TestTraceTraining:
             harvard_bundle.trace, ThresholdClassifier("rtt", dataset.median())
         )
         assert result.measurements == len(harvard_bundle.trace)
+
+
+class TestApplyMeasurements:
+    """The online entry point used by the serving layer."""
+
+    def test_applies_and_counts(self, small_config):
+        engine = DMFSGDEngine(
+            10, matrix_label_fn(np.ones((10, 10))), small_config, rng=1
+        )
+        rounds_before = engine.rounds_done
+        used = engine.apply_measurements(
+            np.array([0, 1, 2]), np.array([1, 2, 3]), np.array([1.0, -1.0, 1.0])
+        )
+        assert used == 3
+        assert engine.measurements == 3
+        assert engine.rounds_done == rounds_before + 1
+
+    def test_nan_values_skipped(self, small_config):
+        engine = DMFSGDEngine(
+            10, matrix_label_fn(np.ones((10, 10))), small_config, rng=1
+        )
+        used = engine.apply_measurements(
+            np.array([0, 1]), np.array([1, 2]), np.array([np.nan, 1.0])
+        )
+        assert used == 1
+
+    def test_moves_estimate_toward_label(self, small_config):
+        engine = DMFSGDEngine(
+            10, matrix_label_fn(np.ones((10, 10))), small_config, rng=1
+        )
+        before = engine.coordinates.estimate(0, 1)
+        for _ in range(30):
+            engine.apply_measurements(
+                np.array([0]), np.array([1]), np.array([-1.0])
+            )
+        assert engine.coordinates.estimate(0, 1) < before
+
+    def test_matches_offline_updates(self, small_config):
+        """A batch through apply_measurements equals one engine round's
+        update applied to the same pairs and values."""
+        labels = np.sign(np.random.default_rng(3).uniform(-1, 1, (12, 12)))
+        a = DMFSGDEngine(12, matrix_label_fn(labels), small_config, rng=7)
+        b = DMFSGDEngine(12, matrix_label_fn(labels), small_config, rng=7)
+        rows = np.arange(12)
+        cols = (rows + 1) % 12
+        values = labels[rows, cols]
+        a.apply_measurements(rows, cols, values)
+        b._apply(rows, cols, values.astype(float))
+        np.testing.assert_allclose(a.coordinates.U, b.coordinates.U)
+        np.testing.assert_allclose(a.coordinates.V, b.coordinates.V)
+
+    def test_validation(self, small_config):
+        engine = DMFSGDEngine(
+            10, matrix_label_fn(np.ones((10, 10))), small_config, rng=1
+        )
+        with pytest.raises(ValueError):
+            engine.apply_measurements([0, 1], [1], [1.0])
+        with pytest.raises(ValueError):
+            engine.apply_measurements([0], [10], [1.0])
+        with pytest.raises(ValueError):
+            engine.apply_measurements([4], [4], [1.0])
+        assert engine.apply_measurements([], [], []) == 0

@@ -1,0 +1,213 @@
+"""End-to-end tests: in-process HTTP gateway + client (repro.serving)."""
+
+import json
+from urllib.request import urlopen
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.serving import (
+    GatewayError,
+    IngestPipeline,
+    PredictionService,
+    ServingClient,
+    ServingGateway,
+)
+from repro.serving.store import CoordinateStore
+
+
+@pytest.fixture(scope="module")
+def stack(rtt_labels_module):
+    """Engine pre-trained briefly, wrapped in store/service/ingest."""
+    labels = rtt_labels_module
+    n = labels.shape[0]
+    config = DMFSGDConfig(neighbors=8)
+    engine = DMFSGDEngine(n, matrix_label_fn(labels), config, rng=11)
+    engine.run(rounds=120)
+    store = CoordinateStore(engine.coordinates)
+    service = PredictionService(store, cache_size=256)
+    ingest = IngestPipeline(
+        engine, store, batch_size=64, refresh_interval=500
+    )
+    return store, service, ingest
+
+
+@pytest.fixture(scope="module")
+def rtt_labels_module():
+    from repro.datasets import load_meridian
+
+    return load_meridian(n_hosts=40, rng=7).class_matrix()
+
+
+@pytest.fixture(scope="module")
+def gateway(stack):
+    _, service, ingest = stack
+    with ServingGateway(service, ingest, port=0) as gw:
+        yield gw
+
+
+@pytest.fixture(scope="module")
+def client(gateway):
+    return ServingClient(gateway.url)
+
+
+class TestQueryEndpoints:
+    def test_health(self, client, stack):
+        store, _, _ = stack
+        payload = client.health()
+        assert payload["status"] == "ok"
+        assert payload["nodes"] == store.n
+
+    def test_predict_pair_matches_service(self, client, stack):
+        store, _, _ = stack
+        payload = client.predict(1, 2)
+        assert payload["estimate"] == pytest.approx(
+            store.snapshot().estimate(1, 2)
+        )
+        assert payload["label"] in (-1, 1)
+
+    def test_predict_from(self, client, stack):
+        store, _, _ = stack
+        payload = client.predict_from(0, targets=[1, 2, 3])
+        assert payload["targets"] == [1, 2, 3]
+        assert payload["estimates"][0] == pytest.approx(
+            store.snapshot().estimate(0, 1)
+        )
+
+    def test_predict_from_full_row_masks_self(self, client, stack):
+        store, _, _ = stack
+        payload = client.predict_from(5)
+        assert len(payload["estimates"]) == store.n
+        assert payload["estimates"][5] is None
+
+    def test_stats_exposes_both_sides(self, client):
+        payload = client.stats()
+        assert "service" in payload and "ingest" in payload
+        assert payload["service"]["pair_queries"] >= 1
+
+    def test_version_endpoint(self, client, stack):
+        store, _, _ = stack
+        assert client.version() == store.version
+
+
+class TestErrorHandling:
+    def test_missing_parameter_is_400(self, client, gateway):
+        with pytest.raises(GatewayError) as excinfo:
+            client._request("/predict?src=0")
+        assert excinfo.value.status == 400
+
+    def test_out_of_range_is_400(self, client, stack):
+        store, _, _ = stack
+        with pytest.raises(GatewayError) as excinfo:
+            client.predict(0, store.n + 5)
+        assert excinfo.value.status == 400
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(GatewayError) as excinfo:
+            client._request("/nope")
+        assert excinfo.value.status == 404
+
+    def test_bad_ingest_body_is_400(self, client):
+        with pytest.raises(GatewayError) as excinfo:
+            client._request("/ingest", {"measurements": "nope"})
+        assert excinfo.value.status == 400
+
+    def test_non_numeric_measurement_is_400(self, client):
+        # np.asarray raises TypeError on JSON objects; the gateway must
+        # answer 400 instead of dropping the connection.
+        with pytest.raises(GatewayError) as excinfo:
+            client._request("/ingest", {"measurements": [[1, 2, {}]]})
+        assert excinfo.value.status == 400
+
+    def test_self_pair_is_400(self, client):
+        with pytest.raises(GatewayError) as excinfo:
+            client.predict(3, 3)
+        assert excinfo.value.status == 400
+
+    def test_non_json_body_is_400(self, gateway):
+        import urllib.error
+        import urllib.request
+
+        request = urllib.request.Request(
+            gateway.url + "/ingest", data=b"not json"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+
+class TestReadOnlyGateway:
+    def test_post_without_ingest_is_400(self, stack):
+        _, service, _ = stack
+        with ServingGateway(service, None, port=0) as gw:
+            client = ServingClient(gw.url)
+            with pytest.raises(GatewayError) as excinfo:
+                client.refresh()
+            assert excinfo.value.status == 400
+            assert client.health()["status"] == "ok"
+
+
+class TestOnlineLearningEndToEnd:
+    def test_streamed_measurements_change_predictions(self, client, stack):
+        """The acceptance-criteria scenario: query, stream >= 1k
+        measurements, observe the served prediction change."""
+        store, _, _ = stack
+        rng = np.random.default_rng(99)
+        n = store.n
+
+        before = client.predict(3, 7)
+        version_before = before["version"]
+
+        # 1200 measurements: hammer pair (3, 7) with bad-class labels,
+        # mixed with background traffic on random other pairs.
+        measurements = []
+        for k in range(1200):
+            if k % 2 == 0:
+                src, dst = (3, 7) if k % 4 == 0 else (7, 3)
+                measurements.append((src, dst, -1.0))
+            else:
+                src = int(rng.integers(0, n))
+                dst = int((src + 1 + rng.integers(0, n - 1)) % n)
+                value = float(rng.choice([-1.0, 1.0]))
+                measurements.append((src, dst, value))
+
+        response = client.ingest(measurements)
+        assert response["accepted"] == 1200
+        client.refresh()  # drain the buffer and publish
+
+        after = client.predict(3, 7)
+        assert after["version"] > version_before  # refresh policy fired
+        assert after["estimate"] != before["estimate"]
+        assert after["estimate"] < before["estimate"]  # pushed toward bad
+
+        ingest_stats = client.stats()["ingest"]
+        assert ingest_stats["applied"] >= 1200
+        assert ingest_stats["publishes"] >= 1
+
+    def test_cache_invalidated_by_ingest_publish(self, client):
+        first = client.predict(2, 9)
+        cached = client.predict(2, 9)
+        assert cached["cached"] is True
+        client.ingest([(2, 9, -1.0)] * 64)
+        client.refresh()
+        fresh = client.predict(2, 9)
+        assert fresh["cached"] is False
+        assert fresh["version"] > first["version"]
+
+
+class TestGatewayLifecycle:
+    def test_port_zero_picks_free_port(self, gateway):
+        assert gateway.port > 0
+        assert str(gateway.port) in gateway.url
+
+    def test_double_start_rejected(self, gateway):
+        with pytest.raises(RuntimeError):
+            gateway.start()
+
+    def test_raw_http_speaks_json(self, gateway):
+        with urlopen(gateway.url + "/health", timeout=5) as response:
+            assert response.headers["Content-Type"] == "application/json"
+            payload = json.loads(response.read().decode())
+        assert payload["status"] == "ok"

@@ -1,0 +1,191 @@
+"""Tests for the streaming ingest pipeline (repro.serving.ingest)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.measurement.classifier import ThresholdClassifier
+from repro.serving.ingest import IngestPipeline
+from repro.serving.store import CoordinateStore
+
+
+@pytest.fixture
+def engine(rtt_labels):
+    config = DMFSGDConfig(neighbors=8)
+    return DMFSGDEngine(
+        rtt_labels.shape[0], matrix_label_fn(rtt_labels), config, rng=3
+    )
+
+
+@pytest.fixture
+def store(engine):
+    return CoordinateStore(engine.coordinates)
+
+
+def make_pipeline(engine, store, **kwargs):
+    kwargs.setdefault("batch_size", 32)
+    kwargs.setdefault("refresh_interval", 64)
+    return IngestPipeline(engine, store, **kwargs)
+
+
+class TestBuffering:
+    def test_submit_buffers_until_batch(self, engine, store):
+        pipeline = make_pipeline(engine, store, batch_size=16)
+        for k in range(15):
+            pipeline.submit(0, 1 + (k % 10), 1.0)
+        assert pipeline.buffered == 15
+        assert pipeline.stats().applied == 0
+        pipeline.submit(0, 5, 1.0)  # 16th sample triggers the flush
+        assert pipeline.buffered == 0
+        assert pipeline.stats().applied == 16
+        assert engine.measurements == 16
+
+    def test_flush_forces_partial_batch(self, engine, store):
+        pipeline = make_pipeline(engine, store)
+        pipeline.submit(0, 1, 1.0)
+        assert pipeline.flush() == 1
+        assert pipeline.buffered == 0
+        assert engine.measurements == 1
+
+    def test_large_submission_flushes_in_batches(self, engine, store):
+        pipeline = make_pipeline(engine, store, batch_size=32)
+        n = engine.n
+        rng = np.random.default_rng(0)
+        sources = rng.integers(0, n, size=100)
+        targets = (sources + 1 + rng.integers(0, n - 1, size=100)) % n
+        kept = pipeline.submit_many(sources, targets, np.ones(100))
+        assert kept == 100
+        stats = pipeline.stats()
+        assert stats.batches == 3  # 96 applied, 4 left in the buffer
+        assert pipeline.buffered == 4
+
+
+class TestValidation:
+    def test_malformed_samples_dropped_not_raised(self, engine, store):
+        pipeline = make_pipeline(engine, store)
+        n = engine.n
+        kept = pipeline.submit_many(
+            np.array([0, 0, 0, -1, 0, n, 2.5]),
+            np.array([1, 2, 0, 1, n, 1, 3]),
+            np.array([1.0, np.nan, 1.0, 1.0, 1.0, 1.0, 1.0]),
+        )
+        # valid: only (0 -> 1); NaN value, self-pair, out-of-range and
+        # non-integer indices are all dropped.
+        assert kept == 1
+        stats = pipeline.stats()
+        assert stats.received == 7
+        assert stats.dropped == 6
+
+    def test_shape_mismatch_raises(self, engine, store):
+        pipeline = make_pipeline(engine, store)
+        with pytest.raises(ValueError):
+            pipeline.submit_many([0, 1], [1], [1.0])
+
+    def test_store_engine_size_mismatch(self, engine):
+        small = CoordinateStore(
+            (np.ones((3, engine.config.rank)), np.ones((3, engine.config.rank)))
+        )
+        with pytest.raises(ValueError):
+            IngestPipeline(engine, small)
+
+
+class TestRefreshPolicy:
+    def test_publishes_after_refresh_interval(self, engine, store):
+        pipeline = make_pipeline(engine, store, batch_size=32, refresh_interval=64)
+        assert store.version == 1
+        n = engine.n
+        rng = np.random.default_rng(1)
+        sources = rng.integers(0, n, size=64)
+        targets = (sources + 1) % n
+        pipeline.submit_many(sources, targets, np.ones(64))
+        assert store.version == 2
+        assert pipeline.staleness == 0
+
+    def test_staleness_tracks_unpublished_updates(self, engine, store):
+        pipeline = make_pipeline(engine, store, batch_size=8, refresh_interval=1000)
+        pipeline.submit_many(
+            np.zeros(8, dtype=int), np.arange(1, 9), np.ones(8)
+        )
+        assert pipeline.staleness == 8
+        assert store.version == 1
+
+    def test_publish_flushes_and_bumps(self, engine, store):
+        pipeline = make_pipeline(engine, store, refresh_interval=1000)
+        pipeline.submit(0, 1, 1.0)
+        version = pipeline.publish()
+        assert version == 2 == store.version
+        assert pipeline.staleness == 0
+        assert pipeline.buffered == 0
+
+    def test_published_snapshot_reflects_updates(self, engine, store):
+        pipeline = make_pipeline(engine, store, refresh_interval=1000)
+        before = store.snapshot().estimate(0, 1)
+        for _ in range(50):
+            pipeline.submit(0, 1, -1.0)
+        pipeline.publish()
+        after = store.snapshot().estimate(0, 1)
+        assert after < before  # -1 labels push the estimate down
+
+
+class TestClassifierContract:
+    def test_classify_maps_quantities_to_labels(self, rtt_dataset, store, engine):
+        tau = rtt_dataset.median()
+        pipeline = make_pipeline(
+            engine,
+            store,
+            classify=ThresholdClassifier("rtt", tau),
+            batch_size=4,
+        )
+        # feed quantities straddling tau; all four must be applied
+        pipeline.submit_many(
+            np.array([0, 0, 1, 1]),
+            np.array([1, 2, 2, 3]),
+            np.array([tau / 2, tau * 2, tau / 2, tau * 2]),
+        )
+        assert pipeline.stats().applied == 4
+
+    def test_classifier_nan_counts_as_dropped(self, engine, store):
+        pipeline = make_pipeline(
+            engine,
+            store,
+            classify=lambda values: np.full_like(values, np.nan),
+            batch_size=4,
+        )
+        pipeline.submit_many(
+            np.array([0, 0, 1, 1]),
+            np.array([1, 2, 2, 3]),
+            np.ones(4),
+        )
+        stats = pipeline.stats()
+        assert stats.applied == 0
+        assert stats.dropped == 4
+
+
+class TestTraceIngestion:
+    def test_ingest_trace(self, harvard_bundle):
+        trace = harvard_bundle.trace
+        config = DMFSGDConfig(neighbors=8)
+        engine = DMFSGDEngine(
+            trace.n_nodes, lambda r, c: np.ones(len(r)), config, rng=5
+        )
+        store = CoordinateStore(engine.coordinates)
+        tau = harvard_bundle.dataset.median()
+        pipeline = IngestPipeline(
+            engine,
+            store,
+            classify=ThresholdClassifier("rtt", tau),
+            batch_size=256,
+            refresh_interval=2000,
+        )
+        kept = pipeline.ingest_trace(trace)
+        assert kept == len(trace)
+        pipeline.flush()
+        assert pipeline.stats().applied == len(trace)
+        assert store.version > 1  # refresh policy fired along the way
+
+    def test_trace_size_mismatch(self, engine, store, harvard_bundle):
+        pipeline = make_pipeline(engine, store)
+        if harvard_bundle.trace.n_nodes != engine.n:
+            with pytest.raises(ValueError):
+                pipeline.ingest_trace(harvard_bundle.trace)

@@ -1,0 +1,163 @@
+"""Tests for the cached prediction service (repro.serving.service)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coordinates import CoordinateTable
+from repro.serving.service import PredictionService
+from repro.serving.store import CoordinateStore
+
+
+@pytest.fixture
+def table(rng):
+    return CoordinateTable(15, 4, rng)
+
+
+@pytest.fixture
+def store(table):
+    return CoordinateStore(table)
+
+
+@pytest.fixture
+def service(store):
+    return PredictionService(store, cache_size=8)
+
+
+class TestPairPrediction:
+    def test_matches_snapshot_estimate(self, service, store):
+        pred = service.predict_pair(2, 9)
+        assert pred.estimate == pytest.approx(store.snapshot().estimate(2, 9))
+        assert pred.label in (-1, 1)
+        assert pred.label == (1 if pred.estimate >= 0 else -1)
+        assert pred.version == 1
+        assert pred.cached is False
+
+    def test_repeat_query_hits_cache(self, service):
+        first = service.predict_pair(2, 9)
+        second = service.predict_pair(2, 9)
+        assert second.cached is True
+        assert second.estimate == first.estimate
+        stats = service.stats()
+        assert stats.cache_hits == 1
+        assert stats.cache_misses == 1
+
+    def test_out_of_range_rejected(self, service, store):
+        with pytest.raises(ValueError):
+            service.predict_pair(0, store.n)
+
+    def test_self_pair_rejected(self, service):
+        with pytest.raises(ValueError):
+            service.predict_pair(4, 4)
+
+    def test_nan_estimate_has_no_label(self, table):
+        table.U[:] = np.nan
+        store = CoordinateStore(table)
+        service = PredictionService(store)
+        pred = service.predict_pair(0, 1)
+        assert pred.label is None  # never a confident class for NaN
+        payload = pred.as_dict()
+        assert payload["estimate"] is None
+        assert payload["label"] is None
+
+    def test_cache_disabled(self, store):
+        service = PredictionService(store, cache_size=0)
+        service.predict_pair(1, 2)
+        second = service.predict_pair(1, 2)
+        assert second.cached is False
+        assert service.stats().cache_entries == 0
+
+    def test_as_dict_is_json_ready(self, service):
+        payload = service.predict_pair(0, 1).as_dict()
+        assert set(payload) == {
+            "source", "target", "estimate", "label", "version", "cached",
+        }
+
+
+class TestCacheInvalidation:
+    def test_snapshot_bump_invalidates(self, service, store, table):
+        before = service.predict_pair(2, 9)
+        table.U += 0.5
+        store.publish(table)
+        after = service.predict_pair(2, 9)
+        assert after.cached is False  # the bump must drop the cached entry
+        assert after.version == before.version + 1
+        assert after.estimate != before.estimate
+        assert service.stats().invalidations == 1
+
+    def test_stale_value_never_served(self, service, store, table):
+        service.predict_pair(2, 9)
+        table.U[:] = 0.0
+        store.publish(table)
+        assert service.predict_pair(2, 9).estimate == 0.0
+
+    def test_eviction_bounds_cache(self, store):
+        service = PredictionService(store, cache_size=4)
+        for j in range(1, 10):
+            service.predict_pair(0, j)
+        stats = service.stats()
+        assert stats.cache_entries <= 4
+        assert stats.cache_evictions >= 5
+
+    def test_stale_snapshot_does_not_wipe_newer_cache(self, service, store, table):
+        stale = store.snapshot()
+        table.U += 0.5
+        store.publish(table)
+        service.predict_pair(0, 1)  # rolls the epoch forward and caches
+        assert service.stats().cache_entries == 1
+        # a straggler request still holding the old snapshot bypasses
+        # the cache instead of rolling the epoch backwards
+        with service._lock:
+            assert service._cache_get(stale, (0, 1)) is None
+        assert service.stats().cache_entries == 1
+        assert service.predict_pair(0, 1).cached is True
+
+    def test_clear_cache(self, service):
+        service.predict_pair(0, 1)
+        service.clear_cache()
+        assert service.stats().cache_entries == 0
+        assert service.predict_pair(0, 1).cached is False
+
+
+class TestVectorizedPaths:
+    def test_one_to_all_matches_pairwise(self, service, store):
+        row = service.predict_from(4)
+        snap = store.snapshot()
+        assert np.isnan(row.estimates[4])
+        for j in range(snap.n):
+            if j != 4:
+                assert row.estimates[j] == pytest.approx(snap.estimate(4, j))
+        labels = row.labels()
+        finite = np.isfinite(row.estimates)
+        assert set(np.unique(labels[finite])) <= {-1.0, 1.0}
+
+    def test_targets_subset(self, service, store):
+        targets = np.array([1, 3, 5])
+        row = service.predict_from(4, targets)
+        np.testing.assert_array_equal(row.targets, targets)
+        assert row.estimates.shape == (3,)
+
+    def test_self_target_in_subset_is_masked(self, service):
+        row = service.predict_from(4, np.array([3, 4, 5]))
+        assert np.isnan(row.estimates[1])
+        assert np.isfinite(row.estimates[0])
+        assert row.as_dict()["estimates"][1] is None
+
+    def test_row_as_dict_nan_becomes_none(self, service):
+        payload = service.predict_from(4).as_dict()
+        assert payload["estimates"][4] is None
+        assert payload["labels"][4] is None
+
+    def test_full_matrix(self, service, store):
+        np.testing.assert_allclose(
+            service.predict_matrix(),
+            store.snapshot().estimate_matrix(),
+        )
+
+    def test_query_counters(self, service):
+        service.predict_pair(0, 1)
+        service.predict_from(0)
+        service.predict_matrix()
+        stats = service.stats()
+        assert stats.pair_queries == 1
+        assert stats.row_queries == 1
+        assert stats.matrix_queries == 1

@@ -1,0 +1,127 @@
+"""Tests for the versioned coordinate store (repro.serving.store)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coordinates import CoordinateTable
+from repro.serving.store import CoordinateSnapshot, CoordinateStore
+
+
+@pytest.fixture
+def table(rng):
+    return CoordinateTable(12, 4, rng)
+
+
+class TestSnapshot:
+    def test_arrays_are_read_only_copies(self, table):
+        snap = CoordinateSnapshot(1, table.U, table.V)
+        with pytest.raises(ValueError):
+            snap.U[0, 0] = 99.0
+        table.U[0, 0] = 123.0  # mutating the source must not leak in
+        assert snap.U[0, 0] != 123.0
+
+    def test_attributes_are_frozen(self, table):
+        snap = CoordinateSnapshot(1, table.U, table.V)
+        with pytest.raises(AttributeError):
+            snap.version = 2
+
+    def test_shape_mismatch_rejected(self, table):
+        with pytest.raises(ValueError):
+            CoordinateSnapshot(1, table.U, table.V[:-1])
+
+    def test_estimates_match_table(self, table):
+        snap = CoordinateSnapshot(1, table.U, table.V)
+        assert snap.estimate(2, 7) == pytest.approx(table.estimate(2, 7))
+        np.testing.assert_allclose(
+            snap.estimate_matrix(),
+            table.estimate_matrix(),
+        )
+
+    def test_estimate_row_matches_pairwise(self, table):
+        snap = CoordinateSnapshot(1, table.U, table.V)
+        row = snap.estimate_row(3)
+        assert np.isnan(row[3])
+        for j in range(table.n):
+            if j != 3:
+                assert row[j] == pytest.approx(table.estimate(3, j))
+
+    def test_estimate_row_with_targets(self, table):
+        snap = CoordinateSnapshot(1, table.U, table.V)
+        targets = np.array([0, 5, 9])
+        np.testing.assert_allclose(
+            snap.estimate_row(3, targets),
+            [table.estimate(3, t) for t in targets],
+        )
+
+    def test_estimate_row_rejects_bad_targets(self, table):
+        snap = CoordinateSnapshot(1, table.U, table.V)
+        with pytest.raises(ValueError):
+            snap.estimate_row(0, np.array([0, table.n]))
+
+    def test_as_table_is_mutable_copy(self, table):
+        snap = CoordinateSnapshot(1, table.U, table.V)
+        clone = snap.as_table()
+        clone.U[0, 0] = 7.0  # must not raise, must not touch snapshot
+        assert snap.U[0, 0] != 7.0
+
+
+class TestStore:
+    def test_publish_bumps_version(self, table):
+        store = CoordinateStore(table)
+        assert store.version == 1
+        store.publish(table)
+        assert store.version == 2
+
+    def test_snapshot_isolation_across_publish(self, table):
+        store = CoordinateStore(table)
+        before = store.snapshot()
+        table.U += 1.0
+        store.publish(table)
+        after = store.snapshot()
+        assert after.version == before.version + 1
+        # copy-on-write: the old snapshot still serves the old model
+        np.testing.assert_allclose(after.U, before.U + 1.0)
+
+    def test_publish_rejects_shape_change(self, table):
+        store = CoordinateStore(table)
+        with pytest.raises(ValueError):
+            store.publish((table.U[:-1], table.V[:-1]))
+
+    def test_accepts_array_pair(self, table):
+        store = CoordinateStore((table.U, table.V))
+        assert store.n == table.n
+
+    def test_version_must_be_positive(self, table):
+        with pytest.raises(ValueError):
+            CoordinateStore(table, version=0)
+
+    def test_checkpoint_round_trip_identical_predictions(self, table, tmp_path):
+        store = CoordinateStore(table)
+        store.publish(table)  # version 2
+        path = tmp_path / "model.npz"
+        store.save(path)
+        restored = CoordinateStore.load(path)
+        assert restored.version == store.version
+        np.testing.assert_array_equal(
+            restored.snapshot().estimate_matrix(),
+            store.snapshot().estimate_matrix(),
+        )
+        assert restored.snapshot().estimate(1, 2) == store.snapshot().estimate(1, 2)
+
+    def test_round_trip_without_npz_suffix(self, table, tmp_path):
+        # np.savez appends .npz on save; load must mirror that so the
+        # path handed to save() always loads back.
+        store = CoordinateStore(table)
+        path = tmp_path / "model"  # no suffix
+        store.save(path)
+        restored = CoordinateStore.load(path)
+        assert restored.version == store.version
+        np.testing.assert_allclose(restored.snapshot().U, store.snapshot().U)
+
+    def test_load_plain_coordinate_table_npz(self, table, tmp_path):
+        # CoordinateTable.save checkpoints lack a version field; default to 1.
+        path = tmp_path / "plain.npz"
+        table.save(path)
+        restored = CoordinateStore.load(path)
+        assert restored.version == 1
+        np.testing.assert_allclose(restored.snapshot().U, table.U)

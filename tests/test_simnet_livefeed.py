@@ -1,0 +1,142 @@
+"""Tests for the live traffic drivers (repro.simnet.livefeed)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.evaluation import auc_score
+from repro.measurement.classifier import ThresholdClassifier
+from repro.serving.ingest import IngestPipeline
+from repro.serving.store import CoordinateStore
+from repro.simnet.livefeed import LiveFeedDriver, replay_trace
+
+
+class _RecordingSink:
+    """Collects everything submitted, for traffic-shape assertions."""
+
+    def __init__(self):
+        self.sources = []
+        self.targets = []
+        self.values = []
+
+    def submit_many(self, sources, targets, values):
+        self.sources.extend(np.asarray(sources, dtype=int).tolist())
+        self.targets.extend(np.asarray(targets, dtype=int).tolist())
+        self.values.extend(np.asarray(values, dtype=float).tolist())
+        return len(self.values)
+
+
+class TestLiveFeedDriver:
+    def test_round_feeds_one_probe_per_node(self, rtt_dataset):
+        sink = _RecordingSink()
+        driver = LiveFeedDriver(
+            rtt_dataset.quantities, sink, neighbors=5, rng=3
+        )
+        fed = driver.step_round()
+        assert fed == len(sink.values)
+        assert fed <= rtt_dataset.n
+        # every sample is a (node -> one of its neighbors) probe
+        neighbor_sets = driver.neighbor_sets
+        for src, dst in zip(sink.sources, sink.targets):
+            assert dst in neighbor_sets[src]
+
+    def test_values_come_from_ground_truth(self, rtt_dataset):
+        sink = _RecordingSink()
+        driver = LiveFeedDriver(
+            rtt_dataset.quantities, sink, neighbors=5, jitter=0.0, rng=3
+        )
+        driver.run(3)
+        for src, dst, value in zip(sink.sources, sink.targets, sink.values):
+            assert value == pytest.approx(rtt_dataset.quantities[src, dst])
+
+    def test_jitter_perturbs_values(self, rtt_dataset):
+        sink = _RecordingSink()
+        driver = LiveFeedDriver(
+            rtt_dataset.quantities, sink, neighbors=5, jitter=0.3, rng=3
+        )
+        driver.run(2)
+        exact = [
+            value == rtt_dataset.quantities[src, dst]
+            for src, dst, value in zip(sink.sources, sink.targets, sink.values)
+        ]
+        assert not all(exact)
+
+    def test_loss_rate_drops_probes(self, rtt_dataset):
+        sink = _RecordingSink()
+        driver = LiveFeedDriver(
+            rtt_dataset.quantities, sink, neighbors=5, loss_rate=0.5, rng=3
+        )
+        fed = driver.run(10)
+        assert fed == driver.samples_fed == len(sink.values)
+        assert fed < 10 * rtt_dataset.n * 0.8  # far fewer than lossless
+
+    def test_rejects_bad_args(self, rtt_dataset):
+        sink = _RecordingSink()
+        with pytest.raises(ValueError):
+            LiveFeedDriver(rtt_dataset.quantities, sink, jitter=-1.0)
+        driver = LiveFeedDriver(rtt_dataset.quantities, sink, rng=0)
+        with pytest.raises(ValueError):
+            driver.run(0)
+        with pytest.raises(ValueError):
+            LiveFeedDriver(
+                rtt_dataset.quantities,
+                sink,
+                neighbor_sets=np.zeros((3, 2), dtype=int),
+            )
+
+    def test_drives_serving_model_to_accuracy(self, rtt_dataset, rtt_labels):
+        """The closed loop: simulated traffic -> ingest -> good AUC."""
+        n = rtt_dataset.n
+        tau = rtt_dataset.median()
+        config = DMFSGDConfig(neighbors=8)
+        engine = DMFSGDEngine(
+            n, matrix_label_fn(rtt_labels), config, rng=21
+        )
+        store = CoordinateStore(engine.coordinates)
+        pipeline = IngestPipeline(
+            engine,
+            store,
+            classify=ThresholdClassifier("rtt", tau),
+            batch_size=n,
+            refresh_interval=5 * n,
+        )
+        auc_untrained = auc_score(
+            rtt_labels, store.snapshot().estimate_matrix()
+        )
+        driver = LiveFeedDriver(
+            rtt_dataset.quantities,
+            pipeline,
+            neighbor_sets=engine.neighbor_sets,
+            jitter=0.1,
+            rng=22,
+        )
+        driver.run(rounds=240)
+        pipeline.publish()
+        auc_trained = auc_score(
+            rtt_labels, store.snapshot().estimate_matrix()
+        )
+        assert store.version > 2  # refresh policy fired during the run
+        assert auc_trained > auc_untrained
+        assert auc_trained > 0.85
+
+
+class TestReplayTrace:
+    def test_feeds_whole_trace_in_order(self, harvard_bundle):
+        sink = _RecordingSink()
+        fed = replay_trace(harvard_bundle.trace, sink, batch_size=512)
+        assert fed == len(harvard_bundle.trace)
+        np.testing.assert_array_equal(
+            sink.sources, harvard_bundle.trace.sources
+        )
+        np.testing.assert_array_equal(
+            sink.values, harvard_bundle.trace.values
+        )
+
+    def test_max_samples_cap(self, harvard_bundle):
+        sink = _RecordingSink()
+        fed = replay_trace(
+            harvard_bundle.trace, sink, batch_size=300, max_samples=1000
+        )
+        assert fed == 1000
+        assert len(sink.values) == 1000
