@@ -199,6 +199,69 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="load factors from a CoordinateStore .npz instead of training",
     )
+    serve.add_argument(
+        "--raw-ingest",
+        action="store_true",
+        help="disable the admission guard (seed-faithful ingest: every "
+        "duplicate counted, no clip/rate-limit/outlier rejection)",
+    )
+    serve.add_argument(
+        "--step-clip",
+        type=float,
+        default=None,
+        metavar="NORM",
+        help="per-pair L2 bound on each SGD coordinate step",
+    )
+    serve.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="PER_SEC",
+        help="per-source token-bucket rate limit (measurements/second)",
+    )
+    serve.add_argument(
+        "--rate-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="token-bucket capacity (default max(32, rate))",
+    )
+    serve.add_argument(
+        "--outlier-sigma",
+        type=float,
+        default=None,
+        metavar="SIGMA",
+        help="reject measured quantities beyond SIGMA robust stddevs",
+    )
+    serve.add_argument(
+        "--reject-band",
+        type=float,
+        default=None,
+        metavar="DELTA",
+        help="shed quantities within tau +- DELTA (the Section 6.3 "
+        "near-threshold ambiguity band) at admission",
+    )
+    serve.add_argument(
+        "--eval-window",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="sliding-window size of the online AUC evaluator in /stats "
+        "(0 disables)",
+    )
+    serve.add_argument(
+        "--save-checkpoint",
+        default=None,
+        metavar="PATH",
+        help="periodically checkpoint the store to this .npz while serving",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="background checkpoint interval (with --save-checkpoint)",
+    )
     serve.add_argument("--seed", type=int, default=20111206)
 
     report = commands.add_parser(
@@ -312,6 +375,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         refresh_interval=args.refresh_every,
         checkpoint=args.checkpoint,
+        mode="raw" if args.raw_ingest else "guarded",
+        step_clip=args.step_clip,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        outlier_sigma=args.outlier_sigma,
+        reject_band=args.reject_band,
+        eval_window=args.eval_window,
+        save_checkpoint=args.save_checkpoint,
+        checkpoint_every=args.checkpoint_every,
     )
     print(f"serving on {gateway.url}", file=sys.stderr)
     print(

@@ -26,6 +26,7 @@ __all__ = [
     "NodeCoordinates",
     "CoordinateTable",
     "row_estimate",
+    "pairs_estimate",
     "matrix_estimate",
     "resolve_npz_path",
 ]
@@ -72,6 +73,30 @@ def row_estimate(
     if fill_self is not None:
         row[i] = fill_self
     return row
+
+
+def pairs_estimate(
+    U: np.ndarray, V: np.ndarray, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Vectorized estimates for aligned index arrays (one gather).
+
+    Shared by :meth:`CoordinateTable.estimate_pairs` and the serving
+    layer's immutable snapshots (the ``POST /estimate/batch`` hot
+    path), so validation stays identical everywhere.
+    """
+    rows = np.asarray(rows, dtype=int)
+    cols = np.asarray(cols, dtype=int)
+    if rows.shape != cols.shape or rows.ndim != 1:
+        raise ValueError(
+            "rows and cols must be matching 1-D arrays, got "
+            f"{rows.shape} and {cols.shape}"
+        )
+    n = U.shape[0]
+    if rows.size and (
+        rows.min() < 0 or cols.min() < 0 or rows.max() >= n or cols.max() >= n
+    ):
+        raise ValueError("node indices out of range")
+    return np.einsum("ij,ij->i", U[rows], V[cols])
 
 
 def matrix_estimate(
@@ -196,9 +221,7 @@ class CoordinateTable:
 
     def estimate_pairs(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
         """Vectorized estimates for index arrays ``rows``/``cols``."""
-        rows = np.asarray(rows, dtype=int)
-        cols = np.asarray(cols, dtype=int)
-        return np.einsum("ij,ij->i", self.U[rows], self.V[cols])
+        return pairs_estimate(self.U, self.V, rows, cols)
 
     def estimate_row(
         self,

@@ -33,10 +33,60 @@ from repro.simnet.neighbors import sample_neighbor_sets
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_square_matrix
 
-__all__ = ["DMFSGDEngine", "TrainResult", "matrix_label_fn"]
+__all__ = ["DMFSGDEngine", "TrainResult", "matrix_label_fn", "dedup_pairs"]
 
 LabelFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 Evaluator = Callable[[CoordinateTable], Dict[str, float]]
+
+
+def dedup_pairs(
+    rows: np.ndarray, cols: np.ndarray, values: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, int]":
+    """Merge duplicate ``(row, col)`` pairs into one averaged sample.
+
+    Within one mini-batch every update reads batch-start coordinates
+    (the asynchrony model), so ``m`` copies of the same pair multiply
+    that pair's SGD step by ``m`` — hammering one pair can diverge its
+    estimate.  Averaging the copies keeps exactly the information the
+    batch carries (the pair's mean measured value) while restoring a
+    single step per pair.
+
+    Returns ``(rows, cols, values, merged)`` where ``merged`` counts
+    the samples folded into another of the same pair.  Means are taken
+    over the finite samples of each pair; a pair whose every sample is
+    NaN stays NaN (and is later skipped like any failed probe).
+    """
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    values = np.asarray(values, dtype=float)
+    pairs = np.stack([rows, cols], axis=1)
+    unique, inverse = np.unique(pairs, axis=0, return_inverse=True)
+    merged = int(rows.size - unique.shape[0])
+    if merged == 0:
+        return rows, cols, values, 0
+    finite = np.isfinite(values)
+    sums = np.bincount(
+        inverse,
+        weights=np.where(finite, values, 0.0),
+        minlength=unique.shape[0],
+    )
+    counts = np.bincount(
+        inverse, weights=finite.astype(float), minlength=unique.shape[0]
+    )
+    means = np.full(unique.shape[0], np.nan)
+    observed = counts > 0
+    means[observed] = sums[observed] / counts[observed]
+    return unique[:, 0], unique[:, 1], means, merged
+
+
+def _clip_rows(delta: np.ndarray, limit: float) -> "tuple[np.ndarray, int]":
+    """Scale rows of ``delta`` whose L2 norm exceeds ``limit``."""
+    norms = np.sqrt(np.einsum("ij,ij->i", delta, delta))
+    over = norms > limit
+    clipped = int(over.sum())
+    if clipped:
+        delta[over] *= (limit / norms[over])[:, None]
+    return delta, clipped
 
 
 def matrix_label_fn(class_matrix: np.ndarray) -> LabelFn:
@@ -166,6 +216,7 @@ class DMFSGDEngine:
         self.neighbor_sets = neighbor_sets
         self.measurements = 0
         self.rounds_done = 0
+        self.steps_clipped = 0
         self.lr_schedule = lr_schedule
         if probe_strategy not in ("random", "uncertain"):
             raise ValueError(
@@ -189,7 +240,13 @@ class DMFSGDEngine:
             eta *= float(self.lr_schedule(self.rounds_done))
         return eta
 
-    def _apply_rtt(self, rows: np.ndarray, cols: np.ndarray, x: np.ndarray) -> None:
+    def _apply_rtt(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        x: np.ndarray,
+        step_clip: Optional[float] = None,
+    ) -> None:
         """Symmetric updates (eqs. 9-10): prober i updates u_i and v_i.
 
         Increments are accumulated with scatter-add so repeated probers
@@ -203,10 +260,20 @@ class DMFSGDEngine:
         u_j, v_j = U[cols], V[cols]
         delta_u = -eta * (self._loss.grad_u(x, u_i, v_j) + lam * u_i)
         delta_v = -eta * (self._loss.grad_v(x, u_j, v_i) + lam * v_i)
+        if step_clip is not None:
+            delta_u, clipped_u = _clip_rows(delta_u, step_clip)
+            delta_v, clipped_v = _clip_rows(delta_v, step_clip)
+            self.steps_clipped += clipped_u + clipped_v
         np.add.at(U, rows, delta_u)
         np.add.at(V, rows, delta_v)
 
-    def _apply_abw(self, rows: np.ndarray, cols: np.ndarray, x: np.ndarray) -> None:
+    def _apply_abw(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        x: np.ndarray,
+        step_clip: Optional[float] = None,
+    ) -> None:
         """Asymmetric updates (eqs. 12-13): prober updates u_i, target v_j."""
         eta = self._effective_eta()
         lam = self.config.regularization
@@ -214,18 +281,28 @@ class DMFSGDEngine:
         u_i, v_j = U[rows], V[cols]
         delta_u = -eta * (self._loss.grad_u(x, u_i, v_j) + lam * u_i)
         delta_v = -eta * (self._loss.grad_v(x, u_i, v_j) + lam * v_j)
+        if step_clip is not None:
+            delta_u, clipped_u = _clip_rows(delta_u, step_clip)
+            delta_v, clipped_v = _clip_rows(delta_v, step_clip)
+            self.steps_clipped += clipped_u + clipped_v
         np.add.at(U, rows, delta_u)
         np.add.at(V, cols, delta_v)
 
-    def _apply(self, rows: np.ndarray, cols: np.ndarray, x: np.ndarray) -> int:
+    def _apply(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        x: np.ndarray,
+        step_clip: Optional[float] = None,
+    ) -> int:
         valid = np.isfinite(x)
         if not valid.any():
             return 0
         rows, cols, x = rows[valid], cols[valid], x[valid]
         if self.metric.symmetric:
-            self._apply_rtt(rows, cols, x)
+            self._apply_rtt(rows, cols, x, step_clip)
         else:
-            self._apply_abw(rows, cols, x)
+            self._apply_abw(rows, cols, x, step_clip)
         return int(valid.sum())
 
     def apply_measurements(
@@ -233,6 +310,9 @@ class DMFSGDEngine:
         rows: np.ndarray,
         cols: np.ndarray,
         values: np.ndarray,
+        *,
+        dedup: bool = False,
+        step_clip: Optional[float] = None,
     ) -> int:
         """Apply one externally supplied mini-batch of measurements.
 
@@ -244,6 +324,24 @@ class DMFSGDEngine:
         raw quantities for the L2 variant) for arbitrary pairs.  NaN
         values are skipped, the batch counts as one schedule step, and
         the number of consumed measurements is returned.
+
+        Parameters
+        ----------
+        dedup:
+            Merge duplicate pairs into one averaged sample before
+            applying (see :func:`dedup_pairs`): within a batch every
+            duplicate reads batch-start coordinates, so ``m`` copies of
+            a pair otherwise multiply its step by ``m`` and can diverge
+            the estimate.  Off by default — trace replay counts every
+            sample (fidelity mode).  Note the mean is taken over the
+            *training values*; class-mode callers who want a clean
+            {+1, -1} label should average raw quantities before
+            classifying instead (as the ingest pipeline does).
+        step_clip:
+            Optional per-pair step bound: each sample's coordinate
+            increment is clipped to this L2 norm (counted in
+            :attr:`steps_clipped`).  ``None`` (default) preserves the
+            unclipped update rule.
         """
         rows = np.asarray(rows, dtype=int)
         cols = np.asarray(cols, dtype=int)
@@ -264,7 +362,11 @@ class DMFSGDEngine:
             raise ValueError("node indices out of range")
         if np.any(rows == cols):
             raise ValueError("self-measurements are undefined")
-        used = self._apply(rows, cols, values)
+        if step_clip is not None and step_clip <= 0:
+            raise ValueError(f"step_clip must be positive, got {step_clip}")
+        if dedup:
+            rows, cols, values, _ = dedup_pairs(rows, cols, values)
+        used = self._apply(rows, cols, values, step_clip)
         self.measurements += used
         self.rounds_done += 1  # one schedule step per batch
         return used

@@ -8,11 +8,16 @@ demand while fresh measurements keep improving the model:
 * :mod:`repro.serving.store` — :class:`CoordinateStore`, versioned
   copy-on-write snapshots of the factors with save/load checkpointing;
 * :mod:`repro.serving.service` — :class:`PredictionService`,
-  single-pair / one-to-many / full-batch prediction with a bounded,
-  version-keyed LRU cache;
+  single-pair / one-to-many / many-pair / full-batch prediction with a
+  bounded, version-keyed LRU cache;
 * :mod:`repro.serving.ingest` — :class:`IngestPipeline`, streaming
   measurements applied as incremental mini-batch SGD with a
-  staleness-bounded refresh policy;
+  staleness-bounded refresh policy and a guarded (dedup + step-clip)
+  default mode that keeps hot pairs from diverging the model;
+* :mod:`repro.serving.guard` — the admission-control layer:
+  :class:`AdmissionGuard` (per-source rate limiting + outlier
+  rejection), :class:`OnlineEvaluator` (sliding-window drift metrics
+  in ``/stats``) and :class:`BackgroundCheckpointer`;
 * :mod:`repro.serving.gateway` — :class:`ServingGateway`, a
   stdlib-only JSON/HTTP frontend (``repro serve``);
 * :mod:`repro.serving.client` — :class:`ServingClient`, the matching
@@ -27,15 +32,26 @@ Quick start::
     with build_gateway("meridian", nodes=120, port=0) as gateway:
         client = ServingClient(gateway.url)
         print(client.predict(3, 17))         # {'estimate': ..., 'label': 1, ...}
+        print(client.estimate_batch([(3, 17), (4, 9)]))  # one gather
         client.ingest([(3, 17, 250.0)] * 64) # stream new measurements
         client.refresh()                     # publish -> new version
+        print(client.stats()["guard"])       # admission-control activity
 """
 
 from repro.serving.app import build_gateway
 from repro.serving.client import GatewayError, ServingClient
 from repro.serving.gateway import ServingGateway
+from repro.serving.guard import (
+    AdmissionGuard,
+    BackgroundCheckpointer,
+    NoiseBandFilter,
+    OnlineEvaluator,
+    RobustSigmaFilter,
+    TokenBucketRateLimiter,
+)
 from repro.serving.ingest import IngestPipeline, IngestStats
 from repro.serving.service import (
+    BatchPrediction,
     PairPrediction,
     PredictionService,
     RowPrediction,
@@ -48,8 +64,15 @@ __all__ = [
     "GatewayError",
     "ServingClient",
     "ServingGateway",
+    "AdmissionGuard",
+    "BackgroundCheckpointer",
+    "NoiseBandFilter",
+    "OnlineEvaluator",
+    "RobustSigmaFilter",
+    "TokenBucketRateLimiter",
     "IngestPipeline",
     "IngestStats",
+    "BatchPrediction",
     "PairPrediction",
     "PredictionService",
     "RowPrediction",

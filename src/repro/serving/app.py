@@ -1,9 +1,9 @@
 """Assembly of a complete serving stack from a dataset name.
 
 ``repro serve`` (and the examples) need the whole chain — dataset,
-pre-trained engine, store, service, ingest, gateway — wired
-consistently; :func:`build_gateway` is that one-stop constructor.  The
-returned gateway is not yet started, so callers choose between
+pre-trained engine, store, service, ingest + admission guard, gateway —
+wired consistently; :func:`build_gateway` is that one-stop constructor.
+The returned gateway is not yet started, so callers choose between
 :meth:`~repro.serving.gateway.ServingGateway.start` (background thread,
 tests/examples) and
 :meth:`~repro.serving.gateway.ServingGateway.serve_forever` (blocking,
@@ -18,6 +18,14 @@ from repro.core.config import DMFSGDConfig
 from repro.core.engine import DMFSGDEngine, matrix_label_fn
 from repro.measurement.classifier import ThresholdClassifier
 from repro.serving.gateway import ServingGateway
+from repro.serving.guard import (
+    AdmissionGuard,
+    BackgroundCheckpointer,
+    NoiseBandFilter,
+    OnlineEvaluator,
+    RobustSigmaFilter,
+    TokenBucketRateLimiter,
+)
 from repro.serving.ingest import IngestPipeline
 from repro.serving.service import PredictionService
 from repro.serving.store import CoordinateStore
@@ -38,6 +46,15 @@ def build_gateway(
     batch_size: int = 256,
     refresh_interval: int = 1000,
     checkpoint: Optional[str] = None,
+    mode: str = "guarded",
+    step_clip: Optional[float] = None,
+    rate_limit: Optional[float] = None,
+    rate_burst: Optional[float] = None,
+    outlier_sigma: Optional[float] = None,
+    reject_band: Optional[float] = None,
+    eval_window: int = 2000,
+    save_checkpoint: Optional[str] = None,
+    checkpoint_every: float = 60.0,
     verbose: bool = False,
 ) -> ServingGateway:
     """Pre-train a model on a synthetic dataset and wrap it for serving.
@@ -60,8 +77,56 @@ def build_gateway(
         checkpoint; when given, the factors are loaded instead of
         pre-trained (the dataset still provides the classifier's
         ``tau`` and the ingest dimensions).
+    mode:
+        Ingest mode: ``"guarded"`` (default; within-batch dedup + the
+        admission layer below) or ``"raw"`` (seed-faithful, disables
+        guard options).
+    step_clip:
+        Per-pair coordinate-step L2 bound for guarded ingest.
+    rate_limit, rate_burst:
+        Per-source token-bucket admission (tokens/second and bucket
+        capacity); omitted = no rate limiting.
+    outlier_sigma:
+        Sigma-rule streaming outlier rejection on measured quantities;
+        omitted = no outlier filter.
+    reject_band:
+        Half-width of the ambiguity band around the classifier's
+        ``tau`` to shed at admission (the Section 6.3
+        :class:`~repro.measurement.errors.FlipNearThreshold` model as
+        a rejection filter: quantities within ``tau +- reject_band``
+        are where measurement tools misclassify); omitted = no band
+        filter.
+    eval_window:
+        Sliding window of the online (class-mode) evaluator surfaced
+        in ``/stats``; 0 disables online evaluation.
+    save_checkpoint:
+        Optional ``.npz`` path for periodic background checkpointing
+        of the store (every ``checkpoint_every`` seconds while the
+        gateway runs).
     """
     from repro.experiments.common import PAPER_NEIGHBORS, get_dataset
+
+    if mode == "raw":
+        # surface the pipeline's raw-mode contract here instead of
+        # silently serving without the protections the flags promised
+        conflicting = {
+            "step_clip": step_clip,
+            "rate_limit": rate_limit,
+            "rate_burst": rate_burst,
+            "outlier_sigma": outlier_sigma,
+            "reject_band": reject_band,
+        }
+        given = [name for name, value in conflicting.items() if value is not None]
+        if given:
+            raise ValueError(
+                f"mode='raw' is the unguarded fidelity mode: {', '.join(given)} "
+                "would be ignored; drop the flag(s) or use mode='guarded'"
+            )
+    if rate_burst is not None and rate_limit is None:
+        raise ValueError(
+            "rate_burst sizes the token bucket that rate_limit creates; "
+            "it would be ignored without rate_limit"
+        )
 
     data = get_dataset(dataset, n_hosts=nodes, seed=seed)
     tau = (
@@ -92,6 +157,31 @@ def build_gateway(
             engine.run(rounds=rounds)
         store = CoordinateStore(engine.coordinates)
 
+    guard = None
+    if rate_limit is not None or outlier_sigma is not None or reject_band is not None:
+        limiter = None
+        if rate_limit is not None:
+            limiter = TokenBucketRateLimiter(
+                rate_limit,
+                rate_burst if rate_burst is not None else max(32.0, rate_limit),
+            )
+        filters = []
+        if outlier_sigma is not None:
+            filters.append(RobustSigmaFilter(outlier_sigma))
+        if reject_band is not None:
+            from repro.measurement.errors import FlipNearThreshold
+
+            filters.append(NoiseBandFilter(FlipNearThreshold(tau, reject_band)))
+        guard = AdmissionGuard(rate_limiter=limiter, filters=filters)
+    evaluator = (
+        OnlineEvaluator("class", window=eval_window) if eval_window else None
+    )
+    checkpointer = (
+        BackgroundCheckpointer(store, save_checkpoint, interval=checkpoint_every)
+        if save_checkpoint is not None
+        else None
+    )
+
     service = PredictionService(store, cache_size=cache_size)
     ingest = IngestPipeline(
         engine,
@@ -99,7 +189,16 @@ def build_gateway(
         classify=ThresholdClassifier(data.metric, tau),
         batch_size=batch_size,
         refresh_interval=refresh_interval,
+        mode=mode,
+        step_clip=step_clip,
+        guard=guard,
+        evaluator=evaluator,
     )
     return ServingGateway(
-        service, ingest, host=host, port=port, verbose=verbose
+        service,
+        ingest,
+        checkpointer=checkpointer,
+        host=host,
+        port=port,
+        verbose=verbose,
     )

@@ -98,6 +98,13 @@ class ServingClient:
             path += f"&targets={joined}"
         return self._request(path)
 
+    def estimate_batch(
+        self, pairs: Sequence[Tuple[int, int]]
+    ) -> Dict:
+        """POST /estimate/batch — many-pair estimates in one gather."""
+        payload = {"pairs": [[int(s), int(t)] for s, t in pairs]}
+        return self._request("/estimate/batch", payload)
+
     def ingest(
         self, measurements: Sequence[Tuple[int, int, float]]
     ) -> Dict:

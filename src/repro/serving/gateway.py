@@ -14,12 +14,20 @@ method    path                     meaning
 ========  =======================  =======================================
 GET       ``/health``              liveness + model vitals
 GET       ``/version``             served snapshot version
-GET       ``/stats``               service + ingest counters
+GET       ``/stats``               service + ingest + guard + online-eval
 GET       ``/predict``             ``?src=i&dst=j`` single-pair prediction
 GET       ``/predict_from``        ``?src=i[&targets=j,k,...]`` one-to-many
+POST      ``/estimate/batch``      ``{"pairs": [[src, dst], ...]}`` vectorized
 POST      ``/ingest``              ``{"measurements": [[src, dst, value], ...]}``
 POST      ``/refresh``             force flush + publish (new version)
 ========  =======================  =======================================
+
+``/stats`` of a writable gateway carries, beyond the ``service`` and
+``ingest`` counter sections, a ``guard`` section (ingest mode,
+dedup/clip activity, per-reason admission rejections), an
+``online_eval`` section (the sliding-window drift metric) when the
+pipeline has an evaluator, and a ``checkpoint`` section when a
+background checkpointer is attached.
 
 Use :class:`ServingGateway` programmatically (``start()`` /
 ``stop()``, or as a context manager — port 0 picks a free port, which
@@ -37,6 +45,7 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from repro.serving.guard import BackgroundCheckpointer
 from repro.serving.ingest import IngestPipeline
 from repro.serving.service import PredictionService
 
@@ -116,9 +125,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json({"version": service.store.version})
             elif url.path == "/stats":
                 payload = {"service": service.stats().as_dict()}
-                if self.server.ingest is not None:
-                    payload["ingest"] = self.server.ingest.stats().as_dict()
-                    payload["ingest"]["buffered"] = self.server.ingest.buffered
+                ingest = self.server.ingest
+                if ingest is not None:
+                    # one atomic snapshot: ingest + guard counters agree
+                    payload.update(ingest.stats_payload())
+                    if ingest.evaluator is not None:
+                        payload["online_eval"] = ingest.evaluator.evaluate()
+                if self.server.checkpointer is not None:
+                    payload["checkpoint"] = self.server.checkpointer.as_dict()
                 self._send_json(payload)
             elif url.path == "/predict":
                 src = _get_int(params, "src")
@@ -148,7 +162,32 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         ingest = self.server.ingest
         try:
-            if url.path == "/ingest":
+            if url.path == "/estimate/batch":
+                # a read path despite the POST verb (the pair list does
+                # not fit a query string); works on read-only gateways
+                payload = self._read_body()
+                pairs = payload.get("pairs")
+                if not isinstance(pairs, list):
+                    raise _BadRequest('body must contain a "pairs" list')
+                for entry in pairs:
+                    if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                        raise _BadRequest("each pair must be [source, target]")
+                if pairs:
+                    array = np.asarray(pairs, dtype=float)
+                    if not np.all(
+                        np.isfinite(array) & (array == np.floor(array))
+                    ):
+                        raise _BadRequest("pair indices must be integers")
+                    sources = array[:, 0].astype(int)
+                    targets = array[:, 1].astype(int)
+                else:
+                    sources = np.array([], dtype=int)
+                    targets = np.array([], dtype=int)
+                prediction = self.server.service.predict_pairs(
+                    sources, targets
+                )
+                self._send_json(prediction.as_dict())
+            elif url.path == "/ingest":
                 if ingest is None:
                     self._send_error_json(400, "gateway is read-only")
                     return
@@ -163,7 +202,16 @@ class _Handler(BaseHTTPRequestHandler):
                             "each measurement must be [source, target, value]"
                         )
                     triples.append(entry)
-                if triples:
+                if len(triples) == 1:
+                    # the scalar fast path: single-measurement posts
+                    # skip the array round-trip entirely (None -> NaN,
+                    # matching np.asarray's coercion on the batch path)
+                    src, dst, value = (
+                        float("nan") if entry is None else float(entry)
+                        for entry in triples[0]
+                    )
+                    kept = int(ingest.submit(src, dst, value))
+                elif triples:
                     array = np.asarray(triples, dtype=float)
                     kept = ingest.submit_many(
                         array[:, 0], array[:, 1], array[:, 2]
@@ -201,11 +249,13 @@ class _ServingHTTPServer(ThreadingHTTPServer):
         address: Tuple[str, int],
         service: PredictionService,
         ingest: Optional[IngestPipeline],
+        checkpointer: Optional[BackgroundCheckpointer],
         verbose: bool,
     ) -> None:
         super().__init__(address, _Handler)
         self.service = service
         self.ingest = ingest
+        self.checkpointer = checkpointer
         self.verbose = verbose
 
 
@@ -217,8 +267,12 @@ class ServingGateway:
     service:
         Query frontend.
     ingest:
-        Write path; omit for a read-only gateway (POST endpoints then
-        return 400).
+        Write path; omit for a read-only gateway (the ingest/refresh
+        POST endpoints then return 400; ``/estimate/batch`` still
+        works).
+    checkpointer:
+        Optional :class:`~repro.serving.guard.BackgroundCheckpointer`;
+        its thread lives exactly as long as the gateway serves.
     host, port:
         Bind address; ``port=0`` lets the OS pick a free port (read it
         back from :attr:`port` / :attr:`url`).
@@ -231,13 +285,17 @@ class ServingGateway:
         service: PredictionService,
         ingest: Optional[IngestPipeline] = None,
         *,
+        checkpointer: Optional[BackgroundCheckpointer] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
     ) -> None:
         self.service = service
         self.ingest = ingest
-        self._server = _ServingHTTPServer((host, port), service, ingest, verbose)
+        self.checkpointer = checkpointer
+        self._server = _ServingHTTPServer(
+            (host, port), service, ingest, checkpointer, verbose
+        )
         self._thread: Optional[threading.Thread] = None
         self._activated = False
 
@@ -259,6 +317,8 @@ class ServingGateway:
         if self._thread is not None:
             raise RuntimeError("gateway already started")
         self._activated = True
+        if self.checkpointer is not None:
+            self.checkpointer.start()
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name="repro-serving-gateway",
@@ -270,6 +330,8 @@ class ServingGateway:
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI's blocking mode)."""
         self._activated = True
+        if self.checkpointer is not None:
+            self.checkpointer.start()
         self._server.serve_forever()
 
     def stop(self) -> None:
@@ -280,6 +342,8 @@ class ServingGateway:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self.checkpointer is not None and self._activated:
+            self.checkpointer.stop()
         self._server.server_close()
 
     def __enter__(self) -> "ServingGateway":

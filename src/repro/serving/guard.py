@@ -1,0 +1,552 @@
+"""Admission control for the serving ingest path.
+
+A production ingest endpoint cannot trust its traffic: one application
+hammering a single pair multiplies the within-batch SGD step by its
+duplicate count (the engine's asynchrony model reads batch-start
+coordinates, so every duplicate contributes a full step) and can
+diverge that pair's estimate; a broken measurement tool can feed gross
+outliers; and a silent model drift is invisible without an online
+metric.  This module is the guard layer that sits between
+:meth:`~repro.serving.ingest.IngestPipeline.submit` and the engine:
+
+* :class:`TokenBucketRateLimiter` — per-source token buckets, so no
+  single source can dominate the update stream;
+* :class:`RobustSigmaFilter` — streaming sigma-rule outlier rejection
+  on the measured values (Welford running moments);
+* :class:`NoiseBandFilter` — turns the paper's Section 6.3 error
+  models (:mod:`repro.measurement.errors`) into *admission* filters:
+  the band of quantities a model declares unreliable is rejected at
+  the door instead of corrupting the factors;
+* :class:`AdmissionGuard` — composes limiter + filters and keeps the
+  per-reason rejection breakdown served by ``GET /stats``;
+* :class:`OnlineEvaluator` — sliding-window prequential ("test, then
+  train") evaluation: AUC via :mod:`repro.evaluation.roc` for class
+  mode, relative-error quantiles for the L2/quantity mode, so drift
+  is observable from ``/stats``;
+* :class:`BackgroundCheckpointer` — periodic background
+  :meth:`~repro.serving.store.CoordinateStore.save` so a crash loses
+  at most one interval of updates.
+
+The batch-level half of the guard — per-pair dedup/averaging and the
+per-pair step clip — lives in
+:meth:`~repro.core.engine.DMFSGDEngine.apply_measurements` and is
+selected by the pipeline's ``mode="guarded"``; this module covers the
+per-sample admission decisions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.measurement.errors import (
+    FlipNearThreshold,
+    LabelNoiseModel,
+    UnderestimationBias,
+)
+
+__all__ = [
+    "TokenBucketRateLimiter",
+    "RobustSigmaFilter",
+    "NoiseBandFilter",
+    "AdmissionGuard",
+    "OnlineEvaluator",
+    "BackgroundCheckpointer",
+]
+
+
+class TokenBucketRateLimiter:
+    """Per-source token buckets bounding each source's update share.
+
+    Every source owns a bucket of capacity ``burst`` refilled at
+    ``rate`` tokens per second; a measurement is admitted iff its
+    source has a token left.  Within one batch the *earliest* samples
+    of a source win — later duplicates are the ones shed, matching the
+    arrival order an HTTP gateway sees.
+
+    Parameters
+    ----------
+    rate:
+        Sustained tokens (measurements) per second per source.
+    burst:
+        Bucket capacity: how many measurements a silent source may
+        submit at once.
+    clock:
+        Monotonic-seconds callable, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 32.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: Dict[int, List[float]] = {}  # source -> [tokens, last]
+
+    def _tokens(self, source: int, now: float) -> List[float]:
+        bucket = self._buckets.get(source)
+        if bucket is None:
+            bucket = self._buckets[source] = [self.burst, now]
+        else:
+            bucket[0] = min(self.burst, bucket[0] + (now - bucket[1]) * self.rate)
+            bucket[1] = now
+        return bucket
+
+    def allow_one(self, source: int) -> bool:
+        """Admit (and charge) a single measurement from ``source``."""
+        bucket = self._tokens(int(source), self._clock())
+        if bucket[0] >= 1.0:
+            bucket[0] -= 1.0
+            return True
+        return False
+
+    def allow(self, sources: np.ndarray) -> np.ndarray:
+        """Boolean admission mask for a batch of source indices."""
+        sources = np.asarray(sources, dtype=int)
+        keep = np.zeros(sources.size, dtype=bool)
+        if sources.size == 0:
+            return keep
+        now = self._clock()
+        order = np.argsort(sources, kind="stable")
+        sorted_sources = sources[order]
+        boundaries = np.flatnonzero(np.diff(sorted_sources)) + 1
+        for group in np.split(order, boundaries):
+            bucket = self._tokens(int(sources[group[0]]), now)
+            take = min(len(group), int(bucket[0]))
+            if take:
+                bucket[0] -= take
+                keep[group[:take]] = True
+        return keep
+
+
+class RobustSigmaFilter:
+    """Streaming sigma-rule outlier rejection on measured values.
+
+    Estimates what normal traffic looks like from a sliding window of
+    the *admitted* values using the median and the MAD (median absolute
+    deviation, scaled by 1.4826 to be a standard-deviation equivalent
+    for Gaussian data), and rejects a value further than ``sigma``
+    scale units from the median.  Median/MAD — unlike running mean and
+    variance — survive the contamination this filter exists to stop:
+    a gross spike slipping in during warm-up shifts the estimates by
+    at most one rank, instead of poisoning a lifetime variance and
+    silently disabling the filter.  Until ``min_samples`` values have
+    been seen the filter admits everything — there is no distribution
+    to defend yet; a window with zero spread (MAD 0) likewise admits
+    everything, since only admitted values re-enter the window and a
+    degenerate window must be able to adapt.
+    """
+
+    name = "outlier"
+
+    def __init__(
+        self, sigma: float = 4.0, min_samples: int = 30, window: int = 1000
+    ) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples}")
+        if window < min_samples:
+            raise ValueError(
+                f"window must be >= min_samples, got {window} < {min_samples}"
+            )
+        self.sigma = float(sigma)
+        self.min_samples = int(min_samples)
+        self._window: deque = deque(maxlen=int(window))
+        self._count = 0
+        self._cached: Optional["tuple[float, float]"] = None
+        self._since_refresh = 0
+
+    @property
+    def count(self) -> int:
+        """Total values absorbed into the window over the lifetime."""
+        return self._count
+
+    #: absorptions between median/MAD recomputations (the threshold
+    #: drifts slowly; recomputing per scalar submit would be O(window))
+    _REFRESH_EVERY = 32
+
+    def _threshold(self) -> "tuple[float, float]":
+        """Current (median, rejection radius); radius 0 disables."""
+        if len(self._window) < self.min_samples:
+            return 0.0, 0.0
+        if self._cached is None or self._since_refresh >= self._REFRESH_EVERY:
+            values = np.array(self._window)
+            median = float(np.median(values))
+            scale = 1.4826 * float(np.median(np.abs(values - median)))
+            self._cached = (median, self.sigma * scale)
+            self._since_refresh = 0
+        return self._cached
+
+    def _absorb(self, values: np.ndarray) -> None:
+        self._window.extend(values.tolist())
+        self._count += int(values.size)
+        self._since_refresh += int(values.size)
+
+    def keep(self, values: np.ndarray) -> np.ndarray:
+        """Boolean admission mask; admitted values enter the window."""
+        values = np.asarray(values, dtype=float)
+        median, radius = self._threshold()
+        if radius > 0:
+            mask = np.abs(values - median) <= radius
+        else:
+            mask = np.ones(values.shape, dtype=bool)
+        self._absorb(values[mask])
+        return mask
+
+    def keep_one(self, value: float) -> bool:
+        """Scalar fast path of :meth:`keep` (no array round-trip)."""
+        value = float(value)
+        median, radius = self._threshold()
+        if radius > 0 and abs(value - median) > radius:
+            return False
+        self._window.append(value)
+        self._count += 1
+        self._since_refresh += 1
+        return True
+
+
+class NoiseBandFilter:
+    """Reject measurements inside a noise model's ambiguity band.
+
+    The paper's Section 6.3 error models describe *where* measured
+    labels go wrong: :class:`~repro.measurement.errors.FlipNearThreshold`
+    says quantities within ``[tau - delta, tau + delta]`` may carry
+    flipped labels (tool inaccuracy near the threshold), and
+    :class:`~repro.measurement.errors.UnderestimationBias` says
+    quantities in ``[tau, tau + delta]`` are systematically mislabeled
+    bad.  Online, the same knowledge makes a *rejection filter*: a
+    quantity inside the model's band is not trustworthy evidence, so
+    the guard sheds it instead of training on it.
+
+    Only the band-parameterized models (types 1 and 2) are supported;
+    the random-flip models (types 3 and 4) carry no quantity band.
+    """
+
+    name = "noise_band"
+
+    def __init__(self, model: LabelNoiseModel) -> None:
+        if isinstance(model, FlipNearThreshold):
+            self.low = model.tau - model.delta
+            self.high = model.tau + model.delta
+        elif isinstance(model, UnderestimationBias):
+            self.low = model.tau
+            self.high = model.tau + model.delta
+        else:
+            raise ValueError(
+                f"{type(model).__name__} has no quantity band; only error "
+                "types 1 (FlipNearThreshold) and 2 (UnderestimationBias) "
+                "define one"
+            )
+        self.model = model
+
+    def keep(self, values: np.ndarray) -> np.ndarray:
+        """Boolean admission mask: True outside the ambiguity band."""
+        values = np.asarray(values, dtype=float)
+        return ~((values >= self.low) & (values <= self.high))
+
+    def keep_one(self, value: float) -> bool:
+        """Scalar fast path of :meth:`keep`."""
+        return not (self.low <= float(value) <= self.high)
+
+
+class AdmissionGuard:
+    """Composition of rate limiting and value filters with counters.
+
+    The guard is stateful but lock-free: :class:`IngestPipeline` calls
+    it under its own lock, so no second lock is needed.
+
+    Parameters
+    ----------
+    rate_limiter:
+        Optional :class:`TokenBucketRateLimiter`.
+    filters:
+        Value filters applied in order; each needs ``keep(values)``,
+        ``keep_one(value)`` and a ``name`` used in the per-reason
+        rejection breakdown.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate_limiter: Optional[TokenBucketRateLimiter] = None,
+        filters: Sequence[object] = (),
+    ) -> None:
+        self.rate_limiter = rate_limiter
+        self.filters = list(filters)
+        names = [getattr(f, "name", type(f).__name__) for f in self.filters]
+        if len(set(names)) != len(names):
+            raise ValueError(f"filter names must be unique, got {names}")
+        self.received = 0
+        self.admitted = 0
+        self.rejected: Dict[str, int] = {"rate_limit": 0}
+        for name in names:
+            self.rejected[name] = 0
+
+    @property
+    def rejected_total(self) -> int:
+        """Measurements rejected across all reasons."""
+        return sum(self.rejected.values())
+
+    def admit(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        values: np.ndarray,
+    ) -> np.ndarray:
+        """Boolean admission mask over an aligned measurement batch."""
+        values = np.asarray(values, dtype=float)
+        self.received += int(values.size)
+        keep = np.ones(values.size, dtype=bool)
+        if self.rate_limiter is not None:
+            allowed = self.rate_limiter.allow(sources)
+            self.rejected["rate_limit"] += int(np.sum(keep & ~allowed))
+            keep &= allowed
+        for flt in self.filters:
+            name = getattr(flt, "name", type(flt).__name__)
+            # only still-admitted values reach (and train) each filter
+            passed = np.asarray(flt.keep(values[keep]), dtype=bool)
+            rejected_here = int(passed.size - passed.sum())
+            if rejected_here:
+                self.rejected[name] += rejected_here
+                admitted_idx = np.flatnonzero(keep)
+                keep[admitted_idx[~passed]] = False
+        self.admitted += int(keep.sum())
+        return keep
+
+    def admit_one(self, source: int, target: int, value: float) -> bool:
+        """Scalar fast path of :meth:`admit` (the gateway's hot path)."""
+        self.received += 1
+        if self.rate_limiter is not None and not self.rate_limiter.allow_one(
+            source
+        ):
+            self.rejected["rate_limit"] += 1
+            return False
+        for flt in self.filters:
+            if not flt.keep_one(value):
+                self.rejected[getattr(flt, "name", type(flt).__name__)] += 1
+                return False
+        self.admitted += 1
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready counters with the per-reason breakdown."""
+        return {
+            "received": self.received,
+            "admitted": self.admitted,
+            "rejected_total": self.rejected_total,
+            "rejected": dict(self.rejected),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdmissionGuard(rate_limiter={self.rate_limiter is not None}, "
+            f"filters={len(self.filters)}, rejected={self.rejected_total})"
+        )
+
+
+class OnlineEvaluator:
+    """Sliding-window prequential evaluation of the served model.
+
+    Before a batch is applied, the pipeline asks the *current* model
+    to predict each admitted pair and records (prediction, measured
+    training value) — test, then train, so every sample scores a model
+    that has never seen it.  The window makes drift observable from
+    ``GET /stats``:
+
+    * ``mode="class"`` — training values are {+1, -1} labels; the
+      window metric is the AUC of the real-valued estimates against
+      them (:func:`repro.evaluation.roc.auc_score`), ``None`` until
+      both classes are present;
+    * ``mode="l2"`` — training values are raw quantities; the window
+      metric is the p50/p90/p99 of the relative error
+      ``|estimate - value| / max(|value|, eps)``.
+    """
+
+    def __init__(self, mode: str = "class", *, window: int = 2000) -> None:
+        if mode not in ("class", "l2"):
+            raise ValueError(f"mode must be 'class' or 'l2', got {mode!r}")
+        if window <= 1:
+            raise ValueError(f"window must be > 1, got {window}")
+        self.mode = mode
+        self.window = int(window)
+        self._estimates: deque = deque(maxlen=self.window)
+        self._truth: deque = deque(maxlen=self.window)
+        self.observed = 0
+        # observe() runs on ingest threads, evaluate() on gateway /stats
+        # threads; the lock keeps the paired deques consistent.
+        self._lock = threading.Lock()
+
+    def observe(self, estimates: np.ndarray, values: np.ndarray) -> None:
+        """Record pre-update predictions against measured values."""
+        estimates = np.asarray(estimates, dtype=float).ravel()
+        values = np.asarray(values, dtype=float).ravel()
+        if estimates.shape != values.shape:
+            raise ValueError(
+                f"estimates and values must match, got {estimates.shape} "
+                f"vs {values.shape}"
+            )
+        finite = np.isfinite(estimates) & np.isfinite(values)
+        with self._lock:
+            self._estimates.extend(estimates[finite].tolist())
+            self._truth.extend(values[finite].tolist())
+            self.observed += int(finite.sum())
+
+    def evaluate(self) -> Dict[str, object]:
+        """JSON-ready window metrics (the ``online_eval`` stats section)."""
+        with self._lock:
+            truth = np.array(self._truth)
+            estimates = np.array(self._estimates)
+            observed = self.observed
+        payload: Dict[str, object] = {
+            "mode": self.mode,
+            "window": self.window,
+            "samples": int(truth.size),
+            "observed": observed,
+        }
+        if truth.size == 0:
+            # stable schema either way: every metric key present, null
+            if self.mode == "class":
+                payload["auc"] = None
+            else:
+                payload["rel_err_p50"] = None
+                payload["rel_err_p90"] = None
+                payload["rel_err_p99"] = None
+            return payload
+        if self.mode == "class":
+            labels = np.where(truth > 0, 1.0, -1.0)
+            if (labels == 1.0).any() and (labels == -1.0).any():
+                from repro.evaluation.roc import auc_score
+
+                payload["auc"] = float(auc_score(labels, estimates))
+            else:
+                payload["auc"] = None  # one-class window: AUC undefined
+        else:
+            rel = np.abs(estimates - truth) / np.maximum(np.abs(truth), 1e-12)
+            payload["rel_err_p50"] = float(np.quantile(rel, 0.50))
+            payload["rel_err_p90"] = float(np.quantile(rel, 0.90))
+            payload["rel_err_p99"] = float(np.quantile(rel, 0.99))
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OnlineEvaluator(mode={self.mode!r}, window={self.window}, "
+            f"samples={len(self._truth)})"
+        )
+
+
+class BackgroundCheckpointer:
+    """Periodic background checkpointing of a :class:`CoordinateStore`.
+
+    A daemon thread saves the store every ``interval`` seconds — but
+    only when the published version advanced, so an idle service does
+    not rewrite an identical file.  ``start()``/``stop()`` (or the
+    context manager) bound the thread's lifetime;
+    :meth:`checkpoint_now` forces a synchronous save.
+
+    Parameters
+    ----------
+    store:
+        The store to checkpoint (its ``save``/``load`` round-trips the
+        factors and version).
+    path:
+        Destination ``.npz`` path, overwritten on every save.
+    interval:
+        Seconds between background save attempts.
+    """
+
+    def __init__(self, store, path, *, interval: float = 60.0) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.store = store
+        self.path = path
+        self.interval = float(interval)
+        self.written = 0
+        self.failures = 0
+        self.last_error: Optional[str] = None
+        self.last_version = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def checkpoint_now(self, *, force: bool = False) -> bool:
+        """Save immediately; skipped (False) when the version is stale.
+
+        A failed save (bad path, full disk) never raises and never
+        kills the background thread: it is counted in :attr:`failures`
+        with the message kept in :attr:`last_error`, both visible in
+        ``/stats`` so a silently-dead checkpoint cannot go unnoticed.
+        """
+        version = self.store.version
+        if not force and version == self.last_version:
+            return False
+        try:
+            self.store.save(self.path)
+        except OSError as exc:
+            self.failures += 1
+            self.last_error = str(exc)
+            return False
+        self.written += 1
+        self.last_version = version
+        self.last_error = None
+        return True
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.checkpoint_now()
+
+    def start(self) -> "BackgroundCheckpointer":
+        """Start the background thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("checkpointer already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-checkpointer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, *, final_checkpoint: bool = True) -> None:
+        """Stop the thread; writes a last checkpoint by default."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_checkpoint:
+            self.checkpoint_now()
+
+    def __enter__(self) -> "BackgroundCheckpointer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready state (the ``checkpoint`` stats section)."""
+        import os
+
+        return {
+            "path": os.fspath(self.path),
+            "interval": self.interval,
+            "written": self.written,
+            "failures": self.failures,
+            "last_error": self.last_error,
+            "last_version": self.last_version,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BackgroundCheckpointer(path={self.path!r}, "
+            f"interval={self.interval}, written={self.written})"
+        )

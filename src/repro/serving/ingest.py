@@ -10,11 +10,14 @@ service component:
    in arrays (:meth:`IngestPipeline.submit_many`) or as a whole
    :class:`~repro.datasets.trace.MeasurementTrace`
    (:meth:`IngestPipeline.ingest_trace`);
-2. they are buffered into mini-batches and applied to the training
-   engine with :meth:`~repro.core.engine.DMFSGDEngine.apply_measurements`
-   — the same eqs. 9-13 SGD updates as offline training, so online
-   serving needs no second learning rule;
-3. a **refresh policy** bounds staleness: once ``refresh_interval``
+2. an optional :class:`~repro.serving.guard.AdmissionGuard` sheds
+   rate-limited and outlier traffic at the door;
+3. admitted measurements are buffered into mini-batches and applied to
+   the training engine with
+   :meth:`~repro.core.engine.DMFSGDEngine.apply_measurements` — the
+   same eqs. 9-13 SGD updates as offline training, so online serving
+   needs no second learning rule;
+4. a **refresh policy** bounds staleness: once ``refresh_interval``
    measurements have been applied since the last publish, the updated
    factors are pushed to the :class:`~repro.serving.store.CoordinateStore`,
    bumping the version (which invalidates the service's cache).
@@ -23,18 +26,35 @@ Raw measured quantities are mapped to training values by ``classify``
 (the engine's ``label_fn`` value contract): a
 :class:`~repro.measurement.classifier.ThresholdClassifier` for
 class-based serving, or the identity for the L2/quantity variant.
+
+Consistency-model caveat (and the hot-pair bug it causes)
+---------------------------------------------------------
+Within one mini-batch every update reads **batch-start** coordinates —
+the engine's asynchrony model, faithful to in-flight messages carrying
+slightly stale coordinates.  The corollary: ``m`` copies of the same
+pair inside one batch each contribute a *full* SGD step, multiplying
+that pair's effective step by ``m``.  A source hammering one pair can
+therefore diverge its estimate (observed live: 1200 measurements of
+one pair pushed ``|x_hat|`` towards 1e10).  ``mode="guarded"`` (the
+default) closes this hole by averaging duplicate pairs within each
+batch before applying, optionally clipping each pair's coordinate step
+to ``step_clip``; ``mode="raw"`` preserves the seed behavior exactly —
+every sample counted, no clip — for trace-replay fidelity.
 """
 
 from __future__ import annotations
 
+import math
 import threading
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.core.engine import DMFSGDEngine
+from repro.core.engine import DMFSGDEngine, dedup_pairs
 from repro.datasets.trace import MeasurementTrace
+from repro.serving.guard import AdmissionGuard, OnlineEvaluator
 from repro.serving.store import CoordinateStore
 
 __all__ = ["IngestStats", "IngestPipeline"]
@@ -44,17 +64,38 @@ Classifier = Callable[[np.ndarray], np.ndarray]
 
 @dataclass
 class IngestStats:
-    """Cumulative ingestion counters."""
+    """Cumulative ingestion counters.
+
+    ``dropped_invalid`` counts validation drops (NaN values, bad
+    indices, self-pairs) and ``dropped_nan`` counts classifier-emitted
+    NaN training values — split so ``/stats`` can tell malformed
+    traffic from near-threshold quantities the classifier refuses to
+    label.  ``rejected_guard`` counts admission-control rejections
+    (see the guard's own breakdown for reasons), ``deduped`` the
+    duplicate samples merged within batches, and ``clipped`` the
+    coordinate steps bounded by the step clip.
+    """
 
     received: int = 0
     applied: int = 0
-    dropped: int = 0
+    deduped: int = 0
+    clipped: int = 0
+    rejected_guard: int = 0
+    dropped_invalid: int = 0
+    dropped_nan: int = 0
     batches: int = 0
     publishes: int = 0
     since_publish: int = 0
 
+    @property
+    def dropped(self) -> int:
+        """Total drops (validation + classifier), the pre-split counter."""
+        return self.dropped_invalid + self.dropped_nan
+
     def as_dict(self) -> Dict[str, int]:
-        return dict(self.__dict__)
+        payload = dict(self.__dict__)
+        payload["dropped"] = self.dropped
+        return payload
 
 
 class IngestPipeline:
@@ -78,6 +119,22 @@ class IngestPipeline:
         Publish after this many *applied* measurements (staleness
         bound).  Measurements still in the buffer are not yet applied;
         call :meth:`flush` or :meth:`publish` to force them out.
+    mode:
+        ``"guarded"`` (default) averages duplicate pairs within each
+        batch and applies ``step_clip`` — one hot pair cannot multiply
+        its SGD step by its duplicate count.  ``"raw"`` reproduces the
+        unguarded behavior sample for sample (trace-replay fidelity);
+        it rejects ``guard``/``step_clip`` to keep fidelity unambiguous.
+    step_clip:
+        Optional per-pair L2 bound on each coordinate step (guarded
+        mode only); ``None`` disables clipping.
+    guard:
+        Optional :class:`~repro.serving.guard.AdmissionGuard` applying
+        rate limiting and outlier rejection before buffering.
+    evaluator:
+        Optional :class:`~repro.serving.guard.OnlineEvaluator` fed
+        test-then-train samples: each admitted batch is predicted by
+        the current model *before* it is applied.
     """
 
     def __init__(
@@ -88,6 +145,10 @@ class IngestPipeline:
         classify: Optional[Classifier] = None,
         batch_size: int = 256,
         refresh_interval: int = 1000,
+        mode: str = "guarded",
+        step_clip: Optional[float] = None,
+        guard: Optional[AdmissionGuard] = None,
+        evaluator: Optional[OnlineEvaluator] = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -99,11 +160,24 @@ class IngestPipeline:
             raise ValueError(
                 f"store has {store.n} nodes, engine has {engine.n}"
             )
+        if mode not in ("guarded", "raw"):
+            raise ValueError(f"mode must be 'guarded' or 'raw', got {mode!r}")
+        if mode == "raw" and (guard is not None or step_clip is not None):
+            raise ValueError(
+                "mode='raw' is the fidelity mode: it cannot combine with "
+                "guard or step_clip"
+            )
+        if step_clip is not None and step_clip <= 0:
+            raise ValueError(f"step_clip must be positive, got {step_clip}")
         self.engine = engine
         self.store = store
         self.classify = classify or (lambda values: values)
         self.batch_size = int(batch_size)
         self.refresh_interval = int(refresh_interval)
+        self.mode = mode
+        self.step_clip = None if step_clip is None else float(step_clip)
+        self.guard = guard
+        self.evaluator = evaluator
         self._lock = threading.RLock()
         self._sources: List[int] = []
         self._targets: List[int] = []
@@ -114,9 +188,46 @@ class IngestPipeline:
     # submission
     # ------------------------------------------------------------------
 
-    def submit(self, source: int, target: int, value: float) -> None:
-        """Accept one measurement (flushes when a batch fills up)."""
-        self.submit_many([source], [target], [value])
+    def submit(self, source: int, target: int, value: float) -> bool:
+        """Accept one measurement (flushes when a batch fills up).
+
+        This is the gateway's hot path, so it validates the scalars
+        directly instead of paying :meth:`submit_many`'s array
+        round-trip per sample.  Returns whether the sample was kept.
+        """
+        source_f, target_f, value = float(source), float(target), float(value)
+        n = self.engine.n
+        src = dst = -1
+        valid = (
+            math.isfinite(value)
+            and math.isfinite(source_f)
+            and math.isfinite(target_f)
+        )
+        if valid:
+            src, dst = int(source_f), int(target_f)
+            valid = (
+                src == source_f
+                and dst == target_f
+                and 0 <= src < n
+                and 0 <= dst < n
+                and src != dst
+            )
+        with self._lock:
+            self._stats.received += 1
+            if not valid:
+                self._stats.dropped_invalid += 1
+                return False
+            if self.guard is not None and not self.guard.admit_one(
+                src, dst, value
+            ):
+                self._stats.rejected_guard += 1
+                return False
+            self._sources.append(src)
+            self._targets.append(dst)
+            self._values.append(value)
+            if len(self._values) >= self.batch_size:
+                self._flush_one_batch()
+        return True
 
     def submit_many(
         self,
@@ -128,7 +239,10 @@ class IngestPipeline:
 
         Invalid samples — NaN values, out-of-range indices,
         self-measurements — are dropped and counted, never raised:
-        a serving endpoint must survive malformed traffic.
+        a serving endpoint must survive malformed traffic.  Samples the
+        admission guard rejects (rate limit, outliers) are likewise
+        counted, not raised; the returned count is what actually
+        entered the buffer.
         """
         sources = np.asarray(sources, dtype=float)
         targets = np.asarray(targets, dtype=float)
@@ -154,11 +268,19 @@ class IngestPipeline:
         kept = int(keep.sum())
         with self._lock:
             self._stats.received += int(values.size)
-            self._stats.dropped += int(values.size) - kept
+            self._stats.dropped_invalid += int(values.size) - kept
             if kept:
-                self._sources.extend(int(s) for s in sources[keep])
-                self._targets.extend(int(t) for t in targets[keep])
-                self._values.extend(float(v) for v in values[keep])
+                src = sources[keep].astype(int)
+                dst = targets[keep].astype(int)
+                vals = values[keep]
+                if self.guard is not None:
+                    admitted = self.guard.admit(src, dst, vals)
+                    self._stats.rejected_guard += kept - int(admitted.sum())
+                    src, dst, vals = src[admitted], dst[admitted], vals[admitted]
+                    kept = int(admitted.sum())
+                self._sources.extend(src.tolist())
+                self._targets.extend(dst.tolist())
+                self._values.extend(vals.tolist())
                 while len(self._values) >= self.batch_size:
                     self._flush_one_batch()
         return kept
@@ -166,10 +288,25 @@ class IngestPipeline:
     def ingest_trace(
         self, trace: MeasurementTrace, *, batch_size: Optional[int] = None
     ) -> int:
-        """Stream a whole trace through the pipeline in time order."""
+        """Stream a whole trace through the pipeline in time order.
+
+        Replay experiments usually want sample-for-sample fidelity;
+        a guarded pipeline averages within-batch duplicate pairs, so
+        replaying through one warns (mechanically, not as tribal
+        knowledge) that the replay will not match the raw stream.
+        """
         if trace.n_nodes != self.engine.n:
             raise ValueError(
                 f"trace has {trace.n_nodes} nodes, engine has {self.engine.n}"
+            )
+        if self.mode != "raw":
+            warnings.warn(
+                "ingest_trace through a guarded pipeline averages "
+                "within-batch duplicate pairs; construct "
+                "IngestPipeline(mode='raw') for sample-for-sample "
+                "replay fidelity",
+                RuntimeWarning,
+                stacklevel=2,
             )
         kept = 0
         for batch in trace.batches(batch_size or self.batch_size):
@@ -189,10 +326,31 @@ class IngestPipeline:
         targets = np.array(self._targets[:take], dtype=int)
         values = np.array(self._values[:take], dtype=float)
         del self._sources[:take], self._targets[:take], self._values[:take]
+        if self.mode == "guarded":
+            # average duplicates on the *raw* quantities, then classify:
+            # classifying the mean yields a clean training value, while a
+            # mean of +/-1 labels would not.
+            sources, targets, values, merged = dedup_pairs(
+                sources, targets, values
+            )
+            self._stats.deduped += merged
         training_values = np.asarray(self.classify(values), dtype=float)
-        used = self.engine.apply_measurements(sources, targets, training_values)
+        if self.evaluator is not None:
+            finite = np.isfinite(training_values)
+            if finite.any():
+                # test-then-train: score the model as it was *before*
+                # this batch updates it
+                estimates = self.engine.coordinates.estimate_pairs(
+                    sources[finite], targets[finite]
+                )
+                self.evaluator.observe(estimates, training_values[finite])
+        clipped_before = self.engine.steps_clipped
+        used = self.engine.apply_measurements(
+            sources, targets, training_values, step_clip=self.step_clip
+        )
+        self._stats.clipped += self.engine.steps_clipped - clipped_before
         self._stats.applied += used
-        self._stats.dropped += take - used  # classify may emit NaN
+        self._stats.dropped_nan += int(sources.size) - used  # classify NaN
         self._stats.batches += 1
         self._stats.since_publish += used
         if self._stats.since_publish >= self.refresh_interval:
@@ -238,10 +396,41 @@ class IngestPipeline:
     def stats(self) -> IngestStats:
         """A point-in-time copy of the counters."""
         with self._lock:
-            return IngestStats(**self._stats.as_dict())
+            return replace(self._stats)
+
+    def _guard_info_locked(self) -> Dict[str, object]:
+        info: Dict[str, object] = {
+            "mode": self.mode,
+            "step_clip": self.step_clip,
+            "deduped": self._stats.deduped,
+            "clipped": self._stats.clipped,
+            "rejected_total": self._stats.rejected_guard,
+        }
+        if self.guard is not None:
+            info["admission"] = self.guard.as_dict()
+        return info
+
+    def guard_info(self) -> Dict[str, object]:
+        """JSON-ready guard state (the ``guard`` section of ``/stats``).
+
+        Always present for a writable gateway — mode and dedup/clip
+        activity are pipeline-level — with the admission breakdown
+        nested under ``"admission"`` when a guard is attached.
+        """
+        with self._lock:
+            return self._guard_info_locked()
+
+    def stats_payload(self) -> Dict[str, Dict[str, object]]:
+        """The ``ingest`` + ``guard`` sections of ``/stats`` as one
+        atomic snapshot, so their counters are mutually consistent even
+        while traffic flushes concurrently."""
+        with self._lock:
+            ingest = self._stats.as_dict()
+            ingest["buffered"] = len(self._values)
+            return {"ingest": ingest, "guard": self._guard_info_locked()}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"IngestPipeline(n={self.engine.n}, batch_size={self.batch_size}, "
-            f"refresh_interval={self.refresh_interval})"
+            f"refresh_interval={self.refresh_interval}, mode={self.mode!r})"
         )

@@ -37,7 +37,13 @@ import numpy as np
 
 from repro.serving.store import CoordinateSnapshot, CoordinateStore
 
-__all__ = ["PairPrediction", "RowPrediction", "ServiceStats", "PredictionService"]
+__all__ = [
+    "PairPrediction",
+    "RowPrediction",
+    "BatchPrediction",
+    "ServiceStats",
+    "PredictionService",
+]
 
 
 def classify_score(estimate: float) -> Optional[int]:
@@ -52,6 +58,22 @@ def classify_score(estimate: float) -> Optional[int]:
     if not np.isfinite(estimate):
         return None
     return -1 if estimate < 0 else 1
+
+
+def _classify_scores(estimates: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`classify_score` (NaN slots stay NaN)."""
+    labels = np.where(estimates < 0, -1.0, 1.0)
+    return np.where(np.isfinite(estimates), labels, np.nan)
+
+
+def _json_floats(values: np.ndarray) -> list:
+    """Finite floats, NaN -> None (bare NaN is not valid JSON)."""
+    return [float(v) if np.isfinite(v) else None for v in values]
+
+
+def _json_labels(labels: np.ndarray) -> list:
+    """Finite labels as ints, NaN -> None."""
+    return [int(l) if np.isfinite(l) else None for l in labels]
 
 
 @dataclass(frozen=True)
@@ -93,22 +115,39 @@ class RowPrediction:
 
     def labels(self) -> np.ndarray:
         """{+1, -1} classes of the estimates (NaN slots stay NaN)."""
-        labels = np.where(self.estimates < 0, -1.0, 1.0)
-        return np.where(np.isfinite(self.estimates), labels, np.nan)
+        return _classify_scores(self.estimates)
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready representation (NaN estimates become None)."""
-        estimates = [
-            float(e) if np.isfinite(e) else None for e in self.estimates
-        ]
-        labels = [
-            int(l) if np.isfinite(l) else None for l in self.labels()
-        ]
         return {
             "source": self.source,
             "targets": [int(t) for t in self.targets],
-            "estimates": estimates,
-            "labels": labels,
+            "estimates": _json_floats(self.estimates),
+            "labels": _json_labels(self.labels()),
+            "version": self.version,
+        }
+
+
+@dataclass(frozen=True)
+class BatchPrediction:
+    """Answer to a many-pair query (pairs aligned with estimates)."""
+
+    sources: np.ndarray
+    targets: np.ndarray
+    estimates: np.ndarray
+    version: int
+
+    def labels(self) -> np.ndarray:
+        """{+1, -1} classes of the estimates (NaN slots stay NaN)."""
+        return _classify_scores(self.estimates)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (NaN estimates become None)."""
+        return {
+            "sources": [int(s) for s in self.sources],
+            "targets": [int(t) for t in self.targets],
+            "estimates": _json_floats(self.estimates),
+            "labels": _json_labels(self.labels()),
             "version": self.version,
         }
 
@@ -119,6 +158,8 @@ class ServiceStats:
 
     pair_queries: int = 0
     row_queries: int = 0
+    batch_queries: int = 0
+    batch_pairs: int = 0
     matrix_queries: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -266,6 +307,32 @@ class PredictionService:
             estimates = np.where(targets == int(source), np.nan, estimates)
         return RowPrediction(
             source=int(source),
+            targets=targets,
+            estimates=estimates,
+            version=snapshot.version,
+        )
+
+    def predict_pairs(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> BatchPrediction:
+        """Many-pair prediction answered with one vectorized gather.
+
+        The ``POST /estimate/batch`` shape: ``k`` arbitrary pairs in,
+        ``k`` estimates out of a single snapshot (internally
+        consistent), one einsum instead of ``k`` dot products.
+        Self-pairs answer NaN (the path to self is undefined) rather
+        than failing the whole batch; out-of-range indices raise.
+        """
+        sources = np.asarray(sources, dtype=int)
+        targets = np.asarray(targets, dtype=int)
+        snapshot = self.store.snapshot()
+        with self._lock:
+            self._stats.batch_queries += 1
+            self._stats.batch_pairs += int(sources.size)
+        estimates = snapshot.estimate_pairs(sources, targets)
+        estimates = np.where(sources == targets, np.nan, estimates)
+        return BatchPrediction(
+            sources=sources,
             targets=targets,
             estimates=estimates,
             version=snapshot.version,

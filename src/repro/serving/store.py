@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.coordinates import (
     CoordinateTable,
     matrix_estimate,
+    pairs_estimate,
     resolve_npz_path,
     row_estimate,
 )
@@ -100,6 +101,16 @@ class CoordinateSnapshot:
         own slot (the path to self is undefined).
         """
         return row_estimate(self.U, self.V, i, targets)
+
+    def estimate_pairs(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized estimates for aligned index arrays (one gather).
+
+        The batch-query hot path: ``k`` arbitrary pairs cost one fancy
+        index into each factor and one einsum, never a Python loop.
+        """
+        return pairs_estimate(self.U, self.V, sources, targets)
 
     def estimate_matrix(self) -> np.ndarray:
         """Dense ``X_hat = U V^T`` with NaN diagonal (full-batch path)."""

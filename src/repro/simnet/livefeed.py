@@ -10,8 +10,13 @@ produces the traffic:
 * :class:`LiveFeedDriver` generates round-based probe traffic the way
   the vectorized engine's simulation does — each round every node
   measures one random neighbor against a ground-truth quantity matrix,
-  with per-probe lognormal jitter and probe loss — and forwards each
-  round's samples to the sink;
+  with per-probe lognormal jitter, probe loss and (optionally) gross
+  outlier spikes — and forwards each round's samples to the sink;
+* :class:`HotPairDriver` is the adversarial twin: it hammers a single
+  pair with duplicate measurements (optionally mixed with background
+  probes), the traffic pattern that diverges an unguarded ingest path
+  and that the admission guard
+  (:mod:`repro.serving.guard`) exists to absorb;
 * :func:`replay_trace` streams an existing
   :class:`~repro.datasets.trace.MeasurementTrace` (e.g. the Harvard
   stream) into a sink in time order.
@@ -31,7 +36,7 @@ from repro.simnet.neighbors import sample_neighbor_sets
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_probability, check_square_matrix
 
-__all__ = ["MeasurementSink", "LiveFeedDriver", "replay_trace"]
+__all__ = ["MeasurementSink", "LiveFeedDriver", "HotPairDriver", "replay_trace"]
 
 
 class MeasurementSink(Protocol):
@@ -67,6 +72,13 @@ class LiveFeedDriver:
         (0 disables; the Harvard twin uses ~0.1-0.3).
     loss_rate:
         Probability a probe fails outright and yields no sample.
+    outlier_rate:
+        Probability a probe reports a gross outlier — the measured
+        value multiplied by ``outlier_scale`` — modelling a broken
+        tool or a lying target; exercises the serving guard's outlier
+        rejection.
+    outlier_scale:
+        Multiplier applied to outlier probes.
     rng:
         Seed/generator for neighbor sampling, probe choice and noise.
     """
@@ -80,6 +92,8 @@ class LiveFeedDriver:
         neighbors: int = 10,
         jitter: float = 0.0,
         loss_rate: float = 0.0,
+        outlier_rate: float = 0.0,
+        outlier_scale: float = 50.0,
         rng: RngLike = None,
     ) -> None:
         self.quantities = check_square_matrix(
@@ -101,8 +115,13 @@ class LiveFeedDriver:
             raise ValueError(f"jitter must be >= 0, got {jitter}")
         self.jitter = float(jitter)
         self.loss_rate = check_probability(loss_rate, "loss_rate")
+        self.outlier_rate = check_probability(outlier_rate, "outlier_rate")
+        if outlier_scale <= 0:
+            raise ValueError(f"outlier_scale must be positive, got {outlier_scale}")
+        self.outlier_scale = float(outlier_scale)
         self.rounds_done = 0
         self.samples_fed = 0
+        self.outliers_fed = 0
 
     def step_round(self) -> int:
         """One round of probe traffic; returns samples handed to the sink."""
@@ -114,9 +133,14 @@ class LiveFeedDriver:
             values = values * self._rng.lognormal(
                 mean=0.0, sigma=self.jitter, size=self.n
             )
+        spikes = np.zeros(self.n, dtype=bool)
+        if self.outlier_rate > 0.0:
+            spikes = self._rng.random(self.n) < self.outlier_rate
+            values = np.where(spikes, values * self.outlier_scale, values)
         keep = np.isfinite(values)
         if self.loss_rate > 0.0:
             keep &= self._rng.random(self.n) >= self.loss_rate
+        self.outliers_fed += int((spikes & keep).sum())
         fed = int(keep.sum())
         if fed:
             self.sink.submit_many(rows[keep], cols[keep], values[keep])
@@ -134,6 +158,126 @@ class LiveFeedDriver:
         return (
             f"LiveFeedDriver(n={self.n}, k={self.neighbor_sets.shape[1]}, "
             f"rounds_done={self.rounds_done})"
+        )
+
+
+class HotPairDriver:
+    """Adversarial driver hammering one pair with duplicate measurements.
+
+    This is the traffic pattern that diverges an unguarded ingest path:
+    within a mini-batch every duplicate of a pair reads batch-start
+    coordinates, so ``m`` copies multiply the pair's SGD step by ``m``
+    (observed live: 1200 copies -> |estimate| ~ 1e10).  The driver
+    reproduces it on demand — pure hammering, or mixed with background
+    probes drawn from a ground-truth quantity matrix — to exercise the
+    serving guard's dedup / step-clip / rate-limit defenses.
+
+    Parameters
+    ----------
+    quantities:
+        Ground-truth ``(n, n)`` quantity matrix; supplies the hammered
+        value when ``value`` is omitted, and the background probes.
+    sink:
+        Destination implementing :class:`MeasurementSink`.
+    pair:
+        The ``(source, target)`` pair to hammer.
+    value:
+        Measured value reported for the hot pair (the ground-truth
+        quantity when omitted).
+    background:
+        Fraction of samples that are random off-diagonal probes instead
+        of the hot pair (0 = pure hammering).
+    rng:
+        Seed/generator for background probe choice.
+    """
+
+    def __init__(
+        self,
+        quantities: np.ndarray,
+        sink: MeasurementSink,
+        pair: "tuple[int, int]",
+        *,
+        value: Optional[float] = None,
+        background: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        self.quantities = check_square_matrix(
+            np.asarray(quantities, dtype=float), "quantities"
+        )
+        self.n = self.quantities.shape[0]
+        source, target = int(pair[0]), int(pair[1])
+        if not (0 <= source < self.n and 0 <= target < self.n):
+            raise ValueError(f"pair {pair} out of range for n={self.n}")
+        if source == target:
+            raise ValueError("the hot pair cannot be a self-pair")
+        self.pair = (source, target)
+        if value is None:
+            value = float(self.quantities[source, target])
+            if not np.isfinite(value):
+                raise ValueError(
+                    f"pair {pair} has no ground-truth quantity; pass value="
+                )
+        self.value = float(value)
+        self.sink = sink
+        self.background = check_probability(background, "background")
+        self._rng = ensure_rng(rng)
+        self.samples_fed = 0
+        self.hot_fed = 0
+
+    def run(self, count: int, *, burst: int = 128) -> int:
+        """Feed ``count`` samples in ``burst``-sized submissions.
+
+        Returns the samples fed by *this* call (cumulative totals live
+        in :attr:`samples_fed` / :attr:`hot_fed`).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        if burst <= 0:
+            raise ValueError(f"burst must be positive, got {burst}")
+        fed_this_call = 0
+        remaining = count
+        while remaining > 0:
+            size = min(burst, remaining)
+            sources = np.full(size, self.pair[0], dtype=int)
+            targets = np.full(size, self.pair[1], dtype=int)
+            values = np.full(size, self.value)
+            if self.background > 0.0:
+                noise = self._rng.random(size) < self.background
+                k = int(noise.sum())
+                if k:
+                    src = self._rng.integers(0, self.n, size=k)
+                    dst = (
+                        src + 1 + self._rng.integers(0, self.n - 1, size=k)
+                    ) % self.n
+                    sources[noise] = src
+                    targets[noise] = dst
+                    values[noise] = self.quantities[src, dst]
+            finite = np.isfinite(values)
+            self.sink.submit_many(
+                sources[finite], targets[finite], values[finite]
+            )
+            fed = int(finite.sum())
+            fed_this_call += fed
+            self.samples_fed += fed
+            self.hot_fed += int(
+                (
+                    (sources == self.pair[0])
+                    & (targets == self.pair[1])
+                    & finite
+                ).sum()
+            )
+            # background probes of NaN (unmeasured) pairs feed nothing;
+            # keep going until `count` samples actually reached the sink
+            # (the hot pair is always finite, so bursts make progress —
+            # except in the degenerate all-NaN background=1.0 case,
+            # where the empty burst is charged to avoid a livelock).
+            remaining -= fed if fed else size
+        return fed_this_call
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HotPairDriver(pair={self.pair}, value={self.value}, "
+            f"samples_fed={self.samples_fed})"
         )
 
 

@@ -253,4 +253,50 @@ class TestApplyMeasurements:
             engine.apply_measurements([0], [10], [1.0])
         with pytest.raises(ValueError):
             engine.apply_measurements([4], [4], [1.0])
+        with pytest.raises(ValueError):
+            engine.apply_measurements([0], [1], [1.0], step_clip=0.0)
         assert engine.apply_measurements([], [], []) == 0
+
+    def test_dedup_merges_duplicates_into_one_step(self, small_config):
+        """With dedup, m copies of a pair act as one averaged sample
+        instead of multiplying the pair's SGD step by m."""
+        labels = np.ones((10, 10))
+        hammered = DMFSGDEngine(10, matrix_label_fn(labels), small_config, rng=1)
+        single = DMFSGDEngine(10, matrix_label_fn(labels), small_config, rng=1)
+        used = hammered.apply_measurements(
+            np.zeros(8, dtype=int),
+            np.ones(8, dtype=int),
+            np.full(8, -1.0),
+            dedup=True,
+        )
+        single.apply_measurements(np.array([0]), np.array([1]), np.array([-1.0]))
+        assert used == 1
+        np.testing.assert_allclose(hammered.coordinates.U, single.coordinates.U)
+        np.testing.assert_allclose(hammered.coordinates.V, single.coordinates.V)
+
+    def test_dedup_averages_values(self, small_config):
+        """Duplicate values are averaged, not first-winner-takes-all."""
+        labels = np.ones((10, 10))
+        deduped = DMFSGDEngine(10, matrix_label_fn(labels), small_config, rng=1)
+        mean_fed = DMFSGDEngine(10, matrix_label_fn(labels), small_config, rng=1)
+        deduped.apply_measurements(
+            np.array([0, 0]), np.array([1, 1]), np.array([1.0, -1.0]), dedup=True
+        )
+        mean_fed.apply_measurements(
+            np.array([0]), np.array([1]), np.array([0.0])
+        )
+        np.testing.assert_allclose(deduped.coordinates.U, mean_fed.coordinates.U)
+
+    def test_defaults_preserve_seed_behavior(self, small_config):
+        """dedup/step_clip default off: byte-identical to the raw rule."""
+        labels = np.ones((10, 10))
+        a = DMFSGDEngine(10, matrix_label_fn(labels), small_config, rng=1)
+        b = DMFSGDEngine(10, matrix_label_fn(labels), small_config, rng=1)
+        rows = np.array([0, 0, 2])  # duplicates stay duplicated
+        cols = np.array([1, 1, 3])
+        values = np.array([-1.0, -1.0, 1.0])
+        a.apply_measurements(rows, cols, values)
+        b._apply(rows, cols, values)
+        np.testing.assert_array_equal(a.coordinates.U, b.coordinates.U)
+        np.testing.assert_array_equal(a.coordinates.V, b.coordinates.V)
+        assert a.steps_clipped == 0

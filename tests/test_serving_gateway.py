@@ -11,6 +11,7 @@ from repro.core.engine import DMFSGDEngine, matrix_label_fn
 from repro.serving import (
     GatewayError,
     IngestPipeline,
+    OnlineEvaluator,
     PredictionService,
     ServingClient,
     ServingGateway,
@@ -29,7 +30,11 @@ def stack(rtt_labels_module):
     store = CoordinateStore(engine.coordinates)
     service = PredictionService(store, cache_size=256)
     ingest = IngestPipeline(
-        engine, store, batch_size=64, refresh_interval=500
+        engine,
+        store,
+        batch_size=64,
+        refresh_interval=500,
+        evaluator=OnlineEvaluator("class", window=500),
     )
     return store, service, ingest
 
@@ -87,9 +92,79 @@ class TestQueryEndpoints:
         assert "service" in payload and "ingest" in payload
         assert payload["service"]["pair_queries"] >= 1
 
+    def test_stats_exposes_guard_and_online_eval(self, client):
+        payload = client.stats()
+        assert payload["guard"]["mode"] == "guarded"
+        assert "deduped" in payload["guard"]
+        assert "rejected_total" in payload["guard"]
+        assert payload["online_eval"]["mode"] == "class"
+        assert "auc" in payload["online_eval"]
+        # split drop counters are individually visible
+        for key in ("dropped_invalid", "dropped_nan", "rejected_guard"):
+            assert key in payload["ingest"]
+
     def test_version_endpoint(self, client, stack):
         store, _, _ = stack
         assert client.version() == store.version
+
+
+class TestBatchEndpoint:
+    def test_matches_snapshot_estimates(self, client, stack):
+        store, _, _ = stack
+        pairs = [(1, 2), (5, 9), (2, 1)]
+        payload = client.estimate_batch(pairs)
+        snapshot = store.snapshot()
+        assert payload["sources"] == [1, 5, 2]
+        assert payload["targets"] == [2, 9, 1]
+        for (src, dst), estimate in zip(pairs, payload["estimates"]):
+            assert estimate == pytest.approx(snapshot.estimate(src, dst))
+        assert all(label in (-1, 1) for label in payload["labels"])
+
+    def test_self_pair_answers_null_not_400(self, client):
+        payload = client.estimate_batch([(3, 3), (3, 4)])
+        assert payload["estimates"][0] is None
+        assert payload["labels"][0] is None
+        assert payload["estimates"][1] is not None
+
+    def test_empty_batch(self, client, stack):
+        store, _, _ = stack
+        payload = client.estimate_batch([])
+        assert payload["estimates"] == []
+        assert payload["version"] == store.version
+
+    def test_out_of_range_is_400(self, client, stack):
+        store, _, _ = stack
+        with pytest.raises(GatewayError) as excinfo:
+            client.estimate_batch([(0, store.n + 3)])
+        assert excinfo.value.status == 400
+
+    def test_malformed_pairs_are_400(self, client):
+        for body in (
+            {"pairs": "nope"},
+            {"pairs": [[1]]},
+            {"pairs": [[1, 2, 3]]},
+            {"pairs": [[1.5, 2]]},
+            {},
+        ):
+            with pytest.raises(GatewayError) as excinfo:
+                client._request("/estimate/batch", body)
+            assert excinfo.value.status == 400
+
+    def test_works_on_read_only_gateway(self, stack):
+        store, service, _ = stack
+        with ServingGateway(service, None, port=0) as gw:
+            client = ServingClient(gw.url)
+            payload = client.estimate_batch([(0, 1)])
+            assert payload["estimates"][0] == pytest.approx(
+                store.snapshot().estimate(0, 1)
+            )
+
+    def test_batch_queries_counted(self, client):
+        before = client.stats()["service"]["batch_queries"]
+        client.estimate_batch([(0, 1), (1, 2)])
+        stats = client.stats()["service"]
+        assert stats["batch_queries"] == before + 1
+        assert stats["batch_pairs"] >= 2
 
 
 class TestErrorHandling:
@@ -115,11 +190,27 @@ class TestErrorHandling:
         assert excinfo.value.status == 400
 
     def test_non_numeric_measurement_is_400(self, client):
-        # np.asarray raises TypeError on JSON objects; the gateway must
-        # answer 400 instead of dropping the connection.
+        # float()/np.asarray raise TypeError on JSON objects; the
+        # gateway must answer 400 instead of dropping the connection.
         with pytest.raises(GatewayError) as excinfo:
             client._request("/ingest", {"measurements": [[1, 2, {}]]})
         assert excinfo.value.status == 400
+        with pytest.raises(GatewayError) as excinfo:
+            client._request("/ingest", {"measurements": [[1, 2, {}], [0, 1, 1.0]]})
+        assert excinfo.value.status == 400
+
+    def test_single_measurement_uses_scalar_fast_path(self, client):
+        """One-measurement posts take IngestPipeline.submit; behavior
+        (accepted counts, invalid-sample dropping) matches the batch
+        path."""
+        before = client.stats()["ingest"]["received"]
+        assert client.ingest([(0, 1, 123.0)])["accepted"] == 1
+        assert client.ingest([(4, 4, 1.0)])["accepted"] == 0  # self-pair
+        payload = client._request(
+            "/ingest", {"measurements": [[0, 1, None]]}
+        )  # null value -> NaN -> dropped, not raised
+        assert payload["accepted"] == 0
+        assert client.stats()["ingest"]["received"] == before + 3
 
     def test_self_pair_is_400(self, client):
         with pytest.raises(GatewayError) as excinfo:
@@ -182,9 +273,17 @@ class TestOnlineLearningEndToEnd:
         assert after["estimate"] != before["estimate"]
         assert after["estimate"] < before["estimate"]  # pushed toward bad
 
-        ingest_stats = client.stats()["ingest"]
-        assert ingest_stats["applied"] >= 1200
+        stats = client.stats()
+        ingest_stats = stats["ingest"]
+        # guarded mode merges within-batch duplicates of the hammered
+        # pair; every sample is accounted for either way
+        assert ingest_stats["applied"] + ingest_stats["deduped"] >= 1200
         assert ingest_stats["publishes"] >= 1
+        # hammering one pair with a constant class produced dedup work
+        assert stats["guard"]["deduped"] > 0
+        # ... and the hot pair's estimate never left the finite range
+        assert after["estimate"] is not None
+        assert stats["online_eval"]["samples"] > 0
 
     def test_cache_invalidated_by_ingest_publish(self, client):
         first = client.predict(2, 9)

@@ -1,0 +1,461 @@
+"""Tests for the ingest admission subsystem (repro.serving.guard).
+
+Includes the hot-pair regression from the ROADMAP: repeated identical
+pairs within one ingest mini-batch all read batch-start coordinates, so
+hammering one pair multiplies its SGD step by its duplicate count and
+diverges the estimate under the seed (raw) behavior.  The guarded mode
+must keep the estimate bounded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.measurement.errors import (
+    FlipNearThreshold,
+    FlipRandom,
+    UnderestimationBias,
+)
+from repro.serving.guard import (
+    AdmissionGuard,
+    BackgroundCheckpointer,
+    NoiseBandFilter,
+    OnlineEvaluator,
+    RobustSigmaFilter,
+    TokenBucketRateLimiter,
+)
+from repro.serving.ingest import IngestPipeline
+from repro.serving.store import CoordinateStore
+
+
+def make_engine(labels, rng=3, rounds=100):
+    engine = DMFSGDEngine(
+        labels.shape[0],
+        matrix_label_fn(labels),
+        DMFSGDConfig(neighbors=8),
+        rng=rng,
+    )
+    if rounds:
+        engine.run(rounds=rounds)
+    return engine
+
+
+HOT_PAIR = (3, 7)
+HOT_COUNT = 1200
+
+
+def hammer(pipeline, value=-1.0, count=HOT_COUNT):
+    src = np.full(100, HOT_PAIR[0])
+    dst = np.full(100, HOT_PAIR[1])
+    vals = np.full(100, value)
+    for _ in range(count // 100):
+        pipeline.submit_many(src, dst, vals)
+    pipeline.publish()
+
+
+class TestHotPairRegression:
+    def test_guarded_pipeline_stays_bounded(self, rtt_labels):
+        """The acceptance scenario: 1200 copies of one pair leave the
+        served estimate finite and within 10x of its pre-stream value,
+        with the dedup/clip activity and the sliding-window evaluator
+        visible from the stats the gateway serves."""
+        engine = make_engine(rtt_labels)
+        store = CoordinateStore(engine.coordinates)
+        evaluator = OnlineEvaluator("l2", window=500)
+        pipeline = IngestPipeline(
+            engine,
+            store,
+            batch_size=256,
+            refresh_interval=1000,
+            step_clip=0.1,
+            evaluator=evaluator,
+        )
+        before = store.snapshot().estimate(*HOT_PAIR)
+        hammer(pipeline)
+        after = store.snapshot().estimate(*HOT_PAIR)
+        assert np.isfinite(after)
+        assert abs(after) <= 10 * abs(before)
+        stats = pipeline.stats()
+        assert stats.deduped == HOT_COUNT - stats.applied
+        info = pipeline.guard_info()
+        assert info["mode"] == "guarded"
+        assert info["deduped"] > 0
+        window = evaluator.evaluate()
+        assert window["samples"] > 0
+        assert window["rel_err_p50"] is not None
+
+    def test_raw_mode_reproduces_the_seed_divergence(self, rtt_labels):
+        """Documented seed bug: the same stream through mode='raw'
+        multiplies the hot pair's step by its within-batch duplicate
+        count and blows the estimate past 10x (observed live: 1e10)."""
+        engine = make_engine(rtt_labels)
+        store = CoordinateStore(engine.coordinates)
+        pipeline = IngestPipeline(
+            engine, store, batch_size=256, refresh_interval=10_000, mode="raw"
+        )
+        before = store.snapshot().estimate(*HOT_PAIR)
+        hammer(pipeline)
+        after = store.snapshot().estimate(*HOT_PAIR)
+        assert abs(after) > 10 * abs(before)
+
+    def test_guarded_and_raw_agree_on_duplicate_free_traffic(self, rtt_labels):
+        """Property: on traffic without within-batch duplicates the
+        guard is a no-op — both modes produce the same coordinates."""
+        n = rtt_labels.shape[0]
+        rng = np.random.default_rng(17)
+        batches = []
+        for _ in range(6):
+            # distinct pairs within each batch: sample without replacement
+            flat = rng.choice(n * n, size=64, replace=False)
+            src, dst = flat // n, flat % n
+            ok = src != dst
+            batches.append((src[ok], dst[ok], rng.choice([-1.0, 1.0], ok.sum())))
+
+        coords = {}
+        for mode in ("guarded", "raw"):
+            engine = make_engine(rtt_labels, rng=3, rounds=0)
+            store = CoordinateStore(engine.coordinates)
+            pipeline = IngestPipeline(
+                engine, store, batch_size=64, refresh_interval=10_000, mode=mode
+            )
+            for src, dst, vals in batches:
+                pipeline.submit_many(src, dst, vals)
+            pipeline.flush()
+            assert pipeline.stats().deduped == 0
+            coords[mode] = (engine.coordinates.U.copy(), engine.coordinates.V.copy())
+
+        np.testing.assert_allclose(coords["guarded"][0], coords["raw"][0])
+        np.testing.assert_allclose(coords["guarded"][1], coords["raw"][1])
+
+    def test_step_clip_bounds_every_coordinate_move(self, rtt_labels):
+        engine = make_engine(rtt_labels, rounds=0)
+        engine_clipped = make_engine(rtt_labels, rounds=0)
+        # a wrong-sign label against the fresh positive init: a real step
+        src = np.array([0]); dst = np.array([1]); val = np.array([-1.0])
+        U_before = engine_clipped.coordinates.U.copy()
+        engine.apply_measurements(src, dst, val)
+        engine_clipped.apply_measurements(src, dst, val, step_clip=0.01)
+        move = np.linalg.norm(engine_clipped.coordinates.U - U_before, axis=1)
+        assert move.max() <= 0.01 + 1e-12
+        assert engine_clipped.steps_clipped >= 1
+        # the unclipped engine moved further (the clip actually bit)
+        unclipped_move = np.linalg.norm(
+            engine.coordinates.U - U_before, axis=1
+        )
+        assert unclipped_move.max() > move.max()
+
+
+class TestBuildGatewayGuardWiring:
+    def test_raw_mode_rejects_guard_flags(self):
+        from repro.serving import build_gateway
+
+        for kwargs in (
+            {"step_clip": 0.1},
+            {"rate_limit": 100.0},
+            {"rate_burst": 10},
+            {"outlier_sigma": 4.0},
+        ):
+            with pytest.raises(ValueError, match="raw"):
+                build_gateway("meridian", nodes=20, rounds=0, mode="raw", **kwargs)
+
+    def test_rate_burst_without_rate_limit_rejected(self):
+        from repro.serving import build_gateway
+
+        with pytest.raises(ValueError, match="rate_limit"):
+            build_gateway("meridian", nodes=20, rounds=0, rate_burst=8)
+
+    def test_reject_band_installs_noise_band_filter(self):
+        """The Section 6.3 band filter is reachable from the serve path
+        (README documents noise_band as a /stats rejection reason)."""
+        from repro.serving import build_gateway
+
+        # meridian's paper neighbor count is 32, so n must exceed it
+        gateway = build_gateway("meridian", nodes=60, rounds=0, reject_band=5.0)
+        try:
+            guard = gateway.ingest.guard
+            assert guard is not None
+            names = [f.name for f in guard.filters]
+            assert "noise_band" in names
+            assert "noise_band" in guard.rejected
+        finally:
+            gateway.stop()
+
+
+class TestTokenBucketRateLimiter:
+    def test_burst_then_starve_then_refill(self):
+        clock = [0.0]
+        limiter = TokenBucketRateLimiter(2.0, 4, clock=lambda: clock[0])
+        assert [limiter.allow_one(0) for _ in range(6)] == [True] * 4 + [False] * 2
+        clock[0] += 1.0  # refills 2 tokens
+        assert limiter.allow_one(0) is True
+        assert limiter.allow_one(0) is True
+        assert limiter.allow_one(0) is False
+
+    def test_sources_have_independent_buckets(self):
+        clock = [0.0]
+        limiter = TokenBucketRateLimiter(1.0, 2, clock=lambda: clock[0])
+        assert limiter.allow_one(0) and limiter.allow_one(0)
+        assert not limiter.allow_one(0)
+        assert limiter.allow_one(1)  # untouched bucket
+
+    def test_batch_admits_earliest_arrivals_per_source(self):
+        clock = [0.0]
+        limiter = TokenBucketRateLimiter(1.0, 3, clock=lambda: clock[0])
+        sources = np.array([5, 5, 5, 5, 5, 2])
+        keep = limiter.allow(sources)
+        # first 3 samples of source 5 admitted, later ones shed
+        assert keep.tolist() == [True, True, True, False, False, True]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucketRateLimiter(0.0)
+        with pytest.raises(ValueError):
+            TokenBucketRateLimiter(1.0, burst=0.5)
+
+
+class TestRobustSigmaFilter:
+    def test_admits_everything_during_warmup(self):
+        flt = RobustSigmaFilter(sigma=3.0, min_samples=10)
+        assert flt.keep(np.array([1.0, 1e9])).all()
+
+    def test_rejects_gross_outlier_after_warmup(self):
+        flt = RobustSigmaFilter(sigma=4.0, min_samples=30)
+        rng = np.random.default_rng(0)
+        flt.keep(rng.normal(100.0, 10.0, size=500))
+        keep = flt.keep(np.array([105.0, 10_000.0, 95.0]))
+        assert keep.tolist() == [True, False, True]
+        assert flt.keep_one(98.0) is True
+        assert flt.keep_one(-5_000.0) is False
+
+    def test_rejected_values_do_not_poison_the_window(self):
+        flt = RobustSigmaFilter(sigma=4.0, min_samples=30)
+        rng = np.random.default_rng(1)
+        flt.keep(rng.normal(100.0, 10.0, size=500))
+        count_before = flt.count
+        flt.keep(np.full(50, 1e8))  # a burst of junk
+        assert flt.count == count_before  # none absorbed
+        assert flt.keep_one(100.0) is True  # normal traffic still fine
+
+    def test_warmup_spike_does_not_disable_the_filter(self):
+        """A gross outlier absorbed during warm-up must not inflate the
+        spread estimate so far that every later outlier passes — the
+        median/MAD window shrugs off minority contamination that a
+        lifetime mean/variance never recovers from."""
+        flt = RobustSigmaFilter(sigma=4.0, min_samples=30)
+        rng = np.random.default_rng(2)
+        warmup = rng.normal(100.0, 10.0, size=29)
+        assert flt.keep_one(1e12) is True  # admitted: still warming up
+        flt.keep(warmup)
+        flt.keep(rng.normal(100.0, 10.0, size=200))
+        # a realistic 100x spike must still be rejected afterwards
+        assert flt.keep_one(10_000.0) is False
+        keep = flt.keep(np.array([95.0, 100.0 * 100, 110.0]))
+        assert keep.tolist() == [True, False, True]
+
+    def test_zero_spread_window_admits_and_adapts(self):
+        flt = RobustSigmaFilter(sigma=4.0, min_samples=10)
+        flt.keep(np.full(50, 100.0))  # degenerate window: MAD == 0
+        assert flt.keep_one(250.0) is True  # no spread info -> admit
+
+
+class TestNoiseBandFilter:
+    def test_flip_near_threshold_band_rejected(self):
+        flt = NoiseBandFilter(FlipNearThreshold(tau=100.0, delta=10.0))
+        keep = flt.keep(np.array([80.0, 95.0, 100.0, 110.0, 120.0]))
+        assert keep.tolist() == [True, False, False, False, True]
+        assert flt.keep_one(89.9) is True
+        assert flt.keep_one(100.0) is False
+
+    def test_underestimation_band_is_one_sided(self):
+        flt = NoiseBandFilter(UnderestimationBias(tau=100.0, delta=10.0))
+        keep = flt.keep(np.array([95.0, 100.0, 105.0, 111.0]))
+        assert keep.tolist() == [True, False, False, True]
+
+    def test_random_models_have_no_band(self):
+        with pytest.raises(ValueError):
+            NoiseBandFilter(FlipRandom(0.1))
+
+
+class TestAdmissionGuard:
+    def test_reason_breakdown(self):
+        clock = [0.0]
+        guard = AdmissionGuard(
+            rate_limiter=TokenBucketRateLimiter(1.0, 2, clock=lambda: clock[0]),
+            filters=[NoiseBandFilter(FlipNearThreshold(100.0, 5.0))],
+        )
+        sources = np.array([0, 0, 0, 1])
+        targets = np.array([1, 1, 1, 2])
+        values = np.array([50.0, 60.0, 70.0, 100.0])
+        keep = guard.admit(sources, targets, values)
+        # source 0: 2 tokens -> third sample rate-limited;
+        # source 1: value 100 inside the noise band -> rejected
+        assert keep.tolist() == [True, True, False, False]
+        payload = guard.as_dict()
+        assert payload["received"] == 4
+        assert payload["admitted"] == 2
+        assert payload["rejected"] == {"rate_limit": 1, "noise_band": 1}
+
+    def test_scalar_path_matches(self):
+        guard = AdmissionGuard(
+            filters=[NoiseBandFilter(FlipNearThreshold(100.0, 5.0))]
+        )
+        assert guard.admit_one(0, 1, 50.0) is True
+        assert guard.admit_one(0, 1, 101.0) is False
+        assert guard.rejected["noise_band"] == 1
+
+    def test_pipeline_counts_guard_rejections(self, rtt_labels):
+        engine = make_engine(rtt_labels, rounds=0)
+        store = CoordinateStore(engine.coordinates)
+        clock = [0.0]
+        guard = AdmissionGuard(
+            rate_limiter=TokenBucketRateLimiter(1.0, 10, clock=lambda: clock[0])
+        )
+        pipeline = IngestPipeline(
+            engine, store, batch_size=256, refresh_interval=1000, guard=guard
+        )
+        kept = pipeline.submit_many(
+            np.zeros(25, dtype=int), np.arange(1, 26), np.ones(25)
+        )
+        assert kept == 10  # bucket capacity
+        stats = pipeline.stats()
+        assert stats.rejected_guard == 15
+        assert pipeline.guard_info()["admission"]["rejected"]["rate_limit"] == 15
+
+    def test_duplicate_filter_names_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionGuard(
+                filters=[RobustSigmaFilter(), RobustSigmaFilter()]
+            )
+
+
+class TestOnlineEvaluator:
+    def test_class_mode_auc_tracks_a_perfect_scorer(self):
+        evaluator = OnlineEvaluator("class", window=100)
+        labels = np.array([1.0, -1.0] * 20)
+        evaluator.observe(labels * 2.0, labels)  # estimates separate perfectly
+        window = evaluator.evaluate()
+        assert window["auc"] == pytest.approx(1.0)
+        assert window["samples"] == 40
+
+    def test_class_mode_needs_both_classes(self):
+        evaluator = OnlineEvaluator("class", window=10)
+        evaluator.observe(np.ones(5), np.ones(5))
+        assert evaluator.evaluate()["auc"] is None
+
+    def test_empty_window_schema_is_stable(self):
+        """Every metric key exists (as null) before the first batch, in
+        both modes, so /stats consumers never hit a KeyError."""
+        assert OnlineEvaluator("class").evaluate()["auc"] is None
+        empty_l2 = OnlineEvaluator("l2").evaluate()
+        for key in ("rel_err_p50", "rel_err_p90", "rel_err_p99"):
+            assert empty_l2[key] is None
+
+    def test_l2_mode_relative_error_quantiles(self):
+        evaluator = OnlineEvaluator("l2", window=100)
+        truth = np.full(50, 100.0)
+        evaluator.observe(truth * 1.1, truth)  # uniformly 10% off
+        window = evaluator.evaluate()
+        assert window["rel_err_p50"] == pytest.approx(0.1)
+        assert window["rel_err_p99"] == pytest.approx(0.1)
+
+    def test_window_slides(self):
+        evaluator = OnlineEvaluator("l2", window=10)
+        evaluator.observe(np.ones(25), np.ones(25))
+        assert evaluator.evaluate()["samples"] == 10
+        assert evaluator.observed == 25
+
+    def test_pipeline_scores_before_training(self, rtt_labels):
+        """Prequential contract: the evaluator sees the model as it was
+        before the batch it scores was applied."""
+        engine = make_engine(rtt_labels, rounds=0)
+        store = CoordinateStore(engine.coordinates)
+        evaluator = OnlineEvaluator("l2", window=100)
+        pipeline = IngestPipeline(
+            engine,
+            store,
+            batch_size=4,
+            refresh_interval=1000,
+            evaluator=evaluator,
+        )
+        expected = engine.coordinates.estimate_pairs(
+            np.array([0, 1, 2, 3]), np.array([1, 2, 3, 4])
+        )
+        pipeline.submit_many(
+            np.array([0, 1, 2, 3]), np.array([1, 2, 3, 4]), np.ones(4)
+        )
+        recorded = np.array(evaluator._estimates)
+        np.testing.assert_allclose(recorded, expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineEvaluator("nope")
+        with pytest.raises(ValueError):
+            OnlineEvaluator("class", window=1)
+
+
+class TestBackgroundCheckpointer:
+    def test_checkpoint_now_skips_stale_version(self, tmp_path, rtt_labels):
+        engine = make_engine(rtt_labels, rounds=0)
+        store = CoordinateStore(engine.coordinates)
+        path = tmp_path / "model.npz"
+        checkpointer = BackgroundCheckpointer(store, path, interval=60.0)
+        assert checkpointer.checkpoint_now() is True
+        assert checkpointer.checkpoint_now() is False  # version unchanged
+        store.publish(engine.coordinates)
+        assert checkpointer.checkpoint_now() is True
+        assert checkpointer.written == 2
+
+    def test_restored_store_serves_identically(self, tmp_path, rtt_labels):
+        engine = make_engine(rtt_labels, rounds=20)
+        store = CoordinateStore(engine.coordinates)
+        path = tmp_path / "model.npz"
+        BackgroundCheckpointer(store, path).checkpoint_now()
+        restored = CoordinateStore.load(path)
+        assert restored.version == store.version
+        assert restored.snapshot().estimate(0, 1) == pytest.approx(
+            store.snapshot().estimate(0, 1)
+        )
+
+    def test_background_thread_writes(self, tmp_path, rtt_labels):
+        engine = make_engine(rtt_labels, rounds=0)
+        store = CoordinateStore(engine.coordinates)
+        path = tmp_path / "model.npz"
+        with BackgroundCheckpointer(store, path, interval=0.01) as checkpointer:
+            deadline = 200
+            while checkpointer.written == 0 and deadline:
+                import time
+
+                time.sleep(0.01)
+                deadline -= 1
+        assert checkpointer.written >= 1
+        assert path.exists()
+
+    def test_stop_writes_final_checkpoint(self, tmp_path, rtt_labels):
+        engine = make_engine(rtt_labels, rounds=0)
+        store = CoordinateStore(engine.coordinates)
+        path = tmp_path / "model.npz"
+        checkpointer = BackgroundCheckpointer(store, path, interval=60.0)
+        checkpointer.start()
+        checkpointer.stop()
+        assert checkpointer.written == 1
+        assert path.exists()
+
+    def test_failed_save_is_counted_not_raised(self, tmp_path, rtt_labels):
+        """A bad path must not kill the thread or escape stop(): the
+        failure is surfaced through the /stats payload instead."""
+        engine = make_engine(rtt_labels, rounds=0)
+        store = CoordinateStore(engine.coordinates)
+        bad_path = tmp_path / "no" / "such" / "dir" / "model.npz"
+        checkpointer = BackgroundCheckpointer(store, bad_path, interval=60.0)
+        assert checkpointer.checkpoint_now() is False
+        assert checkpointer.failures == 1
+        assert checkpointer.last_error is not None
+        assert checkpointer.as_dict()["failures"] == 1
+        checkpointer.start()
+        checkpointer.stop()  # final save fails too; must not raise
+        assert checkpointer.written == 0
+        # a later save to a good path clears the error state
+        checkpointer.path = tmp_path / "model.npz"
+        assert checkpointer.checkpoint_now() is True
+        assert checkpointer.last_error is None

@@ -33,12 +33,30 @@ class TestBuffering:
     def test_submit_buffers_until_batch(self, engine, store):
         pipeline = make_pipeline(engine, store, batch_size=16)
         for k in range(15):
-            pipeline.submit(0, 1 + (k % 10), 1.0)
+            pipeline.submit(0, 1 + (k % 15), 1.0)
         assert pipeline.buffered == 15
         assert pipeline.stats().applied == 0
-        pipeline.submit(0, 5, 1.0)  # 16th sample triggers the flush
+        pipeline.submit(0, 16, 1.0)  # 16th sample triggers the flush
         assert pipeline.buffered == 0
         assert pipeline.stats().applied == 16
+        assert engine.measurements == 16
+
+    def test_duplicates_within_batch_are_merged_when_guarded(self, engine, store):
+        pipeline = make_pipeline(engine, store, batch_size=16)
+        for k in range(16):
+            pipeline.submit(0, 1 + (k % 10), 1.0)  # pairs 1..10, 6 repeats
+        stats = pipeline.stats()
+        assert stats.applied == 10
+        assert stats.deduped == 6
+        assert engine.measurements == 10
+
+    def test_raw_mode_counts_every_duplicate(self, engine, store):
+        pipeline = make_pipeline(engine, store, batch_size=16, mode="raw")
+        for k in range(16):
+            pipeline.submit(0, 1 + (k % 10), 1.0)
+        stats = pipeline.stats()
+        assert stats.applied == 16
+        assert stats.deduped == 0
         assert engine.measurements == 16
 
     def test_flush_forces_partial_batch(self, engine, store):
@@ -75,7 +93,27 @@ class TestValidation:
         assert kept == 1
         stats = pipeline.stats()
         assert stats.received == 7
-        assert stats.dropped == 6
+        assert stats.dropped_invalid == 6
+        assert stats.dropped_nan == 0
+        assert stats.dropped == 6  # the aggregate view
+
+    def test_submit_fast_path_matches_submit_many_validation(self, engine, store):
+        pipeline = make_pipeline(engine, store)
+        n = engine.n
+        assert pipeline.submit(0, 1, 1.0) is True
+        assert pipeline.submit(0, 0, 1.0) is False        # self-pair
+        assert pipeline.submit(-1, 1, 1.0) is False       # negative index
+        assert pipeline.submit(0, n, 1.0) is False        # out of range
+        assert pipeline.submit(2.5, 1, 1.0) is False      # non-integer
+        assert pipeline.submit(0, 2, float("nan")) is False
+        # non-finite *indices* are dropped too, never raised
+        assert pipeline.submit(float("nan"), 1, 1.0) is False
+        assert pipeline.submit(float("inf"), 1, 1.0) is False
+        assert pipeline.submit(0, float("-inf"), 1.0) is False
+        stats = pipeline.stats()
+        assert stats.received == 9
+        assert stats.dropped_invalid == 8
+        assert pipeline.buffered == 1
 
     def test_shape_mismatch_raises(self, engine, store):
         pipeline = make_pipeline(engine, store)
@@ -89,15 +127,21 @@ class TestValidation:
         with pytest.raises(ValueError):
             IngestPipeline(engine, small)
 
+    def test_raw_mode_rejects_guard_options(self, engine, store):
+        with pytest.raises(ValueError):
+            make_pipeline(engine, store, mode="raw", step_clip=0.1)
+        with pytest.raises(ValueError):
+            make_pipeline(engine, store, mode="nope")
+
 
 class TestRefreshPolicy:
     def test_publishes_after_refresh_interval(self, engine, store):
         pipeline = make_pipeline(engine, store, batch_size=32, refresh_interval=64)
         assert store.version == 1
         n = engine.n
-        rng = np.random.default_rng(1)
-        sources = rng.integers(0, n, size=64)
-        targets = (sources + 1) % n
+        # 64 distinct pairs so guarded dedup leaves the applied count intact
+        sources = np.arange(64) % n
+        targets = (sources + 1 + np.arange(64) // n) % n
         pipeline.submit_many(sources, targets, np.ones(64))
         assert store.version == 2
         assert pipeline.staleness == 0
@@ -159,7 +203,8 @@ class TestClassifierContract:
         )
         stats = pipeline.stats()
         assert stats.applied == 0
-        assert stats.dropped == 4
+        assert stats.dropped_nan == 4
+        assert stats.dropped_invalid == 0
 
 
 class TestTraceIngestion:
@@ -171,12 +216,14 @@ class TestTraceIngestion:
         )
         store = CoordinateStore(engine.coordinates)
         tau = harvard_bundle.dataset.median()
+        # raw mode: trace replay wants every sample counted (fidelity)
         pipeline = IngestPipeline(
             engine,
             store,
             classify=ThresholdClassifier("rtt", tau),
             batch_size=256,
             refresh_interval=2000,
+            mode="raw",
         )
         kept = pipeline.ingest_trace(trace)
         assert kept == len(trace)
@@ -189,3 +236,23 @@ class TestTraceIngestion:
         if harvard_bundle.trace.n_nodes != engine.n:
             with pytest.raises(ValueError):
                 pipeline.ingest_trace(harvard_bundle.trace)
+
+    def test_stats_payload_sections_are_consistent(self, engine, store):
+        pipeline = make_pipeline(engine, store, batch_size=8)
+        for k in range(16):
+            pipeline.submit(0, 1 + (k % 4), 1.0)
+        payload = pipeline.stats_payload()
+        assert payload["ingest"]["deduped"] == payload["guard"]["deduped"]
+        assert payload["ingest"]["buffered"] == pipeline.buffered
+        assert payload["guard"]["mode"] == "guarded"
+
+    def test_guarded_trace_replay_warns_about_fidelity(self, harvard_bundle):
+        trace = harvard_bundle.trace
+        config = DMFSGDConfig(neighbors=8)
+        engine = DMFSGDEngine(
+            trace.n_nodes, lambda r, c: np.ones(len(r)), config, rng=5
+        )
+        store = CoordinateStore(engine.coordinates)
+        guarded = IngestPipeline(engine, store)  # guarded default
+        with pytest.warns(RuntimeWarning, match="fidelity"):
+            guarded.ingest_trace(trace, batch_size=4096)

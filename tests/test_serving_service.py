@@ -73,6 +73,47 @@ class TestPairPrediction:
         }
 
 
+class TestBatchPrediction:
+    def test_matches_pairwise_loop(self, service, store):
+        sources = np.array([0, 3, 7, 12])
+        targets = np.array([5, 1, 9, 2])
+        batch = service.predict_pairs(sources, targets)
+        snapshot = store.snapshot()
+        expected = [snapshot.estimate(s, t) for s, t in zip(sources, targets)]
+        np.testing.assert_allclose(batch.estimates, expected)
+        assert batch.version == snapshot.version
+
+    def test_self_pairs_are_nan(self, service):
+        batch = service.predict_pairs(np.array([4, 4]), np.array([4, 5]))
+        assert np.isnan(batch.estimates[0])
+        assert np.isfinite(batch.estimates[1])
+        assert np.isnan(batch.labels()[0])
+
+    def test_as_dict_is_json_ready(self, service):
+        import json
+
+        payload = service.predict_pairs(
+            np.array([0, 1]), np.array([0, 2])
+        ).as_dict()
+        json.dumps(payload)
+        assert payload["estimates"][0] is None
+        assert payload["labels"][1] in (-1, 1)
+
+    def test_out_of_range_raises(self, service, store):
+        with pytest.raises(ValueError):
+            service.predict_pairs(np.array([0]), np.array([store.n]))
+
+    def test_shape_mismatch_raises(self, service):
+        with pytest.raises(ValueError):
+            service.predict_pairs(np.array([0, 1]), np.array([1]))
+
+    def test_counters(self, service):
+        service.predict_pairs(np.array([0, 1, 2]), np.array([1, 2, 3]))
+        stats = service.stats()
+        assert stats.batch_queries == 1
+        assert stats.batch_pairs == 3
+
+
 class TestCacheInvalidation:
     def test_snapshot_bump_invalidates(self, service, store, table):
         before = service.predict_pair(2, 9)

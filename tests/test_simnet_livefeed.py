@@ -9,7 +9,7 @@ from repro.evaluation import auc_score
 from repro.measurement.classifier import ThresholdClassifier
 from repro.serving.ingest import IngestPipeline
 from repro.serving.store import CoordinateStore
-from repro.simnet.livefeed import LiveFeedDriver, replay_trace
+from repro.simnet.livefeed import HotPairDriver, LiveFeedDriver, replay_trace
 
 
 class _RecordingSink:
@@ -85,6 +85,27 @@ class TestLiveFeedDriver:
                 neighbor_sets=np.zeros((3, 2), dtype=int),
             )
 
+    def test_outlier_rate_injects_spikes(self, rtt_dataset):
+        sink = _RecordingSink()
+        driver = LiveFeedDriver(
+            rtt_dataset.quantities,
+            sink,
+            neighbors=5,
+            outlier_rate=0.2,
+            outlier_scale=100.0,
+            rng=3,
+        )
+        driver.run(5)
+        assert driver.outliers_fed > 0
+        truth_max = np.nanmax(rtt_dataset.quantities)
+        assert max(sink.values) > truth_max  # spikes exceed any true value
+
+    def test_outlier_validation(self, rtt_dataset):
+        with pytest.raises(ValueError):
+            LiveFeedDriver(
+                rtt_dataset.quantities, _RecordingSink(), outlier_scale=0.0
+            )
+
     def test_drives_serving_model_to_accuracy(self, rtt_dataset, rtt_labels):
         """The closed loop: simulated traffic -> ingest -> good AUC."""
         n = rtt_dataset.n
@@ -119,6 +140,88 @@ class TestLiveFeedDriver:
         assert store.version > 2  # refresh policy fired during the run
         assert auc_trained > auc_untrained
         assert auc_trained > 0.85
+
+
+class TestHotPairDriver:
+    def test_pure_hammering_duplicates_one_pair(self, rtt_dataset):
+        sink = _RecordingSink()
+        driver = HotPairDriver(
+            rtt_dataset.quantities, sink, (3, 7), value=120.0, rng=5
+        )
+        fed = driver.run(300, burst=64)
+        assert fed == 300 == driver.hot_fed
+        assert set(zip(sink.sources, sink.targets)) == {(3, 7)}
+        assert set(sink.values) == {120.0}
+        # run() returns the per-call count; cumulative lives on the driver
+        assert driver.run(200) == 200
+        assert driver.samples_fed == 500
+
+    def test_background_mixes_other_pairs(self, rtt_dataset):
+        sink = _RecordingSink()
+        driver = HotPairDriver(
+            rtt_dataset.quantities, sink, (3, 7), value=120.0,
+            background=0.5, rng=5,
+        )
+        driver.run(400)
+        pairs = set(zip(sink.sources, sink.targets))
+        assert (3, 7) in pairs
+        assert len(pairs) > 1
+        assert 0 < driver.hot_fed < driver.samples_fed
+        assert all(src != dst for src, dst in pairs)
+
+    def test_nan_background_probes_do_not_undercount(self, rtt_dataset):
+        """run(count) delivers exactly count samples even when some
+        background probes land on unmeasured (NaN) pairs."""
+        holey = rtt_dataset.quantities.copy()
+        rng = np.random.default_rng(0)
+        holey[rng.random(holey.shape) < 0.5] = np.nan
+        holey[3, 7] = 120.0  # the hot pair must stay measurable
+        sink = _RecordingSink()
+        driver = HotPairDriver(holey, sink, (3, 7), background=0.5, rng=5)
+        assert driver.run(400) == 400
+        assert len(sink.values) == 400
+
+    def test_value_defaults_to_ground_truth(self, rtt_dataset):
+        sink = _RecordingSink()
+        driver = HotPairDriver(rtt_dataset.quantities, sink, (3, 7), rng=5)
+        assert driver.value == pytest.approx(rtt_dataset.quantities[3, 7])
+
+    def test_exercises_the_ingest_guard(self, rtt_dataset, rtt_labels):
+        """The adversarial loop: hammering through a guarded pipeline
+        produces dedup activity and a bounded estimate."""
+        n = rtt_dataset.n
+        config = DMFSGDConfig(neighbors=8)
+        engine = DMFSGDEngine(n, matrix_label_fn(rtt_labels), config, rng=2)
+        engine.run(rounds=80)
+        store = CoordinateStore(engine.coordinates)
+        tau = rtt_dataset.median()
+        pipeline = IngestPipeline(
+            engine,
+            store,
+            classify=ThresholdClassifier("rtt", tau),
+            batch_size=128,
+            refresh_interval=500,
+        )
+        before = store.snapshot().estimate(3, 7)
+        driver = HotPairDriver(
+            rtt_dataset.quantities, pipeline, (3, 7), value=tau * 3, rng=5
+        )
+        driver.run(1200)
+        pipeline.publish()
+        after = store.snapshot().estimate(3, 7)
+        assert np.isfinite(after)
+        assert abs(after) <= 10 * max(abs(before), 1.0)
+        assert pipeline.stats().deduped > 0
+
+    def test_validation(self, rtt_dataset):
+        sink = _RecordingSink()
+        with pytest.raises(ValueError):
+            HotPairDriver(rtt_dataset.quantities, sink, (3, 3))
+        with pytest.raises(ValueError):
+            HotPairDriver(rtt_dataset.quantities, sink, (0, 10_000))
+        driver = HotPairDriver(rtt_dataset.quantities, sink, (3, 7), rng=0)
+        with pytest.raises(ValueError):
+            driver.run(0)
 
 
 class TestReplayTrace:
