@@ -1,0 +1,375 @@
+"""Scale-out benchmark + regression gate: ``python benchmarks/compare.py``.
+
+Measures the serving scale-out surface added by ``repro.serving.shard``
+with a seeded RNG and writes ``BENCH_scaleout.json``:
+
+* **ingest throughput at shards ∈ {1, 2, 4}** — the guarded admission
+  stream (token buckets + sigma filter + dedup/clip) through the
+  single-store pipeline (``shards=1``) and through ``ShardedIngest``
+  (bounded queues, one worker per shard);
+* **query throughput at shards ∈ {1, 2, 4}** — vectorized
+  ``estimate_pairs`` batches against the (sharded) snapshot, plus the
+  dense one-to-many row path;
+* **single-query coalescing** — the per-request path
+  (``predict_pair`` per query) vs the request coalescer:
+  ``single_query_coalesced_pps`` drives the full open loop
+  (submit + collect through the worker), and
+  ``coalesced_answer_pps`` prices the answer path itself — the same
+  queries packed into the coalescer's observed mean batch size and
+  answered by ``predict_pairs`` gathers, which is where coalescing
+  moves the serving work.
+
+Regression gate (CI-friendly)::
+
+    python benchmarks/compare.py --check [--tolerance 0.25]
+
+re-runs the measurements and exits non-zero if any throughput in the
+committed ``BENCH_scaleout.json`` regressed by more than the tolerance
+(default 25%), or if the coalesced answer path no longer clears 5× the
+uncoalesced per-request path, or if sharded guarded admission falls
+under 2× the PR 2 baseline (410k mps).  Fresh numbers are only written
+back in measure mode, so a failed check leaves the committed baseline
+untouched.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import DMFSGDConfig  # noqa: E402
+from repro.core.engine import DMFSGDEngine  # noqa: E402
+from repro.serving.guard import (  # noqa: E402
+    AdmissionGuard,
+    RobustSigmaFilter,
+    TokenBucketRateLimiter,
+)
+from repro.serving.ingest import IngestPipeline  # noqa: E402
+from repro.serving.service import PredictionService  # noqa: E402
+from repro.serving.shard import (  # noqa: E402
+    RequestCoalescer,
+    ShardedCoordinateStore,
+    ShardedIngest,
+)
+from repro.serving.store import CoordinateStore  # noqa: E402
+from repro.utils.tables import format_table  # noqa: E402
+
+SEED = 20111206
+NODES = 500
+RANK = 10
+SAMPLES = 40_000
+BATCH = 1024
+HOT_FRACTION = 0.3
+QUERY_PAIRS = 200_000
+QUERY_BATCH = 4096
+SINGLE_QUERIES = 20_000
+COALESCE_WINDOW = 0.0005
+SHARD_COUNTS = (1, 2, 4)
+SUMMARY_PATH = REPO_ROOT / "BENCH_scaleout.json"
+
+#: PR 2's guarded admission throughput (measurements/s): the scale-out
+#: work must hold at least 2x this (the issue's acceptance bar).
+PR2_GUARDED_ADMISSION_MPS = 410_444.0
+
+
+def _stream(rng):
+    """The ingest-guard bench's duplicate-heavy admission stream."""
+    sources = rng.integers(0, NODES, size=SAMPLES)
+    targets = (sources + 1 + rng.integers(0, NODES - 1, size=SAMPLES)) % NODES
+    hot = rng.random(SAMPLES) < HOT_FRACTION
+    sources[hot], targets[hot] = 3, 7
+    values = rng.choice([-1.0, 1.0], size=SAMPLES)
+    return sources, targets, values
+
+
+def _engine(seed=1):
+    config = DMFSGDConfig(neighbors=8)
+    return DMFSGDEngine(
+        NODES, lambda r, c: np.ones(len(r)), config, rng=seed
+    )
+
+
+def _guard():
+    return AdmissionGuard(
+        rate_limiter=TokenBucketRateLimiter(1e9, 1e9),
+        filters=[RobustSigmaFilter(sigma=6.0)],
+    )
+
+
+def bench_ingest(shards: int, sources, targets, values) -> float:
+    """Guarded-admission measurements/second at a given shard count."""
+    engine = _engine()
+    if shards == 1:
+        store = CoordinateStore(engine.coordinates)
+        pipeline = IngestPipeline(
+            engine,
+            store,
+            batch_size=BATCH,
+            refresh_interval=10 * BATCH,
+            step_clip=0.1,
+            guard=_guard(),
+        )
+        start = time.perf_counter()
+        for lo in range(0, SAMPLES, BATCH):
+            pipeline.submit_many(
+                sources[lo : lo + BATCH],
+                targets[lo : lo + BATCH],
+                values[lo : lo + BATCH],
+            )
+        pipeline.flush()
+        return SAMPLES / (time.perf_counter() - start)
+    store = ShardedCoordinateStore(engine.coordinates, shards=shards)
+    with ShardedIngest(
+        engine,
+        store,
+        batch_size=BATCH,
+        refresh_interval=10 * BATCH,
+        step_clip=0.1,
+        guards=[_guard() for _ in range(shards)],
+        queue_depth=256,
+    ) as sharded:
+        start = time.perf_counter()
+        for lo in range(0, SAMPLES, BATCH):
+            sharded.submit_many(
+                sources[lo : lo + BATCH],
+                targets[lo : lo + BATCH],
+                values[lo : lo + BATCH],
+            )
+        sharded.flush()
+        return SAMPLES / (time.perf_counter() - start)
+
+
+def bench_queries(shards: int, rng) -> "tuple[float, float]":
+    """(batch pair pps, one-to-many row pps) at a given shard count."""
+    table_rng = np.random.default_rng(SEED)
+    U = table_rng.uniform(size=(NODES, RANK))
+    V = table_rng.uniform(size=(NODES, RANK))
+    if shards == 1:
+        snapshot = CoordinateStore((U, V)).snapshot()
+    else:
+        snapshot = ShardedCoordinateStore((U, V), shards=shards).snapshot()
+    sources = rng.integers(0, NODES, size=QUERY_PAIRS)
+    targets = (sources + 1 + rng.integers(0, NODES - 1, size=QUERY_PAIRS)) % NODES
+    start = time.perf_counter()
+    for lo in range(0, QUERY_PAIRS, QUERY_BATCH):
+        snapshot.estimate_pairs(
+            sources[lo : lo + QUERY_BATCH], targets[lo : lo + QUERY_BATCH]
+        )
+    pair_pps = QUERY_PAIRS / (time.perf_counter() - start)
+    rows = 2000  # enough calls to dominate the one-off dense-view build
+    start = time.perf_counter()
+    for i in range(rows):
+        snapshot.estimate_row(int(i % NODES))
+    row_pps = rows * (NODES - 1) / (time.perf_counter() - start)
+    return pair_pps, row_pps
+
+
+def bench_coalescing(rng) -> "dict[str, float]":
+    """Per-request path vs the coalesced single-query path."""
+    table_rng = np.random.default_rng(SEED)
+    U = table_rng.uniform(size=(NODES, RANK))
+    V = table_rng.uniform(size=(NODES, RANK))
+    service = PredictionService(CoordinateStore((U, V)), cache_size=0)
+    sources = rng.integers(0, NODES, size=SINGLE_QUERIES)
+    targets = (
+        sources + 1 + rng.integers(0, NODES - 1, size=SINGLE_QUERIES)
+    ) % NODES
+    pairs = list(zip(sources.tolist(), targets.tolist()))
+
+    # -- per-request path: one predict_pair per query ------------------
+    start = time.perf_counter()
+    for src, dst in pairs:
+        service.predict_pair(src, dst)
+    uncoalesced_pps = SINGLE_QUERIES / (time.perf_counter() - start)
+
+    # -- coalesced, open loop: submit every query, collect every answer
+    with RequestCoalescer(
+        service, window=COALESCE_WINDOW, max_batch=8192
+    ) as coalescer:
+        start = time.perf_counter()
+        tickets = [coalescer.submit(src, dst) for src, dst in pairs]
+        for ticket in tickets:
+            ticket.result(timeout=30.0)
+        coalesced_pps = SINGLE_QUERIES / (time.perf_counter() - start)
+        stats = coalescer.as_dict()
+    mean_batch = max(1, int(stats["mean_batch"] or 1))
+
+    # -- the answer path itself: the same queries packed into the
+    # coalescer's observed mean batch size and answered by the batch
+    # gather — the capacity coalescing unlocks on the serving side
+    start = time.perf_counter()
+    for lo in range(0, SINGLE_QUERIES, mean_batch):
+        service.predict_pairs(
+            sources[lo : lo + mean_batch], targets[lo : lo + mean_batch]
+        )
+    answer_pps = SINGLE_QUERIES / (time.perf_counter() - start)
+
+    return {
+        "single_query_uncoalesced_pps": uncoalesced_pps,
+        "single_query_coalesced_pps": coalesced_pps,
+        "coalesced_answer_pps": answer_pps,
+        "coalesce_window_s": COALESCE_WINDOW,
+        "coalesce_mean_batch": float(mean_batch),
+        "coalesced_answer_speedup": answer_pps / uncoalesced_pps,
+    }
+
+
+def run() -> dict:
+    rng = np.random.default_rng(SEED)
+    sources, targets, values = _stream(rng)
+    result: dict = {
+        "nodes": NODES,
+        "rank": RANK,
+        "samples": SAMPLES,
+        "hot_fraction": HOT_FRACTION,
+        "seed": SEED,
+    }
+    for shards in SHARD_COUNTS:
+        result[f"ingest_shards{shards}_mps"] = bench_ingest(
+            shards, sources.copy(), targets.copy(), values.copy()
+        )
+    for shards in SHARD_COUNTS:
+        pair_pps, row_pps = bench_queries(shards, rng)
+        result[f"query_pairs_shards{shards}_pps"] = pair_pps
+        result[f"query_rows_shards{shards}_pps"] = row_pps
+    result.update(bench_coalescing(rng))
+    return result
+
+
+def format_result(result: dict) -> str:
+    rows = []
+    for shards in SHARD_COUNTS:
+        rows.append(
+            [
+                f"ingest, {shards} shard(s)",
+                f"{result[f'ingest_shards{shards}_mps']:,.0f} mps",
+            ]
+        )
+    for shards in SHARD_COUNTS:
+        rows.append(
+            [
+                f"batch queries, {shards} shard(s)",
+                f"{result[f'query_pairs_shards{shards}_pps']:,.0f} pps",
+            ]
+        )
+    rows.append(
+        [
+            "single query, per-request",
+            f"{result['single_query_uncoalesced_pps']:,.0f} pps",
+        ]
+    )
+    rows.append(
+        [
+            "single query, coalesced (open loop)",
+            f"{result['single_query_coalesced_pps']:,.0f} pps",
+        ]
+    )
+    rows.append(
+        [
+            "coalesced answer path",
+            f"{result['coalesced_answer_pps']:,.0f} pps",
+        ]
+    )
+    return format_table(rows, headers=["path", "throughput"])
+
+
+# ----------------------------------------------------------------------
+# the regression gate
+# ----------------------------------------------------------------------
+
+#: JSON keys compared by --check (higher is better for every one)
+THROUGHPUT_KEYS = tuple(
+    [f"ingest_shards{s}_mps" for s in SHARD_COUNTS]
+    + [f"query_pairs_shards{s}_pps" for s in SHARD_COUNTS]
+    + [f"query_rows_shards{s}_pps" for s in SHARD_COUNTS]
+    + [
+        "single_query_uncoalesced_pps",
+        "single_query_coalesced_pps",
+        "coalesced_answer_pps",
+    ]
+)
+
+
+def check(result: dict, tolerance: float) -> int:
+    """Compare fresh numbers against the committed baselines.
+
+    Returns a process exit code: 0 when everything holds, 1 on any
+    regression beyond ``tolerance`` or a broken acceptance invariant.
+    """
+    failures = []
+    if SUMMARY_PATH.exists():
+        committed = json.loads(SUMMARY_PATH.read_text())
+        for key in THROUGHPUT_KEYS:
+            if key not in committed:
+                continue
+            floor = (1.0 - tolerance) * float(committed[key])
+            if result[key] < floor:
+                failures.append(
+                    f"{key}: measured {result[key]:,.0f} < "
+                    f"{floor:,.0f} ({(1.0 - tolerance):.0%} of committed "
+                    f"{float(committed[key]):,.0f})"
+                )
+    else:
+        print(f"note: no committed {SUMMARY_PATH.name}; skipping diffs")
+
+    # acceptance invariants (absolute, not relative to the baseline)
+    speedup = result["coalesced_answer_speedup"]
+    if speedup < 5.0:
+        failures.append(
+            f"coalesced answer path only {speedup:.1f}x the per-request "
+            "path (needs >= 5x)"
+        )
+    sharded_mps = result["ingest_shards4_mps"]
+    if sharded_mps < 2.0 * PR2_GUARDED_ADMISSION_MPS:
+        failures.append(
+            f"guarded admission at 4 shards is {sharded_mps:,.0f} mps, "
+            f"under 2x the PR 2 baseline "
+            f"({2.0 * PR2_GUARDED_ADMISSION_MPS:,.0f})"
+        )
+
+    if failures:
+        print("REGRESSION CHECK FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"regression check passed (tolerance {tolerance:.0%})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serving scale-out benchmark + regression gate"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed BENCH_scaleout.json and exit "
+        "non-zero on regression (the committed file is not rewritten)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression in --check mode (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    result = run()
+    print(format_result(result))
+    if args.check:
+        return check(result, args.tolerance)
+    SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {SUMMARY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@ traffic) through four configurations:
 * **guarded batch** — within-batch dedup + step clip;
 * **guarded + admission** — dedup/clip plus per-source token buckets
   and the sigma outlier filter;
+* **guarded + admission, 4 shards** — the same admission work through
+  ``repro.serving.shard.ShardedIngest`` (bounded queues, one guarded
+  pipeline per shard on its own worker thread);
 * **single-submit** — the scalar fast path of ``submit`` (the
   gateway's per-request shape), guarded.
 
@@ -33,6 +36,7 @@ from repro.serving.guard import (
     TokenBucketRateLimiter,
 )
 from repro.serving.ingest import IngestPipeline
+from repro.serving.shard import ShardedCoordinateStore, ShardedIngest
 from repro.serving.store import CoordinateStore
 from repro.utils.tables import format_table
 
@@ -97,6 +101,35 @@ def run():
     )
     admission_s = _ingest_batched(admission, sources, targets, values)
 
+    # the same admission work, sharded 4 ways (queues + workers)
+    config = DMFSGDConfig(neighbors=8)
+    engine = DMFSGDEngine(NODES, lambda r, c: np.ones(len(r)), config, rng=1)
+    sharded_store = ShardedCoordinateStore(engine.coordinates, shards=4)
+    with ShardedIngest(
+        engine,
+        sharded_store,
+        batch_size=BATCH,
+        refresh_interval=10 * BATCH,
+        step_clip=0.1,
+        guards=[
+            AdmissionGuard(
+                rate_limiter=TokenBucketRateLimiter(1e9, 1e9),
+                filters=[RobustSigmaFilter(sigma=6.0)],
+            )
+            for _ in range(4)
+        ],
+        queue_depth=256,
+    ) as sharded:
+        start = time.perf_counter()
+        for lo in range(0, SAMPLES, BATCH):
+            sharded.submit_many(
+                sources[lo : lo + BATCH],
+                targets[lo : lo + BATCH],
+                values[lo : lo + BATCH],
+            )
+        sharded.flush()
+        sharded_s = time.perf_counter() - start
+
     single = make_pipeline(1, step_clip=0.1)
     start = time.perf_counter()
     for k in range(SINGLE_SAMPLES):
@@ -115,6 +148,7 @@ def run():
         "raw_batch_mps": SAMPLES / raw_s,
         "guarded_batch_mps": SAMPLES / guarded_s,
         "guarded_admission_mps": SAMPLES / admission_s,
+        "guarded_admission_shards4_mps": SAMPLES / sharded_s,
         "single_submit_mps": SINGLE_SAMPLES / single_s,
         "guarded_deduped": guarded.stats().deduped,
     }
@@ -129,6 +163,10 @@ def test_ingest_guard_throughput(run_once, report):
         [
             "guarded + rate limit + outlier",
             f"{result['guarded_admission_mps']:,.0f}",
+        ],
+        [
+            "guarded + admission, 4 shards",
+            f"{result['guarded_admission_shards4_mps']:,.0f}",
         ],
         ["single submit (fast path)", f"{result['single_submit_mps']:,.0f}"],
     ]

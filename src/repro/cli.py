@@ -188,6 +188,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=4096)
     serve.add_argument("--batch-size", type=int, default=256)
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="P",
+        help="partition the serving state into P node-id shards, each "
+        "with its own admission pipeline on a dedicated worker thread "
+        "(1 = single-store stack)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bounded per-shard ingest queue capacity (backpressure)",
+    )
+    serve.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="batch concurrent single GET /predict requests arriving "
+        "within this many milliseconds into one vectorized gather",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["threading", "selectors"],
+        default="threading",
+        help="gateway transport: thread-per-connection (threading) or "
+        "a single-threaded non-blocking event loop (selectors)",
+    )
+    serve.add_argument(
         "--refresh-every",
         type=int,
         default=1000,
@@ -384,6 +415,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         eval_window=args.eval_window,
         save_checkpoint=args.save_checkpoint,
         checkpoint_every=args.checkpoint_every,
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        coalesce_window=(
+            args.coalesce_window / 1000.0
+            if args.coalesce_window is not None
+            else None
+        ),
+        backend=args.backend,
     )
     print(f"serving on {gateway.url}", file=sys.stderr)
     print(

@@ -27,6 +27,7 @@ __all__ = [
     "CoordinateTable",
     "row_estimate",
     "pairs_estimate",
+    "gathered_pairs_estimate",
     "matrix_estimate",
     "resolve_npz_path",
 ]
@@ -75,6 +76,21 @@ def row_estimate(
     return row
 
 
+def gathered_pairs_estimate(
+    u_rows: np.ndarray, v_rows: np.ndarray
+) -> np.ndarray:
+    """The pair-estimate kernel on already-gathered factor rows.
+
+    ``u_rows[k]`` and ``v_rows[k]`` are the factor rows of the ``k``-th
+    queried pair; the result is the row-wise inner product.  Split out
+    of :func:`pairs_estimate` so every batch read path — whole-matrix
+    stores and the sharded store, whose gather spans several per-shard
+    snapshots — runs the *same* floating-point reduction and therefore
+    produces bitwise-identical estimates for the same model.
+    """
+    return np.einsum("ij,ij->i", u_rows, v_rows)
+
+
 def pairs_estimate(
     U: np.ndarray, V: np.ndarray, rows: np.ndarray, cols: np.ndarray
 ) -> np.ndarray:
@@ -96,7 +112,7 @@ def pairs_estimate(
         rows.min() < 0 or cols.min() < 0 or rows.max() >= n or cols.max() >= n
     ):
         raise ValueError("node indices out of range")
-    return np.einsum("ij,ij->i", U[rows], V[cols])
+    return gathered_pairs_estimate(U[rows], V[cols])
 
 
 def matrix_estimate(

@@ -18,8 +18,16 @@ demand while fresh measurements keep improving the model:
   :class:`AdmissionGuard` (per-source rate limiting + outlier
   rejection), :class:`OnlineEvaluator` (sliding-window drift metrics
   in ``/stats``) and :class:`BackgroundCheckpointer`;
+* :mod:`repro.serving.shard` — the scale-out layer:
+  :class:`ShardedCoordinateStore` (per-node-id partitions with
+  lock-free RCU snapshot reads), :class:`ShardedIngest` (one guarded
+  admission pipeline per shard behind a bounded queue on a dedicated
+  worker thread) and :class:`RequestCoalescer` (concurrent single
+  queries answered by one vectorized batch gather);
 * :mod:`repro.serving.gateway` — :class:`ServingGateway`, a
-  stdlib-only JSON/HTTP frontend (``repro serve``);
+  stdlib-only JSON/HTTP frontend (``repro serve``) with two
+  transports: thread-per-connection ``threading`` and a
+  single-threaded non-blocking ``selectors`` event loop;
 * :mod:`repro.serving.client` — :class:`ServingClient`, the matching
   :mod:`urllib` client;
 * :mod:`repro.serving.app` — :func:`build_gateway`, the one-stop
@@ -50,6 +58,14 @@ from repro.serving.guard import (
     TokenBucketRateLimiter,
 )
 from repro.serving.ingest import IngestPipeline, IngestStats
+from repro.serving.shard import (
+    RequestCoalescer,
+    ShardedCoordinateStore,
+    ShardedIngest,
+    ShardedSnapshot,
+    ShardSnapshot,
+    shard_of,
+)
 from repro.serving.service import (
     BatchPrediction,
     PairPrediction,
@@ -72,6 +88,12 @@ __all__ = [
     "TokenBucketRateLimiter",
     "IngestPipeline",
     "IngestStats",
+    "RequestCoalescer",
+    "ShardedCoordinateStore",
+    "ShardedIngest",
+    "ShardedSnapshot",
+    "ShardSnapshot",
+    "shard_of",
     "BatchPrediction",
     "PairPrediction",
     "PredictionService",

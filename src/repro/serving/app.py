@@ -28,6 +28,7 @@ from repro.serving.guard import (
 )
 from repro.serving.ingest import IngestPipeline
 from repro.serving.service import PredictionService
+from repro.serving.shard import ShardedCoordinateStore, ShardedIngest
 from repro.serving.store import CoordinateStore
 
 __all__ = ["build_gateway"]
@@ -55,6 +56,10 @@ def build_gateway(
     eval_window: int = 2000,
     save_checkpoint: Optional[str] = None,
     checkpoint_every: float = 60.0,
+    shards: int = 1,
+    queue_depth: int = 64,
+    coalesce_window: Optional[float] = None,
+    backend: str = "threading",
     verbose: bool = False,
 ) -> ServingGateway:
     """Pre-train a model on a synthetic dataset and wrap it for serving.
@@ -102,7 +107,22 @@ def build_gateway(
     save_checkpoint:
         Optional ``.npz`` path for periodic background checkpointing
         of the store (every ``checkpoint_every`` seconds while the
-        gateway runs).
+        gateway runs).  With ``shards > 1`` the checkpoint is
+        shard-aware: one file, per-shard keys and versions.
+    shards:
+        Partition the serving state into this many node-id shards,
+        each with its own admission pipeline on a dedicated worker
+        thread behind a bounded queue (``repro.serving.shard``); 1
+        keeps the single-store stack.
+    queue_depth:
+        Bounded per-shard ingest queue capacity (backpressure bound),
+        sharded mode only.
+    coalesce_window:
+        Seconds concurrent single ``GET /predict`` requests wait to
+        share one vectorized batch gather; ``None`` disables.
+    backend:
+        Gateway transport: ``"threading"`` (thread per connection) or
+        ``"selectors"`` (single-threaded non-blocking event loop).
     """
     from repro.experiments.common import PAPER_NEIGHBORS, get_dataset
 
@@ -127,6 +147,8 @@ def build_gateway(
             "rate_burst sizes the token bucket that rate_limit creates; "
             "it would be ignored without rate_limit"
         )
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
 
     data = get_dataset(dataset, n_hosts=nodes, seed=seed)
     tau = (
@@ -143,8 +165,15 @@ def build_gateway(
         metric=data.metric,
         rng=seed,
     )
+    sharded = shards > 1
     if checkpoint is not None:
-        store = CoordinateStore.load(checkpoint)
+        if sharded:
+            # shard-aware restore: accepts both sharded checkpoints
+            # (re-partitioning with a warning on a shard-count change)
+            # and plain single-store ones
+            store = ShardedCoordinateStore.load(checkpoint, shards=shards)
+        else:
+            store = CoordinateStore.load(checkpoint)
         if store.n != engine.n:
             raise ValueError(
                 f"checkpoint has {store.n} nodes, dataset has {engine.n}"
@@ -155,10 +184,15 @@ def build_gateway(
             rounds = 20 * PAPER_NEIGHBORS.get(dataset, config.neighbors)
         if rounds > 0:
             engine.run(rounds=rounds)
-        store = CoordinateStore(engine.coordinates)
+        if sharded:
+            store = ShardedCoordinateStore(engine.coordinates, shards=shards)
+        else:
+            store = CoordinateStore(engine.coordinates)
 
-    guard = None
-    if rate_limit is not None or outlier_sigma is not None or reject_band is not None:
+    def make_guard() -> Optional[AdmissionGuard]:
+        """A fresh guard per consumer: guards are stateful, never shared."""
+        if rate_limit is None and outlier_sigma is None and reject_band is None:
+            return None
         limiter = None
         if rate_limit is not None:
             limiter = TokenBucketRateLimiter(
@@ -172,7 +206,8 @@ def build_gateway(
             from repro.measurement.errors import FlipNearThreshold
 
             filters.append(NoiseBandFilter(FlipNearThreshold(tau, reject_band)))
-        guard = AdmissionGuard(rate_limiter=limiter, filters=filters)
+        return AdmissionGuard(rate_limiter=limiter, filters=filters)
+
     evaluator = (
         OnlineEvaluator("class", window=eval_window) if eval_window else None
     )
@@ -183,22 +218,40 @@ def build_gateway(
     )
 
     service = PredictionService(store, cache_size=cache_size)
-    ingest = IngestPipeline(
-        engine,
-        store,
-        classify=ThresholdClassifier(data.metric, tau),
-        batch_size=batch_size,
-        refresh_interval=refresh_interval,
-        mode=mode,
-        step_clip=step_clip,
-        guard=guard,
-        evaluator=evaluator,
-    )
+    classify = ThresholdClassifier(data.metric, tau)
+    if sharded:
+        guards = [make_guard() for _ in range(shards)]
+        ingest = ShardedIngest(
+            engine,
+            store,
+            classify=classify,
+            batch_size=batch_size,
+            refresh_interval=refresh_interval,
+            mode=mode,
+            step_clip=step_clip,
+            guards=None if guards[0] is None else guards,
+            evaluator=evaluator,
+            queue_depth=queue_depth,
+        )
+    else:
+        ingest = IngestPipeline(
+            engine,
+            store,
+            classify=classify,
+            batch_size=batch_size,
+            refresh_interval=refresh_interval,
+            mode=mode,
+            step_clip=step_clip,
+            guard=make_guard(),
+            evaluator=evaluator,
+        )
     return ServingGateway(
         service,
         ingest,
         checkpointer=checkpointer,
         host=host,
         port=port,
+        backend=backend,
+        coalesce_window=coalesce_window,
         verbose=verbose,
     )

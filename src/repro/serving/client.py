@@ -85,8 +85,20 @@ class ServingClient:
         return self._request("/stats")
 
     def predict(self, source: int, target: int) -> Dict:
-        """GET /predict — single-pair estimate + class label."""
+        """GET /predict — single-pair estimate + class label.
+
+        Against a coalescing gateway the response additionally carries
+        ``"coalesced": true`` when it was answered by a shared batch
+        gather.
+        """
         return self._request(f"/predict?src={int(source)}&dst={int(target)}")
+
+    def shards(self) -> List[Dict]:
+        """GET /shards — per-shard queue depth / snapshot age / version.
+
+        Raises :class:`GatewayError` (400) on a non-sharded gateway.
+        """
+        return self._request("/shards")["shards"]
 
     def predict_from(
         self, source: int, targets: Optional[Iterable[int]] = None

@@ -1,11 +1,21 @@
 """Stdlib-only JSON/HTTP gateway in front of the serving components.
 
 A thin transport layer: every endpoint delegates to
-:class:`~repro.serving.service.PredictionService` and
-:class:`~repro.serving.ingest.IngestPipeline`; no model logic lives
-here.  Built on :mod:`http.server`'s ``ThreadingHTTPServer`` so the
-repo stays dependency-free — the store/service/ingest triple is
-thread-safe precisely so concurrent gateway requests are sound.
+:class:`~repro.serving.service.PredictionService` and the ingest
+pipeline (single-store :class:`~repro.serving.ingest.IngestPipeline`
+or sharded :class:`~repro.serving.shard.ShardedIngest` — the gateway
+is agnostic); no model logic lives here.  Routing itself is
+transport-agnostic too: :class:`GatewayCore` maps
+``(method, path, params, body)`` to ``(status, payload)`` and is
+served by either of two backends:
+
+* ``backend="threading"`` — :mod:`http.server`'s
+  ``ThreadingHTTPServer``: one thread per connection, the
+  battle-tested default;
+* ``backend="selectors"`` — a single-threaded non-blocking event loop
+  on :mod:`selectors`: accept/parse stop burning a thread per
+  connection, which is the scale-out shape for many short-lived
+  connections.
 
 Endpoints (all JSON):
 
@@ -14,7 +24,8 @@ method    path                     meaning
 ========  =======================  =======================================
 GET       ``/health``              liveness + model vitals
 GET       ``/version``             served snapshot version
-GET       ``/stats``               service + ingest + guard + online-eval
+GET       ``/stats``               service + ingest + guard + shards + ...
+GET       ``/shards``              per-shard queue depth / snapshot age
 GET       ``/predict``             ``?src=i&dst=j`` single-pair prediction
 GET       ``/predict_from``        ``?src=i[&targets=j,k,...]`` one-to-many
 POST      ``/estimate/batch``      ``{"pairs": [[src, dst], ...]}`` vectorized
@@ -22,12 +33,13 @@ POST      ``/ingest``              ``{"measurements": [[src, dst, value], ...]}`
 POST      ``/refresh``             force flush + publish (new version)
 ========  =======================  =======================================
 
-``/stats`` of a writable gateway carries, beyond the ``service`` and
-``ingest`` counter sections, a ``guard`` section (ingest mode,
-dedup/clip activity, per-reason admission rejections), an
-``online_eval`` section (the sliding-window drift metric) when the
-pipeline has an evaluator, and a ``checkpoint`` section when a
-background checkpointer is attached.
+With a :class:`~repro.serving.shard.RequestCoalescer` attached
+(``coalesce_window``), concurrent ``GET /predict`` requests inside the
+window are answered by **one** ``predict_pairs`` gather — the
+per-request path rides the vectorized batch path; such responses carry
+``"coalesced": true``.  ``/stats`` of a sharded gateway carries a
+``shards`` section (per-shard queue depth, snapshot age and version)
+and, when coalescing, a ``coalescer`` section.
 
 Use :class:`ServingGateway` programmatically (``start()`` /
 ``stop()``, or as a context manager — port 0 picks a free port, which
@@ -38,7 +50,11 @@ serve`` CLI command.
 from __future__ import annotations
 
 import json
+import selectors
+import socket
+import sys
 import threading
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -46,10 +62,12 @@ from urllib.parse import parse_qs, urlparse
 import numpy as np
 
 from repro.serving.guard import BackgroundCheckpointer
-from repro.serving.ingest import IngestPipeline
-from repro.serving.service import PredictionService
+from repro.serving.service import PredictionService, classify_score
 
-__all__ = ["ServingGateway"]
+__all__ = ["GatewayCore", "ServingGateway", "BACKENDS"]
+
+#: gateway transport backends selectable via ``ServingGateway(backend=...)``
+BACKENDS = ("threading", "selectors")
 
 
 class _BadRequest(ValueError):
@@ -66,13 +84,217 @@ def _get_int(params: Dict[str, list], name: str) -> int:
         raise _BadRequest(f"parameter {name!r} must be an integer, got {raw!r}")
 
 
+class GatewayCore:
+    """Transport-independent request routing.
+
+    Both HTTP backends funnel every request through
+    :meth:`handle` — one code path to test, two transports to serve
+    it.  The core never raises for client errors: it returns the
+    ``(status, payload)`` pair the transport should serialize.
+    """
+
+    def __init__(
+        self,
+        service: PredictionService,
+        ingest=None,
+        *,
+        checkpointer: Optional[BackgroundCheckpointer] = None,
+        coalescer=None,
+    ) -> None:
+        self.service = service
+        self.ingest = ingest
+        self.checkpointer = checkpointer
+        self.coalescer = coalescer
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, params: Dict[str, list], body: bytes
+    ) -> Tuple[int, Dict]:
+        """Route one request; returns ``(http_status, json_payload)``."""
+        try:
+            if method == "GET":
+                return self._get(path, params)
+            if method == "POST":
+                return self._post(path, body)
+            return 405, {"error": f"method {method} not allowed"}
+        except (_BadRequest, ValueError, TypeError, IndexError) as exc:
+            # TypeError covers np.asarray on non-numeric JSON entries; a
+            # serving endpoint answers 400, it never drops the connection.
+            return 400, {"error": str(exc)}
+
+    def _read_body(self, body: bytes) -> Dict:
+        if not body:
+            raise _BadRequest("empty request body")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise _BadRequest("request body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # GET routes
+    # ------------------------------------------------------------------
+
+    def _get(self, path: str, params: Dict[str, list]) -> Tuple[int, Dict]:
+        service = self.service
+        if path == "/health":
+            snapshot = service.store.snapshot()
+            return 200, {
+                "status": "ok",
+                "version": snapshot.version,
+                "nodes": snapshot.n,
+                "rank": snapshot.rank,
+            }
+        if path == "/version":
+            return 200, {"version": service.store.version}
+        if path == "/stats":
+            payload = {"service": service.stats().as_dict()}
+            if self.ingest is not None:
+                # one atomic snapshot: ingest + guard counters agree
+                payload.update(self.ingest.stats_payload())
+                if self.ingest.evaluator is not None:
+                    payload["online_eval"] = self.ingest.evaluator.evaluate()
+            if self.checkpointer is not None:
+                payload["checkpoint"] = self.checkpointer.as_dict()
+            if self.coalescer is not None:
+                payload["coalescer"] = self.coalescer.as_dict()
+            return 200, payload
+        if path == "/shards":
+            shard_info = getattr(self.ingest, "shard_info", None)
+            if shard_info is None:
+                return 400, {"error": "gateway is not sharded"}
+            return 200, {"shards": shard_info()}
+        if path == "/predict":
+            src = _get_int(params, "src")
+            dst = _get_int(params, "dst")
+            if self.coalescer is not None:
+                return 200, self._predict_coalesced(src, dst)
+            return 200, service.predict_pair(src, dst).as_dict()
+        if path == "/predict_from":
+            src = _get_int(params, "src")
+            targets = None
+            if "targets" in params:
+                raw = params["targets"][-1]
+                try:
+                    targets = np.array(
+                        [int(t) for t in raw.split(",") if t != ""],
+                        dtype=int,
+                    )
+                except ValueError:
+                    raise _BadRequest(
+                        f"targets must be comma-separated integers, got {raw!r}"
+                    )
+            return 200, service.predict_from(src, targets).as_dict()
+        return 404, {"error": f"unknown path {path!r}"}
+
+    def _predict_coalesced(self, src: int, dst: int) -> Dict:
+        """Single-pair prediction through the coalesced batch path.
+
+        Same contract as :meth:`PredictionService.predict_pair` — the
+        self-pair is rejected up front (one bad request must not ride a
+        shared gather into a batch-wide NaN surprise).
+        """
+        if int(src) == int(dst):
+            raise _BadRequest(
+                f"the path from node {int(src)} to itself is undefined"
+            )
+        estimate, version = self.coalescer.estimate(src, dst)
+        finite = np.isfinite(estimate)
+        return {
+            "source": int(src),
+            "target": int(dst),
+            "estimate": float(estimate) if finite else None,
+            "label": classify_score(estimate),
+            "version": version,
+            "cached": False,
+            "coalesced": True,
+        }
+
+    # ------------------------------------------------------------------
+    # POST routes
+    # ------------------------------------------------------------------
+
+    def _post(self, path: str, body: bytes) -> Tuple[int, Dict]:
+        ingest = self.ingest
+        if path == "/estimate/batch":
+            # a read path despite the POST verb (the pair list does
+            # not fit a query string); works on read-only gateways
+            payload = self._read_body(body)
+            pairs = payload.get("pairs")
+            if not isinstance(pairs, list):
+                raise _BadRequest('body must contain a "pairs" list')
+            for entry in pairs:
+                if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                    raise _BadRequest("each pair must be [source, target]")
+            if pairs:
+                array = np.asarray(pairs, dtype=float)
+                if not np.all(
+                    np.isfinite(array) & (array == np.floor(array))
+                ):
+                    raise _BadRequest("pair indices must be integers")
+                sources = array[:, 0].astype(int)
+                targets = array[:, 1].astype(int)
+            else:
+                sources = np.array([], dtype=int)
+                targets = np.array([], dtype=int)
+            prediction = self.service.predict_pairs(sources, targets)
+            return 200, prediction.as_dict()
+        if path == "/ingest":
+            if ingest is None:
+                return 400, {"error": "gateway is read-only"}
+            payload = self._read_body(body)
+            measurements = payload.get("measurements")
+            if not isinstance(measurements, list):
+                raise _BadRequest('body must contain a "measurements" list')
+            triples = []
+            for entry in measurements:
+                if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                    raise _BadRequest(
+                        "each measurement must be [source, target, value]"
+                    )
+                triples.append(entry)
+            if len(triples) == 1:
+                # the scalar fast path: single-measurement posts
+                # skip the array round-trip entirely (None -> NaN,
+                # matching np.asarray's coercion on the batch path)
+                src, dst, value = (
+                    float("nan") if entry is None else float(entry)
+                    for entry in triples[0]
+                )
+                kept = int(ingest.submit(src, dst, value))
+            elif triples:
+                array = np.asarray(triples, dtype=float)
+                kept = ingest.submit_many(
+                    array[:, 0], array[:, 1], array[:, 2]
+                )
+            else:
+                kept = 0
+            return 200, {
+                "accepted": kept,
+                "received": len(triples),
+                "buffered": ingest.buffered,
+                "version": ingest.store.version,
+            }
+        if path == "/refresh":
+            if ingest is None:
+                return 400, {"error": "gateway is read-only"}
+            return 200, {"version": ingest.publish()}
+        return 404, {"error": f"unknown path {path!r}"}
+
+
+# ----------------------------------------------------------------------
+# threading backend (http.server)
+# ----------------------------------------------------------------------
+
+
 class _Handler(BaseHTTPRequestHandler):
     server: "_ServingHTTPServer"
     protocol_version = "HTTP/1.1"
-
-    # ------------------------------------------------------------------
-    # plumbing
-    # ------------------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.server.verbose:  # pragma: no cover - debug aid
@@ -86,158 +308,21 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
-
-    def _read_body(self) -> Dict:
-        length = int(self.headers.get("Content-Length", 0) or 0)
-        raw = self.rfile.read(length) if length else b""
-        if not raw:
-            raise _BadRequest("empty request body")
-        try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            raise _BadRequest("request body is not valid JSON")
-        if not isinstance(payload, dict):
-            raise _BadRequest("request body must be a JSON object")
-        return payload
-
-    # ------------------------------------------------------------------
-    # routes
-    # ------------------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 - http.server API
+    def _dispatch(self, method: str) -> None:
         url = urlparse(self.path)
         params = parse_qs(url.query)
-        service = self.server.service
-        try:
-            if url.path == "/health":
-                snapshot = service.store.snapshot()
-                self._send_json(
-                    {
-                        "status": "ok",
-                        "version": snapshot.version,
-                        "nodes": snapshot.n,
-                        "rank": snapshot.rank,
-                    }
-                )
-            elif url.path == "/version":
-                self._send_json({"version": service.store.version})
-            elif url.path == "/stats":
-                payload = {"service": service.stats().as_dict()}
-                ingest = self.server.ingest
-                if ingest is not None:
-                    # one atomic snapshot: ingest + guard counters agree
-                    payload.update(ingest.stats_payload())
-                    if ingest.evaluator is not None:
-                        payload["online_eval"] = ingest.evaluator.evaluate()
-                if self.server.checkpointer is not None:
-                    payload["checkpoint"] = self.server.checkpointer.as_dict()
-                self._send_json(payload)
-            elif url.path == "/predict":
-                src = _get_int(params, "src")
-                dst = _get_int(params, "dst")
-                self._send_json(service.predict_pair(src, dst).as_dict())
-            elif url.path == "/predict_from":
-                src = _get_int(params, "src")
-                targets = None
-                if "targets" in params:
-                    raw = params["targets"][-1]
-                    try:
-                        targets = np.array(
-                            [int(t) for t in raw.split(",") if t != ""],
-                            dtype=int,
-                        )
-                    except ValueError:
-                        raise _BadRequest(
-                            f"targets must be comma-separated integers, got {raw!r}"
-                        )
-                self._send_json(service.predict_from(src, targets).as_dict())
-            else:
-                self._send_error_json(404, f"unknown path {url.path!r}")
-        except (_BadRequest, ValueError, TypeError, IndexError) as exc:
-            self._send_error_json(400, str(exc))
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        body = self.rfile.read(length) if length else b""
+        status, payload = self.server.core.handle(
+            method, url.path, params, body
+        )
+        self._send_json(payload, status=status)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        url = urlparse(self.path)
-        ingest = self.server.ingest
-        try:
-            if url.path == "/estimate/batch":
-                # a read path despite the POST verb (the pair list does
-                # not fit a query string); works on read-only gateways
-                payload = self._read_body()
-                pairs = payload.get("pairs")
-                if not isinstance(pairs, list):
-                    raise _BadRequest('body must contain a "pairs" list')
-                for entry in pairs:
-                    if not isinstance(entry, (list, tuple)) or len(entry) != 2:
-                        raise _BadRequest("each pair must be [source, target]")
-                if pairs:
-                    array = np.asarray(pairs, dtype=float)
-                    if not np.all(
-                        np.isfinite(array) & (array == np.floor(array))
-                    ):
-                        raise _BadRequest("pair indices must be integers")
-                    sources = array[:, 0].astype(int)
-                    targets = array[:, 1].astype(int)
-                else:
-                    sources = np.array([], dtype=int)
-                    targets = np.array([], dtype=int)
-                prediction = self.server.service.predict_pairs(
-                    sources, targets
-                )
-                self._send_json(prediction.as_dict())
-            elif url.path == "/ingest":
-                if ingest is None:
-                    self._send_error_json(400, "gateway is read-only")
-                    return
-                payload = self._read_body()
-                measurements = payload.get("measurements")
-                if not isinstance(measurements, list):
-                    raise _BadRequest('body must contain a "measurements" list')
-                triples = []
-                for entry in measurements:
-                    if not isinstance(entry, (list, tuple)) or len(entry) != 3:
-                        raise _BadRequest(
-                            "each measurement must be [source, target, value]"
-                        )
-                    triples.append(entry)
-                if len(triples) == 1:
-                    # the scalar fast path: single-measurement posts
-                    # skip the array round-trip entirely (None -> NaN,
-                    # matching np.asarray's coercion on the batch path)
-                    src, dst, value = (
-                        float("nan") if entry is None else float(entry)
-                        for entry in triples[0]
-                    )
-                    kept = int(ingest.submit(src, dst, value))
-                elif triples:
-                    array = np.asarray(triples, dtype=float)
-                    kept = ingest.submit_many(
-                        array[:, 0], array[:, 1], array[:, 2]
-                    )
-                else:
-                    kept = 0
-                self._send_json(
-                    {
-                        "accepted": kept,
-                        "received": len(triples),
-                        "buffered": ingest.buffered,
-                        "version": ingest.store.version,
-                    }
-                )
-            elif url.path == "/refresh":
-                if ingest is None:
-                    self._send_error_json(400, "gateway is read-only")
-                    return
-                version = ingest.publish()
-                self._send_json({"version": version})
-            else:
-                self._send_error_json(404, f"unknown path {url.path!r}")
-        except (_BadRequest, ValueError, TypeError) as exc:
-            # TypeError covers np.asarray on non-numeric JSON entries; a
-            # serving endpoint answers 400, it never drops the connection.
-            self._send_error_json(400, str(exc))
+        self._dispatch("POST")
 
 
 class _ServingHTTPServer(ThreadingHTTPServer):
@@ -247,16 +332,231 @@ class _ServingHTTPServer(ThreadingHTTPServer):
     def __init__(
         self,
         address: Tuple[str, int],
-        service: PredictionService,
-        ingest: Optional[IngestPipeline],
-        checkpointer: Optional[BackgroundCheckpointer],
+        core: GatewayCore,
         verbose: bool,
     ) -> None:
         super().__init__(address, _Handler)
-        self.service = service
-        self.ingest = ingest
-        self.checkpointer = checkpointer
+        self.core = core
         self.verbose = verbose
+
+
+# ----------------------------------------------------------------------
+# selectors backend (single-threaded non-blocking event loop)
+# ----------------------------------------------------------------------
+
+
+class _Connection:
+    """Parse state of one non-blocking client connection."""
+
+    __slots__ = ("sock", "inbuf", "outbuf", "content_length", "header_end")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.inbuf = b""
+        self.outbuf = b""
+        self.content_length: Optional[int] = None
+        self.header_end: Optional[int] = None
+
+
+class _SelectorsServer:
+    """Minimal HTTP/1.1 server on a :mod:`selectors` event loop.
+
+    One thread runs accept + read + parse + dispatch + write for every
+    connection — no thread-per-connection cost, which is where
+    ``ThreadingHTTPServer`` tops out under many short-lived
+    connections.  Handlers (NumPy gathers) run inline: they are
+    microseconds-scale, far below the socket round-trip they answer.
+    Responses close the connection (``Connection: close``) to keep the
+    state machine small; clients like :mod:`urllib` handle this
+    transparently.
+    """
+
+    _MAX_HEADER = 64 * 1024
+    _MAX_BODY = 32 * 1024 * 1024
+
+    def __init__(
+        self, address: Tuple[str, int], core: GatewayCore, verbose: bool
+    ) -> None:
+        self.core = core
+        self.verbose = verbose
+        self._listener = socket.create_server(
+            address, family=socket.AF_INET, backlog=128, reuse_port=False
+        )
+        self._listener.setblocking(False)
+        self.server_address = self._listener.getsockname()
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._shutdown = threading.Event()
+        self._stopped = threading.Event()
+        # starts set: shutdown() must not wait on a loop that never ran
+        self._stopped.set()
+
+    # -- loop ----------------------------------------------------------
+
+    def serve_forever(self, poll_interval: float = 0.1) -> None:
+        self._stopped.clear()
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    ready = self._selector.select(poll_interval)
+                except (OSError, RuntimeError):
+                    if self._shutdown.is_set():  # selector torn down
+                        return
+                    raise
+                for key, events in ready:
+                    if key.data is None:
+                        self._accept()
+                    elif events & selectors.EVENT_READ:
+                        self._read(key.data)
+                    elif events & selectors.EVENT_WRITE:
+                        self._write(key.data)
+        finally:
+            self._stopped.set()
+
+    def shutdown(self) -> None:
+        self._shutdown.set()
+        self._stopped.wait(timeout=5.0)
+
+    def server_close(self) -> None:
+        for key in list(self._selector.get_map().values()):
+            if key.data is not None:
+                self._close(key.data)
+        try:
+            self._selector.unregister(self._listener)
+        except KeyError:
+            pass
+        self._listener.close()
+        self._selector.close()
+
+    # -- connection handling -------------------------------------------
+
+    def _accept(self) -> None:
+        try:
+            sock, _ = self._listener.accept()
+        except OSError:
+            return
+        sock.setblocking(False)
+        conn = _Connection(sock)
+        self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _close(self, conn: _Connection) -> None:
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _read(self, conn: _Connection) -> None:
+        try:
+            chunk = conn.sock.recv(65536)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._close(conn)
+            return
+        if not chunk:
+            self._close(conn)
+            return
+        conn.inbuf += chunk
+        if conn.header_end is None:
+            end = conn.inbuf.find(b"\r\n\r\n")
+            if end < 0:
+                if len(conn.inbuf) > self._MAX_HEADER:
+                    self._respond(conn, 431, {"error": "headers too large"})
+                return
+            conn.header_end = end + 4
+            conn.content_length = self._parse_content_length(
+                conn.inbuf[:end]
+            )
+            if conn.content_length is None:
+                self._respond(conn, 400, {"error": "bad Content-Length"})
+                return
+            if conn.content_length > self._MAX_BODY:
+                self._respond(conn, 413, {"error": "body too large"})
+                return
+        if conn.header_end is not None:
+            have = len(conn.inbuf) - conn.header_end
+            if have >= (conn.content_length or 0):
+                self._dispatch(conn)
+
+    @staticmethod
+    def _parse_content_length(header_block: bytes) -> Optional[int]:
+        length = 0
+        for line in header_block.split(b"\r\n")[1:]:
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+                if length < 0:
+                    return None
+        return length
+
+    def _dispatch(self, conn: _Connection) -> None:
+        request_line = conn.inbuf.split(b"\r\n", 1)[0]
+        parts = request_line.split()
+        if len(parts) < 2:
+            self._respond(conn, 400, {"error": "malformed request line"})
+            return
+        method = parts[0].decode("latin-1")
+        target = parts[1].decode("latin-1")
+        body_start = conn.header_end or 0
+        body = conn.inbuf[body_start : body_start + (conn.content_length or 0)]
+        url = urlparse(target)
+        params = parse_qs(url.query)
+        try:
+            status, payload = self.core.handle(method, url.path, params, body)
+        except Exception as exc:  # pragma: no cover - defensive
+            status, payload = 500, {"error": f"internal error: {exc!r}"}
+        if self.verbose:  # pragma: no cover - debug aid
+            print(
+                f"[selectors] {method} {target} -> {status}", file=sys.stderr
+            )
+        self._respond(conn, status, payload)
+
+    _REASONS = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        413: "Payload Too Large",
+        431: "Request Header Fields Too Large",
+        500: "Internal Server Error",
+    }
+
+    def _respond(self, conn: _Connection, status: int, payload: Dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        reason = self._REASONS.get(status, "OK")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        conn.outbuf = head + body
+        self._selector.modify(conn.sock, selectors.EVENT_WRITE, conn)
+        self._write(conn)
+
+    def _write(self, conn: _Connection) -> None:
+        try:
+            sent = conn.sock.send(conn.outbuf)
+        except BlockingIOError:
+            return
+        except OSError:
+            self._close(conn)
+            return
+        conn.outbuf = conn.outbuf[sent:]
+        if not conn.outbuf:
+            self._close(conn)
+
+
+# ----------------------------------------------------------------------
+# the public gateway
+# ----------------------------------------------------------------------
 
 
 class ServingGateway:
@@ -267,15 +567,25 @@ class ServingGateway:
     service:
         Query frontend.
     ingest:
-        Write path; omit for a read-only gateway (the ingest/refresh
-        POST endpoints then return 400; ``/estimate/batch`` still
-        works).
+        Write path — an :class:`~repro.serving.ingest.IngestPipeline`
+        or a :class:`~repro.serving.shard.ShardedIngest`; omit for a
+        read-only gateway (the ingest/refresh POST endpoints then
+        return 400; ``/estimate/batch`` still works).
     checkpointer:
         Optional :class:`~repro.serving.guard.BackgroundCheckpointer`;
         its thread lives exactly as long as the gateway serves.
     host, port:
         Bind address; ``port=0`` lets the OS pick a free port (read it
         back from :attr:`port` / :attr:`url`).
+    backend:
+        ``"threading"`` (thread per connection) or ``"selectors"``
+        (single-threaded non-blocking event loop).
+    coalesce_window:
+        Seconds concurrent single ``GET /predict`` requests wait to
+        share one batch gather; ``None`` disables coalescing.  Only
+        meaningful on the threading backend (the selectors loop is
+        single-threaded, so there is nothing concurrent to coalesce —
+        requesting both warns and disables coalescing).
     verbose:
         Log requests to stderr (quiet by default: tests and benches).
     """
@@ -283,19 +593,52 @@ class ServingGateway:
     def __init__(
         self,
         service: PredictionService,
-        ingest: Optional[IngestPipeline] = None,
+        ingest=None,
         *,
         checkpointer: Optional[BackgroundCheckpointer] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        backend: str = "threading",
+        coalesce_window: Optional[float] = None,
+        coalesce_max_batch: int = 4096,
         verbose: bool = False,
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self.service = service
         self.ingest = ingest
         self.checkpointer = checkpointer
-        self._server = _ServingHTTPServer(
-            (host, port), service, ingest, checkpointer, verbose
+        self.backend = backend
+        self.coalescer = None
+        if coalesce_window is not None:
+            if backend == "selectors":
+                warnings.warn(
+                    "coalesce_window is ignored on the selectors backend: "
+                    "its single-threaded loop has no concurrent handlers "
+                    "to coalesce",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                from repro.serving.shard import RequestCoalescer
+
+                self.coalescer = RequestCoalescer(
+                    service,
+                    window=coalesce_window,
+                    max_batch=coalesce_max_batch,
+                )
+        self.core = GatewayCore(
+            service,
+            ingest,
+            checkpointer=checkpointer,
+            coalescer=self.coalescer,
         )
+        if backend == "selectors":
+            self._server = _SelectorsServer((host, port), self.core, verbose)
+        else:
+            self._server = _ServingHTTPServer((host, port), self.core, verbose)
         self._thread: Optional[threading.Thread] = None
         self._activated = False
 
@@ -312,13 +655,18 @@ class ServingGateway:
         """Base URL clients should use."""
         return f"http://{self.host}:{self.port}"
 
+    def _activate(self) -> None:
+        self._activated = True
+        if self.checkpointer is not None:
+            self.checkpointer.start()
+        if self.coalescer is not None:
+            self.coalescer.start()
+
     def start(self) -> "ServingGateway":
         """Serve in a daemon thread; returns self for chaining."""
         if self._thread is not None:
             raise RuntimeError("gateway already started")
-        self._activated = True
-        if self.checkpointer is not None:
-            self.checkpointer.start()
+        self._activate()
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name="repro-serving-gateway",
@@ -329,9 +677,7 @@ class ServingGateway:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI's blocking mode)."""
-        self._activated = True
-        if self.checkpointer is not None:
-            self.checkpointer.start()
+        self._activate()
         self._server.serve_forever()
 
     def stop(self) -> None:
@@ -342,8 +688,13 @@ class ServingGateway:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self.coalescer is not None and self._activated:
+            self.coalescer.stop()
         if self.checkpointer is not None and self._activated:
             self.checkpointer.stop()
+        close_ingest = getattr(self.ingest, "close", None)
+        if close_ingest is not None:
+            close_ingest()
         self._server.server_close()
 
     def __enter__(self) -> "ServingGateway":
@@ -353,4 +704,6 @@ class ServingGateway:
         self.stop()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ServingGateway(url={self.url!r})"
+        return (
+            f"ServingGateway(url={self.url!r}, backend={self.backend!r})"
+        )

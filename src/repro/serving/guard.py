@@ -39,7 +39,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -68,6 +68,14 @@ class TokenBucketRateLimiter:
     of a source win — later duplicates are the ones shed, matching the
     arrival order an HTTP gateway sees.
 
+    Bucket state is dense — two flat float arrays indexed by source id,
+    grown geometrically on demand — so :meth:`allow` is pure NumPy: one
+    ``np.unique`` groups the batch, one fused refill updates every
+    touched bucket, and an arrival-order rank comparison picks the
+    earliest winners, with no Python loop over sources.  (The previous
+    dict-of-buckets implementation looped per distinct source and
+    dominated the guarded ingest profile.)
+
     Parameters
     ----------
     rate:
@@ -93,41 +101,79 @@ class TokenBucketRateLimiter:
         self.rate = float(rate)
         self.burst = float(burst)
         self._clock = clock
-        self._buckets: Dict[int, List[float]] = {}  # source -> [tokens, last]
+        # dense bucket state; sources at/above _size are untouched (full)
+        self._tokens = np.empty(0, dtype=float)
+        self._last = np.empty(0, dtype=float)
 
-    def _tokens(self, source: int, now: float) -> List[float]:
-        bucket = self._buckets.get(source)
-        if bucket is None:
-            bucket = self._buckets[source] = [self.burst, now]
-        else:
-            bucket[0] = min(self.burst, bucket[0] + (now - bucket[1]) * self.rate)
-            bucket[1] = now
-        return bucket
+    @property
+    def tracked_sources(self) -> int:
+        """How many source ids have dense bucket slots allocated."""
+        return int(self._tokens.size)
+
+    def _ensure(self, max_source: int) -> None:
+        """Grow the dense arrays to cover source ids up to ``max_source``."""
+        needed = max_source + 1
+        if needed <= self._tokens.size:
+            return
+        size = max(needed, 2 * self._tokens.size, 64)
+        tokens = np.full(size, self.burst, dtype=float)
+        last = np.zeros(size, dtype=float)
+        tokens[: self._tokens.size] = self._tokens
+        last[: self._last.size] = self._last
+        self._tokens, self._last = tokens, last
 
     def allow_one(self, source: int) -> bool:
         """Admit (and charge) a single measurement from ``source``."""
-        bucket = self._tokens(int(source), self._clock())
-        if bucket[0] >= 1.0:
-            bucket[0] -= 1.0
+        source = int(source)
+        if source < 0:
+            raise ValueError(f"source ids must be >= 0, got {source}")
+        self._ensure(source)
+        now = self._clock()
+        tokens = min(
+            self.burst,
+            self._tokens[source] + (now - self._last[source]) * self.rate,
+        )
+        self._last[source] = now
+        if tokens >= 1.0:
+            self._tokens[source] = tokens - 1.0
             return True
+        self._tokens[source] = tokens
         return False
 
     def allow(self, sources: np.ndarray) -> np.ndarray:
-        """Boolean admission mask for a batch of source indices."""
-        sources = np.asarray(sources, dtype=int)
+        """Boolean admission mask for a batch of source indices.
+
+        Fully vectorized: refill + charge every touched bucket in one
+        pass, then keep each source's earliest ``floor(tokens)``
+        samples in arrival order.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
         keep = np.zeros(sources.size, dtype=bool)
         if sources.size == 0:
             return keep
+        if sources.min() < 0:
+            raise ValueError("source ids must be >= 0")
+        self._ensure(int(sources.max()))
         now = self._clock()
-        order = np.argsort(sources, kind="stable")
-        sorted_sources = sources[order]
-        boundaries = np.flatnonzero(np.diff(sorted_sources)) + 1
-        for group in np.split(order, boundaries):
-            bucket = self._tokens(int(sources[group[0]]), now)
-            take = min(len(group), int(bucket[0]))
-            if take:
-                bucket[0] -= take
-                keep[group[:take]] = True
+        uniq, inverse, counts = np.unique(
+            sources, return_inverse=True, return_counts=True
+        )
+        tokens = np.minimum(
+            self.burst,
+            self._tokens[uniq] + (now - self._last[uniq]) * self.rate,
+        )
+        take = np.minimum(counts, np.floor(tokens).astype(np.int64))
+        self._tokens[uniq] = tokens - take
+        self._last[uniq] = now
+        # arrival-order rank of each sample within its source group:
+        # stable argsort by group clusters each source's samples in
+        # arrival order, so rank = position - group start.
+        order = np.argsort(inverse, kind="stable")
+        starts = np.zeros(uniq.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=starts[1:])
+        ranks = np.empty(sources.size, dtype=np.int64)
+        ranks[order] = np.arange(sources.size) - np.repeat(starts, counts)
+        np.less(ranks, take[inverse], out=keep)
         return keep
 
 
@@ -164,7 +210,11 @@ class RobustSigmaFilter:
             )
         self.sigma = float(sigma)
         self.min_samples = int(min_samples)
-        self._window: deque = deque(maxlen=int(window))
+        # ring buffer of the last `window` admitted values: appends are
+        # one vectorized write instead of a per-value deque.extend loop
+        self._ring = np.empty(int(window), dtype=float)
+        self._fill = 0
+        self._head = 0
         self._count = 0
         self._cached: Optional["tuple[float, float]"] = None
         self._since_refresh = 0
@@ -174,16 +224,21 @@ class RobustSigmaFilter:
         """Total values absorbed into the window over the lifetime."""
         return self._count
 
+    @property
+    def window_values(self) -> np.ndarray:
+        """The admitted values currently in the window (a copy)."""
+        return self._ring[: self._fill].copy()
+
     #: absorptions between median/MAD recomputations (the threshold
     #: drifts slowly; recomputing per scalar submit would be O(window))
     _REFRESH_EVERY = 32
 
     def _threshold(self) -> "tuple[float, float]":
         """Current (median, rejection radius); radius 0 disables."""
-        if len(self._window) < self.min_samples:
+        if self._fill < self.min_samples:
             return 0.0, 0.0
         if self._cached is None or self._since_refresh >= self._REFRESH_EVERY:
-            values = np.array(self._window)
+            values = self._ring[: self._fill]
             median = float(np.median(values))
             scale = 1.4826 * float(np.median(np.abs(values - median)))
             self._cached = (median, self.sigma * scale)
@@ -191,9 +246,22 @@ class RobustSigmaFilter:
         return self._cached
 
     def _absorb(self, values: np.ndarray) -> None:
-        self._window.extend(values.tolist())
-        self._count += int(values.size)
-        self._since_refresh += int(values.size)
+        size = self._ring.size
+        count = int(values.size)
+        if count >= size:
+            # the batch alone overfills the window: keep its tail
+            self._ring[:] = values[count - size :]
+            self._head = 0
+            self._fill = size
+        else:
+            first = min(count, size - self._head)
+            self._ring[self._head : self._head + first] = values[:first]
+            if count > first:  # wrap around
+                self._ring[: count - first] = values[first:]
+            self._head = (self._head + count) % size
+            self._fill = min(size, self._fill + count)
+        self._count += count
+        self._since_refresh += count
 
     def keep(self, values: np.ndarray) -> np.ndarray:
         """Boolean admission mask; admitted values enter the window."""
@@ -212,7 +280,9 @@ class RobustSigmaFilter:
         median, radius = self._threshold()
         if radius > 0 and abs(value - median) > radius:
             return False
-        self._window.append(value)
+        self._ring[self._head] = value
+        self._head = (self._head + 1) % self._ring.size
+        self._fill = min(self._ring.size, self._fill + 1)
         self._count += 1
         self._since_refresh += 1
         return True

@@ -285,6 +285,38 @@ class IngestPipeline:
                     self._flush_one_batch()
         return kept
 
+    def submit_valid(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        values: np.ndarray,
+    ) -> int:
+        """Pre-validated batch submission (the sharded router's path).
+
+        The caller guarantees aligned 1-D arrays of finite, integral,
+        in-range, non-self pairs — :class:`~repro.serving.shard.ShardedIngest`
+        validates once when routing, so its shard workers must not pay
+        the same element-wise checks a second time.  Semantics are
+        otherwise identical to :meth:`submit_many`.
+        """
+        kept = int(values.size)
+        if kept == 0:
+            return 0
+        with self._lock:
+            self._stats.received += kept
+            src, dst, vals = sources, targets, values
+            if self.guard is not None:
+                admitted = self.guard.admit(src, dst, vals)
+                self._stats.rejected_guard += kept - int(admitted.sum())
+                src, dst, vals = src[admitted], dst[admitted], vals[admitted]
+                kept = int(admitted.sum())
+            self._sources.extend(src.tolist())
+            self._targets.extend(dst.tolist())
+            self._values.extend(vals.tolist())
+            while len(self._values) >= self.batch_size:
+                self._flush_one_batch()
+        return kept
+
     def ingest_trace(
         self, trace: MeasurementTrace, *, batch_size: Optional[int] = None
     ) -> int:

@@ -276,10 +276,16 @@ class PredictionService:
                 version=snapshot.version,
                 cached=True,
             )
+        # Locking discipline: the NumPy work (the dot product, and the
+        # lock-free store.snapshot() re-read below) happens strictly
+        # outside the mutex; the lock guards only counter bumps and
+        # cache insert/evict, so concurrent readers never serialize on
+        # each other's gathers.
         estimate = snapshot.estimate(source, target)
+        latest = self.store.snapshot()
         with self._lock:
             # Re-check the epoch: a publish may have raced the compute.
-            self._roll_version(self.store.snapshot())
+            self._roll_version(latest)
             if self._cache_version == snapshot.version:
                 self._cache_put(key, estimate)
         return PairPrediction(

@@ -1,0 +1,1270 @@
+"""Scale-out serving: sharded coordinate state with lock-free reads.
+
+DMFSGD is decentralized by construction — node ``i`` owns exactly the
+rows ``u_i``/``v_i`` — so the serving state partitions naturally by
+node id.  This module exploits that to take the single-store serving
+stack (one ingest lock, one snapshot) to a scale-out shape:
+
+* :class:`ShardSnapshot` / :class:`ShardedSnapshot` — immutable
+  per-shard slices of ``(U, V)`` (strided partition: shard ``s`` owns
+  node ids ``i`` with ``i % shards == s``) plus the composite view
+  that answers every read the single-store
+  :class:`~repro.serving.store.CoordinateSnapshot` answers.  The pair
+  gather reassembles factor rows from the per-shard slices and feeds
+  them to the **same** einsum kernel
+  (:func:`repro.core.coordinates.gathered_pairs_estimate`) as the
+  single-store path, so estimates are bitwise identical for the same
+  model;
+* :class:`ShardedCoordinateStore` — the RCU holder: readers load one
+  attribute (a tuple of per-shard snapshots) and never touch a lock;
+  each shard's ingest publishes independently, bumping only its own
+  version.  ``save``/``load`` checkpoint *all* shards into a single
+  ``.npz`` with per-shard keys and warn (not fail) on a shard-count
+  mismatch at load, re-partitioning the factors instead;
+* :class:`ShardedIngest` — one
+  :class:`~repro.serving.ingest.IngestPipeline` (with its own
+  :class:`~repro.serving.guard.AdmissionGuard`) per shard, each fed by
+  a **bounded queue** drained by a dedicated worker thread.  Submission
+  routes by source id, so per-source token buckets partition cleanly
+  across shards; the shared training engine is serialized by one
+  engine lock held only around the SGD apply — admission, dedup and
+  classification run shard-parallel outside it;
+* :class:`RequestCoalescer` — turns concurrent *single*-pair queries
+  into traffic on the vectorized batch path: requests arriving within
+  a small window are answered by one ``estimate_pairs`` gather instead
+  of one dot product (plus interpreter overhead) each.
+
+Consistency model: every reader sees a tuple of per-shard snapshots,
+each internally consistent; shards publish at their own cadence, so
+cross-shard staleness is bounded by each shard's ``refresh_interval``
+— the same staleness bound the paper's asynchrony model already
+grants in-flight coordinates.  For asymmetric metrics (ABW), a
+measurement's target-side ``v_j`` update becomes visible when *j*'s
+shard next publishes; :meth:`ShardedIngest.publish` forces all shards
+out at once.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.coordinates import (
+    CoordinateTable,
+    gathered_pairs_estimate,
+    matrix_estimate,
+    resolve_npz_path,
+    row_estimate,
+)
+from repro.core.engine import DMFSGDEngine
+from repro.serving.guard import AdmissionGuard, OnlineEvaluator
+from repro.serving.ingest import IngestPipeline
+from repro.serving.service import PredictionService
+from repro.utils.validation import check_index
+
+__all__ = [
+    "shard_of",
+    "ShardSnapshot",
+    "ShardedSnapshot",
+    "ShardedCoordinateStore",
+    "ShardedIngest",
+    "RequestCoalescer",
+]
+
+
+def shard_of(node_ids: np.ndarray, shards: int) -> np.ndarray:
+    """Shard index of each node id under the strided partition."""
+    return np.asarray(node_ids, dtype=np.int64) % int(shards)
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    copy = np.array(array, dtype=float, copy=True)
+    copy.setflags(write=False)
+    return copy
+
+
+class ShardSnapshot:
+    """Immutable slice of the factors owned by one shard.
+
+    Holds the ``(u_i, v_i)`` rows of every node ``i`` with
+    ``i % shards == shard``, in ascending node order (so node ``i``
+    lives at local row ``i // shards``), plus the shard's own publish
+    version and a monotonic publish timestamp (for the ``/stats``
+    snapshot-age section).
+    """
+
+    __slots__ = ("shard", "shards", "n", "version", "U", "V", "published_at")
+
+    def __init__(
+        self,
+        shard: int,
+        shards: int,
+        n: int,
+        version: int,
+        U: np.ndarray,
+        V: np.ndarray,
+    ) -> None:
+        expected = len(range(shard, n, shards))
+        if U.shape != V.shape or U.ndim != 2 or U.shape[0] != expected:
+            raise ValueError(
+                f"shard {shard}/{shards} of {n} nodes expects "
+                f"({expected}, rank) factors, got {U.shape} and {V.shape}"
+            )
+        object.__setattr__(self, "shard", int(shard))
+        object.__setattr__(self, "shards", int(shards))
+        object.__setattr__(self, "n", int(n))
+        object.__setattr__(self, "version", int(version))
+        object.__setattr__(self, "U", _frozen(U))
+        object.__setattr__(self, "V", _frozen(V))
+        object.__setattr__(self, "published_at", time.monotonic())
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ShardSnapshot is immutable")
+
+    @property
+    def rank(self) -> int:
+        return self.U.shape[1]
+
+    @property
+    def owned(self) -> int:
+        """Number of nodes this shard owns."""
+        return self.U.shape[0]
+
+    def age(self) -> float:
+        """Seconds since this shard snapshot was published."""
+        return time.monotonic() - self.published_at
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardSnapshot(shard={self.shard}/{self.shards}, "
+            f"owned={self.owned}, version={self.version})"
+        )
+
+
+class ShardedSnapshot:
+    """A consistent composite view over one snapshot per shard.
+
+    Answers the full read API of
+    :class:`~repro.serving.store.CoordinateSnapshot`, so a
+    :class:`~repro.serving.service.PredictionService` works unchanged
+    on top of a sharded store.  The pair paths gather factor rows from
+    the per-shard slices and run the shared einsum kernel — bitwise
+    identical to the single-store result; the row/matrix paths
+    lazily materialize a dense ``(U, V)`` view once per snapshot
+    (memoized — the composite is immutable) and reuse the single-store
+    kernels directly.
+    """
+
+    __slots__ = ("parts", "n", "shards", "_dense")
+
+    def __init__(self, parts: Tuple[ShardSnapshot, ...]) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+        object.__setattr__(self, "n", parts[0].n)
+        object.__setattr__(self, "shards", len(parts))
+        object.__setattr__(self, "_dense", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("ShardedSnapshot is immutable")
+
+    @property
+    def version(self) -> int:
+        """Sum of per-shard versions — monotone under any publish."""
+        return sum(part.version for part in self.parts)
+
+    @property
+    def rank(self) -> int:
+        return self.parts[0].rank
+
+    # ------------------------------------------------------------------
+    # gathers
+    # ------------------------------------------------------------------
+
+    def _check_ids(self, ids: np.ndarray) -> None:
+        if ids.size and (ids.min() < 0 or ids.max() >= self.n):
+            raise ValueError("node indices out of range")
+
+    def _gather(self, ids: np.ndarray, factor: str) -> np.ndarray:
+        """Stack ``U`` or ``V`` rows for arbitrary node ids."""
+        out = np.empty((ids.size, self.rank), dtype=float)
+        P = self.shards
+        for s, part in enumerate(self.parts):
+            mask = (ids % P) == s
+            if mask.any():
+                out[mask] = getattr(part, factor)[ids[mask] // P]
+        return out
+
+    def _dense_view(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Reassembled full ``(U, V)``, memoized on first use.
+
+        Building it twice under a read race is benign — both builds
+        produce identical arrays from the same immutable parts — so no
+        lock is needed (idempotent initialization).
+        """
+        dense = self._dense
+        if dense is None:
+            U = np.empty((self.n, self.rank), dtype=float)
+            V = np.empty_like(U)
+            P = self.shards
+            for s, part in enumerate(self.parts):
+                U[s::P] = part.U
+                V[s::P] = part.V
+            U.setflags(write=False)
+            V.setflags(write=False)
+            dense = (U, V)
+            object.__setattr__(self, "_dense", dense)
+        return dense
+
+    # ------------------------------------------------------------------
+    # the CoordinateSnapshot read API
+    # ------------------------------------------------------------------
+
+    def estimate(self, i: int, j: int) -> float:
+        """Single-pair estimate ``x_hat_ij = u_i . v_j``."""
+        i = check_index(i, self.n, "i")
+        j = check_index(j, self.n, "j")
+        P = self.shards
+        u = self.parts[i % P].U[i // P]
+        v = self.parts[j % P].V[j // P]
+        return float(u @ v)
+
+    def estimate_pairs(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized pair estimates via per-shard gathers + one einsum."""
+        sources = np.asarray(sources, dtype=int)
+        targets = np.asarray(targets, dtype=int)
+        if sources.shape != targets.shape or sources.ndim != 1:
+            raise ValueError(
+                "rows and cols must be matching 1-D arrays, got "
+                f"{sources.shape} and {targets.shape}"
+            )
+        self._check_ids(sources)
+        self._check_ids(targets)
+        return gathered_pairs_estimate(
+            self._gather(sources, "U"), self._gather(targets, "V")
+        )
+
+    def estimate_row(
+        self, i: int, targets: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """One-to-many estimates (dense view, single-store kernel)."""
+        U, V = self._dense_view()
+        return row_estimate(U, V, i, targets)
+
+    def estimate_matrix(self) -> np.ndarray:
+        """Dense ``X_hat = U V^T`` with NaN diagonal."""
+        U, V = self._dense_view()
+        return matrix_estimate(U, V)
+
+    def as_table(self) -> CoordinateTable:
+        """A mutable :class:`CoordinateTable` copy (for warm-starting)."""
+        U, V = self._dense_view()
+        return CoordinateTable.from_arrays(U, V)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedSnapshot(shards={self.shards}, n={self.n}, "
+            f"version={self.version})"
+        )
+
+
+class ShardedCoordinateStore:
+    """RCU holder of one independently-published snapshot per shard.
+
+    Readers call :meth:`snapshot` — a single attribute load of the
+    current per-shard tuple, no lock — and work against that frozen
+    composite for as long as they like.  Writers (one ingest worker
+    per shard) call :meth:`publish_shard`, which builds the new
+    immutable :class:`ShardSnapshot` and swaps the tuple under a
+    writer-only lock.  Reads therefore never contend with ingest: the
+    estimate paths touch frozen arrays only.
+
+    Parameters
+    ----------
+    coordinates:
+        Initial model: a :class:`CoordinateTable` or ``(U, V)`` pair.
+    shards:
+        Number of partitions ``P``; node ``i`` belongs to shard
+        ``i % P``.
+    versions:
+        Per-shard starting versions (all 1 by default; restored by
+        :meth:`load`).
+    """
+
+    def __init__(
+        self,
+        coordinates: Union[CoordinateTable, Tuple[np.ndarray, np.ndarray]],
+        *,
+        shards: int,
+        versions: Optional[Sequence[int]] = None,
+    ) -> None:
+        if isinstance(coordinates, CoordinateTable):
+            U, V = coordinates.U, coordinates.V
+        else:
+            U, V = coordinates
+            U = np.asarray(U, dtype=float)
+            V = np.asarray(V, dtype=float)
+        if U.shape != V.shape or U.ndim != 2:
+            raise ValueError(
+                f"U and V must be matching 2-D arrays, got {U.shape} and {V.shape}"
+            )
+        n = U.shape[0]
+        shards = int(shards)
+        if not 1 <= shards <= n:
+            raise ValueError(
+                f"shards must be in [1, n={n}], got {shards}"
+            )
+        if versions is None:
+            versions = [1] * shards
+        elif len(versions) != shards:
+            raise ValueError(
+                f"got {len(versions)} versions for {shards} shards"
+            )
+        self.shards = shards
+        self._lock = threading.Lock()  # serializes writers only
+        self._snaps: Tuple[ShardSnapshot, ...] = tuple(
+            ShardSnapshot(
+                s, shards, n, int(versions[s]), U[s::shards], V[s::shards]
+            )
+            for s in range(shards)
+        )
+
+    # ------------------------------------------------------------------
+    # reads (lock-free)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ShardedSnapshot:
+        """The current composite snapshot (lock-free attribute load)."""
+        return ShardedSnapshot(self._snaps)
+
+    def shard_snapshot(self, shard: int) -> ShardSnapshot:
+        """The current snapshot of one shard (lock-free)."""
+        return self._snaps[shard]
+
+    @property
+    def version(self) -> int:
+        """Sum of per-shard versions (monotone under any publish)."""
+        return sum(snap.version for snap in self._snaps)
+
+    @property
+    def versions(self) -> List[int]:
+        """Per-shard publish versions."""
+        return [snap.version for snap in self._snaps]
+
+    @property
+    def n(self) -> int:
+        return self._snaps[0].n
+
+    @property
+    def rank(self) -> int:
+        return self._snaps[0].rank
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def publish_shard(
+        self, shard: int, U_s: np.ndarray, V_s: np.ndarray
+    ) -> ShardSnapshot:
+        """Install new factors for one shard; bumps only its version."""
+        shard = int(shard)
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard must be in [0, {self.shards}), got {shard}")
+        with self._lock:
+            old = self._snaps[shard]
+            snap = ShardSnapshot(
+                shard, self.shards, old.n, old.version + 1, U_s, V_s
+            )
+            snaps = list(self._snaps)
+            snaps[shard] = snap
+            self._snaps = tuple(snaps)
+            return snap
+
+    def publish(
+        self,
+        coordinates: Union[CoordinateTable, Tuple[np.ndarray, np.ndarray]],
+    ) -> ShardedSnapshot:
+        """Publish a full model: every shard re-sliced and bumped."""
+        if isinstance(coordinates, CoordinateTable):
+            U, V = coordinates.U, coordinates.V
+        else:
+            U, V = coordinates
+            U = np.asarray(U, dtype=float)
+            V = np.asarray(V, dtype=float)
+        if U.shape != (self.n, self.rank):
+            raise ValueError(
+                f"shape mismatch: store holds {(self.n, self.rank)}, "
+                f"got {U.shape}"
+            )
+        P = self.shards
+        for s in range(P):
+            self.publish_shard(s, U[s::P], V[s::P])
+        return self.snapshot()
+
+    # ------------------------------------------------------------------
+    # checkpointing (single file, per-shard keys)
+    # ------------------------------------------------------------------
+
+    def save(self, path: "str | object") -> None:
+        """Checkpoint *every* shard to one ``.npz`` with per-shard keys.
+
+        The file carries ``shards``/``n`` plus ``U{s}``/``V{s}``/
+        ``version{s}`` per shard, so a restart restores each shard at
+        its own version — not just shard 0.
+        """
+        import os
+
+        snaps = self._snaps  # one atomic read: a consistent tuple
+        payload: Dict[str, np.ndarray] = {
+            "shards": np.asarray(self.shards, dtype=np.int64),
+            "n": np.asarray(self.n, dtype=np.int64),
+        }
+        for s, snap in enumerate(snaps):
+            payload[f"U{s}"] = snap.U
+            payload[f"V{s}"] = snap.V
+            payload[f"version{s}"] = np.asarray(snap.version, dtype=np.int64)
+        np.savez(os.fspath(path), **payload)
+
+    @classmethod
+    def load(
+        cls, path: "str | object", *, shards: Optional[int] = None
+    ) -> "ShardedCoordinateStore":
+        """Restore from :meth:`save` (or a single-store checkpoint).
+
+        When the requested shard count differs from the checkpoint's,
+        the factors are re-partitioned and a warning is emitted — the
+        model survives a topology change, but per-shard versions reset
+        (they describe publishes of partitions that no longer exist).
+        """
+        with np.load(resolve_npz_path(path)) as data:
+            if "shards" not in data:
+                # a single-store CoordinateStore checkpoint: adopt it
+                U, V = data["U"], data["V"]
+                version = int(data["version"]) if "version" in data else 1
+                target = shards if shards is not None else 1
+                return cls(
+                    (U, V),
+                    shards=target,
+                    versions=[version] * target,
+                )
+            saved = int(data["shards"])
+            n = int(data["n"])
+            P = saved
+            rank = data["U0"].shape[1]
+            U = np.empty((n, rank), dtype=float)
+            V = np.empty_like(U)
+            versions = []
+            for s in range(P):
+                U[s::P] = data[f"U{s}"]
+                V[s::P] = data[f"V{s}"]
+                versions.append(int(data[f"version{s}"]))
+            target = shards if shards is not None else saved
+            if target != saved:
+                warnings.warn(
+                    f"checkpoint was written with {saved} shard(s) but "
+                    f"{target} were requested; re-partitioning the factors "
+                    "and resetting per-shard versions",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return cls((U, V), shards=target)
+            return cls((U, V), shards=saved, versions=versions)
+
+    def as_full_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The reassembled dense ``(U, V)`` of the current snapshots."""
+        return self.snapshot()._dense_view()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedCoordinateStore(shards={self.shards}, n={self.n}, "
+            f"version={self.version})"
+        )
+
+
+class _SharedEngineProxy:
+    """Per-shard facade over the one shared training engine.
+
+    Admission, dedup and classification run shard-parallel in each
+    shard's pipeline; only the SGD apply itself mutates shared state,
+    so the proxy serializes exactly that call under the shared engine
+    lock.  ``steps_clipped`` is tracked per proxy *inside* the lock,
+    so each shard pipeline's before/after clip accounting stays exact
+    even while other shards apply concurrently.
+    """
+
+    def __init__(self, engine: DMFSGDEngine, lock: threading.Lock) -> None:
+        self._engine = engine
+        self._engine_lock = lock
+        self.steps_clipped = 0
+
+    def apply_measurements(self, rows, cols, values, *, step_clip=None):
+        with self._engine_lock:
+            before = self._engine.steps_clipped
+            used = self._engine.apply_measurements(
+                rows, cols, values, step_clip=step_clip
+            )
+            self.steps_clipped += self._engine.steps_clipped - before
+            return used
+
+    def __getattr__(self, name: str):
+        return getattr(self._engine, name)
+
+
+class _ShardStoreView:
+    """The per-shard store handed to one shard's :class:`IngestPipeline`.
+
+    Presents the minimal store protocol the pipeline needs — ``n`` for
+    the constructor's shape check, ``publish`` and ``version`` — and
+    translates a full-coordinates publish into a slice-and-swap of its
+    own shard only.  Slicing holds the shared engine lock so the copy
+    never reads rows mid-update.
+    """
+
+    def __init__(
+        self,
+        store: ShardedCoordinateStore,
+        shard: int,
+        engine_lock: threading.Lock,
+    ) -> None:
+        self._store = store
+        self._shard = int(shard)
+        self._engine_lock = engine_lock
+
+    @property
+    def n(self) -> int:
+        return self._store.n
+
+    @property
+    def version(self) -> int:
+        return self._store.shard_snapshot(self._shard).version
+
+    def publish(self, coordinates: CoordinateTable) -> ShardSnapshot:
+        P = self._store.shards
+        with self._engine_lock:
+            U_s = coordinates.U[self._shard :: P].copy()
+            V_s = coordinates.V[self._shard :: P].copy()
+        return self._store.publish_shard(self._shard, U_s, V_s)
+
+
+#: sentinel closing a shard worker's queue
+_STOP = object()
+
+
+class ShardedIngest:
+    """P admission pipelines, one per shard, behind bounded queues.
+
+    Mirrors the :class:`~repro.serving.ingest.IngestPipeline` surface
+    the gateway consumes (``submit`` / ``submit_many`` / ``flush`` /
+    ``publish`` / ``buffered`` / ``stats_payload`` / ``evaluator`` /
+    ``store``), so the HTTP layer works unchanged against either.
+
+    Routing is by source id (``source % shards``): DMFSGD's symmetric
+    updates write only the prober's rows, so shard writes are disjoint,
+    and per-source token buckets land wholly inside one shard's guard.
+    Each shard runs its own pipeline fed by a bounded
+    :class:`queue.Queue` — a full queue blocks the submitter for up to
+    ``put_timeout`` seconds (backpressure) and then sheds the chunk
+    (counted), so memory stays bounded without ever wedging a gateway
+    handler — or the selectors backend's single event-loop thread —
+    indefinitely.
+
+    Parameters
+    ----------
+    engine, store:
+        The shared trainer and the sharded snapshot store.
+    guards:
+        Optional per-shard admission guards (one
+        :class:`~repro.serving.guard.AdmissionGuard` each — guards are
+        stateful, so they are never shared between shards).
+    evaluator:
+        Optional shared :class:`~repro.serving.guard.OnlineEvaluator`
+        (internally locked, safe to share).
+    queue_depth:
+        Bounded queue capacity per shard, in submitted *chunks* (one
+        ``submit_many`` call contributes at most one chunk per shard);
+        per-shard *sample* backlogs are reported by :meth:`shard_info`.
+    put_timeout:
+        Backpressure bound: how long a submission may block on a full
+        shard queue before the chunk is **shed** (counted in
+        :attr:`dropped_backpressure`).  Bounded-then-shed keeps slow
+        consumers from freezing the submitter — essential for the
+        single-threaded selectors gateway, whose event loop must never
+        block indefinitely inside a handler.  ``None`` blocks forever
+        (pure backpressure).
+    workers:
+        Start one worker thread per shard (the serving deployment).
+        ``False`` runs every submission inline on the caller's thread —
+        deterministic, used by the parity tests and by trace tooling.
+    """
+
+    def __init__(
+        self,
+        engine: DMFSGDEngine,
+        store: ShardedCoordinateStore,
+        *,
+        classify: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        batch_size: int = 256,
+        refresh_interval: int = 1000,
+        mode: str = "guarded",
+        step_clip: Optional[float] = None,
+        guards: Optional[Sequence[Optional[AdmissionGuard]]] = None,
+        evaluator: Optional[OnlineEvaluator] = None,
+        queue_depth: int = 64,
+        put_timeout: Optional[float] = 0.5,
+        workers: bool = True,
+    ) -> None:
+        if store.n != engine.n:
+            raise ValueError(
+                f"store has {store.n} nodes, engine has {engine.n}"
+            )
+        if queue_depth <= 0:
+            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        if guards is not None and len(guards) != store.shards:
+            raise ValueError(
+                f"got {len(guards)} guards for {store.shards} shards"
+            )
+        self.engine = engine
+        self.store = store
+        self.shards = store.shards
+        self.mode = mode
+        self.evaluator = evaluator
+        self.queue_depth = int(queue_depth)
+        self.put_timeout = None if put_timeout is None else float(put_timeout)
+        self._engine_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        # serializes enqueue against close(): a submitter holding the
+        # gate finishes its put before close() can append the stop
+        # sentinel, so no chunk can ever land *behind* _STOP (lost
+        # samples + a q.join() that never returns)
+        self._gate = threading.Lock()
+        self._received = 0
+        self._dropped_invalid = 0
+        self.dropped_backpressure = 0
+        self._queued_samples: List[int] = [0] * store.shards
+        self.worker_errors: List[str] = []
+        self.pipelines: List[IngestPipeline] = []
+        for s in range(self.shards):
+            proxy = _SharedEngineProxy(engine, self._engine_lock)
+            view = _ShardStoreView(store, s, self._engine_lock)
+            self.pipelines.append(
+                IngestPipeline(
+                    proxy,  # type: ignore[arg-type]
+                    view,  # type: ignore[arg-type]
+                    classify=classify,
+                    batch_size=batch_size,
+                    refresh_interval=refresh_interval,
+                    mode=mode,
+                    step_clip=step_clip,
+                    guard=None if guards is None else guards[s],
+                    evaluator=evaluator,
+                )
+            )
+        self._queues: List["queue.Queue"] = []
+        self._workers: List[threading.Thread] = []
+        self._closed = False
+        if workers:
+            for s in range(self.shards):
+                self._queues.append(queue.Queue(maxsize=self.queue_depth))
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    args=(s,),
+                    name=f"repro-ingest-shard-{s}",
+                    daemon=True,
+                )
+                self._workers.append(thread)
+                thread.start()
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+
+    #: max queued chunks a worker drains into one pipeline call — the
+    #: per-call fixed costs (guard filters, lock, list extends) then
+    #: amortize over everything that queued up while the worker was busy
+    _DRAIN_LIMIT = 16
+
+    def _worker_loop(self, shard: int) -> None:
+        q = self._queues[shard]
+        pipeline = self.pipelines[shard]
+        while True:
+            items = [q.get()]
+            # opportunistic drain: batch whatever else is already queued
+            while len(items) < self._DRAIN_LIMIT:
+                try:
+                    items.append(q.get_nowait())
+                except queue.Empty:
+                    break
+            stop = any(item is _STOP for item in items)
+            chunks = [item for item in items if item is not _STOP]
+            try:
+                if chunks:
+                    if len(chunks) == 1:
+                        sources, targets, values = chunks[0]
+                    else:
+                        sources = np.concatenate([c[0] for c in chunks])
+                        targets = np.concatenate([c[1] for c in chunks])
+                        values = np.concatenate([c[2] for c in chunks])
+                    pipeline.submit_valid(sources, targets, values)
+            except Exception as exc:  # pragma: no cover - defensive
+                with self._counter_lock:
+                    self.worker_errors.append(f"shard {shard}: {exc!r}")
+            finally:
+                if chunks:
+                    taken = sum(int(c[2].size) for c in chunks)
+                    with self._counter_lock:
+                        self._queued_samples[shard] -= taken
+                for _ in items:
+                    q.task_done()
+            if stop:
+                return
+
+    @property
+    def running(self) -> bool:
+        """Whether worker threads are draining the shard queues."""
+        return bool(self._workers) and not self._closed
+
+    def _enqueue(self, shard: int, item) -> bool:
+        """Queue one chunk for a shard worker; sheds on sustained full.
+
+        Returns whether the chunk was accepted (queued, or — after
+        :meth:`close` — applied inline).  The gate guarantees a put
+        can never land behind the stop sentinel.
+        """
+        samples = int(item[2].size)
+        with self._gate:
+            if self._closed or not self._workers:
+                # workers are gone: apply inline, losing nothing
+                self.pipelines[shard].submit_valid(*item)
+                return True
+            with self._counter_lock:
+                self._queued_samples[shard] += samples
+            try:
+                self._queues[shard].put(item, timeout=self.put_timeout)
+                return True
+            except queue.Full:
+                with self._counter_lock:
+                    self._queued_samples[shard] -= samples
+                    self.dropped_backpressure += samples
+                return False
+
+    def close(self) -> None:
+        """Stop the shard workers (idempotent); queued work is drained."""
+        with self._gate:
+            if self._closed or not self._workers:
+                self._closed = True
+                return
+            self._closed = True
+            for q in self._queues:
+                q.put(_STOP)
+        for thread in self._workers:
+            thread.join(timeout=5.0)
+        self._workers = []
+
+    def __enter__(self) -> "ShardedIngest":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def _route_valid(
+        self, sources: np.ndarray, targets: np.ndarray, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Validate and drop unroutable samples (counted here).
+
+        A sample without a finite integral in-range source cannot be
+        assigned a shard, so routing-level validation mirrors the
+        pipeline's and counts drops in the sharded stats; samples that
+        pass go to the pipelines' pre-validated fast path
+        (:meth:`~repro.serving.ingest.IngestPipeline.submit_valid`) so
+        the element-wise checks are paid exactly once.
+        """
+        with np.errstate(invalid="ignore"):
+            keep = (
+                np.isfinite(values)
+                & np.isfinite(sources)
+                & np.isfinite(targets)
+                & (sources == np.floor(sources))
+                & (targets == np.floor(targets))
+                & (sources >= 0)
+                & (sources < self.engine.n)
+                & (targets >= 0)
+                & (targets < self.engine.n)
+                & (sources != targets)
+            )
+        kept = int(keep.sum())
+        dropped = int(values.size) - kept
+        with self._counter_lock:
+            self._received += int(values.size)
+            self._dropped_invalid += dropped
+        return (
+            sources[keep].astype(int),
+            targets[keep].astype(int),
+            values[keep],
+            kept,
+        )
+
+    def submit(self, source: int, target: int, value: float) -> bool:
+        """Route one measurement to its source's shard.
+
+        With workers running the admission verdict is asynchronous —
+        ``True`` means *accepted for processing* (valid and enqueued);
+        ``False`` means invalid or shed by queue backpressure.  Guard
+        rejections surface in ``/stats``.  Inline mode returns the
+        pipeline's actual verdict.
+        """
+        src, dst, vals, kept = self._route_valid(
+            np.asarray([source], dtype=float),
+            np.asarray([target], dtype=float),
+            np.asarray([value], dtype=float),
+        )
+        if not kept:
+            return False
+        shard = int(src[0]) % self.shards
+        if self._workers:
+            return self._enqueue(shard, (src, dst, vals))
+        return bool(self.pipelines[shard].submit_valid(src, dst, vals))
+
+    def submit_many(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        values: np.ndarray,
+    ) -> int:
+        """Partition a batch by source shard and feed every shard.
+
+        Returns the number of samples routed (valid and not shed);
+        admission decisions are the per-shard pipelines' and surface
+        in stats.  A full shard queue blocks for up to ``put_timeout``
+        seconds (backpressure), then sheds the chunk — counted in
+        :attr:`dropped_backpressure` — bounding both memory and the
+        submitter's stall.
+        """
+        sources = np.asarray(sources, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if not sources.shape == targets.shape == values.shape or sources.ndim != 1:
+            raise ValueError(
+                "sources, targets and values must be matching 1-D arrays"
+            )
+        src, dst, vals, kept = self._route_valid(sources, targets, values)
+        if not kept:
+            return 0
+        shard_ids = src % self.shards
+        for s in range(self.shards):
+            mask = shard_ids == s
+            if not mask.any():
+                continue
+            item = (src[mask], dst[mask], vals[mask])
+            if self._workers:
+                if not self._enqueue(s, item):
+                    kept -= int(item[2].size)  # shed under backpressure
+            else:
+                self.pipelines[s].submit_valid(*item)
+        return kept
+
+    # ------------------------------------------------------------------
+    # flushing / publishing
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Block until every queued submission has been processed."""
+        for q in self._queues:
+            q.join()
+
+    def flush(self) -> int:
+        """Drain the queues, then apply every buffered measurement."""
+        self.drain()
+        return sum(pipeline.flush() for pipeline in self.pipelines)
+
+    def publish(self) -> int:
+        """Drain, flush and publish *every* shard; returns the version."""
+        self.drain()
+        for pipeline in self.pipelines:
+            pipeline.publish()
+        return self.store.version
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def buffered(self) -> int:
+        """Samples accepted but not yet applied (queues + batch buffers).
+
+        Counted in *samples*, not queued chunks — ``/stats`` must show
+        the true backlog during heavy streaming.
+        """
+        with self._counter_lock:
+            queued = sum(self._queued_samples)
+        return queued + sum(p.buffered for p in self.pipelines)
+
+    @property
+    def staleness(self) -> int:
+        """Applied-but-unpublished measurements across all shards."""
+        return sum(p.staleness for p in self.pipelines)
+
+    def stats(self):
+        """Aggregated ingest counters (shard pipelines summed)."""
+        from repro.serving.ingest import IngestStats
+
+        total = IngestStats()
+        for pipeline in self.pipelines:
+            stats = pipeline.stats()
+            total.applied += stats.applied
+            total.deduped += stats.deduped
+            total.clipped += stats.clipped
+            total.rejected_guard += stats.rejected_guard
+            total.dropped_invalid += stats.dropped_invalid
+            total.dropped_nan += stats.dropped_nan
+            total.batches += stats.batches
+            total.publishes += stats.publishes
+            total.since_publish += stats.since_publish
+        with self._counter_lock:
+            total.received = self._received
+            total.dropped_invalid += self._dropped_invalid
+        return total
+
+    def shard_info(self) -> List[Dict[str, object]]:
+        """Per-shard vitals: queue depth, snapshot age/version, counters."""
+        info: List[Dict[str, object]] = []
+        for s, pipeline in enumerate(self.pipelines):
+            snap = self.store.shard_snapshot(s)
+            stats = pipeline.stats()
+            info.append(
+                {
+                    "shard": s,
+                    "owned_nodes": snap.owned,
+                    "queue_depth": self._queues[s].qsize() if self._queues else 0,
+                    "queue_capacity": self.queue_depth if self._queues else 0,
+                    "queue_samples": self._queued_samples[s],
+                    "buffered": pipeline.buffered,
+                    "version": snap.version,
+                    "snapshot_age_s": round(snap.age(), 6),
+                    "applied": stats.applied,
+                    "rejected_guard": stats.rejected_guard,
+                    "publishes": stats.publishes,
+                }
+            )
+        return info
+
+    def guard_info(self) -> Dict[str, object]:
+        """Aggregated guard state across shards (+ per-shard admission)."""
+        pipeline = self.pipelines[0]
+        info: Dict[str, object] = {
+            "mode": self.mode,
+            "step_clip": pipeline.step_clip,
+            "deduped": 0,
+            "clipped": 0,
+            "rejected_total": 0,
+        }
+        admissions = []
+        aggregated: Dict[str, object] = {}
+        for p in self.pipelines:
+            stats = p.stats()
+            info["deduped"] += stats.deduped  # type: ignore[operator]
+            info["clipped"] += stats.clipped  # type: ignore[operator]
+            info["rejected_total"] += stats.rejected_guard  # type: ignore[operator]
+            if p.guard is not None:
+                admissions.append(p.guard.as_dict())
+        if admissions:
+            aggregated = {
+                "received": sum(a["received"] for a in admissions),
+                "admitted": sum(a["admitted"] for a in admissions),
+                "rejected_total": sum(a["rejected_total"] for a in admissions),
+                "rejected": {
+                    reason: sum(a["rejected"][reason] for a in admissions)
+                    for reason in admissions[0]["rejected"]
+                },
+            }
+            info["admission"] = aggregated
+        return info
+
+    def stats_payload(self) -> Dict[str, object]:
+        """The ``ingest`` + ``guard`` + ``shards`` sections of ``/stats``."""
+        ingest = self.stats().as_dict()
+        ingest["buffered"] = self.buffered
+        ingest["shards"] = self.shards
+        ingest["dropped_backpressure"] = self.dropped_backpressure
+        if self.worker_errors:
+            ingest["worker_errors"] = list(self.worker_errors)
+        return {
+            "ingest": ingest,
+            "guard": self.guard_info(),
+            "shards": self.shard_info(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedIngest(shards={self.shards}, n={self.engine.n}, "
+            f"mode={self.mode!r}, workers={bool(self._workers)})"
+        )
+
+
+class _CoalescedBatch:
+    """One flush unit: requests answered together by a single gather."""
+
+    __slots__ = ("sources", "targets", "event", "estimates", "version", "error")
+
+    def __init__(self) -> None:
+        self.sources: List[int] = []
+        self.targets: List[int] = []
+        self.event = threading.Event()
+        # a plain list after the flush (float extraction is amortized
+        # by one vectorized tolist instead of paid per result() call)
+        self.estimates: Optional[List[float]] = None
+        self.version = 0
+        self.error: Optional[BaseException] = None
+
+
+class CoalescedRequest:
+    """Handle to one coalesced single-pair query (future-like)."""
+
+    __slots__ = ("_batch", "_index")
+
+    def __init__(self, batch: _CoalescedBatch, index: int) -> None:
+        self._batch = batch
+        self._index = index
+
+    def done(self) -> bool:
+        return self._batch.event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Tuple[float, int]:
+        """Block for the batch flush; returns ``(estimate, version)``.
+
+        Fast path: once the flush has landed (``estimates`` is bound
+        before the event is set, and the GIL orders the two writes),
+        the result is read without touching the event's lock.
+        """
+        batch = self._batch
+        if batch.estimates is None and batch.error is None:
+            if not batch.event.wait(timeout):
+                raise TimeoutError("coalesced request not answered in time")
+        if batch.error is not None:
+            raise batch.error
+        return batch.estimates[self._index], batch.version
+
+
+class RequestCoalescer:
+    """Batch concurrent single-pair queries onto the vectorized path.
+
+    Single ``GET /predict`` requests each cost a Python-level dot
+    product plus interpreter overhead (~hundreds of thousands per
+    second), while the batch gather answers tens of millions of pairs
+    per second.  The coalescer closes that gap for *concurrent* single
+    queries: the first request in a window opens a batch, requests
+    arriving within ``window`` seconds join it, and one
+    ``predict_pairs`` gather answers the whole batch — every waiter is
+    released by a single shared event.
+
+    Latency cost is bounded by ``window`` (default 1 ms); a lone
+    request therefore pays at most the window before its gather runs.
+    ``max_batch`` caps a batch so a flood flushes early instead of
+    growing one giant gather.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.serving.service.PredictionService` answering
+        the gathers (any store — single or sharded).
+    window:
+        Seconds the opener of a batch waits for co-travellers.
+    max_batch:
+        Flush immediately once a batch holds this many requests.
+    """
+
+    def __init__(
+        self,
+        service: PredictionService,
+        *,
+        window: float = 0.001,
+        max_batch: int = 4096,
+    ) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.service = service
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self._n = int(service.store.n)  # model size is fixed; cache it
+        self._lock = threading.Lock()
+        self._pending: Optional[_CoalescedBatch] = None
+        self._ready: List[_CoalescedBatch] = []  # filled-to-max batches
+        self._work_ready = threading.Event()  # a batch is open
+        self._flush_now = threading.Event()  # a batch hit max_batch
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+        # counters (written by the flush worker only)
+        self.requests = 0
+        self.batches = 0
+        self.max_batch_seen = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "RequestCoalescer":
+        if self._thread is not None:
+            raise RuntimeError("coalescer already started")
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-coalescer", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the flush worker; pending requests are answered first."""
+        self._stopping = True
+        self._work_ready.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        # answer anything the worker did not get to before exiting
+        for batch in self._drain():
+            self._account(batch)
+            self._flush(batch)
+
+    def __enter__(self) -> "RequestCoalescer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # submission (the per-request hot path — kept deliberately lean:
+    # one lock, two list appends, no per-request condition signaling)
+    # ------------------------------------------------------------------
+
+    def submit(self, source: int, target: int) -> CoalescedRequest:
+        """Join the open batch (starting one if needed); non-blocking.
+
+        Index validation happens here so one bad request rejects alone
+        instead of failing everyone sharing its gather.
+        """
+        source = int(source)
+        target = int(target)
+        n = self._n
+        if source < 0 or source >= n or target < 0 or target >= n:
+            raise ValueError(
+                f"pair ({source}, {target}) out of range for {n} nodes"
+            )
+        if self._thread is None:
+            raise RuntimeError("coalescer is not running (call start())")
+        lock = self._lock
+        lock.acquire()
+        batch = self._pending
+        if batch is None:
+            batch = self._pending = _CoalescedBatch()
+            opened = True
+        else:
+            opened = False
+        sources = batch.sources
+        index = len(sources)
+        sources.append(source)
+        batch.targets.append(target)
+        if index + 1 >= self.max_batch:
+            # full: hand it to the worker and interrupt its window wait
+            self._ready.append(batch)
+            self._pending = None
+            lock.release()
+            self._flush_now.set()
+            # the worker gates on _work_ready first, so a batch that
+            # fills instantly (small max_batch) must set it too or it
+            # would sit in _ready unflushed
+            self._work_ready.set()
+        else:
+            lock.release()
+            if opened:
+                self._work_ready.set()
+        return CoalescedRequest(batch, index)
+
+    def estimate(self, source: int, target: int) -> Tuple[float, int]:
+        """Blocking single-pair estimate through the coalesced path."""
+        return self.submit(source, target).result()
+
+    # ------------------------------------------------------------------
+    # the flush worker
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> List[_CoalescedBatch]:
+        """Take every open/ready batch (worker or final-stop cleanup)."""
+        with self._lock:
+            batches = self._ready
+            self._ready = []
+            if self._pending is not None:
+                batches.append(self._pending)
+                self._pending = None
+            self._work_ready.clear()
+            self._flush_now.clear()
+        return batches
+
+    def _account(self, batch: _CoalescedBatch) -> None:
+        size = len(batch.sources)
+        self.batches += 1
+        self.requests += size
+        if size > self.max_batch_seen:
+            self.max_batch_seen = size
+
+    def _flush(self, batch: _CoalescedBatch) -> None:
+        try:
+            prediction = self.service.predict_pairs(
+                np.asarray(batch.sources, dtype=int),
+                np.asarray(batch.targets, dtype=int),
+            )
+            batch.version = prediction.version
+            batch.estimates = prediction.estimates.tolist()
+        except BaseException as exc:  # pragma: no cover - defensive
+            batch.error = exc
+        finally:
+            batch.event.set()
+
+    def _loop(self) -> None:
+        while True:
+            if not self._work_ready.wait(timeout=0.05):
+                if self._stopping:
+                    return
+                continue
+            # a batch is open: give co-travellers up to one window to
+            # join, unless a batch already filled to max_batch
+            if not self._ready:
+                self._flush_now.wait(timeout=self.window)
+            for batch in self._drain():
+                self._account(batch)
+                self._flush(batch)
+            if self._stopping:
+                return
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready counters (the ``coalescer`` stats section)."""
+        batches = self.batches
+        requests = self.requests
+        biggest = self.max_batch_seen
+        return {
+            "window_s": self.window,
+            "max_batch": self.max_batch,
+            "requests": requests,
+            "batches": batches,
+            "coalesced": requests - batches if batches else 0,
+            "max_batch_seen": biggest,
+            "mean_batch": round(requests / batches, 3) if batches else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RequestCoalescer(window={self.window}, "
+            f"max_batch={self.max_batch}, requests={self.requests})"
+        )

@@ -12,6 +12,10 @@ trainer's copy, so the two must never share arrays.  The
 * :meth:`CoordinateStore.publish` installs a new snapshot atomically
   and bumps the monotonically increasing version; readers holding the
   previous snapshot are unaffected;
+* reads are **lock-free** (RCU-style): :meth:`CoordinateStore.snapshot`
+  is a plain attribute load — atomic under the GIL — so the estimate
+  hot paths never contend with the ingest writer; the store's lock
+  only serializes concurrent *publishers*;
 * :meth:`CoordinateStore.save` / :meth:`CoordinateStore.load`
   checkpoint the current snapshot (including its version) to an
   ``.npz`` file, so a service can restart without retraining.
@@ -171,9 +175,14 @@ class CoordinateStore:
         return self.snapshot().n
 
     def snapshot(self) -> CoordinateSnapshot:
-        """The latest published snapshot (atomic read)."""
-        with self._lock:
-            return self._snapshot
+        """The latest published snapshot (lock-free atomic read).
+
+        A single attribute load: the bound snapshot is immutable and
+        replaced wholesale by :meth:`publish`, so readers need no lock
+        (RCU) — they either see the old complete snapshot or the new
+        complete snapshot, never a torn mix.
+        """
+        return self._snapshot
 
     def publish(
         self,

@@ -69,6 +69,36 @@ class TestParser:
         assert args.port == 0
         assert args.refresh_every == 128
 
+    def test_serve_scaleout_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.shards == 1
+        assert args.queue_depth == 64
+        assert args.coalesce_window is None
+        assert args.backend == "threading"
+
+    def test_serve_scaleout_options(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--shards",
+                "4",
+                "--queue-depth",
+                "16",
+                "--coalesce-window",
+                "1.5",
+                "--backend",
+                "selectors",
+            ]
+        )
+        assert args.shards == 4
+        assert args.queue_depth == 16
+        assert args.coalesce_window == 1.5  # milliseconds
+        assert args.backend == "selectors"
+
+    def test_serve_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "twisted"])
+
 
 class TestRegistry:
     def test_all_ids_resolvable(self):

@@ -310,3 +310,165 @@ class TestGatewayLifecycle:
             assert response.headers["Content-Type"] == "application/json"
             payload = json.loads(response.read().decode())
         assert payload["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# scale-out additions (PR 3): selectors backend, coalescing, shards
+# ----------------------------------------------------------------------
+
+
+def _small_stack(n=30, shards=None, seed=13):
+    """A tiny engine/store/service/ingest stack for backend tests."""
+    from repro.serving import ShardedCoordinateStore, ShardedIngest
+
+    config = DMFSGDConfig(neighbors=8)
+    engine = DMFSGDEngine(
+        n, matrix_label_fn(np.sign(np.random.default_rng(seed).normal(size=(n, n)))),
+        config, rng=seed,
+    )
+    engine.run(rounds=40)
+    if shards:
+        store = ShardedCoordinateStore(engine.coordinates, shards=shards)
+        ingest = ShardedIngest(
+            engine, store, batch_size=32, refresh_interval=100, workers=True
+        )
+    else:
+        store = CoordinateStore(engine.coordinates)
+        ingest = IngestPipeline(engine, store, batch_size=32, refresh_interval=100)
+    service = PredictionService(store, cache_size=64)
+    return store, service, ingest
+
+
+class TestSelectorsBackend:
+    @pytest.fixture(scope="class")
+    def selectors_gateway(self):
+        _, service, ingest = _small_stack()
+        with ServingGateway(service, ingest, port=0, backend="selectors") as gw:
+            yield gw
+
+    @pytest.fixture(scope="class")
+    def selectors_client(self, selectors_gateway):
+        return ServingClient(selectors_gateway.url)
+
+    def test_health_and_version(self, selectors_client):
+        health = selectors_client.health()
+        assert health["status"] == "ok"
+        assert selectors_client.version() == health["version"]
+
+    def test_predict_matches_service(self, selectors_gateway, selectors_client):
+        payload = selectors_client.predict(3, 7)
+        direct = selectors_gateway.service.predict_pair(3, 7)
+        assert payload["estimate"] == pytest.approx(direct.estimate)
+        assert payload["label"] == direct.label
+
+    def test_batch_endpoint(self, selectors_client):
+        result = selectors_client.estimate_batch([(1, 2), (3, 4), (5, 5)])
+        assert len(result["estimates"]) == 3
+        assert result["estimates"][2] is None  # self-pair -> null
+
+    def test_ingest_and_refresh(self, selectors_client):
+        before = selectors_client.version()
+        response = selectors_client.ingest([(1, 2, 1.0)] * 40)
+        assert response["accepted"] == 40
+        assert selectors_client.refresh() > before
+
+    def test_errors_are_json(self, selectors_client):
+        with pytest.raises(GatewayError) as excinfo:
+            selectors_client.predict(0, 10**9)
+        assert excinfo.value.status == 400
+        with pytest.raises(GatewayError) as excinfo:
+            selectors_client._request("/nope")
+        assert excinfo.value.status == 404
+
+    def test_large_body_round_trip(self, selectors_client):
+        # a many-KB POST exercises the chunked non-blocking read path
+        pairs = [(i % 29, (i + 1) % 29) for i in range(4000)]
+        result = selectors_client.estimate_batch(pairs)
+        assert len(result["estimates"]) == 4000
+
+    def test_invalid_backend_rejected(self):
+        _, service, _ = _small_stack(n=12)
+        with pytest.raises(ValueError, match="backend"):
+            ServingGateway(service, backend="twisted")
+
+    def test_coalesce_window_warns_on_selectors(self):
+        _, service, _ = _small_stack(n=12)
+        with pytest.warns(RuntimeWarning, match="selectors"):
+            gw = ServingGateway(
+                service, backend="selectors", coalesce_window=0.001
+            )
+        assert gw.coalescer is None
+        gw.stop()
+
+
+class TestShardedGateway:
+    @pytest.fixture(scope="class")
+    def sharded_gateway(self):
+        _, service, ingest = _small_stack(shards=4)
+        with ServingGateway(
+            service, ingest, port=0, coalesce_window=0.002
+        ) as gw:
+            yield gw
+
+    @pytest.fixture(scope="class")
+    def sharded_client(self, sharded_gateway):
+        return ServingClient(sharded_gateway.url)
+
+    def test_predict_is_coalesced(self, sharded_client):
+        payload = sharded_client.predict(2, 9)
+        assert payload["coalesced"] is True
+        assert payload["label"] in (-1, 1, None)
+
+    def test_coalesced_self_pair_still_400(self, sharded_client):
+        with pytest.raises(GatewayError) as excinfo:
+            sharded_client.predict(4, 4)
+        assert excinfo.value.status == 400
+
+    def test_concurrent_predicts_share_batches(self, sharded_gateway, sharded_client):
+        import threading
+
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(10):
+                    sharded_client.predict(1, 5)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = sharded_gateway.coalescer.as_dict()
+        assert stats["requests"] >= 40
+        assert stats["batches"] >= 1
+
+    def test_shards_endpoint(self, sharded_client):
+        shards = sharded_client.shards()
+        assert len(shards) == 4
+        for entry in shards:
+            assert {"shard", "queue_depth", "version", "snapshot_age_s"} <= set(entry)
+
+    def test_stats_carries_shard_and_coalescer_sections(self, sharded_client):
+        stats = sharded_client.stats()
+        assert len(stats["shards"]) == 4
+        assert "coalescer" in stats
+        assert stats["ingest"]["shards"] == 4
+
+    def test_ingest_routes_through_shards(self, sharded_client):
+        response = sharded_client.ingest(
+            [(i % 29, (i + 3) % 29, 1.0) for i in range(200)]
+        )
+        assert response["accepted"] == 200
+        version = sharded_client.refresh()
+        assert version == sum(
+            entry["version"] for entry in sharded_client.shards()
+        )
+
+    def test_shards_endpoint_400_on_unsharded(self, client):
+        with pytest.raises(GatewayError) as excinfo:
+            client.shards()
+        assert excinfo.value.status == 400

@@ -1,0 +1,701 @@
+"""Tests for the scale-out serving layer (repro.serving.shard).
+
+Covers the tentpole guarantees:
+
+* **read parity** — sharded estimates are *bitwise* identical to the
+  single-store ones for the same model (the gather feeds the same
+  einsum kernel);
+* **ingest parity** — the same measurement stream driven through a
+  sharded ingest (deterministic inline mode) and a single-store
+  pipeline produces bitwise-identical served models;
+* **no torn reads** — concurrent publishers and readers: every
+  snapshot a reader grabs is internally consistent per shard and
+  versions are monotone;
+* shard-aware checkpointing (single ``.npz``, per-shard keys, warn on
+  shard-count mismatch);
+* the vectorized token bucket matches the reference per-source
+  semantics decision for decision;
+* the request coalescer answers concurrent single queries correctly
+  from shared batch gathers.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine
+from repro.serving.guard import AdmissionGuard, BackgroundCheckpointer, TokenBucketRateLimiter
+from repro.serving.ingest import IngestPipeline
+from repro.serving.service import PredictionService
+from repro.serving.shard import (
+    RequestCoalescer,
+    ShardedCoordinateStore,
+    ShardedIngest,
+    shard_of,
+)
+from repro.serving.store import CoordinateStore
+
+
+def make_engine(n=30, seed=3, **config_kwargs):
+    config = DMFSGDConfig(neighbors=8, **config_kwargs)
+    return DMFSGDEngine(
+        n, lambda r, c: np.ones(len(r)), config, rng=seed
+    )
+
+
+def random_factors(rng, n=37, rank=6):
+    return rng.normal(size=(n, rank)), rng.normal(size=(n, rank))
+
+
+def random_pairs(rng, n, k=200):
+    sources = rng.integers(0, n, size=k)
+    targets = (sources + 1 + rng.integers(0, n - 1, size=k)) % n
+    return sources, targets
+
+
+# ----------------------------------------------------------------------
+# read-path parity
+# ----------------------------------------------------------------------
+
+
+class TestShardedReadParity:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4])
+    def test_pairs_bitwise_identical_to_single_store(self, rng, shards):
+        U, V = random_factors(rng)
+        single = CoordinateStore((U, V)).snapshot()
+        sharded = ShardedCoordinateStore((U, V), shards=shards).snapshot()
+        sources, targets = random_pairs(rng, U.shape[0])
+        a = single.estimate_pairs(sources, targets)
+        b = sharded.estimate_pairs(sources, targets)
+        # bitwise, not approx: same gather + same einsum kernel
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("shards", [2, 5])
+    def test_scalar_row_and_matrix_parity(self, rng, shards):
+        U, V = random_factors(rng)
+        n = U.shape[0]
+        single = CoordinateStore((U, V)).snapshot()
+        sharded = ShardedCoordinateStore((U, V), shards=shards).snapshot()
+        assert sharded.estimate(3, 17) == single.estimate(3, 17)
+        assert np.array_equal(
+            sharded.estimate_row(5), single.estimate_row(5), equal_nan=True
+        )
+        targets = np.array([0, 9, 5, 5, n - 1])
+        assert np.array_equal(
+            sharded.estimate_row(5, targets), single.estimate_row(5, targets)
+        )
+        assert np.array_equal(
+            sharded.estimate_matrix(), single.estimate_matrix(), equal_nan=True
+        )
+
+    def test_service_runs_unchanged_on_sharded_store(self, rng):
+        U, V = random_factors(rng)
+        store = ShardedCoordinateStore((U, V), shards=3)
+        service = PredictionService(store, cache_size=16)
+        first = service.predict_pair(1, 2)
+        again = service.predict_pair(1, 2)
+        assert again.cached and again.estimate == first.estimate
+        batch = service.predict_pairs(np.array([1, 4]), np.array([2, 8]))
+        assert batch.version == store.version
+
+    def test_out_of_range_rejected(self, rng):
+        U, V = random_factors(rng)
+        snap = ShardedCoordinateStore((U, V), shards=2).snapshot()
+        with pytest.raises(ValueError, match="out of range"):
+            snap.estimate_pairs(np.array([0]), np.array([U.shape[0]]))
+        with pytest.raises(ValueError):
+            snap.estimate(-1, 2)
+
+    def test_snapshot_immutable(self, rng):
+        U, V = random_factors(rng)
+        store = ShardedCoordinateStore((U, V), shards=2)
+        snap = store.snapshot()
+        with pytest.raises(AttributeError):
+            snap.n = 5
+        with pytest.raises(AttributeError):
+            snap.parts[0].version = 99
+        with pytest.raises(ValueError):
+            snap.parts[0].U[0, 0] = 1.0  # read-only array
+
+    def test_shard_of_and_partition_shapes(self):
+        ids = np.arange(11)
+        assert np.array_equal(shard_of(ids, 4), ids % 4)
+        store = ShardedCoordinateStore(
+            (np.zeros((11, 2)), np.zeros((11, 2))), shards=4
+        )
+        assert [p.owned for p in store.snapshot().parts] == [3, 3, 3, 2]
+
+    def test_invalid_shard_counts(self, rng):
+        U, V = random_factors(rng, n=5)
+        with pytest.raises(ValueError, match="shards"):
+            ShardedCoordinateStore((U, V), shards=0)
+        with pytest.raises(ValueError, match="shards"):
+            ShardedCoordinateStore((U, V), shards=6)
+
+
+# ----------------------------------------------------------------------
+# ingest parity (the same trace, sharded vs single)
+# ----------------------------------------------------------------------
+
+
+class TestShardedIngestParity:
+    @pytest.mark.parametrize("mode,step_clip", [("raw", None), ("guarded", 0.2)])
+    def test_trace_bitwise_parity_with_single_store(self, rng, mode, step_clip):
+        """Sharded and single-store serving agree to the last bit.
+
+        Deterministic setting: inline routing (no worker threads) and
+        ``batch_size=1``, so both stacks apply the same measurement
+        sequence in the same order — the shard machinery (routing,
+        per-shard publish, gather-based reads) must then be invisible
+        in the served numbers.
+        """
+        n, samples = 30, 400
+        sources, targets = random_pairs(rng, n, samples)
+        values = rng.choice([-1.0, 1.0], size=samples)
+
+        engine_a = make_engine(n, seed=11)
+        store_a = CoordinateStore(engine_a.coordinates)
+        single = IngestPipeline(
+            engine_a,
+            store_a,
+            batch_size=1,
+            refresh_interval=50,
+            mode=mode,
+            step_clip=step_clip,
+        )
+
+        engine_b = make_engine(n, seed=11)
+        store_b = ShardedCoordinateStore(engine_b.coordinates, shards=3)
+        sharded = ShardedIngest(
+            engine_b,
+            store_b,
+            batch_size=1,
+            refresh_interval=50,
+            mode=mode,
+            step_clip=step_clip,
+            workers=False,
+        )
+
+        for s, t, v in zip(sources, targets, values):
+            assert single.submit(int(s), int(t), float(v))
+            assert sharded.submit(int(s), int(t), float(v))
+        single.publish()
+        sharded.publish()
+
+        assert np.array_equal(
+            store_a.snapshot().estimate_matrix(),
+            store_b.snapshot().estimate_matrix(),
+            equal_nan=True,
+        )
+        qs, qt = random_pairs(rng, n, 100)
+        assert np.array_equal(
+            store_a.snapshot().estimate_pairs(qs, qt),
+            store_b.snapshot().estimate_pairs(qs, qt),
+        )
+        # the engines themselves marched in lockstep
+        assert engine_a.measurements == engine_b.measurements
+        assert engine_a.steps_clipped == engine_b.steps_clipped
+
+    def test_counter_conservation_with_batches(self, rng):
+        """received == applied + dropped + rejected + still-buffered."""
+        n, samples = 24, 600
+        engine = make_engine(n, seed=5)
+        store = ShardedCoordinateStore(engine.coordinates, shards=4)
+        guards = [
+            AdmissionGuard(
+                rate_limiter=TokenBucketRateLimiter(1e9, 40, clock=lambda: 0.0)
+            )
+            for _ in range(4)
+        ]
+        sharded = ShardedIngest(
+            engine,
+            store,
+            batch_size=32,
+            refresh_interval=100,
+            guards=guards,
+            workers=False,
+        )
+        sources = rng.integers(0, n, size=samples).astype(float)
+        targets = (sources + 1) % n
+        values = rng.choice([-1.0, 1.0], size=samples)
+        # poison some samples: NaN, out-of-range, self-pairs
+        sources[::50] = np.nan
+        targets[1::50] = n + 3
+        targets[2::50] = sources[2::50]
+        sharded.submit_many(sources, targets, values)
+        sharded.flush()
+        stats = sharded.stats()
+        assert stats.received == samples
+        assert stats.dropped_invalid == 3 * (samples // 50)
+        assert (
+            stats.applied + stats.deduped + stats.rejected_guard
+            + stats.dropped_invalid + stats.dropped_nan
+            == samples
+        )
+        assert sharded.buffered == 0
+
+    def test_raw_mode_rejects_guards(self, rng):
+        engine = make_engine(12)
+        store = ShardedCoordinateStore(engine.coordinates, shards=2)
+        with pytest.raises(ValueError, match="raw"):
+            ShardedIngest(
+                engine,
+                store,
+                mode="raw",
+                guards=[AdmissionGuard(), AdmissionGuard()],
+                workers=False,
+            )
+
+    def test_guard_count_must_match_shards(self, rng):
+        engine = make_engine(12)
+        store = ShardedCoordinateStore(engine.coordinates, shards=2)
+        with pytest.raises(ValueError, match="guards"):
+            ShardedIngest(engine, store, guards=[AdmissionGuard()], workers=False)
+
+
+# ----------------------------------------------------------------------
+# concurrency: no torn reads, monotone versions
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentConsistency:
+    def test_publishers_never_tear_reader_snapshots(self):
+        """Writers publish recognizable constants; readers must never
+        observe a mixed (torn) shard slice or a version going back."""
+        n, P, rank = 32, 4, 5
+        store = ShardedCoordinateStore(
+            (np.zeros((n, rank)), np.zeros((n, rank))), shards=P
+        )
+        stop = threading.Event()
+        failures: list = []
+
+        def publisher(shard: int) -> None:
+            owned = len(range(shard, n, P))
+            c = 0.0
+            while not stop.is_set():
+                c += 1.0
+                block = np.full((owned, rank), c)
+                store.publish_shard(shard, block, block)
+
+        def reader() -> None:
+            last_versions = [0] * P
+            try:
+                for _ in range(400):
+                    snap = store.snapshot()
+                    for s, part in enumerate(snap.parts):
+                        if part.version < last_versions[s]:
+                            failures.append(
+                                f"shard {s} version went backwards"
+                            )
+                        last_versions[s] = part.version
+                        # a torn slice would mix two constants
+                        if part.U.size and part.U.min() != part.U.max():
+                            failures.append(f"torn U slice in shard {s}")
+                        if not np.array_equal(part.U, part.V):
+                            failures.append(f"U/V mismatch in shard {s}")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(repr(exc))
+
+        publishers = [
+            threading.Thread(target=publisher, args=(s,)) for s in range(P)
+        ]
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for t in publishers + readers:
+            t.start()
+        for t in readers:
+            t.join()
+        stop.set()
+        for t in publishers:
+            t.join()
+        assert failures == []
+
+    def test_queries_during_worker_ingest(self, rng):
+        """Threads hammer estimates while submit_many streams through
+        the shard workers: versions are monotone, estimates finite and
+        repeatable within one snapshot."""
+        n = 40
+        engine = make_engine(n, seed=9)
+        store = ShardedCoordinateStore(engine.coordinates, shards=4)
+        service = PredictionService(store, cache_size=64)
+        with ShardedIngest(
+            engine,
+            store,
+            batch_size=16,
+            refresh_interval=32,
+            queue_depth=8,
+        ) as sharded:
+            qs, qt = random_pairs(rng, n, 64)
+            failures: list = []
+            done = threading.Event()
+
+            def querier() -> None:
+                last_version = 0
+                try:
+                    while not done.is_set():
+                        snap = store.snapshot()
+                        if snap.version < last_version:
+                            failures.append("composite version regressed")
+                        last_version = snap.version
+                        first = snap.estimate_pairs(qs, qt)
+                        second = snap.estimate_pairs(qs, qt)
+                        if not np.array_equal(first, second):
+                            failures.append("snapshot not repeatable")
+                        if not np.all(np.isfinite(first)):
+                            failures.append("non-finite estimate")
+                        batch = service.predict_pairs(qs, qt)
+                        if not np.all(np.isfinite(batch.estimates)):
+                            failures.append("non-finite service estimate")
+                except Exception as exc:  # pragma: no cover
+                    failures.append(repr(exc))
+
+            threads = [threading.Thread(target=querier) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for _ in range(40):
+                sources = rng.integers(0, n, size=128)
+                targets = (sources + 1 + rng.integers(0, n - 1, size=128)) % n
+                values = rng.choice([-1.0, 1.0], size=128).astype(float)
+                sharded.submit_many(sources, targets, values)
+            version_before_publish = store.version
+            sharded.publish()
+            done.set()
+            for t in threads:
+                t.join()
+            assert failures == []
+            assert store.version > version_before_publish
+            assert sharded.stats().applied > 0
+            assert sharded.worker_errors == []
+
+
+# ----------------------------------------------------------------------
+# shard-aware checkpointing
+# ----------------------------------------------------------------------
+
+
+class TestShardedCheckpoint:
+    def test_round_trip_preserves_all_shards_and_versions(self, rng, tmp_path):
+        U, V = random_factors(rng, n=21)
+        store = ShardedCoordinateStore((U, V), shards=3)
+        # advance shard 1 twice and shard 2 once: distinct versions
+        snap = store.snapshot()
+        store.publish_shard(1, snap.parts[1].U * 2, snap.parts[1].V * 2)
+        snap = store.snapshot()
+        store.publish_shard(1, snap.parts[1].U * 2, snap.parts[1].V * 2)
+        store.publish_shard(2, snap.parts[2].U + 1, snap.parts[2].V + 1)
+        path = tmp_path / "sharded.npz"
+        store.save(path)
+        restored = ShardedCoordinateStore.load(path)
+        assert restored.shards == 3
+        assert restored.versions == store.versions == [1, 3, 2]
+        assert np.array_equal(
+            restored.snapshot().estimate_matrix(),
+            store.snapshot().estimate_matrix(),
+            equal_nan=True,
+        )
+
+    def test_checkpointer_covers_every_shard_not_just_zero(self, rng, tmp_path):
+        U, V = random_factors(rng, n=12)
+        store = ShardedCoordinateStore((U, V), shards=3)
+        path = tmp_path / "bg.npz"
+        checkpointer = BackgroundCheckpointer(store, path, interval=60.0)
+        assert checkpointer.checkpoint_now(force=True)
+        # mutate a *non-zero* shard, checkpoint again, restore
+        snap = store.snapshot()
+        store.publish_shard(2, snap.parts[2].U + 7, snap.parts[2].V + 7)
+        assert checkpointer.checkpoint_now()
+        restored = ShardedCoordinateStore.load(path)
+        assert np.array_equal(
+            restored.snapshot().estimate_matrix(),
+            store.snapshot().estimate_matrix(),
+            equal_nan=True,
+        )
+        assert restored.versions[2] == 2
+
+    def test_shard_count_mismatch_warns_and_repartitions(self, rng, tmp_path):
+        U, V = random_factors(rng, n=20)
+        store = ShardedCoordinateStore((U, V), shards=4)
+        path = tmp_path / "four.npz"
+        store.save(path)
+        with pytest.warns(RuntimeWarning, match="4 shard"):
+            restored = ShardedCoordinateStore.load(path, shards=2)
+        assert restored.shards == 2
+        assert np.array_equal(
+            restored.snapshot().estimate_matrix(),
+            store.snapshot().estimate_matrix(),
+            equal_nan=True,
+        )
+
+    def test_adopts_single_store_checkpoint(self, rng, tmp_path):
+        U, V = random_factors(rng, n=15)
+        single = CoordinateStore((U, V))
+        path = tmp_path / "single.npz"
+        single.save(path)
+        restored = ShardedCoordinateStore.load(path, shards=3)
+        assert restored.shards == 3
+        assert np.array_equal(
+            restored.snapshot().estimate_matrix(),
+            single.snapshot().estimate_matrix(),
+            equal_nan=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# vectorized token bucket: equivalence with the reference semantics
+# ----------------------------------------------------------------------
+
+
+class _ReferenceLimiter:
+    """The pre-vectorization dict-of-buckets implementation."""
+
+    def __init__(self, rate, burst, clock):
+        self.rate, self.burst, self._clock = rate, burst, clock
+        self._buckets = {}
+
+    def _tokens(self, source, now):
+        bucket = self._buckets.get(source)
+        if bucket is None:
+            bucket = self._buckets[source] = [self.burst, now]
+        else:
+            bucket[0] = min(self.burst, bucket[0] + (now - bucket[1]) * self.rate)
+            bucket[1] = now
+        return bucket
+
+    def allow(self, sources):
+        sources = np.asarray(sources, dtype=int)
+        keep = np.zeros(sources.size, dtype=bool)
+        if sources.size == 0:
+            return keep
+        now = self._clock()
+        order = np.argsort(sources, kind="stable")
+        boundaries = np.flatnonzero(np.diff(sources[order])) + 1
+        for group in np.split(order, boundaries):
+            bucket = self._tokens(int(sources[group[0]]), now)
+            take = min(len(group), int(bucket[0]))
+            if take:
+                bucket[0] -= take
+                keep[group[:take]] = True
+        return keep
+
+
+class TestVectorizedTokenBucket:
+    def test_matches_reference_decision_for_decision(self, rng):
+        clock = [0.0]
+        fast = TokenBucketRateLimiter(3.0, 7, clock=lambda: clock[0])
+        slow = _ReferenceLimiter(3.0, 7, clock=lambda: clock[0])
+        for _ in range(30):
+            clock[0] += float(rng.random() * 2)
+            sources = rng.integers(0, 12, size=int(rng.integers(1, 60)))
+            assert np.array_equal(fast.allow(sources), slow.allow(sources))
+
+    def test_earliest_samples_win_within_batch(self):
+        limiter = TokenBucketRateLimiter(1.0, 3, clock=lambda: 0.0)
+        sources = np.array([5, 9, 5, 5, 5, 9])
+        keep = limiter.allow(sources)
+        # source 5 has 3 tokens: its first three samples pass; 9 both
+        assert keep.tolist() == [True, True, True, True, False, True]
+
+    def test_scalar_and_batch_paths_share_state(self):
+        clock = [0.0]
+        limiter = TokenBucketRateLimiter(1.0, 2, clock=lambda: clock[0])
+        assert limiter.allow_one(4)
+        keep = limiter.allow(np.array([4, 4]))
+        assert keep.tolist() == [True, False]  # one token was spent above
+        clock[0] += 1.0  # refill one
+        assert limiter.allow_one(4)
+
+    def test_dense_state_grows_on_demand(self):
+        limiter = TokenBucketRateLimiter(1.0, 2, clock=lambda: 0.0)
+        assert limiter.allow_one(3)
+        small = limiter.tracked_sources
+        limiter.allow(np.array([10_000]))
+        assert limiter.tracked_sources > small >= 4
+
+    def test_negative_source_rejected(self):
+        limiter = TokenBucketRateLimiter(1.0, 2)
+        with pytest.raises(ValueError, match=">= 0"):
+            limiter.allow_one(-1)
+        with pytest.raises(ValueError, match=">= 0"):
+            limiter.allow(np.array([0, -2]))
+
+
+# ----------------------------------------------------------------------
+# request coalescing
+# ----------------------------------------------------------------------
+
+
+class TestRequestCoalescer:
+    def _service(self, rng, n=25):
+        U, V = random_factors(rng, n=n)
+        return PredictionService(CoordinateStore((U, V)), cache_size=0), n
+
+    def test_concurrent_queries_answered_correctly(self, rng):
+        service, n = self._service(rng)
+        truth = service.store.snapshot()
+        results = {}
+        lock = threading.Lock()
+        with RequestCoalescer(service, window=0.005) as coalescer:
+            def worker(worker_id: int) -> None:
+                local_rng = np.random.default_rng(worker_id)
+                for _ in range(50):
+                    s = int(local_rng.integers(0, n))
+                    t = int((s + 1 + local_rng.integers(0, n - 1)) % n)
+                    estimate, version = coalescer.estimate(s, t)
+                    with lock:
+                        results[(s, t, estimate)] = version
+
+            threads = [
+                threading.Thread(target=worker, args=(w,)) for w in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = coalescer.as_dict()
+        assert stats["requests"] == 6 * 50
+        assert stats["batches"] >= 1
+        assert stats["coalesced"] > 0  # some requests shared a gather
+        for (s, t, estimate), version in results.items():
+            # coalesced queries ride the batch path: compare against
+            # estimate_pairs (einsum), whose last ulp may differ from
+            # the scalar dot product
+            expected = truth.estimate_pairs(np.array([s]), np.array([t]))[0]
+            assert estimate == expected
+            assert version == truth.version
+
+    def test_single_request_still_answered(self, rng):
+        service, _ = self._service(rng)
+        with RequestCoalescer(service, window=0.001) as coalescer:
+            estimate, version = coalescer.estimate(1, 2)
+        snap = service.store.snapshot()
+        expected = snap.estimate_pairs(np.array([1]), np.array([2]))[0]
+        assert estimate == expected
+        assert version == service.store.version
+
+    def test_bad_index_rejected_at_submit_not_batchwide(self, rng):
+        service, n = self._service(rng)
+        with RequestCoalescer(service, window=0.001) as coalescer:
+            with pytest.raises(ValueError):
+                coalescer.submit(0, n)  # out of range
+            estimate, _ = coalescer.estimate(0, 1)  # batch unaffected
+            assert np.isfinite(estimate)
+
+    def test_submit_requires_running_worker(self, rng):
+        service, _ = self._service(rng)
+        coalescer = RequestCoalescer(service, window=0.001)
+        with pytest.raises(RuntimeError, match="not running"):
+            coalescer.submit(0, 1)
+
+    def test_max_batch_flushes_early(self, rng):
+        service, n = self._service(rng)
+        with RequestCoalescer(service, window=0.5, max_batch=4) as coalescer:
+            tickets = [coalescer.submit(0, 1 + (i % (n - 1))) for i in range(4)]
+            start = time.monotonic()
+            for ticket in tickets:
+                ticket.result(timeout=5.0)
+            # a full batch must not wait out the whole 500 ms window
+            assert time.monotonic() - start < 0.4
+
+    def test_validation_uses_window_parameters(self, rng):
+        service, _ = self._service(rng)
+        with pytest.raises(ValueError, match="window"):
+            RequestCoalescer(service, window=0.0)
+        with pytest.raises(ValueError, match="max_batch"):
+            RequestCoalescer(service, max_batch=0)
+
+
+# ----------------------------------------------------------------------
+# regressions: lifecycle and backpressure edges
+# ----------------------------------------------------------------------
+
+
+class TestLifecycleAndBackpressure:
+    def test_coalescer_max_batch_one_still_flushes(self, rng):
+        """max_batch=1 fills every batch instantly; the worker must
+        still be woken (regression: only _flush_now was set)."""
+        U, V = random_factors(rng, n=10)
+        service = PredictionService(CoordinateStore((U, V)), cache_size=0)
+        with RequestCoalescer(service, window=0.2, max_batch=1) as coalescer:
+            for _ in range(3):
+                estimate, _ = coalescer.estimate(1, 2)
+                assert np.isfinite(estimate)
+
+    def test_submit_after_close_applies_inline(self, rng):
+        engine = make_engine(16, seed=2)
+        store = ShardedCoordinateStore(engine.coordinates, shards=2)
+        sharded = ShardedIngest(
+            engine, store, batch_size=4, refresh_interval=100, workers=True
+        )
+        sharded.close()
+        assert sharded.submit(1, 2, 1.0) is True
+        assert sharded.submit_many(
+            np.array([3.0, 4.0]), np.array([5.0, 6.0]), np.array([1.0, -1.0])
+        ) == 2
+        sharded.flush()
+        assert sharded.stats().received == 3
+        assert sharded.buffered == 0
+
+    def test_full_queue_sheds_after_timeout_and_counts(self, rng):
+        import time as _time
+
+        engine = make_engine(16, seed=2)
+        store = ShardedCoordinateStore(engine.coordinates, shards=1)
+        sharded = ShardedIngest(
+            engine,
+            store,
+            batch_size=1024,
+            refresh_interval=10_000,
+            queue_depth=1,
+            put_timeout=0.02,
+            workers=True,
+        )
+        try:
+            # stall the lone worker so the queue backs up deterministically
+            release = threading.Event()
+            original = sharded.pipelines[0].submit_valid
+
+            def slow(*args):
+                release.wait(2.0)
+                return original(*args)
+
+            sharded.pipelines[0].submit_valid = slow
+            src = np.zeros(8, dtype=float)
+            dst = np.ones(8, dtype=float)
+            vals = np.full(8, 1.0)
+            accepted = 0
+            for _ in range(6):
+                accepted += sharded.submit_many(src, dst, vals)
+            release.set()
+            sharded.flush()
+            assert sharded.dropped_backpressure > 0
+            assert (
+                accepted + sharded.dropped_backpressure == 6 * 8
+            )  # shed chunks are excluded from the accepted count
+            assert (
+                sharded.stats_payload()["ingest"]["dropped_backpressure"]
+                == sharded.dropped_backpressure
+            )
+            assert sharded.buffered == 0  # sample accounting drained to zero
+        finally:
+            sharded.close()
+
+    def test_queue_samples_reported_per_shard(self, rng):
+        engine = make_engine(16, seed=2)
+        store = ShardedCoordinateStore(engine.coordinates, shards=2)
+        sharded = ShardedIngest(
+            engine, store, batch_size=64, refresh_interval=1000, workers=True
+        )
+        try:
+            sharded.submit_many(
+                np.arange(8, dtype=float),
+                np.arange(1, 9, dtype=float) % 16,
+                np.ones(8),
+            )
+            sharded.drain()
+            info = sharded.shard_info()
+            assert all("queue_samples" in entry for entry in info)
+            assert sum(entry["queue_samples"] for entry in info) == 0
+        finally:
+            sharded.close()
