@@ -19,17 +19,25 @@ with a seeded RNG and writes ``BENCH_scaleout.json``:
   answered by ``predict_pairs`` gathers, which is where coalescing
   moves the serving work.
 
+Also runs the live-churn measurement (``benchmarks/churn_bench.py``,
+shared with ``benchmarks/test_membership_churn.py``) and writes
+``BENCH_churn.json``: membership epoch-transition latency and query
+availability while join/leave storms run under load.
+
 Regression gate (CI-friendly)::
 
     python benchmarks/compare.py --check [--tolerance 0.25]
 
 re-runs the measurements and exits non-zero if any throughput in the
-committed ``BENCH_scaleout.json`` regressed by more than the tolerance
-(default 25%), or if the coalesced answer path no longer clears 5× the
-uncoalesced per-request path, or if sharded guarded admission falls
-under 2× the PR 2 baseline (410k mps).  Fresh numbers are only written
-back in measure mode, so a failed check leaves the committed baseline
-untouched.
+committed ``BENCH_scaleout.json`` / ``BENCH_churn.json`` regressed by
+more than the tolerance (default 25%), if a churn epoch-transition
+latency blew past its committed baseline (latencies get triple the
+tolerance plus absolute slack — they are noisier than throughputs), if
+query availability under churn drops below 99.9%, or if the absolute
+invariants break (coalesced answer path ≥ 5× per-request; sharded
+guarded admission ≥ 2× the PR 2 baseline of 410k mps).  Fresh numbers
+are only written back in measure mode, so a failed check leaves the
+committed baselines untouched.
 """
 
 from __future__ import annotations
@@ -44,6 +52,9 @@ import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import churn_bench  # noqa: E402
 
 from repro.core.config import DMFSGDConfig  # noqa: E402
 from repro.core.engine import DMFSGDEngine  # noqa: E402
@@ -74,6 +85,7 @@ SINGLE_QUERIES = 20_000
 COALESCE_WINDOW = 0.0005
 SHARD_COUNTS = (1, 2, 4)
 SUMMARY_PATH = REPO_ROOT / "BENCH_scaleout.json"
+CHURN_SUMMARY_PATH = REPO_ROOT / "BENCH_churn.json"
 
 #: PR 2's guarded admission throughput (measurements/s): the scale-out
 #: work must hold at least 2x this (the issue's acceptance bar).
@@ -297,8 +309,20 @@ THROUGHPUT_KEYS = tuple(
     ]
 )
 
+#: BENCH_churn.json keys where higher is better
+CHURN_THROUGHPUT_KEYS = ("queries_during_churn_pps",)
 
-def check(result: dict, tolerance: float) -> int:
+#: BENCH_churn.json keys where *lower* is better (epoch latencies).
+#: Latency measurements are far noisier than throughput sweeps, so the
+#: ceiling is committed * (1 + 3*tolerance) plus an absolute slack.
+CHURN_LATENCY_KEYS = ("join_transition_ms", "leave_transition_ms")
+CHURN_LATENCY_SLACK_MS = 10.0
+
+#: availability under churn must hold absolutely, baseline or not
+CHURN_MIN_AVAILABILITY = 0.999
+
+
+def check(result: dict, churn: dict, tolerance: float) -> int:
     """Compare fresh numbers against the committed baselines.
 
     Returns a process exit code: 0 when everything holds, 1 on any
@@ -320,6 +344,33 @@ def check(result: dict, tolerance: float) -> int:
     else:
         print(f"note: no committed {SUMMARY_PATH.name}; skipping diffs")
 
+    if CHURN_SUMMARY_PATH.exists():
+        committed = json.loads(CHURN_SUMMARY_PATH.read_text())
+        for key in CHURN_THROUGHPUT_KEYS:
+            if key not in committed:
+                continue
+            floor = (1.0 - tolerance) * float(committed[key])
+            if churn[key] < floor:
+                failures.append(
+                    f"{key}: measured {churn[key]:,.0f} < {floor:,.0f} "
+                    f"({(1.0 - tolerance):.0%} of committed "
+                    f"{float(committed[key]):,.0f})"
+                )
+        for key in CHURN_LATENCY_KEYS:
+            if key not in committed:
+                continue
+            ceiling = (
+                (1.0 + 3.0 * tolerance) * float(committed[key])
+                + CHURN_LATENCY_SLACK_MS
+            )
+            if churn[key] > ceiling:
+                failures.append(
+                    f"{key}: measured {churn[key]:.2f} ms > ceiling "
+                    f"{ceiling:.2f} ms (committed {float(committed[key]):.2f})"
+                )
+    else:
+        print(f"note: no committed {CHURN_SUMMARY_PATH.name}; skipping diffs")
+
     # acceptance invariants (absolute, not relative to the baseline)
     speedup = result["coalesced_answer_speedup"]
     if speedup < 5.0:
@@ -333,6 +384,12 @@ def check(result: dict, tolerance: float) -> int:
             f"guarded admission at 4 shards is {sharded_mps:,.0f} mps, "
             f"under 2x the PR 2 baseline "
             f"({2.0 * PR2_GUARDED_ADMISSION_MPS:,.0f})"
+        )
+    availability = churn["query_availability_during_churn"]
+    if availability < CHURN_MIN_AVAILABILITY:
+        failures.append(
+            f"query availability under churn is {availability:.4%}, "
+            f"under the {CHURN_MIN_AVAILABILITY:.1%} floor"
         )
 
     if failures:
@@ -364,10 +421,18 @@ def main(argv=None) -> int:
 
     result = run()
     print(format_result(result))
+    churn = churn_bench.run()
+    print(
+        format_table(
+            churn_bench.format_rows(churn), headers=["churn", "value"]
+        )
+    )
     if args.check:
-        return check(result, args.tolerance)
+        return check(result, churn, args.tolerance)
     SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {SUMMARY_PATH}")
+    CHURN_SUMMARY_PATH.write_text(json.dumps(churn, indent=2) + "\n")
+    print(f"wrote {CHURN_SUMMARY_PATH}")
     return 0
 
 

@@ -1,0 +1,46 @@
+"""Live-churn serving benchmark: epoch latency + availability.
+
+Prices the elastic-membership layer (``repro.serving.membership``): a
+sharded stack under sustained query and ingest load absorbs a storm of
+join/leave epoch transitions.  The measurement itself lives in
+``benchmarks/churn_bench.py`` (shared with the ``compare.py --check``
+CI gate); this bench prints the table, writes ``BENCH_churn.json`` and
+asserts the paper-facing invariants:
+
+* churn never takes queries down — availability stays ≥ 99.9% while
+  epochs swap;
+* an epoch transition is cheap — well under 250 ms even with queues to
+  drain (it is a barrier + a copy + one atomic reference store);
+* the shard workers survive the storm without a single error.
+"""
+
+import json
+from pathlib import Path
+
+from churn_bench import format_rows, run
+from repro.utils.tables import format_table
+
+SUMMARY_PATH = Path("BENCH_churn.json")
+
+
+def test_membership_churn_latency_and_availability(run_once, report):
+    result = run_once(run)
+
+    report(
+        f"Live churn — {result['nodes']}-node model, {result['shards']} "
+        f"shards, {result['churn_ops']} membership ops under load",
+        format_table(format_rows(result), headers=["quantity", "value"]),
+    )
+
+    SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    report("Summary", f"wrote {SUMMARY_PATH.resolve()}")
+
+    # the paper's claim, served live: churn must not drop queries
+    assert result["query_availability_during_churn"] >= 0.999
+    assert result["queries_failed_during_churn"] == 0
+    # an epoch swap is a barrier + copy + one atomic store: cheap
+    assert result["join_transition_ms"] < 250.0
+    assert result["leave_transition_ms"] < 250.0
+    # and the storm leaves the stack healthy
+    assert result["worker_errors"] == 0
+    assert result["final_epoch"] == result["churn_ops"] + 1

@@ -219,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
         "a single-threaded non-blocking event loop (selectors)",
     )
     serve.add_argument(
+        "--allow-membership",
+        action="store_true",
+        help="enable live node join/leave (POST /membership/join|leave): "
+        "epoch transitions grow/shrink the model without stopping "
+        "ingest or queries",
+    )
+    serve.add_argument(
         "--refresh-every",
         type=int,
         default=1000,
@@ -423,6 +430,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else None
         ),
         backend=args.backend,
+        allow_membership=args.allow_membership,
     )
     print(f"serving on {gateway.url}", file=sys.stderr)
     print(

@@ -381,6 +381,42 @@ class DMFSGDEngine:
         self.rounds_done += 1  # one schedule step per batch
         return used
 
+    def resize_model(self, U: np.ndarray, V: np.ndarray) -> None:
+        """Replace the factor matrices with a differently-sized model.
+
+        The online membership layer (:mod:`repro.serving.membership`)
+        grows the model when a node joins and shrinks it when trailing
+        departed nodes are compacted away; this is the engine-side half
+        of that epoch transition.  The new ``(n', rank)`` factors are
+        adopted wholesale (copied), ``n`` is updated, and the neighbor
+        table is re-sampled to cover the new universe, so subsequent
+        :meth:`apply_measurements` calls validate against the new size.
+
+        Not thread-safe on its own: callers must serialize against any
+        concurrent :meth:`apply_measurements` (the sharded ingest holds
+        its engine lock across both; see
+        :meth:`repro.serving.shard.ShardedIngest.membership_barrier`).
+        ``label_fn`` is *not* resized — round-based training drivers
+        (:meth:`step_round` / :meth:`run`) built for the old universe
+        are out of contract after a resize; the online
+        ``apply_measurements`` path is the supported consumer.
+        """
+        U = np.asarray(U, dtype=float)
+        V = np.asarray(V, dtype=float)
+        if U.shape != V.shape or U.ndim != 2 or U.shape[1] != self.config.rank:
+            raise ValueError(
+                f"U and V must be matching (n, {self.config.rank}) arrays, "
+                f"got {U.shape} and {V.shape}"
+            )
+        n = U.shape[0]
+        if n < 2:
+            raise ValueError(f"need at least 2 nodes, got {n}")
+        if n != self.n:
+            k = min(self.neighbor_sets.shape[1], n - 1)
+            self.neighbor_sets = sample_neighbor_sets(n, k, self._rng)
+        self.n = n
+        self.coordinates = CoordinateTable.from_arrays(U, V)
+
     # ------------------------------------------------------------------
     # training drivers
     # ------------------------------------------------------------------

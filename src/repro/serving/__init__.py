@@ -24,6 +24,11 @@ demand while fresh measurements keep improving the model:
   admission pipeline per shard behind a bounded queue on a dedicated
   worker thread) and :class:`RequestCoalescer` (concurrent single
   queries answered by one vectorized batch gather);
+* :mod:`repro.serving.membership` — :class:`MembershipManager`, the
+  elastic-membership layer: live node join/leave applied as
+  copy-on-write epoch transitions over the sharded store (warm-started
+  joins, tombstone-then-compact leaves) without stopping ingest or
+  queries;
 * :mod:`repro.serving.gateway` — :class:`ServingGateway`, a
   stdlib-only JSON/HTTP frontend (``repro serve``) with two
   transports: thread-per-connection ``threading`` and a
@@ -58,6 +63,7 @@ from repro.serving.guard import (
     TokenBucketRateLimiter,
 )
 from repro.serving.ingest import IngestPipeline, IngestStats
+from repro.serving.membership import MembershipManager
 from repro.serving.shard import (
     RequestCoalescer,
     ShardedCoordinateStore,
@@ -88,6 +94,7 @@ __all__ = [
     "TokenBucketRateLimiter",
     "IngestPipeline",
     "IngestStats",
+    "MembershipManager",
     "RequestCoalescer",
     "ShardedCoordinateStore",
     "ShardedIngest",

@@ -60,6 +60,7 @@ def build_gateway(
     queue_depth: int = 64,
     coalesce_window: Optional[float] = None,
     backend: str = "threading",
+    allow_membership: bool = False,
     verbose: bool = False,
 ) -> ServingGateway:
     """Pre-train a model on a synthetic dataset and wrap it for serving.
@@ -123,6 +124,12 @@ def build_gateway(
     backend:
         Gateway transport: ``"threading"`` (thread per connection) or
         ``"selectors"`` (single-threaded non-blocking event loop).
+    allow_membership:
+        Enable the live join/leave endpoints
+        (:mod:`repro.serving.membership`).  Membership runs on the
+        sharded stack, so this forces it even at ``shards=1``; epoch
+        transitions then grow/shrink the model without stopping ingest
+        or queries.
     """
     from repro.experiments.common import PAPER_NEIGHBORS, get_dataset
 
@@ -165,7 +172,9 @@ def build_gateway(
         metric=data.metric,
         rng=seed,
     )
-    sharded = shards > 1
+    # membership transitions ride the sharded stack's epoch machinery,
+    # so --allow-membership promotes a single-shard deployment to it
+    sharded = shards > 1 or allow_membership
     if checkpoint is not None:
         if sharded:
             # shard-aware restore: accepts both sharded checkpoints
@@ -175,10 +184,16 @@ def build_gateway(
         else:
             store = CoordinateStore.load(checkpoint)
         if store.n != engine.n:
-            raise ValueError(
-                f"checkpoint has {store.n} nodes, dataset has {engine.n}"
-            )
-        engine.coordinates = store.snapshot().as_table()
+            if not allow_membership:
+                raise ValueError(
+                    f"checkpoint has {store.n} nodes, dataset has {engine.n}"
+                )
+            # a membership deployment legitimately grows/shrinks away
+            # from the dataset's size; adopt the checkpoint's universe
+            table = store.snapshot().as_table()
+            engine.resize_model(table.U, table.V)
+        else:
+            engine.coordinates = store.snapshot().as_table()
     else:
         if rounds is None:
             rounds = 20 * PAPER_NEIGHBORS.get(dataset, config.neighbors)
@@ -245,6 +260,11 @@ def build_gateway(
             guard=make_guard(),
             evaluator=evaluator,
         )
+    membership = None
+    if allow_membership:
+        from repro.serving.membership import MembershipManager
+
+        membership = MembershipManager(engine, store, ingest, rng=seed)
     return ServingGateway(
         service,
         ingest,
@@ -253,5 +273,6 @@ def build_gateway(
         port=port,
         backend=backend,
         coalesce_window=coalesce_window,
+        membership=membership,
         verbose=verbose,
     )

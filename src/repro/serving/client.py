@@ -148,5 +148,43 @@ class ServingClient:
         """POST /refresh — force a publish; returns the new version."""
         return int(self._request("/refresh", {})["version"])
 
+    # ------------------------------------------------------------------
+    # membership (gateways started with --allow-membership)
+    # ------------------------------------------------------------------
+
+    def membership(self) -> Dict:
+        """GET /membership — epoch, node counts, tombstones, pending ops.
+
+        Raises :class:`GatewayError` (400) when the gateway was not
+        started with membership enabled.
+        """
+        return self._request("/membership")
+
+    def join(
+        self,
+        node: Optional[int] = None,
+        *,
+        warm_start: Optional[str] = None,
+    ) -> Dict:
+        """POST /membership/join — add (or re-add) a node live.
+
+        Omitting ``node`` reuses the lowest tombstoned slot or appends
+        a fresh id; the response carries the joined ``node`` and the
+        new ``epoch``/``nodes``.
+        """
+        payload: Dict = {}
+        if node is not None:
+            payload["node"] = int(node)
+        if warm_start is not None:
+            payload["warm_start"] = warm_start
+        return self._request("/membership/join", payload)
+
+    def leave(self, node: int, *, compact: bool = True) -> Dict:
+        """POST /membership/leave — remove a node live (tombstone,
+        then compact trailing tombstones by default)."""
+        return self._request(
+            "/membership/leave", {"node": int(node), "compact": bool(compact)}
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ServingClient({self.base_url!r})"

@@ -26,12 +26,19 @@ GET       ``/health``              liveness + model vitals
 GET       ``/version``             served snapshot version
 GET       ``/stats``               service + ingest + guard + shards + ...
 GET       ``/shards``              per-shard queue depth / snapshot age
+GET       ``/membership``          epoch, node count, tombstones, pending ops
 GET       ``/predict``             ``?src=i&dst=j`` single-pair prediction
 GET       ``/predict_from``        ``?src=i[&targets=j,k,...]`` one-to-many
 POST      ``/estimate/batch``      ``{"pairs": [[src, dst], ...]}`` vectorized
 POST      ``/ingest``              ``{"measurements": [[src, dst, value], ...]}``
 POST      ``/refresh``             force flush + publish (new version)
+POST      ``/membership/join``     ``{"node"?, "warm_start"?}`` live node add
+POST      ``/membership/leave``    ``{"node", "compact"?}`` live node removal
 ========  =======================  =======================================
+
+The membership endpoints exist only when the gateway was built with a
+:class:`~repro.serving.membership.MembershipManager`
+(``repro serve --allow-membership``); they answer 400 otherwise.
 
 With a :class:`~repro.serving.shard.RequestCoalescer` attached
 (``coalesce_window``), concurrent ``GET /predict`` requests inside the
@@ -100,11 +107,13 @@ class GatewayCore:
         *,
         checkpointer: Optional[BackgroundCheckpointer] = None,
         coalescer=None,
+        membership=None,
     ) -> None:
         self.service = service
         self.ingest = ingest
         self.checkpointer = checkpointer
         self.coalescer = coalescer
+        self.membership = membership
 
     # ------------------------------------------------------------------
     # dispatch
@@ -163,7 +172,16 @@ class GatewayCore:
                 payload["checkpoint"] = self.checkpointer.as_dict()
             if self.coalescer is not None:
                 payload["coalescer"] = self.coalescer.as_dict()
+            if self.membership is not None:
+                payload["membership"] = self.membership.as_dict()
             return 200, payload
+        if path == "/membership":
+            if self.membership is None:
+                return 400, {
+                    "error": "membership is not enabled on this gateway "
+                    "(serve with --allow-membership)"
+                }
+            return 200, self.membership.as_dict()
         if path == "/shards":
             shard_info = getattr(self.ingest, "shard_info", None)
             if shard_info is None:
@@ -284,6 +302,30 @@ class GatewayCore:
             if ingest is None:
                 return 400, {"error": "gateway is read-only"}
             return 200, {"version": ingest.publish()}
+        if path in ("/membership/join", "/membership/leave"):
+            if self.membership is None:
+                return 400, {
+                    "error": "membership is not enabled on this gateway "
+                    "(serve with --allow-membership)"
+                }
+            payload = self._read_body(body) if body else {}
+            if path == "/membership/join":
+                node = payload.get("node")
+                if node is not None and (
+                    not isinstance(node, int) or isinstance(node, bool)
+                ):
+                    raise _BadRequest('"node" must be an integer node id')
+                warm_start = payload.get("warm_start")
+                if warm_start is not None and not isinstance(warm_start, str):
+                    raise _BadRequest('"warm_start" must be a string')
+                return 200, self.membership.join(node, warm_start=warm_start)
+            node = payload.get("node")
+            if not isinstance(node, int) or isinstance(node, bool):
+                raise _BadRequest('body must carry an integer "node" id')
+            compact = payload.get("compact", True)
+            if not isinstance(compact, bool):
+                raise _BadRequest('"compact" must be a boolean')
+            return 200, self.membership.leave(node, compact=compact)
         return 404, {"error": f"unknown path {path!r}"}
 
 
@@ -586,6 +628,12 @@ class ServingGateway:
         meaningful on the threading backend (the selectors loop is
         single-threaded, so there is nothing concurrent to coalesce —
         requesting both warns and disables coalescing).
+    membership:
+        Optional :class:`~repro.serving.membership.MembershipManager`;
+        enables the ``/membership`` endpoints (live node join/leave).
+        When coalescing is also on, the manager's coalescer reference
+        is wired here so epoch transitions refresh its cached model
+        size.
     verbose:
         Log requests to stderr (quiet by default: tests and benches).
     """
@@ -601,6 +649,7 @@ class ServingGateway:
         backend: str = "threading",
         coalesce_window: Optional[float] = None,
         coalesce_max_batch: int = 4096,
+        membership=None,
         verbose: bool = False,
     ) -> None:
         if backend not in BACKENDS:
@@ -629,11 +678,16 @@ class ServingGateway:
                     window=coalesce_window,
                     max_batch=coalesce_max_batch,
                 )
+        self.membership = membership
+        if membership is not None and self.coalescer is not None:
+            # epoch transitions must refresh the coalescer's cached n
+            membership.coalescer = self.coalescer
         self.core = GatewayCore(
             service,
             ingest,
             checkpointer=checkpointer,
             coalescer=self.coalescer,
+            membership=membership,
         )
         if backend == "selectors":
             self._server = _SelectorsServer((host, port), self.core, verbose)
@@ -644,10 +698,12 @@ class ServingGateway:
 
     @property
     def host(self) -> str:
+        """Bound interface address."""
         return self._server.server_address[0]
 
     @property
     def port(self) -> int:
+        """Bound TCP port (the OS pick when constructed with 0)."""
         return self._server.server_address[1]
 
     @property

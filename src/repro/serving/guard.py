@@ -443,6 +443,10 @@ class OnlineEvaluator:
     * ``mode="l2"`` — training values are raw quantities; the window
       metric is the p50/p90/p99 of the relative error
       ``|estimate - value| / max(|value|, eps)``.
+
+    Thread-safety: :meth:`observe` runs on ingest threads and
+    :meth:`evaluate` on gateway ``/stats`` threads; an internal lock
+    keeps the paired sliding windows consistent between them.
     """
 
     def __init__(self, mode: str = "class", *, window: int = 2000) -> None:

@@ -93,6 +93,7 @@ class IngestStats:
         return self.dropped_invalid + self.dropped_nan
 
     def as_dict(self) -> Dict[str, int]:
+        """JSON-ready counters (the ``ingest`` section of ``/stats``)."""
         payload = dict(self.__dict__)
         payload["dropped"] = self.dropped
         return payload
@@ -100,6 +101,12 @@ class IngestStats:
 
 class IngestPipeline:
     """Mini-batch SGD ingestion feeding a coordinate store.
+
+    Thread-safety: all public methods are safe to call from any
+    thread — one internal re-entrant lock serializes submission,
+    flushing, publishing and counter reads.  The engine and guard are
+    only ever touched under that lock, so neither needs locking of its
+    own when owned by a single pipeline.
 
     Parameters
     ----------

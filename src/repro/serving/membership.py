@@ -1,0 +1,411 @@
+"""Elastic membership: live node join/leave for the sharded serving stack.
+
+DMFSGD's deployment story (conf_conext_LiaoDGL11, Section 6) is a
+*churning* system — nodes continuously join and leave while coordinates
+stay accurate.  The offline churn study
+(:func:`repro.experiments.ext_robustness.run_churn`) flaps nodes by
+stopping a simulation, wiping coordinates and re-running; this module is
+the online counterpart: the serving stack grows and shrinks its factor
+matrices **without stopping ingest or queries**.
+
+:class:`MembershipManager` applies membership changes as *epoch
+transitions* over the sharded stack:
+
+1. **quiesce** — :meth:`~repro.serving.shard.ShardedIngest.membership_barrier`
+   takes the submission gate, drains every per-shard queue, flushes the
+   pipelines' batch buffers and holds the shared engine lock, so every
+   admitted measurement is applied against the old universe and no SGD
+   apply can race the resize;
+2. **rebuild** — the factor matrices are copied at the new size
+   (joins warm-start the new row, see below; leaves tombstone the slot
+   and compaction trims trailing tombstones) and handed to
+   :meth:`~repro.core.engine.DMFSGDEngine.resize_model`;
+3. **swap** — :meth:`~repro.serving.shard.ShardedCoordinateStore.replace_model`
+   installs the whole new per-shard snapshot tuple in **one atomic
+   reference store**, bumping every shard version so the global version
+   stays strictly monotone (which is what invalidates the prediction
+   cache).  Readers — the :class:`~repro.serving.service.PredictionService`,
+   the :class:`~repro.serving.shard.RequestCoalescer`, anyone holding a
+   snapshot — keep serving the *old* epoch until they pick up the new
+   tuple; there is never a torn mix of differently-sized slices.
+
+Join warm starts (the ``run_churn`` cold-rejoin lesson — a wiped node
+costs accuracy until it re-converges — applied online):
+
+* ``"neighbor_mean"`` (default) — the new node's ``(u, v)`` rows start
+  at the mean of a sampled set of *active* nodes' rows, so its
+  estimates are finite and centrally plausible from the first query;
+* ``"random"`` — uniform in the engine's init range, the paper's cold
+  start (and exactly what ``bring_up(fresh_coordinates=True)`` does in
+  the offline churn experiment).
+
+Leaves are **tombstone-then-compact**: a departed node is first marked
+in the store's tombstone set — ingest stops feeding it (and, crucially,
+stops *reading* its rows inside SGD updates of live probers) while its
+last-known coordinates remain servable — and trailing tombstones are
+then trimmed off the model, shrinking the matrices.  Interior
+tombstones keep their slot (node ids are stable; no renumbering) and
+are preferentially reused by the next join.  Tombstones survive
+checkpoints, so a leave round-trips through save/load.
+
+Thread-safety: all public methods are safe to call from any thread;
+one internal lock serializes membership operations against each other,
+and the ingest barrier serializes them against SGD applies.  Queries
+never block on either.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine import DMFSGDEngine
+from repro.serving.shard import ShardedCoordinateStore, ShardedIngest
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["MembershipManager", "WARM_STARTS"]
+
+#: supported join warm-start strategies
+WARM_STARTS = ("neighbor_mean", "random")
+
+
+class MembershipManager:
+    """Online join/leave over a sharded serving stack.
+
+    Parameters
+    ----------
+    engine:
+        The shared trainer; resized in lockstep with the store.
+    store:
+        The :class:`~repro.serving.shard.ShardedCoordinateStore` whose
+        snapshot tuple is swapped per epoch (also the keeper of the
+        tombstone set, so leaves survive checkpoints).
+    ingest:
+        The :class:`~repro.serving.shard.ShardedIngest` providing the
+        epoch barrier (gate + drain + flush + engine lock).
+    coalescer:
+        Optional :class:`~repro.serving.shard.RequestCoalescer`; its
+        cached model size is refreshed after each transition so
+        submit-time range checks track the new universe immediately.
+    warm_start:
+        Default join strategy, one of :data:`WARM_STARTS`.
+    warm_neighbors:
+        How many active nodes the ``"neighbor_mean"`` warm start
+        averages over.
+    rng:
+        Seed/generator for warm-start sampling and random init.
+
+    Thread-safety: every public method may be called concurrently; an
+    internal lock serializes membership transitions, and reads
+    (:meth:`as_dict`, the properties) take the same lock only for the
+    short counter copy.
+    """
+
+    def __init__(
+        self,
+        engine: DMFSGDEngine,
+        store: ShardedCoordinateStore,
+        ingest: ShardedIngest,
+        *,
+        coalescer=None,
+        warm_start: str = "neighbor_mean",
+        warm_neighbors: int = 10,
+        rng: RngLike = None,
+    ) -> None:
+        if warm_start not in WARM_STARTS:
+            raise ValueError(
+                f"warm_start must be one of {WARM_STARTS}, got {warm_start!r}"
+            )
+        if warm_neighbors < 1:
+            raise ValueError(
+                f"warm_neighbors must be >= 1, got {warm_neighbors}"
+            )
+        if store.n != engine.n:
+            raise ValueError(
+                f"store has {store.n} nodes, engine has {engine.n}"
+            )
+        self.engine = engine
+        self.store = store
+        self.ingest = ingest
+        self.coalescer = coalescer
+        self.warm_start = warm_start
+        self.warm_neighbors = int(warm_neighbors)
+        self._rng = ensure_rng(rng)
+        self._lock = threading.Lock()  # serializes membership transitions
+        self._pending = 0  # ops requested but not yet completed
+        self._pending_lock = threading.Lock()
+        self.epoch = 1
+        self.joins = 0
+        self.leaves = 0
+        self.compactions = 0
+        self.last_transition_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> int:
+        """Current model size (tombstoned slots included)."""
+        return self.store.n
+
+    @property
+    def active_nodes(self) -> int:
+        """Nodes currently participating (model size minus tombstones)."""
+        return self.store.n - len(self.store.tombstones)
+
+    @property
+    def pending_ops(self) -> int:
+        """Membership operations requested but not yet completed."""
+        with self._pending_lock:
+            return self._pending
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready membership state (``GET /membership`` and the
+        ``membership`` section of ``/stats``)."""
+        with self._lock:
+            # store reads happen under the same lock transitions hold,
+            # so nodes/tombstones/epoch always describe one epoch
+            tombstones = list(self.store.tombstones)
+            payload: Dict[str, object] = {
+                "epoch": self.epoch,
+                "nodes": self.store.n,
+                "active_nodes": self.store.n - len(tombstones),
+                "tombstones": tombstones,
+                "joins": self.joins,
+                "leaves": self.leaves,
+                "compactions": self.compactions,
+                "last_transition_s": self.last_transition_s,
+                "warm_start": self.warm_start,
+            }
+        payload["pending_ops"] = self.pending_ops
+        return payload
+
+    # ------------------------------------------------------------------
+    # warm starts
+    # ------------------------------------------------------------------
+
+    def _warm_rows(
+        self,
+        U: np.ndarray,
+        V: np.ndarray,
+        tombstones: Tuple[int, ...],
+        strategy: str,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(u, v)`` initialization of a joining node."""
+        if strategy == "random":
+            config = self.engine.config
+            shape = (U.shape[1],)
+            return (
+                self._rng.uniform(config.init_low, config.init_high, shape),
+                self._rng.uniform(config.init_low, config.init_high, shape),
+            )
+        active = np.setdiff1d(
+            np.arange(U.shape[0]), np.asarray(tombstones, dtype=int)
+        )
+        if active.size == 0:  # degenerate: fall back to random init
+            return self._warm_rows(U, V, tombstones, "random")
+        take = min(self.warm_neighbors, active.size)
+        picks = self._rng.choice(active, size=take, replace=False)
+        return U[picks].mean(axis=0), V[picks].mean(axis=0)
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+
+    def _swap(
+        self,
+        U: np.ndarray,
+        V: np.ndarray,
+        tombstones: List[int],
+        started: float,
+    ) -> None:
+        """Install the new universe (engine + store + coalescer).
+
+        Called with the manager lock held, *inside* the ingest barrier
+        (engine lock held, queues drained) — see the module docstring
+        for the transition protocol.
+        """
+        self.engine.resize_model(U, V)
+        self.store.replace_model((U, V), tombstones=tombstones)
+        if self.coalescer is not None:
+            self.coalescer.refresh_model_size()
+        self.epoch += 1
+        self.last_transition_s = time.perf_counter() - started
+
+    def _trim(
+        self, U: np.ndarray, V: np.ndarray, tombstones: List[int]
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Drop trailing tombstoned slots (compaction), in place-ish.
+
+        Never shrinks below ``max(2, shards)`` — the store needs a row
+        per shard and the model needs two nodes to mean anything.
+        """
+        floor = max(2, self.store.shards)
+        n = U.shape[0]
+        trimmed = 0
+        while n - 1 in tombstones and n > floor:
+            tombstones.remove(n - 1)
+            n -= 1
+            trimmed += 1
+        return U[:n], V[:n], trimmed
+
+    def join(
+        self, node: Optional[int] = None, *, warm_start: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Add a node to the served universe (live epoch transition).
+
+        Parameters
+        ----------
+        node:
+            Explicit node id to (re)join.  Must be a currently
+            tombstoned slot (a rejoin) or exactly the next fresh id
+            (``nodes``).  When omitted, the lowest tombstoned slot is
+            reused, else a fresh id is appended — so ids of live nodes
+            are never renumbered.
+        warm_start:
+            Override the manager's default strategy for this join.
+
+        Returns the JSON-ready outcome: the joined ``node``, the new
+        ``epoch``/``nodes``/``active_nodes`` and the transition time.
+        """
+        strategy = warm_start if warm_start is not None else self.warm_start
+        if strategy not in WARM_STARTS:
+            raise ValueError(
+                f"warm_start must be one of {WARM_STARTS}, got {strategy!r}"
+            )
+        with self._pending_lock:
+            self._pending += 1
+        try:
+            with self._lock:
+                started = time.perf_counter()
+                with self.ingest.membership_barrier():
+                    tombstones = list(self.store.tombstones)
+                    n = self.engine.n
+                    if node is None:
+                        node = tombstones[0] if tombstones else n
+                    node = int(node)
+                    if node < 0 or node > n:
+                        raise ValueError(
+                            f"node must be in [0, {n}] (a tombstoned slot "
+                            f"or the next fresh id), got {node}"
+                        )
+                    if node < n and node not in tombstones:
+                        raise ValueError(
+                            f"node {node} is already an active member"
+                        )
+                    old = self.engine.coordinates
+                    # warm rows are drawn while the joiner still counts
+                    # as departed: a rejoin must not average its own
+                    # stale pre-departure coordinates back in
+                    u_row, v_row = self._warm_rows(
+                        old.U, old.V, tuple(tombstones), strategy
+                    )
+                    if node == n:
+                        U = np.vstack([old.U, np.empty((1, old.rank))])
+                        V = np.vstack([old.V, np.empty((1, old.rank))])
+                    else:
+                        U, V = old.U.copy(), old.V.copy()
+                        tombstones.remove(node)
+                    U[node], V[node] = u_row, v_row
+                    self._swap(U, V, tombstones, started)
+                self.joins += 1
+                return self._outcome(node=node)
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+
+    def leave(
+        self, node: int, *, compact: bool = True
+    ) -> Dict[str, object]:
+        """Remove a node (tombstone, then optionally compact).
+
+        The node's slot is tombstoned — ingest stops feeding it, its
+        last-known coordinates remain servable, live node ids are never
+        renumbered — and, with ``compact=True`` (default), trailing
+        tombstoned slots are trimmed off the model in the same epoch
+        transition.  Refuses to drop the active population below 2.
+        """
+        node = int(node)
+        with self._pending_lock:
+            self._pending += 1
+        try:
+            with self._lock:
+                started = time.perf_counter()
+                with self.ingest.membership_barrier():
+                    tombstones = list(self.store.tombstones)
+                    n = self.engine.n
+                    if node < 0 or node >= n:
+                        raise ValueError(
+                            f"node must be in [0, {n}), got {node}"
+                        )
+                    if node in tombstones:
+                        raise ValueError(f"node {node} already departed")
+                    if n - len(tombstones) <= 2:
+                        raise ValueError(
+                            "cannot leave: the model needs at least 2 "
+                            "active nodes"
+                        )
+                    tombstones.append(node)
+                    tombstones.sort()
+                    old = self.engine.coordinates
+                    U, V = old.U.copy(), old.V.copy()
+                    trimmed = 0
+                    if compact:
+                        U, V, trimmed = self._trim(U, V, tombstones)
+                    self._swap(U, V, tombstones, started)
+                self.leaves += 1
+                if trimmed:
+                    self.compactions += 1
+                return self._outcome(node=node, compacted=trimmed)
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+
+    def compact(self) -> Dict[str, object]:
+        """Trim trailing tombstoned slots in one epoch transition.
+
+        Useful after ``leave(..., compact=False)`` sequences, or after
+        restoring a checkpoint whose tail is tombstoned.  Interior
+        tombstones are untouched (ids are stable); returns the number
+        of slots ``compacted`` (0 is a no-op — no epoch bump).
+        """
+        with self._pending_lock:
+            self._pending += 1
+        try:
+            with self._lock:
+                started = time.perf_counter()
+                with self.ingest.membership_barrier():
+                    tombstones = list(self.store.tombstones)
+                    old = self.engine.coordinates
+                    U, V, trimmed = self._trim(
+                        old.U.copy(), old.V.copy(), tombstones
+                    )
+                    if trimmed:
+                        self._swap(U, V, tombstones, started)
+                if trimmed:
+                    self.compactions += 1
+                return self._outcome(compacted=trimmed)
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
+
+    def _outcome(self, **extra: object) -> Dict[str, object]:
+        """The JSON-ready result of a completed transition."""
+        payload: Dict[str, object] = {
+            "epoch": self.epoch,
+            "nodes": self.store.n,
+            "active_nodes": self.active_nodes,
+            "transition_s": self.last_transition_s,
+        }
+        payload.update(extra)
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MembershipManager(epoch={self.epoch}, nodes={self.nodes}, "
+            f"active={self.active_nodes})"
+        )

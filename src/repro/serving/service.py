@@ -169,11 +169,17 @@ class ServiceStats:
     version: int = 0
 
     def as_dict(self) -> Dict[str, int]:
+        """JSON-ready counters (the ``service`` section of ``/stats``)."""
         return dict(self.__dict__)
 
 
 class PredictionService:
     """Cached prediction frontend over a :class:`CoordinateStore`.
+
+    Thread-safety: fully concurrent.  Snapshot reads and the NumPy
+    estimate kernels run lock-free; the internal mutex guards only
+    counter bumps and cache insert/evict, so concurrent readers never
+    serialize on each other's gathers.
 
     Parameters
     ----------

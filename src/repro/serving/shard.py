@@ -50,6 +50,7 @@ import queue
 import threading
 import time
 import warnings
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -128,6 +129,7 @@ class ShardSnapshot:
 
     @property
     def rank(self) -> int:
+        """Coordinate dimension ``r``."""
         return self.U.shape[1]
 
     @property
@@ -178,6 +180,7 @@ class ShardedSnapshot:
 
     @property
     def rank(self) -> int:
+        """Coordinate dimension ``r``."""
         return self.parts[0].rank
 
     # ------------------------------------------------------------------
@@ -284,6 +287,11 @@ class ShardedCoordinateStore:
     writer-only lock.  Reads therefore never contend with ingest: the
     estimate paths touch frozen arrays only.
 
+    Thread-safety: :meth:`snapshot` / :meth:`shard_snapshot` and every
+    property are lock-free reads of one immutable tuple; writers
+    (:meth:`publish_shard`, :meth:`publish`, :meth:`replace_model`,
+    :meth:`set_tombstones`) serialize on an internal writer lock.
+
     Parameters
     ----------
     coordinates:
@@ -294,6 +302,10 @@ class ShardedCoordinateStore:
     versions:
         Per-shard starting versions (all 1 by default; restored by
         :meth:`load`).
+    tombstones:
+        Node ids marked departed by the membership layer (empty by
+        default; restored by :meth:`load` so a leave survives a
+        checkpoint round-trip).
     """
 
     def __init__(
@@ -302,6 +314,7 @@ class ShardedCoordinateStore:
         *,
         shards: int,
         versions: Optional[Sequence[int]] = None,
+        tombstones: Optional[Sequence[int]] = None,
     ) -> None:
         if isinstance(coordinates, CoordinateTable):
             U, V = coordinates.U, coordinates.V
@@ -327,6 +340,11 @@ class ShardedCoordinateStore:
             )
         self.shards = shards
         self._lock = threading.Lock()  # serializes writers only
+        self._tombstones: Tuple[int, ...] = tuple(
+            sorted(int(t) for t in (tombstones or ()))
+        )
+        if any(t < 0 or t >= n for t in self._tombstones):
+            raise ValueError(f"tombstones out of range for n={n}")
         self._snaps: Tuple[ShardSnapshot, ...] = tuple(
             ShardSnapshot(
                 s, shards, n, int(versions[s]), U[s::shards], V[s::shards]
@@ -358,10 +376,12 @@ class ShardedCoordinateStore:
 
     @property
     def n(self) -> int:
+        """Number of nodes in the currently served model."""
         return self._snaps[0].n
 
     @property
     def rank(self) -> int:
+        """Coordinate dimension ``r``."""
         return self._snaps[0].rank
 
     # ------------------------------------------------------------------
@@ -406,6 +426,86 @@ class ShardedCoordinateStore:
             self.publish_shard(s, U[s::P], V[s::P])
         return self.snapshot()
 
+    def replace_model(
+        self,
+        coordinates: Union[CoordinateTable, Tuple[np.ndarray, np.ndarray]],
+        *,
+        tombstones: Optional[Sequence[int]] = None,
+    ) -> ShardedSnapshot:
+        """Install a model of a *different* size (membership epoch swap).
+
+        Unlike :meth:`publish`, the node count may change: every shard
+        is re-sliced at the new ``n`` and the whole per-shard tuple is
+        swapped in **one atomic reference store**, so a reader either
+        sees the complete old epoch or the complete new epoch — never a
+        mix of differently-sized slices.  Every shard's version is
+        bumped past its current value, keeping the global (summed)
+        version strictly monotone — which is what invalidates the
+        prediction cache after the epoch transition.
+
+        Readers holding a pre-swap composite keep serving the old
+        epoch; the arrays they reference are immutable and simply
+        become garbage once the last holder drops them (RCU grace by
+        refcount).
+        """
+        if isinstance(coordinates, CoordinateTable):
+            U, V = coordinates.U, coordinates.V
+        else:
+            U, V = coordinates
+            U = np.asarray(U, dtype=float)
+            V = np.asarray(V, dtype=float)
+        if U.shape != V.shape or U.ndim != 2:
+            raise ValueError(
+                f"U and V must be matching 2-D arrays, got {U.shape} and {V.shape}"
+            )
+        n = U.shape[0]
+        P = self.shards
+        if n < P:
+            raise ValueError(
+                f"cannot shrink to {n} nodes: the store has {P} shard(s)"
+            )
+        with self._lock:
+            snaps = tuple(
+                ShardSnapshot(
+                    s, P, n, self._snaps[s].version + 1, U[s::P], V[s::P]
+                )
+                for s in range(P)
+            )
+            if tombstones is not None:
+                marks = tuple(sorted(int(t) for t in tombstones))
+                if any(t < 0 or t >= n for t in marks):
+                    raise ValueError(f"tombstones out of range for n={n}")
+                self._tombstones = marks
+            elif any(t >= n for t in self._tombstones):
+                raise ValueError(
+                    "existing tombstones out of range for the new model; "
+                    "pass tombstones= explicitly"
+                )
+            self._snaps = snaps  # the one atomic epoch swap
+        return ShardedSnapshot(snaps)
+
+    # ------------------------------------------------------------------
+    # membership tombstones
+    # ------------------------------------------------------------------
+
+    @property
+    def tombstones(self) -> Tuple[int, ...]:
+        """Node ids marked departed (sorted; lock-free read)."""
+        return self._tombstones
+
+    def set_tombstones(self, tombstones: Sequence[int]) -> None:
+        """Replace the departed-node set (membership bookkeeping only).
+
+        Tombstoned nodes keep their last-known factor rows — their
+        estimates stay servable, the ingest layer stops feeding them —
+        until a compaction trims trailing tombstones off the model.
+        """
+        marks = tuple(sorted(int(t) for t in tombstones))
+        if any(t < 0 or t >= self.n for t in marks):
+            raise ValueError(f"tombstones out of range for n={self.n}")
+        with self._lock:
+            self._tombstones = marks
+
     # ------------------------------------------------------------------
     # checkpointing (single file, per-shard keys)
     # ------------------------------------------------------------------
@@ -419,10 +519,13 @@ class ShardedCoordinateStore:
         """
         import os
 
-        snaps = self._snaps  # one atomic read: a consistent tuple
+        with self._lock:  # snaps + tombstones from the same epoch
+            snaps = self._snaps
+            tombstones = self._tombstones
         payload: Dict[str, np.ndarray] = {
             "shards": np.asarray(self.shards, dtype=np.int64),
-            "n": np.asarray(self.n, dtype=np.int64),
+            "n": np.asarray(snaps[0].n, dtype=np.int64),
+            "tombstones": np.asarray(tombstones, dtype=np.int64),
         }
         for s, snap in enumerate(snaps):
             payload[f"U{s}"] = snap.U
@@ -438,10 +541,19 @@ class ShardedCoordinateStore:
 
         When the requested shard count differs from the checkpoint's,
         the factors are re-partitioned and a warning is emitted — the
-        model survives a topology change, but per-shard versions reset
-        (they describe publishes of partitions that no longer exist).
+        model survives a topology change.  The per-shard publish
+        counters describe partitions that no longer exist, so they are
+        redistributed, **never rewound**: each new shard starts at
+        ``ceil(total / target)``, keeping the global (summed) version
+        at least the checkpoint's.  A restarted service therefore can
+        never serve a *smaller* global version than it saved — which is
+        what keeps version-keyed caches (and membership epochs layered
+        on top) correctly invalidated across a topology change.
         """
         with np.load(resolve_npz_path(path)) as data:
+            tombstones = (
+                data["tombstones"].tolist() if "tombstones" in data else ()
+            )
             if "shards" not in data:
                 # a single-store CoordinateStore checkpoint: adopt it
                 U, V = data["U"], data["V"]
@@ -465,15 +577,28 @@ class ShardedCoordinateStore:
                 versions.append(int(data[f"version{s}"]))
             target = shards if shards is not None else saved
             if target != saved:
+                total = sum(versions)
+                carried = -(-total // target)  # ceil: sum never shrinks
                 warnings.warn(
                     f"checkpoint was written with {saved} shard(s) but "
                     f"{target} were requested; re-partitioning the factors "
-                    "and resetting per-shard versions",
+                    f"and carrying the global version forward (each new "
+                    f"shard starts at {carried})",
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                return cls((U, V), shards=target)
-            return cls((U, V), shards=saved, versions=versions)
+                return cls(
+                    (U, V),
+                    shards=target,
+                    versions=[carried] * target,
+                    tombstones=tombstones,
+                )
+            return cls(
+                (U, V),
+                shards=saved,
+                versions=versions,
+                tombstones=tombstones,
+            )
 
     def as_full_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """The reassembled dense ``(U, V)`` of the current snapshots."""
@@ -644,6 +769,11 @@ class ShardedIngest:
         self._gate = threading.Lock()
         self._received = 0
         self._dropped_invalid = 0
+        self._dropped_membership = 0
+        # flips True at the first membership barrier: only then can the
+        # universe change under a routed chunk, so only then does the
+        # enqueue path pay the under-gate re-validation
+        self._elastic = False
         self.dropped_backpressure = 0
         self._queued_samples: List[int] = [0] * store.shards
         self.worker_errors: List[str] = []
@@ -728,29 +858,74 @@ class ShardedIngest:
         """Whether worker threads are draining the shard queues."""
         return bool(self._workers) and not self._closed
 
-    def _enqueue(self, shard: int, item) -> bool:
+    def _enqueue(self, shard: int, item) -> int:
         """Queue one chunk for a shard worker; sheds on sustained full.
 
-        Returns whether the chunk was accepted (queued, or — after
-        :meth:`close` — applied inline).  The gate guarantees a put
-        can never land behind the stop sentinel.
+        Returns how many of the chunk's samples were accepted (queued,
+        or — after :meth:`close` — applied inline).  The gate
+        guarantees a put can never land behind the stop sentinel.
+
+        The gate acquisition itself is bounded by ``put_timeout`` too:
+        a membership epoch transition holds the gate while it drains
+        the queues, and a submitter — in particular the selectors
+        backend's single event-loop thread — must stall at most the
+        backpressure bound, shedding the chunk (counted) rather than
+        blocking for the whole transition.
         """
-        samples = int(item[2].size)
-        with self._gate:
+        timeout = -1 if self.put_timeout is None else self.put_timeout
+        if not self._gate.acquire(timeout=timeout):
+            with self._counter_lock:
+                self.dropped_backpressure += int(item[2].size)
+            return 0
+        try:
+            src, dst, vals = item
+            if self._elastic:
+                # Re-validate under the gate: a membership epoch (see
+                # membership_barrier, which holds this gate) can shrink
+                # the model or tombstone nodes between routing-time
+                # validation and this enqueue.  Everything enqueued
+                # here is applied before the *next* epoch swap — the
+                # barrier drains the queues while holding the gate — so
+                # a chunk valid now can never reach the engine stale.
+                # (Skipped entirely until the first barrier: without
+                # membership the universe cannot change, and the hot
+                # path must not pay per-chunk scans for it.)
+                n = self.engine.n
+                if int(src.max()) >= n or int(dst.max()) >= n:
+                    keep = (src < n) & (dst < n)
+                    dropped = int(vals.size - keep.sum())
+                    with self._counter_lock:
+                        self._dropped_invalid += dropped
+                    src, dst, vals = src[keep], dst[keep], vals[keep]
+                tombstones = self.store.tombstones
+                if tombstones and vals.size:
+                    marks = np.asarray(tombstones, dtype=np.int64)
+                    keep = ~np.isin(src, marks) & ~np.isin(dst, marks)
+                    dropped = int(vals.size - keep.sum())
+                    if dropped:
+                        with self._counter_lock:
+                            self._dropped_membership += dropped
+                        src, dst, vals = src[keep], dst[keep], vals[keep]
+            samples = int(vals.size)
+            if not samples:
+                return 0
+            item = (src, dst, vals)
             if self._closed or not self._workers:
                 # workers are gone: apply inline, losing nothing
                 self.pipelines[shard].submit_valid(*item)
-                return True
+                return samples
             with self._counter_lock:
                 self._queued_samples[shard] += samples
             try:
                 self._queues[shard].put(item, timeout=self.put_timeout)
-                return True
+                return samples
             except queue.Full:
                 with self._counter_lock:
                     self._queued_samples[shard] -= samples
                     self.dropped_backpressure += samples
-                return False
+                return 0
+        finally:
+            self._gate.release()
 
     def close(self) -> None:
         """Stop the shard workers (idempotent); queued work is drained."""
@@ -786,6 +961,11 @@ class ShardedIngest:
         pass go to the pipelines' pre-validated fast path
         (:meth:`~repro.serving.ingest.IngestPipeline.submit_valid`) so
         the element-wise checks are paid exactly once.
+
+        Samples touching a tombstoned (departed) node are shed here
+        too, counted separately in ``dropped_membership``: a departed
+        node must stop influencing the model, and — crucially — its
+        rows must stop being *read* by SGD updates of live probers.
         """
         with np.errstate(invalid="ignore"):
             keep = (
@@ -802,9 +982,21 @@ class ShardedIngest:
             )
         kept = int(keep.sum())
         dropped = int(values.size) - kept
+        dropped_membership = 0
+        tombstones = self.store.tombstones
+        if tombstones and kept:
+            marks = np.asarray(tombstones, dtype=np.int64)
+            with np.errstate(invalid="ignore"):
+                live = keep & ~np.isin(
+                    sources.astype(np.int64, copy=False), marks
+                ) & ~np.isin(targets.astype(np.int64, copy=False), marks)
+            dropped_membership = kept - int(live.sum())
+            keep = live
+            kept -= dropped_membership
         with self._counter_lock:
             self._received += int(values.size)
             self._dropped_invalid += dropped
+            self._dropped_membership += dropped_membership
         return (
             sources[keep].astype(int),
             targets[keep].astype(int),
@@ -830,7 +1022,7 @@ class ShardedIngest:
             return False
         shard = int(src[0]) % self.shards
         if self._workers:
-            return self._enqueue(shard, (src, dst, vals))
+            return self._enqueue(shard, (src, dst, vals)) > 0
         return bool(self.pipelines[shard].submit_valid(src, dst, vals))
 
     def submit_many(
@@ -865,8 +1057,9 @@ class ShardedIngest:
                 continue
             item = (src[mask], dst[mask], vals[mask])
             if self._workers:
-                if not self._enqueue(s, item):
-                    kept -= int(item[2].size)  # shed under backpressure
+                # shed (backpressure) or re-dropped (a membership epoch
+                # raced the routing validation) samples are excluded
+                kept -= int(item[2].size) - self._enqueue(s, item)
             else:
                 self.pipelines[s].submit_valid(*item)
         return kept
@@ -879,6 +1072,49 @@ class ShardedIngest:
         """Block until every queued submission has been processed."""
         for q in self._queues:
             q.join()
+
+    @contextmanager
+    def membership_barrier(self):
+        """Quiesce ingest for a membership epoch transition.
+
+        While the context is held:
+
+        1. the submission gate is taken, so no new chunk can enter a
+           shard queue (submitters block on the gate for at most
+           ``put_timeout``, then shed the chunk — the same bounded
+           backpressure as a full queue, so no handler thread can be
+           wedged for the length of a transition);
+        2. the queues are drained and every pipeline's buffer flushed,
+           so all admitted measurements are applied against the *old*
+           model — nothing validated under the old universe can reach
+           the engine after the resize;
+        3. the shared engine lock is held, so no SGD apply can race the
+           caller's resize of engine + store.
+
+        The caller mutates the model inside the ``with`` block (see
+        :class:`repro.serving.membership.MembershipManager`); queries
+        keep flowing throughout — readers never touch either lock.
+
+        Full race-freedom requires worker mode: every submission then
+        funnels through the gate, where chunks are re-validated against
+        the post-transition universe.  Inline mode (``workers=False``)
+        bypasses the gate — its applies are still serialized by the
+        engine lock, but a submission concurrent with a shrink can
+        buffer stale indices; inline mode is the deterministic
+        single-threaded test/trace mode, so callers running membership
+        transitions against it must serialize submissions themselves.
+        """
+        with self._gate:
+            # from here on routed chunks must be re-validated at the
+            # gate — the universe can now change between routing-time
+            # validation and enqueue (set under the gate, so every
+            # later _enqueue observes it)
+            self._elastic = True
+            self.drain()
+            for pipeline in self.pipelines:
+                pipeline.flush()
+            with self._engine_lock:
+                yield
 
     def flush(self) -> int:
         """Drain the queues, then apply every buffered measurement."""
@@ -994,6 +1230,8 @@ class ShardedIngest:
         ingest["buffered"] = self.buffered
         ingest["shards"] = self.shards
         ingest["dropped_backpressure"] = self.dropped_backpressure
+        with self._counter_lock:
+            ingest["dropped_membership"] = self._dropped_membership
         if self.worker_errors:
             ingest["worker_errors"] = list(self.worker_errors)
         return {
@@ -1095,7 +1333,9 @@ class RequestCoalescer:
         self.service = service
         self.window = float(window)
         self.max_batch = int(max_batch)
-        self._n = int(service.store.n)  # model size is fixed; cache it
+        # cached model size for the hot-path range check; refreshed on
+        # a miss, since membership epochs can grow/shrink the universe
+        self._n = int(service.store.n)
         self._lock = threading.Lock()
         self._pending: Optional[_CoalescedBatch] = None
         self._ready: List[_CoalescedBatch] = []  # filled-to-max batches
@@ -1113,6 +1353,7 @@ class RequestCoalescer:
     # ------------------------------------------------------------------
 
     def start(self) -> "RequestCoalescer":
+        """Start the flush worker; returns self for chaining."""
         if self._thread is not None:
             raise RuntimeError("coalescer already started")
         self._stopping = False
@@ -1155,9 +1396,13 @@ class RequestCoalescer:
         target = int(target)
         n = self._n
         if source < 0 or source >= n or target < 0 or target >= n:
-            raise ValueError(
-                f"pair ({source}, {target}) out of range for {n} nodes"
-            )
+            # the universe may have grown since the size was cached
+            # (membership join); re-read before rejecting
+            n = self._n = int(self.service.store.n)
+            if source < 0 or source >= n or target < 0 or target >= n:
+                raise ValueError(
+                    f"pair ({source}, {target}) out of range for {n} nodes"
+                )
         if self._thread is None:
             raise RuntimeError("coalescer is not running (call start())")
         lock = self._lock
@@ -1192,6 +1437,18 @@ class RequestCoalescer:
         """Blocking single-pair estimate through the coalesced path."""
         return self.submit(source, target).result()
 
+    def refresh_model_size(self) -> int:
+        """Re-read the store's node count into the submit-range cache.
+
+        Called by the membership layer after an epoch transition (one
+        int store, atomic under the GIL), so the hot-path range check
+        tracks the new universe immediately; a grown universe is also
+        picked up lazily on the first out-of-range miss.  Returns the
+        refreshed size.
+        """
+        self._n = n = int(self.service.store.n)
+        return n
+
     # ------------------------------------------------------------------
     # the flush worker
     # ------------------------------------------------------------------
@@ -1217,12 +1474,26 @@ class RequestCoalescer:
 
     def _flush(self, batch: _CoalescedBatch) -> None:
         try:
-            prediction = self.service.predict_pairs(
-                np.asarray(batch.sources, dtype=int),
-                np.asarray(batch.targets, dtype=int),
-            )
-            batch.version = prediction.version
-            batch.estimates = prediction.estimates.tolist()
+            sources = np.asarray(batch.sources, dtype=int)
+            targets = np.asarray(batch.targets, dtype=int)
+            # A membership shrink between submit-time validation and
+            # this gather can strand a request beyond the new universe;
+            # answer that request NaN (-> JSON null) instead of failing
+            # everyone sharing its gather with a batch-wide error.
+            n = int(self.service.store.n)
+            valid = (sources < n) & (targets < n)
+            if valid.all():
+                prediction = self.service.predict_pairs(sources, targets)
+                batch.version = prediction.version
+                batch.estimates = prediction.estimates.tolist()
+            else:
+                estimates = np.full(sources.size, np.nan)
+                prediction = self.service.predict_pairs(
+                    sources[valid], targets[valid]
+                )
+                estimates[valid] = prediction.estimates
+                batch.version = prediction.version
+                batch.estimates = estimates.tolist()
         except BaseException as exc:  # pragma: no cover - defensive
             batch.error = exc
         finally:

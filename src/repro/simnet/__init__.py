@@ -17,7 +17,7 @@ provides the machinery to execute such protocols faithfully:
 """
 
 from repro.simnet.events import EventQueue, ScheduledEvent
-from repro.simnet.livefeed import LiveFeedDriver, replay_trace
+from repro.simnet.livefeed import ChurnDriver, LiveFeedDriver, replay_trace
 from repro.simnet.messages import Message
 from repro.simnet.neighbors import NeighborSet, sample_neighbor_sets
 from repro.simnet.node import SimNode
@@ -33,6 +33,7 @@ __all__ = [
     "NeighborSet",
     "sample_neighbor_sets",
     "TraceReplaySimulation",
+    "ChurnDriver",
     "LiveFeedDriver",
     "replay_trace",
 ]

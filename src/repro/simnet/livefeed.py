@@ -17,6 +17,13 @@ produces the traffic:
   probes), the traffic pattern that diverges an unguarded ingest path
   and that the admission guard
   (:mod:`repro.serving.guard`) exists to absorb;
+* :class:`ChurnDriver` replays paper-style join/leave schedules
+  against a *membership controller* — the in-process
+  :class:`~repro.serving.membership.MembershipManager` or a
+  :class:`~repro.serving.client.ServingClient` against a live gateway
+  — turning the offline churn experiment
+  (:func:`repro.experiments.ext_robustness.run_churn`) into live
+  traffic on the serving stack;
 * :func:`replay_trace` streams an existing
   :class:`~repro.datasets.trace.MeasurementTrace` (e.g. the Harvard
   stream) into a sink in time order.
@@ -27,7 +34,7 @@ network -> measurement -> ingest -> updated coordinates -> predictions.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Iterable, Optional, Protocol
 
 import numpy as np
 
@@ -36,7 +43,14 @@ from repro.simnet.neighbors import sample_neighbor_sets
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_probability, check_square_matrix
 
-__all__ = ["MeasurementSink", "LiveFeedDriver", "HotPairDriver", "replay_trace"]
+__all__ = [
+    "MeasurementSink",
+    "MembershipController",
+    "LiveFeedDriver",
+    "HotPairDriver",
+    "ChurnDriver",
+    "replay_trace",
+]
 
 
 class MeasurementSink(Protocol):
@@ -278,6 +292,175 @@ class HotPairDriver:
         return (
             f"HotPairDriver(pair={self.pair}, value={self.value}, "
             f"samples_fed={self.samples_fed})"
+        )
+
+
+class MembershipController(Protocol):
+    """The membership contract :class:`ChurnDriver` drives.
+
+    Satisfied both by the in-process
+    :class:`~repro.serving.membership.MembershipManager` and by
+    :class:`~repro.serving.client.ServingClient` (over HTTP), so churn
+    schedules replay identically against either.
+    """
+
+    def join(
+        self, node: Optional[int] = None, *, warm_start: Optional[str] = None
+    ) -> dict:  # pragma: no cover - protocol
+        ...
+
+    def leave(
+        self, node: int, *, compact: bool = True
+    ) -> dict:  # pragma: no cover - protocol
+        ...
+
+
+class ChurnDriver:
+    """Replays join/leave schedules against a live membership layer.
+
+    Two modes, mirroring how the paper's evaluation exercises churn:
+
+    * **explicit schedule** — a sequence of ``("join", node_or_None)``
+      / ``("leave", node)`` ops applied one per :meth:`step` (e.g. the
+      flap-25%-of-nodes schedule of the offline churn experiment,
+      built by :meth:`flap_schedule`);
+    * **stochastic churn** — with ``join_rate`` / ``leave_rate``, each
+      :meth:`step` rolls for one join and one leave of a random active
+      node (session-style continuous churn).
+
+    The driver never renumbers anyone: joins reuse tombstoned slots or
+    append fresh ids (the controller's policy), leaves pick only
+    currently-active nodes outside ``protect``.
+
+    Parameters
+    ----------
+    membership:
+        The controller (in-process manager or HTTP client).
+    schedule:
+        Optional explicit op list; when exhausted, :meth:`step` is a
+        no-op (returns ``None``).
+    join_rate, leave_rate:
+        Per-step probabilities for stochastic mode (ignored when a
+        schedule is given).
+    protect:
+        Node ids never chosen for a stochastic leave (keep the pairs a
+        load generator is querying alive).
+    warm_start:
+        Optional warm-start override forwarded to every join.
+    rng:
+        Seed/generator for stochastic choices.
+    """
+
+    def __init__(
+        self,
+        membership: MembershipController,
+        *,
+        schedule: Optional[list] = None,
+        join_rate: float = 0.0,
+        leave_rate: float = 0.0,
+        protect: Optional[Iterable[int]] = None,
+        warm_start: Optional[str] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.membership = membership
+        self.schedule = list(schedule) if schedule is not None else None
+        self.join_rate = check_probability(join_rate, "join_rate")
+        self.leave_rate = check_probability(leave_rate, "leave_rate")
+        self.protect = frozenset(int(p) for p in (protect or ()))
+        self.warm_start = warm_start
+        self._rng = ensure_rng(rng)
+        self._cursor = 0
+        self.joins_done = 0
+        self.leaves_done = 0
+        self.failures = 0
+        self.events: list = []  # (op, node, epoch) per applied change
+
+    @staticmethod
+    def flap_schedule(node_ids: Iterable[int]) -> list:
+        """The offline churn experiment's flap as an online schedule.
+
+        Every listed node leaves, then rejoins its own slot — the
+        ``run_churn`` take-down / cold-rejoin cycle expressed as
+        membership ops.
+        """
+        nodes = [int(i) for i in node_ids]
+        return [("leave", i) for i in nodes] + [("join", i) for i in nodes]
+
+    def _state(self) -> dict:
+        """Normalized membership state from either controller kind."""
+        as_dict = getattr(self.membership, "as_dict", None)
+        if as_dict is not None:
+            return as_dict()
+        return self.membership.membership()
+
+    def _apply(self, op: str, node: Optional[int]):
+        try:
+            if op == "join":
+                result = self.membership.join(node, warm_start=self.warm_start)
+                self.joins_done += 1
+                self.events.append(
+                    ("join", result.get("node", node), result.get("epoch"))
+                )
+            else:
+                result = self.membership.leave(int(node))
+                self.leaves_done += 1
+                self.events.append(("leave", node, result.get("epoch")))
+            return result
+        except Exception as exc:
+            # a rejected op (already departed, floor reached) must not
+            # kill a long churn replay; it is counted and surfaced —
+            # and reported as a dict, so a rejected op is never
+            # mistaken for the end-of-schedule ``None``
+            self.failures += 1
+            self.events.append((f"{op}-failed", node, repr(exc)))
+            return {"op": op, "node": node, "error": repr(exc)}
+
+    def step(self):
+        """Apply the next scheduled op, or roll the stochastic churn.
+
+        Returns the controller's response dict for the applied op — a
+        rejected op returns ``{"op", "node", "error"}`` instead of the
+        controller's payload — or ``None`` when nothing happened this
+        step (schedule exhausted, or no stochastic roll fired), so
+        ``while driver.step() is not None`` walks a schedule to its
+        end without a failure truncating the replay.
+        """
+        if self.schedule is not None:
+            if self._cursor >= len(self.schedule):
+                return None
+            op, node = self.schedule[self._cursor]
+            self._cursor += 1
+            if op not in ("join", "leave"):
+                raise ValueError(f"schedule ops must be join/leave, got {op!r}")
+            return self._apply(op, node)
+        result = None
+        if self.join_rate and self._rng.random() < self.join_rate:
+            result = self._apply("join", None)
+        if self.leave_rate and self._rng.random() < self.leave_rate:
+            state = self._state()
+            active = sorted(
+                set(range(int(state["nodes"])))
+                - set(int(t) for t in state["tombstones"])
+                - self.protect
+            )
+            if len(active) > 2:
+                pick = int(self._rng.choice(np.asarray(active)))
+                result = self._apply("leave", pick) or result
+        return result
+
+    def run(self, steps: int) -> int:
+        """Drive ``steps`` churn steps; returns ops applied."""
+        if steps <= 0:
+            raise ValueError(f"steps must be positive, got {steps}")
+        before = self.joins_done + self.leaves_done
+        for _ in range(steps):
+            self.step()
+        return self.joins_done + self.leaves_done - before
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ChurnDriver(joins={self.joins_done}, leaves={self.leaves_done}, "
+            f"failures={self.failures})"
         )
 
 

@@ -1,0 +1,458 @@
+"""Tests for elastic membership (repro.serving.membership).
+
+Covers the tentpole guarantees:
+
+* **live epoch transitions** — joins grow and leaves shrink the model
+  while ingest and queries keep running; the global version stays
+  strictly monotone across every transition (cache invalidation);
+* **warm starts** — a joined node serves finite estimates immediately
+  (neighbor-mean and random);
+* **tombstone-then-compact** — departed interior nodes keep their slot
+  (ids stable), trailing tombstones are trimmed, and the tombstone set
+  round-trips through a checkpoint;
+* **churn under load** — a stress test drives join/leave transitions
+  while gateway clients hammer queries: no request ever fails and no
+  reader ever observes a torn (mixed-epoch) snapshot;
+* the shard-count-mismatch reload carries the global version forward
+  (the re-partition regression fix).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine
+from repro.serving import build_gateway
+from repro.serving.client import GatewayError, ServingClient
+from repro.serving.membership import MembershipManager
+from repro.serving.service import PredictionService
+from repro.serving.shard import ShardedCoordinateStore, ShardedIngest
+from repro.simnet.livefeed import ChurnDriver
+
+
+def make_stack(n=24, shards=3, seed=7, workers=True, **ingest_kwargs):
+    config = DMFSGDConfig(neighbors=min(8, n - 1))
+    engine = DMFSGDEngine(n, lambda r, c: np.ones(len(r)), config, rng=seed)
+    store = ShardedCoordinateStore(engine.coordinates, shards=shards)
+    ingest_kwargs.setdefault("batch_size", 16)
+    ingest_kwargs.setdefault("refresh_interval", 64)
+    ingest = ShardedIngest(engine, store, workers=workers, **ingest_kwargs)
+    manager = MembershipManager(engine, store, ingest, rng=seed)
+    return engine, store, ingest, manager
+
+
+class TestJoin:
+    def test_join_appends_and_serves_finite_estimates(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        n = store.n
+        service = PredictionService(store, cache_size=16)
+        out = manager.join()
+        assert out["node"] == n
+        assert out["nodes"] == store.n == engine.n == n + 1
+        assert manager.epoch == 2
+        # finite immediately, both directions (warm start worked)
+        assert np.isfinite(service.predict_pair(n, 0).estimate)
+        assert np.isfinite(service.predict_pair(0, n).estimate)
+        row = service.predict_from(n)
+        assert np.isfinite(np.delete(row.estimates, n)).all()
+
+    def test_neighbor_mean_matches_active_mean_bounds(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        U_before = engine.coordinates.U.copy()
+        out = manager.join(warm_start="neighbor_mean")
+        node = out["node"]
+        u_new = engine.coordinates.U[node]
+        # a mean of sampled active rows lies inside their coordinate hull
+        assert np.all(u_new >= U_before.min(axis=0) - 1e-12)
+        assert np.all(u_new <= U_before.max(axis=0) + 1e-12)
+
+    def test_random_warm_start_respects_init_range(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        out = manager.join(warm_start="random")
+        node = out["node"]
+        config = engine.config
+        for row in (engine.coordinates.U[node], engine.coordinates.V[node]):
+            assert np.all(row >= config.init_low)
+            assert np.all(row <= config.init_high)
+
+    def test_join_bumps_every_shard_version(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        before = store.versions
+        v_before = store.version
+        manager.join()
+        assert all(a > b for a, b in zip(store.versions, before))
+        assert store.version > v_before
+
+    def test_join_rejects_active_node_and_gaps(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        with pytest.raises(ValueError, match="active member"):
+            manager.join(3)
+        with pytest.raises(ValueError, match="fresh id"):
+            manager.join(store.n + 5)
+        with pytest.raises(ValueError, match="warm_start"):
+            manager.join(warm_start="teleport")
+
+    def test_ingest_reaches_joined_node(self):
+        engine, store, ingest, manager = make_stack()
+        try:
+            out = manager.join()
+            node = out["node"]
+            before = engine.coordinates.U[node].copy()
+            assert ingest.submit(node, 0, 1.0)
+            ingest.flush()
+            assert not np.array_equal(engine.coordinates.U[node], before)
+        finally:
+            ingest.close()
+
+
+class TestLeaveAndCompact:
+    def test_trailing_leave_compacts(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        n = store.n
+        out = manager.leave(n - 1)
+        assert out["compacted"] == 1
+        assert store.n == engine.n == n - 1
+        assert store.tombstones == ()
+
+    def test_interior_leave_keeps_slot_and_ids_stable(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        n = store.n
+        service = PredictionService(store, cache_size=0)
+        reference = service.predict_pair(n - 1, 0).estimate
+        out = manager.leave(4)
+        assert out["compacted"] == 0
+        assert store.n == n and store.tombstones == (4,)
+        # live nodes answer the same estimates: nobody was renumbered
+        assert service.predict_pair(n - 1, 0).estimate == reference
+
+    def test_tombstoned_traffic_is_shed_and_counted(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        manager.leave(4)
+        assert not ingest.submit(4, 1, 1.0)
+        assert not ingest.submit(1, 4, 1.0)
+        kept = ingest.submit_many(
+            np.array([4.0, 1.0, 2.0]),
+            np.array([2.0, 4.0, 1.0]),
+            np.ones(3),
+        )
+        assert kept == 1
+        assert ingest.stats_payload()["ingest"]["dropped_membership"] == 4
+
+    def test_enqueue_refilters_under_the_gate(self):
+        """A chunk that routed before a leave/shrink is re-validated at
+        the gate (regression: only the model size was re-checked, so a
+        racing interior leave could feed SGD a departed node's rows)."""
+        engine, store, ingest, manager = make_stack()
+        try:
+            n = store.n
+            src = np.array([1, 4, n - 1])
+            dst = np.array([2, 2, 2])
+            vals = np.ones(3)
+            # the epoch changes *after* routing-time validation...
+            manager.leave(4, compact=False)
+            accepted = ingest._enqueue(1, (src, dst, vals))
+            ingest.drain()
+            assert accepted == 2  # the tombstoned sample was shed
+            stats = ingest.stats_payload()["ingest"]
+            assert stats["dropped_membership"] >= 1
+            # ...and a stale out-of-range id after a shrink is shed too
+            manager.leave(n - 1)  # trailing: compacts, n shrinks
+            accepted = ingest._enqueue(1, (src, dst, vals))
+            ingest.drain()
+            assert accepted == 1  # only (1 -> 2) survives both checks
+            assert ingest.worker_errors == []
+        finally:
+            ingest.close()
+
+    def test_deferred_compaction_trims_trailing_run(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        n = store.n
+        manager.leave(n - 1, compact=False)
+        manager.leave(n - 2, compact=False)
+        assert store.n == n
+        out = manager.compact()
+        assert out["compacted"] == 2
+        assert store.n == n - 2 and store.tombstones == ()
+        # a no-op compaction does not burn an epoch
+        epoch = manager.epoch
+        assert manager.compact()["compacted"] == 0
+        assert manager.epoch == epoch
+
+    def test_rejoin_warm_start_ignores_own_stale_row(self):
+        """A rejoining node's pre-departure coordinates must not leak
+        into its neighbor-mean warm start (regression: the slot was
+        un-tombstoned before the warm rows were drawn)."""
+        engine, store, ingest, manager = make_stack(workers=False)
+        manager.leave(5, compact=False)
+        # simulate the departed row having diverged while tombstoned
+        engine.coordinates.U[5] = 1e6
+        engine.coordinates.V[5] = 1e6
+        manager.join(5, warm_start="neighbor_mean")
+        # active rows live in [0, 1); a mean contaminated by the stale
+        # row would be ~1e5
+        assert np.all(np.abs(engine.coordinates.U[5]) < 10.0)
+        assert np.all(np.abs(engine.coordinates.V[5]) < 10.0)
+
+    def test_join_reuses_lowest_tombstoned_slot(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        manager.leave(9, compact=False)
+        manager.leave(2, compact=False)
+        assert manager.join()["node"] == 2
+        assert manager.join()["node"] == 9
+        assert store.tombstones == ()
+
+    def test_leave_guards_minimum_population(self):
+        engine, store, ingest, manager = make_stack(n=4, shards=2, workers=False)
+        manager.leave(3)
+        manager.leave(2)
+        assert manager.active_nodes == 2
+        with pytest.raises(ValueError, match="at least 2"):
+            manager.leave(1)
+
+    def test_double_leave_rejected(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        manager.leave(5, compact=False)
+        with pytest.raises(ValueError, match="already departed"):
+            manager.leave(5)
+
+    def test_leave_and_compact_round_trips_through_checkpoint(self, tmp_path):
+        engine, store, ingest, manager = make_stack(workers=False)
+        n = store.n
+        manager.leave(n - 1)  # compacts: n shrinks
+        manager.leave(6, compact=False)  # interior tombstone survives
+        path = tmp_path / "membership.npz"
+        store.save(path)
+
+        restored = ShardedCoordinateStore.load(path)
+        assert restored.n == n - 1
+        assert restored.tombstones == (6,)
+        assert np.array_equal(
+            restored.snapshot().estimate_matrix(),
+            store.snapshot().estimate_matrix(),
+            equal_nan=True,
+        )
+        # a manager over the restored store adopts the tombstones:
+        # the next join reuses the departed slot
+        config = DMFSGDConfig(neighbors=8)
+        engine2 = DMFSGDEngine(
+            restored.n, lambda r, c: np.ones(len(r)), config, rng=1
+        )
+        table = restored.snapshot().as_table()
+        engine2.resize_model(table.U, table.V)
+        ingest2 = ShardedIngest(engine2, restored, workers=False)
+        manager2 = MembershipManager(engine2, restored, ingest2, rng=1)
+        assert manager2.active_nodes == n - 2
+        assert manager2.join()["node"] == 6
+
+
+class TestVersionMonotonicity:
+    def test_repartition_reload_carries_global_version_forward(
+        self, rng, tmp_path
+    ):
+        U = rng.normal(size=(20, 4))
+        V = rng.normal(size=(20, 4))
+        store = ShardedCoordinateStore((U, V), shards=4)
+        # advance some shards so the summed version is non-trivial
+        snap = store.snapshot()
+        for _ in range(3):
+            store.publish_shard(1, snap.parts[1].U, snap.parts[1].V)
+        store.publish_shard(3, snap.parts[3].U, snap.parts[3].V)
+        total_before = store.version
+        path = tmp_path / "four.npz"
+        store.save(path)
+        with pytest.warns(RuntimeWarning, match="carrying the global version"):
+            restored = ShardedCoordinateStore.load(path, shards=2)
+        assert restored.shards == 2
+        # the regression this fixes: versions used to reset to 1 each,
+        # so the global version went backwards and stale cache entries
+        # could be served as fresh after a topology change
+        assert restored.version >= total_before
+
+    def test_every_transition_is_strictly_monotone(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        seen = [store.version]
+        manager.join()
+        seen.append(store.version)
+        manager.leave(store.n - 1)
+        seen.append(store.version)
+        manager.leave(5, compact=False)
+        seen.append(store.version)
+        manager.join()
+        seen.append(store.version)
+        assert all(b > a for a, b in zip(seen, seen[1:]))
+
+
+class TestChurnDriver:
+    def test_flap_schedule_round_trips(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        flapped = [3, 7, 11]
+        driver = ChurnDriver(
+            manager, schedule=ChurnDriver.flap_schedule(flapped), rng=0
+        )
+        applied = driver.run(len(flapped) * 2)
+        assert applied == 6
+        assert driver.failures == 0
+        assert store.tombstones == ()
+        assert store.n == engine.n
+        assert driver.step() is None  # schedule exhausted: no-op
+
+    def test_stochastic_churn_respects_protection(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        protect = set(range(10))
+        driver = ChurnDriver(
+            manager,
+            join_rate=0.5,
+            leave_rate=0.9,
+            protect=protect,
+            rng=5,
+        )
+        driver.run(30)
+        assert driver.leaves_done > 0
+        for op, node, _ in driver.events:
+            if op == "leave":
+                assert node not in protect
+
+    def test_rejected_ops_counted_not_raised(self):
+        engine, store, ingest, manager = make_stack(workers=False)
+        driver = ChurnDriver(manager, schedule=[("leave", 3), ("leave", 3)])
+        first = driver.step()
+        assert "error" not in first
+        # a rejected op reports an error dict — NOT the end-of-schedule
+        # None, so `while step() is not None` replays past failures
+        second = driver.step()
+        assert second is not None and "error" in second
+        assert driver.step() is None  # only exhaustion returns None
+        assert driver.leaves_done == 1
+        assert driver.failures == 1
+
+
+class TestChurnUnderLoad:
+    """The acceptance stress: live churn with the gateway under load."""
+
+    def test_queries_never_fail_and_never_tear_during_transitions(self):
+        """Concurrent joins/leaves vs readers on the raw store: every
+        snapshot is one complete epoch (consistent n across shards,
+        finite estimates for stable nodes, monotone versions)."""
+        engine, store, ingest, manager = make_stack(n=30, shards=3)
+        service = PredictionService(store, cache_size=64)
+        stable = np.arange(10)  # nodes the churn never touches
+        qs = np.repeat(stable, 3)
+        qt = (qs + 1 + np.tile(np.arange(3), 10)) % 10
+        failures: list = []
+        done = threading.Event()
+
+        def reader() -> None:
+            last_version = 0
+            try:
+                while not done.is_set():
+                    snap = store.snapshot()
+                    if snap.version < last_version:
+                        failures.append("version regressed")
+                    last_version = snap.version
+                    if any(p.n != snap.n for p in snap.parts):
+                        failures.append("mixed-epoch snapshot (torn)")
+                    estimates = snap.estimate_pairs(qs, qt)
+                    if not np.all(np.isfinite(estimates)):
+                        failures.append("non-finite stable-pair estimate")
+                    batch = service.predict_pairs(qs, qt)
+                    if not np.all(np.isfinite(batch.estimates)):
+                        failures.append("non-finite service estimate")
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(repr(exc))
+
+        def feeder() -> None:
+            feed_rng = np.random.default_rng(11)
+            try:
+                while not done.is_set():
+                    src = feed_rng.integers(0, 10, size=32)
+                    dst = (src + 1 + feed_rng.integers(0, 9, size=32)) % 10
+                    vals = feed_rng.choice([-1.0, 1.0], size=32)
+                    ingest.submit_many(src, dst, vals)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append(repr(exc))
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        feeders = [threading.Thread(target=feeder) for _ in range(2)]
+        for t in readers + feeders:
+            t.start()
+        try:
+            driver = ChurnDriver(
+                manager,
+                join_rate=0.7,
+                leave_rate=0.7,
+                protect=set(range(10)),
+                rng=3,
+            )
+            driver.run(40)
+            assert manager.epoch > 1
+        finally:
+            done.set()
+            for t in readers + feeders:
+                t.join()
+            ingest.close()
+        assert failures == []
+        assert ingest.worker_errors == []
+
+    def test_gateway_churn_end_to_end(self):
+        """The acceptance path over HTTP: join then leave while clients
+        stream queries — no request drops, /membership reports the new
+        epoch and node count."""
+        with build_gateway(
+            "meridian",
+            nodes=40,
+            rounds=5,
+            port=0,
+            shards=2,
+            allow_membership=True,
+        ) as gateway:
+            client = ServingClient(gateway.url)
+            failures: list = []
+            done = threading.Event()
+
+            def querier(seed: int) -> None:
+                q_rng = np.random.default_rng(seed)
+                try:
+                    while not done.is_set():
+                        s = int(q_rng.integers(0, 10))
+                        t = int((s + 1 + q_rng.integers(0, 9)) % 10)
+                        answer = client.predict(s, t)
+                        if answer["estimate"] is None:
+                            failures.append("stable pair answered null")
+                        client.ingest([(s, t, 100.0)])
+                except GatewayError as exc:  # any non-2xx is a failure
+                    failures.append(repr(exc))
+                except Exception as exc:  # pragma: no cover
+                    failures.append(repr(exc))
+
+            threads = [
+                threading.Thread(target=querier, args=(w,)) for w in range(3)
+            ]
+            for t in threads:
+                t.start()
+            try:
+                joined = client.join()["node"]
+                assert client.membership()["epoch"] == 2
+                left = client.leave(joined)
+                assert left["epoch"] == 3
+                state = client.membership()
+                assert state["nodes"] == 40
+                assert state["joins"] == 1 and state["leaves"] == 1
+            finally:
+                done.set()
+                for t in threads:
+                    t.join()
+            assert failures == []
+
+    def test_membership_disabled_answers_400(self):
+        with build_gateway(
+            "meridian", nodes=40, rounds=0, port=0
+        ) as gateway:
+            client = ServingClient(gateway.url)
+            with pytest.raises(GatewayError, match="membership"):
+                client.membership()
+            with pytest.raises(GatewayError, match="membership"):
+                client.join()
+            with pytest.raises(GatewayError, match="membership"):
+                client.leave(0)
