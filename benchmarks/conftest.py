@@ -12,6 +12,13 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "mp_smoke: fast multi-process serving benchmarks (tier-1, < 60 s)",
+    )
+
+
 @pytest.fixture
 def report(capsys):
     """Print a titled block straight to the terminal (capture bypassed)."""

@@ -204,6 +204,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded per-shard ingest queue capacity (backpressure)",
     )
     serve.add_argument(
+        "--workers",
+        choices=["threads", "processes"],
+        default="threads",
+        help="shard worker execution model: threads (GIL-shared, the "
+        "default) or processes (one worker process per shard with its "
+        "factor slice in shared memory — true CPU parallelism)",
+    )
+    serve.add_argument(
+        "--mp-start-method",
+        choices=["fork", "spawn", "forkserver"],
+        default=None,
+        help="process-mode start method (default fork; prefer spawn "
+        "for long-lived deployments relying on crash recovery)",
+    )
+    serve.add_argument(
         "--coalesce-window",
         type=float,
         default=None,
@@ -263,6 +278,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="token-bucket capacity (default max(32, rate))",
+    )
+    serve.add_argument(
+        "--pair-rate-limit",
+        type=float,
+        default=None,
+        metavar="PER_SEC",
+        help="per-(source,target)-pair token-bucket rate limit "
+        "(catches distributed hammering of one pair)",
+    )
+    serve.add_argument(
+        "--pair-rate-burst",
+        type=float,
+        default=None,
+        metavar="N",
+        help="pair token-bucket capacity (default max(8, rate))",
+    )
+    serve.add_argument(
+        "--guard-adaptive",
+        action="store_true",
+        help="derive step-clip and sigma thresholds from the online "
+        "evaluator's sliding window instead of static values",
     )
     serve.add_argument(
         "--outlier-sigma",
@@ -417,6 +453,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         step_clip=args.step_clip,
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
+        pair_rate_limit=args.pair_rate_limit,
+        pair_rate_burst=args.pair_rate_burst,
+        guard_adaptive=args.guard_adaptive,
         outlier_sigma=args.outlier_sigma,
         reject_band=args.reject_band,
         eval_window=args.eval_window,
@@ -424,6 +463,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         shards=args.shards,
         queue_depth=args.queue_depth,
+        workers=args.workers,
+        mp_start_method=args.mp_start_method,
         coalesce_window=(
             args.coalesce_window / 1000.0
             if args.coalesce_window is not None

@@ -33,10 +33,30 @@ from repro.simnet.neighbors import sample_neighbor_sets
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_square_matrix
 
-__all__ = ["DMFSGDEngine", "TrainResult", "matrix_label_fn", "dedup_pairs"]
+__all__ = [
+    "DMFSGDEngine",
+    "EngineSpec",
+    "TrainResult",
+    "matrix_label_fn",
+    "null_label_fn",
+    "dedup_pairs",
+]
 
 LabelFn = Callable[[np.ndarray, np.ndarray], np.ndarray]
 Evaluator = Callable[[CoordinateTable], Dict[str, float]]
+
+
+def null_label_fn(rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """A measurement source that always fails (every probe NaN).
+
+    The *online* serving path feeds the engine through
+    :meth:`DMFSGDEngine.apply_measurements` with externally measured
+    values, so it needs no probing source at all — but the engine
+    constructor requires one.  This module-level function (unlike the
+    lambdas the offline drivers use) is picklable, which is what lets
+    an :class:`EngineSpec` cross a process boundary.
+    """
+    return np.full(np.asarray(rows).shape, np.nan)
 
 
 def dedup_pairs(
@@ -145,6 +165,49 @@ class TrainResult:
         classes = np.sign(xhat)
         classes[classes == 0] = 1.0  # break exact-zero ties toward good
         return classes
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Picklable recipe for rebuilding an engine's *apply* state.
+
+    The serving layer's process-per-shard mode
+    (:mod:`repro.serving.procs`) runs one
+    :meth:`DMFSGDEngine.apply_measurements` consumer per worker
+    process.  A live engine cannot cross the process boundary — its
+    ``label_fn`` is typically a closure over a dataset — but the apply
+    path never calls ``label_fn``: everything it needs is the
+    hyper-parameters, the metric and the RNG seed.  This spec captures
+    exactly that (all picklable), and :meth:`build` reconstructs an
+    equivalent engine in the child, with :func:`null_label_fn` standing
+    in for the probing source.  The factor matrices themselves travel
+    through shared memory, not through the spec.
+    """
+
+    n: int
+    config: DMFSGDConfig
+    metric: Metric
+    seed: Optional[int] = None
+
+    @classmethod
+    def from_engine(cls, engine: "DMFSGDEngine", *, seed: Optional[int] = None) -> "EngineSpec":
+        """Capture the apply-relevant state of a live engine."""
+        return cls(
+            n=engine.n,
+            config=engine.config,
+            metric=engine.metric,
+            seed=seed,
+        )
+
+    def build(self, n: Optional[int] = None) -> "DMFSGDEngine":
+        """Reconstruct an apply-ready engine (optionally resized)."""
+        return DMFSGDEngine(
+            n if n is not None else self.n,
+            null_label_fn,
+            self.config,
+            metric=self.metric,
+            rng=self.seed,
+        )
 
 
 class DMFSGDEngine:

@@ -24,6 +24,14 @@ demand while fresh measurements keep improving the model:
   admission pipeline per shard behind a bounded queue on a dedicated
   worker thread) and :class:`RequestCoalescer` (concurrent single
   queries answered by one vectorized batch gather);
+* :mod:`repro.serving.procs` — the process-per-shard layer:
+  :class:`ProcessShardedStore` (per-shard factor slices in
+  ``multiprocessing.shared_memory`` segments read through seqlocks),
+  :class:`WorkerSupervisor` (spawn / health-check / restart-with-
+  reattach / clean unlink) and :class:`ProcessShardedIngest` (the
+  ``ShardedIngest`` surface over worker *processes* — true CPU
+  parallelism for the SGD apply, selected by
+  ``repro serve --workers processes``);
 * :mod:`repro.serving.membership` — :class:`MembershipManager`, the
   elastic-membership layer: live node join/leave applied as
   copy-on-write epoch transitions over the sharded store (warm-started
@@ -55,15 +63,24 @@ from repro.serving.app import build_gateway
 from repro.serving.client import GatewayError, ServingClient
 from repro.serving.gateway import ServingGateway
 from repro.serving.guard import (
+    AdaptiveGuardTuner,
     AdmissionGuard,
     BackgroundCheckpointer,
     NoiseBandFilter,
     OnlineEvaluator,
+    PairTokenBucketRateLimiter,
     RobustSigmaFilter,
     TokenBucketRateLimiter,
 )
 from repro.serving.ingest import IngestPipeline, IngestStats
 from repro.serving.membership import MembershipManager
+from repro.serving.procs import (
+    FactorSegment,
+    ProcessShardedIngest,
+    ProcessShardedStore,
+    WorkerSpec,
+    WorkerSupervisor,
+)
 from repro.serving.shard import (
     RequestCoalescer,
     ShardedCoordinateStore,
@@ -86,15 +103,22 @@ __all__ = [
     "GatewayError",
     "ServingClient",
     "ServingGateway",
+    "AdaptiveGuardTuner",
     "AdmissionGuard",
     "BackgroundCheckpointer",
     "NoiseBandFilter",
     "OnlineEvaluator",
+    "PairTokenBucketRateLimiter",
     "RobustSigmaFilter",
     "TokenBucketRateLimiter",
     "IngestPipeline",
     "IngestStats",
     "MembershipManager",
+    "FactorSegment",
+    "ProcessShardedIngest",
+    "ProcessShardedStore",
+    "WorkerSpec",
+    "WorkerSupervisor",
     "RequestCoalescer",
     "ShardedCoordinateStore",
     "ShardedIngest",

@@ -15,23 +15,34 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import DMFSGDConfig
-from repro.core.engine import DMFSGDEngine, matrix_label_fn
+from repro.core.engine import DMFSGDEngine, EngineSpec, matrix_label_fn
 from repro.measurement.classifier import ThresholdClassifier
 from repro.serving.gateway import ServingGateway
 from repro.serving.guard import (
+    AdaptiveGuardTuner,
     AdmissionGuard,
     BackgroundCheckpointer,
     NoiseBandFilter,
     OnlineEvaluator,
+    PairTokenBucketRateLimiter,
     RobustSigmaFilter,
     TokenBucketRateLimiter,
 )
 from repro.serving.ingest import IngestPipeline
+from repro.serving.procs import (
+    ProcessShardedIngest,
+    ProcessShardedStore,
+    WorkerSpec,
+    WorkerSupervisor,
+)
 from repro.serving.service import PredictionService
 from repro.serving.shard import ShardedCoordinateStore, ShardedIngest
 from repro.serving.store import CoordinateStore
 
-__all__ = ["build_gateway"]
+__all__ = ["build_gateway", "WORKER_MODES"]
+
+#: ingest execution models selectable via ``repro serve --workers``
+WORKER_MODES = ("threads", "processes")
 
 
 def build_gateway(
@@ -51,13 +62,18 @@ def build_gateway(
     step_clip: Optional[float] = None,
     rate_limit: Optional[float] = None,
     rate_burst: Optional[float] = None,
+    pair_rate_limit: Optional[float] = None,
+    pair_rate_burst: Optional[float] = None,
     outlier_sigma: Optional[float] = None,
     reject_band: Optional[float] = None,
+    guard_adaptive: bool = False,
     eval_window: int = 2000,
     save_checkpoint: Optional[str] = None,
     checkpoint_every: float = 60.0,
     shards: int = 1,
     queue_depth: int = 64,
+    workers: str = "threads",
+    mp_start_method: Optional[str] = None,
     coalesce_window: Optional[float] = None,
     backend: str = "threading",
     allow_membership: bool = False,
@@ -92,6 +108,15 @@ def build_gateway(
     rate_limit, rate_burst:
         Per-source token-bucket admission (tokens/second and bucket
         capacity); omitted = no rate limiting.
+    pair_rate_limit, pair_rate_burst:
+        Per-``(source, target)`` token buckets (hash-indexed dense
+        table) catching distributed hammering of one pair that the
+        per-source buckets cannot see; omitted = no pair limiting.
+    guard_adaptive:
+        Derive ``step_clip`` and the sigma filter's multiplier from
+        the online evaluator's sliding window
+        (:class:`~repro.serving.guard.AdaptiveGuardTuner`) instead of
+        keeping them static; requires a non-zero ``eval_window``.
     outlier_sigma:
         Sigma-rule streaming outlier rejection on measured quantities;
         omitted = no outlier filter.
@@ -118,6 +143,19 @@ def build_gateway(
     queue_depth:
         Bounded per-shard ingest queue capacity (backpressure bound),
         sharded mode only.
+    workers:
+        Ingest execution model: ``"threads"`` (one worker thread per
+        shard, the PR 3 stack — all SGD applies share this process's
+        GIL) or ``"processes"`` (one worker *process* per shard with
+        its factor slice in shared memory — true CPU parallelism; see
+        :mod:`repro.serving.procs`).  ``"processes"`` implies the
+        sharded stack even at ``shards=1``.
+    mp_start_method:
+        Process-mode start method (``"fork"``/``"spawn"``/
+        ``"forkserver"``); default prefers ``fork``.  Prefer
+        ``"spawn"`` for long-lived deployments relying on crash
+        recovery — restarting a worker by forking a multi-threaded
+        gateway risks inheriting a mid-held lock.
     coalesce_window:
         Seconds concurrent single ``GET /predict`` requests wait to
         share one vectorized batch gather; ``None`` disables.
@@ -140,8 +178,11 @@ def build_gateway(
             "step_clip": step_clip,
             "rate_limit": rate_limit,
             "rate_burst": rate_burst,
+            "pair_rate_limit": pair_rate_limit,
+            "pair_rate_burst": pair_rate_burst,
             "outlier_sigma": outlier_sigma,
             "reject_band": reject_band,
+            "guard_adaptive": guard_adaptive or None,
         }
         given = [name for name, value in conflicting.items() if value is not None]
         if given:
@@ -153,6 +194,20 @@ def build_gateway(
         raise ValueError(
             "rate_burst sizes the token bucket that rate_limit creates; "
             "it would be ignored without rate_limit"
+        )
+    if pair_rate_burst is not None and pair_rate_limit is None:
+        raise ValueError(
+            "pair_rate_burst sizes the bucket that pair_rate_limit "
+            "creates; it would be ignored without pair_rate_limit"
+        )
+    if guard_adaptive and not eval_window:
+        raise ValueError(
+            "guard_adaptive derives thresholds from the online "
+            "evaluator's window; it needs eval_window > 0"
+        )
+    if workers not in WORKER_MODES:
+        raise ValueError(
+            f"workers must be one of {WORKER_MODES}, got {workers!r}"
         )
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -173,10 +228,16 @@ def build_gateway(
         rng=seed,
     )
     # membership transitions ride the sharded stack's epoch machinery,
-    # so --allow-membership promotes a single-shard deployment to it
-    sharded = shards > 1 or allow_membership
+    # so --allow-membership promotes a single-shard deployment to it;
+    # process mode is sharded by construction (one process per shard)
+    processes = workers == "processes"
+    sharded = shards > 1 or allow_membership or processes
     if checkpoint is not None:
-        if sharded:
+        if processes:
+            # shm-backed restore; same single-npz shard format, same
+            # re-partitioning warning on a shard-count change
+            store = ProcessShardedStore.load(checkpoint, shards=shards)
+        elif sharded:
             # shard-aware restore: accepts both sharded checkpoints
             # (re-partitioning with a warning on a shard-count change)
             # and plain single-store ones
@@ -199,20 +260,35 @@ def build_gateway(
             rounds = 20 * PAPER_NEIGHBORS.get(dataset, config.neighbors)
         if rounds > 0:
             engine.run(rounds=rounds)
-        if sharded:
+        if processes:
+            store = ProcessShardedStore.create(engine.coordinates, shards=shards)
+        elif sharded:
             store = ShardedCoordinateStore(engine.coordinates, shards=shards)
         else:
             store = CoordinateStore(engine.coordinates)
 
     def make_guard() -> Optional[AdmissionGuard]:
         """A fresh guard per consumer: guards are stateful, never shared."""
-        if rate_limit is None and outlier_sigma is None and reject_band is None:
+        if (
+            rate_limit is None
+            and pair_rate_limit is None
+            and outlier_sigma is None
+            and reject_band is None
+        ):
             return None
         limiter = None
         if rate_limit is not None:
             limiter = TokenBucketRateLimiter(
                 rate_limit,
                 rate_burst if rate_burst is not None else max(32.0, rate_limit),
+            )
+        pair_limiter = None
+        if pair_rate_limit is not None:
+            pair_limiter = PairTokenBucketRateLimiter(
+                pair_rate_limit,
+                pair_rate_burst
+                if pair_rate_burst is not None
+                else max(8.0, pair_rate_limit),
             )
         filters = []
         if outlier_sigma is not None:
@@ -221,10 +297,14 @@ def build_gateway(
             from repro.measurement.errors import FlipNearThreshold
 
             filters.append(NoiseBandFilter(FlipNearThreshold(tau, reject_band)))
-        return AdmissionGuard(rate_limiter=limiter, filters=filters)
+        return AdmissionGuard(
+            rate_limiter=limiter, pair_limiter=pair_limiter, filters=filters
+        )
 
     evaluator = (
-        OnlineEvaluator("class", window=eval_window) if eval_window else None
+        OnlineEvaluator("class", window=eval_window)
+        if eval_window and not processes
+        else None
     )
     checkpointer = (
         BackgroundCheckpointer(store, save_checkpoint, interval=checkpoint_every)
@@ -234,7 +314,29 @@ def build_gateway(
 
     service = PredictionService(store, cache_size=cache_size)
     classify = ThresholdClassifier(data.metric, tau)
-    if sharded:
+    if processes:
+        guards = [make_guard() for _ in range(store.shards)]
+        spec = WorkerSpec(
+            engine=EngineSpec.from_engine(engine, seed=seed),
+            classify=classify,
+            batch_size=batch_size,
+            refresh_interval=refresh_interval,
+            mode=mode,
+            step_clip=step_clip,
+            guards=None if guards[0] is None else guards,
+            eval_mode="class" if eval_window else None,
+            eval_window=eval_window,
+            adaptive=guard_adaptive,
+        )
+        supervisor = WorkerSupervisor(
+            store,
+            spec,
+            queue_depth=queue_depth,
+            start_method=mp_start_method,
+        )
+        supervisor.start()
+        ingest = ProcessShardedIngest(store, supervisor)
+    elif sharded:
         guards = [make_guard() for _ in range(shards)]
         ingest = ShardedIngest(
             engine,
@@ -246,6 +348,7 @@ def build_gateway(
             step_clip=step_clip,
             guards=None if guards[0] is None else guards,
             evaluator=evaluator,
+            adaptive=guard_adaptive,
             queue_depth=queue_depth,
         )
     else:
@@ -259,12 +362,19 @@ def build_gateway(
             step_clip=step_clip,
             guard=make_guard(),
             evaluator=evaluator,
+            adaptive=(
+                AdaptiveGuardTuner(evaluator)
+                if guard_adaptive and evaluator is not None
+                else None
+            ),
         )
     membership = None
     if allow_membership:
         from repro.serving.membership import MembershipManager
 
-        membership = MembershipManager(engine, store, ingest, rng=seed)
+        membership = MembershipManager(
+            ingest.engine if processes else engine, store, ingest, rng=seed
+        )
     return ServingGateway(
         service,
         ingest,

@@ -61,7 +61,7 @@ import selectors
 import socket
 import sys
 import threading
-import warnings
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -210,18 +210,10 @@ class GatewayCore:
             return 200, service.predict_from(src, targets).as_dict()
         return 404, {"error": f"unknown path {path!r}"}
 
-    def _predict_coalesced(self, src: int, dst: int) -> Dict:
-        """Single-pair prediction through the coalesced batch path.
-
-        Same contract as :meth:`PredictionService.predict_pair` — the
-        self-pair is rejected up front (one bad request must not ride a
-        shared gather into a batch-wide NaN surprise).
-        """
-        if int(src) == int(dst):
-            raise _BadRequest(
-                f"the path from node {int(src)} to itself is undefined"
-            )
-        estimate, version = self.coalescer.estimate(src, dst)
+    @staticmethod
+    def _coalesced_payload(
+        src: int, dst: int, estimate: float, version: int
+    ) -> Dict:
         finite = np.isfinite(estimate)
         return {
             "source": int(src),
@@ -232,6 +224,64 @@ class GatewayCore:
             "cached": False,
             "coalesced": True,
         }
+
+    def _predict_coalesced(self, src: int, dst: int) -> Dict:
+        """Single-pair prediction through the coalesced batch path.
+
+        Same contract as :meth:`PredictionService.predict_pair` — the
+        self-pair is rejected up front (one bad request must not ride a
+        shared gather into a batch-wide NaN surprise).  This is the
+        *blocking* shape used by the threading backend, where the
+        connection's handler thread can afford to wait out the window.
+        """
+        if int(src) == int(dst):
+            raise _BadRequest(
+                f"the path from node {int(src)} to itself is undefined"
+            )
+        estimate, version = self.coalescer.estimate(src, dst)
+        return self._coalesced_payload(src, dst, estimate, version)
+
+    def try_submit_coalesced(
+        self,
+        method: str,
+        path: str,
+        params: Dict[str, list],
+        respond: "callable",
+    ) -> bool:
+        """Non-blocking coalesced predict for event-loop transports.
+
+        Returns ``True`` when the request was taken over: the query
+        joined the open batch and ``respond(status, payload)`` will be
+        called — from the coalescer's flush worker — once the shared
+        gather lands.  The selectors backend routes ``GET /predict``
+        through here so its single event-loop thread never waits out a
+        coalescing window inside a handler; everything else returns
+        ``False`` and takes the ordinary synchronous path.
+        """
+        if self.coalescer is None or method != "GET" or path != "/predict":
+            return False
+        try:
+            src = _get_int(params, "src")
+            dst = _get_int(params, "dst")
+            if src == dst:
+                raise _BadRequest(
+                    f"the path from node {src} to itself is undefined"
+                )
+            ticket = self.coalescer.submit(src, dst)
+        except (_BadRequest, ValueError, TypeError) as exc:
+            respond(400, {"error": str(exc)})
+            return True
+
+        def finish() -> None:
+            try:
+                estimate, version = ticket.result(timeout=0)
+                payload = self._coalesced_payload(src, dst, estimate, version)
+                respond(200, payload)
+            except BaseException as exc:  # pragma: no cover - defensive
+                respond(500, {"error": f"coalesced predict failed: {exc!r}"})
+
+        ticket.on_done(finish)
+        return True
 
     # ------------------------------------------------------------------
     # POST routes
@@ -411,10 +461,21 @@ class _SelectorsServer:
     Responses close the connection (``Connection: close``) to keep the
     state machine small; clients like :mod:`urllib` handle this
     transparently.
+
+    With a coalescer attached, ``GET /predict`` is *deferred* instead
+    of answered inline: the loop submits the query to the coalescer and
+    moves on; when the shared batch gather lands, the coalescer's flush
+    worker pushes the finished response onto a completion queue and
+    pokes the loop through a wake pipe, which then writes the response
+    — the event loop never sleeps out a coalescing window inside a
+    handler.
     """
 
     _MAX_HEADER = 64 * 1024
     _MAX_BODY = 32 * 1024 * 1024
+
+    #: selector key marking the wake pipe's read end
+    _WAKE = "wake"
 
     def __init__(
         self, address: Tuple[str, int], core: GatewayCore, verbose: bool
@@ -428,6 +489,15 @@ class _SelectorsServer:
         self.server_address = self._listener.getsockname()
         self._selector = selectors.DefaultSelector()
         self._selector.register(self._listener, selectors.EVENT_READ, None)
+        # completion plumbing for deferred (coalesced) responses: any
+        # thread may append + poke the wake pipe; only the loop drains
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._selector.register(
+            self._wake_recv, selectors.EVENT_READ, self._WAKE
+        )
+        self._completions: "deque[Tuple[_Connection, int, Dict]]" = deque()
         self._shutdown = threading.Event()
         self._stopped = threading.Event()
         # starts set: shutdown() must not wait on a loop that never ran
@@ -448,6 +518,8 @@ class _SelectorsServer:
                 for key, events in ready:
                     if key.data is None:
                         self._accept()
+                    elif key.data is self._WAKE:
+                        self._drain_completions()
                     elif events & selectors.EVENT_READ:
                         self._read(key.data)
                     elif events & selectors.EVENT_WRITE:
@@ -461,14 +533,45 @@ class _SelectorsServer:
 
     def server_close(self) -> None:
         for key in list(self._selector.get_map().values()):
-            if key.data is not None:
+            if key.data is not None and key.data is not self._WAKE:
                 self._close(key.data)
-        try:
-            self._selector.unregister(self._listener)
-        except KeyError:
-            pass
-        self._listener.close()
+        for sock in (self._listener, self._wake_recv, self._wake_send):
+            try:
+                self._selector.unregister(sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
         self._selector.close()
+
+    # -- deferred completions (coalesced predict) ----------------------
+
+    def _complete_later(
+        self, conn: "_Connection", status: int, payload: Dict
+    ) -> None:
+        """Hand a finished response back to the loop (any thread)."""
+        self._completions.append((conn, status, payload))
+        try:
+            self._wake_send.send(b"\x00")
+        except (BlockingIOError, OSError):  # pragma: no cover - full pipe
+            pass  # a poke is already pending; the loop will drain
+
+    def _drain_completions(self) -> None:
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+        while True:
+            try:
+                conn, status, payload = self._completions.popleft()
+            except IndexError:
+                return
+            if conn.sock.fileno() < 0:  # client went away meanwhile
+                continue
+            self._respond(conn, status, payload)
 
     # -- connection handling -------------------------------------------
 
@@ -551,6 +654,33 @@ class _SelectorsServer:
         url = urlparse(target)
         params = parse_qs(url.query)
         try:
+            deferred = self.core.try_submit_coalesced(
+                method,
+                url.path,
+                params,
+                lambda status, payload, conn=conn: self._complete_later(
+                    conn, status, payload
+                ),
+            )
+        except Exception:  # pragma: no cover - defensive
+            deferred = False
+        if deferred:
+            # quiesce the connection while the coalescer owns it: stop
+            # watching for reads (trailing/pipelined bytes must not
+            # re-dispatch the same parse state) — _respond re-registers
+            # the socket for writing when the completion lands
+            try:
+                self._selector.unregister(conn.sock)
+            except (KeyError, ValueError):  # pragma: no cover
+                pass
+            conn.inbuf = b""
+            if self.verbose:  # pragma: no cover - debug aid
+                print(
+                    f"[selectors] {method} {target} -> coalescing",
+                    file=sys.stderr,
+                )
+            return
+        try:
             status, payload = self.core.handle(method, url.path, params, body)
         except Exception as exc:  # pragma: no cover - defensive
             status, payload = 500, {"error": f"internal error: {exc!r}"}
@@ -580,7 +710,12 @@ class _SelectorsServer:
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
         conn.outbuf = head + body
-        self._selector.modify(conn.sock, selectors.EVENT_WRITE, conn)
+        try:
+            self._selector.modify(conn.sock, selectors.EVENT_WRITE, conn)
+        except KeyError:
+            # the connection was quiesced while its response was
+            # deferred through the coalescer; watch it again for writes
+            self._selector.register(conn.sock, selectors.EVENT_WRITE, conn)
         self._write(conn)
 
     def _write(self, conn: _Connection) -> None:
@@ -624,10 +759,11 @@ class ServingGateway:
         (single-threaded non-blocking event loop).
     coalesce_window:
         Seconds concurrent single ``GET /predict`` requests wait to
-        share one batch gather; ``None`` disables coalescing.  Only
-        meaningful on the threading backend (the selectors loop is
-        single-threaded, so there is nothing concurrent to coalesce —
-        requesting both warns and disables coalescing).
+        share one batch gather; ``None`` disables coalescing.  On the
+        threading backend the handler thread blocks for the window; on
+        the selectors backend the request is *deferred* — the loop
+        enqueues it into the coalescer and writes the response when
+        the batch completes, so the event loop never blocks.
     membership:
         Optional :class:`~repro.serving.membership.MembershipManager`;
         enables the ``/membership`` endpoints (live node join/leave).
@@ -662,22 +798,13 @@ class ServingGateway:
         self.backend = backend
         self.coalescer = None
         if coalesce_window is not None:
-            if backend == "selectors":
-                warnings.warn(
-                    "coalesce_window is ignored on the selectors backend: "
-                    "its single-threaded loop has no concurrent handlers "
-                    "to coalesce",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-            else:
-                from repro.serving.shard import RequestCoalescer
+            from repro.serving.shard import RequestCoalescer
 
-                self.coalescer = RequestCoalescer(
-                    service,
-                    window=coalesce_window,
-                    max_batch=coalesce_max_batch,
-                )
+            self.coalescer = RequestCoalescer(
+                service,
+                window=coalesce_window,
+                max_batch=coalesce_max_batch,
+            )
         self.membership = membership
         if membership is not None and self.coalescer is not None:
             # epoch transitions must refresh the coalescer's cached n

@@ -51,9 +51,11 @@ from repro.measurement.errors import (
 
 __all__ = [
     "TokenBucketRateLimiter",
+    "PairTokenBucketRateLimiter",
     "RobustSigmaFilter",
     "NoiseBandFilter",
     "AdmissionGuard",
+    "AdaptiveGuardTuner",
     "OnlineEvaluator",
     "BackgroundCheckpointer",
 ]
@@ -175,6 +177,82 @@ class TokenBucketRateLimiter:
         ranks[order] = np.arange(sources.size) - np.repeat(starts, counts)
         np.less(ranks, take[inverse], out=keep)
         return keep
+
+
+class PairTokenBucketRateLimiter(TokenBucketRateLimiter):
+    """Token buckets keyed by the ``(source, target)`` *pair*.
+
+    The per-source limiter bounds how much any one prober can shape the
+    model, but a botnet-style distributed hammering — many sources all
+    measuring the same pair — sails through it and still multiplies one
+    pair's update pressure.  This limiter closes that hole: each pair
+    hashes into a fixed-size table of dense token buckets, reusing the
+    vectorized refill/charge/rank kernel of the per-source path
+    unchanged (the hash index simply plays the role of the source id).
+
+    Hashing is Fibonacci multiplicative mixing on the packed
+    ``(source, target)`` key, so the buckets spread uniformly over the
+    table; two pairs sharing a slot share a bucket — acceptable
+    (slightly conservative) aliasing that keeps the state bounded at
+    ``table_size`` buckets no matter how many node pairs exist.
+
+    Parameters
+    ----------
+    rate, burst, clock:
+        As in :class:`TokenBucketRateLimiter`, but per pair-slot.
+    table_size:
+        Number of hash buckets (power of two recommended).
+    """
+
+    #: 64-bit golden-ratio multiplier (Fibonacci hashing)
+    _MIX = np.uint64(0x9E3779B97F4A7C15)
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 8.0,
+        *,
+        table_size: int = 1 << 16,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if table_size < 1:
+            raise ValueError(f"table_size must be >= 1, got {table_size}")
+        super().__init__(rate, burst, clock=clock)
+        self.table_size = int(table_size)
+
+    def _slots(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Hash aligned pair arrays into dense bucket indices."""
+        h = sources.astype(np.uint64) * self._MIX
+        h ^= targets.astype(np.uint64) * np.uint64(0xC2B2AE3D27D4EB4F)
+        h ^= h >> np.uint64(29)
+        h *= self._MIX
+        h ^= h >> np.uint64(32)
+        return (h % np.uint64(self.table_size)).astype(np.int64)
+
+    def allow_pairs(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Boolean admission mask for aligned ``(source, target)`` arrays."""
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if sources.shape != targets.shape:
+            raise ValueError(
+                f"sources and targets must match, got {sources.shape} "
+                f"vs {targets.shape}"
+            )
+        if sources.size and (sources.min() < 0 or targets.min() < 0):
+            raise ValueError("node ids must be >= 0")
+        return self.allow(self._slots(sources, targets))
+
+    def allow_pair_one(self, source: int, target: int) -> bool:
+        """Scalar fast path of :meth:`allow_pairs`."""
+        if source < 0 or target < 0:
+            raise ValueError("node ids must be >= 0")
+        slot = self._slots(
+            np.asarray([source], dtype=np.int64),
+            np.asarray([target], dtype=np.int64),
+        )
+        return self.allow_one(int(slot[0]))
 
 
 class RobustSigmaFilter:
@@ -341,7 +419,12 @@ class AdmissionGuard:
     Parameters
     ----------
     rate_limiter:
-        Optional :class:`TokenBucketRateLimiter`.
+        Optional :class:`TokenBucketRateLimiter` (per *source*).
+    pair_limiter:
+        Optional :class:`PairTokenBucketRateLimiter` (per ``(source,
+        target)`` pair — catches distributed hammering of one pair that
+        the per-source buckets cannot see).  Rejections are counted
+        under the ``"pair_rate"`` reason.
     filters:
         Value filters applied in order; each needs ``keep(values)``,
         ``keep_one(value)`` and a ``name`` used in the per-reason
@@ -352,16 +435,18 @@ class AdmissionGuard:
         self,
         *,
         rate_limiter: Optional[TokenBucketRateLimiter] = None,
+        pair_limiter: Optional[PairTokenBucketRateLimiter] = None,
         filters: Sequence[object] = (),
     ) -> None:
         self.rate_limiter = rate_limiter
+        self.pair_limiter = pair_limiter
         self.filters = list(filters)
         names = [getattr(f, "name", type(f).__name__) for f in self.filters]
         if len(set(names)) != len(names):
             raise ValueError(f"filter names must be unique, got {names}")
         self.received = 0
         self.admitted = 0
-        self.rejected: Dict[str, int] = {"rate_limit": 0}
+        self.rejected: Dict[str, int] = {"rate_limit": 0, "pair_rate": 0}
         for name in names:
             self.rejected[name] = 0
 
@@ -369,6 +454,11 @@ class AdmissionGuard:
     def rejected_total(self) -> int:
         """Measurements rejected across all reasons."""
         return sum(self.rejected.values())
+
+    @property
+    def rejected_pair_rate(self) -> int:
+        """Measurements shed by the per-pair token buckets."""
+        return self.rejected["pair_rate"]
 
     def admit(
         self,
@@ -384,6 +474,19 @@ class AdmissionGuard:
             allowed = self.rate_limiter.allow(sources)
             self.rejected["rate_limit"] += int(np.sum(keep & ~allowed))
             keep &= allowed
+        if self.pair_limiter is not None:
+            # only samples still in play reach (and charge) the pair
+            # buckets, mirroring how the value filters train
+            admitted_idx = np.flatnonzero(keep)
+            if admitted_idx.size:
+                allowed = self.pair_limiter.allow_pairs(
+                    np.asarray(sources)[admitted_idx],
+                    np.asarray(targets)[admitted_idx],
+                )
+                rejected_here = int(allowed.size - allowed.sum())
+                if rejected_here:
+                    self.rejected["pair_rate"] += rejected_here
+                    keep[admitted_idx[~allowed]] = False
         for flt in self.filters:
             name = getattr(flt, "name", type(flt).__name__)
             # only still-admitted values reach (and train) each filter
@@ -403,6 +506,11 @@ class AdmissionGuard:
             source
         ):
             self.rejected["rate_limit"] += 1
+            return False
+        if self.pair_limiter is not None and not self.pair_limiter.allow_pair_one(
+            source, target
+        ):
+            self.rejected["pair_rate"] += 1
             return False
         for flt in self.filters:
             if not flt.keep_one(value):
@@ -478,6 +586,15 @@ class OnlineEvaluator:
             self._truth.extend(values[finite].tolist())
             self.observed += int(finite.sum())
 
+    def window_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The paired ``(estimates, truth)`` window as array copies.
+
+        Consumed by :class:`AdaptiveGuardTuner`, which derives guard
+        thresholds from the window's dispersion.
+        """
+        with self._lock:
+            return np.array(self._estimates), np.array(self._truth)
+
     def evaluate(self) -> Dict[str, object]:
         """JSON-ready window metrics (the ``online_eval`` stats section)."""
         with self._lock:
@@ -518,6 +635,159 @@ class OnlineEvaluator:
         return (
             f"OnlineEvaluator(mode={self.mode!r}, window={self.window}, "
             f"samples={len(self._truth)})"
+        )
+
+
+def _scaled_mad(values: np.ndarray) -> float:
+    """Median absolute deviation scaled to a stddev equivalent."""
+    if values.size == 0:
+        return 0.0
+    median = float(np.median(values))
+    return 1.4826 * float(np.median(np.abs(values - median)))
+
+
+class AdaptiveGuardTuner:
+    """Derives guard thresholds from the online evaluator's window.
+
+    The static guard parameters (``step_clip``, the sigma filter's
+    multiplier) encode an operator's one-time guess about the traffic;
+    this tuner replaces the guess with the *measured* stream.  Every
+    ``interval`` observed samples it reads the evaluator's sliding
+    ``(estimate, truth)`` window and re-derives:
+
+    * ``step_clip = clip_k * MAD(residuals)`` — the per-pair SGD step
+      bound tracks the robust spread of the prediction residuals
+      (1.4826-scaled MAD, a stddev equivalent).  Residuals widen when
+      the stream shifts regime, so the clip loosens exactly when the
+      model legitimately needs big corrective steps, and tightens back
+      as it re-converges;
+    * the :class:`RobustSigmaFilter` multiplier ``sigma`` — scaled by
+      the ratio of residual spread to value spread.  While the model
+      tracks the stream (residuals small against the value
+      dispersion), outliers are likely noise and the filter stays near
+      its floor; under a regime shift the ratio jumps and the filter
+      relaxes toward its ceiling, so the admission layer does not
+      starve the model of the very samples describing the new regime.
+
+    The tuner is called by its owning
+    :class:`~repro.serving.ingest.IngestPipeline` under the pipeline
+    lock (one tuner per pipeline), so it needs no locking of its own.
+
+    Parameters
+    ----------
+    evaluator:
+        The :class:`OnlineEvaluator` whose window is the signal.
+    clip_k:
+        Step-clip multiplier on the residual MAD.
+    base_sigma:
+        Sigma multiplier corresponding to a unit residual/value ratio.
+    sigma_floor, sigma_ceil:
+        Clamp range of the derived sigma multiplier.
+    min_samples:
+        Window samples required before thresholds are derived.
+    interval:
+        Observed samples between re-derivations.
+    """
+
+    def __init__(
+        self,
+        evaluator: OnlineEvaluator,
+        *,
+        clip_k: float = 4.0,
+        base_sigma: float = 4.0,
+        sigma_floor: float = 2.0,
+        sigma_ceil: float = 16.0,
+        min_samples: int = 100,
+        interval: int = 256,
+    ) -> None:
+        if clip_k <= 0:
+            raise ValueError(f"clip_k must be positive, got {clip_k}")
+        if not 0 < sigma_floor <= sigma_ceil:
+            raise ValueError(
+                f"need 0 < sigma_floor <= sigma_ceil, got "
+                f"[{sigma_floor}, {sigma_ceil}]"
+            )
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples}")
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.evaluator = evaluator
+        self.clip_k = float(clip_k)
+        self.base_sigma = float(base_sigma)
+        self.sigma_floor = float(sigma_floor)
+        self.sigma_ceil = float(sigma_ceil)
+        self.min_samples = int(min_samples)
+        self.interval = int(interval)
+        self.updates = 0
+        self.step_clip: Optional[float] = None
+        self.sigma: Optional[float] = None
+        self._last_observed = 0
+
+    def thresholds(self) -> "tuple[Optional[float], Optional[float]]":
+        """Derive ``(step_clip, sigma)`` from the current window.
+
+        Returns ``(None, None)`` while the window is too small or
+        degenerate (zero residual spread) to defend a threshold.
+        """
+        estimates, truth = self.evaluator.window_arrays()
+        if truth.size < self.min_samples:
+            return None, None
+        mad_residual = _scaled_mad(estimates - truth)
+        if mad_residual <= 0:
+            return None, None
+        step_clip = self.clip_k * mad_residual
+        mad_value = _scaled_mad(truth)
+        ratio = mad_residual / max(mad_value, 1e-12)
+        sigma = float(
+            np.clip(
+                self.base_sigma * (0.5 + ratio),
+                self.sigma_floor,
+                self.sigma_ceil,
+            )
+        )
+        return step_clip, sigma
+
+    def maybe_update(self, pipeline) -> bool:
+        """Re-derive and install thresholds if an interval elapsed.
+
+        Called by the pipeline after each evaluated batch (under the
+        pipeline lock); installs ``step_clip`` on the pipeline and
+        ``sigma`` on every :class:`RobustSigmaFilter` of its guard.
+        Returns whether thresholds were (re)installed.
+        """
+        observed = self.evaluator.observed
+        if observed - self._last_observed < self.interval:
+            return False
+        self._last_observed = observed
+        step_clip, sigma = self.thresholds()
+        if step_clip is None:
+            return False
+        self.step_clip = pipeline.step_clip = step_clip
+        self.sigma = sigma
+        guard = pipeline.guard
+        if guard is not None:
+            for flt in guard.filters:
+                if isinstance(flt, RobustSigmaFilter):
+                    flt.sigma = sigma
+                    flt._cached = None  # recompute radius on next batch
+        self.updates += 1
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready tuner state (the ``adaptive`` guard stats)."""
+        return {
+            "updates": self.updates,
+            "step_clip": self.step_clip,
+            "sigma": self.sigma,
+            "clip_k": self.clip_k,
+            "interval": self.interval,
+            "min_samples": self.min_samples,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdaptiveGuardTuner(updates={self.updates}, "
+            f"step_clip={self.step_clip}, sigma={self.sigma})"
         )
 
 

@@ -54,7 +54,11 @@ import numpy as np
 
 from repro.core.engine import DMFSGDEngine, dedup_pairs
 from repro.datasets.trace import MeasurementTrace
-from repro.serving.guard import AdmissionGuard, OnlineEvaluator
+from repro.serving.guard import (
+    AdaptiveGuardTuner,
+    AdmissionGuard,
+    OnlineEvaluator,
+)
 from repro.serving.store import CoordinateStore
 
 __all__ = ["IngestStats", "IngestPipeline"]
@@ -142,6 +146,11 @@ class IngestPipeline:
         Optional :class:`~repro.serving.guard.OnlineEvaluator` fed
         test-then-train samples: each admitted batch is predicted by
         the current model *before* it is applied.
+    adaptive:
+        Optional :class:`~repro.serving.guard.AdaptiveGuardTuner`
+        re-deriving ``step_clip`` and the sigma-filter multiplier from
+        the evaluator's sliding window after each evaluated batch
+        (requires ``evaluator``; guarded mode only).
     """
 
     def __init__(
@@ -156,6 +165,7 @@ class IngestPipeline:
         step_clip: Optional[float] = None,
         guard: Optional[AdmissionGuard] = None,
         evaluator: Optional[OnlineEvaluator] = None,
+        adaptive: Optional[AdaptiveGuardTuner] = None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -169,13 +179,20 @@ class IngestPipeline:
             )
         if mode not in ("guarded", "raw"):
             raise ValueError(f"mode must be 'guarded' or 'raw', got {mode!r}")
-        if mode == "raw" and (guard is not None or step_clip is not None):
+        if mode == "raw" and (
+            guard is not None or step_clip is not None or adaptive is not None
+        ):
             raise ValueError(
                 "mode='raw' is the fidelity mode: it cannot combine with "
-                "guard or step_clip"
+                "guard, step_clip or adaptive tuning"
             )
         if step_clip is not None and step_clip <= 0:
             raise ValueError(f"step_clip must be positive, got {step_clip}")
+        if adaptive is not None and evaluator is None:
+            raise ValueError(
+                "adaptive tuning derives thresholds from the online "
+                "evaluator's window; pass evaluator= as well"
+            )
         self.engine = engine
         self.store = store
         self.classify = classify or (lambda values: values)
@@ -185,6 +202,7 @@ class IngestPipeline:
         self.step_clip = None if step_clip is None else float(step_clip)
         self.guard = guard
         self.evaluator = evaluator
+        self.adaptive = adaptive
         self._lock = threading.RLock()
         self._sources: List[int] = []
         self._targets: List[int] = []
@@ -383,6 +401,8 @@ class IngestPipeline:
                     sources[finite], targets[finite]
                 )
                 self.evaluator.observe(estimates, training_values[finite])
+            if self.adaptive is not None:
+                self.adaptive.maybe_update(self)
         clipped_before = self.engine.steps_clipped
         used = self.engine.apply_measurements(
             sources, targets, training_values, step_clip=self.step_clip
@@ -447,6 +467,8 @@ class IngestPipeline:
         }
         if self.guard is not None:
             info["admission"] = self.guard.as_dict()
+        if self.adaptive is not None:
+            info["adaptive"] = self.adaptive.as_dict()
         return info
 
     def guard_info(self) -> Dict[str, object]:

@@ -63,7 +63,11 @@ from repro.core.coordinates import (
     row_estimate,
 )
 from repro.core.engine import DMFSGDEngine
-from repro.serving.guard import AdmissionGuard, OnlineEvaluator
+from repro.serving.guard import (
+    AdaptiveGuardTuner,
+    AdmissionGuard,
+    OnlineEvaluator,
+)
 from repro.serving.ingest import IngestPipeline
 from repro.serving.service import PredictionService
 from repro.utils.validation import check_index
@@ -709,6 +713,11 @@ class ShardedIngest:
     evaluator:
         Optional shared :class:`~repro.serving.guard.OnlineEvaluator`
         (internally locked, safe to share).
+    adaptive:
+        Attach one :class:`~repro.serving.guard.AdaptiveGuardTuner`
+        per shard pipeline, deriving ``step_clip`` and sigma
+        thresholds from the shared evaluator's window (requires
+        ``evaluator``).
     queue_depth:
         Bounded queue capacity per shard, in submitted *chunks* (one
         ``submit_many`` call contributes at most one chunk per shard);
@@ -739,6 +748,7 @@ class ShardedIngest:
         step_clip: Optional[float] = None,
         guards: Optional[Sequence[Optional[AdmissionGuard]]] = None,
         evaluator: Optional[OnlineEvaluator] = None,
+        adaptive: bool = False,
         queue_depth: int = 64,
         put_timeout: Optional[float] = 0.5,
         workers: bool = True,
@@ -792,6 +802,11 @@ class ShardedIngest:
                     step_clip=step_clip,
                     guard=None if guards is None else guards[s],
                     evaluator=evaluator,
+                    # one tuner per pipeline (tuners are stateful); all
+                    # derive from the one shared evaluator window
+                    adaptive=(
+                        AdaptiveGuardTuner(evaluator) if adaptive else None
+                    ),
                 )
             )
         self._queues: List["queue.Queue"] = []
@@ -1250,7 +1265,15 @@ class ShardedIngest:
 class _CoalescedBatch:
     """One flush unit: requests answered together by a single gather."""
 
-    __slots__ = ("sources", "targets", "event", "estimates", "version", "error")
+    __slots__ = (
+        "sources",
+        "targets",
+        "event",
+        "estimates",
+        "version",
+        "error",
+        "callbacks",
+    )
 
     def __init__(self) -> None:
         self.sources: List[int] = []
@@ -1261,19 +1284,45 @@ class _CoalescedBatch:
         self.estimates: Optional[List[float]] = None
         self.version = 0
         self.error: Optional[BaseException] = None
+        # completion callbacks (non-blocking consumers, e.g. the
+        # selectors gateway loop); invoked by the flush worker after
+        # the event is set, appended under the coalescer lock
+        self.callbacks: List[Callable[[], None]] = []
 
 
 class CoalescedRequest:
     """Handle to one coalesced single-pair query (future-like)."""
 
-    __slots__ = ("_batch", "_index")
+    __slots__ = ("_batch", "_index", "_coalescer")
 
-    def __init__(self, batch: _CoalescedBatch, index: int) -> None:
+    def __init__(
+        self,
+        batch: _CoalescedBatch,
+        index: int,
+        coalescer: "RequestCoalescer",
+    ) -> None:
         self._batch = batch
         self._index = index
+        self._coalescer = coalescer
 
     def done(self) -> bool:
         return self._batch.event.is_set()
+
+    def on_done(self, callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once the batch is answered (non-blocking).
+
+        The callback runs on the coalescer's flush worker (or inline,
+        right here, if the batch already completed), so it must be
+        quick and must not block — the selectors backend uses it to
+        hand the finished result back to its event loop via a wake
+        pipe.  ``result(timeout=0)`` inside the callback never blocks.
+        """
+        batch = self._batch
+        with self._coalescer._lock:
+            if not batch.event.is_set():
+                batch.callbacks.append(callback)
+                return
+        callback()  # already flushed: complete immediately
 
     def result(self, timeout: Optional[float] = None) -> Tuple[float, int]:
         """Block for the batch flush; returns ``(estimate, version)``.
@@ -1431,7 +1480,7 @@ class RequestCoalescer:
             lock.release()
             if opened:
                 self._work_ready.set()
-        return CoalescedRequest(batch, index)
+        return CoalescedRequest(batch, index, self)
 
     def estimate(self, source: int, target: int) -> Tuple[float, int]:
         """Blocking single-pair estimate through the coalesced path."""
@@ -1497,7 +1546,17 @@ class RequestCoalescer:
         except BaseException as exc:  # pragma: no cover - defensive
             batch.error = exc
         finally:
-            batch.event.set()
+            # set under the lock so on_done's registered-vs-late check
+            # is race-free; callbacks then run outside it
+            with self._lock:
+                batch.event.set()
+                callbacks = batch.callbacks
+                batch.callbacks = []
+            for callback in callbacks:
+                try:
+                    callback()
+                except Exception:  # pragma: no cover - consumer bug
+                    pass
 
     def _loop(self) -> None:
         while True:

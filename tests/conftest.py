@@ -13,6 +13,13 @@ import pytest
 from repro.datasets import load_harvard, load_hps3, load_meridian
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "mp_smoke: fast multi-process serving tests (tier-1, < 60 s total)",
+    )
+
+
 @pytest.fixture
 def rng():
     """Fresh deterministic generator per test."""

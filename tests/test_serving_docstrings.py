@@ -23,6 +23,7 @@ SERVING_MODULES = [
     "repro.serving.guard",
     "repro.serving.ingest",
     "repro.serving.membership",
+    "repro.serving.procs",
     "repro.serving.service",
     "repro.serving.shard",
     "repro.serving.store",

@@ -391,14 +391,115 @@ class TestSelectorsBackend:
         with pytest.raises(ValueError, match="backend"):
             ServingGateway(service, backend="twisted")
 
-    def test_coalesce_window_warns_on_selectors(self):
-        _, service, _ = _small_stack(n=12)
-        with pytest.warns(RuntimeWarning, match="selectors"):
-            gw = ServingGateway(
-                service, backend="selectors", coalesce_window=0.001
+class TestSelectorsCoalescing:
+    """The selectors loop defers /predict into the coalescer and writes
+    the response on batch completion (ROADMAP: combine both wins)."""
+
+    @pytest.fixture(scope="class")
+    def coalescing_gateway(self):
+        _, service, ingest = _small_stack()
+        gw = ServingGateway(
+            service,
+            ingest,
+            port=0,
+            backend="selectors",
+            coalesce_window=0.002,
+        )
+        assert gw.coalescer is not None  # no longer warned away
+        with gw:
+            yield gw
+
+    def test_predict_is_coalesced_end_to_end(self, coalescing_gateway):
+        client = ServingClient(coalescing_gateway.url)
+        payload = client.predict(3, 7)
+        assert payload["coalesced"] is True
+        direct = coalescing_gateway.service.store.snapshot()
+        expected = direct.estimate_pairs(np.array([3]), np.array([7]))[0]
+        assert payload["estimate"] == pytest.approx(expected)
+
+    def test_concurrent_predicts_share_gathers(self, coalescing_gateway):
+        import threading
+
+        url = coalescing_gateway.url
+        results, failures = [], []
+        lock = threading.Lock()
+
+        def worker(wid):
+            client = ServingClient(url)
+            local = np.random.default_rng(wid)
+            try:
+                for _ in range(10):
+                    s = int(local.integers(0, 30))
+                    t = int((s + 1 + local.integers(0, 29)) % 30)
+                    out = client.predict(s, t)
+                    with lock:
+                        results.append(out)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                with lock:
+                    failures.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert failures == []
+        assert len(results) == 40
+        assert all(r["coalesced"] is True for r in results)
+        stats = coalescing_gateway.coalescer.as_dict()
+        assert stats["requests"] >= 40
+
+    def test_bad_request_answers_alone(self, coalescing_gateway):
+        client = ServingClient(coalescing_gateway.url)
+        with pytest.raises(GatewayError) as excinfo:
+            client.predict(3, 3)  # self-pair
+        assert excinfo.value.status == 400
+        with pytest.raises(GatewayError) as excinfo:
+            client.predict(0, 10**9)  # out of range
+        assert excinfo.value.status == 400
+        # the shared batch path is unaffected by the rejections
+        assert client.predict(1, 2)["coalesced"] is True
+
+    def test_stats_carry_coalescer_section(self, coalescing_gateway):
+        client = ServingClient(coalescing_gateway.url)
+        client.predict(5, 6)
+        stats = client.stats()
+        assert stats["coalescer"]["requests"] >= 1
+
+    def test_pipelined_bytes_do_not_redispatch(self, coalescing_gateway):
+        """A deferred connection is quiesced: trailing bytes a client
+        pipelines behind the deferred /predict must not re-dispatch the
+        stale parse state (regression: duplicate coalescer tickets and
+        a corrupt interleaved response stream)."""
+        import socket
+
+        before = coalescing_gateway.coalescer.as_dict()["requests"]
+        with socket.create_connection(
+            (coalescing_gateway.host, coalescing_gateway.port), timeout=5.0
+        ) as sock:
+            sock.sendall(
+                b"GET /predict?src=1&dst=2 HTTP/1.1\r\n"
+                b"Host: x\r\n\r\n"
+                b"GET /predict?src=3&dst=4 HTTP/1.1\r\n"
+                b"Host: x\r\n\r\n"
             )
-        assert gw.coalescer is None
-        gw.stop()
+            sock.settimeout(5.0)
+            raw = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break  # server closes after one response
+                raw += chunk
+        # exactly one complete, well-formed response for request 1
+        assert raw.count(b"HTTP/1.1 200") == 1
+        head, _, body = raw.partition(b"\r\n\r\n")
+        payload = json.loads(body)
+        assert payload["source"] == 1 and payload["target"] == 2
+        assert payload["coalesced"] is True
+        after = coalescing_gateway.coalescer.as_dict()["requests"]
+        assert after == before + 1  # the pipelined bytes never submitted
 
 
 class TestShardedGateway:

@@ -18,10 +18,12 @@ from repro.measurement.errors import (
     UnderestimationBias,
 )
 from repro.serving.guard import (
+    AdaptiveGuardTuner,
     AdmissionGuard,
     BackgroundCheckpointer,
     NoiseBandFilter,
     OnlineEvaluator,
+    PairTokenBucketRateLimiter,
     RobustSigmaFilter,
     TokenBucketRateLimiter,
 )
@@ -294,7 +296,11 @@ class TestAdmissionGuard:
         payload = guard.as_dict()
         assert payload["received"] == 4
         assert payload["admitted"] == 2
-        assert payload["rejected"] == {"rate_limit": 1, "noise_band": 1}
+        assert payload["rejected"] == {
+            "rate_limit": 1,
+            "pair_rate": 0,
+            "noise_band": 1,
+        }
 
     def test_scalar_path_matches(self):
         guard = AdmissionGuard(
@@ -459,3 +465,158 @@ class TestBackgroundCheckpointer:
         checkpointer.path = tmp_path / "model.npz"
         assert checkpointer.checkpoint_now() is True
         assert checkpointer.last_error is None
+
+
+class TestPairTokenBucketRateLimiter:
+    def test_distributed_hammering_of_one_pair_is_bounded(self):
+        """Many sources, one target pair: per-source buckets see one
+        sample each and admit everything; the pair bucket bounds it."""
+        pair = PairTokenBucketRateLimiter(1.0, 4, clock=lambda: 0.0)
+        sources = np.arange(100)
+        targets = np.full(100, 7)
+        targets[sources == 7] = 8  # no self-pairs
+        keep = pair.allow_pairs(sources, targets)
+        # every (s, 7) pair is distinct -> all admitted (burst 4 each);
+        # the hammered *identical* pair is what gets bounded:
+        same = pair.allow_pairs(np.full(100, 3), np.full(100, 9))
+        assert int(same.sum()) == 4  # burst, not 100
+        assert int(keep.sum()) == 100
+
+    def test_scalar_and_batch_paths_share_buckets(self):
+        clock = [0.0]
+        pair = PairTokenBucketRateLimiter(1.0, 2, clock=lambda: clock[0])
+        assert pair.allow_pair_one(3, 9)
+        keep = pair.allow_pairs(np.array([3, 3]), np.array([9, 9]))
+        assert keep.tolist() == [True, False]  # one token spent above
+        clock[0] += 1.0
+        assert pair.allow_pair_one(3, 9)
+
+    def test_refill_over_time(self):
+        clock = [0.0]
+        pair = PairTokenBucketRateLimiter(2.0, 2, clock=lambda: clock[0])
+        assert pair.allow_pairs(np.full(3, 1), np.full(3, 2)).tolist() == [
+            True,
+            True,
+            False,
+        ]
+        clock[0] += 1.0  # refills 2 tokens
+        assert pair.allow_pairs(np.full(3, 1), np.full(3, 2)).tolist() == [
+            True,
+            True,
+            False,
+        ]
+
+    def test_state_bounded_by_table_size(self):
+        pair = PairTokenBucketRateLimiter(
+            1.0, 2, table_size=64, clock=lambda: 0.0
+        )
+        rng = np.random.default_rng(0)
+        sources = rng.integers(0, 1_000_000, size=500)
+        targets = rng.integers(0, 1_000_000, size=500)
+        pair.allow_pairs(sources, targets)
+        assert pair.tracked_sources <= 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="table_size"):
+            PairTokenBucketRateLimiter(1.0, 2, table_size=0)
+        pair = PairTokenBucketRateLimiter(1.0, 2)
+        with pytest.raises(ValueError, match=">= 0"):
+            pair.allow_pair_one(-1, 2)
+        with pytest.raises(ValueError, match="match"):
+            pair.allow_pairs(np.array([1, 2]), np.array([3]))
+
+    def test_guard_counts_pair_rate_reason(self):
+        guard = AdmissionGuard(
+            pair_limiter=PairTokenBucketRateLimiter(1.0, 2, clock=lambda: 0.0)
+        )
+        sources = np.full(10, 3)
+        targets = np.full(10, 9)
+        keep = guard.admit(sources, targets, np.ones(10))
+        assert int(keep.sum()) == 2
+        assert guard.rejected_pair_rate == 8
+        assert guard.as_dict()["rejected"]["pair_rate"] == 8
+        # scalar path shares the same buckets and counter
+        assert not guard.admit_one(3, 9, 1.0)
+        assert guard.rejected_pair_rate == 9
+
+
+class TestAdaptiveGuardTuner:
+    def _window(self, evaluator, center, spread, noise, rng, k=400):
+        truth = rng.normal(center, spread, size=k)
+        estimates = truth + rng.normal(0.0, noise, size=k)
+        evaluator.observe(estimates, truth)
+
+    def test_thresholds_track_an_injected_regime_shift(self, rng):
+        """The derived step clip must follow the residual spread when
+        the stream shifts regime (the whole point of adapting)."""
+        evaluator = OnlineEvaluator("l2", window=400)
+        tuner = AdaptiveGuardTuner(evaluator, min_samples=50, interval=50)
+        self._window(evaluator, 100.0, 5.0, 1.0, rng)
+        clip_before, sigma_before = tuner.thresholds()
+        assert clip_before is not None and sigma_before is not None
+        # regime shift: scale jumps 10x, the model badly mispredicts
+        self._window(evaluator, 1000.0, 50.0, 40.0, rng)
+        clip_after, sigma_after = tuner.thresholds()
+        assert clip_after > 5 * clip_before  # clip tracks the residuals
+        assert sigma_after >= sigma_before  # filter relaxes, not starves
+
+    def test_pipeline_installs_thresholds(self, rtt_labels):
+        engine = make_engine(rtt_labels, rounds=0)
+        store = CoordinateStore(engine.coordinates)
+        evaluator = OnlineEvaluator("l2", window=500)
+        sigma_filter = RobustSigmaFilter(sigma=4.0, min_samples=10)
+        guard = AdmissionGuard(filters=[sigma_filter])
+        tuner = AdaptiveGuardTuner(
+            evaluator, min_samples=50, interval=64
+        )
+        pipeline = IngestPipeline(
+            engine,
+            store,
+            batch_size=64,
+            refresh_interval=10_000,
+            guard=guard,
+            evaluator=evaluator,
+            adaptive=tuner,
+        )
+        n = engine.n
+        rng = np.random.default_rng(1)
+        sources = rng.integers(0, n, size=600)
+        targets = (sources + 1 + rng.integers(0, n - 1, size=600)) % n
+        values = rng.normal(100.0, 10.0, size=600)
+        pipeline.submit_many(sources, targets, values)
+        pipeline.flush()
+        assert tuner.updates > 0
+        assert pipeline.step_clip is not None and pipeline.step_clip > 0
+        assert sigma_filter.sigma == tuner.sigma
+        info = pipeline.guard_info()
+        assert info["adaptive"]["updates"] == tuner.updates
+        assert info["step_clip"] == pipeline.step_clip
+
+    def test_requires_evaluator_and_guarded_mode(self, rtt_labels):
+        engine = make_engine(rtt_labels, rounds=0)
+        store = CoordinateStore(engine.coordinates)
+        evaluator = OnlineEvaluator("l2", window=100)
+        tuner = AdaptiveGuardTuner(evaluator)
+        with pytest.raises(ValueError, match="evaluator"):
+            IngestPipeline(engine, store, adaptive=tuner)
+        with pytest.raises(ValueError, match="raw"):
+            IngestPipeline(
+                engine, store, mode="raw", evaluator=evaluator, adaptive=tuner
+            )
+
+    def test_degenerate_window_defends_nothing(self):
+        evaluator = OnlineEvaluator("l2", window=100)
+        tuner = AdaptiveGuardTuner(evaluator, min_samples=10)
+        assert tuner.thresholds() == (None, None)  # empty window
+        constant = np.full(50, 5.0)
+        evaluator.observe(constant, constant)  # zero residual spread
+        assert tuner.thresholds() == (None, None)
+
+    def test_validation(self):
+        evaluator = OnlineEvaluator("l2", window=100)
+        with pytest.raises(ValueError, match="clip_k"):
+            AdaptiveGuardTuner(evaluator, clip_k=0)
+        with pytest.raises(ValueError, match="sigma_floor"):
+            AdaptiveGuardTuner(evaluator, sigma_floor=5.0, sigma_ceil=2.0)
+        with pytest.raises(ValueError, match="interval"):
+            AdaptiveGuardTuner(evaluator, interval=0)
