@@ -22,6 +22,7 @@ through :class:`repro.serving.membership.MembershipManager`).  Reported:
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -113,6 +114,8 @@ def run() -> dict:
         "nodes": NODES,
         "shards": SHARDS,
         "seed": SEED,
+        "cpu_count": os.cpu_count() or 1,
+        "notices": [],  # every churn gate is enforced on any machine
         "churn_ops": 2 * CHURN_OPS,
         "final_epoch": manager.epoch,
         "join_transition_ms": float(np.mean(join_ms)),

@@ -32,6 +32,21 @@ the single process) only on machines with >= 4 cores — fewer cores
 cannot parallelize anything and only pay the IPC tax — and prints a
 skip notice otherwise; parity must hold everywhere.
 
+And the cluster-plane failover measurement
+(``benchmarks/cluster_bench.py``, shared with
+``benchmarks/test_cluster_failover.py``) into ``BENCH_cluster.json``:
+SIGKILL one whole worker group under routed load — query availability
+through the outage must stay >= 99.9% on every machine (mirror reads
+never observe the kill), the death must be detected and restarted, and
+the routing tier's end-to-end ingest tax must stay under the
+route-overhead ceiling.
+
+Every ``BENCH_*.json`` this gate writes records the machine's
+``cpu_count`` and a ``notices`` list naming any gate that was skipped
+on that machine (e.g. the mp speedup floor below 4 cores), so a
+committed baseline is self-describing about what it did and did not
+enforce.
+
 Regression gate (CI-friendly)::
 
     python benchmarks/compare.py --check [--tolerance 0.25]
@@ -54,6 +69,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -65,6 +81,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 import churn_bench  # noqa: E402
+import cluster_bench  # noqa: E402
 import mp_bench  # noqa: E402
 
 from repro.core.config import DMFSGDConfig  # noqa: E402
@@ -98,6 +115,7 @@ SHARD_COUNTS = (1, 2, 4)
 SUMMARY_PATH = REPO_ROOT / "BENCH_scaleout.json"
 CHURN_SUMMARY_PATH = REPO_ROOT / "BENCH_churn.json"
 MP_SUMMARY_PATH = mp_bench.SUMMARY_PATH
+CLUSTER_SUMMARY_PATH = cluster_bench.SUMMARY_PATH
 
 #: PR 2's guarded admission throughput (measurements/s): the scale-out
 #: work must hold at least 2x this (the issue's acceptance bar).
@@ -253,6 +271,19 @@ def bench_coalescing(rng) -> "dict[str, float]":
     }
 
 
+def annotate(result: dict, notices=()) -> dict:
+    """Stamp a bench payload with the machine facts every gate needs.
+
+    ``cpu_count`` makes baselines comparable across machines;
+    ``notices`` names any gate the measuring machine could not enforce
+    (skip-with-notice), so a committed ``BENCH_*.json`` carries its own
+    caveats instead of leaving them in a long-gone CI log.
+    """
+    result["cpu_count"] = os.cpu_count() or 1
+    result["notices"] = list(notices)
+    return result
+
+
 def run() -> dict:
     rng = np.random.default_rng(SEED)
     sources, targets, values = _stream(rng)
@@ -272,7 +303,16 @@ def run() -> dict:
         result[f"query_pairs_shards{shards}_pps"] = pair_pps
         result[f"query_rows_shards{shards}_pps"] = row_pps
     result.update(bench_coalescing(rng))
-    return result
+    notices = []
+    machine = min(
+        1.0, result["ingest_shards1_mps"] / PR3_SINGLE_REFERENCE_MPS
+    )
+    if machine < 1.0:
+        notices.append(
+            f"sharded-admission floor scaled by x{machine:.2f} machine "
+            "calibration (single-pipeline speed vs the PR 3 reference)"
+        )
+    return annotate(result, notices)
 
 
 def format_result(result: dict) -> str:
@@ -345,6 +385,14 @@ CHURN_MIN_AVAILABILITY = 0.999
 #: throughput does not transfer between differently-sized machines)
 MP_THROUGHPUT_KEYS = ("guarded_admission_single_mps", "mp_shards4_mps")
 
+#: BENCH_cluster.json keys where higher is better (same-core-count
+#: baselines only, like the mp gate)
+CLUSTER_THROUGHPUT_KEYS = (
+    "queries_during_outage_pps",
+    "route_direct_mps",
+    "route_routed_mps",
+)
+
 
 def check_mp(mp: dict, tolerance: float) -> list:
     """BENCH_mp.json invariants; returns failure strings."""
@@ -393,7 +441,71 @@ def check_mp(mp: dict, tolerance: float) -> list:
     return failures
 
 
-def check(result: dict, churn: dict, mp: dict, tolerance: float) -> int:
+def check_cluster(cluster: dict, tolerance: float) -> list:
+    """BENCH_cluster.json invariants; returns failure strings.
+
+    The availability floor and the route-overhead ceiling are absolute
+    and hold on every machine: mirror reads are in-process gathers that
+    must never observe a group outage, and the routing tier's tax does
+    not get worse on smaller machines.  Throughput diffs against the
+    committed baseline only run on a matching core count, like the mp
+    gate.
+    """
+    failures = []
+    if CLUSTER_SUMMARY_PATH.exists():
+        committed = json.loads(CLUSTER_SUMMARY_PATH.read_text())
+        if int(committed.get("cores", 0)) == int(cluster["cores"]):
+            for key in CLUSTER_THROUGHPUT_KEYS:
+                if key not in committed:
+                    continue
+                floor = (1.0 - tolerance) * float(committed[key])
+                if cluster[key] < floor:
+                    failures.append(
+                        f"{key}: measured {cluster[key]:,.0f} < {floor:,.0f} "
+                        f"({(1.0 - tolerance):.0%} of committed "
+                        f"{float(committed[key]):,.0f})"
+                    )
+        else:
+            print(
+                f"note: committed {CLUSTER_SUMMARY_PATH.name} was measured "
+                f"on {committed.get('cores')} core(s), this machine has "
+                f"{cluster['cores']}; skipping cluster regression diffs"
+            )
+    else:
+        print(
+            f"note: no committed {CLUSTER_SUMMARY_PATH.name}; skipping diffs"
+        )
+
+    # acceptance invariants (absolute, machine-independent)
+    availability = cluster["query_availability_during_outage"]
+    if availability < cluster_bench.CLUSTER_MIN_AVAILABILITY:
+        failures.append(
+            f"query availability through the group kill is "
+            f"{availability:.4%}, under the "
+            f"{cluster_bench.CLUSTER_MIN_AVAILABILITY:.1%} floor"
+        )
+    overhead = cluster["route_overhead_x"]
+    if overhead > cluster_bench.ROUTE_OVERHEAD_CEILING:
+        failures.append(
+            f"routing tier costs {overhead:.2f}x over direct group ingest "
+            f"(ceiling {cluster_bench.ROUTE_OVERHEAD_CEILING}x)"
+        )
+    if sum(cluster["deaths_detected"]) < 1:
+        failures.append("the SIGKILLed group was never detected as dead")
+    if sum(cluster["group_restarts"]) < 1:
+        failures.append("the SIGKILLed group was never restarted")
+    if not cluster["version_monotone"]:
+        failures.append(
+            "cluster version rewound across the kill/restart "
+            f"({cluster['version_before_kill']} -> "
+            f"{cluster['version_after_recovery']})"
+        )
+    return failures
+
+
+def check(
+    result: dict, churn: dict, mp: dict, cluster: dict, tolerance: float
+) -> int:
     """Compare fresh numbers against the committed baselines.
 
     Returns a process exit code: 0 when everything holds, 1 on any
@@ -401,6 +513,7 @@ def check(result: dict, churn: dict, mp: dict, tolerance: float) -> int:
     """
     failures = []
     failures.extend(check_mp(mp, tolerance))
+    failures.extend(check_cluster(cluster, tolerance))
     if SUMMARY_PATH.exists():
         committed = json.loads(SUMMARY_PATH.read_text())
         for key in THROUGHPUT_KEYS:
@@ -505,14 +618,22 @@ def main(argv=None) -> int:
     )
     mp = mp_bench.run()
     print(format_table(mp_bench.format_rows(mp), headers=["mp", "value"]))
+    cluster = cluster_bench.run()
+    print(
+        format_table(
+            cluster_bench.format_rows(cluster), headers=["cluster", "value"]
+        )
+    )
     if args.check:
-        return check(result, churn, mp, args.tolerance)
+        return check(result, churn, mp, cluster, args.tolerance)
     SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {SUMMARY_PATH}")
     CHURN_SUMMARY_PATH.write_text(json.dumps(churn, indent=2) + "\n")
     print(f"wrote {CHURN_SUMMARY_PATH}")
     MP_SUMMARY_PATH.write_text(json.dumps(mp, indent=2) + "\n")
     print(f"wrote {MP_SUMMARY_PATH}")
+    CLUSTER_SUMMARY_PATH.write_text(json.dumps(cluster, indent=2) + "\n")
+    print(f"wrote {CLUSTER_SUMMARY_PATH}")
     return 0
 
 

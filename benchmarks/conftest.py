@@ -17,6 +17,10 @@ def pytest_configure(config):
         "markers",
         "mp_smoke: fast multi-process serving benchmarks (tier-1, < 60 s)",
     )
+    config.addinivalue_line(
+        "markers",
+        "cluster_smoke: fast cluster-plane benchmarks (tier-1, < 60 s)",
+    )
 
 
 @pytest.fixture

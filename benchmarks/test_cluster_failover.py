@@ -1,0 +1,65 @@
+"""Cluster failover benchmark -> ``BENCH_cluster.json``.
+
+Prices the cluster plane's acceptance claim: SIGKILL one whole worker
+group (every pid) under routed ingest + mirror-read load, and query
+availability stays >= 99.9% while the monitor detects the death,
+fences the group's ingest with the distinct ``rejected_group_down``
+reason, and restarts it with reattach.  Also prices the routing tier's
+end-to-end ingest tax (routed vs direct, thread mode).
+
+The availability floor is enforced *here* on every machine — mirror
+reads are in-process snapshot gathers and must never observe the
+outage, cores or no cores.  ``benchmarks/compare.py --check`` re-gates
+the committed numbers (availability floor + route-overhead ceiling).
+
+Runs in tier-1 (``cluster_smoke``): one ~3 s failover window plus one
+20k-sample routing sweep per path.
+"""
+
+import json
+
+import pytest
+
+import cluster_bench
+
+pytestmark = pytest.mark.cluster_smoke
+
+
+def test_cluster_failover_benchmark(report, run_once):
+    result = run_once(cluster_bench.run)
+
+    from repro.utils.tables import format_table
+
+    report(
+        "cluster plane: kill one group under load",
+        format_table(
+            cluster_bench.format_rows(result), headers=["cluster", "value"]
+        ),
+    )
+
+    cluster_bench.SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    # machine-independent acceptance invariants:
+    assert (
+        result["query_availability_during_outage"]
+        >= cluster_bench.CLUSTER_MIN_AVAILABILITY
+    ), (
+        f"availability {result['query_availability_during_outage']:.4%} "
+        f"under the {cluster_bench.CLUSTER_MIN_AVAILABILITY:.1%} floor"
+    )
+    assert result["queries_answered_during_outage"] > 0
+    # the kill was real, detected, and recovered from
+    assert result["deaths_detected"][1] >= 1
+    assert result["group_restarts"][1] >= 1
+    assert result["group_recovery_ms"] == result["group_recovery_ms"]  # not NaN
+    # progress never rewinds across restart-with-reattach
+    assert result["version_monotone"] is True
+    # routing forwarded traffic both before and after the outage
+    assert result["forwarded"] > 0
+    # the routing tier's tax stays bounded even on small machines
+    assert (
+        result["route_overhead_x"] <= cluster_bench.ROUTE_OVERHEAD_CEILING
+    ), (
+        f"routing tier costs {result['route_overhead_x']:.2f}x "
+        f"(ceiling {cluster_bench.ROUTE_OVERHEAD_CEILING}x)"
+    )

@@ -23,6 +23,7 @@ ingest must sustain at least one fifth of raw throughput.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -145,6 +146,8 @@ def run():
         "nodes": NODES,
         "samples": SAMPLES,
         "hot_fraction": HOT_FRACTION,
+        "cpu_count": os.cpu_count() or 1,
+        "notices": [],  # all ingest-guard gates hold on any machine
         "raw_batch_mps": SAMPLES / raw_s,
         "guarded_batch_mps": SAMPLES / guarded_s,
         "guarded_admission_mps": SAMPLES / admission_s,

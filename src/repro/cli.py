@@ -8,7 +8,10 @@ The commands cover the everyday workflows:
 * ``experiment`` — run a paper table/figure reproduction by id and
   print the same rows the paper reports;
 * ``serve`` — pre-train a model and run the online prediction gateway
-  (:mod:`repro.serving`).
+  (:mod:`repro.serving`), optionally as a multi-group cluster plane
+  (``--cluster G``);
+* ``cluster-status`` — query a running cluster gateway's per-group
+  health, mirror lag and routing counters.
 
 Examples::
 
@@ -17,6 +20,8 @@ Examples::
     python -m repro experiment table2
     python -m repro experiment list
     python -m repro serve --dataset meridian --nodes 200 --port 8787
+    python -m repro serve --cluster 2 --workers processes --shards 2
+    python -m repro cluster-status --url http://127.0.0.1:8787
 """
 
 from __future__ import annotations
@@ -197,6 +202,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = single-store stack)",
     )
     serve.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="G",
+        help="run the cluster plane: G worker groups (each a full "
+        "--shards-wide ingest stack of the chosen --workers kind) "
+        "behind a partition-book router; queries are answered from a "
+        "bounded-staleness mirror, dead groups are detected, routed "
+        "around and restarted (0 = single-group stack)",
+    )
+    serve.add_argument(
+        "--staleness-budget",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="cluster mode: seconds of mirror staleness the deployment "
+        "accepts (mirrors refresh at half this budget)",
+    )
+    serve.add_argument(
         "--queue-depth",
         type=int,
         default=64,
@@ -338,6 +362,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--seed", type=int, default=20111206)
 
+    cluster_status = commands.add_parser(
+        "cluster-status",
+        help="print a running cluster gateway's per-group health",
+    )
+    cluster_status.add_argument(
+        "--url",
+        default="http://127.0.0.1:8787",
+        help="gateway base URL (default http://127.0.0.1:8787)",
+    )
+    cluster_status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw cluster section as JSON",
+    )
+
     report = commands.add_parser(
         "report", help="run experiments and write a markdown report"
     )
@@ -472,6 +511,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         backend=args.backend,
         allow_membership=args.allow_membership,
+        cluster_groups=args.cluster,
+        staleness_budget=args.staleness_budget,
     )
     print(f"serving on {gateway.url}", file=sys.stderr)
     print(
@@ -484,6 +525,69 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down", file=sys.stderr)
     finally:
         gateway.stop()
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serving import GatewayError, ServingClient
+    from repro.utils.tables import format_table
+
+    client = ServingClient(args.url)
+    try:
+        cluster = client.cluster_status()
+    except GatewayError as error:
+        print(f"{args.url}: {error}", file=sys.stderr)
+        return 2
+    except KeyError:
+        print(f"{args.url}: gateway is sharded but not clustered", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"{args.url}: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(cluster, indent=2))
+        return 0
+    book = cluster["partition_book"]
+    mirror = cluster["mirror"]
+    print(
+        f"partition book v{book['version']}: {book['partitions']} group(s); "
+        f"mirror v{mirror['version']} "
+        f"(budget {mirror['staleness_budget_s']}s, "
+        f"{mirror['pulls']} pulls, {mirror['pull_failures']} failures)"
+    )
+    rows: List[List[object]] = []
+    for group in cluster["groups"]:
+        rows.append(
+            [
+                group.get("group"),
+                "up" if group.get("alive") else "DOWN",
+                ",".join(str(pid) for pid in group.get("pids", [])) or "-",
+                group.get("version"),
+                group.get("mirror_version_lag"),
+                f"{group.get('mirror_age_s', 0):.3f}",
+                group.get("forwarded"),
+                group.get("rejected_group_down"),
+                group.get("restarts"),
+            ]
+        )
+    print(
+        format_table(
+            rows,
+            headers=[
+                "group",
+                "state",
+                "pids",
+                "version",
+                "mirror lag",
+                "mirror age s",
+                "forwarded",
+                "rejected down",
+                "restarts",
+            ],
+        )
+    )
     return 0
 
 
@@ -530,6 +634,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
+        "cluster-status": _cmd_cluster_status,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

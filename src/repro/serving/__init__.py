@@ -32,6 +32,15 @@ demand while fresh measurements keep improving the model:
   ``ShardedIngest`` surface over worker *processes* — true CPU
   parallelism for the SGD apply, selected by
   ``repro serve --workers processes``);
+* :mod:`repro.serving.cluster` — the cluster plane:
+  :class:`PartitionBook` (versioned ``src % P`` → named worker-group
+  routing), :class:`MirrorStore` (each gateway's bounded-staleness
+  read replica, pulled per group as plain :class:`ShardSnapshot`
+  parts), :class:`RoutingGateway` (any gateway takes any traffic;
+  ingest forwards to the owning group, reads never leave the mirror)
+  and :class:`ClusterSupervisor` (heartbeat death detection,
+  re-route-around with a distinct ``rejected_group_down`` reason, and
+  restart-with-reattach), selected by ``repro serve --cluster G``;
 * :mod:`repro.serving.membership` — :class:`MembershipManager`, the
   elastic-membership layer: live node join/leave applied as
   copy-on-write epoch transitions over the sharded store (warm-started
@@ -61,6 +70,16 @@ Quick start::
 
 from repro.serving.app import build_gateway
 from repro.serving.client import GatewayError, ServingClient
+from repro.serving.cluster import (
+    ClusterSupervisor,
+    GroupTransport,
+    LocalGroupTransport,
+    MirrorStore,
+    PartitionBook,
+    RoutingGateway,
+    WorkerGroup,
+    build_cluster,
+)
 from repro.serving.gateway import ServingGateway
 from repro.serving.guard import (
     AdaptiveGuardTuner,
@@ -103,6 +122,14 @@ __all__ = [
     "GatewayError",
     "ServingClient",
     "ServingGateway",
+    "build_cluster",
+    "ClusterSupervisor",
+    "GroupTransport",
+    "LocalGroupTransport",
+    "MirrorStore",
+    "PartitionBook",
+    "RoutingGateway",
+    "WorkerGroup",
     "AdaptiveGuardTuner",
     "AdmissionGuard",
     "BackgroundCheckpointer",

@@ -28,6 +28,7 @@ from repro.serving.guard import (
     RobustSigmaFilter,
     TokenBucketRateLimiter,
 )
+from repro.serving.cluster import build_cluster
 from repro.serving.ingest import IngestPipeline
 from repro.serving.procs import (
     ProcessShardedIngest,
@@ -77,6 +78,8 @@ def build_gateway(
     coalesce_window: Optional[float] = None,
     backend: str = "threading",
     allow_membership: bool = False,
+    cluster_groups: int = 0,
+    staleness_budget: float = 0.5,
     verbose: bool = False,
 ) -> ServingGateway:
     """Pre-train a model on a synthetic dataset and wrap it for serving.
@@ -168,6 +171,19 @@ def build_gateway(
         sharded stack, so this forces it even at ``shards=1``; epoch
         transitions then grow/shrink the model without stopping ingest
         or queries.
+    cluster_groups:
+        Non-zero selects the cluster plane
+        (:mod:`repro.serving.cluster`): this many worker groups behind
+        a partition-book router, each an independent ``shards``-wide
+        ingest stack of the chosen ``workers`` kind.  Queries are
+        answered from the gateway's bounded-staleness mirror, ingest
+        is forwarded to the owning group, and a SIGKILLed group is
+        detected, routed around and restarted.  Incompatible with
+        ``allow_membership``, ``guard_adaptive`` and ``eval_window``
+        online evaluation (each group's admission runs locally).
+    staleness_budget:
+        Cluster mode only: seconds of mirror staleness the deployment
+        accepts; the supervisor refreshes mirrors at half this budget.
     """
     from repro.experiments.common import PAPER_NEIGHBORS, get_dataset
 
@@ -211,6 +227,21 @@ def build_gateway(
         )
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    if cluster_groups < 0:
+        raise ValueError(
+            f"cluster_groups must be >= 0, got {cluster_groups}"
+        )
+    if cluster_groups:
+        if allow_membership:
+            raise ValueError(
+                "cluster mode re-partitions via the partition book; "
+                "live membership is a single-group feature"
+            )
+        if guard_adaptive:
+            raise ValueError(
+                "guard_adaptive needs the shared online evaluator, "
+                "which cluster mode does not run"
+            )
 
     data = get_dataset(dataset, n_hosts=nodes, seed=seed)
     tau = (
@@ -227,6 +258,90 @@ def build_gateway(
         metric=data.metric,
         rng=seed,
     )
+    def make_guard() -> Optional[AdmissionGuard]:
+        """A fresh guard per consumer: guards are stateful, never shared."""
+        if (
+            rate_limit is None
+            and pair_rate_limit is None
+            and outlier_sigma is None
+            and reject_band is None
+        ):
+            return None
+        limiter = None
+        if rate_limit is not None:
+            limiter = TokenBucketRateLimiter(
+                rate_limit,
+                rate_burst if rate_burst is not None else max(32.0, rate_limit),
+            )
+        pair_limiter = None
+        if pair_rate_limit is not None:
+            pair_limiter = PairTokenBucketRateLimiter(
+                pair_rate_limit,
+                pair_rate_burst
+                if pair_rate_burst is not None
+                else max(8.0, pair_rate_limit),
+            )
+        filters = []
+        if outlier_sigma is not None:
+            filters.append(RobustSigmaFilter(outlier_sigma))
+        if reject_band is not None:
+            from repro.measurement.errors import FlipNearThreshold
+
+            filters.append(NoiseBandFilter(FlipNearThreshold(tau, reject_band)))
+        return AdmissionGuard(
+            rate_limiter=limiter, pair_limiter=pair_limiter, filters=filters
+        )
+
+    if cluster_groups:
+        # the cluster plane owns its stores/engines per group; the one
+        # engine above only provides the pre-trained initial factors
+        if checkpoint is None:
+            if rounds is None:
+                rounds = 20 * PAPER_NEIGHBORS.get(dataset, config.neighbors)
+            if rounds > 0:
+                engine.run(rounds=rounds)
+        supervisor = build_cluster(
+            None if checkpoint is not None else engine.coordinates,
+            groups=cluster_groups,
+            shards=shards,
+            workers=workers,
+            config=config,
+            metric=data.metric,
+            classify=ThresholdClassifier(data.metric, tau),
+            batch_size=batch_size,
+            refresh_interval=refresh_interval,
+            mode=mode,
+            step_clip=step_clip,
+            guard_factory=make_guard,
+            queue_depth=queue_depth,
+            mp_start_method=mp_start_method,
+            staleness_budget=staleness_budget,
+            checkpoint=checkpoint,
+            seed=seed,
+        ).start()
+        if supervisor.mirror.n != engine.n:
+            supervisor.close()
+            raise ValueError(
+                f"checkpoint has {supervisor.mirror.n} nodes, "
+                f"dataset has {engine.n}"
+            )
+        return ServingGateway(
+            PredictionService(supervisor.mirror, cache_size=cache_size),
+            supervisor.router,
+            checkpointer=(
+                BackgroundCheckpointer(
+                    supervisor, save_checkpoint, interval=checkpoint_every
+                )
+                if save_checkpoint is not None
+                else None
+            ),
+            host=host,
+            port=port,
+            backend=backend,
+            coalesce_window=coalesce_window,
+            verbose=verbose,
+        )
+
     # membership transitions ride the sharded stack's epoch machinery,
     # so --allow-membership promotes a single-shard deployment to it;
     # process mode is sharded by construction (one process per shard)
@@ -266,40 +381,6 @@ def build_gateway(
             store = ShardedCoordinateStore(engine.coordinates, shards=shards)
         else:
             store = CoordinateStore(engine.coordinates)
-
-    def make_guard() -> Optional[AdmissionGuard]:
-        """A fresh guard per consumer: guards are stateful, never shared."""
-        if (
-            rate_limit is None
-            and pair_rate_limit is None
-            and outlier_sigma is None
-            and reject_band is None
-        ):
-            return None
-        limiter = None
-        if rate_limit is not None:
-            limiter = TokenBucketRateLimiter(
-                rate_limit,
-                rate_burst if rate_burst is not None else max(32.0, rate_limit),
-            )
-        pair_limiter = None
-        if pair_rate_limit is not None:
-            pair_limiter = PairTokenBucketRateLimiter(
-                pair_rate_limit,
-                pair_rate_burst
-                if pair_rate_burst is not None
-                else max(8.0, pair_rate_limit),
-            )
-        filters = []
-        if outlier_sigma is not None:
-            filters.append(RobustSigmaFilter(outlier_sigma))
-        if reject_band is not None:
-            from repro.measurement.errors import FlipNearThreshold
-
-            filters.append(NoiseBandFilter(FlipNearThreshold(tau, reject_band)))
-        return AdmissionGuard(
-            rate_limiter=limiter, pair_limiter=pair_limiter, filters=filters
-        )
 
     evaluator = (
         OnlineEvaluator("class", window=eval_window)

@@ -13,13 +13,26 @@ traffic either in-process or over HTTP without changing code.
 from __future__ import annotations
 
 import json
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
-from urllib.error import HTTPError
+from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
 import numpy as np
 
 __all__ = ["GatewayError", "ServingClient"]
+
+
+def _is_transient(error: Exception) -> bool:
+    """Connection reset/refused — the restart window of a gateway or
+    worker group, worth retrying; anything else (including HTTP errors,
+    which mean the gateway *answered*) is not."""
+    transient = (ConnectionResetError, ConnectionRefusedError)
+    if isinstance(error, transient):
+        return True
+    return isinstance(error, URLError) and isinstance(
+        error.reason, transient
+    )
 
 
 class GatewayError(RuntimeError):
@@ -39,11 +52,36 @@ class ServingClient:
         E.g. ``"http://127.0.0.1:8787"`` (a trailing slash is fine).
     timeout:
         Per-request socket timeout in seconds.
+    retries:
+        Extra attempts after a connection reset/refused (the window a
+        gateway or worker-group restart is invisible to callers); 0
+        restores fail-fast.  HTTP errors are never retried — a non-2xx
+        answer means the gateway is up and said no.
+    retry_delay:
+        Base backoff in seconds; attempt ``k`` sleeps
+        ``retry_delay * 2**k`` before retrying.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 10.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 10.0,
+        retries: int = 3,
+        retry_delay: float = 0.05,
+    ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_delay < 0:
+            raise ValueError(
+                f"retry_delay must be >= 0, got {retry_delay}"
+            )
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.retry_delay = float(retry_delay)
+        #: total transient-error retries this client has spent
+        self.retries_used = 0
 
     # ------------------------------------------------------------------
     # transport
@@ -57,16 +95,25 @@ class ServingClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = Request(self.base_url + path, data=data, headers=headers)
-        try:
-            with urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except HTTPError as error:
+        for attempt in range(self.retries + 1):
+            request = Request(
+                self.base_url + path, data=data, headers=headers
+            )
             try:
-                message = json.loads(error.read().decode("utf-8"))["error"]
-            except Exception:
-                message = error.reason
-            raise GatewayError(error.code, str(message)) from None
+                with urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except HTTPError as error:
+                try:
+                    message = json.loads(error.read().decode("utf-8"))["error"]
+                except Exception:
+                    message = error.reason
+                raise GatewayError(error.code, str(message)) from None
+            except Exception as error:
+                if attempt >= self.retries or not _is_transient(error):
+                    raise
+                self.retries_used += 1
+                time.sleep(self.retry_delay * (2**attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     # endpoints
@@ -99,6 +146,14 @@ class ServingClient:
         Raises :class:`GatewayError` (400) on a non-sharded gateway.
         """
         return self._request("/shards")["shards"]
+
+    def cluster_status(self) -> Dict:
+        """GET /shards, returning only its ``cluster`` section.
+
+        Raises :class:`GatewayError` (400) on a non-sharded gateway and
+        :class:`KeyError` on a sharded-but-not-clustered one.
+        """
+        return self._request("/shards")["cluster"]
 
     def predict_from(
         self, source: int, targets: Optional[Iterable[int]] = None

@@ -1,0 +1,1464 @@
+"""Cluster plane: partition-book routing over replicated worker groups.
+
+Every scale step so far stops at one machine's memory bus: PR 3 shards
+the store across worker *threads*, PR 5 moves the shards into worker
+*processes* — but there is still exactly one ingest front door.  This
+module shards the **gateway itself**.  The construction mirrors the
+paper's own asynchrony argument (conf_conext_LiaoDGL11): DMFSGD peers
+update from *stale* neighbor coordinates and stay accurate because the
+staleness is bounded; here the same budget is granted to the serving
+tier, so any gateway can answer any query from a bounded-staleness
+replica instead of consulting the owner synchronously (the design DGL's
+``dis_kvstore.py`` partition book + pull/push applies to distributed
+embeddings).
+
+Three pieces compose the plane:
+
+* :class:`PartitionBook` — a versioned ``src % P -> named worker
+  group`` routing table.  Ingest for source ``i`` is owned by exactly
+  one group (DMFSGD's symmetric updates write only the prober's rows,
+  so group writes are disjoint — the same invariant that makes the
+  PR 3 shard partition safe, lifted one level).  The book is immutable;
+  re-partitioning installs a *new* book with a bumped version in one
+  reference store, so routing epochs change atomically.
+* :class:`MirrorStore` — each gateway's local read replica.  A
+  refresher periodically pulls every group's **owned** factor rows
+  (group ``g`` owns node ids ``i % G == g``) as an ordinary
+  :class:`~repro.serving.shard.ShardSnapshot`, so the mirror's
+  composite is a plain :class:`~repro.serving.shard.ShardedSnapshot`
+  — the same frozen-slice read idiom (and the same gather + einsum
+  kernels) as a direct store read, which is what makes mirror/direct
+  parity *testable bitwise*.  Staleness is bounded by the pull budget;
+  a dead group simply stops advancing and its last mirror keeps
+  serving.
+* :class:`ClusterSupervisor` — composes the per-group machinery (a
+  PR 5 :class:`~repro.serving.procs.WorkerSupervisor` per process
+  group), detects a dead group via heartbeats, re-routes around it —
+  ingest for the dead group is rejected with a **distinct reason**
+  (``rejected_group_down``), reads keep flowing from the last mirror —
+  and restarts it (process groups re-attach to their shared-memory
+  segments and salvage their queues; thread groups rebuild their
+  worker pipelines over the surviving store).
+
+The group transport is an interface (:class:`GroupTransport`):
+:class:`LocalGroupTransport` runs every group in this process — which
+keeps one-box benchmarks honest — and a socket transport can slot in
+without touching the routing tier.
+
+:class:`RoutingGateway` is the ingest-facade the HTTP layer consumes:
+it mirrors the :class:`~repro.serving.shard.ShardedIngest` surface
+(``submit`` / ``submit_many`` / ``flush`` / ``publish`` /
+``stats_payload`` / ``shard_info``), plus :meth:`RoutingGateway.cluster_info`
+for the ``cluster`` sections of ``/stats`` and ``/shards``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.config import DMFSGDConfig
+from repro.core.coordinates import CoordinateTable
+from repro.core.engine import DMFSGDEngine, EngineSpec, null_label_fn
+from repro.measurement.metrics import Metric
+from repro.serving.ingest import IngestStats
+from repro.serving.procs import (
+    HEARTBEAT,
+    ProcessShardedIngest,
+    ProcessShardedStore,
+    WorkerSpec,
+    WorkerSupervisor,
+)
+from repro.serving.shard import (
+    ShardedCoordinateStore,
+    ShardedIngest,
+    ShardedSnapshot,
+    ShardSnapshot,
+)
+
+__all__ = [
+    "PartitionBook",
+    "GroupTransport",
+    "LocalGroupTransport",
+    "WorkerGroup",
+    "MirrorStore",
+    "RoutingGateway",
+    "ClusterSupervisor",
+    "build_cluster",
+]
+
+
+class PartitionBook:
+    """Versioned ``src % P -> named worker group`` routing table.
+
+    The book is immutable: membership epochs re-partition by installing
+    a *new* book (:meth:`remap`) with a bumped version in one atomic
+    reference store, so a router thread either routes an entire batch
+    under the old epoch or the new one — never a mix.
+    """
+
+    __slots__ = ("groups", "version")
+
+    def __init__(self, groups: Sequence[str], *, version: int = 1) -> None:
+        names = tuple(str(g) for g in groups)
+        if not names:
+            raise ValueError("a partition book needs at least one group")
+        if len(set(names)) != len(names):
+            raise ValueError(f"group names must be unique, got {names}")
+        if version < 1:
+            raise ValueError(f"version must be >= 1, got {version}")
+        object.__setattr__(self, "groups", names)
+        object.__setattr__(self, "version", int(version))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("PartitionBook is immutable; use remap()")
+
+    @property
+    def partitions(self) -> int:
+        """Number of partitions ``P`` (= owned groups)."""
+        return len(self.groups)
+
+    def owner_index(self, source: int) -> int:
+        """Group index owning one source id."""
+        return int(source) % len(self.groups)
+
+    def owner(self, source: int) -> str:
+        """Group name owning one source id."""
+        return self.groups[self.owner_index(source)]
+
+    def owner_indices(self, sources: np.ndarray) -> np.ndarray:
+        """Vectorized owner indices for a batch of source ids."""
+        return np.asarray(sources, dtype=np.int64) % len(self.groups)
+
+    def remap(self, groups: Sequence[str]) -> "PartitionBook":
+        """A new book over (possibly different) groups, version bumped."""
+        return PartitionBook(groups, version=self.version + 1)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the ``partition_book`` stats section)."""
+        return {
+            "version": self.version,
+            "partitions": self.partitions,
+            "groups": list(self.groups),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionBook(groups={list(self.groups)}, "
+            f"version={self.version})"
+        )
+
+
+class GroupTransport:
+    """How a routing gateway talks to one worker group.
+
+    :class:`LocalGroupTransport` (below) is the in-process
+    implementation; a socket transport implements the same seven
+    methods against a remote group's port without the routing tier
+    changing.  ``pull`` is the replication primitive: it returns the
+    group's **owned** factor rows as a :class:`ShardSnapshot` at the
+    group's current version, so mirrors compose with the exact read
+    machinery direct reads use.
+    """
+
+    name: str = "?"
+
+    def submit_many(
+        self, sources: np.ndarray, targets: np.ndarray, values: np.ndarray
+    ) -> int:
+        """Forward an ingest chunk to the group; returns samples kept."""
+        raise NotImplementedError
+
+    def pull(self, index: int, groups: int) -> ShardSnapshot:
+        """The group's owned rows (``i % groups == index``) + version."""
+        raise NotImplementedError
+
+    def version(self) -> int:
+        """The group's current published (summed) version."""
+        raise NotImplementedError
+
+    def alive(self) -> bool:
+        """Whether the group is currently accepting forwarded ingest."""
+        raise NotImplementedError
+
+    def flush(self) -> int:
+        """Apply everything the group has buffered."""
+        raise NotImplementedError
+
+    def publish(self) -> int:
+        """Force the group to publish; returns its new version."""
+        raise NotImplementedError
+
+    def info(self) -> Dict[str, object]:
+        """Health/identity vitals for the ``cluster`` stats section."""
+        raise NotImplementedError
+
+
+class WorkerGroup:
+    """One named serving unit: a full-model store plus sharded ingest.
+
+    A group holds the complete ``n``-node model locally (every group
+    can evaluate any pair) but *owns* — i.e. receives ingest for, and
+    therefore updates — only the sources the partition book maps to it.
+    Internally it is an unmodified PR 3/PR 5 stack: a
+    :class:`~repro.serving.shard.ShardedIngest` (thread mode) or a
+    :class:`~repro.serving.procs.ProcessShardedIngest` behind a
+    :class:`~repro.serving.procs.WorkerSupervisor` (process mode,
+    ``monitor=False`` — the *cluster* supervisor owns failure
+    handling).
+
+    ``kill()`` forces the failure the cluster plane must survive:
+    SIGKILL of every worker process (process mode) or a worker-thread
+    shutdown (thread mode).  ``restart()`` is the recovery half:
+    process workers re-attach to their shared-memory segments and
+    salvage their queues (the PR 5 respawn path); thread groups rebuild
+    their pipelines over the surviving in-process store.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        store: Union[ShardedCoordinateStore, ProcessShardedStore],
+        ingest_factory: Callable[[], object],
+        *,
+        workers: str = "threads",
+    ) -> None:
+        if workers not in ("threads", "processes"):
+            raise ValueError(
+                f"workers must be 'threads' or 'processes', got {workers!r}"
+            )
+        self.name = str(name)
+        self.index = int(index)
+        self.store = store
+        self.workers = workers
+        self._factory = ingest_factory
+        self.ingest = ingest_factory()
+        self.restarts = 0
+        self._down = False
+        self._lock = threading.Lock()
+
+    # -- identity / liveness -------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Node count of the group's full model."""
+        return self.store.n
+
+    @property
+    def shards(self) -> int:
+        """Worker (shard) count inside this group."""
+        return self.store.shards
+
+    @property
+    def version(self) -> int:
+        """The group's published version (sum of its shard versions)."""
+        return self.store.version
+
+    @property
+    def is_down(self) -> bool:
+        """Whether the group is marked dead (routing rejects it)."""
+        return self._down
+
+    @property
+    def alive(self) -> bool:
+        """Marked up *and* every worker is actually running."""
+        if self._down:
+            return False
+        if self.workers == "processes":
+            supervisor = self.ingest.supervisor
+            return self.ingest.running and all(
+                supervisor.alive(s) for s in range(self.shards)
+            )
+        return self.ingest.running
+
+    def heartbeat(self) -> int:
+        """A counter that only advances while workers are alive.
+
+        Process groups sum the per-worker heartbeat slots their command
+        loops tick in shared memory; thread groups report the worker
+        count (a thread group cannot die silently — its failure mode is
+        an explicit :meth:`kill`).
+        """
+        if self.workers == "processes":
+            state = self.store._state
+            return sum(
+                int(segment.slot(HEARTBEAT)) for segment in state.segments
+            )
+        return int(self.ingest.running)
+
+    def pids(self) -> List[Optional[int]]:
+        """Worker process ids (empty in thread mode)."""
+        if self.workers == "processes":
+            return self.ingest.supervisor.pids()
+        return []
+
+    # -- the transport surface -----------------------------------------
+
+    def submit_many(
+        self, sources: np.ndarray, targets: np.ndarray, values: np.ndarray
+    ) -> int:
+        """Forward an ingest chunk into the group's own admission path."""
+        if self._down:
+            return 0
+        return self.ingest.submit_many(sources, targets, values)
+
+    def flush(self) -> int:
+        """Apply everything buffered in the group's pipelines."""
+        return self.ingest.flush()
+
+    def publish(self) -> int:
+        """Force the group's shards to publish; returns its version."""
+        return self.ingest.publish()
+
+    def pull(self, index: int, groups: int) -> ShardSnapshot:
+        """The group's owned strided rows as one frozen shard slice.
+
+        ``index``/``groups`` come from the partition book: group ``g``
+        of ``G`` owns node ids ``i % G == g``, so the owned rows are
+        exactly the ``g``-strided slice of the group's dense view — the
+        same slicing rule :class:`ShardSnapshot` already encodes, which
+        is why the mirror's composite needs no new read code.
+        """
+        snapshot = self.store.snapshot()
+        U, V = snapshot._dense_view()
+        return ShardSnapshot(
+            index,
+            groups,
+            snapshot.n,
+            snapshot.version,
+            U[index::groups],
+            V[index::groups],
+        )
+
+    def refresh_foreign(self, parts: Sequence[ShardSnapshot]) -> bool:
+        """Install other groups' owned rows as stale neighbor state.
+
+        The paper's asynchrony model, applied across groups: group
+        ``g``'s SGD updates *read* coordinates of nodes it does not own
+        (the probed targets), and without refresh those rows would stay
+        frozen at their initial values.  Thread groups take the mirror
+        parts under the shared engine lock; process groups skip (their
+        cross-process foreign refresh rides the socket transport,
+        next PR) — returns whether anything was installed.
+        """
+        if self.workers != "threads" or self._down or not self.ingest.running:
+            return False
+        groups = len(parts)
+        table = self.ingest.engine.coordinates
+        with self.ingest._engine_lock:
+            for part in parts:
+                if part.shard == self.index or part.n != table.U.shape[0]:
+                    continue
+                table.U[part.shard :: groups] = part.U
+                table.V[part.shard :: groups] = part.V
+        return True
+
+    # -- failure / recovery --------------------------------------------
+
+    def mark_down(self) -> None:
+        """Take the group out of the routing plane (idempotent)."""
+        self._down = True
+
+    def kill(self, *, timeout: float = 5.0) -> None:
+        """Force the group down — SIGKILL its workers in process mode.
+
+        This is the failure the acceptance bench injects: nothing
+        cooperative, no flushes, the worker dies mid-batch.  The group
+        is marked down first so routing rejects it with the distinct
+        ``rejected_group_down`` reason rather than feeding a corpse.
+        """
+        with self._lock:
+            self._down = True
+            if self.workers == "processes":
+                supervisor = self.ingest.supervisor
+                for pid in supervisor.pids():
+                    if pid:
+                        try:
+                            os.kill(pid, signal.SIGKILL)
+                        except ProcessLookupError:  # already gone
+                            pass
+                deadline = time.monotonic() + timeout
+                while time.monotonic() < deadline:
+                    if not any(
+                        supervisor.alive(s) for s in range(self.shards)
+                    ):
+                        break
+                    time.sleep(0.01)
+            else:
+                self.ingest.close()
+
+    def restart(self) -> None:
+        """Bring the group back: restart-with-reattach.
+
+        Process mode respawns every dead worker against the current
+        segment names (the PR 5 path — shared memory is the durable
+        truth, queued chunks are salvaged past an orphaned reader
+        lock); thread mode rebuilds the worker pipelines over the
+        surviving store and engine, so versions and factors continue
+        where they stopped.
+        """
+        with self._lock:
+            if self.workers == "processes":
+                supervisor = self.ingest.supervisor
+                for s in range(self.shards):
+                    if not supervisor.alive(s):
+                        supervisor.respawn(s)
+            else:
+                if not self.ingest.running:
+                    self.ingest = self._factory()
+            self.restarts += 1
+            self._down = False
+
+    def close(self) -> None:
+        """Stop the workers and release the store's resources."""
+        self.ingest.close()
+        destroy = getattr(self.store, "destroy", None)
+        if destroy is not None:
+            destroy()
+
+    def info(self) -> Dict[str, object]:
+        """Identity + health vitals for the ``cluster`` stats section."""
+        pids = [pid for pid in self.pids() if pid]
+        return {
+            "group": self.name,
+            "index": self.index,
+            "workers": self.workers,
+            "shards": self.shards,
+            "alive": self.alive,
+            "down": self._down,
+            "version": self.version,
+            "restarts": self.restarts,
+            "pids": pids,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WorkerGroup({self.name!r}, index={self.index}, "
+            f"workers={self.workers!r}, shards={self.shards}, "
+            f"alive={self.alive})"
+        )
+
+
+class LocalGroupTransport(GroupTransport):
+    """In-process transport: direct method calls on a local group."""
+
+    def __init__(self, group: WorkerGroup) -> None:
+        self.group = group
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        """The wrapped group's name (the partition-book key)."""
+        return self.group.name
+
+    def _require_alive(self) -> None:
+        # a local group's store stays readable after its workers die,
+        # but a remote one would not: refuse, so the mirror's
+        # keep-last-part fallback behaves identically on both
+        # transports (and tests exercise it in-process)
+        if not self.group.alive:
+            raise ConnectionError(f"group {self.group.name} is down")
+
+    def submit_many(
+        self, sources: np.ndarray, targets: np.ndarray, values: np.ndarray
+    ) -> int:
+        return self.group.submit_many(sources, targets, values)
+
+    def pull(self, index: int, groups: int) -> ShardSnapshot:
+        self._require_alive()
+        return self.group.pull(index, groups)
+
+    def version(self) -> int:
+        self._require_alive()
+        return self.group.version
+
+    def alive(self) -> bool:
+        return self.group.alive
+
+    def flush(self) -> int:
+        return self.group.flush()
+
+    def publish(self) -> int:
+        return self.group.publish()
+
+    def info(self) -> Dict[str, object]:
+        return self.group.info()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalGroupTransport({self.group.name!r})"
+
+
+class MirrorStore:
+    """Bounded-staleness read replica of every group's owned rows.
+
+    Presents the store protocol
+    (:meth:`snapshot` / ``version`` / ``n`` / ``rank`` / :meth:`save`)
+    over a tuple of per-group :class:`ShardSnapshot` parts, refreshed
+    by periodic pulls.  Reads are lock-free loads of the current tuple
+    — the seqlock/RCU idiom of the direct stores, which is what makes
+    mirror-vs-direct parity exact: at equal versions, the mirror's part
+    *is* (bitwise) the group's owned slice.
+
+    A pull of a dead group fails; the mirror keeps serving that group's
+    **last** successful part (counted in ``pull_failures``) — availability
+    over freshness, with the staleness surfaced per group in
+    :meth:`lag` instead of hidden.
+
+    Parameters
+    ----------
+    transports:
+        One :class:`GroupTransport` per group, in partition order.
+    staleness_budget:
+        Seconds of mirror staleness the deployment accepts; the
+        supervisor's refresher pulls at half this budget so a healthy
+        group's mirror age stays inside it.
+    """
+
+    def __init__(
+        self,
+        transports: Sequence[GroupTransport],
+        *,
+        staleness_budget: float = 0.5,
+    ) -> None:
+        if not transports:
+            raise ValueError("a mirror needs at least one group transport")
+        if staleness_budget <= 0:
+            raise ValueError(
+                f"staleness_budget must be positive, got {staleness_budget}"
+            )
+        self.transports = tuple(transports)
+        self.groups = len(self.transports)
+        self.staleness_budget = float(staleness_budget)
+        self._refresh_lock = threading.Lock()  # serializes pullers only
+        self._parts: Optional[Tuple[ShardSnapshot, ...]] = None
+        self._pulled_at: List[float] = [0.0] * self.groups
+        self.pulls = [0] * self.groups
+        self.pull_failures = [0] * self.groups
+
+    # -- replication ----------------------------------------------------
+
+    def refresh(self, *, force: bool = False) -> int:
+        """Pull every group whose version advanced (all when ``force``).
+
+        Returns how many parts were re-pulled.  A failing pull keeps
+        the group's previous part; only a failure before the *first*
+        successful pull of a group is an error (there is no last mirror
+        to fall back to).
+        """
+        with self._refresh_lock:
+            parts: List[Optional[ShardSnapshot]] = (
+                list(self._parts) if self._parts is not None else [None] * self.groups
+            )
+            updated = 0
+            for g, transport in enumerate(self.transports):
+                current = parts[g]
+                try:
+                    if (
+                        not force
+                        and current is not None
+                        and transport.version() == current.version
+                    ):
+                        # verified unchanged: as fresh as a copy would be
+                        self._pulled_at[g] = time.monotonic()
+                        continue
+                    parts[g] = transport.pull(g, self.groups)
+                    self._pulled_at[g] = time.monotonic()
+                    self.pulls[g] += 1
+                    updated += 1
+                except Exception:
+                    self.pull_failures[g] += 1
+            missing = [
+                self.transports[g].name
+                for g in range(self.groups)
+                if parts[g] is None
+            ]
+            if missing:
+                raise RuntimeError(
+                    f"initial mirror pull failed for group(s) {missing}"
+                )
+            self._parts = tuple(parts)  # the one atomic reader swap
+            return updated
+
+    # -- the store read protocol ---------------------------------------
+
+    def _require_parts(self) -> Tuple[ShardSnapshot, ...]:
+        parts = self._parts
+        if parts is None:
+            raise RuntimeError("mirror not primed; call refresh() first")
+        return parts
+
+    def snapshot(self) -> ShardedSnapshot:
+        """The current composite (lock-free tuple load)."""
+        return ShardedSnapshot(self._require_parts())
+
+    @property
+    def version(self) -> int:
+        """Sum of mirrored group versions (monotone under any pull)."""
+        return sum(part.version for part in self._require_parts())
+
+    @property
+    def versions(self) -> List[int]:
+        """Per-group mirrored versions."""
+        return [part.version for part in self._require_parts()]
+
+    @property
+    def n(self) -> int:
+        """Node count of the mirrored model."""
+        return self._require_parts()[0].n
+
+    @property
+    def rank(self) -> int:
+        """Factor rank of the mirrored model."""
+        return self._require_parts()[0].rank
+
+    def age(self, group: int) -> float:
+        """Seconds since this group's mirror was last verified fresh."""
+        pulled = self._pulled_at[group]
+        return time.monotonic() - pulled if pulled else float("inf")
+
+    def lag(self) -> List[Dict[str, object]]:
+        """Per-group mirror freshness: versions, lag and pull age."""
+        parts = self._require_parts()
+        out: List[Dict[str, object]] = []
+        for g, (transport, part) in enumerate(zip(self.transports, parts)):
+            try:
+                group_version: Optional[int] = transport.version()
+            except Exception:
+                group_version = None
+            age = self.age(g)
+            out.append(
+                {
+                    "group": transport.name,
+                    "mirror_version": part.version,
+                    "group_version": group_version,
+                    "version_lag": (
+                        group_version - part.version
+                        if group_version is not None
+                        else None
+                    ),
+                    "age_s": round(age, 6),
+                    "within_budget": age <= self.staleness_budget,
+                    "pulls": self.pulls[g],
+                    "pull_failures": self.pull_failures[g],
+                }
+            )
+        return out
+
+    # -- checkpointing --------------------------------------------------
+
+    def save(self, path: "str | object") -> None:
+        """Checkpoint the mirrored model in the standard sharded format.
+
+        One ``.npz`` with ``shards=G`` keys — each *group's* owned
+        slice under its mirrored version — so
+        :meth:`~repro.serving.shard.ShardedCoordinateStore.load` (and
+        therefore every existing stack) restores it, including the
+        re-partition-with-version-carry path when the group count
+        changes between save and load.
+        """
+        parts = self._require_parts()
+        snapshot = ShardedSnapshot(parts)
+        U, V = snapshot._dense_view()
+        ShardedCoordinateStore(
+            (U, V),
+            shards=self.groups,
+            versions=[part.version for part in parts],
+        ).save(path)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready mirror vitals (the ``mirror`` stats subsection)."""
+        return {
+            "groups": self.groups,
+            "version": self.version,
+            "staleness_budget_s": self.staleness_budget,
+            "pulls": sum(self.pulls),
+            "pull_failures": sum(self.pull_failures),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        primed = self._parts is not None
+        return (
+            f"MirrorStore(groups={self.groups}, primed={primed}, "
+            f"budget={self.staleness_budget}s)"
+        )
+
+
+class RoutingGateway:
+    """The cluster's ingest facade: any gateway takes any traffic.
+
+    Mirrors the :class:`~repro.serving.shard.ShardedIngest` surface the
+    HTTP layer consumes, but instead of owning pipelines it *forwards*:
+    each validated chunk is partitioned by the
+    :class:`PartitionBook` and shipped to the owning group's transport.
+    Reads never come through here — the gateway's
+    :class:`~repro.serving.service.PredictionService` sits on the
+    :class:`MirrorStore`, so queries survive any group's death
+    untouched.
+
+    A chunk routed to a dead group is rejected and counted under the
+    **distinct** ``rejected_group_down`` reason (per group), never
+    silently folded into validation drops: operators must be able to
+    tell a malformed stream from a down group at a glance.
+    """
+
+    def __init__(
+        self,
+        book: PartitionBook,
+        transports: Sequence[GroupTransport],
+        mirror: MirrorStore,
+        *,
+        supervisor: Optional["ClusterSupervisor"] = None,
+    ) -> None:
+        if book.partitions != len(transports):
+            raise ValueError(
+                f"book has {book.partitions} partitions for "
+                f"{len(transports)} transports"
+            )
+        self._book = book
+        self.transports = tuple(transports)
+        self.mirror = mirror
+        #: the store surface the HTTP layer reports against (the same
+        #: mirror its PredictionService reads from)
+        self.store = mirror
+        self.supervisor = supervisor
+        self._counter_lock = threading.Lock()
+        self._received = 0
+        self._dropped_invalid = 0
+        self.forwarded = [0] * book.partitions
+        self.rejected_group_down = [0] * book.partitions
+        #: no shared online evaluator in cluster mode (each group's
+        #: admission runs locally); the gateway checks for None
+        self.evaluator = None
+
+    # -- the routing epoch ---------------------------------------------
+
+    @property
+    def book(self) -> PartitionBook:
+        """The current partition book (lock-free reference load)."""
+        return self._book
+
+    def install_book(self, book: PartitionBook) -> None:
+        """Atomically swap in a re-partitioned book (version must grow)."""
+        if book.partitions != len(self.transports):
+            raise ValueError(
+                f"new book has {book.partitions} partitions for "
+                f"{len(self.transports)} transports"
+            )
+        if book.version <= self._book.version:
+            raise ValueError(
+                f"book version must grow: {self._book.version} -> "
+                f"{book.version}"
+            )
+        self._book = book
+
+    # -- submission -----------------------------------------------------
+
+    def _route_valid(
+        self, sources: np.ndarray, targets: np.ndarray, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Routing-level validation: a sample needs a routable source.
+
+        Full admission (guards, dedup, clipping) is the owning group's
+        job; here only what routing itself requires is checked, exactly
+        like the single-box sharded router.
+        """
+        n = self.mirror.n
+        with np.errstate(invalid="ignore"):
+            keep = (
+                np.isfinite(values)
+                & np.isfinite(sources)
+                & np.isfinite(targets)
+                & (sources == np.floor(sources))
+                & (targets == np.floor(targets))
+                & (sources >= 0)
+                & (sources < n)
+                & (targets >= 0)
+                & (targets < n)
+                & (sources != targets)
+            )
+        kept = int(keep.sum())
+        with self._counter_lock:
+            self._received += int(values.size)
+            self._dropped_invalid += int(values.size) - kept
+        return (
+            sources[keep].astype(int),
+            targets[keep].astype(int),
+            values[keep],
+            kept,
+        )
+
+    def submit(self, source: int, target: int, value: float) -> bool:
+        """Route one measurement to its owning group."""
+        src, dst, vals, kept = self._route_valid(
+            np.asarray([source], dtype=float),
+            np.asarray([target], dtype=float),
+            np.asarray([value], dtype=float),
+        )
+        if not kept:
+            return False
+        return self._forward(self._book, self._book.owner_index(src[0]), src, dst, vals) > 0
+
+    def _forward(
+        self,
+        book: PartitionBook,
+        group: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        vals: np.ndarray,
+    ) -> int:
+        transport = self.transports[group]
+        if not transport.alive():
+            with self._counter_lock:
+                self.rejected_group_down[group] += int(vals.size)
+            return 0
+        accepted = transport.submit_many(src, dst, vals)
+        with self._counter_lock:
+            self.forwarded[group] += accepted
+        return accepted
+
+    def submit_many(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        values: np.ndarray,
+    ) -> int:
+        """Partition a batch by owning group and forward each slice.
+
+        Returns the samples the owning groups accepted; slices owned by
+        a dead group are rejected (distinct reason) rather than queued
+        behind an unbounded buffer — the submitter's retry policy, not
+        this gateway's memory, absorbs the outage.
+        """
+        sources = np.asarray(sources, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if not sources.shape == targets.shape == values.shape or sources.ndim != 1:
+            raise ValueError(
+                "sources, targets and values must be matching 1-D arrays"
+            )
+        src, dst, vals, kept = self._route_valid(sources, targets, values)
+        if not kept:
+            return 0
+        book = self._book  # one routing epoch per batch
+        owners = book.owner_indices(src)
+        for g in range(book.partitions):
+            mask = owners == g
+            if not mask.any():
+                continue
+            chunk = (src[mask], dst[mask], vals[mask])
+            kept -= int(chunk[2].size) - self._forward(book, g, *chunk)
+        return kept
+
+    # -- flushing / publishing -----------------------------------------
+
+    def drain(self) -> None:
+        """Block until every live group consumed its queued chunks."""
+        for transport in self.transports:
+            if transport.alive():
+                drain = getattr(getattr(transport, "group", None), "ingest", None)
+                if drain is not None:
+                    drain.drain()
+
+    def flush(self) -> int:
+        """Flush every live group; returns total applied."""
+        applied = 0
+        for transport in self.transports:
+            if transport.alive():
+                applied += transport.flush()
+        return applied
+
+    def publish(self) -> int:
+        """Publish every live group, re-pull the mirror, return version."""
+        for transport in self.transports:
+            if transport.alive():
+                transport.publish()
+        self.mirror.refresh(force=True)
+        return self.mirror.version
+
+    def close(self) -> None:
+        """Shut the whole cluster down (groups, monitor, mirror)."""
+        if self.supervisor is not None:
+            self.supervisor.close()
+        else:
+            for transport in self.transports:
+                group = getattr(transport, "group", None)
+                if group is not None:
+                    group.close()
+
+    # -- introspection --------------------------------------------------
+
+    def _group_ingests(self):
+        for transport in self.transports:
+            group = getattr(transport, "group", None)
+            if group is not None:
+                yield group
+
+    @property
+    def running(self) -> bool:
+        """Whether at least one group is accepting forwarded ingest."""
+        return any(t.alive() for t in self.transports)
+
+    @property
+    def buffered(self) -> int:
+        """Accepted-but-unapplied samples across all groups."""
+        total = 0
+        for group in self._group_ingests():
+            try:
+                total += group.ingest.buffered
+            except Exception:  # a dead group's backlog is unknowable
+                pass
+        return total
+
+    @property
+    def staleness(self) -> int:
+        """Applied-but-unpublished measurements across all groups."""
+        total = 0
+        for group in self._group_ingests():
+            try:
+                total += group.ingest.staleness
+            except Exception:
+                pass
+        return total
+
+    @property
+    def worker_errors(self) -> List[str]:
+        """Aggregated worker errors, group-qualified."""
+        errors: List[str] = []
+        for group in self._group_ingests():
+            errors.extend(
+                f"{group.name}: {err}" for err in group.ingest.worker_errors
+            )
+        return errors
+
+    def stats(self) -> IngestStats:
+        """Aggregated ingest counters: router admission + group applies."""
+        total = IngestStats()
+        for group in self._group_ingests():
+            try:
+                stats = group.ingest.stats()
+            except Exception:
+                continue
+            total.applied += stats.applied
+            total.deduped += stats.deduped
+            total.clipped += stats.clipped
+            total.rejected_guard += stats.rejected_guard
+            total.dropped_nan += stats.dropped_nan
+            total.batches += stats.batches
+            total.publishes += stats.publishes
+            total.since_publish += stats.since_publish
+        with self._counter_lock:
+            total.received = self._received
+            total.dropped_invalid += self._dropped_invalid
+        return total
+
+    def shard_info(self) -> List[Dict[str, object]]:
+        """Every group's per-shard vitals, flattened and group-tagged."""
+        info: List[Dict[str, object]] = []
+        for group in self._group_ingests():
+            try:
+                rows = group.ingest.shard_info()
+            except Exception:
+                rows = []
+            for row in rows:
+                tagged = dict(row)
+                tagged["group"] = group.name
+                info.append(tagged)
+        return info
+
+    def guard_info(self) -> Dict[str, object]:
+        """Aggregated guard state across groups."""
+        infos = []
+        for group in self._group_ingests():
+            try:
+                infos.append(group.ingest.guard_info())
+            except Exception:
+                pass
+        if not infos:
+            return {"mode": None, "rejected_total": 0}
+        merged: Dict[str, object] = {
+            "mode": infos[0].get("mode"),
+            "step_clip": infos[0].get("step_clip"),
+            "deduped": sum(int(i.get("deduped", 0)) for i in infos),
+            "clipped": sum(int(i.get("clipped", 0)) for i in infos),
+            "rejected_total": sum(
+                int(i.get("rejected_total", 0)) for i in infos
+            ),
+        }
+        admissions = [i["admission"] for i in infos if "admission" in i]
+        if admissions:
+            merged["admission"] = {
+                "received": sum(a["received"] for a in admissions),
+                "admitted": sum(a["admitted"] for a in admissions),
+                "rejected_total": sum(
+                    a["rejected_total"] for a in admissions
+                ),
+                "rejected": {
+                    reason: sum(
+                        a["rejected"].get(reason, 0) for a in admissions
+                    )
+                    for reason in admissions[0]["rejected"]
+                },
+            }
+        return merged
+
+    def cluster_info(self) -> Dict[str, object]:
+        """The ``cluster`` section of ``/stats`` and ``/shards``.
+
+        Per group: identity (pid/alive/restarts), the mirror's version
+        lag and pull age against the staleness budget, and this
+        router's forwarded / rejected-down counters.
+        """
+        book = self._book
+        lag = {row["group"]: row for row in self.mirror.lag()}
+        groups: List[Dict[str, object]] = []
+        with self._counter_lock:
+            forwarded = list(self.forwarded)
+            rejected = list(self.rejected_group_down)
+        for g, transport in enumerate(self.transports):
+            try:
+                row = dict(transport.info())
+            except Exception:
+                row = {"group": transport.name, "alive": False}
+            mirror_row = lag.get(transport.name, {})
+            row.update(
+                {
+                    "mirror_version": mirror_row.get("mirror_version"),
+                    "mirror_version_lag": mirror_row.get("version_lag"),
+                    "mirror_age_s": mirror_row.get("age_s"),
+                    "mirror_within_budget": mirror_row.get("within_budget"),
+                    "forwarded": forwarded[g],
+                    "rejected_group_down": rejected[g],
+                }
+            )
+            groups.append(row)
+        info: Dict[str, object] = {
+            "partition_book": book.as_dict(),
+            "mirror": self.mirror.as_dict(),
+            "groups": groups,
+        }
+        if self.supervisor is not None:
+            info["supervisor"] = self.supervisor.as_dict()
+        return info
+
+    def stats_payload(self) -> Dict[str, object]:
+        """``ingest`` + ``guard`` + ``shards`` + ``cluster`` sections."""
+        ingest = self.stats().as_dict()
+        ingest["buffered"] = self.buffered
+        ingest["workers"] = "cluster"
+        ingest["groups"] = len(self.transports)
+        with self._counter_lock:
+            ingest["forwarded"] = sum(self.forwarded)
+            ingest["rejected_group_down"] = sum(self.rejected_group_down)
+        errors = self.worker_errors
+        if errors:
+            ingest["worker_errors"] = errors
+        return {
+            "ingest": ingest,
+            "guard": self.guard_info(),
+            "shards": self.shard_info(),
+            "cluster": self.cluster_info(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoutingGateway(groups={len(self.transports)}, "
+            f"book_version={self._book.version})"
+        )
+
+
+class ClusterSupervisor:
+    """Composes worker groups into one supervised cluster plane.
+
+    Owns the :class:`PartitionBook`, the transports, the
+    :class:`MirrorStore` and the :class:`RoutingGateway`; its monitor
+    thread is the cluster's control loop:
+
+    1. **heartbeat** — every ``heartbeat_interval`` seconds each
+       group's liveness is checked (worker processes alive + heartbeat
+       slots advancing).  A dead group is marked down, which flips the
+       routing tier to the degraded mode the tentpole promises: its
+       ingest is rejected with the distinct ``rejected_group_down``
+       reason while reads keep serving from the last mirror;
+    2. **restart** — with ``auto_restart`` the dead group is restarted
+       in place (process workers re-attach to shared memory and salvage
+       their queues) and re-enters the routing plane;
+    3. **replication** — the mirror is refreshed at half the staleness
+       budget, and (thread groups) freshly pulled foreign rows are
+       pushed back into each group's engine as stale neighbor state —
+       the paper's asynchrony budget, closed across groups.
+
+    Use as a context manager or call :meth:`start` / :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[WorkerGroup],
+        *,
+        staleness_budget: float = 0.5,
+        heartbeat_interval: float = 0.1,
+        auto_restart: bool = True,
+        monitor: bool = True,
+        propagate_foreign: bool = True,
+    ) -> None:
+        if len(groups) < 1:
+            raise ValueError("a cluster needs at least one worker group")
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got {heartbeat_interval}"
+            )
+        indices = [group.index for group in groups]
+        if indices != list(range(len(groups))):
+            raise ValueError(
+                f"group indices must be 0..{len(groups) - 1} in order, "
+                f"got {indices}"
+            )
+        self.groups = list(groups)
+        self.book = PartitionBook([group.name for group in groups])
+        self.transports: List[GroupTransport] = [
+            LocalGroupTransport(group) for group in groups
+        ]
+        self.mirror = MirrorStore(
+            self.transports, staleness_budget=staleness_budget
+        )
+        self.router = RoutingGateway(
+            self.book, self.transports, self.mirror, supervisor=self
+        )
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.auto_restart = bool(auto_restart)
+        self.propagate_foreign = bool(propagate_foreign)
+        self._monitor_enabled = bool(monitor)
+        self._monitor_stop = threading.Event()
+        self._monitor_thread: Optional[threading.Thread] = None
+        self.deaths = [0] * len(groups)
+        self.group_restarts = [0] * len(groups)
+        self.errors: List[str] = []
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "ClusterSupervisor":
+        """Prime the mirror and start the monitor; returns self."""
+        self.mirror.refresh(force=True)
+        if self._monitor_enabled and self._monitor_thread is None:
+            self._monitor_stop.clear()
+            self._monitor_thread = threading.Thread(
+                target=self._monitor_loop,
+                name="repro-cluster-monitor",
+                daemon=True,
+            )
+            self._monitor_thread.start()
+        return self
+
+    def _monitor_loop(self) -> None:
+        pull_interval = self.mirror.staleness_budget / 2.0
+        next_pull = 0.0
+        while not self._monitor_stop.wait(self.heartbeat_interval):
+            self.check_groups()
+            now = time.monotonic()
+            if now >= next_pull:
+                self.refresh_mirror()
+                next_pull = now + pull_interval
+
+    def check_groups(self) -> List[int]:
+        """One heartbeat pass: detect deaths, restart if configured.
+
+        Returns the indices of groups found newly dead this pass
+        (exposed so tests and the bench can drive supervision without
+        the timing of a monitor thread).
+        """
+        died: List[int] = []
+        for g, group in enumerate(self.groups):
+            if group.is_down:
+                # already out of the routing plane; try to bring it back
+                if self.auto_restart:
+                    self._restart(g, group)
+                continue
+            if not group.alive:
+                group.mark_down()
+                self.deaths[g] += 1
+                died.append(g)
+                if self.auto_restart:
+                    self._restart(g, group)
+        return died
+
+    def _restart(self, g: int, group: WorkerGroup) -> None:
+        try:
+            group.restart()
+            self.group_restarts[g] += 1
+        except Exception as exc:  # keep supervising the other groups
+            group.mark_down()
+            self.errors.append(f"restart {group.name}: {exc!r}")
+
+    def refresh_mirror(self) -> int:
+        """One replication pass: pull mirrors, push foreign rows back."""
+        try:
+            updated = self.mirror.refresh()
+        except RuntimeError:  # not primed and every pull failed
+            return 0
+        if self.propagate_foreign:
+            parts = self.mirror._parts
+            if parts is not None:
+                for group in self.groups:
+                    group.refresh_foreign(parts)
+        return updated
+
+    def close(self) -> None:
+        """Stop the monitor and every group (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._monitor_stop.set()
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=5.0)
+            self._monitor_thread = None
+        for group in self.groups:
+            try:
+                group.close()
+            except Exception as exc:  # release the rest regardless
+                self.errors.append(f"close {group.name}: {exc!r}")
+
+    def __enter__(self) -> "ClusterSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- checkpointing --------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Authoritative cluster version (dead groups fall back to mirror)."""
+        total = 0
+        parts = self.mirror._parts
+        for g, transport in enumerate(self.transports):
+            try:
+                total += transport.version()
+            except Exception:
+                if parts is not None:
+                    total += parts[g].version
+        return total
+
+    def save(self, path: "str | object") -> None:
+        """Checkpoint the cluster: fresh pull, then the sharded format.
+
+        The file is a plain ``shards=G`` checkpoint, so it reloads into
+        any stack — including a cluster with a *different* group count,
+        where the shard-mismatch path re-partitions the factors and
+        carries the summed version forward (never rewound).
+        """
+        self.mirror.refresh(force=True)
+        self.mirror.save(path)
+
+    # -- introspection --------------------------------------------------
+
+    def alive(self, group: int) -> bool:
+        """Whether one group is currently in the routing plane."""
+        return self.groups[group].alive
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready supervision counters."""
+        return {
+            "heartbeat_interval_s": self.heartbeat_interval,
+            "auto_restart": self.auto_restart,
+            "monitoring": self._monitor_thread is not None,
+            "deaths": list(self.deaths),
+            "group_restarts": list(self.group_restarts),
+            "errors": list(self.errors),
+        }
+
+    def status(self) -> Dict[str, object]:
+        """The full cluster status (the router's ``cluster`` section)."""
+        return self.router.cluster_info()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        alive = sum(1 for group in self.groups if group.alive)
+        return (
+            f"ClusterSupervisor(groups={len(self.groups)}, alive={alive}, "
+            f"budget={self.mirror.staleness_budget}s)"
+        )
+
+
+def build_cluster(
+    coordinates: Union[CoordinateTable, Tuple[np.ndarray, np.ndarray], None] = None,
+    *,
+    groups: int = 2,
+    shards: int = 1,
+    workers: str = "threads",
+    group_names: Optional[Sequence[str]] = None,
+    config: Optional[DMFSGDConfig] = None,
+    metric: Union[str, Metric] = Metric.RTT,
+    classify: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    batch_size: int = 256,
+    refresh_interval: int = 1000,
+    mode: str = "guarded",
+    step_clip: Optional[float] = None,
+    guard_factory: Optional[Callable[[], object]] = None,
+    queue_depth: int = 64,
+    mp_start_method: Optional[str] = None,
+    staleness_budget: float = 0.5,
+    heartbeat_interval: float = 0.1,
+    auto_restart: bool = True,
+    monitor: bool = True,
+    propagate_foreign: bool = True,
+    checkpoint: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> ClusterSupervisor:
+    """Assemble a :class:`ClusterSupervisor` over ``groups`` worker groups.
+
+    Each group gets its own full-model copy (store + engine or worker
+    processes) and an unmodified PR 3/PR 5 ingest stack with ``shards``
+    internal partitions; the partition book routes sources across the
+    groups.  The supervisor is returned un-started — call
+    :meth:`ClusterSupervisor.start` (or use it as a context manager).
+
+    Parameters
+    ----------
+    coordinates:
+        Initial model — a :class:`CoordinateTable` or ``(U, V)`` pair —
+        copied per group.  Ignored when ``checkpoint`` is given.
+    checkpoint:
+        Optional sharded/single-store ``.npz``; loaded with
+        ``shards=groups``, so a checkpoint written by a cluster of a
+        different group count is re-partitioned with its summed version
+        carried forward.  Each group's carried version is split across
+        its internal shards by ceiling division (the global sum never
+        shrinks).
+    guard_factory:
+        Optional zero-arg callable building one fresh
+        :class:`~repro.serving.guard.AdmissionGuard` per internal shard
+        of every group (guards are stateful and never shared).
+    workers:
+        ``"threads"`` or ``"processes"`` — the per-group ingest
+        execution model.  Process groups run their
+        :class:`~repro.serving.procs.WorkerSupervisor` with
+        ``monitor=False``: the cluster supervisor owns death detection
+        and restarts.
+    """
+    if groups < 1:
+        raise ValueError(f"groups must be >= 1, got {groups}")
+    if workers not in ("threads", "processes"):
+        raise ValueError(
+            f"workers must be 'threads' or 'processes', got {workers!r}"
+        )
+    if group_names is None:
+        group_names = [f"g{g}" for g in range(groups)]
+    elif len(group_names) != groups:
+        raise ValueError(
+            f"got {len(group_names)} names for {groups} groups"
+        )
+    config = config or DMFSGDConfig()
+    metric = Metric.parse(metric)
+
+    if checkpoint is not None:
+        loaded = ShardedCoordinateStore.load(checkpoint, shards=groups)
+        U, V = loaded.as_full_arrays()
+        group_versions = loaded.versions
+    else:
+        if coordinates is None:
+            raise ValueError("pass coordinates= or checkpoint=")
+        if isinstance(coordinates, CoordinateTable):
+            U, V = coordinates.U, coordinates.V
+        else:
+            U, V = coordinates
+        U = np.asarray(U, dtype=float)
+        V = np.asarray(V, dtype=float)
+        group_versions = [1] * groups
+
+    n = U.shape[0]
+    if n < groups * max(1, shards):
+        raise ValueError(
+            f"{n} nodes cannot back {groups} group(s) x {shards} shard(s)"
+        )
+
+    built: List[WorkerGroup] = []
+    try:
+        for g in range(groups):
+            # each internal shard starts at ceil(v_g / shards): the
+            # group's summed version never rewinds across the split
+            per_shard = -(-int(group_versions[g]) // shards)
+            versions = [per_shard] * shards
+            guards = None
+            if guard_factory is not None:
+                made = [guard_factory() for _ in range(shards)]
+                guards = None if made[0] is None else made
+            table = CoordinateTable.from_arrays(U, V)
+            if workers == "processes":
+                store: Union[ProcessShardedStore, ShardedCoordinateStore]
+                store = ProcessShardedStore.create(
+                    table, shards=shards, versions=versions
+                )
+                spec = WorkerSpec(
+                    engine=EngineSpec(
+                        n=n, config=config, metric=metric, seed=seed
+                    ),
+                    classify=classify,
+                    batch_size=batch_size,
+                    refresh_interval=refresh_interval,
+                    mode=mode,
+                    step_clip=step_clip,
+                    guards=guards,
+                )
+
+                def factory(
+                    store=store, spec=spec
+                ) -> ProcessShardedIngest:
+                    supervisor = WorkerSupervisor(
+                        store,
+                        spec,
+                        queue_depth=queue_depth,
+                        start_method=mp_start_method,
+                        monitor=False,
+                    ).start()
+                    return ProcessShardedIngest(store, supervisor)
+
+            else:
+                engine = DMFSGDEngine(
+                    n,
+                    null_label_fn,
+                    config,
+                    metric=metric,
+                    rng=seed if seed is None else seed + g,
+                )
+                engine.coordinates = table
+                store = ShardedCoordinateStore(
+                    table, shards=shards, versions=versions
+                )
+
+                def factory(
+                    engine=engine, store=store, guards=guards
+                ) -> ShardedIngest:
+                    return ShardedIngest(
+                        engine,
+                        store,
+                        classify=classify,
+                        batch_size=batch_size,
+                        refresh_interval=refresh_interval,
+                        mode=mode,
+                        step_clip=step_clip,
+                        guards=guards,
+                        queue_depth=queue_depth,
+                    )
+
+            built.append(
+                WorkerGroup(
+                    group_names[g], g, store, factory, workers=workers
+                )
+            )
+    except Exception:
+        for group in built:
+            group.close()
+        raise
+
+    return ClusterSupervisor(
+        built,
+        staleness_budget=staleness_budget,
+        heartbeat_interval=heartbeat_interval,
+        auto_restart=auto_restart,
+        monitor=monitor,
+        propagate_foreign=propagate_foreign,
+    )

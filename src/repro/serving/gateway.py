@@ -26,6 +26,8 @@ GET       ``/health``              liveness + model vitals
 GET       ``/version``             served snapshot version
 GET       ``/stats``               service + ingest + guard + shards + ...
 GET       ``/shards``              per-shard queue depth / snapshot age
+                                   (+ ``cluster`` section on a cluster
+                                   gateway: per-group health + mirrors)
 GET       ``/membership``          epoch, node count, tombstones, pending ops
 GET       ``/predict``             ``?src=i&dst=j`` single-pair prediction
 GET       ``/predict_from``        ``?src=i[&targets=j,k,...]`` one-to-many
@@ -186,7 +188,11 @@ class GatewayCore:
             shard_info = getattr(self.ingest, "shard_info", None)
             if shard_info is None:
                 return 400, {"error": "gateway is not sharded"}
-            return 200, {"shards": shard_info()}
+            payload = {"shards": shard_info()}
+            cluster_info = getattr(self.ingest, "cluster_info", None)
+            if cluster_info is not None:
+                payload["cluster"] = cluster_info()
+            return 200, payload
         if path == "/predict":
             src = _get_int(params, "src")
             dst = _get_int(params, "dst")

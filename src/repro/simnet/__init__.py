@@ -17,7 +17,12 @@ provides the machinery to execute such protocols faithfully:
 """
 
 from repro.simnet.events import EventQueue, ScheduledEvent
-from repro.simnet.livefeed import ChurnDriver, LiveFeedDriver, replay_trace
+from repro.simnet.livefeed import (
+    ChurnDriver,
+    ClusterOutageDriver,
+    LiveFeedDriver,
+    replay_trace,
+)
 from repro.simnet.messages import Message
 from repro.simnet.neighbors import NeighborSet, sample_neighbor_sets
 from repro.simnet.node import SimNode
@@ -34,6 +39,7 @@ __all__ = [
     "sample_neighbor_sets",
     "TraceReplaySimulation",
     "ChurnDriver",
+    "ClusterOutageDriver",
     "LiveFeedDriver",
     "replay_trace",
 ]

@@ -24,6 +24,11 @@ produces the traffic:
   — turning the offline churn experiment
   (:func:`repro.experiments.ext_robustness.run_churn`) into live
   traffic on the serving stack;
+* :class:`ClusterOutageDriver` replays worker-group kill/restart
+  schedules against a cluster plane
+  (:class:`~repro.serving.cluster.ClusterSupervisor`) while other
+  drivers keep the traffic flowing — the failure half of the cluster
+  availability story as scripted simulator input;
 * :func:`replay_trace` streams an existing
   :class:`~repro.datasets.trace.MeasurementTrace` (e.g. the Harvard
   stream) into a sink in time order.
@@ -49,6 +54,7 @@ __all__ = [
     "LiveFeedDriver",
     "HotPairDriver",
     "ChurnDriver",
+    "ClusterOutageDriver",
     "replay_trace",
 ]
 
@@ -461,6 +467,153 @@ class ChurnDriver:
         return (
             f"ChurnDriver(joins={self.joins_done}, leaves={self.leaves_done}, "
             f"failures={self.failures})"
+        )
+
+
+class ClusterOutageDriver:
+    """Replays worker-group outage schedules against a cluster plane.
+
+    The cluster's availability claim is about *failures*: a SIGKILLed
+    worker group must not take queries down with it.  This driver is
+    the scripted failure injector — the churn driver's sibling one
+    level up, flapping whole worker groups instead of single nodes —
+    so a simulator run can interleave probe traffic
+    (:class:`LiveFeedDriver` aimed at the cluster's routing gateway,
+    which satisfies :class:`MeasurementSink`) with kills and restarts
+    and then assert on the supervisor's detection counters.
+
+    Two modes, like :class:`ChurnDriver`:
+
+    * **explicit schedule** — a sequence of ``("kill", g)`` /
+      ``("restart", g)`` / ``("idle", None)`` ops applied one per
+      :meth:`step` (:meth:`flap_schedule` builds the
+      kill-idle-restart cycle for a set of groups);
+    * **stochastic outages** — with ``kill_rate``, each :meth:`step`
+      rolls to kill one random live group, never the last one (total
+      blackout makes availability trivially zero and tests nothing).
+
+    With ``detect=True`` (default) every step also runs one supervisor
+    heartbeat pass (:meth:`~repro.serving.cluster.ClusterSupervisor.check_groups`),
+    so detection/restart happen deterministically in-step instead of
+    racing a monitor thread — simulator runs stay reproducible.
+
+    Parameters
+    ----------
+    supervisor:
+        The :class:`~repro.serving.cluster.ClusterSupervisor` under
+        test (works with its monitor thread off).
+    schedule:
+        Optional explicit op list; when exhausted :meth:`step` returns
+        ``None``.
+    kill_rate:
+        Per-step kill probability for stochastic mode (ignored when a
+        schedule is given).
+    detect:
+        Run one supervisor heartbeat pass per step.
+    rng:
+        Seed/generator for stochastic choices.
+    """
+
+    def __init__(
+        self,
+        supervisor,
+        *,
+        schedule: Optional[list] = None,
+        kill_rate: float = 0.0,
+        detect: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        self.supervisor = supervisor
+        self.schedule = list(schedule) if schedule is not None else None
+        self.kill_rate = check_probability(kill_rate, "kill_rate")
+        self.detect = bool(detect)
+        self._rng = ensure_rng(rng)
+        self._cursor = 0
+        self.kills_done = 0
+        self.restarts_done = 0
+        self.detections = 0
+        self.failures = 0
+        self.events: list = []  # (op, group, detail) per applied change
+
+    @staticmethod
+    def flap_schedule(group_indices: Iterable[int], *, idle: int = 2) -> list:
+        """Kill each listed group, hold it down ``idle`` steps, restart.
+
+        The sequential single-failure pattern the acceptance bench
+        measures availability under — at most one group is ever down.
+        """
+        ops: list = []
+        for g in group_indices:
+            ops.append(("kill", int(g)))
+            ops.extend(("idle", None) for _ in range(idle))
+            ops.append(("restart", int(g)))
+        return ops
+
+    def _apply(self, op: str, group: Optional[int]):
+        try:
+            if op == "kill":
+                self.supervisor.groups[int(group)].kill()
+                self.kills_done += 1
+            elif op == "restart":
+                self.supervisor.groups[int(group)].restart()
+                self.restarts_done += 1
+            self.events.append((op, group, None))
+            return {"op": op, "group": group}
+        except Exception as exc:
+            # one failed injection must not kill a long replay; counted
+            # and surfaced, like the churn driver's rejected ops
+            self.failures += 1
+            self.events.append((f"{op}-failed", group, repr(exc)))
+            return {"op": op, "group": group, "error": repr(exc)}
+
+    def step(self):
+        """Apply the next op (or roll a stochastic kill), then detect.
+
+        Returns the applied op's dict, or ``None`` when nothing
+        happened this step (schedule exhausted / no roll fired).
+        """
+        result = None
+        if self.schedule is not None:
+            if self._cursor < len(self.schedule):
+                op, group = self.schedule[self._cursor]
+                self._cursor += 1
+                if op not in ("kill", "restart", "idle"):
+                    raise ValueError(
+                        f"schedule ops must be kill/restart/idle, got {op!r}"
+                    )
+                if op != "idle":
+                    result = self._apply(op, group)
+        elif self.kill_rate and self._rng.random() < self.kill_rate:
+            live = [
+                g
+                for g, group in enumerate(self.supervisor.groups)
+                if group.alive
+            ]
+            if len(live) > 1:
+                pick = int(self._rng.choice(np.asarray(live)))
+                result = self._apply("kill", pick)
+        if self.detect:
+            died = self.supervisor.check_groups()
+            self.detections += len(died)
+            # a supervisor restart (auto_restart) is a restart this
+            # driver caused indirectly; count it so totals balance
+            for g in died:
+                self.events.append(("detected", g, None))
+        return result
+
+    def run(self, steps: int) -> int:
+        """Drive ``steps`` outage steps; returns ops applied."""
+        if steps <= 0:
+            raise ValueError(f"steps must be positive, got {steps}")
+        before = self.kills_done + self.restarts_done
+        for _ in range(steps):
+            self.step()
+        return self.kills_done + self.restarts_done - before
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterOutageDriver(kills={self.kills_done}, "
+            f"restarts={self.restarts_done}, detections={self.detections})"
         )
 
 

@@ -18,6 +18,11 @@ def pytest_configure(config):
         "markers",
         "mp_smoke: fast multi-process serving tests (tier-1, < 60 s total)",
     )
+    config.addinivalue_line(
+        "markers",
+        "cluster_smoke: fast cluster-plane tests (tier-1, ~5 s: "
+        "2 groups, one kill/restart, reads never fail)",
+    )
 
 
 @pytest.fixture

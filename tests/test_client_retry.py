@@ -1,0 +1,167 @@
+"""Client retry-with-backoff against a flapping server.
+
+A worker-group restart or gateway failover looks like a connection
+reset/refused to callers; :class:`~repro.serving.client.ServingClient`
+absorbs a bounded number of those with exponential backoff.  The
+flapping server here slams the first ``k`` connections shut without a
+response — exactly the restart window — then answers normally.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving.client import GatewayError, ServingClient
+
+
+class FlappingServer:
+    """Closes the first ``flaps`` connections cold, then answers.
+
+    ``status`` controls the eventual answer (200 JSON payload, or an
+    error status with a JSON ``error`` body, to pin that HTTP errors
+    are *not* retried).
+    """
+
+    def __init__(self, *, flaps: int, status: int = 200) -> None:
+        self.flaps = flaps
+        self.status = status
+        self.connections = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        # set before the thread starts: a test that never connects may
+        # close the socket before the serve loop's first statement runs
+        self._sock.settimeout(0.1)
+        self.port = self._sock.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self.connections += 1
+            if self.connections <= self.flaps:
+                # the restart window: slam the connection shut with no
+                # response (RemoteDisconnected / ECONNRESET client-side)
+                conn.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    b"\x01\x00\x00\x00\x00\x00\x00\x00",
+                )
+                conn.close()
+                continue
+            try:
+                conn.recv(65536)
+                if self.status == 200:
+                    body = json.dumps({"version": 7}).encode()
+                else:
+                    body = json.dumps({"error": "nope"}).encode()
+                reason = "OK" if self.status == 200 else "Bad Request"
+                conn.sendall(
+                    f"HTTP/1.1 {self.status} {reason}\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n".encode() + body
+                )
+            finally:
+                conn.close()
+
+    def __enter__(self) -> "FlappingServer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._sock.close()
+        self._thread.join(timeout=5.0)
+
+
+def test_retries_through_flapping_server():
+    with FlappingServer(flaps=2) as server:
+        client = ServingClient(server.url, retries=3, retry_delay=0.01)
+        assert client.version() == 7
+        assert client.retries_used == 2
+        assert server.connections == 3
+
+
+def test_fail_fast_with_zero_retries():
+    with FlappingServer(flaps=1) as server:
+        client = ServingClient(server.url, retries=0)
+        with pytest.raises(Exception) as excinfo:
+            client.version()
+        assert isinstance(excinfo.value, ConnectionError) or (
+            isinstance(getattr(excinfo.value, "reason", None), ConnectionError)
+        )
+        assert client.retries_used == 0
+
+
+def test_retries_exhausted_raises():
+    with FlappingServer(flaps=100) as server:
+        client = ServingClient(server.url, retries=2, retry_delay=0.01)
+        with pytest.raises(Exception):
+            client.version()
+        assert client.retries_used == 2
+        assert server.connections == 3  # 1 attempt + 2 retries
+
+
+def test_connection_refused_retried_then_raised():
+    # grab a free port and close it: connections are refused
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    client = ServingClient(
+        f"http://127.0.0.1:{port}", retries=2, retry_delay=0.01
+    )
+    with pytest.raises(Exception):
+        client.health()
+    assert client.retries_used == 2
+
+
+def test_http_errors_are_not_retried():
+    with FlappingServer(flaps=0, status=400) as server:
+        client = ServingClient(server.url, retries=3, retry_delay=0.01)
+        with pytest.raises(GatewayError) as excinfo:
+            client.version()
+        assert excinfo.value.status == 400
+        assert client.retries_used == 0
+        assert server.connections == 1
+
+
+def test_post_body_resubmitted_on_retry():
+    with FlappingServer(flaps=1) as server:
+        client = ServingClient(server.url, retries=2, retry_delay=0.01)
+        # POST path goes through the same retry loop with its payload
+        result = client._request("/refresh", {})
+        assert result == {"version": 7}
+        assert client.retries_used == 1
+
+
+def test_sink_protocol_still_satisfied():
+    # submit_many remains the LiveFeedDriver-compatible sink surface
+    with FlappingServer(flaps=0) as server:
+        client = ServingClient(server.url, retries=1)
+        assert hasattr(client, "submit_many")
+        assert np.asarray([1]).dtype.kind == "i"  # keep numpy imported
+
+
+def test_retry_parameter_validation():
+    with pytest.raises(ValueError, match="retries"):
+        ServingClient("http://x", retries=-1)
+    with pytest.raises(ValueError, match="retry_delay"):
+        ServingClient("http://x", retry_delay=-0.1)

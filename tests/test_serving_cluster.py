@@ -1,0 +1,515 @@
+"""Cluster plane: partition book, mirrors, routing, supervision.
+
+The tier-1 ``cluster_smoke`` test is the contract the ISSUE names: two
+in-process worker groups behind the routing tier, one killed and
+restarted mid-traffic, and reads never fail.  The rest pins the pieces:
+book versioning, bitwise mirror/direct parity at the mirrored version,
+the distinct ``rejected_group_down`` reason, checkpoint interop across
+a group-count change, and the supervisor's detect/restart loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.serving import build_gateway, ServingClient
+from repro.serving.cluster import (
+    ClusterSupervisor,
+    LocalGroupTransport,
+    MirrorStore,
+    PartitionBook,
+    build_cluster,
+)
+from repro.serving.shard import ShardedCoordinateStore, ShardedSnapshot
+from repro.simnet.livefeed import ClusterOutageDriver
+
+
+def make_factors(n=36, rank=6, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(n, rank)), rng.normal(size=(n, rank))
+
+
+def make_cluster(n=36, groups=2, shards=2, seed=0, **kwargs):
+    U, V = make_factors(n=n, seed=seed)
+    kwargs.setdefault("monitor", False)
+    kwargs.setdefault("workers", "threads")
+    return build_cluster(
+        (U, V), groups=groups, shards=shards, seed=seed, **kwargs
+    )
+
+
+def traffic(n, count, seed=1):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=count)
+    dst = (src + 1 + rng.integers(0, n - 1, size=count)) % n
+    vals = np.abs(rng.normal(100.0, 15.0, size=count)) + 1.0
+    return src, dst, vals
+
+
+# ----------------------------------------------------------------------
+# PartitionBook
+# ----------------------------------------------------------------------
+
+
+class TestPartitionBook:
+    def test_routes_by_src_mod_p(self):
+        book = PartitionBook(["a", "b", "c"])
+        assert book.partitions == 3
+        assert book.owner(0) == "a"
+        assert book.owner(4) == "b"
+        assert book.owner(5) == "c"
+        np.testing.assert_array_equal(
+            book.owner_indices(np.array([0, 1, 2, 3])), [0, 1, 2, 0]
+        )
+
+    def test_versioning_and_remap(self):
+        book = PartitionBook(["a", "b"])
+        assert book.version == 1
+        remapped = book.remap(["a", "b", "c"])
+        assert remapped.version == 2
+        assert remapped.partitions == 3
+        # the original epoch is untouched
+        assert book.version == 1 and book.partitions == 2
+
+    def test_immutable(self):
+        book = PartitionBook(["a"])
+        with pytest.raises(AttributeError):
+            book.version = 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one group"):
+            PartitionBook([])
+        with pytest.raises(ValueError, match="unique"):
+            PartitionBook(["a", "a"])
+        with pytest.raises(ValueError, match="version"):
+            PartitionBook(["a"], version=0)
+
+    def test_as_dict(self):
+        assert PartitionBook(["x", "y"]).as_dict() == {
+            "version": 1,
+            "partitions": 2,
+            "groups": ["x", "y"],
+        }
+
+
+# ----------------------------------------------------------------------
+# build_cluster validation
+# ----------------------------------------------------------------------
+
+
+class TestBuildCluster:
+    def test_rejects_bad_arguments(self):
+        U, V = make_factors()
+        with pytest.raises(ValueError, match="groups"):
+            build_cluster((U, V), groups=0)
+        with pytest.raises(ValueError, match="workers"):
+            build_cluster((U, V), workers="fibers")
+        with pytest.raises(ValueError, match="coordinates"):
+            build_cluster(None)
+        with pytest.raises(ValueError, match="names"):
+            build_cluster((U, V), groups=2, group_names=["only-one"])
+        with pytest.raises(ValueError, match="cannot back"):
+            build_cluster((U, V), groups=20, shards=4)
+
+    def test_groups_own_disjoint_sources(self):
+        with make_cluster() as sup:
+            src, dst, vals = traffic(36, 400)
+            sup.router.submit_many(src, dst, vals)
+            sup.router.flush()
+            # group g applied only sources with src % 2 == g: its
+            # engine rows for foreign sources never moved
+            for g, group in enumerate(sup.groups):
+                table = group.ingest.engine.coordinates
+                init_U, _ = make_factors()
+                other = 1 - g
+                np.testing.assert_array_equal(
+                    table.U[other::2], init_U[other::2]
+                )
+
+    def test_forwarded_counters_balance(self):
+        with make_cluster(mode="raw") as sup:
+            src, dst, vals = traffic(36, 300)
+            accepted = sup.router.submit_many(src, dst, vals)
+            assert accepted == 300
+            assert sum(sup.router.forwarded) == accepted
+            stats = sup.router.stats()
+            assert stats.received == 300
+
+
+# ----------------------------------------------------------------------
+# MirrorStore
+# ----------------------------------------------------------------------
+
+
+class TestMirrorStore:
+    def test_requires_prime(self):
+        U, V = make_factors()
+        sup = build_cluster((U, V), groups=2, monitor=False)
+        try:
+            with pytest.raises(RuntimeError, match="primed"):
+                sup.mirror.snapshot()
+            sup.mirror.refresh(force=True)
+            assert sup.mirror.snapshot().n == 36
+        finally:
+            sup.close()
+
+    def test_mirror_matches_direct_reads_bitwise(self):
+        """Acceptance: mirror reads == direct group reads at the
+        mirrored version, bitwise."""
+        with make_cluster() as sup:
+            src, dst, vals = traffic(36, 500)
+            sup.router.submit_many(src, dst, vals)
+            sup.router.flush()
+            sup.router.publish()  # forces publish + mirror re-pull
+            parts = []
+            for g, group in enumerate(sup.groups):
+                mirror_part = sup.mirror._parts[g]
+                direct = group.store.snapshot()
+                dU, dV = direct._dense_view()
+                assert mirror_part.version == direct.version
+                np.testing.assert_array_equal(mirror_part.U, dU[g::2])
+                np.testing.assert_array_equal(mirror_part.V, dV[g::2])
+                parts.append(group.pull(g, 2))
+            # and whole-snapshot estimates agree with a fresh pull
+            qsrc, qdst, _ = traffic(36, 64, seed=9)
+            np.testing.assert_array_equal(
+                sup.mirror.snapshot().estimate_pairs(qsrc, qdst),
+                ShardedSnapshot(tuple(parts)).estimate_pairs(qsrc, qdst),
+            )
+
+    def test_refresh_pulls_only_changed_groups(self):
+        with make_cluster() as sup:
+            pulls0 = list(sup.mirror.pulls)
+            # only group 0's sources: group 1's version never moves
+            src = np.full(64, 2)
+            dst = np.arange(64) % 36
+            dst = np.where(dst == 2, 3, dst)
+            vals = np.full(64, 50.0)
+            sup.groups[0].submit_many(src, dst, vals)
+            sup.groups[0].flush()
+            sup.groups[0].publish()
+            updated = sup.mirror.refresh()
+            assert updated == 1
+            assert sup.mirror.pulls[0] == pulls0[0] + 1
+            assert sup.mirror.pulls[1] == pulls0[1]
+
+    def test_dead_group_keeps_last_mirror(self):
+        with make_cluster(auto_restart=False) as sup:
+            version_before = sup.mirror.versions[1]
+            sup.groups[1].kill()
+            # pull of the down group fails; last mirror part survives
+            sup.mirror.refresh(force=True)
+            assert sup.mirror.versions[1] == version_before
+            assert sup.mirror.pull_failures[1] >= 1
+            assert sup.mirror.snapshot().n == 36  # reads still compose
+
+    def test_lag_and_budget(self):
+        with make_cluster(staleness_budget=30.0) as sup:
+            rows = sup.mirror.lag()
+            assert [row["group"] for row in rows] == ["g0", "g1"]
+            assert all(row["within_budget"] for row in rows)
+            assert all(row["version_lag"] == 0 for row in rows)
+
+    def test_staleness_budget_validation(self):
+        U, V = make_factors()
+        store = ShardedCoordinateStore((U, V), shards=1)
+        transport = LocalGroupTransport.__new__(LocalGroupTransport)
+        with pytest.raises(ValueError, match="staleness_budget"):
+            MirrorStore([transport], staleness_budget=0.0)
+        with pytest.raises(ValueError, match="at least one"):
+            MirrorStore([], staleness_budget=1.0)
+        del store
+
+
+# ----------------------------------------------------------------------
+# failure handling
+# ----------------------------------------------------------------------
+
+
+class TestFailureHandling:
+    def test_dead_group_rejected_with_distinct_reason(self):
+        with make_cluster(auto_restart=False) as sup:
+            sup.groups[1].kill()
+            src, dst, vals = traffic(36, 200)
+            sup.router.submit_many(src, dst, vals)
+            owned_by_1 = int((src % 2 == 1).sum())
+            assert sup.router.rejected_group_down[1] == owned_by_1
+            assert sup.router.rejected_group_down[0] == 0
+            # distinct from validation drops
+            assert sup.router.stats().dropped_invalid == 0
+            payload = sup.router.stats_payload()
+            assert payload["ingest"]["rejected_group_down"] == owned_by_1
+
+    def test_supervisor_detects_and_restarts(self):
+        with make_cluster() as sup:
+            # a silent death: the ingest stack stops without mark_down
+            sup.groups[0].ingest.close()
+            assert not sup.groups[0].alive
+            died = sup.check_groups()
+            assert died == [0]
+            assert sup.deaths == [1, 0]
+            assert sup.group_restarts == [1, 0]
+            assert sup.groups[0].alive
+            src, dst, vals = traffic(36, 100)
+            assert sup.router.submit_many(src, dst, vals) == 100
+
+    def test_restart_resumes_versions(self):
+        with make_cluster() as sup:
+            src, dst, vals = traffic(36, 200)
+            sup.router.submit_many(src, dst, vals)
+            sup.router.flush()
+            sup.router.publish()
+            version = sup.groups[1].version
+            sup.groups[1].kill()
+            sup.groups[1].restart()
+            assert sup.groups[1].version == version  # nothing rewound
+            sup.router.submit_many(src, dst, vals)
+            sup.router.flush()
+            assert sup.groups[1].publish() > version
+
+    def test_outage_driver_flap(self):
+        with make_cluster() as sup:
+            driver = ClusterOutageDriver(
+                sup,
+                schedule=ClusterOutageDriver.flap_schedule([0, 1], idle=1),
+            )
+            ops = driver.run(len(driver.schedule))
+            assert ops == 4  # 2 kills + 2 restarts
+            assert driver.kills_done == 2 and driver.restarts_done == 2
+            assert all(group.alive for group in sup.groups)
+
+    def test_outage_driver_stochastic_never_kills_last_group(self):
+        with make_cluster(auto_restart=False) as sup:
+            driver = ClusterOutageDriver(
+                sup, kill_rate=1.0, detect=False, rng=3
+            )
+            driver.run(10)
+            assert driver.kills_done == 1  # second kill refused: last group
+            assert sum(group.alive for group in sup.groups) == 1
+
+
+# ----------------------------------------------------------------------
+# checkpoint interop across partition remapping
+# ----------------------------------------------------------------------
+
+
+class TestCheckpointInterop:
+    def test_g2_checkpoint_reloads_into_g3(self, tmp_path):
+        path = tmp_path / "cluster.npz"
+        with make_cluster() as sup:
+            src, dst, vals = traffic(36, 400)
+            sup.router.submit_many(src, dst, vals)
+            sup.router.flush()
+            sup.router.publish()
+            sup.save(path)
+            saved = sup.mirror.snapshot()
+            saved_U, saved_V = saved._dense_view()
+            saved_version = saved.version
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")  # re-partition warning
+            sup3 = build_cluster(
+                groups=3, shards=1, checkpoint=str(path), monitor=False
+            )
+        with sup3:
+            restored = sup3.mirror.snapshot()
+            rU, rV = restored._dense_view()
+            np.testing.assert_array_equal(rU, saved_U)  # bitwise
+            np.testing.assert_array_equal(rV, saved_V)
+            assert restored.version >= saved_version  # monotone
+            # and every group owns a consistent strided slice
+            for g, group in enumerate(sup3.groups):
+                np.testing.assert_array_equal(
+                    sup3.mirror._parts[g].U, saved_U[g::3]
+                )
+
+    def test_checkpoint_loads_into_plain_sharded_store(self, tmp_path):
+        path = tmp_path / "cluster.npz"
+        with make_cluster() as sup:
+            sup.save(path)
+            saved_version = sup.mirror.version
+        store = ShardedCoordinateStore.load(path, shards=2)
+        assert store.version >= saved_version
+
+    def test_group_versions_split_monotonically(self, tmp_path):
+        path = tmp_path / "cluster.npz"
+        with make_cluster() as sup:
+            src, dst, vals = traffic(36, 300)
+            sup.router.submit_many(src, dst, vals)
+            sup.router.flush()
+            sup.router.publish()
+            sup.save(path)
+            total = sup.version
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            sup2 = build_cluster(
+                groups=3, shards=2, checkpoint=str(path), monitor=False
+            )
+        with sup2:
+            # ceil-split across 3 groups x 2 shards never shrinks the sum
+            assert sup2.version >= total
+
+
+# ----------------------------------------------------------------------
+# stats / introspection
+# ----------------------------------------------------------------------
+
+
+class TestIntrospection:
+    def test_stats_payload_sections(self):
+        with make_cluster() as sup:
+            payload = sup.router.stats_payload()
+            assert set(payload) == {"ingest", "guard", "shards", "cluster"}
+            assert payload["ingest"]["workers"] == "cluster"
+            assert payload["ingest"]["groups"] == 2
+            assert len(payload["shards"]) == 4  # 2 groups x 2 shards
+            assert all("group" in row for row in payload["shards"])
+            cluster = payload["cluster"]
+            assert cluster["partition_book"]["partitions"] == 2
+            for row in cluster["groups"]:
+                assert {"alive", "pids", "forwarded", "restarts",
+                        "mirror_version_lag"} <= set(row)
+
+    def test_install_book_requires_version_growth(self):
+        with make_cluster() as sup:
+            with pytest.raises(ValueError, match="grow"):
+                sup.router.install_book(PartitionBook(["a", "b"]))
+            sup.router.install_book(sup.book.remap(["a", "b"]))
+            assert sup.router.book.version == 2
+            with pytest.raises(ValueError, match="partitions"):
+                sup.router.install_book(
+                    sup.router.book.remap(["a", "b", "c"])
+                )
+
+    def test_foreign_rows_propagate_to_thread_groups(self):
+        with make_cluster(shards=1) as sup:
+            src = np.full(128, 2)  # group 0 owns source 2
+            dst = (np.arange(128) % 35) + 1
+            dst = np.where(dst == 2, 3, dst)
+            vals = np.full(128, 80.0)
+            sup.groups[0].submit_many(src, dst, vals)
+            sup.groups[0].flush()
+            sup.groups[0].publish()
+            sup.refresh_mirror()
+            # group 1's engine now carries group 0's published rows
+            g0_part = sup.mirror._parts[0]
+            table1 = sup.groups[1].ingest.engine.coordinates
+            np.testing.assert_array_equal(table1.U[0::2], g0_part.U)
+
+
+# ----------------------------------------------------------------------
+# the tier-1 smoke contract + HTTP wiring
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.cluster_smoke
+def test_cluster_smoke_reads_never_fail_through_kill_and_restart():
+    """Two in-process groups; one killed and restarted mid-traffic;
+    every read in between must answer."""
+    with make_cluster(shards=1, staleness_budget=0.2) as sup:
+        n = 36
+        stop = threading.Event()
+        failures = []
+        answered = [0]
+
+        def querier():
+            rng = np.random.default_rng(7)
+            while not stop.is_set():
+                qsrc = rng.integers(0, n, size=16)
+                qdst = (qsrc + 1 + rng.integers(0, n - 1, size=16)) % n
+                try:
+                    est = sup.mirror.snapshot().estimate_pairs(qsrc, qdst)
+                    assert np.isfinite(est).all()
+                    answered[0] += 16
+                except Exception as exc:  # pragma: no cover - the bug
+                    failures.append(repr(exc))
+
+        thread = threading.Thread(target=querier, daemon=True)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 3.0
+            killed = False
+            src, dst, vals = traffic(n, 256, seed=11)
+            while time.monotonic() < deadline:
+                sup.router.submit_many(src, dst, vals)
+                sup.router.flush()
+                sup.router.publish()
+                sup.check_groups()
+                if not killed and answered[0] > 100:
+                    sup.groups[1].kill()
+                    killed = True
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        assert killed
+        assert not failures
+        assert answered[0] > 200
+        assert sup.group_restarts[1] >= 1
+        assert sup.groups[1].alive  # restart-with-reattach completed
+
+
+@pytest.mark.cluster_smoke
+def test_cluster_gateway_http_roundtrip():
+    gateway = build_gateway(
+        "meridian",
+        nodes=40,
+        rounds=2,
+        port=0,
+        cluster_groups=2,
+        workers="threads",
+        staleness_budget=0.5,
+    )
+    gateway.start()
+    try:
+        client = ServingClient(gateway.url)
+        prediction = client.predict(0, 1)
+        assert {"estimate", "label", "version"} <= set(prediction)
+        client.ingest([(0, 1, 120.0), (1, 2, 30.0)] * 16)
+        client.refresh()
+        stats = client.stats()
+        assert stats["ingest"]["workers"] == "cluster"
+        assert "cluster" in stats
+        status = client.cluster_status()
+        assert status["partition_book"]["partitions"] == 2
+        assert all(group["alive"] for group in status["groups"])
+        assert all("group" in row for row in client.shards())
+    finally:
+        gateway.stop()
+
+
+def test_cluster_gateway_rejects_membership_and_adaptive():
+    with pytest.raises(ValueError, match="membership"):
+        build_gateway(
+            "meridian", nodes=40, rounds=0, cluster_groups=2,
+            allow_membership=True,
+        )
+    with pytest.raises(ValueError, match="evaluator"):
+        build_gateway(
+            "meridian", nodes=40, rounds=0, cluster_groups=2,
+            guard_adaptive=True,
+        )
+
+
+def test_supervisor_context_and_monitor_thread():
+    U, V = make_factors()
+    sup = build_cluster(
+        (U, V), groups=2, shards=1, staleness_budget=0.2,
+        heartbeat_interval=0.02, monitor=True,
+    )
+    with sup:
+        # silent death is detected and repaired by the monitor thread
+        sup.groups[0].ingest.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if sup.group_restarts[0] >= 1 and sup.groups[0].alive:
+                break
+            time.sleep(0.02)
+        assert sup.groups[0].alive
+        assert sup.deaths[0] == 1
+    # close() is idempotent and stops the monitor
+    sup.close()
+    assert sup.as_dict()["monitoring"] is False
