@@ -41,6 +41,15 @@ never observe the kill), the death must be detected and restarted, and
 the routing tier's end-to-end ingest tax must stay under the
 route-overhead ceiling.
 
+And the live-topology measurement (``benchmarks/reconfig_bench.py``,
+shared with ``benchmarks/test_reconfig_smoke.py``) into
+``BENCH_reconfig.json``: a flash-crowd burst must drive the autopilot
+to split at least one shard and merge back after, with query
+availability >= 99.9% through every transition on every machine
+(snapshot reads are epoch-atomic), shard versions never rewinding, and
+split/merge round trips bitwise factor-preserving in both worker
+modes.
+
 Every ``BENCH_*.json`` this gate writes records the machine's
 ``cpu_count`` and a ``notices`` list naming any gate that was skipped
 on that machine (e.g. the mp speedup floor below 4 cores), so a
@@ -83,6 +92,7 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 import churn_bench  # noqa: E402
 import cluster_bench  # noqa: E402
 import mp_bench  # noqa: E402
+import reconfig_bench  # noqa: E402
 
 from repro.core.config import DMFSGDConfig  # noqa: E402
 from repro.core.engine import DMFSGDEngine  # noqa: E402
@@ -116,6 +126,7 @@ SUMMARY_PATH = REPO_ROOT / "BENCH_scaleout.json"
 CHURN_SUMMARY_PATH = REPO_ROOT / "BENCH_churn.json"
 MP_SUMMARY_PATH = mp_bench.SUMMARY_PATH
 CLUSTER_SUMMARY_PATH = cluster_bench.SUMMARY_PATH
+RECONFIG_SUMMARY_PATH = reconfig_bench.SUMMARY_PATH
 
 #: PR 2's guarded admission throughput (measurements/s): the scale-out
 #: work must hold at least 2x this (the issue's acceptance bar).
@@ -393,6 +404,14 @@ CLUSTER_THROUGHPUT_KEYS = (
     "route_routed_mps",
 )
 
+#: BENCH_reconfig.json keys where higher is better (same-core-count
+#: baselines only)
+RECONFIG_THROUGHPUT_KEYS = ("queries_during_reconfig_pps",)
+
+#: availability through autopilot split/merge transitions must hold
+#: absolutely on every machine, baseline or not
+RECONFIG_MIN_AVAILABILITY = reconfig_bench.RECONFIG_MIN_AVAILABILITY
+
 
 def check_mp(mp: dict, tolerance: float) -> list:
     """BENCH_mp.json invariants; returns failure strings."""
@@ -503,8 +522,76 @@ def check_cluster(cluster: dict, tolerance: float) -> list:
     return failures
 
 
+def check_reconfig(reconfig: dict, tolerance: float) -> list:
+    """BENCH_reconfig.json invariants; returns failure strings.
+
+    The availability floor, parity bits, version monotonicity and the
+    split-under-load / merge-after-burst behaviour are absolute and
+    hold on every machine.  Throughput diffs against the committed
+    baseline only run on a matching core count, like the mp gate.
+    """
+    failures = []
+    if RECONFIG_SUMMARY_PATH.exists():
+        committed = json.loads(RECONFIG_SUMMARY_PATH.read_text())
+        if int(committed.get("cores", 0)) == int(reconfig["cores"]):
+            for key in RECONFIG_THROUGHPUT_KEYS:
+                if key not in committed:
+                    continue
+                floor = (1.0 - tolerance) * float(committed[key])
+                if reconfig[key] < floor:
+                    failures.append(
+                        f"{key}: measured {reconfig[key]:,.0f} < "
+                        f"{floor:,.0f} ({(1.0 - tolerance):.0%} of "
+                        f"committed {float(committed[key]):,.0f})"
+                    )
+        else:
+            print(
+                f"note: committed {RECONFIG_SUMMARY_PATH.name} was measured "
+                f"on {committed.get('cores')} core(s), this machine has "
+                f"{reconfig['cores']}; skipping reconfig regression diffs"
+            )
+    else:
+        print(
+            f"note: no committed {RECONFIG_SUMMARY_PATH.name}; skipping diffs"
+        )
+
+    # acceptance invariants (absolute, machine-independent)
+    if reconfig["autopilot_splits"] < 1:
+        failures.append("the autopilot never split under the flash crowd")
+    if reconfig["autopilot_merges"] < 1:
+        failures.append("the autopilot never merged back after the burst")
+    availability = reconfig["query_availability_during_reconfig"]
+    if availability < RECONFIG_MIN_AVAILABILITY:
+        failures.append(
+            f"query availability through autopilot reconfig is "
+            f"{availability:.4%}, under the "
+            f"{RECONFIG_MIN_AVAILABILITY:.1%} floor"
+        )
+    if reconfig["version_rewinds_observed"]:
+        failures.append(
+            f"{reconfig['version_rewinds_observed']} snapshot version "
+            "rewind(s) observed during reconfig"
+        )
+    for mode in ("thread", "process"):
+        if not reconfig[f"{mode}_parity_bitwise"]:
+            failures.append(
+                f"{mode}-mode split/merge round trip is not bitwise "
+                "factor-preserving"
+            )
+        if not reconfig[f"{mode}_version_monotone"]:
+            failures.append(
+                f"{mode}-mode shard versions rewound across a transition"
+            )
+    return failures
+
+
 def check(
-    result: dict, churn: dict, mp: dict, cluster: dict, tolerance: float
+    result: dict,
+    churn: dict,
+    mp: dict,
+    cluster: dict,
+    reconfig: dict,
+    tolerance: float,
 ) -> int:
     """Compare fresh numbers against the committed baselines.
 
@@ -514,6 +601,7 @@ def check(
     failures = []
     failures.extend(check_mp(mp, tolerance))
     failures.extend(check_cluster(cluster, tolerance))
+    failures.extend(check_reconfig(reconfig, tolerance))
     if SUMMARY_PATH.exists():
         committed = json.loads(SUMMARY_PATH.read_text())
         for key in THROUGHPUT_KEYS:
@@ -624,8 +712,15 @@ def main(argv=None) -> int:
             cluster_bench.format_rows(cluster), headers=["cluster", "value"]
         )
     )
+    reconfig = reconfig_bench.run()
+    print(
+        format_table(
+            reconfig_bench.format_rows(reconfig),
+            headers=["reconfig", "value"],
+        )
+    )
     if args.check:
-        return check(result, churn, mp, cluster, args.tolerance)
+        return check(result, churn, mp, cluster, reconfig, args.tolerance)
     SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {SUMMARY_PATH}")
     CHURN_SUMMARY_PATH.write_text(json.dumps(churn, indent=2) + "\n")
@@ -634,6 +729,8 @@ def main(argv=None) -> int:
     print(f"wrote {MP_SUMMARY_PATH}")
     CLUSTER_SUMMARY_PATH.write_text(json.dumps(cluster, indent=2) + "\n")
     print(f"wrote {CLUSTER_SUMMARY_PATH}")
+    RECONFIG_SUMMARY_PATH.write_text(json.dumps(reconfig, indent=2) + "\n")
+    print(f"wrote {RECONFIG_SUMMARY_PATH}")
     return 0
 
 

@@ -21,6 +21,10 @@ def pytest_configure(config):
         "markers",
         "cluster_smoke: fast cluster-plane benchmarks (tier-1, < 60 s)",
     )
+    config.addinivalue_line(
+        "markers",
+        "reconfig_smoke: fast live-topology benchmarks (tier-1, < 60 s)",
+    )
 
 
 @pytest.fixture

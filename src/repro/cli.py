@@ -265,6 +265,20 @@ def build_parser() -> argparse.ArgumentParser:
         "ingest or queries",
     )
     serve.add_argument(
+        "--autopilot",
+        action="store_true",
+        help="run the reconfig control loop: sample queue fill / "
+        "throughput / heartbeat signals and split or merge shards on "
+        "sustained watermark crossings (repro.serving.autopilot)",
+    )
+    serve.add_argument(
+        "--autopilot-policy",
+        default=None,
+        metavar="PATH",
+        help="JSON policy file for --autopilot (watermarks, patience, "
+        "cooldown, shard bounds; unknown keys rejected)",
+    )
+    serve.add_argument(
         "--refresh-every",
         type=int,
         default=1000,
@@ -470,14 +484,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serving import build_gateway
-
     print(
         f"building {args.dataset} model "
         f"(nodes={args.nodes or 'default'}, rounds={args.rounds if args.rounds is not None else 'default'}) ...",
         file=sys.stderr,
     )
-    gateway = build_gateway(
+    try:
+        gateway = _build_serve_gateway(args)
+    except ValueError as error:
+        # flag incompatibilities surface as one clear line, not a trace
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    print(f"serving on {gateway.url}", file=sys.stderr)
+    print(
+        f"try: curl '{gateway.url}/predict?src=0&dst=1'",
+        file=sys.stderr,
+    )
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        gateway.stop()
+    return 0
+
+
+def _build_serve_gateway(args: argparse.Namespace):
+    from repro.serving import build_gateway
+
+    return build_gateway(
         args.dataset,
         nodes=args.nodes,
         rounds=args.rounds,
@@ -511,21 +546,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         backend=args.backend,
         allow_membership=args.allow_membership,
+        autopilot=args.autopilot,
+        autopilot_policy=args.autopilot_policy,
         cluster_groups=args.cluster,
         staleness_budget=args.staleness_budget,
     )
-    print(f"serving on {gateway.url}", file=sys.stderr)
-    print(
-        f"try: curl '{gateway.url}/predict?src=0&dst=1'",
-        file=sys.stderr,
-    )
-    try:
-        gateway.serve_forever()
-    except KeyboardInterrupt:
-        print("shutting down", file=sys.stderr)
-    finally:
-        gateway.stop()
-    return 0
 
 
 def _cmd_cluster_status(args: argparse.Namespace) -> int:

@@ -46,6 +46,17 @@ demand while fresh measurements keep improving the model:
   copy-on-write epoch transitions over the sharded store (warm-started
   joins, tombstone-then-compact leaves) without stopping ingest or
   queries;
+* :mod:`repro.serving.plane` — :class:`ShardPlane`, the one protocol
+  every sharding stack satisfies (snapshot reads, routed ingest,
+  barrier, topology, health), :class:`RoutedIngestBase` (the shared
+  routing/validation/**live-topology** half of both ingest stacks:
+  ``set_shard_count`` / ``split_shard`` / ``merge_shards`` as atomic
+  copy-on-write epoch transitions) and :func:`carried_versions`;
+* :mod:`repro.serving.autopilot` — :class:`Autopilot`, the reconfig
+  control loop (queue/throughput/heartbeat signals through an
+  :class:`AutopilotPolicy` hysteresis, selected by ``repro serve
+  --autopilot``) and :class:`PeriodicController`, the controller base
+  it shares with :class:`AdaptiveGuardTuner`;
 * :mod:`repro.serving.gateway` — :class:`ServingGateway`, a
   stdlib-only JSON/HTTP frontend (``repro serve``) with two
   transports: thread-per-connection ``threading`` and a
@@ -69,6 +80,7 @@ Quick start::
 """
 
 from repro.serving.app import build_gateway
+from repro.serving.autopilot import Autopilot, AutopilotPolicy, PeriodicController
 from repro.serving.client import GatewayError, ServingClient
 from repro.serving.cluster import (
     ClusterSupervisor,
@@ -100,6 +112,7 @@ from repro.serving.procs import (
     WorkerSpec,
     WorkerSupervisor,
 )
+from repro.serving.plane import RoutedIngestBase, ShardPlane, carried_versions
 from repro.serving.shard import (
     RequestCoalescer,
     ShardedCoordinateStore,
@@ -122,6 +135,12 @@ __all__ = [
     "GatewayError",
     "ServingClient",
     "ServingGateway",
+    "Autopilot",
+    "AutopilotPolicy",
+    "PeriodicController",
+    "ShardPlane",
+    "RoutedIngestBase",
+    "carried_versions",
     "build_cluster",
     "ClusterSupervisor",
     "GroupTransport",

@@ -78,6 +78,8 @@ def build_gateway(
     coalesce_window: Optional[float] = None,
     backend: str = "threading",
     allow_membership: bool = False,
+    autopilot: bool = False,
+    autopilot_policy: Optional[str] = None,
     cluster_groups: int = 0,
     staleness_budget: float = 0.5,
     verbose: bool = False,
@@ -171,6 +173,20 @@ def build_gateway(
         sharded stack, so this forces it even at ``shards=1``; epoch
         transitions then grow/shrink the model without stopping ingest
         or queries.
+    autopilot:
+        Attach the :mod:`repro.serving.autopilot` control loop: sample
+        the plane's queue fill / throughput / heartbeat signals and
+        split or merge shards on sustained watermark crossings.  Runs
+        on the mutable-topology sharded stack, so this forces it even
+        at ``shards=1``; incompatible with ``cluster_groups`` (the
+        cluster plane re-partitions via its partition book).  Without
+        a policy file the default policy is anchored at the configured
+        ``shards`` (``min_shards = shards``) so an idle deployment
+        never merges below what the operator asked for.
+    autopilot_policy:
+        Optional JSON policy file for the autopilot
+        (:meth:`~repro.serving.autopilot.AutopilotPolicy.from_file`);
+        requires ``autopilot``.
     cluster_groups:
         Non-zero selects the cluster plane
         (:mod:`repro.serving.cluster`): this many worker groups behind
@@ -231,6 +247,11 @@ def build_gateway(
         raise ValueError(
             f"cluster_groups must be >= 0, got {cluster_groups}"
         )
+    if autopilot_policy is not None and not autopilot:
+        raise ValueError(
+            "autopilot_policy configures the autopilot control loop; "
+            "it would be ignored without autopilot"
+        )
     if cluster_groups:
         if allow_membership:
             raise ValueError(
@@ -241,6 +262,12 @@ def build_gateway(
             raise ValueError(
                 "guard_adaptive needs the shared online evaluator, "
                 "which cluster mode does not run"
+            )
+        if autopilot:
+            raise ValueError(
+                "autopilot drives split/merge on a mutable-topology "
+                "plane; cluster mode re-partitions via the partition "
+                "book"
             )
 
     data = get_dataset(dataset, n_hosts=nodes, seed=seed)
@@ -342,11 +369,12 @@ def build_gateway(
             verbose=verbose,
         )
 
-    # membership transitions ride the sharded stack's epoch machinery,
-    # so --allow-membership promotes a single-shard deployment to it;
-    # process mode is sharded by construction (one process per shard)
+    # membership and topology transitions ride the sharded stack's
+    # epoch machinery, so --allow-membership/--autopilot promote a
+    # single-shard deployment to it; process mode is sharded by
+    # construction (one process per shard)
     processes = workers == "processes"
-    sharded = shards > 1 or allow_membership or processes
+    sharded = shards > 1 or allow_membership or processes or autopilot
     if checkpoint is not None:
         if processes:
             # shm-backed restore; same single-npz shard format, same
@@ -414,11 +442,14 @@ def build_gateway(
             spec,
             queue_depth=queue_depth,
             start_method=mp_start_method,
+            # topology changes re-stride node ownership, so every
+            # shard gets a freshly built guard after a split/merge
+            guard_factory=lambda _shard: make_guard(),
         )
         supervisor.start()
         ingest = ProcessShardedIngest(store, supervisor)
     elif sharded:
-        guards = [make_guard() for _ in range(shards)]
+        guards = [make_guard() for _ in range(store.shards)]
         ingest = ShardedIngest(
             engine,
             store,
@@ -428,6 +459,7 @@ def build_gateway(
             mode=mode,
             step_clip=step_clip,
             guards=None if guards[0] is None else guards,
+            guard_factory=lambda _shard: make_guard(),
             evaluator=evaluator,
             adaptive=guard_adaptive,
             queue_depth=queue_depth,
@@ -456,6 +488,19 @@ def build_gateway(
         membership = MembershipManager(
             ingest.engine if processes else engine, store, ingest, rng=seed
         )
+    pilot = None
+    if autopilot:
+        from repro.serving.autopilot import Autopilot, AutopilotPolicy
+
+        if autopilot_policy is not None:
+            policy = AutopilotPolicy.from_file(autopilot_policy)
+        else:
+            # anchor the default policy at the configured shard count:
+            # idle deployments never merge below the operator's ask
+            policy = AutopilotPolicy(
+                min_shards=shards, max_shards=max(8, shards)
+            )
+        pilot = Autopilot(ingest, policy)
     return ServingGateway(
         service,
         ingest,
@@ -465,5 +510,6 @@ def build_gateway(
         backend=backend,
         coalesce_window=coalesce_window,
         membership=membership,
+        autopilot=pilot,
         verbose=verbose,
     )

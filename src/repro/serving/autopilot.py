@@ -1,0 +1,488 @@
+"""Self-driving topology: a hysteresis control loop over the shard plane.
+
+The serving stack exposes topology as a *live* property
+(:meth:`~repro.serving.plane.RoutedIngestBase.set_shard_count` and the
+``split_shard`` / ``merge_shards`` entry points); this module closes the
+loop.  :class:`Autopilot` samples the plane's vitals — queue fill,
+per-shard apply throughput, worker heartbeat progress — and applies a
+watermark-with-hysteresis policy (:class:`AutopilotPolicy`) to decide
+when to split a hot plane, merge a cold one, or do nothing.
+
+Three design rules keep the loop safe to leave running:
+
+* **hysteresis, not thresholds** — an action needs ``patience``
+  consecutive samples beyond a watermark, and after any action the loop
+  holds still for ``cooldown_s`` seconds.  A reconfiguration costs one
+  drain-and-republish transition, so the controller must never chase a
+  single noisy sample into a split/merge/split oscillation;
+* **veto on instability** — while any worker's heartbeat has stalled
+  (its counter stopped advancing with work still queued, e.g. mid
+  crash-recovery), the loop refuses to act: re-striding a plane that is
+  already replacing workers only compounds the disruption;
+* **observability first** — every sample, decision and error is kept
+  (bounded) and served through :meth:`Autopilot.as_dict` in ``/stats``,
+  and manual operator actions (``POST /admin/reconfig``) run through
+  the same :meth:`Autopilot.reconfig` path so the action log is one
+  timeline.
+
+:class:`PeriodicController` is the reusable base the loop shares with
+:class:`~repro.serving.guard.AdaptiveGuardTuner`: both are "every so
+often, re-derive and maybe act" controllers; the tuner paces itself on
+a *sample-count* mark (evaluator observations), the autopilot on a
+*wall-clock* mark.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, fields
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "PeriodicController",
+    "AutopilotPolicy",
+    "Autopilot",
+]
+
+
+class PeriodicController:
+    """Base for controllers that act every ``interval`` of some mark.
+
+    A *mark* is any monotone progress measure — observed sample counts
+    (:class:`~repro.serving.guard.AdaptiveGuardTuner`), wall-clock
+    seconds (:class:`Autopilot`).  :meth:`_due` gates on it: the first
+    call whose mark is at least ``interval`` past the last due mark
+    returns ``True`` and re-arms.  Subclasses call
+    :meth:`_record_update` when they actually change something, so
+    ``updates`` counts *actions taken*, not polls.
+    """
+
+    def __init__(self, *, interval: float, min_samples: int = 1) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        self.interval = interval
+        self.min_samples = int(min_samples)
+        self.updates = 0
+        self._last_mark: float = 0.0
+
+    def _due(self, mark: float) -> bool:
+        """Whether an interval elapsed since the last due mark (re-arms)."""
+        if mark - self._last_mark < self.interval:
+            return False
+        self._last_mark = mark
+        return True
+
+    def _record_update(self) -> None:
+        self.updates += 1
+
+
+@dataclass(frozen=True)
+class AutopilotPolicy:
+    """Watermarks and hysteresis knobs for the reconfig control loop.
+
+    Loadable from a JSON file (:meth:`from_file`) so operators version
+    policies next to their deployment configs; unknown keys are
+    rejected loudly rather than silently ignored.
+
+    Parameters
+    ----------
+    sample_interval_s:
+        Seconds between signal samples (the controller's mark interval).
+    split_queue_fill:
+        High watermark on the *worst* shard's queue fill
+        (``queue_depth / queue_capacity``); sustained fill at or above
+        it votes to split.
+    merge_queue_fill:
+        Low watermark on the worst shard's queue fill; sustained fill
+        at or below it (with pps also cold, if configured) votes to
+        merge.  Must sit strictly below ``split_queue_fill`` — the gap
+        is the hysteresis band.
+    split_pps / merge_pps:
+        Optional per-shard apply-throughput watermarks (samples/s on
+        the hottest shard).  ``None`` disables the pps vote.
+    patience:
+        Consecutive hot (cold) samples required before a split (merge).
+    cooldown_s:
+        Minimum seconds between actions, measured action-to-action.
+    min_shards / max_shards:
+        Hard bounds the loop never crosses (manual
+        :meth:`Autopilot.reconfig` is not bound by them).
+    """
+
+    sample_interval_s: float = 0.5
+    split_queue_fill: float = 0.75
+    merge_queue_fill: float = 0.15
+    split_pps: Optional[float] = None
+    merge_pps: Optional[float] = None
+    patience: int = 3
+    cooldown_s: float = 5.0
+    min_shards: int = 1
+    max_shards: int = 8
+
+    def __post_init__(self) -> None:
+        if self.sample_interval_s <= 0:
+            raise ValueError(
+                f"sample_interval_s must be positive, got "
+                f"{self.sample_interval_s}"
+            )
+        if not 0.0 <= self.merge_queue_fill < self.split_queue_fill <= 1.0:
+            raise ValueError(
+                "need 0 <= merge_queue_fill < split_queue_fill <= 1, got "
+                f"[{self.merge_queue_fill}, {self.split_queue_fill}]"
+            )
+        if self.patience < 1:
+            raise ValueError(f"patience must be >= 1, got {self.patience}")
+        if self.cooldown_s < 0:
+            raise ValueError(
+                f"cooldown_s must be >= 0, got {self.cooldown_s}"
+            )
+        if not 1 <= self.min_shards <= self.max_shards:
+            raise ValueError(
+                "need 1 <= min_shards <= max_shards, got "
+                f"[{self.min_shards}, {self.max_shards}]"
+            )
+        for name in ("split_pps", "merge_pps"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+
+    @classmethod
+    def from_file(cls, path: str) -> "AutopilotPolicy":
+        """Load a policy from a JSON object file (unknown keys rejected)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+        if not isinstance(raw, dict):
+            raise ValueError(
+                f"autopilot policy file {path!r} must hold a JSON object, "
+                f"got {type(raw).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(raw) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown autopilot policy keys {unknown} in {path!r} "
+                f"(known: {sorted(known)})"
+            )
+        return cls(**raw)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Policy knobs as a plain dict (the `/stats` policy object)."""
+        return asdict(self)
+
+
+class Autopilot(PeriodicController):
+    """The reconfig control loop: sample vitals, split/merge on hysteresis.
+
+    Drives any mutable-topology :class:`~repro.serving.plane.ShardPlane`
+    (thread-mode :class:`~repro.serving.shard.ShardedIngest` or
+    process-mode :class:`~repro.serving.procs.ProcessShardedIngest`)
+    purely through the public plane surface — ``shard_info()`` for
+    signals, ``split_shard`` / ``merge_shards`` for actions — so it is
+    oblivious to the transport underneath.
+
+    Run it as a daemon thread (``start()`` / ``stop()``, or as a
+    context manager), or drive it synchronously by calling
+    :meth:`step` with an explicit clock (how the tests and the reconfig
+    benchmark use it).  ``pause()`` keeps sampling but suspends
+    decisions — the ``POST /admin/reconfig`` escape hatch for an
+    operator who wants the wheel back.
+
+    Thread safety: :meth:`step` and :meth:`reconfig` serialize on one
+    internal lock; the plane's own submission gate makes the underlying
+    transition atomic regardless.
+    """
+
+    def __init__(
+        self,
+        plane,
+        policy: Optional[AutopilotPolicy] = None,
+        *,
+        now: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else AutopilotPolicy()
+        super().__init__(interval=self.policy.sample_interval_s)
+        self.plane = plane
+        self._now = now
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.paused = False
+        self.samples = 0
+        self.actions: List[Dict[str, object]] = []
+        self.errors: List[str] = []
+        self.last_signals: Dict[str, object] = {}
+        self._hot_streak = 0
+        self._cold_streak = 0
+        self._last_action_at: Optional[float] = None
+        # per-shard (mark, applied) for pps; (counter, stalled samples)
+        # for heartbeat progress — both keyed by shard id and reset on
+        # every topology change (ids are re-strided)
+        self._pps_state: Dict[int, "tuple[float, int]"] = {}
+        self._hb_state: Dict[int, "tuple[int, int]"] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "Autopilot":
+        """Spawn the sampling thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-autopilot", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the sampling thread (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "Autopilot":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether the sampling thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def pause(self) -> None:
+        """Suspend decisions (sampling continues; streaks reset)."""
+        with self._lock:
+            self.paused = True
+            self._hot_streak = self._cold_streak = 0
+
+    def resume(self) -> None:
+        """Lift a pause(); the next hot/cold streak starts fresh."""
+        with self._lock:
+            self.paused = False
+
+    def _run(self) -> None:
+        # poll finer than the sample interval so stop() stays prompt;
+        # _due() paces the actual sampling
+        poll = max(0.01, min(0.1, self.policy.sample_interval_s / 4.0))
+        while not self._stop.wait(poll):
+            try:
+                self.step()
+            except Exception as exc:  # pragma: no cover - defensive
+                self._note_error(f"autopilot step failed: {exc!r}")
+
+    # -- the control loop ----------------------------------------------
+
+    def step(self, now: Optional[float] = None) -> Optional[Dict[str, object]]:
+        """One controller tick: sample if due, decide, maybe act.
+
+        Returns the action record when an action was taken, else
+        ``None``.  Passing ``now`` (any monotone clock) makes the loop
+        fully deterministic for tests.
+        """
+        with self._lock:
+            mark = self._now() if now is None else float(now)
+            if not self._due(mark):
+                return None
+            try:
+                info = self.plane.shard_info()
+            except Exception as exc:
+                self._note_error(f"shard_info failed: {exc!r}")
+                return None
+            signals = self._signals(info, mark)
+            self.samples += 1
+            self.last_signals = signals
+            if self.paused:
+                return None
+            return self._decide(signals, mark)
+
+    def _signals(self, info, mark: float) -> Dict[str, object]:
+        """Condense ``shard_info()`` into the controller's signal set."""
+        fills: List[float] = []
+        pps: List[float] = []
+        stalled: List[int] = []
+        pps_state: Dict[int, "tuple[float, int]"] = {}
+        hb_state: Dict[int, "tuple[int, int]"] = {}
+        for entry in info:
+            shard = int(entry["shard"])
+            capacity = int(entry.get("queue_capacity", 0) or 0)
+            depth = max(0, int(entry.get("queue_depth", 0) or 0))
+            fills.append(depth / capacity if capacity > 0 else 0.0)
+            applied = int(entry.get("applied", 0) or 0)
+            last = self._pps_state.get(shard)
+            rate = 0.0
+            if last is not None and mark > last[0]:
+                rate = max(0.0, (applied - last[1]) / (mark - last[0]))
+            pps_state[shard] = (mark, applied)
+            pps.append(rate)
+            heartbeat = entry.get("heartbeat")
+            if heartbeat is not None:
+                heartbeat = int(heartbeat)
+                prev = self._hb_state.get(shard)
+                pending = int(entry.get("queue_samples", 0) or 0)
+                stall = 0
+                if (
+                    prev is not None
+                    and heartbeat == prev[0]
+                    and pending > 0
+                ):
+                    stall = prev[1] + 1
+                hb_state[shard] = (heartbeat, stall)
+                if stall:
+                    stalled.append(shard)
+        self._pps_state = pps_state
+        self._hb_state = hb_state
+        hottest = 0
+        if fills:
+            hottest = max(range(len(fills)), key=lambda s: (fills[s], pps[s]))
+        coldest = sorted(range(len(fills)), key=lambda s: (fills[s], pps[s]))
+        return {
+            "shards": len(info),
+            "queue_fill": round(max(fills), 4) if fills else 0.0,
+            "pps_max": round(max(pps), 3) if pps else 0.0,
+            "pps_total": round(sum(pps), 3),
+            "hottest_shard": hottest,
+            "coldest_shards": coldest[:2],
+            "stalled_shards": stalled,
+        }
+
+    def _decide(
+        self, signals: Dict[str, object], mark: float
+    ) -> Optional[Dict[str, object]]:
+        policy = self.policy
+        if signals["stalled_shards"]:
+            # a worker stopped making progress with work queued: the
+            # supervisor is (or should be) replacing it — re-striding
+            # now would stack transitions, so hold still
+            self._hot_streak = self._cold_streak = 0
+            return None
+        fill = float(signals["queue_fill"])
+        pps_max = float(signals["pps_max"])
+        hot = fill >= policy.split_queue_fill or (
+            policy.split_pps is not None and pps_max >= policy.split_pps
+        )
+        cold = fill <= policy.merge_queue_fill and (
+            policy.merge_pps is None or pps_max <= policy.merge_pps
+        )
+        self._hot_streak = self._hot_streak + 1 if hot else 0
+        self._cold_streak = self._cold_streak + 1 if cold else 0
+        if (
+            self._last_action_at is not None
+            and mark - self._last_action_at < policy.cooldown_s
+        ):
+            return None
+        shards = int(signals["shards"])
+        if self._hot_streak >= policy.patience and shards < policy.max_shards:
+            return self._act(
+                "split", signals, mark, reason="autopilot:queue-hot"
+            )
+        if self._cold_streak >= policy.patience and shards > policy.min_shards:
+            return self._act(
+                "merge", signals, mark, reason="autopilot:queue-cold"
+            )
+        return None
+
+    def _act(
+        self,
+        action: str,
+        signals: Dict[str, object],
+        mark: float,
+        *,
+        reason: str,
+    ) -> Optional[Dict[str, object]]:
+        try:
+            if action == "split":
+                topology = self.plane.split_shard(
+                    int(signals["hottest_shard"]), reason=reason
+                )
+            else:
+                cold = list(signals["coldest_shards"])
+                if len(cold) < 2:  # pragma: no cover - shards >= 2 here
+                    return None
+                topology = self.plane.merge_shards(
+                    int(cold[0]), int(cold[1]), reason=reason
+                )
+        except Exception as exc:
+            self._note_error(f"{action} failed: {exc!r}")
+            return None
+        self._hot_streak = self._cold_streak = 0
+        self._last_action_at = mark
+        self._pps_state = {}
+        self._hb_state = {}
+        self._record_update()
+        record = {
+            "action": action,
+            "reason": reason,
+            "shards": topology["shard_count"],
+            "epoch": topology["topology_epoch"],
+            "transition_ms": topology["last_transition_ms"],
+            "signals": dict(signals),
+        }
+        self.actions.append(record)
+        del self.actions[:-32]
+        return record
+
+    # -- manual operator path (POST /admin/reconfig) ---------------------
+
+    def reconfig(
+        self, shards: int, *, reason: str = "admin"
+    ) -> Dict[str, object]:
+        """Operator-requested re-stride, logged on the autopilot timeline.
+
+        Not bound by the policy's ``min_shards``/``max_shards`` (the
+        plane still enforces ``[1, n]``); resets streaks and starts a
+        cooldown so the loop does not immediately fight the operator.
+        """
+        with self._lock:
+            topology = self.plane.set_shard_count(int(shards), reason=reason)
+            mark = self._now()
+            self._hot_streak = self._cold_streak = 0
+            self._last_action_at = mark
+            self._pps_state = {}
+            self._hb_state = {}
+            self._record_update()
+            record = {
+                "action": "reconfig",
+                "reason": reason,
+                "shards": topology["shard_count"],
+                "epoch": topology["topology_epoch"],
+                "transition_ms": topology["last_transition_ms"],
+                "signals": dict(self.last_signals),
+            }
+            self.actions.append(record)
+            del self.actions[:-32]
+            return topology
+
+    # -- introspection ---------------------------------------------------
+
+    def _note_error(self, message: str) -> None:
+        self.errors.append(message)
+        del self.errors[:-8]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready controller state (the ``autopilot`` /stats section)."""
+        payload: Dict[str, object] = {
+            "running": self.running,
+            "paused": self.paused,
+            "samples": self.samples,
+            "actions_taken": self.updates,
+            "hot_streak": self._hot_streak,
+            "cold_streak": self._cold_streak,
+            "policy": self.policy.as_dict(),
+            "signals": dict(self.last_signals),
+            "actions": list(self.actions[-8:]),
+        }
+        if self.errors:
+            payload["errors"] = list(self.errors)
+        return payload
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Autopilot(running={self.running}, samples={self.samples}, "
+            f"actions={self.updates}, shards={self.plane.shards})"
+        )

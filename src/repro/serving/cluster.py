@@ -1045,12 +1045,36 @@ class RoutingGateway:
             info["supervisor"] = self.supervisor.as_dict()
         return info
 
+    def topology(self) -> Dict[str, object]:
+        """The cluster's live-topology section (partition-book shaped).
+
+        The cluster plane re-partitions through its versioned
+        :class:`PartitionBook` (``install_book``), not through
+        ``set_shard_count`` — so ``shard_count`` here is the number of
+        *routing partitions* (groups, the router's ``src % G``) and
+        the topology epoch is the book version.  ``mutable: false``
+        tells operators ``POST /admin/reconfig`` does not apply.
+        """
+        book = self._book
+        return {
+            "shard_count": len(self.transports),
+            "topology_epoch": book.version,
+            "dynamic": False,
+            "mutable": False,
+            "transitions": [],
+            "last_transition_ms": 0.0,
+            "partition_book_version": book.version,
+        }
+
     def stats_payload(self) -> Dict[str, object]:
         """``ingest`` + ``guard`` + ``shards`` + ``cluster`` sections."""
         ingest = self.stats().as_dict()
         ingest["buffered"] = self.buffered
         ingest["workers"] = "cluster"
         ingest["groups"] = len(self.transports)
+        # canonical key shared with the thread/process planes (their
+        # deprecated "shards" alias maps to "groups" here)
+        ingest["shard_count"] = len(self.transports)
         with self._counter_lock:
             ingest["forwarded"] = sum(self.forwarded)
             ingest["rejected_group_down"] = sum(self.rejected_group_down)
@@ -1062,6 +1086,7 @@ class RoutingGateway:
             "guard": self.guard_info(),
             "shards": self.shard_info(),
             "cluster": self.cluster_info(),
+            "topology": self.topology(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -36,6 +36,8 @@ POST      ``/ingest``              ``{"measurements": [[src, dst, value], ...]}`
 POST      ``/refresh``             force flush + publish (new version)
 POST      ``/membership/join``     ``{"node"?, "warm_start"?}`` live node add
 POST      ``/membership/leave``    ``{"node", "compact"?}`` live node removal
+POST      ``/admin/reconfig``      ``{"shards"?, "action"?, "autopilot"?}``
+                                   live topology change / autopilot control
 ========  =======================  =======================================
 
 The membership endpoints exist only when the gateway was built with a
@@ -110,12 +112,14 @@ class GatewayCore:
         checkpointer: Optional[BackgroundCheckpointer] = None,
         coalescer=None,
         membership=None,
+        autopilot=None,
     ) -> None:
         self.service = service
         self.ingest = ingest
         self.checkpointer = checkpointer
         self.coalescer = coalescer
         self.membership = membership
+        self.autopilot = autopilot
 
     # ------------------------------------------------------------------
     # dispatch
@@ -176,6 +180,8 @@ class GatewayCore:
                 payload["coalescer"] = self.coalescer.as_dict()
             if self.membership is not None:
                 payload["membership"] = self.membership.as_dict()
+            if self.autopilot is not None:
+                payload["autopilot"] = self.autopilot.as_dict()
             return 200, payload
         if path == "/membership":
             if self.membership is None:
@@ -382,7 +388,87 @@ class GatewayCore:
             if not isinstance(compact, bool):
                 raise _BadRequest('"compact" must be a boolean')
             return 200, self.membership.leave(node, compact=compact)
+        if path == "/admin/reconfig":
+            return self._admin_reconfig(body)
         return 404, {"error": f"unknown path {path!r}"}
+
+    def _admin_reconfig(self, body: bytes) -> Tuple[int, Dict]:
+        """Operator topology control: re-stride now, or steer autopilot.
+
+        Body (JSON object), one of:
+
+        * ``{"shards": N}`` — re-stride the plane to ``N`` partitions;
+        * ``{"action": "split", "shard": p}`` /
+          ``{"action": "merge", "shard": p, "other": q}`` — single-step
+          transitions naming the triggering shard(s);
+        * ``{"autopilot": "pause" | "resume"}`` — suspend/resume the
+          control loop's decisions (sampling continues).
+
+        Replies with the live :meth:`topology` payload (plus the
+        autopilot state when one is attached).  Manual actions run
+        through :meth:`Autopilot.reconfig` when the loop is attached so
+        the operator's change lands on the same action timeline and
+        starts a cooldown.
+        """
+        ingest = self.ingest
+        if ingest is None:
+            return 400, {"error": "gateway is read-only"}
+        if not callable(getattr(ingest, "set_shard_count", None)):
+            return 400, {
+                "error": "topology is not mutable on this gateway "
+                "(cluster planes re-partition via their partition book)"
+            }
+        payload = self._read_body(body)
+        steer = payload.get("autopilot")
+        if steer is not None:
+            if self.autopilot is None:
+                return 400, {
+                    "error": "autopilot is not enabled on this gateway "
+                    "(serve with --autopilot)"
+                }
+            if steer not in ("pause", "resume"):
+                raise _BadRequest('"autopilot" must be "pause" or "resume"')
+            if steer == "pause":
+                self.autopilot.pause()
+            else:
+                self.autopilot.resume()
+            return 200, {
+                "autopilot": self.autopilot.as_dict(),
+                "topology": ingest.topology(),
+            }
+        shards = payload.get("shards")
+        action = payload.get("action")
+        if (shards is None) == (action is None):
+            raise _BadRequest(
+                'body must carry exactly one of "shards" or "action" '
+                '(or an "autopilot" steer)'
+            )
+        if shards is not None:
+            if not isinstance(shards, int) or isinstance(shards, bool):
+                raise _BadRequest('"shards" must be an integer')
+            if self.autopilot is not None:
+                topology = self.autopilot.reconfig(shards, reason="admin")
+            else:
+                topology = ingest.set_shard_count(shards, reason="admin")
+        else:
+            if action not in ("split", "merge"):
+                raise _BadRequest('"action" must be "split" or "merge"')
+            shard = payload.get("shard")
+            if not isinstance(shard, int) or isinstance(shard, bool):
+                raise _BadRequest('body must carry an integer "shard" id')
+            if action == "split":
+                topology = ingest.split_shard(shard, reason="admin")
+            else:
+                other = payload.get("other")
+                if not isinstance(other, int) or isinstance(other, bool):
+                    raise _BadRequest(
+                        'merge needs an integer "other" shard id'
+                    )
+                topology = ingest.merge_shards(shard, other, reason="admin")
+        reply: Dict[str, object] = {"topology": topology}
+        if self.autopilot is not None:
+            reply["autopilot"] = self.autopilot.as_dict()
+        return 200, reply
 
 
 # ----------------------------------------------------------------------
@@ -776,6 +862,10 @@ class ServingGateway:
         When coalescing is also on, the manager's coalescer reference
         is wired here so epoch transitions refresh its cached model
         size.
+    autopilot:
+        Optional :class:`~repro.serving.autopilot.Autopilot`; its
+        sampling thread lives exactly as long as the gateway serves,
+        and ``/stats`` gains the ``autopilot`` section.
     verbose:
         Log requests to stderr (quiet by default: tests and benches).
     """
@@ -792,6 +882,7 @@ class ServingGateway:
         coalesce_window: Optional[float] = None,
         coalesce_max_batch: int = 4096,
         membership=None,
+        autopilot=None,
         verbose: bool = False,
     ) -> None:
         if backend not in BACKENDS:
@@ -815,12 +906,14 @@ class ServingGateway:
         if membership is not None and self.coalescer is not None:
             # epoch transitions must refresh the coalescer's cached n
             membership.coalescer = self.coalescer
+        self.autopilot = autopilot
         self.core = GatewayCore(
             service,
             ingest,
             checkpointer=checkpointer,
             coalescer=self.coalescer,
             membership=membership,
+            autopilot=autopilot,
         )
         if backend == "selectors":
             self._server = _SelectorsServer((host, port), self.core, verbose)
@@ -850,6 +943,8 @@ class ServingGateway:
             self.checkpointer.start()
         if self.coalescer is not None:
             self.coalescer.start()
+        if self.autopilot is not None:
+            self.autopilot.start()
 
     def start(self) -> "ServingGateway":
         """Serve in a daemon thread; returns self for chaining."""
@@ -877,6 +972,8 @@ class ServingGateway:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        if self.autopilot is not None and self._activated:
+            self.autopilot.stop()
         if self.coalescer is not None and self._activated:
             self.coalescer.stop()
         if self.checkpointer is not None and self._activated:

@@ -43,6 +43,8 @@ from typing import Callable, Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.serving.autopilot import PeriodicController
+
 from repro.measurement.errors import (
     FlipNearThreshold,
     LabelNoiseModel,
@@ -646,7 +648,7 @@ def _scaled_mad(values: np.ndarray) -> float:
     return 1.4826 * float(np.median(np.abs(values - median)))
 
 
-class AdaptiveGuardTuner:
+class AdaptiveGuardTuner(PeriodicController):
     """Derives guard thresholds from the online evaluator's window.
 
     The static guard parameters (``step_clip``, the sigma filter's
@@ -709,19 +711,16 @@ class AdaptiveGuardTuner:
             )
         if min_samples < 2:
             raise ValueError(f"min_samples must be >= 2, got {min_samples}")
-        if interval < 1:
-            raise ValueError(f"interval must be >= 1, got {interval}")
+        # the PeriodicController mark is the evaluator's observed-sample
+        # count, so the tuner re-derives every `interval` observations
+        super().__init__(interval=int(interval), min_samples=int(min_samples))
         self.evaluator = evaluator
         self.clip_k = float(clip_k)
         self.base_sigma = float(base_sigma)
         self.sigma_floor = float(sigma_floor)
         self.sigma_ceil = float(sigma_ceil)
-        self.min_samples = int(min_samples)
-        self.interval = int(interval)
-        self.updates = 0
         self.step_clip: Optional[float] = None
         self.sigma: Optional[float] = None
-        self._last_observed = 0
 
     def thresholds(self) -> "tuple[Optional[float], Optional[float]]":
         """Derive ``(step_clip, sigma)`` from the current window.
@@ -755,10 +754,8 @@ class AdaptiveGuardTuner:
         ``sigma`` on every :class:`RobustSigmaFilter` of its guard.
         Returns whether thresholds were (re)installed.
         """
-        observed = self.evaluator.observed
-        if observed - self._last_observed < self.interval:
+        if not self._due(self.evaluator.observed):
             return False
-        self._last_observed = observed
         step_clip, sigma = self.thresholds()
         if step_clip is None:
             return False
@@ -770,7 +767,7 @@ class AdaptiveGuardTuner:
                 if isinstance(flt, RobustSigmaFilter):
                     flt.sigma = sigma
                     flt._cached = None  # recompute radius on next batch
-        self.updates += 1
+        self._record_update()
         return True
 
     def as_dict(self) -> Dict[str, object]:

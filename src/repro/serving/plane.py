@@ -1,0 +1,516 @@
+"""The shard plane: one interface over every sharding stack, live topology.
+
+Three parallel stacks serve sharded state — thread mode
+(:mod:`repro.serving.shard`), process mode (:mod:`repro.serving.procs`)
+and the cluster plane (:mod:`repro.serving.cluster`).  They grew the
+same gateway-facing surface independently; this module names that
+surface once and factors the genuinely shared half of it:
+
+* :class:`ShardPlane` — the protocol every stack satisfies: snapshot
+  reads (via ``store``/``snapshot``), routed ingest (``submit`` /
+  ``submit_many`` / ``flush`` / ``publish``), the quiesce barrier
+  (``membership_barrier``), topology introspection (``topology``) and
+  health (``shard_info`` / ``stats_payload``).  Planes that own their
+  partitions (thread + process mode) additionally support **live
+  topology mutation**: ``set_shard_count`` / ``split_shard`` /
+  ``merge_shards`` re-stride the partition as an atomic copy-on-write
+  epoch transition while queries keep flowing;
+* :class:`RoutedIngestBase` — the shared gateway-side ingest
+  implementation: routing-time validation, tombstone shedding,
+  ``src % P`` partitioning against the **live** shard count, the
+  under-gate re-validation (membership epochs *and* topology epochs can
+  both invalidate a routed chunk between validation and enqueue), and
+  the topology log behind ``topology()`` / ``POST /admin/reconfig``;
+* :func:`carried_versions` — the version-carry rule for any ``P → P'``
+  re-partition: every new shard starts past both the old per-shard
+  maximum and the old global sum spread over ``P'``, so **no shard
+  version ever rewinds and the global (summed) version stays strictly
+  monotone** — which is what keeps version-keyed caches invalidated
+  across a topology change.
+
+Split/merge under a strided partition
+-------------------------------------
+The partition is strided (shard ``s`` owns node ids ``i`` with
+``i % P == s``), so shard boundaries are a property of ``P`` alone:
+"splitting" a hot shard means re-striding the whole plane at ``P + 1``
+and "merging" two cold shards means re-striding at ``P - 1``.  The
+``split_shard(p)`` / ``merge_shards(p, q)`` entry points therefore take
+the hot/cold shard ids as the *trigger* (recorded in the topology log
+for operators) and perform the global re-stride — ownership of every
+node id is recomputed, which is exactly what checkpoint reloads with a
+different shard count already do.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # Protocol is 3.8+; keep a soft fallback for older interpreters
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient python
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+__all__ = [
+    "ShardPlane",
+    "RoutedIngestBase",
+    "carried_versions",
+]
+
+
+def carried_versions(versions: Sequence[int], target: int) -> List[int]:
+    """Per-shard starting versions for a ``P -> target`` re-partition.
+
+    Old per-shard publish counters describe partitions that no longer
+    exist, so they cannot be mapped across; instead every new shard
+    starts at::
+
+        max(max(versions), ceil(sum(versions) / target)) + 1
+
+    which guarantees both monotonicity invariants at once:
+
+    * **no per-shard rewind** — the new value exceeds every old shard's
+      version, so any reader pinned to "shard owning node i" sees its
+      version grow across the transition regardless of how ownership
+      moved;
+    * **no global rewind** — ``target`` copies of at least
+      ``ceil(total/target) + 1`` sum past the old total, so the summed
+      version (the cache key) grows strictly.
+    """
+    target = int(target)
+    if target < 1:
+        raise ValueError(f"target shard count must be >= 1, got {target}")
+    versions = [int(v) for v in versions]
+    if not versions:
+        raise ValueError("need at least one source version")
+    total = sum(versions)
+    carried = max(max(versions), -(-total // target)) + 1
+    return [carried] * target
+
+
+@runtime_checkable
+class ShardPlane(Protocol):
+    """The one surface the gateway/CLI/autopilot consume from any stack.
+
+    Satisfied (structurally — no inheritance required) by
+    :class:`~repro.serving.shard.ShardedIngest` (thread mode),
+    :class:`~repro.serving.procs.ProcessShardedIngest` (process mode)
+    and :class:`~repro.serving.cluster.RoutingGateway` (cluster plane).
+    The first two also satisfy the *mutable-topology* half
+    (``set_shard_count`` / ``split_shard`` / ``merge_shards``); the
+    cluster plane re-partitions through its versioned
+    :class:`~repro.serving.cluster.PartitionBook` instead and reports
+    that through :meth:`topology`.
+    """
+
+    # -- ingest --------------------------------------------------------
+    def submit(self, source: int, target: int, value: float) -> bool:
+        """Route one measurement to its owning shard; True if queued."""
+        ...
+
+    def submit_many(
+        self, sources: np.ndarray, targets: np.ndarray, values: np.ndarray
+    ) -> int:
+        """Route a batch of measurements; returns how many were accepted."""
+        ...
+
+    def flush(self) -> int:
+        """Apply everything buffered; returns samples applied."""
+        ...
+
+    def publish(self) -> int:
+        """Make applied updates readable; returns the new global version."""
+        ...
+
+    def close(self) -> None:
+        """Stop workers and release transport resources."""
+        ...
+
+    # -- health / introspection ---------------------------------------
+    def shard_info(self) -> List[Dict[str, object]]:
+        """One vitals row per shard (queue depth, version, counters)."""
+        ...
+
+    def guard_info(self) -> Dict[str, object]:
+        """Admission-guard counters and configuration."""
+        ...
+
+    def stats_payload(self) -> Dict[str, object]:
+        """The merged `/stats` ingest section."""
+        ...
+
+    def topology(self) -> Dict[str, object]:
+        """Current shard topology: count, epoch, mutability, transitions."""
+        ...
+
+
+class RoutedIngestBase:
+    """Shared gateway-side ingest: validate once, route by ``src % P`` live.
+
+    Subclasses (:class:`~repro.serving.shard.ShardedIngest`,
+    :class:`~repro.serving.procs.ProcessShardedIngest`) provide the
+    transport behind two hooks:
+
+    * ``_put_chunk(shard, item) -> int`` — deliver one
+      single-shard-pure chunk **with the submission gate already
+      held**; returns how many samples were accepted;
+    * ``_apply_topology(shards, reason) -> dict`` — perform the actual
+      re-partition under the gate (called by :meth:`set_shard_count`).
+
+    and these attributes (set in their ``__init__``): ``store``,
+    ``shards``, ``_gate``, ``_counter_lock``, ``_elastic``,
+    ``_received``, ``_dropped_invalid``, ``_dropped_membership``,
+    ``dropped_backpressure``, ``put_timeout``.
+
+    The base owns routing-time validation (:meth:`_route_valid`), the
+    scalar/batch submit entry points, the under-gate re-validation
+    (universe shrink, tombstones, **and** topology change — after a
+    re-stride a chunk routed under the old ``P`` may span several new
+    shards and is re-partitioned here before delivery), and the
+    topology log served by ``/stats`` and ``POST /admin/reconfig``.
+    """
+
+    # -- shared state (call from subclass __init__) --------------------
+
+    def _init_plane(self) -> None:
+        #: bumps on every completed re-partition; chunks routed under an
+        #: older epoch are re-partitioned at the gate before delivery
+        self._topology_epoch = 0
+        # flips True at the first re-partition: only then can a routed
+        # chunk span shards, so only then does the enqueue path pay the
+        # per-chunk re-route scan (mirrors the ``_elastic`` latch)
+        self._dynamic = False
+        self._topology_log: List[Dict[str, object]] = []
+        self._reconfig_ms = 0.0
+
+    # -- routing-time validation ---------------------------------------
+
+    def _route_valid(
+        self, sources: np.ndarray, targets: np.ndarray, values: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Validate and drop unroutable samples (counted here).
+
+        A sample without a finite integral in-range source cannot be
+        assigned a shard, so routing-level validation mirrors the
+        pipeline's and counts drops in the plane's stats; samples that
+        pass go to the pipelines' pre-validated fast path
+        (:meth:`~repro.serving.ingest.IngestPipeline.submit_valid`) so
+        the element-wise checks are paid exactly once.
+
+        Samples touching a tombstoned (departed) node are shed here
+        too, counted separately in ``dropped_membership``: a departed
+        node must stop influencing the model, and — crucially — its
+        rows must stop being *read* by SGD updates of live probers.
+        """
+        n = self.store.n
+        with np.errstate(invalid="ignore"):
+            keep = (
+                np.isfinite(values)
+                & np.isfinite(sources)
+                & np.isfinite(targets)
+                & (sources == np.floor(sources))
+                & (targets == np.floor(targets))
+                & (sources >= 0)
+                & (sources < n)
+                & (targets >= 0)
+                & (targets < n)
+                & (sources != targets)
+            )
+        kept = int(keep.sum())
+        dropped = int(values.size) - kept
+        dropped_membership = 0
+        tombstones = self.store.tombstones
+        if tombstones and kept:
+            marks = np.asarray(tombstones, dtype=np.int64)
+            with np.errstate(invalid="ignore"):
+                live = keep & ~np.isin(
+                    sources.astype(np.int64, copy=False), marks
+                ) & ~np.isin(targets.astype(np.int64, copy=False), marks)
+            dropped_membership = kept - int(live.sum())
+            keep = live
+            kept -= dropped_membership
+        with self._counter_lock:
+            self._received += int(values.size)
+            self._dropped_invalid += dropped
+            self._dropped_membership += dropped_membership
+        return (
+            sources[keep].astype(int),
+            targets[keep].astype(int),
+            values[keep],
+            kept,
+        )
+
+    # -- under-gate re-validation / re-routing -------------------------
+
+    def _revalidate_elastic(self, src, dst, vals):
+        """Re-validate a chunk under the gate (membership raced routing).
+
+        A membership epoch (the barrier holds the gate) can shrink the
+        model or tombstone nodes between routing-time validation and
+        enqueue; everything delivered here is applied before the *next*
+        epoch swap — the barrier drains the queues while holding the
+        gate — so a chunk valid now can never reach an engine stale.
+        """
+        n = self.store.n
+        if vals.size and (int(src.max()) >= n or int(dst.max()) >= n):
+            keep = (src < n) & (dst < n)
+            dropped = int(vals.size - keep.sum())
+            with self._counter_lock:
+                self._dropped_invalid += dropped
+            src, dst, vals = src[keep], dst[keep], vals[keep]
+        tombstones = self.store.tombstones
+        if tombstones and vals.size:
+            marks = np.asarray(tombstones, dtype=np.int64)
+            keep = ~np.isin(src, marks) & ~np.isin(dst, marks)
+            dropped = int(vals.size - keep.sum())
+            if dropped:
+                with self._counter_lock:
+                    self._dropped_membership += dropped
+                src, dst, vals = src[keep], dst[keep], vals[keep]
+        return src, dst, vals
+
+    def _deliver(self, shard: int, src, dst, vals) -> int:
+        """Deliver a chunk under the gate, re-routing after a re-stride.
+
+        A chunk partitioned by the *old* shard count may be impure —
+        span several new shards, or name a shard that no longer exists
+        — once a re-partition completed between routing and enqueue.
+        Re-partitioning here (gate held, so the topology cannot move
+        again underneath) restores the ownership invariant process mode
+        depends on: a worker must only ever apply updates for rows it
+        owns.  Skipped entirely until the first re-stride.
+        """
+        if self._dynamic and vals.size:
+            P = self.shards
+            shard_ids = src % P
+            if shard >= P or not (shard_ids == shard).all():
+                accepted = 0
+                for s in np.unique(shard_ids):
+                    mask = shard_ids == s
+                    accepted += self._put_chunk(
+                        int(s), (src[mask], dst[mask], vals[mask])
+                    )
+                return accepted
+        return self._put_chunk(shard, (src, dst, vals))
+
+    def _enqueue(self, shard: int, item) -> int:
+        """Gate-acquire + re-validate + deliver; sheds on sustained full.
+
+        Returns how many of the chunk's samples were accepted.  The
+        gate acquisition is bounded by ``put_timeout``: a membership or
+        topology transition holds the gate while it drains the queues,
+        and a submitter — in particular the selectors backend's single
+        event-loop thread — must stall at most the backpressure bound,
+        shedding the chunk (counted) rather than blocking for the whole
+        transition.
+        """
+        timeout = -1 if self.put_timeout is None else self.put_timeout
+        if not self._gate.acquire(timeout=timeout):
+            with self._counter_lock:
+                self.dropped_backpressure += int(item[2].size)
+            return 0
+        try:
+            src, dst, vals = item
+            if self._elastic:
+                src, dst, vals = self._revalidate_elastic(src, dst, vals)
+            if not vals.size:
+                return 0
+            return self._deliver(shard, src, dst, vals)
+        finally:
+            self._gate.release()
+
+    def _put_chunk(self, shard: int, item) -> int:  # pragma: no cover
+        """Deliver one pure chunk (gate held). Subclass hook."""
+        raise NotImplementedError
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, source: int, target: int, value: float) -> bool:
+        """Route one measurement to its source's shard.
+
+        The admission verdict is asynchronous when workers are running
+        — ``True`` means *accepted for processing* (valid and
+        enqueued); ``False`` means invalid or shed by backpressure.
+        Guard rejections surface in ``/stats``.
+        """
+        src, dst, vals, kept = self._route_valid(
+            np.asarray([source], dtype=float),
+            np.asarray([target], dtype=float),
+            np.asarray([value], dtype=float),
+        )
+        if not kept:
+            return False
+        return self._submit_single(int(src[0]) % self.shards, (src, dst, vals))
+
+    def submit_many(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        values: np.ndarray,
+    ) -> int:
+        """Partition a batch by source shard and feed every shard.
+
+        Returns the number of samples routed (valid and not shed);
+        admission decisions are the per-shard pipelines' and surface in
+        stats.  A full shard queue blocks for up to ``put_timeout``
+        seconds (backpressure), then sheds the chunk — counted in
+        ``dropped_backpressure`` — bounding both memory and the
+        submitter's stall.
+        """
+        sources = np.asarray(sources, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if not sources.shape == targets.shape == values.shape or sources.ndim != 1:
+            raise ValueError(
+                "sources, targets and values must be matching 1-D arrays"
+            )
+        src, dst, vals, kept = self._route_valid(sources, targets, values)
+        if not kept:
+            return 0
+        P = self.shards
+        shard_ids = src % P
+        for s in range(P):
+            mask = shard_ids == s
+            if not mask.any():
+                continue
+            item = (src[mask], dst[mask], vals[mask])
+            # shed (backpressure) or re-dropped (an epoch raced the
+            # routing validation) samples are excluded from the count
+            kept -= int(item[2].size) - self._submit_chunk(s, item)
+        return kept
+
+    def _submit_single(self, shard: int, item) -> bool:
+        """Scalar delivery hook (subclasses override for inline modes)."""
+        return self._enqueue(shard, item) > 0
+
+    def _submit_chunk(self, shard: int, item) -> int:
+        """Batch delivery hook (subclasses override for inline modes)."""
+        return self._enqueue(shard, item)
+
+    # -- live topology --------------------------------------------------
+
+    def set_shard_count(
+        self, shards: int, *, reason: str = "manual"
+    ) -> Dict[str, object]:
+        """Re-stride the plane to ``shards`` partitions, atomically.
+
+        Quiesces ingest (gate + drain + flush), re-partitions the store
+        as one copy-on-write snapshot swap with
+        :func:`carried_versions`, rebuilds exactly the shard resources
+        that changed, and resumes — queries keep flowing throughout
+        (readers never touch the gate).  Returns the new
+        :meth:`topology` payload.  No-op (but still logged-free) when
+        ``shards`` already matches.
+        """
+        shards = int(shards)
+        if not 1 <= shards <= self.store.n:
+            raise ValueError(
+                f"shards must be in [1, n={self.store.n}], got {shards}"
+            )
+        with self._gate:
+            # from here on routed chunks must be re-validated at the
+            # gate — both the universe and the topology can now change
+            # between routing-time validation and enqueue
+            self._elastic = True
+            if shards == self.shards:
+                return self.topology()
+            started = time.perf_counter()
+            old = self.shards
+            self._apply_topology(shards, reason)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self._topology_epoch += 1
+            self._dynamic = True
+            self._reconfig_ms = elapsed_ms
+            self._topology_log.append(
+                {
+                    "action": "split" if shards > old else "merge",
+                    "from_shards": old,
+                    "to_shards": shards,
+                    "reason": reason,
+                    "transition_ms": round(elapsed_ms, 3),
+                    "epoch": self._topology_epoch,
+                }
+            )
+        return self.topology()
+
+    def _apply_topology(self, shards: int, reason: str) -> None:
+        """Perform the re-partition (gate held). Subclass hook."""
+        raise NotImplementedError
+
+    def split_shard(
+        self, shard: int, *, reason: str = "manual"
+    ) -> Dict[str, object]:
+        """Grow the plane by one partition (triggered by a hot shard).
+
+        Under the strided partition a "split" re-strides every shard
+        (see the module docstring); ``shard`` names the hot partition
+        that triggered it and is recorded in the topology log.
+        """
+        if not 0 <= int(shard) < self.shards:
+            raise ValueError(
+                f"shard must be in [0, {self.shards}), got {shard}"
+            )
+        return self.set_shard_count(
+            self.shards + 1, reason=f"{reason}:split-shard-{int(shard)}"
+        )
+
+    def merge_shards(
+        self, shard: int, other: int, *, reason: str = "manual"
+    ) -> Dict[str, object]:
+        """Shrink the plane by one partition (two cold shards named).
+
+        Under the strided partition a "merge" re-strides every shard;
+        ``shard`` and ``other`` name the cold partitions that triggered
+        it and are recorded in the topology log.
+        """
+        shard, other = int(shard), int(other)
+        for value in (shard, other):
+            if not 0 <= value < self.shards:
+                raise ValueError(
+                    f"shard must be in [0, {self.shards}), got {value}"
+                )
+        if shard == other:
+            raise ValueError("merge_shards needs two distinct shards")
+        if self.shards <= 1:
+            raise ValueError("cannot merge below one shard")
+        return self.set_shard_count(
+            self.shards - 1,
+            reason=f"{reason}:merge-shards-{shard}+{other}",
+        )
+
+    def topology(self) -> Dict[str, object]:
+        """The live-topology section of ``/stats`` (and reconfig replies)."""
+        payload: Dict[str, object] = {
+            "shard_count": self.shards,
+            "topology_epoch": self._topology_epoch,
+            "dynamic": self._dynamic,
+            "transitions": list(self._topology_log[-16:]),
+            "last_transition_ms": round(self._reconfig_ms, 3),
+        }
+        repartitioned_from = getattr(self.store, "repartitioned_from", None)
+        if repartitioned_from is not None:
+            # a checkpoint reload re-partitioned the factors (satellite
+            # of the same invariant: topology survived a restart)
+            payload["repartitioned_from"] = int(repartitioned_from)
+        return payload
+
+    # -- unified stats keys ---------------------------------------------
+
+    def _unify_shard_keys(self, ingest: Dict[str, object]) -> Dict[str, object]:
+        """Canonical ``shard_count`` key (+ ``shards`` kept as alias).
+
+        The thread and process payloads historically both used
+        ``ingest["shards"]``; ``shard_count`` is the canonical key now,
+        and ``shards`` stays as a **deprecated alias** so dashboards
+        keep working.
+        """
+        ingest["shard_count"] = self.shards
+        ingest["shards"] = self.shards  # deprecated alias of shard_count
+        return ingest

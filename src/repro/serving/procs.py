@@ -92,6 +92,7 @@ from repro.serving.guard import (
     OnlineEvaluator,
 )
 from repro.serving.ingest import IngestPipeline, IngestStats
+from repro.serving.plane import RoutedIngestBase, carried_versions
 from repro.serving.shard import ShardedCoordinateStore, ShardedSnapshot, ShardSnapshot
 
 __all__ = [
@@ -162,6 +163,32 @@ _REASON_SLOTS = {
     "outlier": REJ_OUTLIER,
     "noise_band": REJ_NOISE_BAND,
 }
+
+#: cumulative *totals* (never gauges) — when a re-partition drops
+#: shards, these slots of the retired segments are folded into shard
+#: 0's new segment so aggregated stats stay cumulative across topology
+#: changes; gauges (SINCE_PUBLISH, BUFFERED, HEARTBEAT, eval windows,
+#: adaptive levels, PID) describe a live worker and are never folded
+_ADDITIVE_SLOTS = (
+    RECEIVED,
+    APPLIED,
+    DEDUPED,
+    CLIPPED,
+    REJECTED_GUARD,
+    DROPPED_NAN,
+    BATCHES,
+    PUBLISHES,
+    CONSUMED,
+    REJ_RATE_LIMIT,
+    REJ_PAIR_RATE,
+    REJ_OUTLIER,
+    REJ_NOISE_BAND,
+    REJ_OTHER,
+    GUARD_RECEIVED,
+    GUARD_ADMITTED,
+    EVAL_OBSERVED,
+    ADAPTIVE_UPDATES,
+)
 
 
 def _owned_rows(shard: int, shards: int, n: int) -> int:
@@ -690,6 +717,10 @@ class ProcessShardedStore:
             sorted(int(t) for t in tombstones)
         )
         self._destroyed = False
+        #: shard count the factors were last re-partitioned *from*
+        #: (checkpoint reload mismatch, or a live re-stride); surfaced
+        #: in ``/stats`` so a topology change is visible after restart
+        self.repartitioned_from: Optional[int] = None
         # wired by WorkerSupervisor: routes replace_model through the
         # two-phase worker commit instead of a gateway-only swap
         self._committer: Optional[Callable] = None
@@ -770,12 +801,14 @@ class ProcessShardedStore:
         """
         loaded = ShardedCoordinateStore.load(path, shards=shards)
         U, V = loaded.as_full_arrays()
-        return cls.create(
+        store = cls.create(
             (U, V),
             shards=loaded.shards,
             versions=loaded.versions,
             tombstones=loaded.tombstones,
         )
+        store.repartitioned_from = loaded.repartitioned_from
+        return store
 
     # -- reads (lock-free) ---------------------------------------------
 
@@ -881,6 +914,7 @@ class ProcessShardedStore:
         coordinates: Union[CoordinateTable, Tuple[np.ndarray, np.ndarray]],
         *,
         tombstones: Optional[Sequence[int]] = None,
+        shards: Optional[int] = None,
     ) -> _EpochState:
         """Allocate the next epoch's segments and write the new model.
 
@@ -889,10 +923,24 @@ class ProcessShardedStore:
         the global version stays strictly monotone — which is what
         invalidates version-keyed caches after the swap.  The returned
         state is inert until :meth:`activate_epoch`.
+
+        With ``shards`` given the new epoch is **re-strided** to a
+        different partition count (a live topology change): versions
+        follow :func:`repro.serving.plane.carried_versions` (no shard
+        rewinds, the global sum grows), counters are carried per
+        position where one exists, and — on a merge — the retired
+        segments' additive totals are folded into shard 0 so the
+        aggregated stats stay cumulative.
         """
         U, V = self._unpack(coordinates)
         n, rank = U.shape
-        P = self.shards
+        old_P = self.shards
+        if shards is not None:
+            P = int(shards)
+            if not 1 <= P <= n:
+                raise ValueError(f"shards must be in [1, n={n}], got {P}")
+        else:
+            P = old_P
         if n < P:
             raise ValueError(
                 f"cannot shrink to {n} nodes: the store has {P} shard(s)"
@@ -903,24 +951,38 @@ class ProcessShardedStore:
                 raise ValueError(f"tombstones out of range for n={n}")
         old = self._state
         epoch = old.epoch + 1
+        if P == old_P:
+            versions = [
+                old.segments[s].slot(VERSION) + 1 for s in range(P)
+            ]
+        else:
+            versions = carried_versions(
+                [seg.slot(VERSION) for seg in old.segments], P
+            )
         segments = []
         names = []
         for s in range(P):
             name = f"{self._prefix}e{epoch}s{s}"
-            version = old.segments[s].slot(VERSION) + 1
             segment = FactorSegment.create(
                 name,
                 shard=s,
                 shards=P,
                 n=n,
                 rank=rank,
-                version=version,
+                version=versions[s],
                 epoch=epoch,
             )
-            segment.header[COUNTERS_FROM:] = old.segments[s].header[
-                COUNTERS_FROM:
-            ]
-            segment.write_slice(U[s::P], V[s::P], version)
+            if s < old_P:
+                segment.header[COUNTERS_FROM:] = old.segments[s].header[
+                    COUNTERS_FROM:
+                ]
+            if s == 0 and P < old_P:
+                # merge: retired shards' cumulative totals fold into
+                # shard 0 (gauges describe a live worker — not carried)
+                for retired in old.segments[P:]:
+                    for slot in _ADDITIVE_SLOTS:
+                        segment.header[slot] += retired.slot(slot)
+            segment.write_slice(U[s::P], V[s::P], versions[s])
             segments.append(segment)
             names.append(name)
         return _EpochState(tuple(segments), tuple(names), epoch)
@@ -1083,6 +1145,9 @@ class WorkerSupervisor:
         command_timeout: float = 30.0,
         health_interval: float = 0.5,
         monitor: bool = True,
+        guard_factory: Optional[
+            Callable[[int], Optional[AdmissionGuard]]
+        ] = None,
     ) -> None:
         if queue_depth <= 0:
             raise ValueError(f"queue_depth must be positive, got {queue_depth}")
@@ -1107,6 +1172,10 @@ class WorkerSupervisor:
         self.store = store
         self.spec = spec
         self.shards = store.shards
+        #: equips shards born from a live split with fresh guards (the
+        #: per-shard guards in ``spec.guards`` are positional; a new
+        #: position needs a new stateful guard)
+        self.guard_factory = guard_factory
         self.queue_depth = int(queue_depth)
         self.command_timeout = float(command_timeout)
         self.health_interval = float(health_interval)
@@ -1397,6 +1466,116 @@ class WorkerSupervisor:
         finally:
             self._lock.release()
 
+    # -- live topology -------------------------------------------------
+
+    def set_shard_count(self, shards: int) -> None:
+        """Re-partition the plane to ``shards`` worker processes.
+
+        Reuses the two-phase epoch machinery with a twist: the worker
+        *set itself* changes, so after phase one (barrier: every worker
+        drains, flushes and publishes — shared memory **is** the model)
+        all workers are stopped, the re-strided epoch's segments are
+        prepared (:meth:`ProcessShardedStore.prepare_epoch` with
+        ``shards=`` — counters folded on merge, versions carried),
+        readers atomically swap, and a fresh worker set is spawned
+        against the new epoch.  Queries never block: a reader keeps
+        composing whichever epoch tuple it loaded, and the retired
+        segments stay mapped until the store is destroyed.
+        """
+        shards = int(shards)
+        if not 1 <= shards <= self.store.n:
+            raise ValueError(
+                f"shards must be in [1, n={self.store.n}], got {shards}"
+            )
+        if shards > 1 and not self.spec.engine.metric.symmetric:
+            # same restriction as the constructor: the asymmetric ABW
+            # update writes target-side rows owned by other workers
+            raise ValueError(
+                "process mode with multiple shards supports symmetric "
+                "(RTT) updates only; cannot split an ABW plane"
+            )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("supervisor is shut down")
+            old = self.shards
+            if shards == old:
+                return
+            # phase one: quiesce every worker (respawn-and-retry like
+            # begin_epoch — roll forward, never abort)
+            tokens = [
+                self.command(shard, "barrier") for shard in range(old)
+            ]
+            for shard, token in enumerate(tokens):
+                try:
+                    self.wait_ack(shard, token)
+                except TimeoutError:
+                    self.respawn(shard)
+                    token = self.command(shard, "barrier")
+                    self.wait_ack(shard, token)
+            # the worker set is being replaced wholesale: stop everyone
+            # (their complete state now lives in the segments)
+            for shard in range(old):
+                proc = self.procs[shard]
+                if proc is None or not proc.is_alive():
+                    continue
+                try:
+                    self.queues[shard].put(("stop",), timeout=1.0)
+                except (stdlib_queue.Full, OSError, ValueError):
+                    proc.terminate()
+            for shard in range(old):
+                proc = self.procs[shard]
+                if proc is None:
+                    continue
+                proc.join(timeout=self.command_timeout)
+                if proc.is_alive():  # pragma: no cover - wedged worker
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+                self.procs[shard] = None
+            # re-stride: one copy-on-write epoch swap
+            U, V = self.store.as_full_arrays()
+            state = self.store.prepare_epoch((U, V), shards=shards)
+            self.store.activate_epoch(state)
+            self.store.repartitioned_from = old
+            self.shards = shards
+            # resize the per-shard resources (queues are empty: the
+            # barrier drained them and the gateway gate blocks refills)
+            if shards < old:
+                for q in self.queues[shards:]:
+                    try:
+                        q.close()
+                        q.join_thread()
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+                del self.queues[shards:]
+                del self.procs[shards:]
+                del self.restarts[shards:]
+            else:
+                self.queues.extend(
+                    self._ctx.Queue(maxsize=self.queue_depth)
+                    for _ in range(old, shards)
+                )
+                self.procs.extend([None] * (shards - old))
+                self.restarts.extend([0] * (shards - old))
+            if self.spec.guards is not None:
+                if self.guard_factory is not None:
+                    # guards are positional *and* stateful: a re-stride
+                    # reassigns every node id, so every shard gets a
+                    # fresh guard rather than inheriting mismatched
+                    # per-source state
+                    self.spec.guards = [
+                        self.guard_factory(s) for s in range(shards)
+                    ]
+                elif shards < old:
+                    self.spec.guards = list(self.spec.guards[:shards])
+                else:
+                    # no recipe for new guards: new shards run
+                    # unguarded (visible in /stats guard section)
+                    self.spec.guards = list(self.spec.guards) + [None] * (
+                        shards - old
+                    )
+            for shard in range(shards):
+                self._spawn(shard, state.names)
+
     # -- shutdown ------------------------------------------------------
 
     def shutdown(self, *, timeout: float = 5.0) -> None:
@@ -1541,7 +1720,7 @@ class _EvalFacade:
         return payload
 
 
-class ProcessShardedIngest:
+class ProcessShardedIngest(RoutedIngestBase):
     """P admission pipelines in P worker *processes*, behind bounded queues.
 
     Mirrors the surface of :class:`~repro.serving.shard.ShardedIngest`
@@ -1549,7 +1728,12 @@ class ProcessShardedIngest:
     ``buffered`` / ``stats_payload`` / ``membership_barrier`` / ...),
     so the gateway, the CLI and the membership manager run unchanged —
     but every SGD apply executes on its shard's own core, outside this
-    process's GIL.
+    process's GIL.  Together with :class:`ProcessShardedStore` this is
+    the process-mode :class:`~repro.serving.plane.ShardPlane` —
+    routing, validation and **live topology** (``set_shard_count`` /
+    ``split_shard`` / ``merge_shards``) come from
+    :class:`~repro.serving.plane.RoutedIngestBase`; this class supplies
+    the process transport (multiprocessing queues into the worker set).
 
     Routing, validation and tombstone shedding happen gateway-side
     (identical to thread mode); admitted chunks cross the process
@@ -1582,6 +1766,7 @@ class ProcessShardedIngest:
         self.dropped_backpressure = 0
         self._submitted_samples = [0] * self.shards
         self.worker_errors: List[str] = []
+        self._init_plane()
         self.evaluator = _EvalFacade(self) if self.spec.eval_mode else None
         self.engine = _GatewayEngineProxy(store, self.spec)
         # per-shard (monotonic time, applied) for the /shards pps gauge
@@ -1600,148 +1785,48 @@ class ProcessShardedIngest:
     def _segment(self, shard: int) -> FactorSegment:
         return self.store._state.segments[shard]
 
-    # -- submission ----------------------------------------------------
+    # -- submission (routing/validation live in RoutedIngestBase) ------
 
-    def _route_valid(
-        self, sources: np.ndarray, targets: np.ndarray, values: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-        """Validate and drop unroutable samples (gateway-side counters).
-
-        Identical semantics to
-        :meth:`~repro.serving.shard.ShardedIngest._route_valid`:
-        element-wise validity is paid once here, tombstoned nodes are
-        shed (counted in ``dropped_membership``), and survivors go to
-        the workers' pre-validated fast path.
-        """
-        n = self.store.n
-        with np.errstate(invalid="ignore"):
-            keep = (
-                np.isfinite(values)
-                & np.isfinite(sources)
-                & np.isfinite(targets)
-                & (sources == np.floor(sources))
-                & (targets == np.floor(targets))
-                & (sources >= 0)
-                & (sources < n)
-                & (targets >= 0)
-                & (targets < n)
-                & (sources != targets)
-            )
-        kept = int(keep.sum())
-        dropped = int(values.size) - kept
-        dropped_membership = 0
-        tombstones = self.store.tombstones
-        if tombstones and kept:
-            marks = np.asarray(tombstones, dtype=np.int64)
-            with np.errstate(invalid="ignore"):
-                live = keep & ~np.isin(
-                    sources.astype(np.int64, copy=False), marks
-                ) & ~np.isin(targets.astype(np.int64, copy=False), marks)
-            dropped_membership = kept - int(live.sum())
-            keep = live
-            kept -= dropped_membership
-        with self._counter_lock:
-            self._received += int(values.size)
-            self._dropped_invalid += dropped
-            self._dropped_membership += dropped_membership
-        return (
-            sources[keep].astype(int),
-            targets[keep].astype(int),
-            values[keep],
-            kept,
-        )
-
-    def _enqueue(self, shard: int, item) -> int:
-        """Ship one chunk to a shard worker; sheds on sustained full."""
-        timeout = -1 if self.put_timeout is None else self.put_timeout
-        if not self._gate.acquire(timeout=timeout):
+    def _put_chunk(self, shard: int, item) -> int:
+        """Ship one chunk to a shard worker (gate held by the base)."""
+        src, dst, vals = item
+        samples = int(vals.size)
+        if not self.supervisor.running:
+            # workers are gone (shutdown race): shed, never wedge
             with self._counter_lock:
-                self.dropped_backpressure += int(item[2].size)
+                self.dropped_backpressure += samples
             return 0
         try:
-            src, dst, vals = item
-            if self._elastic:
-                # a membership epoch can shrink the universe between
-                # routing-time validation and this enqueue; re-validate
-                # under the gate (the barrier holds it across a swap)
-                n = self.store.n
-                if int(src.max()) >= n or int(dst.max()) >= n:
-                    keep = (src < n) & (dst < n)
-                    dropped = int(vals.size - keep.sum())
-                    with self._counter_lock:
-                        self._dropped_invalid += dropped
-                    src, dst, vals = src[keep], dst[keep], vals[keep]
-                tombstones = self.store.tombstones
-                if tombstones and vals.size:
-                    marks = np.asarray(tombstones, dtype=np.int64)
-                    keep = ~np.isin(src, marks) & ~np.isin(dst, marks)
-                    dropped = int(vals.size - keep.sum())
-                    if dropped:
-                        with self._counter_lock:
-                            self._dropped_membership += dropped
-                        src, dst, vals = src[keep], dst[keep], vals[keep]
-            samples = int(vals.size)
-            if not samples:
-                return 0
-            if not self.supervisor.running:
-                # workers are gone (shutdown race): shed, never wedge
-                with self._counter_lock:
-                    self.dropped_backpressure += samples
-                return 0
-            try:
-                self.supervisor.queues[shard].put(
-                    ("chunk", src, dst, vals), timeout=self.put_timeout
-                )
-            except stdlib_queue.Full:
-                with self._counter_lock:
-                    self.dropped_backpressure += samples
-                return 0
-            with self._counter_lock:
-                self._submitted_samples[shard] += samples
-            return samples
-        finally:
-            self._gate.release()
-
-    def submit(self, source: int, target: int, value: float) -> bool:
-        """Route one measurement to its source's shard worker.
-
-        The admission verdict is asynchronous: ``True`` means *valid
-        and enqueued*; guard rejections surface in ``/stats``.
-        """
-        src, dst, vals, kept = self._route_valid(
-            np.asarray([source], dtype=float),
-            np.asarray([target], dtype=float),
-            np.asarray([value], dtype=float),
-        )
-        if not kept:
-            return False
-        return self._enqueue(int(src[0]) % self.shards, (src, dst, vals)) > 0
-
-    def submit_many(
-        self,
-        sources: np.ndarray,
-        targets: np.ndarray,
-        values: np.ndarray,
-    ) -> int:
-        """Partition a batch by source shard and feed every worker."""
-        sources = np.asarray(sources, dtype=float)
-        targets = np.asarray(targets, dtype=float)
-        values = np.asarray(values, dtype=float)
-        if not sources.shape == targets.shape == values.shape or sources.ndim != 1:
-            raise ValueError(
-                "sources, targets and values must be matching 1-D arrays"
+            self.supervisor.queues[shard].put(
+                ("chunk", src, dst, vals), timeout=self.put_timeout
             )
-        src, dst, vals, kept = self._route_valid(sources, targets, values)
-        if not kept:
+        except stdlib_queue.Full:
+            with self._counter_lock:
+                self.dropped_backpressure += samples
             return 0
-        shard_ids = src % self.shards
-        for s in range(self.shards):
-            mask = shard_ids == s
-            if not mask.any():
-                continue
-            item = (src[mask], dst[mask], vals[mask])
-            kept -= int(item[2].size) - self._enqueue(s, item)
-        return kept
+        with self._counter_lock:
+            self._submitted_samples[shard] += samples
+        return samples
+
+    # -- live topology -------------------------------------------------
+
+    def _apply_topology(self, shards: int, reason: str) -> None:
+        """Re-stride the worker plane (gate held by the base).
+
+        Delegates the heavy lifting to
+        :meth:`WorkerSupervisor.set_shard_count` (barrier, worker-set
+        replacement, copy-on-write epoch swap), then re-bases the
+        gateway-side drain accounting: the new epoch's segments carry
+        the consumed totals forward, so each shard's lag restarts at
+        zero against its new ``CONSUMED`` baseline.
+        """
+        self.supervisor.set_shard_count(shards)
+        self.shards = shards
+        with self._counter_lock:
+            self._submitted_samples = [
+                self._segment(s).slot(CONSUMED) for s in range(shards)
+            ]
+        self._pps_state = {}
 
     # -- flushing / publishing -----------------------------------------
 
@@ -1948,7 +2033,7 @@ class ProcessShardedIngest:
         self._drain_worker_errors()
         ingest = self.stats().as_dict()
         ingest["buffered"] = self.buffered
-        ingest["shards"] = self.shards
+        self._unify_shard_keys(ingest)
         ingest["workers"] = "processes"
         ingest["dropped_backpressure"] = self.dropped_backpressure
         with self._counter_lock:
@@ -1959,6 +2044,7 @@ class ProcessShardedIngest:
             "ingest": ingest,
             "guard": self.guard_info(),
             "shards": self.shard_info(),
+            "topology": self.topology(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

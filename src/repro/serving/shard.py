@@ -68,7 +68,8 @@ from repro.serving.guard import (
     AdmissionGuard,
     OnlineEvaluator,
 )
-from repro.serving.ingest import IngestPipeline
+from repro.serving.ingest import IngestPipeline, IngestStats
+from repro.serving.plane import RoutedIngestBase, carried_versions
 from repro.serving.service import PredictionService
 from repro.utils.validation import check_index
 
@@ -343,6 +344,12 @@ class ShardedCoordinateStore:
                 f"got {len(versions)} versions for {shards} shards"
             )
         self.shards = shards
+        #: shard count the factors were last re-partitioned *from* (a
+        #: checkpoint reload with a different count, or a live
+        #: :meth:`repartition`); ``None`` until a re-partition happens.
+        #: Surfaced in ``/stats`` so operators can see a topology
+        #: change survived a restart.
+        self.repartitioned_from: Optional[int] = None
         self._lock = threading.Lock()  # serializes writers only
         self._tombstones: Tuple[int, ...] = tuple(
             sorted(int(t) for t in (tombstones or ()))
@@ -488,6 +495,47 @@ class ShardedCoordinateStore:
             self._snaps = snaps  # the one atomic epoch swap
         return ShardedSnapshot(snaps)
 
+    def repartition(self, shards: int) -> ShardedSnapshot:
+        """Re-stride the live store to a new shard count, atomically.
+
+        The dense model is reassembled from the current snapshots and
+        re-sliced at the new ``P``; the whole per-shard tuple is swapped
+        in **one atomic reference store** (the same copy-on-write epoch
+        discipline as :meth:`replace_model`), so a reader either sees
+        the complete old topology or the complete new one — never a mix
+        of differently-strided slices.  Versions follow
+        :func:`repro.serving.plane.carried_versions`: no shard version
+        ever rewinds and the global (summed) version grows strictly,
+        which is what invalidates version-keyed caches across the
+        transition.  Callers must quiesce the per-shard ingest
+        pipelines first (their store views slice by the live shard
+        count) — :meth:`ShardedIngest.set_shard_count` does.
+        """
+        shards = int(shards)
+        if not 1 <= shards <= self.n:
+            raise ValueError(
+                f"shards must be in [1, n={self.n}], got {shards}"
+            )
+        with self._lock:
+            if shards == self.shards:
+                return ShardedSnapshot(self._snaps)
+            old = self.shards
+            n = self._snaps[0].n
+            U, V = ShardedSnapshot(self._snaps)._dense_view()
+            versions = carried_versions(
+                [snap.version for snap in self._snaps], shards
+            )
+            snaps = tuple(
+                ShardSnapshot(
+                    s, shards, n, versions[s], U[s::shards], V[s::shards]
+                )
+                for s in range(shards)
+            )
+            self.shards = shards
+            self.repartitioned_from = old
+            self._snaps = snaps  # the one atomic topology swap
+        return ShardedSnapshot(snaps)
+
     # ------------------------------------------------------------------
     # membership tombstones
     # ------------------------------------------------------------------
@@ -563,11 +611,14 @@ class ShardedCoordinateStore:
                 U, V = data["U"], data["V"]
                 version = int(data["version"]) if "version" in data else 1
                 target = shards if shards is not None else 1
-                return cls(
+                store = cls(
                     (U, V),
                     shards=target,
                     versions=[version] * target,
                 )
+                if target != 1:
+                    store.repartitioned_from = 1
+                return store
             saved = int(data["shards"])
             n = int(data["n"])
             P = saved
@@ -581,8 +632,7 @@ class ShardedCoordinateStore:
                 versions.append(int(data[f"version{s}"]))
             target = shards if shards is not None else saved
             if target != saved:
-                total = sum(versions)
-                carried = -(-total // target)  # ceil: sum never shrinks
+                carried = carried_versions(versions, target)[0]
                 warnings.warn(
                     f"checkpoint was written with {saved} shard(s) but "
                     f"{target} were requested; re-partitioning the factors "
@@ -591,12 +641,16 @@ class ShardedCoordinateStore:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                return cls(
+                store = cls(
                     (U, V),
                     shards=target,
                     versions=[carried] * target,
                     tombstones=tombstones,
                 )
+                # recorded for /stats: a topology change survived a
+                # restart (previously only this warning said so)
+                store.repartitioned_from = saved
+                return store
             return cls(
                 (U, V),
                 shards=saved,
@@ -684,13 +738,20 @@ class _ShardStoreView:
 _STOP = object()
 
 
-class ShardedIngest:
+class ShardedIngest(RoutedIngestBase):
     """P admission pipelines, one per shard, behind bounded queues.
 
     Mirrors the :class:`~repro.serving.ingest.IngestPipeline` surface
     the gateway consumes (``submit`` / ``submit_many`` / ``flush`` /
     ``publish`` / ``buffered`` / ``stats_payload`` / ``evaluator`` /
     ``store``), so the HTTP layer works unchanged against either.
+    Together with :class:`ShardedCoordinateStore` this is the
+    thread-mode :class:`~repro.serving.plane.ShardPlane` — routing,
+    validation and **live topology** (``set_shard_count`` /
+    ``split_shard`` / ``merge_shards``) come from
+    :class:`~repro.serving.plane.RoutedIngestBase`; this class supplies
+    the thread transport (bounded queues + worker threads) and the
+    re-partition mechanics.
 
     Routing is by source id (``source % shards``): DMFSGD's symmetric
     updates write only the prober's rows, so shard writes are disjoint,
@@ -710,6 +771,12 @@ class ShardedIngest:
         Optional per-shard admission guards (one
         :class:`~repro.serving.guard.AdmissionGuard` each — guards are
         stateful, so they are never shared between shards).
+    guard_factory:
+        Optional ``shard -> AdmissionGuard | None`` callable used to
+        equip shards created by a live topology change
+        (:meth:`set_shard_count` and friends) — and the initial shards
+        too when ``guards`` is not given.  Without it, shards born from
+        a split run unguarded (logged in the topology event).
     evaluator:
         Optional shared :class:`~repro.serving.guard.OnlineEvaluator`
         (internally locked, safe to share).
@@ -747,6 +814,9 @@ class ShardedIngest:
         mode: str = "guarded",
         step_clip: Optional[float] = None,
         guards: Optional[Sequence[Optional[AdmissionGuard]]] = None,
+        guard_factory: Optional[
+            Callable[[int], Optional[AdmissionGuard]]
+        ] = None,
         evaluator: Optional[OnlineEvaluator] = None,
         adaptive: bool = False,
         queue_depth: int = 64,
@@ -770,6 +840,14 @@ class ShardedIngest:
         self.evaluator = evaluator
         self.queue_depth = int(queue_depth)
         self.put_timeout = None if put_timeout is None else float(put_timeout)
+        # the pipeline recipe, kept so a live topology change (split)
+        # can build brand-new shard pipelines from the same ingredients
+        self._classify = classify
+        self._batch_size = batch_size
+        self._refresh_interval = refresh_interval
+        self._step_clip = step_clip
+        self._adaptive = adaptive
+        self._guard_factory = guard_factory
         self._engine_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         # serializes enqueue against close(): a submitter holding the
@@ -780,49 +858,70 @@ class ShardedIngest:
         self._received = 0
         self._dropped_invalid = 0
         self._dropped_membership = 0
-        # flips True at the first membership barrier: only then can the
-        # universe change under a routed chunk, so only then does the
-        # enqueue path pay the under-gate re-validation
+        # flips True at the first membership barrier or topology
+        # change: only then can the universe (or the partition) change
+        # under a routed chunk, so only then does the enqueue path pay
+        # the under-gate re-validation
         self._elastic = False
         self.dropped_backpressure = 0
         self._queued_samples: List[int] = [0] * store.shards
         self.worker_errors: List[str] = []
+        self._init_plane()
+        # counters absorbed from pipelines retired by a shard merge, so
+        # the aggregated stats stay cumulative across topology changes
+        self._retired_stats = IngestStats()
+        self._retired_admissions: List[Dict[str, object]] = []
         self.pipelines: List[IngestPipeline] = []
         for s in range(self.shards):
-            proxy = _SharedEngineProxy(engine, self._engine_lock)
-            view = _ShardStoreView(store, s, self._engine_lock)
-            self.pipelines.append(
-                IngestPipeline(
-                    proxy,  # type: ignore[arg-type]
-                    view,  # type: ignore[arg-type]
-                    classify=classify,
-                    batch_size=batch_size,
-                    refresh_interval=refresh_interval,
-                    mode=mode,
-                    step_clip=step_clip,
-                    guard=None if guards is None else guards[s],
-                    evaluator=evaluator,
-                    # one tuner per pipeline (tuners are stateful); all
-                    # derive from the one shared evaluator window
-                    adaptive=(
-                        AdaptiveGuardTuner(evaluator) if adaptive else None
-                    ),
-                )
-            )
+            if guards is not None:
+                guard = guards[s]
+            elif guard_factory is not None:
+                guard = guard_factory(s)
+            else:
+                guard = None
+            self.pipelines.append(self._build_pipeline(s, guard))
         self._queues: List["queue.Queue"] = []
         self._workers: List[threading.Thread] = []
+        self._worker_mode = bool(workers)
         self._closed = False
         if workers:
             for s in range(self.shards):
-                self._queues.append(queue.Queue(maxsize=self.queue_depth))
-                thread = threading.Thread(
-                    target=self._worker_loop,
-                    args=(s,),
-                    name=f"repro-ingest-shard-{s}",
-                    daemon=True,
-                )
-                self._workers.append(thread)
-                thread.start()
+                self._start_worker(s)
+
+    def _build_pipeline(
+        self, shard: int, guard: Optional[AdmissionGuard]
+    ) -> IngestPipeline:
+        """One shard's pipeline from the stored recipe (ctor + splits)."""
+        proxy = _SharedEngineProxy(self.engine, self._engine_lock)
+        view = _ShardStoreView(self.store, shard, self._engine_lock)
+        return IngestPipeline(
+            proxy,  # type: ignore[arg-type]
+            view,  # type: ignore[arg-type]
+            classify=self._classify,
+            batch_size=self._batch_size,
+            refresh_interval=self._refresh_interval,
+            mode=self.mode,
+            step_clip=self._step_clip,
+            guard=guard,
+            evaluator=self.evaluator,
+            # one tuner per pipeline (tuners are stateful); all
+            # derive from the one shared evaluator window
+            adaptive=(
+                AdaptiveGuardTuner(self.evaluator) if self._adaptive else None
+            ),
+        )
+
+    def _start_worker(self, shard: int) -> None:
+        """Append shard ``shard``'s bounded queue + worker thread."""
+        self._queues.append(queue.Queue(maxsize=self.queue_depth))
+        thread = threading.Thread(
+            target=self._worker_loop,
+            args=(shard,),
+            name=f"repro-ingest-shard-{shard}",
+            daemon=True,
+        )
+        self._workers.append(thread)
+        thread.start()
 
     # ------------------------------------------------------------------
     # workers
@@ -873,74 +972,30 @@ class ShardedIngest:
         """Whether worker threads are draining the shard queues."""
         return bool(self._workers) and not self._closed
 
-    def _enqueue(self, shard: int, item) -> int:
+    def _put_chunk(self, shard: int, item) -> int:
         """Queue one chunk for a shard worker; sheds on sustained full.
 
-        Returns how many of the chunk's samples were accepted (queued,
-        or — after :meth:`close` — applied inline).  The gate
-        guarantees a put can never land behind the stop sentinel.
-
-        The gate acquisition itself is bounded by ``put_timeout`` too:
-        a membership epoch transition holds the gate while it drains
-        the queues, and a submitter — in particular the selectors
-        backend's single event-loop thread — must stall at most the
-        backpressure bound, shedding the chunk (counted) rather than
-        blocking for the whole transition.
+        Called by the base's :meth:`_enqueue` with the gate held and
+        the chunk already re-validated (and re-routed if the topology
+        moved).  Returns how many samples were accepted (queued, or —
+        after :meth:`close` — applied inline).  The gate guarantees a
+        put can never land behind the stop sentinel.
         """
-        timeout = -1 if self.put_timeout is None else self.put_timeout
-        if not self._gate.acquire(timeout=timeout):
-            with self._counter_lock:
-                self.dropped_backpressure += int(item[2].size)
-            return 0
+        samples = int(item[2].size)
+        if self._closed or not self._workers:
+            # workers are gone: apply inline, losing nothing
+            self.pipelines[shard].submit_valid(*item)
+            return samples
+        with self._counter_lock:
+            self._queued_samples[shard] += samples
         try:
-            src, dst, vals = item
-            if self._elastic:
-                # Re-validate under the gate: a membership epoch (see
-                # membership_barrier, which holds this gate) can shrink
-                # the model or tombstone nodes between routing-time
-                # validation and this enqueue.  Everything enqueued
-                # here is applied before the *next* epoch swap — the
-                # barrier drains the queues while holding the gate — so
-                # a chunk valid now can never reach the engine stale.
-                # (Skipped entirely until the first barrier: without
-                # membership the universe cannot change, and the hot
-                # path must not pay per-chunk scans for it.)
-                n = self.engine.n
-                if int(src.max()) >= n or int(dst.max()) >= n:
-                    keep = (src < n) & (dst < n)
-                    dropped = int(vals.size - keep.sum())
-                    with self._counter_lock:
-                        self._dropped_invalid += dropped
-                    src, dst, vals = src[keep], dst[keep], vals[keep]
-                tombstones = self.store.tombstones
-                if tombstones and vals.size:
-                    marks = np.asarray(tombstones, dtype=np.int64)
-                    keep = ~np.isin(src, marks) & ~np.isin(dst, marks)
-                    dropped = int(vals.size - keep.sum())
-                    if dropped:
-                        with self._counter_lock:
-                            self._dropped_membership += dropped
-                        src, dst, vals = src[keep], dst[keep], vals[keep]
-            samples = int(vals.size)
-            if not samples:
-                return 0
-            item = (src, dst, vals)
-            if self._closed or not self._workers:
-                # workers are gone: apply inline, losing nothing
-                self.pipelines[shard].submit_valid(*item)
-                return samples
+            self._queues[shard].put(item, timeout=self.put_timeout)
+            return samples
+        except queue.Full:
             with self._counter_lock:
-                self._queued_samples[shard] += samples
-            try:
-                self._queues[shard].put(item, timeout=self.put_timeout)
-                return samples
-            except queue.Full:
-                with self._counter_lock:
-                    self._queued_samples[shard] -= samples
-                    self.dropped_backpressure += samples
-                return 0
-        finally:
-            self._gate.release()
+                self._queued_samples[shard] -= samples
+                self.dropped_backpressure += samples
+            return 0
 
     def close(self) -> None:
         """Stop the shard workers (idempotent); queued work is drained."""
@@ -962,122 +1017,96 @@ class ShardedIngest:
         self.close()
 
     # ------------------------------------------------------------------
-    # submission
+    # submission (routing/validation live in RoutedIngestBase; these
+    # hooks preserve the inline mode: without workers the pipeline's
+    # actual verdict is returned and nothing touches the gate)
     # ------------------------------------------------------------------
 
-    def _route_valid(
-        self, sources: np.ndarray, targets: np.ndarray, values: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
-        """Validate and drop unroutable samples (counted here).
-
-        A sample without a finite integral in-range source cannot be
-        assigned a shard, so routing-level validation mirrors the
-        pipeline's and counts drops in the sharded stats; samples that
-        pass go to the pipelines' pre-validated fast path
-        (:meth:`~repro.serving.ingest.IngestPipeline.submit_valid`) so
-        the element-wise checks are paid exactly once.
-
-        Samples touching a tombstoned (departed) node are shed here
-        too, counted separately in ``dropped_membership``: a departed
-        node must stop influencing the model, and — crucially — its
-        rows must stop being *read* by SGD updates of live probers.
-        """
-        with np.errstate(invalid="ignore"):
-            keep = (
-                np.isfinite(values)
-                & np.isfinite(sources)
-                & np.isfinite(targets)
-                & (sources == np.floor(sources))
-                & (targets == np.floor(targets))
-                & (sources >= 0)
-                & (sources < self.engine.n)
-                & (targets >= 0)
-                & (targets < self.engine.n)
-                & (sources != targets)
-            )
-        kept = int(keep.sum())
-        dropped = int(values.size) - kept
-        dropped_membership = 0
-        tombstones = self.store.tombstones
-        if tombstones and kept:
-            marks = np.asarray(tombstones, dtype=np.int64)
-            with np.errstate(invalid="ignore"):
-                live = keep & ~np.isin(
-                    sources.astype(np.int64, copy=False), marks
-                ) & ~np.isin(targets.astype(np.int64, copy=False), marks)
-            dropped_membership = kept - int(live.sum())
-            keep = live
-            kept -= dropped_membership
-        with self._counter_lock:
-            self._received += int(values.size)
-            self._dropped_invalid += dropped
-            self._dropped_membership += dropped_membership
-        return (
-            sources[keep].astype(int),
-            targets[keep].astype(int),
-            values[keep],
-            kept,
-        )
-
-    def submit(self, source: int, target: int, value: float) -> bool:
-        """Route one measurement to its source's shard.
-
-        With workers running the admission verdict is asynchronous —
-        ``True`` means *accepted for processing* (valid and enqueued);
-        ``False`` means invalid or shed by queue backpressure.  Guard
-        rejections surface in ``/stats``.  Inline mode returns the
-        pipeline's actual verdict.
-        """
-        src, dst, vals, kept = self._route_valid(
-            np.asarray([source], dtype=float),
-            np.asarray([target], dtype=float),
-            np.asarray([value], dtype=float),
-        )
-        if not kept:
-            return False
-        shard = int(src[0]) % self.shards
+    def _submit_single(self, shard: int, item) -> bool:
         if self._workers:
-            return self._enqueue(shard, (src, dst, vals)) > 0
-        return bool(self.pipelines[shard].submit_valid(src, dst, vals))
+            return self._enqueue(shard, item) > 0
+        return bool(self.pipelines[shard].submit_valid(*item))
 
-    def submit_many(
-        self,
-        sources: np.ndarray,
-        targets: np.ndarray,
-        values: np.ndarray,
-    ) -> int:
-        """Partition a batch by source shard and feed every shard.
+    def _submit_chunk(self, shard: int, item) -> int:
+        if self._workers:
+            # shed (backpressure) or re-dropped (a membership epoch
+            # raced the routing validation) samples are excluded
+            return self._enqueue(shard, item)
+        self.pipelines[shard].submit_valid(*item)
+        return int(item[2].size)
 
-        Returns the number of samples routed (valid and not shed);
-        admission decisions are the per-shard pipelines' and surface
-        in stats.  A full shard queue blocks for up to ``put_timeout``
-        seconds (backpressure), then sheds the chunk — counted in
-        :attr:`dropped_backpressure` — bounding both memory and the
-        submitter's stall.
+    # ------------------------------------------------------------------
+    # live topology
+    # ------------------------------------------------------------------
+
+    def _apply_topology(self, shards: int, reason: str) -> None:
+        """Re-stride to ``shards`` partitions (gate held by the base).
+
+        The transition is the membership-barrier quiesce followed by a
+        copy-on-write store swap, touching only the shard resources
+        that actually change:
+
+        1. drain the queues and flush + publish every pipeline, so the
+           store snapshots hold everything admitted under the old
+           topology (no new chunk can enter — the gate is held);
+        2. on a merge, stop exactly the retired tail workers and absorb
+           their pipelines' counters (stats stay cumulative);
+        3. swap the store to the new stride
+           (:meth:`ShardedCoordinateStore.repartition` — one atomic
+           tuple store, carried versions);
+        4. on a split, build the new tail pipelines/queues/workers from
+           the stored recipe.
+
+        Surviving workers keep running untouched throughout — their
+        queue/pipeline bindings stay valid because only the tail of the
+        per-shard lists ever changes.  Readers never block: queries keep
+        being served from whichever snapshot tuple they loaded.
         """
-        sources = np.asarray(sources, dtype=float)
-        targets = np.asarray(targets, dtype=float)
-        values = np.asarray(values, dtype=float)
-        if not sources.shape == targets.shape == values.shape or sources.ndim != 1:
-            raise ValueError(
-                "sources, targets and values must be matching 1-D arrays"
-            )
-        src, dst, vals, kept = self._route_valid(sources, targets, values)
-        if not kept:
-            return 0
-        shard_ids = src % self.shards
-        for s in range(self.shards):
-            mask = shard_ids == s
-            if not mask.any():
-                continue
-            item = (src[mask], dst[mask], vals[mask])
+        old = self.shards
+        self.drain()
+        for pipeline in self.pipelines:
+            pipeline.flush()
+            pipeline.publish()
+        if shards < old:
+            # retire the tail: stop its workers (queues are empty and
+            # the gate blocks refills), absorb its counters
             if self._workers:
-                # shed (backpressure) or re-dropped (a membership epoch
-                # raced the routing validation) samples are excluded
-                kept -= int(item[2].size) - self._enqueue(s, item)
-            else:
-                self.pipelines[s].submit_valid(*item)
-        return kept
+                for q in self._queues[shards:]:
+                    q.put(_STOP)
+                for thread in self._workers[shards:]:
+                    thread.join(timeout=5.0)
+            for pipeline in self.pipelines[shards:]:
+                stats = pipeline.stats()
+                retired = self._retired_stats
+                retired.applied += stats.applied
+                retired.deduped += stats.deduped
+                retired.clipped += stats.clipped
+                retired.rejected_guard += stats.rejected_guard
+                retired.dropped_invalid += stats.dropped_invalid
+                retired.dropped_nan += stats.dropped_nan
+                retired.batches += stats.batches
+                retired.publishes += stats.publishes
+                if pipeline.guard is not None:
+                    self._retired_admissions.append(pipeline.guard.as_dict())
+            del self.pipelines[shards:]
+            del self._queues[shards:]
+            del self._workers[shards:]
+            with self._counter_lock:
+                del self._queued_samples[shards:]
+        self.store.repartition(shards)
+        self.shards = shards
+        if shards > old:
+            with self._counter_lock:
+                self._queued_samples.extend([0] * (shards - old))
+            for s in range(old, shards):
+                guard = (
+                    self._guard_factory(s)
+                    if self._guard_factory is not None
+                    else None
+                )
+                self.pipelines.append(self._build_pipeline(s, guard))
+                if self._worker_mode and not self._closed:
+                    self._start_worker(s)
 
     # ------------------------------------------------------------------
     # flushing / publishing
@@ -1164,10 +1193,18 @@ class ShardedIngest:
         return sum(p.staleness for p in self.pipelines)
 
     def stats(self):
-        """Aggregated ingest counters (shard pipelines summed)."""
-        from repro.serving.ingest import IngestStats
-
-        total = IngestStats()
+        """Aggregated ingest counters (live + merge-retired pipelines)."""
+        retired = self._retired_stats
+        total = IngestStats(
+            applied=retired.applied,
+            deduped=retired.deduped,
+            clipped=retired.clipped,
+            rejected_guard=retired.rejected_guard,
+            dropped_invalid=retired.dropped_invalid,
+            dropped_nan=retired.dropped_nan,
+            batches=retired.batches,
+            publishes=retired.publishes,
+        )
         for pipeline in self.pipelines:
             stats = pipeline.stats()
             total.applied += stats.applied
@@ -1217,7 +1254,11 @@ class ShardedIngest:
             "clipped": 0,
             "rejected_total": 0,
         }
-        admissions = []
+        retired = self._retired_stats
+        info["deduped"] += retired.deduped  # type: ignore[operator]
+        info["clipped"] += retired.clipped  # type: ignore[operator]
+        info["rejected_total"] += retired.rejected_guard  # type: ignore[operator]
+        admissions = list(self._retired_admissions)
         aggregated: Dict[str, object] = {}
         for p in self.pipelines:
             stats = p.stats()
@@ -1240,10 +1281,10 @@ class ShardedIngest:
         return info
 
     def stats_payload(self) -> Dict[str, object]:
-        """The ``ingest`` + ``guard`` + ``shards`` sections of ``/stats``."""
+        """The ``ingest``/``guard``/``shards``/``topology`` of ``/stats``."""
         ingest = self.stats().as_dict()
         ingest["buffered"] = self.buffered
-        ingest["shards"] = self.shards
+        self._unify_shard_keys(ingest)
         ingest["dropped_backpressure"] = self.dropped_backpressure
         with self._counter_lock:
             ingest["dropped_membership"] = self._dropped_membership
@@ -1253,6 +1294,7 @@ class ShardedIngest:
             "ingest": ingest,
             "guard": self.guard_info(),
             "shards": self.shard_info(),
+            "topology": self.topology(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -23,6 +23,12 @@ def pytest_configure(config):
         "cluster_smoke: fast cluster-plane tests (tier-1, ~5 s: "
         "2 groups, one kill/restart, reads never fail)",
     )
+    config.addinivalue_line(
+        "markers",
+        "reconfig_smoke: fast live-topology tests (tier-1, ~10 s: "
+        "autopilot split/merge under a flash-crowd burst, zero failed "
+        "reads)",
+    )
 
 
 @pytest.fixture

@@ -363,9 +363,17 @@ class TestIntrospection:
     def test_stats_payload_sections(self):
         with make_cluster() as sup:
             payload = sup.router.stats_payload()
-            assert set(payload) == {"ingest", "guard", "shards", "cluster"}
+            assert set(payload) == {
+                "ingest", "guard", "shards", "cluster", "topology"
+            }
             assert payload["ingest"]["workers"] == "cluster"
             assert payload["ingest"]["groups"] == 2
+            # canonical key shared with the thread/process planes
+            assert payload["ingest"]["shard_count"] == 2
+            topology = payload["topology"]
+            assert topology["shard_count"] == 2
+            assert topology["mutable"] is False
+            assert topology["partition_book_version"] == 1
             assert len(payload["shards"]) == 4  # 2 groups x 2 shards
             assert all("group" in row for row in payload["shards"])
             cluster = payload["cluster"]

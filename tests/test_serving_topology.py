@@ -1,0 +1,580 @@
+"""Live topology: split/merge transitions, version carry, autopilot.
+
+The tentpole invariants under test:
+
+* any split -> merge round trip preserves **bitwise** read parity with
+  the pre-transition snapshot (the factors are re-strided, never
+  recomputed) — in both thread and process modes;
+* shard versions never rewind across a transition (per-shard max *and*
+  the global summed version both grow), so version-keyed caches stay
+  sound;
+* additive ingest counters survive a merge (folded, not dropped);
+* the autopilot's hysteresis acts only on sustained watermark
+  crossings, respects shard bounds and cooldown, and vetoes actions
+  while a worker heartbeat is stalled.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine
+from repro.serving.autopilot import Autopilot, AutopilotPolicy, PeriodicController
+from repro.serving.guard import AdmissionGuard, TokenBucketRateLimiter
+from repro.serving.plane import RoutedIngestBase, ShardPlane, carried_versions
+from repro.serving.shard import ShardedCoordinateStore, ShardedIngest
+
+
+def make_engine(n=30, seed=3, **config_kwargs):
+    config = DMFSGDConfig(neighbors=8, **config_kwargs)
+    return DMFSGDEngine(
+        n, lambda rows, cols: np.ones(len(rows)), config, rng=seed
+    )
+
+
+def random_stream(rng, n, k=400):
+    sources = rng.integers(0, n, size=k).astype(float)
+    targets = (sources + 1 + rng.integers(0, n - 1, size=k)) % n
+    values = rng.choice([-1.0, 1.0], size=k)
+    return sources, targets, values
+
+
+def dense(store):
+    """(U, V) fully assembled from the store's current snapshot."""
+    table = store.snapshot().as_table()
+    return table.U.copy(), table.V.copy()
+
+
+# ----------------------------------------------------------------------
+# carried_versions: the no-rewind rule
+# ----------------------------------------------------------------------
+
+
+class TestCarriedVersions:
+    def test_exceeds_per_shard_max_and_global_sum(self):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            old = rng.integers(1, 50, size=rng.integers(1, 9)).tolist()
+            target = int(rng.integers(1, 9))
+            new = carried_versions(old, target)
+            assert len(new) == target
+            assert len(set(new)) == 1
+            assert min(new) > max(old)          # no per-shard rewind
+            assert sum(new) > sum(old)          # no global rewind
+
+    def test_exact_value(self):
+        # max(5, ceil(8/3)) + 1 = 6
+        assert carried_versions([3, 5], 3) == [6, 6, 6]
+        # ceil dominates: max(2, ceil(12/2)=6) + 1 = 7
+        assert carried_versions([2, 2, 2, 2, 2, 2], 2) == [7, 7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            carried_versions([1], 0)
+        with pytest.raises(ValueError, match="at least one"):
+            carried_versions([], 2)
+
+
+# ----------------------------------------------------------------------
+# thread mode: split/merge round trips
+# ----------------------------------------------------------------------
+
+
+class TestThreadTopology:
+    def _stack(self, n=48, shards=3, workers=False, **kwargs):
+        engine = make_engine(n)
+        store = ShardedCoordinateStore(engine.coordinates, shards=shards)
+        ingest = ShardedIngest(engine, store, workers=workers, **kwargs)
+        return engine, store, ingest
+
+    def test_plane_protocol(self):
+        _, _, ingest = self._stack(workers=False)
+        assert isinstance(ingest, ShardPlane)
+        assert isinstance(ingest, RoutedIngestBase)
+        ingest.close()
+
+    def test_round_trip_bitwise_parity_and_monotone_versions(self):
+        rng = np.random.default_rng(11)
+        _, store, ingest = self._stack(n=48, shards=3, workers=False)
+        src, dst, vals = random_stream(rng, 48, k=600)
+        ingest.submit_many(src, dst, vals)
+        ingest.flush()
+        ingest.publish()
+
+        reference = dense(store)
+        prev_versions = [p.version for p in store.snapshot().parts]
+        prev_total = sum(prev_versions)
+        # a split -> merge round trip plus arbitrary re-strides
+        for target in (5, 2, 4, 1, 3):
+            ingest.set_shard_count(target)
+            assert ingest.shards == target
+            assert store.shards == target
+            U, V = dense(store)
+            np.testing.assert_array_equal(U, reference[0])
+            np.testing.assert_array_equal(V, reference[1])
+            versions = [p.version for p in store.snapshot().parts]
+            assert min(versions) > max(prev_versions), (
+                prev_versions,
+                versions,
+            )
+            assert sum(versions) > prev_total
+            prev_versions, prev_total = versions, sum(versions)
+        # reads still work and the plane still ingests after it all
+        est = store.snapshot().estimate_pairs(
+            np.arange(10), np.arange(10) + 1
+        )
+        assert np.all(np.isfinite(est))
+        assert ingest.submit_many(src, dst, vals) > 0
+        ingest.flush()
+        ingest.close()
+
+    def test_topology_log_and_stats_keys(self):
+        _, store, ingest = self._stack(n=30, shards=2, workers=False)
+        topology = ingest.split_shard(1, reason="test")
+        assert topology["shard_count"] == 3
+        assert topology["dynamic"] is True
+        [entry] = topology["transitions"]
+        assert entry["action"] == "split"
+        assert entry["from_shards"] == 2 and entry["to_shards"] == 3
+        assert "split-shard-1" in entry["reason"]
+        assert entry["transition_ms"] >= 0.0
+        topology = ingest.merge_shards(0, 2, reason="test")
+        assert topology["shard_count"] == 2
+        assert topology["transitions"][-1]["action"] == "merge"
+        assert topology["repartitioned_from"] == 3
+        payload = ingest.stats_payload()
+        # satellite: one canonical key + the deprecated alias
+        assert payload["ingest"]["shard_count"] == 2
+        assert payload["ingest"]["shards"] == 2
+        assert payload["topology"]["shard_count"] == 2
+        ingest.close()
+
+    def test_noop_and_bounds(self):
+        _, store, ingest = self._stack(n=30, shards=2, workers=False)
+        before = ingest.topology()
+        assert ingest.set_shard_count(2) == before  # no-op, not logged
+        with pytest.raises(ValueError, match="shards"):
+            ingest.set_shard_count(0)
+        with pytest.raises(ValueError, match="shards"):
+            ingest.set_shard_count(31)
+        with pytest.raises(ValueError, match="shard"):
+            ingest.split_shard(5)
+        with pytest.raises(ValueError, match="distinct"):
+            ingest.merge_shards(1, 1)
+        ingest.close()
+
+    def test_counters_and_guards_survive_merge(self):
+        rng = np.random.default_rng(5)
+        guards = [
+            AdmissionGuard(rate_limiter=TokenBucketRateLimiter(1e9, 1e9))
+            for _ in range(4)
+        ]
+        engine = make_engine(40)
+        store = ShardedCoordinateStore(engine.coordinates, shards=4)
+        ingest = ShardedIngest(
+            engine,
+            store,
+            workers=False,
+            guards=guards,
+            guard_factory=lambda s: AdmissionGuard(
+                rate_limiter=TokenBucketRateLimiter(1e9, 1e9)
+            ),
+        )
+        src, dst, vals = random_stream(rng, 40, k=800)
+        ingest.submit_many(src, dst, vals)
+        ingest.flush()
+        applied_before = ingest.stats().applied
+        admitted_before = ingest.guard_info()["admission"]["admitted"]
+        assert applied_before > 0 and admitted_before > 0
+        ingest.set_shard_count(2)
+        # additive counters folded into the retired tally, not dropped
+        assert ingest.stats().applied == applied_before
+        assert (
+            ingest.guard_info()["admission"]["admitted"] == admitted_before
+        )
+        # new shards got fresh guards from the factory
+        assert all(p.guard is not None for p in ingest.pipelines)
+        ingest.close()
+
+    def test_reconfig_under_live_worker_ingest(self):
+        """Transitions while worker threads drain queues: no losses hidden,
+        no rewinds, reads always fine."""
+        rng = np.random.default_rng(23)
+        _, store, ingest = self._stack(
+            n=48, shards=2, workers=True, queue_depth=128
+        )
+        stop = threading.Event()
+        submitted = [0]
+        failures = []
+
+        def feeder():
+            while not stop.is_set():
+                src, dst, vals = random_stream(rng, 48, k=64)
+                submitted[0] += ingest.submit_many(src, dst, vals)
+
+        def reader():
+            while not stop.is_set():
+                snap = store.snapshot()
+                est = snap.estimate_pairs(np.arange(8), np.arange(8) + 1)
+                if not np.all(np.isfinite(est)):
+                    failures.append("non-finite estimate")
+
+        threads = [threading.Thread(target=feeder) for _ in range(2)]
+        threads += [threading.Thread(target=reader)]
+        for thread in threads:
+            thread.start()
+        try:
+            prev = [p.version for p in store.snapshot().parts]
+            for target in (4, 3, 5, 2):
+                ingest.set_shard_count(target)
+                versions = [p.version for p in store.snapshot().parts]
+                assert min(versions) > max(prev)
+                prev = versions
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+        assert not failures
+        ingest.drain()
+        ingest.flush()
+        stats = ingest.stats()
+        assert stats.applied > 0
+        assert not ingest.worker_errors
+        ingest.close()
+
+    def test_checkpoint_mismatch_reload_reports_repartitioned_from(self, tmp_path):
+        """Satellite: a shard-count change across a restart is visible in
+        /stats, not only in a stderr warning."""
+        engine = make_engine(36)
+        store = ShardedCoordinateStore(engine.coordinates, shards=4)
+        path = tmp_path / "ckpt.npz"
+        store.save(path)
+        with pytest.warns(RuntimeWarning, match="4 shard"):
+            restored = ShardedCoordinateStore.load(path, shards=2)
+        assert restored.repartitioned_from == 4
+        ingest = ShardedIngest(make_engine(36), restored, workers=False)
+        payload = ingest.stats_payload()
+        assert payload["topology"]["repartitioned_from"] == 4
+        ingest.close()
+
+
+# ----------------------------------------------------------------------
+# autopilot: policy + hysteresis
+# ----------------------------------------------------------------------
+
+
+class FakePlane:
+    """A minimal mutable-topology plane for deterministic controller tests."""
+
+    def __init__(self, shards=2):
+        self.shards = shards
+        self._info_args = dict(fill=0.0)
+        self.epoch = 0
+
+    def make_info(self, fill, queued=0, heartbeat=None, applied=0):
+        self._info_args = dict(
+            fill=fill, queued=queued, heartbeat=heartbeat, applied=applied
+        )
+
+    def shard_info(self):
+        # regenerated per call, like the real planes: always one row per
+        # *current* shard
+        args = self._info_args
+        rows = []
+        for shard in range(self.shards):
+            row = {
+                "shard": shard,
+                "queue_depth": int(args["fill"] * 8),
+                "queue_capacity": 8,
+                "queue_samples": args.get("queued", 0),
+                "applied": args.get("applied", 0),
+            }
+            if args.get("heartbeat") is not None:
+                row["heartbeat"] = args["heartbeat"]
+            rows.append(row)
+        return rows
+
+    def _topology(self):
+        return {
+            "shard_count": self.shards,
+            "topology_epoch": self.epoch,
+            "dynamic": True,
+            "transitions": [],
+            "last_transition_ms": 0.1,
+        }
+
+    def set_shard_count(self, shards, *, reason="manual"):
+        self.shards = int(shards)
+        self.epoch += 1
+        return self._topology()
+
+    def split_shard(self, shard, *, reason="manual"):
+        return self.set_shard_count(self.shards + 1, reason=reason)
+
+    def merge_shards(self, shard, other, *, reason="manual"):
+        return self.set_shard_count(self.shards - 1, reason=reason)
+
+
+class TestAutopilotPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sample_interval"):
+            AutopilotPolicy(sample_interval_s=0)
+        with pytest.raises(ValueError, match="merge_queue_fill"):
+            AutopilotPolicy(split_queue_fill=0.2, merge_queue_fill=0.5)
+        with pytest.raises(ValueError, match="patience"):
+            AutopilotPolicy(patience=0)
+        with pytest.raises(ValueError, match="min_shards"):
+            AutopilotPolicy(min_shards=4, max_shards=2)
+        with pytest.raises(ValueError, match="split_pps"):
+            AutopilotPolicy(split_pps=-1)
+
+    def test_from_file_and_unknown_keys(self, tmp_path):
+        path = tmp_path / "policy.json"
+        path.write_text(json.dumps({"patience": 7, "max_shards": 3}))
+        policy = AutopilotPolicy.from_file(str(path))
+        assert policy.patience == 7 and policy.max_shards == 3
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"patiense": 7}))
+        with pytest.raises(ValueError, match="patiense"):
+            AutopilotPolicy.from_file(str(bad))
+        notdict = tmp_path / "list.json"
+        notdict.write_text("[1]")
+        with pytest.raises(ValueError, match="JSON object"):
+            AutopilotPolicy.from_file(str(notdict))
+
+    def test_periodic_controller_gates_on_marks(self):
+        controller = PeriodicController(interval=10)
+        assert not controller._due(5)
+        assert controller._due(10)
+        assert not controller._due(15)
+        assert controller._due(20)
+        with pytest.raises(ValueError, match="interval"):
+            PeriodicController(interval=0)
+
+
+class TestAutopilot:
+    def _pilot(self, plane, **policy_kwargs):
+        defaults = dict(
+            sample_interval_s=1.0,
+            patience=2,
+            cooldown_s=0.0,
+            split_queue_fill=0.5,
+            merge_queue_fill=0.1,
+            min_shards=2,
+            max_shards=4,
+        )
+        defaults.update(policy_kwargs)
+        return Autopilot(plane, AutopilotPolicy(**defaults))
+
+    def _tick(self, pilot, clock):
+        clock[0] += 2.0
+        return pilot.step(now=clock[0])
+
+    def test_split_needs_patience(self):
+        plane = FakePlane(shards=2)
+        pilot = self._pilot(plane)
+        clock = [0.0]
+        plane.make_info(fill=1.0, queued=50)
+        assert self._tick(pilot, clock) is None  # streak 1 < patience
+        action = self._tick(pilot, clock)
+        assert action is not None and action["action"] == "split"
+        assert plane.shards == 3
+
+    def test_single_hot_sample_does_not_split(self):
+        plane = FakePlane(shards=2)
+        pilot = self._pilot(plane, patience=3)
+        clock = [0.0]
+        plane.make_info(fill=1.0, queued=50)
+        assert self._tick(pilot, clock) is None
+        plane.make_info(fill=0.3)  # back inside the band: streak resets
+        assert self._tick(pilot, clock) is None
+        plane.make_info(fill=1.0, queued=50)
+        assert self._tick(pilot, clock) is None
+        assert plane.shards == 2
+
+    def test_merge_respects_min_shards(self):
+        plane = FakePlane(shards=3)
+        pilot = self._pilot(plane)
+        clock = [0.0]
+        plane.make_info(fill=0.0)
+        while plane.shards > 2:
+            self._tick(pilot, clock)
+        for _ in range(6):
+            assert self._tick(pilot, clock) is None
+        assert plane.shards == 2
+
+    def test_split_respects_max_shards(self):
+        plane = FakePlane(shards=4)
+        pilot = self._pilot(plane)
+        clock = [0.0]
+        plane.make_info(fill=1.0, queued=50)
+        for _ in range(6):
+            assert self._tick(pilot, clock) is None
+        assert plane.shards == 4
+
+    def test_cooldown_blocks_consecutive_actions(self):
+        plane = FakePlane(shards=2)
+        pilot = self._pilot(plane, cooldown_s=100.0)
+        clock = [0.0]
+        plane.make_info(fill=1.0, queued=50)
+        actions = [self._tick(pilot, clock) for _ in range(10)]
+        taken = [a for a in actions if a]
+        assert len(taken) == 1  # the second split sits out the cooldown
+        assert plane.shards == 3
+
+    def test_stalled_heartbeat_vetoes(self):
+        plane = FakePlane(shards=2)
+        pilot = self._pilot(plane)
+        clock = [0.0]
+        # heartbeat frozen at 7 with work queued: loop must hold still
+        plane.make_info(fill=1.0, queued=9, heartbeat=7)
+        for _ in range(6):
+            assert self._tick(pilot, clock) is None
+        assert plane.shards == 2
+        assert pilot.last_signals["stalled_shards"]
+
+    def test_pause_resume_and_reconfig(self):
+        plane = FakePlane(shards=2)
+        pilot = self._pilot(plane)
+        clock = [0.0]
+        pilot.pause()
+        plane.make_info(fill=1.0, queued=50)
+        for _ in range(4):
+            assert self._tick(pilot, clock) is None
+        assert plane.shards == 2 and pilot.samples > 0
+        topology = pilot.reconfig(4)
+        assert topology["shard_count"] == 4 and plane.shards == 4
+        assert pilot.actions[-1]["action"] == "reconfig"
+        pilot.resume()
+        state = pilot.as_dict()
+        assert state["paused"] is False
+        assert state["actions_taken"] == 1
+        assert state["policy"]["patience"] == 2
+
+    def test_thread_lifecycle(self):
+        plane = FakePlane(shards=2)
+        plane.make_info(fill=0.3)
+        pilot = Autopilot(
+            plane, AutopilotPolicy(sample_interval_s=0.02, patience=99)
+        )
+        with pilot:
+            assert pilot.running
+            deadline = 50
+            while pilot.samples == 0 and deadline:
+                deadline -= 1
+                threading.Event().wait(0.02)
+        assert not pilot.running
+        assert pilot.samples > 0
+
+    def test_autopilot_drives_real_thread_plane(self):
+        """End to end against a real ShardedIngest: hot queues split,
+        idle queues merge back, parity holds throughout."""
+        rng = np.random.default_rng(3)
+        engine = make_engine(48)
+        store = ShardedCoordinateStore(engine.coordinates, shards=2)
+        ingest = ShardedIngest(engine, store, workers=False)
+        src, dst, vals = random_stream(rng, 48, k=500)
+        ingest.submit_many(src, dst, vals)
+        ingest.flush()
+        ingest.publish()
+        reference = dense(store)
+        pilot = self._pilot(ingest, min_shards=2, max_shards=4)
+        clock = [0.0]
+
+        hot = [
+            {
+                "shard": s,
+                "queue_depth": 8,
+                "queue_capacity": 8,
+                "queue_samples": 40,
+                "applied": 0,
+            }
+            for s in range(2)
+        ]
+        real_info = ingest.shard_info
+        try:
+            ingest.shard_info = lambda: hot
+            while ingest.shards < 3:
+                self._tick(pilot, clock)
+        finally:
+            ingest.shard_info = real_info
+        assert ingest.shards == 3
+        # the real (idle, inline) plane reports empty queues: merge back
+        while ingest.shards > 2:
+            assert pilot.samples < 60
+            self._tick(pilot, clock)
+        U, V = dense(store)
+        np.testing.assert_array_equal(U, reference[0])
+        np.testing.assert_array_equal(V, reference[1])
+        assert [a["action"] for a in pilot.actions] == ["split", "merge"]
+        ingest.close()
+
+
+# ----------------------------------------------------------------------
+# process mode: the same invariants over worker processes
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.mp_smoke
+@pytest.mark.reconfig_smoke
+class TestProcessTopology:
+    def test_round_trip_parity_versions_and_counters(self):
+        from test_serving_procs import (
+            build_stack,
+            random_stream as mp_stream,
+            shm_leftovers,
+        )
+
+        rng = np.random.default_rng(17)
+        store, supervisor, ingest = build_stack(n=36, shards=2, seed=5)
+        try:
+            assert isinstance(ingest, ShardPlane)
+            src, dst, vals = mp_stream(rng, 36, k=400)
+            ingest.submit_many(src, dst, vals)
+            ingest.drain()
+            ingest.flush()
+            ingest.publish()  # shm == worker state before the transition
+            reference = store.as_full_arrays()
+            applied_before = ingest.stats().applied
+            assert applied_before > 0
+            prev = list(store.versions)
+
+            topology = ingest.split_shard(0, reason="test")
+            assert topology["shard_count"] == 3
+            versions = list(store.versions)
+            assert min(versions) > max(prev)
+            U, V = store.as_full_arrays()
+            np.testing.assert_array_equal(U, reference[0])
+            np.testing.assert_array_equal(V, reference[1])
+            prev = versions
+
+            topology = ingest.merge_shards(0, 2, reason="test")
+            assert topology["shard_count"] == 2
+            assert topology["repartitioned_from"] == 3
+            versions = list(store.versions)
+            assert min(versions) > max(prev)
+            U, V = store.as_full_arrays()
+            np.testing.assert_array_equal(U, reference[0])
+            np.testing.assert_array_equal(V, reference[1])
+            # additive counters folded across the merge, workers alive
+            assert ingest.stats().applied == applied_before
+            assert all(row["alive"] for row in ingest.shard_info())
+            payload = ingest.stats_payload()
+            assert payload["ingest"]["shard_count"] == 2
+            assert payload["ingest"]["shards"] == 2
+            assert payload["topology"]["shard_count"] == 2
+
+            # the re-strided plane still ingests end to end
+            ingest.submit_many(src, dst, vals)
+            ingest.drain()
+            ingest.flush()
+            ingest.publish()
+            assert ingest.stats().applied > applied_before
+        finally:
+            ingest.close()
+        assert shm_leftovers(store) == []
