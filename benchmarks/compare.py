@@ -50,6 +50,21 @@ availability >= 99.9% through every transition on every machine
 split/merge round trips bitwise factor-preserving in both worker
 modes.
 
+And the fault-plane measurement (``benchmarks/chaos_bench.py``, shared
+with ``benchmarks/test_chaos_smoke.py``) into ``BENCH_chaos.json``:
+the standard fault soup (delayed pulls, a silent group crash that must
+be *detected*, dropped heartbeats, one corrupted checkpoint write)
+must leave read availability >= 99.9% with zero torn reads, ride the
+circuit breaker open and closed around the flap, and recover the
+corrupted checkpoint from the rotated last-good file; the overload
+half must shed cleanly (503s, never hard failures) while single reads
+keep answering.  Every chaos gate is a count or boolean —
+machine-independent — so all of them are absolute invariants.
+
+When a committed ``BENCH_*.json`` baseline predates a gate key,
+``--check`` names the missing key in its output instead of silently
+skipping the diff, so stale baselines are visible.
+
 Every ``BENCH_*.json`` this gate writes records the machine's
 ``cpu_count`` and a ``notices`` list naming any gate that was skipped
 on that machine (e.g. the mp speedup floor below 4 cores), so a
@@ -89,6 +104,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
+import chaos_bench  # noqa: E402
 import churn_bench  # noqa: E402
 import cluster_bench  # noqa: E402
 import mp_bench  # noqa: E402
@@ -127,6 +143,7 @@ CHURN_SUMMARY_PATH = REPO_ROOT / "BENCH_churn.json"
 MP_SUMMARY_PATH = mp_bench.SUMMARY_PATH
 CLUSTER_SUMMARY_PATH = cluster_bench.SUMMARY_PATH
 RECONFIG_SUMMARY_PATH = reconfig_bench.SUMMARY_PATH
+CHAOS_SUMMARY_PATH = chaos_bench.SUMMARY_PATH
 
 #: PR 2's guarded admission throughput (measurements/s): the scale-out
 #: work must hold at least 2x this (the issue's acceptance bar).
@@ -413,22 +430,53 @@ RECONFIG_THROUGHPUT_KEYS = ("queries_during_reconfig_pps",)
 RECONFIG_MIN_AVAILABILITY = reconfig_bench.RECONFIG_MIN_AVAILABILITY
 
 
+def diff_throughput(
+    committed: dict, fresh: dict, keys, tolerance: float, source: str
+) -> list:
+    """Floor-diff each gate key against a committed baseline.
+
+    Returns failure strings for any measured value below
+    ``(1 - tolerance) * committed``.  A gate key *absent* from the
+    committed file means the baseline predates the measurement — it is
+    named in a note (not silently skipped), so a stale committed
+    ``BENCH_*.json`` is visible in the check output.
+    """
+    failures = []
+    missing = [key for key in keys if key not in committed]
+    if missing:
+        print(
+            f"note: committed {source} is missing gate key(s) "
+            f"{', '.join(repr(k) for k in missing)}; re-run measure mode "
+            "to refresh the baseline"
+        )
+    for key in keys:
+        if key not in committed:
+            continue
+        floor = (1.0 - tolerance) * float(committed[key])
+        if fresh[key] < floor:
+            failures.append(
+                f"{key}: measured {fresh[key]:,.0f} < {floor:,.0f} "
+                f"({(1.0 - tolerance):.0%} of committed "
+                f"{float(committed[key]):,.0f})"
+            )
+    return failures
+
+
 def check_mp(mp: dict, tolerance: float) -> list:
     """BENCH_mp.json invariants; returns failure strings."""
     failures = []
     if MP_SUMMARY_PATH.exists():
         committed = json.loads(MP_SUMMARY_PATH.read_text())
         if int(committed.get("cores", 0)) == int(mp["cores"]):
-            for key in MP_THROUGHPUT_KEYS:
-                if key not in committed:
-                    continue
-                floor = (1.0 - tolerance) * float(committed[key])
-                if mp[key] < floor:
-                    failures.append(
-                        f"{key}: measured {mp[key]:,.0f} < {floor:,.0f} "
-                        f"({(1.0 - tolerance):.0%} of committed "
-                        f"{float(committed[key]):,.0f})"
-                    )
+            failures.extend(
+                diff_throughput(
+                    committed,
+                    mp,
+                    MP_THROUGHPUT_KEYS,
+                    tolerance,
+                    MP_SUMMARY_PATH.name,
+                )
+            )
         else:
             print(
                 f"note: committed {MP_SUMMARY_PATH.name} was measured on "
@@ -474,16 +522,15 @@ def check_cluster(cluster: dict, tolerance: float) -> list:
     if CLUSTER_SUMMARY_PATH.exists():
         committed = json.loads(CLUSTER_SUMMARY_PATH.read_text())
         if int(committed.get("cores", 0)) == int(cluster["cores"]):
-            for key in CLUSTER_THROUGHPUT_KEYS:
-                if key not in committed:
-                    continue
-                floor = (1.0 - tolerance) * float(committed[key])
-                if cluster[key] < floor:
-                    failures.append(
-                        f"{key}: measured {cluster[key]:,.0f} < {floor:,.0f} "
-                        f"({(1.0 - tolerance):.0%} of committed "
-                        f"{float(committed[key]):,.0f})"
-                    )
+            failures.extend(
+                diff_throughput(
+                    committed,
+                    cluster,
+                    CLUSTER_THROUGHPUT_KEYS,
+                    tolerance,
+                    CLUSTER_SUMMARY_PATH.name,
+                )
+            )
         else:
             print(
                 f"note: committed {CLUSTER_SUMMARY_PATH.name} was measured "
@@ -534,16 +581,15 @@ def check_reconfig(reconfig: dict, tolerance: float) -> list:
     if RECONFIG_SUMMARY_PATH.exists():
         committed = json.loads(RECONFIG_SUMMARY_PATH.read_text())
         if int(committed.get("cores", 0)) == int(reconfig["cores"]):
-            for key in RECONFIG_THROUGHPUT_KEYS:
-                if key not in committed:
-                    continue
-                floor = (1.0 - tolerance) * float(committed[key])
-                if reconfig[key] < floor:
-                    failures.append(
-                        f"{key}: measured {reconfig[key]:,.0f} < "
-                        f"{floor:,.0f} ({(1.0 - tolerance):.0%} of "
-                        f"committed {float(committed[key]):,.0f})"
-                    )
+            failures.extend(
+                diff_throughput(
+                    committed,
+                    reconfig,
+                    RECONFIG_THROUGHPUT_KEYS,
+                    tolerance,
+                    RECONFIG_SUMMARY_PATH.name,
+                )
+            )
         else:
             print(
                 f"note: committed {RECONFIG_SUMMARY_PATH.name} was measured "
@@ -585,12 +631,83 @@ def check_reconfig(reconfig: dict, tolerance: float) -> list:
     return failures
 
 
+def check_chaos(chaos: dict, tolerance: float) -> list:
+    """BENCH_chaos.json invariants; returns failure strings.
+
+    Every chaos gate is a count or a boolean, so — unlike the
+    throughput gates — all of them are absolute and machine-independent
+    and there is no same-core baseline diff.  The breaker open/close
+    latencies are recorded for the books but not gated: they track the
+    refresh cadence, not a regression surface.
+    """
+    failures = []
+    availability = chaos["chaos_availability"]
+    if availability < chaos_bench.CHAOS_MIN_AVAILABILITY:
+        failures.append(
+            f"read availability through the fault soup is "
+            f"{availability:.4%}, under the "
+            f"{chaos_bench.CHAOS_MIN_AVAILABILITY:.1%} floor"
+        )
+    if chaos["chaos_torn_reads"]:
+        failures.append(
+            f"{chaos['chaos_torn_reads']} torn read(s) under the fault "
+            "soup (non-finite estimates or snapshot-version rewinds)"
+        )
+    injected = chaos["injected"]
+    for fault in (
+        "transport.pull:delay",
+        "heartbeat:drop",
+        "checkpoint.write:corrupt",
+    ):
+        if not injected.get(fault, 0):
+            failures.append(f"planned fault {fault!r} never fired")
+    if chaos["outage_kills"] < 1 or chaos["outage_restarts"] < 1:
+        failures.append("the scripted group flap never ran")
+    if chaos["outage_detections"] < 1:
+        failures.append("the silent group crash was never detected")
+    if chaos["breaker_opens"] < 1:
+        failures.append("the circuit breaker never opened during the flap")
+    if chaos["breaker_closes"] < 1:
+        failures.append("the circuit breaker never closed after recovery")
+    if not chaos["checkpoint_recovered"]:
+        failures.append(
+            "the corrupted checkpoint was not recovered from the rotated "
+            "last-good file"
+        )
+    if not chaos["checkpoint_version_held"]:
+        failures.append(
+            f"checkpoint recovery rewound the version "
+            f"({chaos['checkpoint_version_saved']} -> "
+            f"{chaos['checkpoint_version_restored']})"
+        )
+    if chaos["overload_hard_failures"]:
+        failures.append(
+            f"{chaos['overload_hard_failures']} hard failure(s) under "
+            "overload — rejections must be clean 503 sheds"
+        )
+    if not chaos["overload_shed_ingest"] or not chaos["overload_shed_batch"]:
+        failures.append(
+            "the stalled-worker overload never shed "
+            f"(ingest {chaos['overload_shed_ingest']}, "
+            f"batch {chaos['overload_shed_batch']})"
+        )
+    if chaos["overload_single_reads_ok"] < 2 * chaos["overload_rounds"]:
+        failures.append(
+            "single reads were shed or failed under overload "
+            f"({chaos['overload_single_reads_ok']} of "
+            f"{2 * chaos['overload_rounds']} answered) — reads are never "
+            "shed"
+        )
+    return failures
+
+
 def check(
     result: dict,
     churn: dict,
     mp: dict,
     cluster: dict,
     reconfig: dict,
+    chaos: dict,
     tolerance: float,
 ) -> int:
     """Compare fresh numbers against the committed baselines.
@@ -602,33 +719,42 @@ def check(
     failures.extend(check_mp(mp, tolerance))
     failures.extend(check_cluster(cluster, tolerance))
     failures.extend(check_reconfig(reconfig, tolerance))
+    failures.extend(check_chaos(chaos, tolerance))
     if SUMMARY_PATH.exists():
         committed = json.loads(SUMMARY_PATH.read_text())
-        for key in THROUGHPUT_KEYS:
-            if key not in committed:
-                continue
-            floor = (1.0 - tolerance) * float(committed[key])
-            if result[key] < floor:
-                failures.append(
-                    f"{key}: measured {result[key]:,.0f} < "
-                    f"{floor:,.0f} ({(1.0 - tolerance):.0%} of committed "
-                    f"{float(committed[key]):,.0f})"
-                )
+        failures.extend(
+            diff_throughput(
+                committed,
+                result,
+                THROUGHPUT_KEYS,
+                tolerance,
+                SUMMARY_PATH.name,
+            )
+        )
     else:
         print(f"note: no committed {SUMMARY_PATH.name}; skipping diffs")
 
     if CHURN_SUMMARY_PATH.exists():
         committed = json.loads(CHURN_SUMMARY_PATH.read_text())
-        for key in CHURN_THROUGHPUT_KEYS:
-            if key not in committed:
-                continue
-            floor = (1.0 - tolerance) * float(committed[key])
-            if churn[key] < floor:
-                failures.append(
-                    f"{key}: measured {churn[key]:,.0f} < {floor:,.0f} "
-                    f"({(1.0 - tolerance):.0%} of committed "
-                    f"{float(committed[key]):,.0f})"
-                )
+        failures.extend(
+            diff_throughput(
+                committed,
+                churn,
+                CHURN_THROUGHPUT_KEYS,
+                tolerance,
+                CHURN_SUMMARY_PATH.name,
+            )
+        )
+        missing_latency = [
+            key for key in CHURN_LATENCY_KEYS if key not in committed
+        ]
+        if missing_latency:
+            print(
+                f"note: committed {CHURN_SUMMARY_PATH.name} is missing "
+                "gate key(s) "
+                f"{', '.join(repr(k) for k in missing_latency)}; re-run "
+                "measure mode to refresh the baseline"
+            )
         for key in CHURN_LATENCY_KEYS:
             if key not in committed:
                 continue
@@ -719,8 +845,16 @@ def main(argv=None) -> int:
             headers=["reconfig", "value"],
         )
     )
+    chaos = chaos_bench.run()
+    print(
+        format_table(
+            chaos_bench.format_rows(chaos), headers=["chaos", "value"]
+        )
+    )
     if args.check:
-        return check(result, churn, mp, cluster, reconfig, args.tolerance)
+        return check(
+            result, churn, mp, cluster, reconfig, chaos, args.tolerance
+        )
     SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {SUMMARY_PATH}")
     CHURN_SUMMARY_PATH.write_text(json.dumps(churn, indent=2) + "\n")
@@ -731,6 +865,8 @@ def main(argv=None) -> int:
     print(f"wrote {CLUSTER_SUMMARY_PATH}")
     RECONFIG_SUMMARY_PATH.write_text(json.dumps(reconfig, indent=2) + "\n")
     print(f"wrote {RECONFIG_SUMMARY_PATH}")
+    CHAOS_SUMMARY_PATH.write_text(json.dumps(chaos, indent=2) + "\n")
+    print(f"wrote {CHAOS_SUMMARY_PATH}")
     return 0
 
 

@@ -25,6 +25,10 @@ def pytest_configure(config):
         "markers",
         "reconfig_smoke: fast live-topology benchmarks (tier-1, < 60 s)",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos_smoke: fast fault-plane benchmarks (tier-1, < 60 s)",
+    )
 
 
 @pytest.fixture

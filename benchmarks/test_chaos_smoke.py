@@ -1,0 +1,75 @@
+"""Fault-plane chaos benchmark -> ``BENCH_chaos.json``.
+
+Prices the fault plane's acceptance claims: a live 2-group cluster
+under routed ingest + mirror-read load takes the standard fault soup
+(delayed pulls, a scripted whole-group flap, dropped heartbeats, one
+corrupted checkpoint write) and read availability stays >= 99.9% with
+zero torn reads, the circuit breaker opens and closes around the flap,
+and the torn checkpoint is detected at load with fallback to the
+rotated last-good file.  The overload half stalls the ingest workers
+and requires every rejected ingest/batch request to be a clean 503
+shed — never a hard failure — while single reads keep answering.
+
+Every gate here is machine-independent (counts and booleans, not
+rates), so the floors are enforced on every machine;
+``benchmarks/compare.py --check`` re-gates the committed numbers.
+
+Runs in tier-1 (``chaos_smoke``): one ~4 s soup window plus one
+deterministic two-phase shed count.
+"""
+
+import json
+
+import pytest
+
+import chaos_bench
+
+pytestmark = pytest.mark.chaos_smoke
+
+
+def test_chaos_benchmark(report, run_once):
+    result = run_once(chaos_bench.run)
+
+    from repro.utils.tables import format_table
+
+    report(
+        "fault plane: standard soup + overload shedding",
+        format_table(
+            chaos_bench.format_rows(result), headers=["chaos", "value"]
+        ),
+    )
+
+    chaos_bench.SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    # machine-independent acceptance invariants:
+    assert (
+        result["chaos_availability"] >= chaos_bench.CHAOS_MIN_AVAILABILITY
+    ), (
+        f"availability {result['chaos_availability']:.4%} under the "
+        f"{chaos_bench.CHAOS_MIN_AVAILABILITY:.1%} floor"
+    )
+    assert result["chaos_reads_answered"] > 0
+    # RCU snapshots + monotone versions: no torn reads, ever
+    assert result["chaos_torn_reads"] == 0
+    # every planned fault actually fired
+    assert result["injected"].get("transport.pull:delay", 0) > 0
+    assert result["injected"].get("heartbeat:drop", 0) > 0
+    assert result["injected"].get("checkpoint.write:corrupt", 0) == 1
+    # the flap was real and the breaker rode it open -> half-open -> closed
+    assert result["outage_kills"] >= 1
+    assert result["outage_restarts"] >= 1
+    assert result["outage_detections"] >= 1
+    assert result["breaker_opens"] >= 1
+    assert result["breaker_closes"] >= 1
+    assert result["breaker_open_ms"] == result["breaker_open_ms"]  # not NaN
+    assert result["breaker_close_ms"] == result["breaker_close_ms"]
+    # the torn write was detected and the rotated last-good restored
+    assert result["checkpoint_recovered"] is True
+    assert result["checkpoint_version_held"] is True
+    # overload turns into clean sheds, never hard failures
+    assert result["overload_accepted_healthy"] == result["overload_rounds"]
+    assert result["overload_shed_ingest"] > 0
+    assert result["overload_shed_batch"] > 0
+    assert result["overload_hard_failures"] == 0
+    # single reads are the availability number: never shed
+    assert result["overload_single_reads_ok"] == 2 * result["overload_rounds"]

@@ -374,6 +374,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="background checkpoint interval (with --save-checkpoint)",
     )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-request budget in milliseconds: a handled request "
+        "exceeding it answers 503 + Retry-After instead of a late "
+        "success",
+    )
+    serve.add_argument(
+        "--shed-watermark",
+        type=float,
+        default=None,
+        metavar="FILL",
+        help="queue-fill fraction (0, 1] arming load shedding: ingest "
+        "sheds at FILL, batch estimates at FILL+0.1, single reads "
+        "never (503 + Retry-After)",
+    )
+    serve.add_argument(
+        "--chaos-plan",
+        default=None,
+        metavar="PATH",
+        help="arm deterministic fault injection from a FaultPlan JSON "
+        "file (seeded rules firing at named fault points); the ONLY "
+        "way to enable injection — without it every hook is a no-op",
+    )
     serve.add_argument("--seed", type=int, default=20111206)
 
     cluster_status = commands.add_parser(
@@ -550,6 +576,11 @@ def _build_serve_gateway(args: argparse.Namespace):
         autopilot_policy=args.autopilot_policy,
         cluster_groups=args.cluster,
         staleness_budget=args.staleness_budget,
+        deadline_s=(
+            args.deadline / 1000.0 if args.deadline is not None else None
+        ),
+        shed_watermark=args.shed_watermark,
+        chaos_plan=args.chaos_plan,
     )
 
 

@@ -57,10 +57,18 @@ demand while fresh measurements keep improving the model:
   :class:`AutopilotPolicy` hysteresis, selected by ``repro serve
   --autopilot``) and :class:`PeriodicController`, the controller base
   it shares with :class:`AdaptiveGuardTuner`;
+* :mod:`repro.serving.faults` — the fault plane:
+  :class:`FaultInjector` / :class:`FaultPlan` (seeded, deterministic
+  chaos injection at named fault points threaded through the stack —
+  armed only by an explicit ``repro serve --chaos-plan`` or a direct
+  ``faults.install``), :class:`CircuitBreaker` (closed/open/half-open
+  isolation of flapping group transports) and :class:`LoadShedder`
+  (watermark-driven overload shedding on the queue-fill signal);
 * :mod:`repro.serving.gateway` — :class:`ServingGateway`, a
   stdlib-only JSON/HTTP frontend (``repro serve``) with two
   transports: thread-per-connection ``threading`` and a
-  single-threaded non-blocking ``selectors`` event loop;
+  single-threaded non-blocking ``selectors`` event loop, plus
+  per-request deadlines and 503 + Retry-After overload answers;
 * :mod:`repro.serving.client` — :class:`ServingClient`, the matching
   :mod:`urllib` client;
 * :mod:`repro.serving.app` — :func:`build_gateway`, the one-stop
@@ -83,6 +91,7 @@ from repro.serving.app import build_gateway
 from repro.serving.autopilot import Autopilot, AutopilotPolicy, PeriodicController
 from repro.serving.client import GatewayError, ServingClient
 from repro.serving.cluster import (
+    BreakerTransport,
     ClusterSupervisor,
     GroupTransport,
     LocalGroupTransport,
@@ -91,6 +100,14 @@ from repro.serving.cluster import (
     RoutingGateway,
     WorkerGroup,
     build_cluster,
+)
+from repro.serving.faults import (
+    BreakerOpenError,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    LoadShedder,
 )
 from repro.serving.gateway import ServingGateway
 from repro.serving.guard import (
@@ -128,7 +145,13 @@ from repro.serving.service import (
     RowPrediction,
     ServiceStats,
 )
-from repro.serving.store import CoordinateSnapshot, CoordinateStore
+from repro.serving.store import (
+    CheckpointError,
+    CoordinateSnapshot,
+    CoordinateStore,
+    atomic_savez,
+    open_checkpoint,
+)
 
 __all__ = [
     "build_gateway",
@@ -142,6 +165,13 @@ __all__ = [
     "RoutedIngestBase",
     "carried_versions",
     "build_cluster",
+    "BreakerOpenError",
+    "BreakerTransport",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "LoadShedder",
     "ClusterSupervisor",
     "GroupTransport",
     "LocalGroupTransport",
@@ -176,6 +206,9 @@ __all__ = [
     "PredictionService",
     "RowPrediction",
     "ServiceStats",
+    "CheckpointError",
     "CoordinateSnapshot",
     "CoordinateStore",
+    "atomic_savez",
+    "open_checkpoint",
 ]

@@ -82,6 +82,9 @@ def build_gateway(
     autopilot_policy: Optional[str] = None,
     cluster_groups: int = 0,
     staleness_budget: float = 0.5,
+    deadline_s: Optional[float] = None,
+    shed_watermark: Optional[float] = None,
+    chaos_plan: Optional[str] = None,
     verbose: bool = False,
 ) -> ServingGateway:
     """Pre-train a model on a synthetic dataset and wrap it for serving.
@@ -200,6 +203,17 @@ def build_gateway(
     staleness_budget:
         Cluster mode only: seconds of mirror staleness the deployment
         accepts; the supervisor refreshes mirrors at half this budget.
+    deadline_s:
+        Per-request budget in seconds; a handled request exceeding it
+        answers ``503 + Retry-After`` instead of a late success.
+    shed_watermark:
+        Queue-fill fraction in ``(0, 1]`` arming watermark-driven load
+        shedding (ingest sheds at the watermark, batch estimates 0.1
+        above it, single reads never); omitted = no shedding.
+    chaos_plan:
+        Path to a :class:`~repro.serving.faults.FaultPlan` JSON file.
+        **The only way ``repro serve`` arms fault injection** — without
+        this flag every fault hook stays the no-op fast path.
     """
     from repro.experiments.common import PAPER_NEIGHBORS, get_dataset
 
@@ -252,6 +266,17 @@ def build_gateway(
             "autopilot_policy configures the autopilot control loop; "
             "it would be ignored without autopilot"
         )
+    if deadline_s is not None and deadline_s <= 0:
+        raise ValueError(f"deadline_s must be positive, got {deadline_s}")
+    if shed_watermark is not None and not 0.0 < shed_watermark <= 1.0:
+        raise ValueError(
+            f"shed_watermark must be in (0, 1], got {shed_watermark}"
+        )
+    if chaos_plan is not None:
+        # the explicit opt-in: fault injection cannot arm any other way
+        from repro.serving import faults
+
+        faults.install(faults.FaultPlan.from_file(chaos_plan))
     if cluster_groups:
         if allow_membership:
             raise ValueError(
@@ -366,6 +391,8 @@ def build_gateway(
             port=port,
             backend=backend,
             coalesce_window=coalesce_window,
+            deadline_s=deadline_s,
+            shed_watermark=shed_watermark,
             verbose=verbose,
         )
 
@@ -511,5 +538,7 @@ def build_gateway(
         coalesce_window=coalesce_window,
         membership=membership,
         autopilot=pilot,
+        deadline_s=deadline_s,
+        shed_watermark=shed_watermark,
         verbose=verbose,
     )

@@ -13,6 +13,7 @@ traffic either in-process or over HTTP without changing code.
 from __future__ import annotations
 
 import json
+import random
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from urllib.error import HTTPError, URLError
@@ -54,12 +55,17 @@ class ServingClient:
         Per-request socket timeout in seconds.
     retries:
         Extra attempts after a connection reset/refused (the window a
-        gateway or worker-group restart is invisible to callers); 0
-        restores fail-fast.  HTTP errors are never retried — a non-2xx
-        answer means the gateway is up and said no.
+        gateway or worker-group restart is invisible to callers) or an
+        HTTP 503 (the gateway is up but shedding — it *asked* for the
+        retry via ``Retry-After``); 0 restores fail-fast.  Other HTTP
+        errors are never retried — a non-2xx answer means the gateway
+        is up and said no.
     retry_delay:
-        Base backoff in seconds; attempt ``k`` sleeps
-        ``retry_delay * 2**k`` before retrying.
+        Base backoff in seconds; attempt ``k`` sleeps a **full
+        jitter** ``retry_delay * 2**k * random()`` before retrying, so
+        a fleet of clients knocked back by the same restart does not
+        re-arrive in one synchronized wave.  A 503 carrying
+        ``Retry-After`` sleeps what the server asked instead.
     """
 
     def __init__(
@@ -82,6 +88,8 @@ class ServingClient:
         self.retry_delay = float(retry_delay)
         #: total transient-error retries this client has spent
         self.retries_used = 0
+        #: the subset spent honoring 503 + Retry-After responses
+        self.retries_503 = 0
 
     # ------------------------------------------------------------------
     # transport
@@ -104,16 +112,46 @@ class ServingClient:
                     return json.loads(response.read().decode("utf-8"))
             except HTTPError as error:
                 try:
-                    message = json.loads(error.read().decode("utf-8"))["error"]
+                    body = json.loads(error.read().decode("utf-8"))
                 except Exception:
-                    message = error.reason
+                    body = {}
+                message = body.get("error", error.reason)
+                if error.code == 503 and attempt < self.retries:
+                    # the gateway answered "overloaded, come back":
+                    # honoring its Retry-After is what makes shedding
+                    # shed — clients that hammer anyway defeat it
+                    self.retries_used += 1
+                    self.retries_503 += 1
+                    time.sleep(self._backoff_503(error, body, attempt))
+                    continue
                 raise GatewayError(error.code, str(message)) from None
             except Exception as error:
                 if attempt >= self.retries or not _is_transient(error):
                     raise
                 self.retries_used += 1
-                time.sleep(self.retry_delay * (2**attempt))
+                # full jitter: a fleet knocked back together must not
+                # come back together
+                time.sleep(self.retry_delay * (2**attempt) * random.random())
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def _backoff_503(
+        self, error: HTTPError, body: Dict, attempt: int
+    ) -> float:
+        """Sleep before retrying a 503: Retry-After if given, capped."""
+        retry_after: Optional[float] = None
+        header = error.headers.get("Retry-After") if error.headers else None
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                retry_after = None
+        if retry_after is None and isinstance(body.get("retry_after"), (int, float)):
+            retry_after = float(body["retry_after"])
+        if retry_after is not None:
+            # cap at the request timeout: a server asking for more than
+            # the caller's own patience gets the caller's patience
+            return max(0.0, min(retry_after, self.timeout))
+        return self.retry_delay * (2**attempt) * random.random()
 
     # ------------------------------------------------------------------
     # endpoints

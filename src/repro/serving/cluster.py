@@ -66,6 +66,8 @@ from repro.core.config import DMFSGDConfig
 from repro.core.coordinates import CoordinateTable
 from repro.core.engine import DMFSGDEngine, EngineSpec, null_label_fn
 from repro.measurement.metrics import Metric
+from repro.serving import faults
+from repro.serving.faults import BreakerOpenError, CircuitBreaker
 from repro.serving.ingest import IngestStats
 from repro.serving.procs import (
     HEARTBEAT,
@@ -242,6 +244,10 @@ class WorkerGroup:
         self.restarts = 0
         self._down = False
         self._lock = threading.Lock()
+        # last heartbeat actually reported; an injected "heartbeat"
+        # drop replays this frozen value (the stalled-worker shape the
+        # supervisor's no-progress detection must catch)
+        self._last_heartbeat = 0
 
     # -- identity / liveness -------------------------------------------
 
@@ -285,12 +291,21 @@ class WorkerGroup:
         count (a thread group cannot die silently — its failure mode is
         an explicit :meth:`kill`).
         """
+        if faults.injector is not None:
+            verdict = faults.injector.fire("heartbeat", group=self.name)
+            if verdict is faults.DROP:
+                # a stalled worker: the counter freezes at its last
+                # value instead of advancing
+                return self._last_heartbeat
         if self.workers == "processes":
             state = self.store._state
-            return sum(
+            beat = sum(
                 int(segment.slot(HEARTBEAT)) for segment in state.segments
             )
-        return int(self.ingest.running)
+        else:
+            beat = int(self.ingest.running)
+        self._last_heartbeat = beat
+        return beat
 
     def pids(self) -> List[Optional[int]]:
         """Worker process ids (empty in thread mode)."""
@@ -375,23 +390,38 @@ class WorkerGroup:
         """
         with self._lock:
             self._down = True
-            if self.workers == "processes":
-                supervisor = self.ingest.supervisor
-                for pid in supervisor.pids():
-                    if pid:
-                        try:
-                            os.kill(pid, signal.SIGKILL)
-                        except ProcessLookupError:  # already gone
-                            pass
-                deadline = time.monotonic() + timeout
-                while time.monotonic() < deadline:
-                    if not any(
-                        supervisor.alive(s) for s in range(self.shards)
-                    ):
-                        break
-                    time.sleep(0.01)
-            else:
-                self.ingest.close()
+            self._stop_workers(timeout)
+
+    def crash(self, *, timeout: float = 5.0) -> None:
+        """Die silently — :meth:`kill` without the fence.
+
+        Simulates an uncoordinated failure (OOM kill, power loss): the
+        workers stop but the group stays in the routing plane until a
+        supervision pass notices ``alive`` went false.  This is the
+        path that prices death *detection*; :meth:`kill` prices fenced
+        administrative removal.
+        """
+        with self._lock:
+            self._stop_workers(timeout)
+
+    def _stop_workers(self, timeout: float) -> None:
+        if self.workers == "processes":
+            supervisor = self.ingest.supervisor
+            for pid in supervisor.pids():
+                if pid:
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except ProcessLookupError:  # already gone
+                        pass
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if not any(
+                    supervisor.alive(s) for s in range(self.shards)
+                ):
+                    break
+                time.sleep(0.01)
+        else:
+            self.ingest.close()
 
     def restart(self) -> None:
         """Bring the group back: restart-with-reattach.
@@ -470,6 +500,14 @@ class LocalGroupTransport(GroupTransport):
         return self.group.submit_many(sources, targets, values)
 
     def pull(self, index: int, groups: int) -> ShardSnapshot:
+        if faults.injector is not None:
+            verdict = faults.injector.fire(
+                "transport.pull", group=self.group.name
+            )
+            if verdict is faults.DROP:
+                raise ConnectionError(
+                    f"group {self.group.name}: injected pull drop"
+                )
         self._require_alive()
         return self.group.pull(index, groups)
 
@@ -491,6 +529,94 @@ class LocalGroupTransport(GroupTransport):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"LocalGroupTransport({self.group.name!r})"
+
+
+class BreakerTransport(GroupTransport):
+    """A :class:`CircuitBreaker` around any group transport's reads.
+
+    Guards the **pull surface** only (``pull``/``version``): those are
+    the calls a dead or flapping group turns into per-refresh stalls
+    and exception storms — a delayed/failing pull is paid by *every*
+    mirror refresh until the supervisor fences the group.  With the
+    breaker open, the mirror fails fast into its keep-last-part
+    fallback (:class:`BreakerOpenError` **is** a
+    :class:`ConnectionError`) and the group gets one probe per
+    ``reset_timeout`` instead of a full pull attempt per refresh.
+
+    Writes (``submit_many``/``flush``/``publish``) pass through
+    untouched: the routing plane already fences dead groups with the
+    distinct ``rejected_group_down`` verdict, and double-guarding them
+    would turn a transient pull failure into refused ingest.
+
+    Cooperates with :class:`ClusterSupervisor` fencing: a successful
+    restart closes the breaker on the next healthy probe, so no manual
+    reset exists (or is needed).
+    """
+
+    def __init__(
+        self, inner: GroupTransport, breaker: Optional[CircuitBreaker] = None
+    ) -> None:
+        self.inner = inner
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        """The wrapped transport's group name (pass-through)."""
+        return self.inner.name
+
+    @property
+    def group(self):
+        """The wrapped transport's group, if it exposes one.
+
+        The router introspects, drains and closes groups via
+        ``transport.group``; a wrapper that hid the attribute would
+        silently empty ``shard_info``/``guard_info`` and leak groups
+        on close.
+        """
+        return getattr(self.inner, "group", None)
+
+    def _guarded(self, call: Callable):
+        if not self.breaker.allow():
+            raise BreakerOpenError(
+                f"group {self.name}: circuit breaker is "
+                f"{self.breaker.state} ({self.breaker.as_dict()['consecutive_failures']} "
+                "consecutive failures)"
+            )
+        try:
+            result = call()
+        except (ConnectionError, OSError):
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return result
+
+    def pull(self, index: int, groups: int) -> ShardSnapshot:
+        return self._guarded(lambda: self.inner.pull(index, groups))
+
+    def version(self) -> int:
+        return self._guarded(self.inner.version)
+
+    def submit_many(
+        self, sources: np.ndarray, targets: np.ndarray, values: np.ndarray
+    ) -> int:
+        return self.inner.submit_many(sources, targets, values)
+
+    def alive(self) -> bool:
+        return self.inner.alive()
+
+    def flush(self) -> int:
+        return self.inner.flush()
+
+    def publish(self) -> int:
+        return self.inner.publish()
+
+    def info(self) -> Dict[str, object]:
+        info = self.inner.info()
+        info["breaker"] = self.breaker.as_dict()
+        return info
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BreakerTransport({self.inner!r}, {self.breaker.state})"
 
 
 class MirrorStore:
@@ -1129,6 +1255,8 @@ class ClusterSupervisor:
         auto_restart: bool = True,
         monitor: bool = True,
         propagate_foreign: bool = True,
+        breaker_failures: int = 3,
+        breaker_reset: Optional[float] = None,
     ) -> None:
         if len(groups) < 1:
             raise ValueError("a cluster needs at least one worker group")
@@ -1144,8 +1272,21 @@ class ClusterSupervisor:
             )
         self.groups = list(groups)
         self.book = PartitionBook([group.name for group in groups])
+        # the reset timeout paces half-open probes at the supervisor's
+        # own detection cadence: a fenced-then-restarted group gets its
+        # first probe about when the supervisor would have noticed it
+        # back anyway, so breaker and fencing never fight
+        if breaker_reset is None:
+            breaker_reset = max(5.0 * float(heartbeat_interval), 0.1)
         self.transports: List[GroupTransport] = [
-            LocalGroupTransport(group) for group in groups
+            BreakerTransport(
+                LocalGroupTransport(group),
+                CircuitBreaker(
+                    failure_threshold=breaker_failures,
+                    reset_timeout=breaker_reset,
+                ),
+            )
+            for group in groups
         ]
         self.mirror = MirrorStore(
             self.transports, staleness_budget=staleness_budget

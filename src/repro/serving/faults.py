@@ -1,0 +1,685 @@
+"""The fault plane: deterministic chaos injection + graceful degradation.
+
+Failure is an input here, not an accident.  Three layers live in this
+module:
+
+* **Injection** — a :class:`FaultPlan` is a seeded, deterministic
+  schedule of :class:`FaultRule` entries, each naming one *fault point*
+  (a string like ``"transport.pull"`` threaded through the stack) and
+  one action: ``delay`` (sleep some milliseconds), ``stall`` (a long
+  sleep — the hung-peer shape), ``drop`` (the call site sheds the
+  operation), ``error`` (raise), or ``corrupt`` (the call site damages
+  its payload — only ``checkpoint.write`` interprets it).  The
+  :class:`FaultInjector` evaluates the plan at each firing;
+
+* **The hook fast path** — call sites guard every hook with one
+  module-level ``is None`` check::
+
+      from repro.serving import faults
+      ...
+      if faults.injector is not None:
+          if faults.injector.fire("transport.pull", group=self.name) is faults.DROP:
+              raise ConnectionError("injected drop")
+
+  With no injector installed (the default, and the only possible state
+  of ``repro serve`` without an explicit ``--chaos-plan``) the hot path
+  pays a single attribute load and pointer compare — nothing else, no
+  call, no allocation;
+
+* **Degradation primitives** the injector immediately exposes as
+  necessary: :class:`CircuitBreaker` (closed → open → half-open around
+  a flapping dependency; :class:`BreakerOpenError` is a
+  :class:`ConnectionError` so every existing failure path treats a
+  fast-failed call like a dead peer) and :class:`LoadShedder`
+  (watermark-driven overload shedding on the autopilot's queue-fill
+  signal: shed ingest first, then batch estimates, never single reads).
+
+Fault points threaded through the stack:
+
+==================  ====================================================
+point               call site
+==================  ====================================================
+``gateway.accept``  :meth:`GatewayCore.handle` — every HTTP request
+``queue.enqueue``   :meth:`RoutedIngestBase._enqueue` — sharded ingest
+``worker.apply``    :meth:`IngestPipeline._flush_one_batch` — SGD apply
+``transport.pull``  :meth:`LocalGroupTransport.pull` — mirror refresh
+``heartbeat``       :meth:`WorkerGroup.heartbeat` — liveness counter
+``checkpoint.write``  :func:`repro.serving.store.atomic_savez`
+==================  ====================================================
+
+Determinism: every rule owns a :class:`random.Random` stream seeded
+from ``(plan seed, rule index)``, and probability rolls consume from
+that stream only — two runs with the same plan and the same sequence
+of firings inject the same faults.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "DROP",
+    "CORRUPT",
+    "FAULT_ACTIONS",
+    "FAULT_POINTS",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedError",
+    "install",
+    "uninstall",
+    "BreakerOpenError",
+    "CircuitBreaker",
+    "LoadShedder",
+]
+
+
+class _Sentinel:
+    """A named singleton verdict (identity-compared by call sites)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<fault:{self.name}>"
+
+
+#: verdict: the call site should shed this operation
+DROP = _Sentinel("drop")
+#: verdict: the call site should damage its payload (checkpoint.write)
+CORRUPT = _Sentinel("corrupt")
+
+FAULT_ACTIONS = ("delay", "stall", "drop", "error", "corrupt")
+
+#: the fault points threaded through the serving stack (documentation
+#: and plan validation; a plan naming an unknown point is a typo, not a
+#: silently dead rule)
+FAULT_POINTS = (
+    "gateway.accept",
+    "queue.enqueue",
+    "worker.apply",
+    "transport.pull",
+    "heartbeat",
+    "checkpoint.write",
+)
+
+
+class InjectedError(RuntimeError):
+    """The exception the ``error`` action raises at its fault point."""
+
+
+class FaultRule:
+    """One line of a fault plan: *where*, *what*, *when*.
+
+    Parameters
+    ----------
+    point:
+        Fault-point name (one of :data:`FAULT_POINTS`).
+    action:
+        ``"delay"`` / ``"stall"`` / ``"drop"`` / ``"error"`` /
+        ``"corrupt"``.
+    ms:
+        Sleep length for ``delay`` (default 10) and ``stall`` (default
+        500 — a stall is a delay long enough to look hung to its
+        caller, so budget-bound callers must fail it over).
+    p:
+        Per-firing probability (1.0 = every matching firing).
+    after:
+        Skip the first ``after`` matching firings (lets a plan arm a
+        fault once the stack is warm).
+    max_fires:
+        Stop after injecting this many times (``None`` = unbounded).
+    match:
+        Optional context filter: ``{"group": "g1"}`` only fires when
+        the call site passed ``group="g1"``.
+    """
+
+    __slots__ = (
+        "point",
+        "action",
+        "ms",
+        "p",
+        "after",
+        "max_fires",
+        "match",
+        "seen",
+        "fired",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        point: str,
+        action: str,
+        *,
+        ms: Optional[float] = None,
+        p: float = 1.0,
+        after: int = 0,
+        max_fires: Optional[int] = None,
+        match: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {point!r}; known: {FAULT_POINTS}"
+            )
+        if action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"unknown fault action {action!r}; known: {FAULT_ACTIONS}"
+            )
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be a probability, got {p}")
+        if after < 0:
+            raise ValueError(f"after must be >= 0, got {after}")
+        if max_fires is not None and max_fires < 1:
+            raise ValueError(f"max_fires must be >= 1, got {max_fires}")
+        if ms is None:
+            ms = 500.0 if action == "stall" else 10.0
+        if ms < 0:
+            raise ValueError(f"ms must be >= 0, got {ms}")
+        self.point = point
+        self.action = action
+        self.ms = float(ms)
+        self.p = float(p)
+        self.after = int(after)
+        self.max_fires = max_fires
+        self.match = dict(match) if match else None
+        self.seen = 0
+        self.fired = 0
+        self._rng: Optional[random.Random] = None  # bound by the plan
+
+    def bind(self, seed: int, index: int) -> "FaultRule":
+        """Give the rule its own deterministic probability stream."""
+        self._rng = random.Random((int(seed) * 1_000_003) ^ index)
+        return self
+
+    def decide(self, context: Dict[str, object]) -> bool:
+        """Whether this firing injects (advances the rule's counters)."""
+        if self.match is not None:
+            for key, want in self.match.items():
+                if context.get(key) != want:
+                    return False
+        self.seen += 1
+        if self.seen <= self.after:
+            return False
+        if self.max_fires is not None and self.fired >= self.max_fires:
+            return False
+        if self.p < 1.0:
+            rng = self._rng
+            roll = rng.random() if rng is not None else random.random()
+            if roll >= self.p:
+                return False
+        self.fired += 1
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready rule state (plan round-trip + introspection)."""
+        out: Dict[str, object] = {
+            "point": self.point,
+            "action": self.action,
+            "ms": self.ms,
+            "p": self.p,
+            "after": self.after,
+            "seen": self.seen,
+            "fired": self.fired,
+        }
+        if self.max_fires is not None:
+            out["max_fires"] = self.max_fires
+        if self.match is not None:
+            out["match"] = dict(self.match)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultRule({self.point!r}, {self.action!r}, ms={self.ms}, "
+            f"p={self.p}, fired={self.fired})"
+        )
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of fault rules.
+
+    Load one from JSON (the ``--chaos-plan`` file format)::
+
+        {
+          "seed": 7,
+          "rules": [
+            {"point": "transport.pull", "action": "delay", "ms": 25, "p": 0.5},
+            {"point": "checkpoint.write", "action": "corrupt", "max_fires": 1}
+          ]
+        }
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], *, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.rules: List[FaultRule] = [
+            rule.bind(self.seed, i) for i, rule in enumerate(rules)
+        ]
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        """Build a plan from parsed JSON, rejecting unknown keys by name."""
+        if not isinstance(payload, dict):
+            raise ValueError("a fault plan must be a JSON object")
+        unknown = set(payload) - {"seed", "rules"}
+        if unknown:
+            raise ValueError(f"unknown fault-plan keys: {sorted(unknown)}")
+        raw_rules = payload.get("rules", [])
+        if not isinstance(raw_rules, list):
+            raise ValueError('"rules" must be a list')
+        rules = []
+        for entry in raw_rules:
+            if not isinstance(entry, dict):
+                raise ValueError("each rule must be a JSON object")
+            known = {"point", "action", "ms", "p", "after", "max_fires", "match"}
+            bad = set(entry) - known
+            if bad:
+                raise ValueError(f"unknown fault-rule keys: {sorted(bad)}")
+            if "point" not in entry or "action" not in entry:
+                raise ValueError('each rule needs "point" and "action"')
+            kwargs = {k: entry[k] for k in known - {"point", "action"} if k in entry}
+            rules.append(FaultRule(entry["point"], entry["action"], **kwargs))
+        return cls(rules, seed=int(payload.get("seed", 0)))
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        """Load and validate a plan from a ``--chaos-plan`` JSON file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            try:
+                payload = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"chaos plan {path}: not valid JSON ({exc})")
+        return cls.from_dict(payload)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready plan (round-trips through :meth:`from_dict`)."""
+        return {
+            "seed": self.seed,
+            "rules": [rule.as_dict() for rule in self.rules],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan(seed={self.seed}, rules={len(self.rules)})"
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at each named fault point.
+
+    ``fire`` executes time-shaped actions (``delay``/``stall`` sleep
+    right here, inside the faulted operation) and *returns* the
+    verdicts the call site must interpret — :data:`DROP` /
+    :data:`CORRUPT` — or raises :class:`InjectedError` for ``error``.
+    At most one rule injects per firing (first match wins, in plan
+    order), which keeps composed plans predictable.
+
+    The injector is thread-safe: rule bookkeeping is serialized, the
+    sleeps happen outside the lock so a stalled point never blocks
+    injection elsewhere.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        #: per-(point, action) injection counts
+        self.injected: Dict[str, int] = {}
+        self._by_point: Dict[str, List[FaultRule]] = {}
+        for rule in plan.rules:
+            self._by_point.setdefault(rule.point, []).append(rule)
+
+    def fire(self, point: str, **context: object):
+        """Evaluate the plan at one fault point.
+
+        Returns ``None`` (no injection, or a sleep already served),
+        :data:`DROP`, or :data:`CORRUPT`; raises :class:`InjectedError`
+        for the ``error`` action.
+        """
+        rules = self._by_point.get(point)
+        if not rules:
+            return None
+        chosen: Optional[FaultRule] = None
+        with self._lock:
+            for rule in rules:
+                if rule.decide(context):
+                    chosen = rule
+                    key = f"{point}:{rule.action}"
+                    self.injected[key] = self.injected.get(key, 0) + 1
+                    break
+        if chosen is None:
+            return None
+        action = chosen.action
+        if action in ("delay", "stall"):
+            time.sleep(chosen.ms / 1000.0)
+            return None
+        if action == "drop":
+            return DROP
+        if action == "corrupt":
+            return CORRUPT
+        raise InjectedError(
+            f"injected fault at {point} (rule {chosen!r})"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready injection state (bench + ``/stats`` reporting)."""
+        with self._lock:
+            return {
+                "seed": self.plan.seed,
+                "injected": dict(self.injected),
+                "rules": [rule.as_dict() for rule in self.plan.rules],
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        total = sum(self.injected.values())
+        return f"FaultInjector(rules={len(self.plan.rules)}, injected={total})"
+
+
+#: the one module-level injection switch.  ``None`` (the default) makes
+#: every fault hook a single ``is None`` check — the provably-free fast
+#: path.  Only :func:`install` (reached via an explicit ``--chaos-plan``
+#: or a test/bench calling it directly) can arm it.
+injector: Optional[FaultInjector] = None
+
+_install_lock = threading.Lock()
+
+
+def install(plan_or_injector) -> FaultInjector:
+    """Arm chaos injection process-wide; returns the active injector.
+
+    Accepts a :class:`FaultPlan`, a plan ``dict``, a path to a plan
+    JSON file, or a ready :class:`FaultInjector`.  Installing over a
+    previous injector replaces it (the old one stops firing).
+    """
+    global injector
+    if isinstance(plan_or_injector, FaultInjector):
+        armed = plan_or_injector
+    elif isinstance(plan_or_injector, FaultPlan):
+        armed = FaultInjector(plan_or_injector)
+    elif isinstance(plan_or_injector, dict):
+        armed = FaultInjector(FaultPlan.from_dict(plan_or_injector))
+    elif isinstance(plan_or_injector, str):
+        armed = FaultInjector(FaultPlan.from_file(plan_or_injector))
+    else:
+        raise TypeError(
+            "install() takes a FaultPlan, plan dict, plan-file path or "
+            f"FaultInjector, got {type(plan_or_injector).__name__}"
+        )
+    with _install_lock:
+        injector = armed
+    return armed
+
+
+def uninstall() -> None:
+    """Disarm chaos injection (restores the no-op fast path)."""
+    global injector
+    with _install_lock:
+        injector = None
+
+
+# ----------------------------------------------------------------------
+# circuit breaking
+# ----------------------------------------------------------------------
+
+
+class BreakerOpenError(ConnectionError):
+    """Fast failure of a call refused by an open circuit breaker.
+
+    A :class:`ConnectionError` on purpose: every caller that already
+    survives a dead peer (the mirror's keep-last-part fallback, the
+    router's fencing) treats a fast-failed call identically — the
+    breaker changes *when* the failure surfaces, never *what* callers
+    must handle.
+    """
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure isolation for one dependency.
+
+    * **closed** — calls pass through; ``failure_threshold``
+      *consecutive* failures trip the breaker open;
+    * **open** — calls fail fast (:meth:`allow` is ``False``) until
+      ``reset_timeout`` seconds pass;
+    * **half-open** — up to ``probe_budget`` concurrent probe calls are
+      let through; one success closes the breaker, one failure re-opens
+      it (and restarts the timeout).
+
+    The breaker only *observes* via :meth:`record_success` /
+    :meth:`record_failure` — wrapping a call is three lines at the call
+    site, which keeps it transport-agnostic (the socket transport of
+    ROADMAP item 1 reuses it unchanged).
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout: float = 1.0,
+        probe_budget: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout <= 0:
+            raise ValueError(
+                f"reset_timeout must be positive, got {reset_timeout}"
+            )
+        if probe_budget < 1:
+            raise ValueError(f"probe_budget must be >= 1, got {probe_budget}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self.probe_budget = int(probe_budget)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes = 0
+        #: lifetime transition counters (bench: open/close latency)
+        self.opens = 0
+        self.closes = 0
+        self.fast_failures = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, with the open→half-open clock applied."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = self.HALF_OPEN
+            self._probes = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (counts probe budget)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == self.CLOSED:
+                return True
+            if state == self.HALF_OPEN and self._probes < self.probe_budget:
+                self._probes += 1
+                return True
+            self.fast_failures += 1
+            return False
+
+    def record_success(self) -> None:
+        """A call came back healthy; half-open closes, closed resets."""
+        with self._lock:
+            self._failures = 0
+            if self._state != self.CLOSED:
+                self._state = self.CLOSED
+                self.closes += 1
+
+    def record_failure(self) -> None:
+        """A call failed; trips open at the threshold (or re-opens)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == self.HALF_OPEN:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.opens += 1
+                return
+            if state == self.OPEN:
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.opens += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready breaker vitals (the cluster stats rows)."""
+        with self._lock:
+            state = self._state_locked()
+            return {
+                "state": state,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout_s": self.reset_timeout,
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+                "closes": self.closes,
+                "fast_failures": self.fast_failures,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(state={self.state!r}, opens={self.opens}, "
+            f"closes={self.closes})"
+        )
+
+
+# ----------------------------------------------------------------------
+# load shedding
+# ----------------------------------------------------------------------
+
+
+class LoadShedder:
+    """Watermark-driven overload shedding on the queue-fill signal.
+
+    Reuses the autopilot's signal — the worst per-shard
+    ``queue_depth / queue_capacity`` over the plane's
+    ``shard_info()`` rows — and classifies work by what it costs and
+    what it protects:
+
+    * **ingest** sheds first (``ingest_watermark``, default 0.85): a
+      shed measurement retries cheaply and the queues are the very
+      resource that is full;
+    * **batch** estimates shed above ``batch_watermark`` (default
+      0.95): reads do not consume queue slots, but a full plane is a
+      saturated process — shedding the expensive reads keeps the cheap
+      ones alive;
+    * **single reads are never shed** — they are the availability
+      number and cost one gather.
+
+    The fill is sampled at most every ``refresh_s`` seconds so the
+    per-request cost is one monotonic-clock read and a float compare.
+    """
+
+    def __init__(
+        self,
+        ingest,
+        *,
+        ingest_watermark: float = 0.85,
+        batch_watermark: float = 0.95,
+        refresh_s: float = 0.05,
+        retry_after_s: float = 0.5,
+    ) -> None:
+        if not 0.0 < ingest_watermark <= 1.0:
+            raise ValueError(
+                f"ingest_watermark must be in (0, 1], got {ingest_watermark}"
+            )
+        if batch_watermark < ingest_watermark:
+            raise ValueError(
+                "batch_watermark must be >= ingest_watermark (ingest "
+                "sheds first)"
+            )
+        self.ingest = ingest
+        self.ingest_watermark = float(ingest_watermark)
+        self.batch_watermark = float(batch_watermark)
+        self.refresh_s = float(refresh_s)
+        self.retry_after_s = float(retry_after_s)
+        self._lock = threading.Lock()
+        self._fill = 0.0
+        self._sampled_at = 0.0
+        self.shed_ingest = 0
+        self.shed_batch = 0
+
+    def queue_fill(self) -> float:
+        """Worst shard queue fill in [0, 1] (cached for ``refresh_s``).
+
+        Prefers the plane's lock-free ``queue_load()`` probe: the full
+        ``shard_info()`` rows read pipeline stats under locks a busy
+        worker may hold for a whole flush — the congested case is
+        exactly when this sampler must not block.
+        """
+        now = time.monotonic()
+        with self._lock:
+            if now - self._sampled_at < self.refresh_s:
+                return self._fill
+            # mark first: a slow probe must not stampede samplers
+            self._sampled_at = now
+        fill = 0.0
+        try:
+            queue_load = getattr(self.ingest, "queue_load", None)
+            if queue_load is not None:
+                for depth, capacity in queue_load():
+                    if capacity > 0:
+                        fill = max(fill, int(depth) / int(capacity))
+            else:
+                shard_info = getattr(self.ingest, "shard_info", None)
+                if shard_info is not None:
+                    for entry in shard_info():
+                        capacity = int(entry.get("queue_capacity", 0) or 0)
+                        if capacity > 0:
+                            depth = int(entry.get("queue_depth", 0) or 0)
+                            fill = max(fill, depth / capacity)
+        except Exception:
+            fill = 0.0  # a sick plane should not turn into 503s
+        with self._lock:
+            self._fill = fill
+        return fill
+
+    def should_shed(self, kind: str) -> bool:
+        """Shed verdict for one request (``kind``: ingest | batch)."""
+        fill = self.queue_fill()
+        if kind == "ingest" and fill >= self.ingest_watermark:
+            with self._lock:
+                self.shed_ingest += 1
+            return True
+        if kind == "batch" and fill >= self.batch_watermark:
+            with self._lock:
+                self.shed_batch += 1
+            return True
+        return False
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready shedding state (the ``overload`` stats section)."""
+        with self._lock:
+            return {
+                "ingest_watermark": self.ingest_watermark,
+                "batch_watermark": self.batch_watermark,
+                "queue_fill": round(self._fill, 6),
+                "shed_ingest": self.shed_ingest,
+                "shed_batch": self.shed_batch,
+                "retry_after_s": self.retry_after_s,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LoadShedder(ingest@{self.ingest_watermark}, "
+            f"batch@{self.batch_watermark}, shed="
+            f"{self.shed_ingest}+{self.shed_batch})"
+        )

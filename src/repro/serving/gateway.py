@@ -65,6 +65,7 @@ import selectors
 import socket
 import sys
 import threading
+import time
 from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
@@ -72,6 +73,7 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from repro.serving import faults
 from repro.serving.guard import BackgroundCheckpointer
 from repro.serving.service import PredictionService, classify_score
 
@@ -95,6 +97,22 @@ def _get_int(params: Dict[str, list], name: str) -> int:
         raise _BadRequest(f"parameter {name!r} must be an integer, got {raw!r}")
 
 
+def _request_class(method: str, path: str) -> Optional[str]:
+    """Shed class of a request: ``ingest`` | ``batch`` | ``None``.
+
+    ``None`` means never shed — single reads are the availability
+    number and cost one gather, so overload protection must not touch
+    them (nor health/stats, which operators need *most* while shedding).
+    """
+    if method != "POST":
+        return None
+    if path == "/ingest":
+        return "ingest"
+    if path == "/estimate/batch":
+        return "batch"
+    return None
+
+
 class GatewayCore:
     """Transport-independent request routing.
 
@@ -113,32 +131,111 @@ class GatewayCore:
         coalescer=None,
         membership=None,
         autopilot=None,
+        deadline_s: Optional[float] = None,
+        shedder: Optional[faults.LoadShedder] = None,
     ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {deadline_s}")
         self.service = service
         self.ingest = ingest
         self.checkpointer = checkpointer
         self.coalescer = coalescer
         self.membership = membership
         self.autopilot = autopilot
+        self.deadline_s = deadline_s
+        self.shedder = shedder
+        self._overload_lock = threading.Lock()
+        self.deadline_exceeded = 0
+        self.injected_rejects = 0
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
 
+    def _retry_after_s(self) -> float:
+        if self.shedder is not None:
+            return self.shedder.retry_after_s
+        return 0.5
+
     def handle(
         self, method: str, path: str, params: Dict[str, list], body: bytes
     ) -> Tuple[int, Dict]:
-        """Route one request; returns ``(http_status, json_payload)``."""
+        """Route one request; returns ``(http_status, json_payload)``.
+
+        Overload protection runs here, in order: an armed chaos plan
+        may reject the request at ``gateway.accept``; the load shedder
+        may shed ingest/batch work by queue-fill watermark; and a
+        configured per-request deadline converts a too-slow success
+        into 503 — all three answer ``503 + Retry-After`` (the payload
+        carries ``retry_after`` seconds; both transports emit it as
+        the header), so clients back off instead of piling on.
+        """
+        if faults.injector is not None:
+            verdict = faults.injector.fire(
+                "gateway.accept", method=method, path=path
+            )
+            if verdict is faults.DROP:
+                with self._overload_lock:
+                    self.injected_rejects += 1
+                return 503, {
+                    "error": "request rejected by the armed chaos plan",
+                    "retry_after": self._retry_after_s(),
+                }
+        started = time.monotonic()
+        if self.shedder is not None:
+            kind = _request_class(method, path)
+            if kind is not None and self.shedder.should_shed(kind):
+                return 503, {
+                    "error": f"overloaded: {kind} shed at queue fill "
+                    f"{self.shedder.queue_fill():.2f}",
+                    "shed": kind,
+                    "retry_after": self.shedder.retry_after_s,
+                }
         try:
             if method == "GET":
-                return self._get(path, params)
-            if method == "POST":
-                return self._post(path, body)
-            return 405, {"error": f"method {method} not allowed"}
+                status, payload = self._get(path, params)
+            elif method == "POST":
+                status, payload = self._post(path, body)
+            else:
+                return 405, {"error": f"method {method} not allowed"}
         except (_BadRequest, ValueError, TypeError, IndexError) as exc:
             # TypeError covers np.asarray on non-numeric JSON entries; a
             # serving endpoint answers 400, it never drops the connection.
             return 400, {"error": str(exc)}
+        if self.deadline_s is not None and status == 200:
+            elapsed = time.monotonic() - started
+            if elapsed > self.deadline_s:
+                # the work happened but missed its budget: answering
+                # 503 keeps the latency contract honest — a client
+                # would have timed out anyway, and Retry-After beats a
+                # zombie response it already gave up on
+                with self._overload_lock:
+                    self.deadline_exceeded += 1
+                return 503, {
+                    "error": f"deadline exceeded: {elapsed * 1000.0:.1f}ms "
+                    f"> {self.deadline_s * 1000.0:.1f}ms budget",
+                    "retry_after": self._retry_after_s(),
+                }
+        return status, payload
+
+    def overload_info(self) -> Optional[Dict[str, object]]:
+        """The ``overload`` section of ``/stats`` (None when unarmed)."""
+        if (
+            self.deadline_s is None
+            and self.shedder is None
+            and faults.injector is None
+        ):
+            return None
+        info: Dict[str, object] = {
+            "deadline_s": self.deadline_s,
+            "deadline_exceeded": self.deadline_exceeded,
+            "injected_rejects": self.injected_rejects,
+        }
+        if self.shedder is not None:
+            info["shedder"] = self.shedder.as_dict()
+        if faults.injector is not None:
+            info["chaos"] = faults.injector.as_dict()
+        return info
 
     def _read_body(self, body: bytes) -> Dict:
         if not body:
@@ -182,6 +279,9 @@ class GatewayCore:
                 payload["membership"] = self.membership.as_dict()
             if self.autopilot is not None:
                 payload["autopilot"] = self.autopilot.as_dict()
+            overload = self.overload_info()
+            if overload is not None:
+                payload["overload"] = overload
             return 200, payload
         if path == "/membership":
             if self.membership is None:
@@ -489,6 +589,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        retry_after = payload.get("retry_after") if status == 503 else None
+        if retry_after is not None:
+            # RFC 7231 Retry-After in seconds; clients honor it on 503
+            self.send_header("Retry-After", f"{float(retry_after):g}")
         self.end_headers()
         self.wfile.write(body)
 
@@ -790,15 +894,23 @@ class _SelectorsServer:
         413: "Payload Too Large",
         431: "Request Header Fields Too Large",
         500: "Internal Server Error",
+        503: "Service Unavailable",
     }
 
     def _respond(self, conn: _Connection, status: int, payload: Dict) -> None:
         body = json.dumps(payload).encode("utf-8")
         reason = self._REASONS.get(status, "OK")
+        retry_after = payload.get("retry_after") if status == 503 else None
+        retry_line = (
+            f"Retry-After: {float(retry_after):g}\r\n"
+            if retry_after is not None
+            else ""
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_line}"
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
         conn.outbuf = head + body
@@ -866,6 +978,15 @@ class ServingGateway:
         Optional :class:`~repro.serving.autopilot.Autopilot`; its
         sampling thread lives exactly as long as the gateway serves,
         and ``/stats`` gains the ``autopilot`` section.
+    deadline_s:
+        Optional per-request budget in seconds; a handled request that
+        exceeds it answers ``503 + Retry-After`` instead of a zombie
+        success the client already timed out on.
+    shed_watermark:
+        Optional queue-fill fraction in ``(0, 1]`` arming a
+        :class:`~repro.serving.faults.LoadShedder` over the ingest
+        plane: ingest sheds at the watermark, batch estimates at
+        ``min(watermark + 0.1, 1.0)``, single reads never.
     verbose:
         Log requests to stderr (quiet by default: tests and benches).
     """
@@ -883,6 +1004,8 @@ class ServingGateway:
         coalesce_max_batch: int = 4096,
         membership=None,
         autopilot=None,
+        deadline_s: Optional[float] = None,
+        shed_watermark: Optional[float] = None,
         verbose: bool = False,
     ) -> None:
         if backend not in BACKENDS:
@@ -907,6 +1030,18 @@ class ServingGateway:
             # epoch transitions must refresh the coalescer's cached n
             membership.coalescer = self.coalescer
         self.autopilot = autopilot
+        shedder = None
+        if shed_watermark is not None:
+            if ingest is None:
+                raise ValueError(
+                    "shed_watermark needs an ingest plane (the shedder "
+                    "reads its queue-fill signal)"
+                )
+            shedder = faults.LoadShedder(
+                ingest,
+                ingest_watermark=shed_watermark,
+                batch_watermark=min(shed_watermark + 0.1, 1.0),
+            )
         self.core = GatewayCore(
             service,
             ingest,
@@ -914,6 +1049,8 @@ class ServingGateway:
             coalescer=self.coalescer,
             membership=membership,
             autopilot=autopilot,
+            deadline_s=deadline_s,
+            shedder=shedder,
         )
         if backend == "selectors":
             self._server = _SelectorsServer((host, port), self.core, verbose)

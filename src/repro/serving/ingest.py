@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.core.engine import DMFSGDEngine, dedup_pairs
 from repro.datasets.trace import MeasurementTrace
+from repro.serving import faults
 from repro.serving.guard import (
     AdaptiveGuardTuner,
     AdmissionGuard,
@@ -403,6 +404,15 @@ class IngestPipeline:
                 self.evaluator.observe(estimates, training_values[finite])
             if self.adaptive is not None:
                 self.adaptive.maybe_update(self)
+        if faults.injector is not None:
+            # "drop" loses the batch exactly as a worker crash between
+            # dequeue and apply would; delay/stall slow the apply loop
+            verdict = faults.injector.fire(
+                "worker.apply", batch=int(sources.size)
+            )
+            if verdict is faults.DROP:
+                self._stats.batches += 1
+                return 0
         clipped_before = self.engine.steps_clipped
         used = self.engine.apply_measurements(
             sources, targets, training_values, step_clip=self.step_clip

@@ -45,9 +45,12 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.serving import faults
 
 try:  # Protocol is 3.8+; keep a soft fallback for older interpreters
     from typing import Protocol, runtime_checkable
@@ -63,6 +66,28 @@ __all__ = [
     "RoutedIngestBase",
     "carried_versions",
 ]
+
+_shards_alias_warned = False
+
+
+def _warn_shards_alias_once() -> None:
+    """One-time deprecation notice for the ``shards`` stats alias.
+
+    PR 7 made ``shard_count`` the canonical key; the alias is slated
+    for removal in PR 10 (``docs/serving-api.md`` has the migration
+    note).  Warn once per process, not per ``/stats`` poll.
+    """
+    global _shards_alias_warned
+    if _shards_alias_warned:
+        return
+    _shards_alias_warned = True
+    warnings.warn(
+        'the "shards" ingest-stats key is a deprecated alias of '
+        '"shard_count" (canonical since PR 7) and will be removed in '
+        "PR 10; migrate dashboards to shard_count",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def carried_versions(versions: Sequence[int], target: int) -> List[int]:
@@ -189,6 +214,10 @@ class RoutedIngestBase:
         self._dynamic = False
         self._topology_log: List[Dict[str, object]] = []
         self._reconfig_ms = 0.0
+        #: samples shed by an armed chaos plan at ``queue.enqueue``
+        #: (distinct from ``dropped_backpressure`` so injected loss
+        #: never masquerades as a real overload signal)
+        self.dropped_injected = 0
 
     # -- routing-time validation ---------------------------------------
 
@@ -311,6 +340,12 @@ class RoutedIngestBase:
         shedding the chunk (counted) rather than blocking for the whole
         transition.
         """
+        if faults.injector is not None:
+            verdict = faults.injector.fire("queue.enqueue", shard=shard)
+            if verdict is faults.DROP:
+                with self._counter_lock:
+                    self.dropped_injected += int(item[2].size)
+                return 0
         timeout = -1 if self.put_timeout is None else self.put_timeout
         if not self._gate.acquire(timeout=timeout):
             with self._counter_lock:
@@ -509,8 +544,13 @@ class RoutedIngestBase:
         The thread and process payloads historically both used
         ``ingest["shards"]``; ``shard_count`` is the canonical key now,
         and ``shards`` stays as a **deprecated alias** so dashboards
-        keep working.
+        keep working.  Producing the alias emits a one-time
+        :class:`DeprecationWarning`; removal target is PR 10 (see
+        ``docs/serving-api.md``).
         """
         ingest["shard_count"] = self.shards
         ingest["shards"] = self.shards  # deprecated alias of shard_count
+        _warn_shards_alias_once()
+        if self.dropped_injected:
+            ingest["dropped_injected"] = self.dropped_injected
         return ingest

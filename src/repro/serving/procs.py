@@ -94,6 +94,7 @@ from repro.serving.guard import (
 from repro.serving.ingest import IngestPipeline, IngestStats
 from repro.serving.plane import RoutedIngestBase, carried_versions
 from repro.serving.shard import ShardedCoordinateStore, ShardedSnapshot, ShardSnapshot
+from repro.serving.store import atomic_savez
 
 __all__ = [
     "FactorSegment",
@@ -721,6 +722,9 @@ class ProcessShardedStore:
         #: (checkpoint reload mismatch, or a live re-stride); surfaced
         #: in ``/stats`` so a topology change is visible after restart
         self.repartitioned_from: Optional[int] = None
+        #: set True by :meth:`load` when the primary checkpoint was bad
+        #: and the rotated last-good copy was restored instead
+        self.recovered_from_fallback = False
         # wired by WorkerSupervisor: routes replace_model through the
         # two-phase worker commit instead of a gateway-only swap
         self._committer: Optional[Callable] = None
@@ -808,6 +812,7 @@ class ProcessShardedStore:
             tombstones=loaded.tombstones,
         )
         store.repartitioned_from = loaded.repartitioned_from
+        store.recovered_from_fallback = loaded.recovered_from_fallback
         return store
 
     # -- reads (lock-free) ---------------------------------------------
@@ -894,7 +899,11 @@ class ProcessShardedStore:
     # -- checkpointing (same single-npz format as the thread store) ----
 
     def save(self, path: "str | object") -> None:
-        """Checkpoint every shard to one ``.npz`` with per-shard keys."""
+        """Checkpoint every shard to one ``.npz`` with per-shard keys.
+
+        Crash-safe via :func:`repro.serving.store.atomic_savez` (temp
+        + fsync + atomic rename, keep-last-2 rotation).
+        """
         snap = self.snapshot()
         payload: Dict[str, np.ndarray] = {
             "shards": np.asarray(self.shards, dtype=np.int64),
@@ -905,7 +914,7 @@ class ProcessShardedStore:
             payload[f"U{s}"] = part.U
             payload[f"V{s}"] = part.V
             payload[f"version{s}"] = np.asarray(part.version, dtype=np.int64)
-        np.savez(os.fspath(path), **payload)
+        atomic_savez(path, **payload)
 
     # -- epoch transitions ---------------------------------------------
 
@@ -1931,6 +1940,24 @@ class ProcessShardedIngest(RoutedIngestBase):
             total.received = self._received
             total.dropped_invalid += self._dropped_invalid
         return total
+
+    def queue_load(self) -> List[Tuple[int, int]]:
+        """Lock-free per-shard ``(queue_depth, queue_capacity)`` pairs.
+
+        The cheap overload signal the
+        :class:`~repro.serving.faults.LoadShedder` samples on the
+        request path — raw command-queue sizes, no shared-memory header
+        reads, no counter locks.  Platforms without ``qsize`` (macOS)
+        report depth 0, degrading to never-shed rather than erroring.
+        """
+        out: List[Tuple[int, int]] = []
+        for s in range(self.shards):
+            try:
+                depth = self.supervisor.queues[s].qsize()
+            except NotImplementedError:  # pragma: no cover - macOS
+                depth = 0
+            out.append((depth, self.queue_depth))
+        return out
 
     def shard_info(self) -> List[Dict[str, object]]:
         """Per-process vitals: pps, queue depth, snapshot age, health."""

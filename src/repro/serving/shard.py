@@ -59,7 +59,6 @@ from repro.core.coordinates import (
     CoordinateTable,
     gathered_pairs_estimate,
     matrix_estimate,
-    resolve_npz_path,
     row_estimate,
 )
 from repro.core.engine import DMFSGDEngine
@@ -71,6 +70,7 @@ from repro.serving.guard import (
 from repro.serving.ingest import IngestPipeline, IngestStats
 from repro.serving.plane import RoutedIngestBase, carried_versions
 from repro.serving.service import PredictionService
+from repro.serving.store import atomic_savez, open_checkpoint
 from repro.utils.validation import check_index
 
 __all__ = [
@@ -350,6 +350,9 @@ class ShardedCoordinateStore:
         #: Surfaced in ``/stats`` so operators can see a topology
         #: change survived a restart.
         self.repartitioned_from: Optional[int] = None
+        #: set True by :meth:`load` when the primary checkpoint was bad
+        #: and the rotated last-good copy was restored instead
+        self.recovered_from_fallback = False
         self._lock = threading.Lock()  # serializes writers only
         self._tombstones: Tuple[int, ...] = tuple(
             sorted(int(t) for t in (tombstones or ()))
@@ -567,10 +570,10 @@ class ShardedCoordinateStore:
 
         The file carries ``shards``/``n`` plus ``U{s}``/``V{s}``/
         ``version{s}`` per shard, so a restart restores each shard at
-        its own version — not just shard 0.
+        its own version — not just shard 0.  Written crash-safely via
+        :func:`repro.serving.store.atomic_savez` (temp + fsync +
+        atomic rename, previous checkpoint rotated to ``.1``).
         """
-        import os
-
         with self._lock:  # snaps + tombstones from the same epoch
             snaps = self._snaps
             tombstones = self._tombstones
@@ -583,7 +586,7 @@ class ShardedCoordinateStore:
             payload[f"U{s}"] = snap.U
             payload[f"V{s}"] = snap.V
             payload[f"version{s}"] = np.asarray(snap.version, dtype=np.int64)
-        np.savez(os.fspath(path), **payload)
+        atomic_savez(path, **payload)
 
     @classmethod
     def load(
@@ -601,62 +604,69 @@ class ShardedCoordinateStore:
         never serve a *smaller* global version than it saved — which is
         what keeps version-keyed caches (and membership epochs layered
         on top) correctly invalidated across a topology change.
+
+        A truncated or corrupt primary file falls back to the rotated
+        last-good copy (``recovered_from_fallback`` records it).
         """
-        with np.load(resolve_npz_path(path)) as data:
-            tombstones = (
-                data["tombstones"].tolist() if "tombstones" in data else ()
-            )
-            if "shards" not in data:
-                # a single-store CoordinateStore checkpoint: adopt it
-                U, V = data["U"], data["V"]
-                version = int(data["version"]) if "version" in data else 1
-                target = shards if shards is not None else 1
-                store = cls(
-                    (U, V),
-                    shards=target,
-                    versions=[version] * target,
-                )
-                if target != 1:
-                    store.repartitioned_from = 1
-                return store
-            saved = int(data["shards"])
-            n = int(data["n"])
-            P = saved
-            rank = data["U0"].shape[1]
-            U = np.empty((n, rank), dtype=float)
-            V = np.empty_like(U)
-            versions = []
-            for s in range(P):
-                U[s::P] = data[f"U{s}"]
-                V[s::P] = data[f"V{s}"]
-                versions.append(int(data[f"version{s}"]))
-            target = shards if shards is not None else saved
-            if target != saved:
-                carried = carried_versions(versions, target)[0]
-                warnings.warn(
-                    f"checkpoint was written with {saved} shard(s) but "
-                    f"{target} were requested; re-partitioning the factors "
-                    f"and carrying the global version forward (each new "
-                    f"shard starts at {carried})",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                store = cls(
-                    (U, V),
-                    shards=target,
-                    versions=[carried] * target,
-                    tombstones=tombstones,
-                )
-                # recorded for /stats: a topology change survived a
-                # restart (previously only this warning said so)
-                store.repartitioned_from = saved
-                return store
-            return cls(
+        data, recovered = open_checkpoint(path)
+        tombstones = (
+            data["tombstones"].tolist() if "tombstones" in data else ()
+        )
+        if "shards" not in data:
+            # a single-store CoordinateStore checkpoint: adopt it
+            U, V = data["U"], data["V"]
+            version = int(data["version"]) if "version" in data else 1
+            target = shards if shards is not None else 1
+            store = cls(
                 (U, V),
-                shards=saved,
-                versions=versions,
+                shards=target,
+                versions=[version] * target,
+            )
+            if target != 1:
+                store.repartitioned_from = 1
+            store.recovered_from_fallback = recovered
+            return store
+        saved = int(data["shards"])
+        n = int(data["n"])
+        P = saved
+        rank = data["U0"].shape[1]
+        U = np.empty((n, rank), dtype=float)
+        V = np.empty_like(U)
+        versions = []
+        for s in range(P):
+            U[s::P] = data[f"U{s}"]
+            V[s::P] = data[f"V{s}"]
+            versions.append(int(data[f"version{s}"]))
+        target = shards if shards is not None else saved
+        if target != saved:
+            carried = carried_versions(versions, target)[0]
+            warnings.warn(
+                f"checkpoint was written with {saved} shard(s) but "
+                f"{target} were requested; re-partitioning the factors "
+                f"and carrying the global version forward (each new "
+                f"shard starts at {carried})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            store = cls(
+                (U, V),
+                shards=target,
+                versions=[carried] * target,
                 tombstones=tombstones,
             )
+            # recorded for /stats: a topology change survived a
+            # restart (previously only this warning said so)
+            store.repartitioned_from = saved
+            store.recovered_from_fallback = recovered
+            return store
+        store = cls(
+            (U, V),
+            shards=saved,
+            versions=versions,
+            tombstones=tombstones,
+        )
+        store.recovered_from_fallback = recovered
+        return store
 
     def as_full_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """The reassembled dense ``(U, V)`` of the current snapshots."""
@@ -1220,6 +1230,20 @@ class ShardedIngest(RoutedIngestBase):
             total.received = self._received
             total.dropped_invalid += self._dropped_invalid
         return total
+
+    def queue_load(self) -> List[Tuple[int, int]]:
+        """Lock-free per-shard ``(queue_depth, queue_capacity)`` pairs.
+
+        The :class:`~repro.serving.faults.LoadShedder` samples this on
+        the request path, where :meth:`shard_info` would be wrong: its
+        ``pipeline.stats()`` reads take each pipeline's lock, which a
+        worker holds for its whole flush — exactly the congestion the
+        shedder is trying to observe.  Raw ``qsize`` reads need no
+        locks and are as fresh as the signal requires.
+        """
+        if not self._queues:
+            return [(0, 0) for _ in range(self.shards)]
+        return [(q.qsize(), self.queue_depth) for q in self._queues]
 
     def shard_info(self) -> List[Dict[str, object]]:
         """Per-shard vitals: queue depth, snapshot age/version, counters."""

@@ -28,8 +28,10 @@ invalidates cached predictions.
 from __future__ import annotations
 
 import os
+import tempfile
 import threading
-from typing import Optional, Tuple, Union
+import zlib
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -40,9 +42,170 @@ from repro.core.coordinates import (
     resolve_npz_path,
     row_estimate,
 )
+from repro.serving import faults
 from repro.utils.validation import check_index
 
-__all__ = ["CoordinateSnapshot", "CoordinateStore"]
+__all__ = [
+    "CheckpointError",
+    "CoordinateSnapshot",
+    "CoordinateStore",
+    "atomic_savez",
+    "open_checkpoint",
+]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file exists but cannot be trusted (truncated,
+    corrupt, or failing its integrity record) and no fallback could be
+    loaded either."""
+
+
+_CRC_NAMES = "__crc_names__"
+_CRC_VALUES = "__crc_values__"
+
+
+def _array_crc(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).tobytes()) & 0xFFFFFFFF
+
+
+def atomic_savez(path: "str | os.PathLike", **arrays: np.ndarray) -> str:
+    """Crash-safe ``np.savez``: tmp + fsync + ``os.replace`` + rotation.
+
+    The write protocol that makes a mid-crash recoverable instead of
+    fatal:
+
+    1. serialize into a temp file **in the target directory** (same
+       filesystem, so the final rename is atomic), with a per-array
+       CRC32 integrity record appended as two extra arrays;
+    2. ``flush`` + ``fsync`` the temp file — the bytes are durable
+       before any name points at them;
+    3. rotate the previous checkpoint to ``<path>.1`` (keep-last-2:
+       the fallback :func:`open_checkpoint` restores from), then
+       ``os.replace`` the temp file into place — readers see the old
+       complete file or the new complete file, never a torn mix.
+
+    Returns the final path written (with the ``.npz`` suffix
+    ``np.savez`` would have appended).
+    """
+    target = os.fspath(path)
+    if not target.endswith(".npz"):
+        target += ".npz"
+    directory = os.path.dirname(target) or "."
+    names = sorted(arrays)
+    payload = dict(arrays)
+    payload[_CRC_NAMES] = np.array(names)
+    payload[_CRC_VALUES] = np.array(
+        [_array_crc(np.asarray(arrays[name])) for name in names],
+        dtype=np.uint32,
+    )
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        if faults.injector is not None:
+            verdict = faults.injector.fire("checkpoint.write", path=target)
+            if verdict is faults.DROP:
+                # a crash before publish: durable bytes, no rename —
+                # the previous checkpoint stays the visible one
+                os.unlink(tmp)
+                return target
+            if verdict is faults.CORRUPT:
+                # a torn write that *did* get published: damage the
+                # temp file so the installed checkpoint is corrupt and
+                # the rotated ``.1`` remains the last good copy
+                with open(tmp, "r+b") as fh:
+                    fh.seek(max(os.path.getsize(tmp) // 2, 0))
+                    fh.write(b"\x00" * 64)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+        if os.path.exists(target):
+            os.replace(target, target + ".1")
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:  # durability of the rename itself (best effort: not all
+        dir_fd = os.open(directory, os.O_RDONLY)  # platforms allow it)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
+    return target
+
+
+def _read_verified(path: str) -> Dict[str, np.ndarray]:
+    """Load one npz and force every integrity check to run.
+
+    Reading each member end-to-end makes the zip layer verify its
+    stored CRC (catching truncation and bit flips even in checkpoints
+    written before the integrity record existed); the per-array record
+    from :func:`atomic_savez` is then checked on top.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    with np.load(path) as data:
+        for name in data.files:
+            arrays[name] = data[name]
+    crc_names = arrays.pop(_CRC_NAMES, None)
+    crc_values = arrays.pop(_CRC_VALUES, None)
+    if crc_names is not None and crc_values is not None:
+        recorded = {
+            str(name): int(value)
+            for name, value in zip(crc_names, crc_values)
+        }
+        for name, array in arrays.items():
+            want = recorded.get(name)
+            if want is not None and _array_crc(array) != want:
+                raise CheckpointError(
+                    f"checkpoint {path}: array {name!r} fails its CRC32 "
+                    "integrity record (corrupt content)"
+                )
+    return arrays
+
+
+def open_checkpoint(
+    path: "str | os.PathLike", *, fallback: bool = True
+) -> Tuple[Dict[str, np.ndarray], bool]:
+    """Load a checkpoint, falling back to the rotated last-good copy.
+
+    Returns ``(arrays, recovered)`` where ``recovered`` is True when
+    the primary file was missing/corrupt and the ``.1`` rotation copy
+    was loaded instead.  Raises :class:`FileNotFoundError` when no
+    candidate file exists at all, :class:`CheckpointError` when files
+    exist but none verifies.
+    """
+    primary = resolve_npz_path(path)
+    candidates = [(primary, False)]
+    if fallback:
+        candidates.append((primary + ".1", True))
+    reasons = []
+    found_any = False
+    for candidate, recovered in candidates:
+        if not os.path.exists(candidate):
+            continue
+        found_any = True
+        try:
+            return _read_verified(candidate), recovered
+        except CheckpointError as exc:
+            reasons.append(str(exc))
+        except Exception as exc:  # zipfile/zlib/EOF parse failures
+            reasons.append(
+                f"checkpoint {candidate}: unreadable "
+                f"({type(exc).__name__}: {exc})"
+            )
+    if not found_any:
+        raise FileNotFoundError(f"no checkpoint at {primary}")
+    raise CheckpointError(
+        "no loadable checkpoint: " + "; ".join(reasons)
+    )
 
 
 def _frozen_copy(array: np.ndarray) -> np.ndarray:
@@ -143,6 +306,10 @@ class CoordinateStore:
         Starting version (1 by default; restored on :meth:`load`).
     """
 
+    #: set True by :meth:`load` when the primary checkpoint was bad and
+    #: the rotated last-good copy was restored instead
+    recovered_from_fallback = False
+
     def __init__(
         self,
         coordinates: Union[CoordinateTable, Tuple[np.ndarray, np.ndarray]],
@@ -210,10 +377,15 @@ class CoordinateStore:
     # ------------------------------------------------------------------
 
     def save(self, path: "str | os.PathLike") -> None:
-        """Checkpoint the current snapshot (factors + version) to .npz."""
+        """Checkpoint the current snapshot (factors + version) to .npz.
+
+        Crash-safe via :func:`atomic_savez`: temp file + fsync +
+        atomic rename, with the previous checkpoint kept as the
+        ``.1`` rotation copy.
+        """
         snap = self.snapshot()
-        np.savez(
-            os.fspath(path),
+        atomic_savez(
+            path,
             U=snap.U,
             V=snap.V,
             version=np.asarray(snap.version, dtype=np.int64),
@@ -223,12 +395,16 @@ class CoordinateStore:
     def load(cls, path: "str | os.PathLike") -> "CoordinateStore":
         """Restore a store from a :meth:`save` checkpoint.
 
-        The restored store serves predictions identical to the one that
-        was saved, at the same version.
+        The restored store serves predictions identical to the one
+        that was saved, at the same version.  A truncated or corrupt
+        primary file falls back to the rotated last-good copy; the
+        restored store then carries ``recovered_from_fallback=True``.
         """
-        with np.load(resolve_npz_path(path)) as data:
-            version = int(data["version"]) if "version" in data else 1
-            return cls((data["U"], data["V"]), version=version)
+        data, recovered = open_checkpoint(path)
+        version = int(data["version"]) if "version" in data else 1
+        store = cls((data["U"], data["V"]), version=version)
+        store.recovered_from_fallback = recovered
+        return store
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         snap = self.snapshot()

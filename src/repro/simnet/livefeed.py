@@ -29,6 +29,12 @@ produces the traffic:
   (:class:`~repro.serving.cluster.ClusterSupervisor`) while other
   drivers keep the traffic flowing — the failure half of the cluster
   availability story as scripted simulator input;
+* :class:`ChaosDriver` composes both failure axes: it arms a seeded
+  :class:`~repro.serving.faults.FaultPlan` (delayed pulls, stalled
+  heartbeats, corrupted checkpoint writes, ...) process-wide for its
+  lifetime and optionally steps a :class:`ClusterOutageDriver`
+  schedule alongside, so one driver reproduces a whole fault soup
+  under live load — the ``BENCH_chaos`` scenario as scripted input;
 * :func:`replay_trace` streams an existing
   :class:`~repro.datasets.trace.MeasurementTrace` (e.g. the Harvard
   stream) into a sink in time order.
@@ -44,6 +50,7 @@ from typing import Iterable, Optional, Protocol
 import numpy as np
 
 from repro.datasets.trace import MeasurementTrace
+from repro.serving import faults
 from repro.simnet.neighbors import sample_neighbor_sets
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_probability, check_square_matrix
@@ -55,6 +62,7 @@ __all__ = [
     "HotPairDriver",
     "ChurnDriver",
     "ClusterOutageDriver",
+    "ChaosDriver",
     "replay_trace",
 ]
 
@@ -485,9 +493,11 @@ class ClusterOutageDriver:
     Two modes, like :class:`ChurnDriver`:
 
     * **explicit schedule** — a sequence of ``("kill", g)`` /
-      ``("restart", g)`` / ``("idle", None)`` ops applied one per
-      :meth:`step` (:meth:`flap_schedule` builds the
-      kill-idle-restart cycle for a set of groups);
+      ``("crash", g)`` / ``("restart", g)`` / ``("idle", None)`` ops
+      applied one per :meth:`step` (:meth:`flap_schedule` builds the
+      kill-idle-restart cycle for a set of groups; ``kill`` fences the
+      group first, ``crash`` dies silently so the detect pass must
+      notice);
     * **stochastic outages** — with ``kill_rate``, each :meth:`step`
       rolls to kill one random live group, never the last one (total
       blackout makes availability trivially zero and tests nothing).
@@ -536,15 +546,22 @@ class ClusterOutageDriver:
         self.events: list = []  # (op, group, detail) per applied change
 
     @staticmethod
-    def flap_schedule(group_indices: Iterable[int], *, idle: int = 2) -> list:
+    def flap_schedule(
+        group_indices: Iterable[int], *, idle: int = 2, op: str = "kill"
+    ) -> list:
         """Kill each listed group, hold it down ``idle`` steps, restart.
 
         The sequential single-failure pattern the acceptance bench
         measures availability under — at most one group is ever down.
+        With ``op="crash"`` the group dies *silently* (no fence), so
+        the in-step detection pass must notice before routing fences
+        it — the shape that prices death detection.
         """
+        if op not in ("kill", "crash"):
+            raise ValueError(f"flap op must be kill or crash, got {op!r}")
         ops: list = []
         for g in group_indices:
-            ops.append(("kill", int(g)))
+            ops.append((op, int(g)))
             ops.extend(("idle", None) for _ in range(idle))
             ops.append(("restart", int(g)))
         return ops
@@ -553,6 +570,11 @@ class ClusterOutageDriver:
         try:
             if op == "kill":
                 self.supervisor.groups[int(group)].kill()
+                self.kills_done += 1
+            elif op == "crash":
+                # silent death: workers stop, no fence — the detect
+                # pass below must catch it via the heartbeat surface
+                self.supervisor.groups[int(group)].crash()
                 self.kills_done += 1
             elif op == "restart":
                 self.supervisor.groups[int(group)].restart()
@@ -577,9 +599,10 @@ class ClusterOutageDriver:
             if self._cursor < len(self.schedule):
                 op, group = self.schedule[self._cursor]
                 self._cursor += 1
-                if op not in ("kill", "restart", "idle"):
+                if op not in ("kill", "crash", "restart", "idle"):
                     raise ValueError(
-                        f"schedule ops must be kill/restart/idle, got {op!r}"
+                        "schedule ops must be kill/crash/restart/idle, "
+                        f"got {op!r}"
                     )
                 if op != "idle":
                     result = self._apply(op, group)
@@ -615,6 +638,135 @@ class ClusterOutageDriver:
             f"ClusterOutageDriver(kills={self.kills_done}, "
             f"restarts={self.restarts_done}, detections={self.detections})"
         )
+
+
+class ChaosDriver:
+    """Arms a fault plan for its lifetime and replays outages alongside.
+
+    The chaos scenario the acceptance bench measures is not one failure
+    but a *soup*: delayed transport pulls, a worker group flapping, a
+    stalled heartbeat, a corrupted checkpoint write — all while probe
+    traffic keeps flowing.  Each axis already has an injector
+    (:class:`~repro.serving.faults.FaultInjector` for in-stack faults,
+    :class:`ClusterOutageDriver` for whole-group outages); this driver
+    composes them behind one step/run/report surface so a simulator run
+    or bench script owns exactly one knob.
+
+    Arming is scoped: :meth:`__enter__` (or construction with
+    ``arm=True``, the default) installs the plan's injector
+    process-wide via :func:`repro.serving.faults.install`, and
+    :meth:`close` / :meth:`__exit__` uninstalls it — a crashed bench
+    cannot leave a live process haunted.  The driver refuses to arm
+    over a foreign injector for the same reason.
+
+    Parameters
+    ----------
+    plan:
+        The seeded :class:`~repro.serving.faults.FaultPlan` (or its
+        dict / file-path form) to arm.
+    outages:
+        Optional :class:`ClusterOutageDriver` stepped once per
+        :meth:`step` — the group-flap half of the soup.
+    arm:
+        Install the injector immediately (default).  Pass ``False`` to
+        defer to ``with driver: ...``.
+    """
+
+    def __init__(
+        self,
+        plan,
+        *,
+        outages: Optional[ClusterOutageDriver] = None,
+        arm: bool = True,
+    ) -> None:
+        if not isinstance(plan, faults.FaultPlan):
+            plan = (
+                faults.FaultPlan.from_file(plan)
+                if isinstance(plan, str)
+                else faults.FaultPlan.from_dict(plan)
+            )
+        self.plan = plan
+        self.outages = outages
+        self.injector: Optional[faults.FaultInjector] = None
+        self.steps_done = 0
+        if arm:
+            self.arm()
+
+    def arm(self) -> faults.FaultInjector:
+        """Install this driver's injector process-wide (idempotent)."""
+        if self.injector is not None:
+            return self.injector
+        if faults.injector is not None:
+            raise RuntimeError(
+                "another fault injector is already installed; "
+                "uninstall it before arming a ChaosDriver"
+            )
+        self.injector = faults.install(self.plan)
+        return self.injector
+
+    @property
+    def armed(self) -> bool:
+        """Whether this driver's injector is the installed one."""
+        return self.injector is not None and faults.injector is self.injector
+
+    def step(self):
+        """Advance one chaos step: the outage schedule, if any.
+
+        The injector needs no stepping — it fires inline at the fault
+        points as traffic exercises them — so a step is the outage
+        driver's step (or a no-op recorded for pacing symmetry with
+        the other drivers).
+        """
+        self.steps_done += 1
+        if self.outages is not None:
+            return self.outages.step()
+        return None
+
+    def run(self, steps: int) -> int:
+        """Drive ``steps`` chaos steps; returns outage ops applied."""
+        if steps <= 0:
+            raise ValueError(f"steps must be positive, got {steps}")
+        if self.outages is not None:
+            return self.outages.run(steps)
+        self.steps_done += steps
+        return 0
+
+    def report(self) -> dict:
+        """One dict combining injector firings and outage counters."""
+        out: dict = {
+            "armed": self.armed,
+            "steps": self.steps_done,
+            "plan": self.plan.as_dict(),
+        }
+        if self.injector is not None:
+            out["injected"] = dict(self.injector.injected)
+        if self.outages is not None:
+            out["outages"] = {
+                "kills": self.outages.kills_done,
+                "restarts": self.outages.restarts_done,
+                "detections": self.outages.detections,
+                "failures": self.outages.failures,
+            }
+        return out
+
+    def close(self) -> None:
+        """Disarm: uninstall our injector if it is still the live one."""
+        if self.injector is not None and faults.injector is self.injector:
+            faults.uninstall()
+        self.injector = None
+
+    def __enter__(self) -> "ChaosDriver":
+        self.arm()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        fired = (
+            sum(self.injector.injected.values()) if self.injector else 0
+        )
+        return f"ChaosDriver(armed={self.armed}, fired={fired})"
 
 
 def replay_trace(

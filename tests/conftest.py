@@ -7,10 +7,29 @@ own inputs.
 
 from __future__ import annotations
 
+import faulthandler
+
 import numpy as np
 import pytest
 
 from repro.datasets import load_harvard, load_hps3, load_meridian
+
+#: hang watchdog: threaded serving tests deadlocking (a stuck queue
+#: join, a breaker probe that never returns) used to look like a silent
+#: CI timeout.  Dump every thread's traceback to stderr instead if any
+#: single test exceeds this many seconds — the dump does not fail the
+#: test, it just makes the hang debuggable.
+HANG_DUMP_AFTER_S = 300.0
+
+
+@pytest.fixture(autouse=True)
+def _hang_watchdog():
+    """Arm a per-test faulthandler traceback dump; disarm on exit."""
+    faulthandler.dump_traceback_later(HANG_DUMP_AFTER_S, exit=False)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 
 def pytest_configure(config):
@@ -28,6 +47,11 @@ def pytest_configure(config):
         "reconfig_smoke: fast live-topology tests (tier-1, ~10 s: "
         "autopilot split/merge under a flash-crowd burst, zero failed "
         "reads)",
+    )
+    config.addinivalue_line(
+        "markers",
+        "chaos_smoke: fast fault-plane tests (tier-1, ~5 s: standard "
+        "fault soup + overload shedding, zero torn reads)",
     )
 
 

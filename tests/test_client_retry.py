@@ -24,12 +24,23 @@ class FlappingServer:
 
     ``status`` controls the eventual answer (200 JSON payload, or an
     error status with a JSON ``error`` body, to pin that HTTP errors
-    are *not* retried).
+    are *not* retried).  ``unavailable`` answers that many connections
+    (after the flaps) with ``503 + Retry-After`` before recovering —
+    the load-shedding window a client must back off through.
     """
 
-    def __init__(self, *, flaps: int, status: int = 200) -> None:
+    def __init__(
+        self,
+        *,
+        flaps: int,
+        status: int = 200,
+        unavailable: int = 0,
+        retry_after: float = 0.01,
+    ) -> None:
         self.flaps = flaps
         self.status = status
+        self.unavailable = unavailable
+        self.retry_after = retry_after
         self.connections = 0
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -67,6 +78,21 @@ class FlappingServer:
                 continue
             try:
                 conn.recv(65536)
+                if self.connections <= self.flaps + self.unavailable:
+                    # the shedding window: a clean 503 asking for the
+                    # retry via Retry-After (header + payload, like the
+                    # gateway's two transports)
+                    body = json.dumps(
+                        {"error": "overloaded", "retry_after": self.retry_after}
+                    ).encode()
+                    conn.sendall(
+                        f"HTTP/1.1 503 Service Unavailable\r\n"
+                        f"Content-Type: application/json\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        f"Retry-After: {self.retry_after:g}\r\n"
+                        f"Connection: close\r\n\r\n".encode() + body
+                    )
+                    continue
                 if self.status == 200:
                     body = json.dumps({"version": 7}).encode()
                 else:
@@ -165,3 +191,77 @@ def test_retry_parameter_validation():
         ServingClient("http://x", retries=-1)
     with pytest.raises(ValueError, match="retry_delay"):
         ServingClient("http://x", retry_delay=-0.1)
+
+
+def test_503_retried_until_the_shedding_window_passes():
+    with FlappingServer(flaps=0, unavailable=2) as server:
+        client = ServingClient(server.url, retries=3, retry_delay=0.01)
+        assert client.version() == 7
+        assert client.retries_503 == 2
+        assert client.retries_used == 2
+        assert server.connections == 3
+
+
+def test_503_honors_retry_after_over_exponential_backoff():
+    import time
+
+    # retry_delay=10 would sleep seconds if the jittered exponential
+    # path ran; honoring the server's 0.05 s Retry-After returns fast
+    with FlappingServer(
+        flaps=0, unavailable=1, retry_after=0.05
+    ) as server:
+        client = ServingClient(server.url, retries=2, retry_delay=10.0)
+        start = time.perf_counter()
+        assert client.version() == 7
+        elapsed = time.perf_counter() - start
+        assert 0.05 <= elapsed < 2.0
+        assert client.retries_503 == 1
+
+
+def test_503_exhausted_surfaces_as_gateway_error():
+    with FlappingServer(flaps=0, unavailable=100) as server:
+        client = ServingClient(server.url, retries=2, retry_delay=0.01)
+        with pytest.raises(GatewayError) as excinfo:
+            client.version()
+        assert excinfo.value.status == 503
+        assert client.retries_503 == 2
+        assert server.connections == 3
+
+
+def test_503_backoff_sources_and_timeout_cap():
+    client = ServingClient("http://x", timeout=0.2, retry_delay=0.5)
+
+    class _Error:
+        def __init__(self, headers):
+            self.headers = headers
+
+    # header wins, capped at the client's own timeout
+    assert client._backoff_503(
+        _Error({"Retry-After": "999"}), {}, 0
+    ) == pytest.approx(0.2)
+    assert client._backoff_503(
+        _Error({"Retry-After": "0.05"}), {}, 0
+    ) == pytest.approx(0.05)
+    # payload retry_after is the fallback when the header is absent/bad
+    assert client._backoff_503(
+        _Error({"Retry-After": "soon"}), {"retry_after": 0.07}, 0
+    ) == pytest.approx(0.07)
+    # neither given: full jitter in [0, retry_delay * 2**attempt)
+    for attempt in range(3):
+        delay = client._backoff_503(_Error(None), {}, attempt)
+        assert 0.0 <= delay <= 0.5 * 2**attempt
+
+
+def test_connection_retry_uses_full_jitter(monkeypatch):
+    import repro.serving.client as client_mod
+
+    sleeps = []
+    monkeypatch.setattr(
+        client_mod.time, "sleep", lambda s: sleeps.append(s)
+    )
+    with FlappingServer(flaps=3) as server:
+        client = ServingClient(server.url, retries=3, retry_delay=0.2)
+        assert client.version() == 7
+    assert len(sleeps) == 3
+    for attempt, slept in enumerate(sleeps):
+        assert 0.0 <= slept <= 0.2 * 2**attempt

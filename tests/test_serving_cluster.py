@@ -283,6 +283,28 @@ class TestFailureHandling:
             assert driver.kills_done == 2 and driver.restarts_done == 2
             assert all(group.alive for group in sup.groups)
 
+    def test_outage_driver_crash_is_detected_not_prefenced(self):
+        with make_cluster(auto_restart=False) as sup:
+            driver = ClusterOutageDriver(
+                sup,
+                schedule=ClusterOutageDriver.flap_schedule(
+                    [0], idle=1, op="crash"
+                ),
+            )
+            # a crash is silent: nothing fences the group up front, so
+            # the same step's detection pass must catch the dead group
+            driver.step()
+            assert driver.detections == 1
+            assert sup.deaths == [1, 0]
+            assert sup.groups[0].is_down  # fenced by detection
+            driver.run(len(driver.schedule) - 1)
+            assert sup.groups[0].alive
+            assert driver.kills_done == 1 and driver.restarts_done == 1
+
+    def test_flap_schedule_validates_op(self):
+        with pytest.raises(ValueError, match="kill or crash"):
+            ClusterOutageDriver.flap_schedule([0], op="reboot")
+
     def test_outage_driver_stochastic_never_kills_last_group(self):
         with make_cluster(auto_restart=False) as sup:
             driver = ClusterOutageDriver(

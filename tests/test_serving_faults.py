@@ -1,0 +1,840 @@
+"""Fault-plane tests: injection, breakers, shedding, crash-safe saves.
+
+Covers the four layers PR 8 added:
+
+* :mod:`repro.serving.faults` — deterministic seeded fault plans, the
+  module-level hook fast path, circuit-breaker state machine (driven by
+  a fake clock), and watermark load shedding on the lock-free
+  ``queue_load()`` signal;
+* :class:`GatewayCore` overload handling — chaos rejects, shed 503s
+  with ``Retry-After``, and per-request deadlines (on both HTTP
+  backends);
+* crash-safe checkpoints — torn/truncated primaries detected by CRC
+  and recovered from the rotated last-good copy;
+* :class:`~repro.simnet.livefeed.ChaosDriver` — arm/step/report/close
+  composition semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serving import faults
+from repro.serving.faults import (
+    CORRUPT,
+    DROP,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    InjectedError,
+    LoadShedder,
+)
+from repro.serving.gateway import GatewayCore, ServingGateway
+from repro.serving.service import PredictionService
+from repro.serving.store import (
+    CheckpointError,
+    CoordinateStore,
+    atomic_savez,
+    open_checkpoint,
+)
+from repro.simnet.livefeed import ChaosDriver
+
+NODES = 30
+RANK = 4
+
+
+@pytest.fixture(autouse=True)
+def _disarm_chaos():
+    """Every test leaves the process-wide fast path restored."""
+    yield
+    faults.uninstall()
+
+
+def _store(version: int = 1, seed: int = 7) -> CoordinateStore:
+    rng = np.random.default_rng(seed)
+    U = rng.uniform(0.1, 1.0, size=(NODES, RANK))
+    V = rng.uniform(0.1, 1.0, size=(NODES, RANK))
+    return CoordinateStore((U, V), version=version)
+
+
+# ----------------------------------------------------------------------
+# plans + rules
+# ----------------------------------------------------------------------
+
+
+class TestFaultPlanValidation:
+    def test_minimal_plan_round_trips(self):
+        plan = FaultPlan.from_dict(
+            {
+                "seed": 3,
+                "rules": [{"point": "heartbeat", "action": "drop"}],
+            }
+        )
+        payload = plan.as_dict()
+        assert payload["seed"] == 3
+        assert payload["rules"][0]["point"] == "heartbeat"
+        assert payload["rules"][0]["action"] == "drop"
+
+    def test_unknown_plan_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.from_dict({"seed": 1, "rulez": []})
+
+    def test_unknown_rule_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-rule keys"):
+            FaultPlan.from_dict(
+                {"rules": [{"point": "heartbeat", "action": "drop", "x": 1}]}
+            )
+
+    def test_rule_needs_point_and_action(self):
+        with pytest.raises(ValueError, match="point"):
+            FaultPlan.from_dict({"rules": [{"action": "drop"}]})
+
+    def test_unknown_point_is_a_typo_not_a_dead_rule(self):
+        with pytest.raises(ValueError, match="unknown fault point"):
+            FaultPlan.from_dict(
+                {"rules": [{"point": "gateway.acept", "action": "drop"}]}
+            )
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultPlan.from_dict(
+                {"rules": [{"point": "heartbeat", "action": "explode"}]}
+            )
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("p", 1.5), ("p", -0.1), ("after", -1), ("max_fires", 0), ("ms", -5)],
+    )
+    def test_out_of_range_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            FaultPlan.from_dict(
+                {
+                    "rules": [
+                        {"point": "heartbeat", "action": "drop", field: value}
+                    ]
+                }
+            )
+
+    def test_rules_must_be_a_list_of_objects(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            FaultPlan.from_dict({"rules": {"point": "heartbeat"}})
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.from_dict({"rules": ["heartbeat"]})
+
+    def test_delay_and_stall_ms_defaults(self):
+        plan = FaultPlan.from_dict(
+            {
+                "rules": [
+                    {"point": "heartbeat", "action": "delay"},
+                    {"point": "heartbeat", "action": "stall"},
+                ]
+            }
+        )
+        assert plan.rules[0].ms == 10.0
+        assert plan.rules[1].ms == 500.0
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(
+            json.dumps(
+                {"seed": 9, "rules": [{"point": "heartbeat", "action": "drop"}]}
+            )
+        )
+        plan = FaultPlan.from_file(str(path))
+        assert plan.seed == 9 and len(plan.rules) == 1
+
+    def test_from_file_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            FaultPlan.from_file(str(path))
+
+
+class TestInjectionSemantics:
+    def test_same_seed_same_injections(self):
+        payload = {
+            "seed": 42,
+            "rules": [
+                {"point": "worker.apply", "action": "drop", "p": 0.3}
+            ],
+        }
+
+        def sequence():
+            injector = FaultInjector(FaultPlan.from_dict(payload))
+            return [
+                injector.fire("worker.apply") is DROP for _ in range(200)
+            ]
+
+        first, second = sequence(), sequence()
+        assert first == second
+        assert 20 < sum(first) < 100  # p=0.3 actually rolls
+
+    def test_different_seeds_differ(self):
+        def sequence(seed):
+            injector = FaultInjector(
+                FaultPlan.from_dict(
+                    {
+                        "seed": seed,
+                        "rules": [
+                            {
+                                "point": "worker.apply",
+                                "action": "drop",
+                                "p": 0.5,
+                            }
+                        ],
+                    }
+                )
+            )
+            return [
+                injector.fire("worker.apply") is DROP for _ in range(100)
+            ]
+
+        assert sequence(1) != sequence(2)
+
+    def test_unplanned_point_is_none(self):
+        injector = FaultInjector(
+            FaultPlan.from_dict(
+                {"rules": [{"point": "heartbeat", "action": "drop"}]}
+            )
+        )
+        assert injector.fire("transport.pull") is None
+        assert injector.injected == {}
+
+    def test_verdicts_and_error(self):
+        injector = FaultInjector(
+            FaultPlan.from_dict(
+                {
+                    "rules": [
+                        {"point": "heartbeat", "action": "drop"},
+                        {"point": "checkpoint.write", "action": "corrupt"},
+                        {"point": "transport.pull", "action": "error"},
+                    ]
+                }
+            )
+        )
+        assert injector.fire("heartbeat") is DROP
+        assert injector.fire("checkpoint.write") is CORRUPT
+        with pytest.raises(InjectedError):
+            injector.fire("transport.pull")
+        assert injector.injected == {
+            "heartbeat:drop": 1,
+            "checkpoint.write:corrupt": 1,
+            "transport.pull:error": 1,
+        }
+
+    def test_after_skips_warmup_firings(self):
+        injector = FaultInjector(
+            FaultPlan.from_dict(
+                {
+                    "rules": [
+                        {"point": "heartbeat", "action": "drop", "after": 3}
+                    ]
+                }
+            )
+        )
+        verdicts = [injector.fire("heartbeat") for _ in range(5)]
+        assert verdicts == [None, None, None, DROP, DROP]
+
+    def test_max_fires_caps_injections(self):
+        injector = FaultInjector(
+            FaultPlan.from_dict(
+                {
+                    "rules": [
+                        {
+                            "point": "heartbeat",
+                            "action": "drop",
+                            "max_fires": 2,
+                        }
+                    ]
+                }
+            )
+        )
+        verdicts = [injector.fire("heartbeat") for _ in range(4)]
+        assert verdicts == [DROP, DROP, None, None]
+        assert injector.injected["heartbeat:drop"] == 2
+
+    def test_match_filters_on_call_site_context(self):
+        injector = FaultInjector(
+            FaultPlan.from_dict(
+                {
+                    "rules": [
+                        {
+                            "point": "heartbeat",
+                            "action": "drop",
+                            "match": {"group": "g1"},
+                        }
+                    ]
+                }
+            )
+        )
+        assert injector.fire("heartbeat", group="g0") is None
+        assert injector.fire("heartbeat") is None  # no context at all
+        assert injector.fire("heartbeat", group="g1") is DROP
+        # non-matching firings never advanced the rule's seen counter
+        assert injector.plan.rules[0].seen == 1
+
+    def test_first_match_wins(self):
+        injector = FaultInjector(
+            FaultPlan.from_dict(
+                {
+                    "rules": [
+                        {"point": "heartbeat", "action": "drop"},
+                        {"point": "heartbeat", "action": "error"},
+                    ]
+                }
+            )
+        )
+        # the second rule never fires: at most one injection per firing
+        for _ in range(5):
+            assert injector.fire("heartbeat") is DROP
+        assert "heartbeat:error" not in injector.injected
+
+    def test_delay_sleeps_at_the_fault_point(self):
+        import time
+
+        injector = FaultInjector(
+            FaultPlan.from_dict(
+                {
+                    "rules": [
+                        {"point": "heartbeat", "action": "delay", "ms": 30}
+                    ]
+                }
+            )
+        )
+        start = time.perf_counter()
+        assert injector.fire("heartbeat") is None
+        assert time.perf_counter() - start >= 0.025
+
+
+class TestInstallGating:
+    def test_fast_path_disarmed_by_default(self):
+        assert faults.injector is None
+
+    def test_install_accepts_plan_dict_path_injector(self, tmp_path):
+        payload = {"rules": [{"point": "heartbeat", "action": "drop"}]}
+        assert isinstance(faults.install(payload), FaultInjector)
+        assert isinstance(
+            faults.install(FaultPlan.from_dict(payload)), FaultInjector
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(payload))
+        assert isinstance(faults.install(str(path)), FaultInjector)
+        armed = FaultInjector(FaultPlan.from_dict(payload))
+        assert faults.install(armed) is armed
+        assert faults.injector is armed
+
+    def test_install_rejects_other_types(self):
+        with pytest.raises(TypeError, match="install"):
+            faults.install(42)
+
+    def test_uninstall_restores_the_noop_fast_path(self):
+        faults.install({"rules": [{"point": "heartbeat", "action": "drop"}]})
+        assert faults.injector is not None
+        faults.uninstall()
+        assert faults.injector is None
+
+    def test_serving_app_only_arms_with_explicit_chaos_plan(self, tmp_path):
+        from repro.serving.app import build_gateway
+
+        # no --chaos-plan: building and serving never arms injection
+        with build_gateway("meridian", nodes=64, rounds=0, port=0):
+            assert faults.injector is None
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps(
+                {"rules": [{"point": "heartbeat", "action": "drop"}]}
+            )
+        )
+        with build_gateway(
+            "meridian", nodes=64, rounds=0, port=0,
+            chaos_plan=str(plan_path),
+        ):
+            assert faults.injector is not None
+
+
+# ----------------------------------------------------------------------
+# circuit breaker (fake clock: the state machine, not the wall)
+# ----------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3,
+            reset_timeout=1.0,
+            probe_budget=1,
+            clock=clock,
+            **kwargs,
+        )
+        return breaker, clock
+
+    def test_starts_closed_and_allows(self):
+        breaker, _ = self.make()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_consecutive_failures_trip_open(self):
+        breaker, _ = self.make()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opens == 1
+        assert not breaker.allow()
+        assert breaker.fast_failures == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_to_half_open_after_reset_timeout(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.now += 1.01
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # probe budget: exactly one call through, the next fails fast
+        assert breaker.allow()
+        assert not breaker.allow()
+
+    def test_half_open_success_closes(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 1.01
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.closes == 1
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens_and_rewaits(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now += 1.01
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opens == 2
+        # the timeout restarted: still open until another full wait
+        clock.now += 0.5
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.now += 0.51
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_further_failures_while_open_do_not_stack(self):
+        breaker, _ = self.make()
+        for _ in range(10):
+            breaker.record_failure()
+        assert breaker.opens == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="reset_timeout"):
+            CircuitBreaker(reset_timeout=0.0)
+        with pytest.raises(ValueError, match="probe_budget"):
+            CircuitBreaker(probe_budget=0)
+
+    def test_as_dict(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        payload = breaker.as_dict()
+        assert payload["state"] == "closed"
+        assert payload["consecutive_failures"] == 1
+        assert payload["opens"] == 0
+
+
+# ----------------------------------------------------------------------
+# load shedding
+# ----------------------------------------------------------------------
+
+
+class _QueueLoadPlane:
+    """Exposes both probes; asserts the lock-free one is preferred."""
+
+    def __init__(self, pairs) -> None:
+        self.pairs = pairs
+
+    def queue_load(self):
+        return list(self.pairs)
+
+    def shard_info(self):  # pragma: no cover - must never run
+        raise AssertionError(
+            "shard_info() must not be probed when queue_load() exists — "
+            "it takes the pipeline lock a stalled worker may hold"
+        )
+
+
+class _ShardInfoPlane:
+    """The legacy probe only (single-store pipelines)."""
+
+    def __init__(self, rows) -> None:
+        self.rows = rows
+
+    def shard_info(self):
+        return list(self.rows)
+
+
+class _SickPlane:
+    def queue_load(self):
+        raise RuntimeError("probe blew up")
+
+
+class TestLoadShedder:
+    def test_prefers_lock_free_queue_load(self):
+        shedder = LoadShedder(
+            _QueueLoadPlane([(3, 10), (9, 10)]), refresh_s=0.0
+        )
+        assert shedder.queue_fill() == pytest.approx(0.9)
+
+    def test_falls_back_to_shard_info(self):
+        shedder = LoadShedder(
+            _ShardInfoPlane(
+                [
+                    {"queue_depth": 2, "queue_capacity": 10},
+                    {"queue_depth": 7, "queue_capacity": 10},
+                ]
+            ),
+            refresh_s=0.0,
+        )
+        assert shedder.queue_fill() == pytest.approx(0.7)
+
+    def test_sick_plane_reads_as_empty_not_as_overload(self):
+        shedder = LoadShedder(_SickPlane(), refresh_s=0.0)
+        assert shedder.queue_fill() == 0.0
+        assert not shedder.should_shed("ingest")
+
+    def test_watermark_ordering_ingest_sheds_first(self):
+        plane = _QueueLoadPlane([(9, 10)])
+        shedder = LoadShedder(
+            plane,
+            ingest_watermark=0.85,
+            batch_watermark=0.95,
+            refresh_s=0.0,
+        )
+        assert shedder.should_shed("ingest")
+        assert not shedder.should_shed("batch")
+        plane.pairs = [(10, 10)]
+        assert shedder.should_shed("batch")
+        assert shedder.shed_ingest == 1 and shedder.shed_batch == 1
+
+    def test_below_watermark_nothing_sheds(self):
+        shedder = LoadShedder(_QueueLoadPlane([(1, 10)]), refresh_s=0.0)
+        assert not shedder.should_shed("ingest")
+        assert not shedder.should_shed("batch")
+
+    def test_fill_is_cached_for_refresh_s(self):
+        plane = _QueueLoadPlane([(10, 10)])
+        shedder = LoadShedder(plane, refresh_s=60.0)
+        assert shedder.queue_fill() == 1.0
+        plane.pairs = [(0, 10)]  # drains, but the sample is cached
+        assert shedder.queue_fill() == 1.0
+
+    def test_validation(self):
+        plane = _QueueLoadPlane([(0, 10)])
+        with pytest.raises(ValueError, match="ingest_watermark"):
+            LoadShedder(plane, ingest_watermark=0.0)
+        with pytest.raises(ValueError, match="batch_watermark"):
+            LoadShedder(plane, ingest_watermark=0.9, batch_watermark=0.5)
+
+    def test_as_dict(self):
+        shedder = LoadShedder(_QueueLoadPlane([(5, 10)]), refresh_s=0.0)
+        shedder.should_shed("ingest")
+        payload = shedder.as_dict()
+        assert payload["queue_fill"] == pytest.approx(0.5)
+        assert payload["shed_ingest"] == 0
+        assert payload["retry_after_s"] == 0.5
+
+
+# ----------------------------------------------------------------------
+# gateway overload handling
+# ----------------------------------------------------------------------
+
+
+def _core(**kwargs) -> GatewayCore:
+    store = _store()
+    return GatewayCore(
+        PredictionService(store, cache_size=0), None, **kwargs
+    )
+
+
+class TestGatewayOverload:
+    def test_no_overload_machinery_by_default(self):
+        core = _core()
+        status, _ = core.handle(
+            "GET", "/predict", {"src": ["1"], "dst": ["2"]}, b""
+        )
+        assert status == 200
+        assert core.overload_info() is None
+
+    def test_deadline_converts_slow_success_to_503(self):
+        core = _core(deadline_s=1e-9)  # everything blows the budget
+        status, payload = core.handle(
+            "GET", "/predict", {"src": ["1"], "dst": ["2"]}, b""
+        )
+        assert status == 503
+        assert "deadline exceeded" in payload["error"]
+        assert payload["retry_after"] == 0.5
+        assert core.deadline_exceeded == 1
+        assert core.overload_info()["deadline_exceeded"] == 1
+
+    def test_deadline_does_not_mask_client_errors(self):
+        core = _core(deadline_s=1e-9)
+        status, _ = core.handle("GET", "/predict", {"src": ["1"]}, b"")
+        assert status == 400  # bad request stays a 400, not a 503
+
+    def test_shedder_503_carries_shed_class_and_retry_after(self):
+        shedder = LoadShedder(
+            _QueueLoadPlane([(10, 10)]),
+            ingest_watermark=0.5,
+            batch_watermark=0.6,
+            refresh_s=0.0,
+            retry_after_s=0.25,
+        )
+        core = _core(shedder=shedder)
+        status, payload = core.handle("POST", "/ingest", {}, b"{}")
+        assert status == 503
+        assert payload["shed"] == "ingest"
+        assert payload["retry_after"] == 0.25
+        status, payload = core.handle("POST", "/estimate/batch", {}, b"{}")
+        assert status == 503
+        assert payload["shed"] == "batch"
+        # single reads are never shed, whatever the fill
+        status, _ = core.handle(
+            "GET", "/predict", {"src": ["1"], "dst": ["2"]}, b""
+        )
+        assert status == 200
+
+    def test_chaos_plan_rejects_at_gateway_accept(self):
+        core = _core()
+        faults.install(
+            {
+                "rules": [
+                    {
+                        "point": "gateway.accept",
+                        "action": "drop",
+                        "match": {"path": "/predict"},
+                    }
+                ]
+            }
+        )
+        status, payload = core.handle(
+            "GET", "/predict", {"src": ["1"], "dst": ["2"]}, b""
+        )
+        assert status == 503
+        assert "chaos" in payload["error"]
+        assert core.injected_rejects == 1
+        # other paths are untouched by the match filter
+        status, _ = core.handle("GET", "/health", {}, b"")
+        assert status == 200
+        faults.uninstall()
+        status, _ = core.handle(
+            "GET", "/predict", {"src": ["1"], "dst": ["2"]}, b""
+        )
+        assert status == 200
+
+    @pytest.mark.parametrize("backend", ["threading", "selectors"])
+    def test_503_sets_retry_after_header(self, backend):
+        store = _store()
+        gateway = ServingGateway(
+            PredictionService(store, cache_size=0),
+            None,
+            port=0,
+            backend=backend,
+            deadline_s=1e-9,
+        )
+        with gateway:
+            url = f"{gateway.url}/predict?src=1&dst=2"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url, timeout=5.0)
+            error = excinfo.value
+            assert error.code == 503
+            assert float(error.headers["Retry-After"]) == 0.5
+            body = json.loads(error.read().decode("utf-8"))
+            assert "deadline exceeded" in body["error"]
+
+
+# ----------------------------------------------------------------------
+# crash-safe checkpoints
+# ----------------------------------------------------------------------
+
+
+def _flip_bytes(path, offset_fraction=0.5, count=64) -> None:
+    data = bytearray(path.read_bytes())
+    mid = int(len(data) * offset_fraction)
+    for i in range(mid, min(mid + count, len(data))):
+        data[i] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestCheckpointRecovery:
+    def test_round_trip_not_recovered(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        _store(version=5).save(path)
+        restored = CoordinateStore.load(path)
+        assert restored.version == 5
+        assert restored.recovered_from_fallback is False
+
+    def test_corrupt_primary_falls_back_to_rotated_copy(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        _store(version=5).save(path)
+        _store(version=9, seed=8).save(path)  # rotates v5 to .1
+        _flip_bytes(path)
+        restored = CoordinateStore.load(path)
+        assert restored.recovered_from_fallback is True
+        assert restored.version == 5
+        expected = _store(version=5).snapshot().estimate(1, 2)
+        assert restored.snapshot().estimate(1, 2) == pytest.approx(expected)
+
+    def test_truncated_primary_falls_back(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        _store(version=5).save(path)
+        _store(version=9, seed=8).save(path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 3])
+        restored = CoordinateStore.load(path)
+        assert restored.recovered_from_fallback is True
+        assert restored.version == 5
+
+    def test_no_fallback_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        _store(version=5).save(path)
+        _flip_bytes(path)
+        with pytest.raises(CheckpointError):
+            open_checkpoint(path, fallback=False)
+
+    def test_both_copies_corrupt_raises_with_reasons(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        _store(version=5).save(path)
+        _store(version=9, seed=8).save(path)
+        _flip_bytes(path)
+        _flip_bytes(path.with_name("ckpt.npz.1"))
+        with pytest.raises(CheckpointError, match="no loadable checkpoint"):
+            open_checkpoint(path)
+
+    def test_missing_checkpoint_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            open_checkpoint(tmp_path / "nope.npz")
+
+    def test_atomic_savez_keeps_one_rotation(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        for version in (1, 2, 3):
+            atomic_savez(path, version=np.asarray(version))
+        arrays, recovered = open_checkpoint(path)
+        assert int(arrays["version"]) == 3 and not recovered
+        rotated, _ = open_checkpoint(
+            tmp_path / "ckpt.npz.1", fallback=False
+        )
+        assert int(rotated["version"]) == 2
+        assert not (tmp_path / "ckpt.npz.1.1").exists()
+
+    def test_injected_drop_is_a_crash_before_publish(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        _store(version=5).save(path)
+        faults.install(
+            {"rules": [{"point": "checkpoint.write", "action": "drop"}]}
+        )
+        _store(version=9, seed=8).save(path)  # the write never lands
+        faults.uninstall()
+        restored = CoordinateStore.load(path)
+        assert restored.version == 5
+        assert restored.recovered_from_fallback is False
+        # no temp litter either: the unpublished tmp file was removed
+        assert list(tmp_path.glob("*.tmp*")) == []
+
+    def test_injected_corrupt_is_a_torn_publish(self, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        _store(version=5).save(path)
+        faults.install(
+            {"rules": [{"point": "checkpoint.write", "action": "corrupt"}]}
+        )
+        _store(version=9, seed=8).save(path)  # publishes torn bytes
+        faults.uninstall()
+        restored = CoordinateStore.load(path)
+        assert restored.recovered_from_fallback is True
+        assert restored.version == 5
+
+
+# ----------------------------------------------------------------------
+# chaos driver composition
+# ----------------------------------------------------------------------
+
+
+PLAN = {"rules": [{"point": "heartbeat", "action": "drop"}]}
+
+
+class TestChaosDriver:
+    def test_arm_installs_and_close_uninstalls(self):
+        driver = ChaosDriver(PLAN)
+        assert driver.armed
+        assert faults.injector is driver.injector
+        driver.close()
+        assert not driver.armed
+        assert faults.injector is None
+
+    def test_context_manager(self):
+        with ChaosDriver(PLAN) as driver:
+            assert driver.armed
+        assert faults.injector is None
+
+    def test_refuses_to_arm_over_a_foreign_injector(self):
+        faults.install(PLAN)
+        with pytest.raises(RuntimeError, match="already installed"):
+            ChaosDriver(PLAN)
+        faults.uninstall()
+
+    def test_close_leaves_a_replacement_injector_alone(self):
+        driver = ChaosDriver(PLAN)
+        other = faults.install(PLAN)  # something else took over
+        driver.close()
+        assert faults.injector is other
+
+    def test_arm_is_idempotent(self):
+        with ChaosDriver(PLAN) as driver:
+            assert driver.arm() is driver.injector
+
+    def test_step_and_run_without_outages(self):
+        with ChaosDriver(PLAN) as driver:
+            assert driver.step() is None
+            assert driver.run(3) == 0
+            assert driver.steps_done == 4
+            with pytest.raises(ValueError, match="steps"):
+                driver.run(0)
+
+    def test_report_structure(self):
+        with ChaosDriver(PLAN) as driver:
+            faults.injector.fire("heartbeat")
+            report = driver.report()
+        assert report["armed"] is True
+        assert report["injected"] == {"heartbeat:drop": 1}
+        assert report["plan"]["rules"][0]["point"] == "heartbeat"
+        assert "outages" not in report
+
+    def test_accepts_plan_file_path(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(PLAN))
+        with ChaosDriver(str(path)) as driver:
+            assert driver.plan.rules[0].point == "heartbeat"
