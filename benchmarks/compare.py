@@ -61,6 +61,21 @@ half must shed cleanly (503s, never hard failures) while single reads
 keep answering.  Every chaos gate is a count or boolean —
 machine-independent — so all of them are absolute invariants.
 
+And the scenario matrix (``benchmarks/scenario_bench.py``, shared
+with ``benchmarks/test_scenario_smoke.py``) into one
+``BENCH_scenario_<name>.json`` per named scenario: every scenario in
+``repro.scenarios.library`` runs under the thread plane *and* the
+process plane with the shared bench seed.  The gates are absolute and
+machine-independent — the seeded event schedule must be identical
+across planes and fully fired (``schedule_match``), the deterministic
+counters must be bitwise-equal across planes (``counters_match``),
+every mode must hold availability >= 99.9% with zero torn reads and
+zero version rewinds, and each scenario must demonstrably exercise its
+workload (the hot pair rotated, the guard shed the poison, the churn
+applied, ...).  Against a committed baseline with a matching seed the
+schedule digest and the counters must match *exactly* — scenario runs
+are seed-deterministic, so any drift is a behaviour change, not noise.
+
 When a committed ``BENCH_*.json`` baseline predates a gate key,
 ``--check`` names the missing key in its output instead of silently
 skipping the diff, so stale baselines are visible.
@@ -109,6 +124,7 @@ import churn_bench  # noqa: E402
 import cluster_bench  # noqa: E402
 import mp_bench  # noqa: E402
 import reconfig_bench  # noqa: E402
+import scenario_bench  # noqa: E402
 
 from repro.core.config import DMFSGDConfig  # noqa: E402
 from repro.core.engine import DMFSGDEngine  # noqa: E402
@@ -125,6 +141,7 @@ from repro.serving.shard import (  # noqa: E402
     ShardedIngest,
 )
 from repro.serving.store import CoordinateStore  # noqa: E402
+from repro.scenarios.benchio import format_scenario_rows  # noqa: E402
 from repro.utils.tables import format_table  # noqa: E402
 
 SEED = 20111206
@@ -429,6 +446,32 @@ RECONFIG_THROUGHPUT_KEYS = ("queries_during_reconfig_pps",)
 #: absolutely on every machine, baseline or not
 RECONFIG_MIN_AVAILABILITY = reconfig_bench.RECONFIG_MIN_AVAILABILITY
 
+#: BENCH_scenario_<name>.json availability floor — the scenario
+#: engine's standing invariant, absolute on every machine
+SCENARIO_MIN_AVAILABILITY = 0.999
+
+#: per-scenario workload floors on the deterministic counters:
+#: each scenario must demonstrably exercise the thing it is named for,
+#: on every machine (the counters are seed-deterministic, so these are
+#: exact behaviour gates, not throughput floors)
+SCENARIO_WORKLOAD_FLOORS = {
+    "diurnal": (("rotations", 1), ("hot_fed", 1)),
+    "flash_crowd": (("reshards", 4),),
+    "drift": (("drift_steps", 1),),
+    "poison": (
+        ("rejected_guard", 1),
+        ("dropped_invalid", 1),
+        ("poisoned_fed", 1),
+    ),
+    "churn_storm": (("leaves", 8), ("joins", 8), ("churn_applied", 16)),
+    "replay": (("applied", 1),),
+}
+
+#: per-scenario counters that must be exactly zero
+SCENARIO_ZERO_KEYS = {
+    "churn_storm": ("churn_failures",),
+}
+
 
 def diff_throughput(
     committed: dict, fresh: dict, keys, tolerance: float, source: str
@@ -701,6 +744,120 @@ def check_chaos(chaos: dict, tolerance: float) -> list:
     return failures
 
 
+def check_scenarios(scenarios: dict, tolerance: float) -> list:
+    """BENCH_scenario_<name>.json invariants; returns failure strings.
+
+    Every scenario gate is absolute and machine-independent: the
+    seeded event schedule and the deterministic counters do not vary
+    with hardware, so — unlike the throughput gates — the committed
+    baseline diff is *exact equality*, not a tolerance band.
+    ``tolerance`` is accepted for signature symmetry but unused.
+    """
+    del tolerance  # scenario counters are exact, not throughputs
+    failures = []
+    for name, payload in scenarios.items():
+        prefix = f"scenario {name!r}"
+        if not payload.get("schedule_match"):
+            failures.append(
+                f"{prefix}: worker modes disagreed on (or did not fully "
+                "fire) the seeded event schedule"
+            )
+        if not payload.get("counters_match", True):
+            failures.append(
+                f"{prefix}: thread and process deterministic counters "
+                "diverged — the cross-plane determinism contract broke"
+            )
+        modes = [m for m in payload.get("modes", []) if m in payload]
+        for mode in modes:
+            run = payload[mode]
+            invariants = run["invariants"]
+            availability = invariants["availability"]
+            if availability < SCENARIO_MIN_AVAILABILITY:
+                failures.append(
+                    f"{prefix} [{mode}]: availability {availability:.4%} "
+                    f"under the {SCENARIO_MIN_AVAILABILITY:.1%} floor"
+                )
+            if invariants["torn_reads"]:
+                failures.append(
+                    f"{prefix} [{mode}]: {invariants['torn_reads']} torn "
+                    "read(s) (non-finite estimates or failed snapshots)"
+                )
+            if invariants["version_rewinds"]:
+                failures.append(
+                    f"{prefix} [{mode}]: "
+                    f"{invariants['version_rewinds']} snapshot version "
+                    "rewind(s)"
+                )
+            if not run["digest_match"]:
+                failures.append(
+                    f"{prefix} [{mode}]: fired events diverged from the "
+                    "materialized schedule (digest mismatch)"
+                )
+        if not modes:
+            failures.append(f"{prefix}: no worker-mode runs in the payload")
+            continue
+        counters = payload[modes[0]]["counters"]
+        for key, floor in SCENARIO_WORKLOAD_FLOORS.get(name, ()):
+            if counters.get(key, 0) < floor:
+                failures.append(
+                    f"{prefix}: counter {key!r} is "
+                    f"{counters.get(key, 0)} (needs >= {floor}) — the "
+                    "scenario never exercised its workload"
+                )
+        for key in SCENARIO_ZERO_KEYS.get(name, ()):
+            if counters.get(key, 0):
+                failures.append(
+                    f"{prefix}: counter {key!r} is "
+                    f"{counters.get(key)} (must be 0)"
+                )
+
+        path = scenario_bench.summary_path(name)
+        if not path.exists():
+            print(f"note: no committed {path.name}; skipping diffs")
+            continue
+        committed = json.loads(path.read_text())
+        if int(committed.get("seed", -1)) != int(payload["seed"]):
+            print(
+                f"note: committed {path.name} used seed "
+                f"{committed.get('seed')}, this run used "
+                f"{payload['seed']}; skipping exact-equality diffs"
+            )
+            continue
+        gate_keys = ["schedule"] + modes
+        missing = [key for key in gate_keys if key not in committed]
+        if missing:
+            print(
+                f"note: committed {path.name} is missing gate key(s) "
+                f"{', '.join(repr(k) for k in missing)}; re-run measure "
+                "mode to refresh the baseline"
+            )
+        if "schedule" in committed:
+            committed_digest = committed["schedule"].get("digest")
+            if committed_digest != payload["schedule"]["digest"]:
+                failures.append(
+                    f"{prefix}: seeded event schedule drifted from the "
+                    f"committed baseline (digest {committed_digest} -> "
+                    f"{payload['schedule']['digest']})"
+                )
+        for mode in modes:
+            if mode not in committed:
+                continue
+            committed_counters = committed[mode].get("counters", {})
+            fresh_counters = payload[mode]["counters"]
+            drifted = sorted(
+                key
+                for key in set(committed_counters) | set(fresh_counters)
+                if committed_counters.get(key) != fresh_counters.get(key)
+            )
+            if drifted:
+                failures.append(
+                    f"{prefix} [{mode}]: deterministic counter(s) "
+                    f"{', '.join(repr(k) for k in drifted)} drifted from "
+                    "the committed baseline under the same seed"
+                )
+    return failures
+
+
 def check(
     result: dict,
     churn: dict,
@@ -708,6 +865,7 @@ def check(
     cluster: dict,
     reconfig: dict,
     chaos: dict,
+    scenarios: dict,
     tolerance: float,
 ) -> int:
     """Compare fresh numbers against the committed baselines.
@@ -720,6 +878,7 @@ def check(
     failures.extend(check_cluster(cluster, tolerance))
     failures.extend(check_reconfig(reconfig, tolerance))
     failures.extend(check_chaos(chaos, tolerance))
+    failures.extend(check_scenarios(scenarios, tolerance))
     if SUMMARY_PATH.exists():
         committed = json.loads(SUMMARY_PATH.read_text())
         failures.extend(
@@ -851,9 +1010,19 @@ def main(argv=None) -> int:
             chaos_bench.format_rows(chaos), headers=["chaos", "value"]
         )
     )
+    scenarios = scenario_bench.run()
+    for payload in scenarios.values():
+        print(format_scenario_rows(payload))
     if args.check:
         return check(
-            result, churn, mp, cluster, reconfig, chaos, args.tolerance
+            result,
+            churn,
+            mp,
+            cluster,
+            reconfig,
+            chaos,
+            scenarios,
+            args.tolerance,
         )
     SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {SUMMARY_PATH}")
@@ -867,6 +1036,10 @@ def main(argv=None) -> int:
     print(f"wrote {RECONFIG_SUMMARY_PATH}")
     CHAOS_SUMMARY_PATH.write_text(json.dumps(chaos, indent=2) + "\n")
     print(f"wrote {CHAOS_SUMMARY_PATH}")
+    for name, payload in scenarios.items():
+        path = scenario_bench.summary_path(name)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path}")
     return 0
 
 

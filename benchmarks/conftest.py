@@ -29,6 +29,10 @@ def pytest_configure(config):
         "markers",
         "chaos_smoke: fast fault-plane benchmarks (tier-1, < 60 s)",
     )
+    config.addinivalue_line(
+        "markers",
+        "scenario_smoke: fast scenario-matrix benchmarks (tier-1, < 60 s)",
+    )
 
 
 @pytest.fixture

@@ -2,56 +2,38 @@
 
 Used by ``benchmarks/test_reconfig_smoke.py`` (tier-1, writes
 ``BENCH_reconfig.json``) and by ``benchmarks/compare.py --check`` (the
-CI regression gate).  Two measurements:
+CI regression gate).  Since PR 9 the measurements themselves live in
+:mod:`repro.scenarios.flashcrowd` — the flash-crowd workload is part
+of the scenario matrix (``repro bench --scenario flash_crowd``) and
+this module is the thin wrapper that keeps the historical
+``BENCH_reconfig.json`` keys stable:
 
-* **flash crowd under autopilot** — a thread-mode plane starts at one
-  shard while feeder threads hammer it with a
-  :class:`~repro.simnet.livefeed.HotPairDriver` burst (one hot pair
-  plus background probes) against an aggressive
-  :class:`~repro.serving.autopilot.AutopilotPolicy`.  The autopilot
-  must *split* at least one shard while the burst runs, and *merge*
-  back down once the feeders stop.  Throughout, querier threads read
-  ``estimate_pairs`` batches off live snapshots; reported
-  ``query_availability_during_reconfig`` must stay >= 99.9% on any
-  machine — snapshot reads are epoch-atomic in-process gathers and must
-  never observe a transition.  Shard versions are sampled around every
-  transition and must never rewind (the version-keyed cache contract).
-
-* **transition latency, both worker modes** — direct ``split_shard`` /
-  ``merge_shards`` calls timed on a thread-mode plane and on a
-  process-mode plane (worker barrier + stop + re-stride + respawn),
-  with a bitwise before/after parity check of the full factor arrays in
-  each mode.  Latency is informational (machine-dependent); parity and
-  version monotonicity are the acceptance bits.
+* **flash crowd under autopilot**
+  (:func:`repro.scenarios.flashcrowd.autopilot_flash_crowd`) — the
+  autopilot must split under a HotPairDriver burst and merge back once
+  it ends, with query availability >= 99.9% throughout and versions
+  never rewinding;
+* **transition latency, both worker modes**
+  (:func:`repro.scenarios.flashcrowd.transition_latency`) — direct
+  split/merge timings with bitwise parity checks; latency is
+  informational, parity and version monotonicity are the acceptance
+  bits.
 """
 
 from __future__ import annotations
 
 import os
 import sys
-import threading
-import time
 from pathlib import Path
-
-import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.config import DMFSGDConfig  # noqa: E402
-from repro.core.engine import DMFSGDEngine, EngineSpec  # noqa: E402
-from repro.serving.autopilot import Autopilot, AutopilotPolicy  # noqa: E402
-from repro.serving.procs import (  # noqa: E402
-    ProcessShardedIngest,
-    ProcessShardedStore,
-    WorkerSpec,
-    WorkerSupervisor,
+from repro.scenarios.flashcrowd import (  # noqa: E402
+    FLASH_POLICY,
+    autopilot_flash_crowd,
+    transition_latency,
 )
-from repro.serving.shard import (  # noqa: E402
-    ShardedCoordinateStore,
-    ShardedIngest,
-)
-from repro.simnet.livefeed import HotPairDriver  # noqa: E402
 
 SEED = 20111206
 NODES = 240
@@ -71,261 +53,26 @@ SUMMARY_PATH = REPO_ROOT / "BENCH_reconfig.json"
 #: topology transition at all.
 RECONFIG_MIN_AVAILABILITY = 0.999
 
-#: the flash-crowd policy: aggressive on purpose, so the burst
-#: reliably crosses a split watermark within the tier-1 budget on any
-#: machine, and the idle post-burst plane crosses the merge watermark
-#: right after.  The *throughput* watermark is the load-bearing one:
-#: on a single core the GIL hands the worker long slices, so queue
-#: fill oscillates 0 <-> 1 and rarely holds over a whole patience
-#: window, while applied-samples/s stays high for the entire burst
-#: and collapses to ~0 the moment the feeders stop.
-FLASH_POLICY = AutopilotPolicy(
-    sample_interval_s=0.05,
-    split_queue_fill=0.90,
-    merge_queue_fill=0.05,
-    split_pps=20_000.0,
-    merge_pps=2_000.0,
-    patience=2,
-    cooldown_s=0.25,
-    min_shards=1,
-    max_shards=4,
-)
-
-
-def _engine(seed=SEED):
-    config = DMFSGDConfig(neighbors=8)
-    return DMFSGDEngine(
-        NODES, lambda r, c: np.ones(len(r)), config, rng=seed
-    )
-
-
-def _quantities(rng):
-    quantities = rng.uniform(10.0, 200.0, size=(NODES, NODES))
-    np.fill_diagonal(quantities, np.nan)
-    return quantities
-
 
 def bench_flash_crowd() -> dict:
-    """Autopilot splits under a HotPairDriver burst, merges after it."""
-    rng = np.random.default_rng(SEED)
-    engine = _engine()
-    store = ShardedCoordinateStore(engine.coordinates, shards=1)
-    ingest = ShardedIngest(
-        engine,
-        store,
-        batch_size=64,
-        refresh_interval=256,
-        step_clip=0.1,
+    """The autopilot flash-crowd measurement (scenario-engine core)."""
+    return autopilot_flash_crowd(
+        nodes=NODES,
+        seed=SEED,
+        policy=FLASH_POLICY,
+        hot_pair=HOT_PAIR,
+        feeders=FEEDERS,
+        query_batch=QUERY_BATCH,
+        burst=BURST,
         queue_depth=QUEUE_DEPTH,
-        put_timeout=0.05,
-        workers=True,
+        burst_deadline_s=BURST_DEADLINE_S,
+        settle_deadline_s=SETTLE_DEADLINE_S,
     )
-    pilot = Autopilot(ingest, FLASH_POLICY)
-    quantities = _quantities(rng)
-
-    stop_feeding = threading.Event()
-    stop_all = threading.Event()
-    ok = [0]
-    failed = [0]
-    version_rewinds = [0]
-
-    qs = rng.integers(0, NODES, size=QUERY_BATCH)
-    qt = (qs + 1 + rng.integers(0, NODES - 1, size=QUERY_BATCH)) % NODES
-
-    def feeder(seed: int) -> None:
-        driver = HotPairDriver(
-            quantities,
-            ingest,
-            HOT_PAIR,
-            background=0.5,
-            rng=seed,
-        )
-        while not stop_feeding.is_set():
-            driver.run(4 * BURST, burst=BURST)
-
-    def querier() -> None:
-        last_version = -1
-        while not stop_all.is_set():
-            try:
-                snapshot = store.snapshot()
-                batch = snapshot.estimate_pairs(qs, qt)
-                if np.all(np.isfinite(batch)):
-                    ok[0] += 1
-                else:
-                    failed[0] += 1
-                # summed snapshot version must never rewind, reconfig
-                # or not — this *is* the cache-key soundness contract
-                if snapshot.version < last_version:
-                    version_rewinds[0] += 1
-                last_version = snapshot.version
-            except Exception:
-                failed[0] += 1
-
-    threads = [
-        threading.Thread(target=feeder, args=(SEED + i,), daemon=True)
-        for i in range(FEEDERS)
-    ]
-    threads.append(threading.Thread(target=querier, daemon=True))
-
-    started = time.perf_counter()
-    pilot.start()
-    for thread in threads:
-        thread.start()
-    try:
-        # phase 1: burst until the autopilot splits (bounded wait)
-        deadline = started + BURST_DEADLINE_S
-        while ingest.shards == 1 and time.perf_counter() < deadline:
-            time.sleep(0.01)
-        peak_shards = ingest.shards
-        split_at_s = time.perf_counter() - started
-        # keep the crowd up briefly past the first split so the window
-        # prices reads *through* a transition, not just up to one
-        hold = time.perf_counter() + 0.5
-        while time.perf_counter() < min(hold, deadline):
-            peak_shards = max(peak_shards, ingest.shards)
-            time.sleep(0.01)
-
-        # phase 2: burst over — the queues drain and the cold
-        # watermark must bring the plane back down to min_shards
-        stop_feeding.set()
-        deadline = time.perf_counter() + SETTLE_DEADLINE_S
-        while (
-            ingest.shards > FLASH_POLICY.min_shards
-            and time.perf_counter() < deadline
-        ):
-            peak_shards = max(peak_shards, ingest.shards)
-            time.sleep(0.01)
-        elapsed = time.perf_counter() - started
-    finally:
-        stop_feeding.set()
-        stop_all.set()
-        pilot.stop()
-        for thread in threads:
-            thread.join(timeout=5.0)
-        ingest.close()
-
-    topology = ingest.topology()
-    transitions = topology["transitions"]
-    splits = [t for t in transitions if t["action"] == "split"]
-    merges = [t for t in transitions if t["action"] == "merge"]
-    answered, dropped = ok[0], failed[0]
-    total = answered + dropped
-    stats = ingest.stats()
-    return {
-        "autopilot_splits": len(splits),
-        "autopilot_merges": len(merges),
-        "peak_shards": int(peak_shards),
-        "final_shards": int(ingest.shards),
-        "first_split_after_s": split_at_s,
-        "flash_window_s": elapsed,
-        "split_ms": (
-            float(np.mean([t["transition_ms"] for t in splits]))
-            if splits
-            else float("nan")
-        ),
-        "merge_ms": (
-            float(np.mean([t["transition_ms"] for t in merges]))
-            if merges
-            else float("nan")
-        ),
-        "query_availability_during_reconfig": (
-            answered / total if total else 0.0
-        ),
-        "queries_answered_during_reconfig": answered,
-        "queries_failed_during_reconfig": dropped,
-        "queries_during_reconfig_pps": (
-            answered * QUERY_BATCH / elapsed if elapsed else 0.0
-        ),
-        "version_rewinds_observed": version_rewinds[0],
-        "samples_applied": int(stats.applied),
-        "samples_shed_backpressure": int(ingest.dropped_backpressure),
-        "autopilot_errors": len(pilot.errors),
-    }
-
-
-def _time_transitions(ingest, store_arrays) -> dict:
-    """Split 2->3->4, merge 4->3->2; time each step, check parity."""
-    reference = store_arrays()
-    timings: dict = {}
-    for action, target in (
-        ("split", 3),
-        ("split", 4),
-        ("merge", 3),
-        ("merge", 2),
-    ):
-        versions_before = list(ingest.topology_versions())
-        start = time.perf_counter()
-        ingest.set_shard_count(target, reason="bench")
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
-        timings.setdefault(f"{action}_ms", []).append(elapsed_ms)
-        versions_after = list(ingest.topology_versions())
-        if min(versions_after) <= max(versions_before):
-            timings["version_rewound"] = True
-    U, V = store_arrays()
-    parity = bool(
-        np.array_equal(U, reference[0]) and np.array_equal(V, reference[1])
-    )
-    return {
-        "split_ms": float(np.mean(timings["split_ms"])),
-        "merge_ms": float(np.mean(timings["merge_ms"])),
-        "parity_bitwise": parity,
-        "version_monotone": not timings.get("version_rewound", False),
-    }
 
 
 def bench_transition_latency() -> dict:
     """Direct split/merge latency + parity, thread and process modes."""
-    rng = np.random.default_rng(SEED + 1)
-    result: dict = {}
-
-    # -- thread mode ---------------------------------------------------
-    engine = _engine(seed=SEED + 1)
-    store = ShardedCoordinateStore(engine.coordinates, shards=2)
-    ingest = ShardedIngest(engine, store, workers=False)
-    ingest.topology_versions = lambda: [
-        p.version for p in store.snapshot().parts
-    ]
-    try:
-        src = rng.integers(0, NODES, size=2000)
-        dst = (src + 1 + rng.integers(0, NODES - 1, size=2000)) % NODES
-        ingest.submit_many(src, dst, rng.choice([-1.0, 1.0], size=2000))
-        ingest.flush()
-        ingest.publish()
-
-        def thread_arrays():
-            table = store.snapshot().as_table()
-            return table.U.copy(), table.V.copy()
-
-        timing = _time_transitions(ingest, thread_arrays)
-    finally:
-        ingest.close()
-    result.update({f"thread_{k}": v for k, v in timing.items()})
-
-    # -- process mode --------------------------------------------------
-    engine = _engine(seed=SEED + 2)
-    store = ProcessShardedStore.create(engine.coordinates, shards=2)
-    spec = WorkerSpec(
-        engine=EngineSpec.from_engine(engine, seed=SEED + 2),
-        batch_size=64,
-        refresh_interval=256,
-    )
-    supervisor = WorkerSupervisor(
-        store, spec, queue_depth=64, monitor=False, command_timeout=15.0
-    ).start()
-    ingest = ProcessShardedIngest(store, supervisor)
-    ingest.topology_versions = lambda: list(store.versions)
-    try:
-        src = rng.integers(0, NODES, size=2000)
-        dst = (src + 1 + rng.integers(0, NODES - 1, size=2000)) % NODES
-        ingest.submit_many(src, dst, rng.choice([-1.0, 1.0], size=2000))
-        ingest.drain()
-        ingest.flush()
-        ingest.publish()
-        timing = _time_transitions(ingest, store.as_full_arrays)
-    finally:
-        ingest.close()
-    result.update({f"process_{k}": v for k, v in timing.items()})
-    return result
+    return transition_latency(nodes=NODES, seed=SEED + 1)
 
 
 def run() -> dict:

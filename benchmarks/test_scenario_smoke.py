@@ -1,0 +1,95 @@
+"""Scenario-matrix smoke -> the tier-1 ``scenario_smoke`` marker.
+
+A ~5 s slice of the scenario matrix on the thread plane: the shortest
+phase of ``diurnal`` (sine load + hot-pair rotations) plus the full
+``churn_storm`` (membership leave/join storms under load).  Asserts
+the engine's standing contract on every machine:
+
+* the seeded event schedule is materialized up front and *fully
+  fired* (``digest_match`` — the executed digest equals the schedule
+  digest);
+* two in-process runs under the same seed produce bitwise-identical
+  deterministic counters (the property ``compare.py --check`` extends
+  across the thread and process planes);
+* the standing invariants hold — availability >= 99.9%, zero torn
+  reads, versions never rewind;
+* the workload demonstrably happened (rotations fired, churn applied
+  with zero failures).
+
+The full matrix (all six scenarios, thread *and* process planes) runs
+in ``benchmarks/scenario_bench.py`` / ``repro bench`` and is gated by
+``compare.py --check``.
+"""
+
+import pytest
+
+from repro.scenarios import MIN_AVAILABILITY, get_scenario, run_scenario
+
+import scenario_bench
+
+pytestmark = pytest.mark.scenario_smoke
+
+SEED = scenario_bench.SEED
+
+
+def _assert_invariants(payload: dict) -> None:
+    invariants = payload["invariants"]
+    assert invariants["ok"], invariants
+    assert invariants["availability"] >= MIN_AVAILABILITY, (
+        f"availability {invariants['availability']:.4%} under the "
+        f"{MIN_AVAILABILITY:.1%} floor"
+    )
+    assert invariants["torn_reads"] == 0
+    assert invariants["version_rewinds"] == 0
+    assert payload["digest_match"], "schedule was not fully fired"
+
+
+def test_diurnal_shortest_phase(report, run_once):
+    scenario = get_scenario("diurnal")
+    slice_ = scenario.subset((scenario.shortest_phase(),))
+
+    payload = run_once(
+        lambda: run_scenario(slice_, workers="threads", seed=SEED)
+    )
+    report(
+        "scenario smoke: diurnal (shortest phase, thread plane)",
+        f"phase={scenario.shortest_phase()} ticks={payload['ticks']} "
+        f"applied={payload['counters']['applied']} "
+        f"rotations={payload['counters']['rotations']} "
+        f"avail={payload['invariants']['availability']:.4f}",
+    )
+
+    _assert_invariants(payload)
+    # the dawn traffic really drove the hot pair and rotated it
+    assert payload["counters"]["rotations"] >= 1
+    assert payload["counters"]["hot_fed"] >= 1
+    assert payload["counters"]["applied"] >= 1
+
+    # determinism: a second in-process run is bitwise-identical
+    again = run_scenario(slice_, workers="threads", seed=SEED)
+    assert again["schedule"]["digest"] == payload["schedule"]["digest"]
+    assert again["counters"] == payload["counters"]
+
+
+def test_churn_storm_thread_plane(report, run_once):
+    payload = run_once(
+        lambda: run_scenario("churn_storm", workers="threads", seed=SEED)
+    )
+    counters = payload["counters"]
+    report(
+        "scenario smoke: churn_storm (thread plane)",
+        f"ticks={payload['ticks']} applied={counters['applied']} "
+        f"leaves={counters['leaves']} joins={counters['joins']} "
+        f"churn_failures={counters['churn_failures']} "
+        f"avail={payload['invariants']['availability']:.4f}",
+    )
+
+    _assert_invariants(payload)
+    # the storm really churned: every scheduled leave and join applied
+    assert counters["leaves"] == 8
+    assert counters["joins"] == 8
+    assert counters["churn_applied"] == 16
+    assert counters["churn_failures"] == 0
+    # ingest kept routing around the tombstones without corruption
+    assert counters["applied"] >= 1
+    assert counters["dropped_membership"] >= 1

@@ -11,7 +11,10 @@ The commands cover the everyday workflows:
   (:mod:`repro.serving`), optionally as a multi-group cluster plane
   (``--cluster G``);
 * ``cluster-status`` — query a running cluster gateway's per-group
-  health, mirror lag and routing counters.
+  health, mirror lag and routing counters;
+* ``bench`` — drive a named workload scenario
+  (:mod:`repro.scenarios`) through the serving planes and write its
+  ``BENCH_scenario_<name>.json``.
 
 Examples::
 
@@ -22,6 +25,9 @@ Examples::
     python -m repro serve --dataset meridian --nodes 200 --port 8787
     python -m repro serve --cluster 2 --workers processes --shards 2
     python -m repro cluster-status --url http://127.0.0.1:8787
+    python -m repro bench --list
+    python -m repro bench --scenario diurnal --workers both
+    python -m repro bench --scenario poison --workers threads --cluster 2
 """
 
 from __future__ import annotations
@@ -429,6 +435,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated experiment ids (default: all)",
     )
     report.add_argument("--seed", type=int, default=20111206)
+
+    bench = commands.add_parser(
+        "bench",
+        help=(
+            "drive a named workload scenario through the serving planes "
+            "and write BENCH_scenario_<name>.json"
+        ),
+    )
+    bench.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario name (see --list)",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        help="list the named scenarios and exit",
+    )
+    bench.add_argument(
+        "--workers",
+        default="both",
+        choices=["threads", "processes", "both"],
+        help="worker mode(s) to run (default: both)",
+    )
+    bench.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="G",
+        help=(
+            "also run on a G-group cluster plane "
+            "(scenarios that support it)"
+        ),
+    )
+    bench.add_argument("--seed", type=int, default=20111206)
+    bench.add_argument(
+        "--output",
+        default=None,
+        help="output JSON path (default: BENCH_scenario_<name>.json)",
+    )
+    bench.add_argument(
+        "--autopilot",
+        action="store_true",
+        help=(
+            "flash_crowd only: also run the realtime autopilot "
+            "split/merge gate"
+        ),
+    )
     return parser
 
 
@@ -681,6 +735,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import scenario_names
+    from repro.scenarios.benchio import bench_scenario, format_scenario_rows
+    from repro.scenarios.library import SCENARIOS
+
+    if args.list or not args.scenario:
+        for name in scenario_names():
+            print(f"{name:<12} {SCENARIOS[name].description}")
+        if not args.list and not args.scenario:
+            print("\npass --scenario NAME to run one", file=sys.stderr)
+            return 2
+        return 0
+    modes = (
+        ["threads", "processes"]
+        if args.workers == "both"
+        else [args.workers]
+    )
+    if args.cluster > 0:
+        modes.append("cluster")
+    try:
+        payload = bench_scenario(
+            args.scenario,
+            seed=args.seed,
+            modes=modes,
+            cluster_groups=max(args.cluster, 2),
+            flash_extras=args.autopilot,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(format_scenario_rows(payload))
+    output = args.output or f"BENCH_scenario_{args.scenario}.json"
+    with open(output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -692,6 +787,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "cluster-status": _cmd_cluster_status,
         "report": _cmd_report,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -33,11 +33,12 @@ from repro.datasets.topology import (
     generate_transit_stub,
     rtt_matrix,
 )
-from repro.datasets.trace import MeasurementTrace
+from repro.datasets.trace import MeasurementTrace, trace_from_matrix
 
 __all__ = [
     "PerformanceDataset",
     "MeasurementTrace",
+    "trace_from_matrix",
     "HarvardTrace",
     "load_harvard",
     "load_meridian",

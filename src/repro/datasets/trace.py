@@ -10,11 +10,13 @@ and measured quantities, sorted by time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["MeasurementTrace"]
+from repro.utils.rng import RngLike, ensure_rng
+
+__all__ = ["MeasurementTrace", "trace_from_matrix"]
 
 
 @dataclass
@@ -123,3 +125,51 @@ class MeasurementTrace:
         paper's footnote 4); this exposes that skew for tests.
         """
         return np.bincount(self.sources, minlength=self.n_nodes)
+
+
+def trace_from_matrix(
+    quantities: np.ndarray,
+    *,
+    n_samples: int,
+    duration_s: float = 60.0,
+    rng: RngLike = None,
+) -> MeasurementTrace:
+    """Replay a static matrix as a time-ordered measurement stream.
+
+    The P2PSim and Meridian datasets are *static* RTT matrices (paper
+    Section 6.1); the decentralized algorithms nevertheless consume
+    measurements one probe at a time.  This samples ``n_samples``
+    measured (finite, off-diagonal) pairs uniformly with replacement,
+    stamps them with sorted uniform timestamps over ``duration_s``
+    seconds, and returns the stream as a :class:`MeasurementTrace` —
+    the matrix-shaped twin of the Harvard stream, suitable for
+    :func:`repro.simnet.livefeed.replay_trace` and the ``replay``
+    scenario.
+    """
+    quantities = np.asarray(quantities, dtype=float)
+    if quantities.ndim != 2 or quantities.shape[0] != quantities.shape[1]:
+        raise ValueError(
+            f"quantities must be a square matrix, got {quantities.shape}"
+        )
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    n = quantities.shape[0]
+    measurable = np.isfinite(quantities)
+    np.fill_diagonal(measurable, False)
+    rows, cols = np.nonzero(measurable)
+    if rows.size == 0:
+        raise ValueError("quantities has no finite off-diagonal pair")
+    generator: np.random.Generator = ensure_rng(rng)
+    picks = generator.integers(0, rows.size, size=int(n_samples))
+    timestamps = np.sort(
+        generator.uniform(0.0, float(duration_s), size=int(n_samples))
+    )
+    return MeasurementTrace(
+        timestamps=timestamps,
+        sources=rows[picks],
+        targets=cols[picks],
+        values=quantities[rows[picks], cols[picks]],
+        n_nodes=n,
+    )

@@ -1,0 +1,48 @@
+"""Declarative, seed-deterministic workload scenarios (PR 9).
+
+A :class:`~repro.scenarios.engine.Scenario` is composable phases of
+load curves + event schedules over a shared seeded clock;
+:func:`~repro.scenarios.runner.run_scenario` drives any ShardPlane
+(threads, processes or a cluster) through one and returns a payload
+whose ``counters`` are bitwise-reproducible for a given seed.  The
+named matrix lives in :mod:`repro.scenarios.library`; the flash-crowd
+realtime autopilot gate in :mod:`repro.scenarios.flashcrowd`.
+
+Entry points: ``repro bench --scenario NAME`` (CLI),
+``benchmarks/scenario_bench.py`` (the BENCH_scenario_*.json emitter)
+and ``compare.py --check`` (the gate).
+"""
+
+from repro.scenarios.engine import (
+    MIN_AVAILABILITY,
+    BurstLoad,
+    ConstantLoad,
+    EventSpec,
+    LoadCurve,
+    Phase,
+    Scenario,
+    Schedule,
+    ScheduledEvent,
+    SineLoad,
+)
+from repro.scenarios.library import SCENARIOS, get_scenario, scenario_names
+from repro.scenarios.runner import DEFAULT_SEED, WORKER_MODES, run_scenario
+
+__all__ = [
+    "MIN_AVAILABILITY",
+    "DEFAULT_SEED",
+    "WORKER_MODES",
+    "LoadCurve",
+    "ConstantLoad",
+    "SineLoad",
+    "BurstLoad",
+    "EventSpec",
+    "ScheduledEvent",
+    "Phase",
+    "Scenario",
+    "Schedule",
+    "SCENARIOS",
+    "scenario_names",
+    "get_scenario",
+    "run_scenario",
+]

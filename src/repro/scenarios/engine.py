@@ -1,0 +1,495 @@
+"""Declarative scenario engine: phases, load curves, seeded schedules.
+
+The paper evaluates DMFSGD on replayed internet latency workloads
+(P2PSim/Meridian matrices, the Harvard stream — Section 6.1); the
+serving stack grown on top of it (PRs 2–8) accumulated one bespoke
+bench per workload shape.  This module makes the workloads *data*: a
+:class:`Scenario` is a sequence of :class:`Phase` objects — each a load
+curve plus declarative event rules — interpreted tick by tick on a
+shared clock by :mod:`repro.scenarios.runner` against any
+:class:`~repro.serving.plane.ShardPlane`.
+
+Determinism is the load-bearing property.  Every source of randomness
+derives from the scenario seed via :func:`stream` / :func:`np_stream`
+using the FaultPlan per-rule idiom (``(seed * 1_000_003) ^ index`` —
+see :meth:`repro.serving.faults.FaultRule.bind`): each event rule and
+each phase's traffic feeder owns a private stream, so adding a rule
+never perturbs another rule's draws, and the *materialized* event
+schedule — and the deterministic counters downstream of it — is
+bitwise-identical for a given seed, on the thread plane and the
+process plane alike.  :meth:`Schedule.digest` hashes the materialized
+schedule; ``compare.py --check`` gates thread/process digest equality
+per scenario.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MIN_AVAILABILITY",
+    "stream",
+    "np_stream",
+    "LoadCurve",
+    "ConstantLoad",
+    "SineLoad",
+    "BurstLoad",
+    "ScheduledEvent",
+    "EventSpec",
+    "Phase",
+    "Scenario",
+    "Schedule",
+]
+
+#: the standing availability floor every scenario is gated on — same
+#: contract as the reconfig / chaos / churn benches: reads are
+#: epoch-atomic snapshot gathers and must never observe a transition.
+MIN_AVAILABILITY = 0.999
+
+#: the FaultPlan stream-derivation multiplier (kept identical on
+#: purpose: one seed-derivation idiom across the whole repo)
+_STREAM_MULTIPLIER = 1_000_003
+
+# index namespaces, so event rules, traffic feeders and scenario-state
+# draws can never collide on a stream index
+_EVENT_NS = 0
+_TRAFFIC_NS = 1 << 20
+_STATE_NS = 1 << 21
+_QUERY_NS = 1 << 22
+
+
+def stream(seed: int, index: int) -> random.Random:
+    """A private ``random.Random`` for rule ``index`` under ``seed``."""
+    return random.Random((int(seed) * _STREAM_MULTIPLIER) ^ int(index))
+
+
+def np_stream(seed: int, index: int) -> np.random.Generator:
+    """A private numpy generator for rule ``index`` under ``seed``."""
+    mixed = ((int(seed) * _STREAM_MULTIPLIER) ^ int(index)) & (2**63 - 1)
+    return np.random.default_rng(mixed)
+
+
+def traffic_stream(seed: int, phase_index: int) -> np.random.Generator:
+    """The feeder stream of phase ``phase_index`` (its own namespace)."""
+    return np_stream(seed, _TRAFFIC_NS + phase_index)
+
+
+def state_stream(seed: int, slot: int) -> np.random.Generator:
+    """A scenario-state stream (regions, liar sets, base matrices)."""
+    return np_stream(seed, _STATE_NS + slot)
+
+
+def query_stream(seed: int) -> np.random.Generator:
+    """The stream the runner draws its standing query batch from."""
+    return np_stream(seed, _QUERY_NS)
+
+
+# ----------------------------------------------------------------------
+# load curves
+# ----------------------------------------------------------------------
+
+
+class LoadCurve:
+    """Samples offered at each tick of a phase (pure, seed-free)."""
+
+    def samples_at(self, tick: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantLoad(LoadCurve):
+    """Flat offered load: ``samples`` per tick."""
+
+    samples: int
+
+    def __post_init__(self) -> None:
+        if self.samples < 0:
+            raise ValueError(f"samples must be >= 0, got {self.samples}")
+
+    def samples_at(self, tick: int) -> int:
+        return self.samples
+
+
+@dataclass(frozen=True)
+class SineLoad(LoadCurve):
+    """Sinusoidal (diurnal) offered load around ``base``.
+
+    ``base + amplitude * sin(2*pi*(tick + phase_shift)/period)``,
+    floored at zero — the day/night cycle of internet measurement
+    traffic, compressed to ticks.
+    """
+
+    base: int
+    amplitude: int
+    period: int
+    phase_shift: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"base must be >= 0, got {self.base}")
+        if self.amplitude < 0:
+            raise ValueError(f"amplitude must be >= 0, got {self.amplitude}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+
+    def samples_at(self, tick: int) -> int:
+        angle = 2.0 * math.pi * (tick + self.phase_shift) / self.period
+        return max(0, int(round(self.base + self.amplitude * math.sin(angle))))
+
+
+@dataclass(frozen=True)
+class BurstLoad(LoadCurve):
+    """Quiet load with a flash-crowd plateau in ``[start, stop)``."""
+
+    quiet: int
+    burst: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.quiet < 0 or self.burst < 0:
+            raise ValueError("quiet and burst must be >= 0")
+        if not (0 <= self.start < self.stop):
+            raise ValueError(
+                f"need 0 <= start < stop, got [{self.start}, {self.stop})"
+            )
+
+    def samples_at(self, tick: int) -> int:
+        return self.burst if self.start <= tick < self.stop else self.quiet
+
+
+# ----------------------------------------------------------------------
+# events
+# ----------------------------------------------------------------------
+
+#: the event actions the runner knows how to interpret; a Scenario
+#: using anything else is rejected at schedule-build time (the
+#: FaultPlan.from_dict name-validation idiom)
+KNOWN_ACTIONS = (
+    "rotate_hot_pair",  # retarget the HotPairDriver (draw_nodes=2)
+    "drift_step",  # re-derive the drift factor field (draws=1)
+    "set_shards",  # live topology: params target=<int>
+    "leave",  # membership: tombstone one drawn node
+    "join",  # membership: rejoin (lowest tombstone / fresh id)
+)
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """One materialized event on the shared clock.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs — hashable,
+    JSON-stable, and fully concrete: every draw an event needs (node
+    ids, per-event sub-seeds) is taken at schedule-build time from the
+    owning rule's stream, never at fire time, so the schedule *is* the
+    randomness and the digest covers all of it.
+    """
+
+    tick: int
+    action: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def param(self, key: str, default: object = None) -> object:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tick": self.tick,
+            "action": self.action,
+            "params": {k: v for k, v in self.params},
+        }
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """A declarative event rule, materialized per phase.
+
+    Exactly one trigger must be given:
+
+    * ``at`` — explicit phase-relative ticks;
+    * ``every`` — one event each ``every`` ticks from ``offset``;
+    * ``count`` — ``count`` distinct ticks sampled from the phase by
+      the rule's private stream.
+
+    ``draw_nodes`` attaches ``nodes=(...)`` to each event — node ids
+    drawn *without replacement across the whole rule* from
+    ``[node_low, n_nodes)``, so e.g. a leave burst never picks the
+    same node twice.  ``draws`` attaches ``draw=(...)`` — sub-seeds a
+    handler may use to derive further deterministic randomness (the
+    drift field).  Static ``params`` ride along unchanged.
+    """
+
+    action: str
+    at: Tuple[int, ...] = ()
+    every: int = 0
+    offset: int = 0
+    count: int = 0
+    draw_nodes: int = 0
+    node_low: int = 0
+    draws: int = 0
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.action not in KNOWN_ACTIONS:
+            raise ValueError(
+                f"unknown event action {self.action!r}; "
+                f"known actions: {', '.join(KNOWN_ACTIONS)}"
+            )
+        triggers = sum(
+            (bool(self.at), self.every > 0, self.count > 0)
+        )
+        if triggers != 1:
+            raise ValueError(
+                "exactly one of at=/every=/count= must be set, "
+                f"got at={self.at!r} every={self.every} count={self.count}"
+            )
+        if self.draw_nodes < 0 or self.draws < 0 or self.node_low < 0:
+            raise ValueError("draw_nodes/draws/node_low must be >= 0")
+
+    def _ticks(self, rng: random.Random, phase_ticks: int) -> List[int]:
+        if self.at:
+            ticks = sorted(int(t) for t in self.at)
+            if ticks and (ticks[0] < 0 or ticks[-1] >= phase_ticks):
+                raise ValueError(
+                    f"at={self.at!r} out of range for a "
+                    f"{phase_ticks}-tick phase"
+                )
+            return ticks
+        if self.every:
+            return list(range(self.offset, phase_ticks, self.every))
+        if self.count > phase_ticks:
+            raise ValueError(
+                f"count={self.count} exceeds the {phase_ticks}-tick phase"
+            )
+        return sorted(rng.sample(range(phase_ticks), self.count))
+
+    def materialize(
+        self,
+        rng: random.Random,
+        phase_start: int,
+        phase_ticks: int,
+        n_nodes: int,
+    ) -> List[ScheduledEvent]:
+        """Concrete events for one phase, all draws taken now."""
+        ticks = self._ticks(rng, phase_ticks)
+        node_pool: List[int] = []
+        if self.draw_nodes:
+            need = self.draw_nodes * len(ticks)
+            universe = range(self.node_low, n_nodes)
+            if need > len(universe):
+                raise ValueError(
+                    f"rule {self.action!r} needs {need} distinct nodes, "
+                    f"only {len(universe)} available"
+                )
+            node_pool = rng.sample(universe, need)
+        events: List[ScheduledEvent] = []
+        for i, tick in enumerate(ticks):
+            params = dict(self.params)
+            if self.draw_nodes:
+                lo = i * self.draw_nodes
+                params["nodes"] = tuple(
+                    node_pool[lo : lo + self.draw_nodes]
+                )
+            if self.draws:
+                params["draw"] = tuple(
+                    rng.randrange(2**32) for _ in range(self.draws)
+                )
+            events.append(
+                ScheduledEvent(
+                    tick=phase_start + tick,
+                    action=self.action,
+                    params=tuple(sorted(params.items())),
+                )
+            )
+        return events
+
+
+# ----------------------------------------------------------------------
+# phases and scenarios
+# ----------------------------------------------------------------------
+
+#: traffic kinds the runner implements (each maps to a simnet driver)
+TRAFFIC_KINDS = ("uniform", "hot_pair", "drift", "poison", "trace")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of the shared clock: a load curve + event rules."""
+
+    name: str
+    ticks: int
+    load: LoadCurve
+    traffic: str = "uniform"
+    traffic_params: Mapping[str, object] = field(default_factory=dict)
+    events: Tuple[EventSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.ticks <= 0:
+            raise ValueError(f"ticks must be positive, got {self.ticks}")
+        if self.traffic not in TRAFFIC_KINDS:
+            raise ValueError(
+                f"unknown traffic kind {self.traffic!r}; "
+                f"known kinds: {', '.join(TRAFFIC_KINDS)}"
+            )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, seed-deterministic workload over any ShardPlane.
+
+    ``guard`` selects the admission posture the plane is built with
+    (``"none"``, ``"static"`` or ``"adaptive"``); ``membership`` marks
+    scenarios whose events drive the
+    :class:`~repro.serving.membership.MembershipManager`;
+    ``supports_cluster`` gates ``repro bench --cluster`` (membership
+    and live topology have no cluster-plane equivalent yet).
+    ``protect`` low node ids are never churned and supply the standing
+    query working set, so availability is measured against nodes that
+    are always members.
+    """
+
+    name: str
+    description: str
+    phases: Tuple[Phase, ...]
+    nodes: int = 160
+    shards: int = 2
+    protect: int = 32
+    guard: str = "none"
+    membership: bool = False
+    supports_cluster: bool = True
+    query_batch: int = 64
+    publish_every: int = 4
+    batch_size: int = 64
+    refresh_interval: int = 256
+    queue_depth: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a scenario needs at least one phase")
+        if self.guard not in ("none", "static", "adaptive"):
+            raise ValueError(
+                f"guard must be none/static/adaptive, got {self.guard!r}"
+            )
+        if not (2 <= self.protect <= self.nodes):
+            raise ValueError(
+                f"protect must be in [2, {self.nodes}], got {self.protect}"
+            )
+        names = [phase.name for phase in self.phases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"phase names must be unique, got {names}")
+
+    @property
+    def total_ticks(self) -> int:
+        return sum(phase.ticks for phase in self.phases)
+
+    def phase_at(self, tick: int) -> Tuple[int, Phase, int]:
+        """``(phase_index, phase, local_tick)`` for a global tick."""
+        offset = 0
+        for index, phase in enumerate(self.phases):
+            if tick < offset + phase.ticks:
+                return index, phase, tick - offset
+            offset += phase.ticks
+        raise IndexError(f"tick {tick} past the {self.total_ticks}-tick run")
+
+    def subset(self, phase_names: Tuple[str, ...]) -> "Scenario":
+        """A copy keeping only the named phases (smoke runs).
+
+        The subset is a first-class scenario: its schedule is re-built
+        (and re-digested) for the shorter clock, so determinism
+        properties hold for it exactly as for the full run.
+        """
+        keep = tuple(p for p in self.phases if p.name in phase_names)
+        missing = set(phase_names) - {p.name for p in keep}
+        if missing:
+            raise ValueError(
+                f"unknown phase(s) {sorted(missing)} for {self.name!r}"
+            )
+        return Scenario(
+            name=self.name,
+            description=self.description,
+            phases=keep,
+            nodes=self.nodes,
+            shards=self.shards,
+            protect=self.protect,
+            guard=self.guard,
+            membership=self.membership,
+            supports_cluster=self.supports_cluster,
+            query_batch=self.query_batch,
+            publish_every=self.publish_every,
+            batch_size=self.batch_size,
+            refresh_interval=self.refresh_interval,
+            queue_depth=self.queue_depth,
+        )
+
+    def shortest_phase(self) -> str:
+        """Name of the shortest phase (what the smoke marker runs)."""
+        return min(self.phases, key=lambda p: p.ticks).name
+
+    def build_schedule(self, seed: int) -> "Schedule":
+        """Materialize every event rule under ``seed``.
+
+        Per-rule streams (``stream(seed, phase_index * 64 + rule_index)``)
+        keep rules independent — the FaultPlan idiom — and the whole
+        schedule is concrete before the first tick runs.
+        """
+        events: List[ScheduledEvent] = []
+        offset = 0
+        for phase_index, phase in enumerate(self.phases):
+            if len(phase.events) >= 64:
+                raise ValueError("at most 63 event rules per phase")
+            for rule_index, spec in enumerate(phase.events):
+                rng = stream(seed, _EVENT_NS + phase_index * 64 + rule_index)
+                events.extend(
+                    spec.materialize(rng, offset, phase.ticks, self.nodes)
+                )
+            offset += phase.ticks
+        events.sort(key=lambda e: (e.tick, e.action, e.params))
+        return Schedule(scenario=self.name, seed=int(seed), events=tuple(events))
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """The materialized event schedule of one ``(scenario, seed)``."""
+
+    scenario: str
+    seed: int
+    events: Tuple[ScheduledEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def at(self, tick: int) -> List[ScheduledEvent]:
+        """Events firing at a global tick (sorted, stable)."""
+        return [event for event in self.events if event.tick == tick]
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON of the schedule.
+
+        Two runs (any worker mode, any machine) with the same seed
+        must produce the same digest; ``compare.py --check`` enforces
+        exactly that across the thread and process planes.
+        """
+        canonical = json.dumps(
+            [event.as_dict() for event in self.events],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "events": len(self.events),
+            "digest": self.digest(),
+        }

@@ -1,0 +1,331 @@
+"""Flash-crowd realtime measurements (the autopilot split/merge gate).
+
+The ``flash_crowd`` scenario has two halves.  The tick-driven half
+(scheduled ``set_shards`` events under a burst load curve) runs through
+the generic :mod:`repro.scenarios.runner` like every other scenario and
+is seed-deterministic.  This module is the *realtime* half — the
+measurement that used to live in ``benchmarks/reconfig_bench.py``:
+
+* :func:`autopilot_flash_crowd` — a thread-mode plane starts at one
+  shard while feeder threads hammer it with a
+  :class:`~repro.simnet.livefeed.HotPairDriver` burst against an
+  aggressive :class:`~repro.serving.autopilot.AutopilotPolicy`.  The
+  autopilot must *split* at least one shard while the burst runs, and
+  *merge* back down once the feeders stop.  Throughout, a querier
+  thread reads ``estimate_pairs`` batches off live snapshots; reported
+  ``query_availability_during_reconfig`` must stay >= 99.9% on any
+  machine — snapshot reads are epoch-atomic in-process gathers and
+  must never observe a transition.  Shard versions are sampled around
+  every transition and must never rewind (the version-keyed cache
+  contract).
+
+* :func:`transition_latency` — direct ``split_shard`` /
+  ``merge_shards`` calls timed on a thread-mode plane and on a
+  process-mode plane (worker barrier + stop + re-stride + respawn),
+  with a bitwise before/after parity check of the full factor arrays
+  in each mode.  Latency is informational (machine-dependent); parity
+  and version monotonicity are the acceptance bits.
+
+``benchmarks/reconfig_bench.py`` is now a thin wrapper over these two
+functions (same constants, same BENCH_reconfig.json keys), and
+``repro bench --scenario flash_crowd --workers threads`` merges
+:func:`autopilot_flash_crowd` into the scenario payload — the gate
+lives here, enforced from both entry points.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.config import DMFSGDConfig
+from repro.core.engine import DMFSGDEngine, EngineSpec
+from repro.serving.autopilot import Autopilot, AutopilotPolicy
+from repro.serving.procs import (
+    ProcessShardedIngest,
+    ProcessShardedStore,
+    WorkerSpec,
+    WorkerSupervisor,
+)
+from repro.serving.shard import ShardedCoordinateStore, ShardedIngest
+from repro.simnet.livefeed import HotPairDriver
+
+__all__ = [
+    "FLASH_POLICY",
+    "autopilot_flash_crowd",
+    "transition_latency",
+]
+
+#: the flash-crowd policy: aggressive on purpose, so the burst
+#: reliably crosses a split watermark within the tier-1 budget on any
+#: machine, and the idle post-burst plane crosses the merge watermark
+#: right after.  The *throughput* watermark is the load-bearing one:
+#: on a single core the GIL hands the worker long slices, so queue
+#: fill oscillates 0 <-> 1 and rarely holds over a whole patience
+#: window, while applied-samples/s stays high for the entire burst
+#: and collapses to ~0 the moment the feeders stop.
+FLASH_POLICY = AutopilotPolicy(
+    sample_interval_s=0.05,
+    split_queue_fill=0.90,
+    merge_queue_fill=0.05,
+    split_pps=20_000.0,
+    merge_pps=2_000.0,
+    patience=2,
+    cooldown_s=0.25,
+    min_shards=1,
+    max_shards=4,
+)
+
+
+def _engine(nodes: int, seed: int) -> DMFSGDEngine:
+    config = DMFSGDConfig(neighbors=8)
+    return DMFSGDEngine(nodes, lambda r, c: np.ones(len(r)), config, rng=seed)
+
+
+def _quantities(rng: np.random.Generator, nodes: int) -> np.ndarray:
+    quantities = rng.uniform(10.0, 200.0, size=(nodes, nodes))
+    np.fill_diagonal(quantities, np.nan)
+    return quantities
+
+
+def autopilot_flash_crowd(
+    *,
+    nodes: int = 240,
+    seed: int = 20111206,
+    policy: Optional[AutopilotPolicy] = None,
+    hot_pair: "tuple[int, int]" = (3, 7),
+    feeders: int = 3,
+    query_batch: int = 256,
+    burst: int = 512,
+    queue_depth: int = 16,
+    burst_deadline_s: float = 10.0,
+    settle_deadline_s: float = 10.0,
+) -> Dict[str, object]:
+    """Autopilot splits under a HotPairDriver burst, merges after it."""
+    policy = FLASH_POLICY if policy is None else policy
+    rng = np.random.default_rng(seed)
+    engine = _engine(nodes, seed)
+    store = ShardedCoordinateStore(engine.coordinates, shards=1)
+    ingest = ShardedIngest(
+        engine,
+        store,
+        batch_size=64,
+        refresh_interval=256,
+        step_clip=0.1,
+        queue_depth=queue_depth,
+        put_timeout=0.05,
+        workers=True,
+    )
+    pilot = Autopilot(ingest, policy)
+    quantities = _quantities(rng, nodes)
+
+    stop_feeding = threading.Event()
+    stop_all = threading.Event()
+    ok = [0]
+    failed = [0]
+    version_rewinds = [0]
+
+    qs = rng.integers(0, nodes, size=query_batch)
+    qt = (qs + 1 + rng.integers(0, nodes - 1, size=query_batch)) % nodes
+
+    def feeder(feeder_seed: int) -> None:
+        driver = HotPairDriver(
+            quantities,
+            ingest,
+            hot_pair,
+            background=0.5,
+            rng=feeder_seed,
+        )
+        while not stop_feeding.is_set():
+            driver.run(4 * burst, burst=burst)
+
+    def querier() -> None:
+        last_version = -1
+        while not stop_all.is_set():
+            try:
+                snapshot = store.snapshot()
+                batch = snapshot.estimate_pairs(qs, qt)
+                if np.all(np.isfinite(batch)):
+                    ok[0] += 1
+                else:
+                    failed[0] += 1
+                # summed snapshot version must never rewind, reconfig
+                # or not — this *is* the cache-key soundness contract
+                if snapshot.version < last_version:
+                    version_rewinds[0] += 1
+                last_version = snapshot.version
+            except Exception:
+                failed[0] += 1
+
+    threads = [
+        threading.Thread(target=feeder, args=(seed + i,), daemon=True)
+        for i in range(feeders)
+    ]
+    threads.append(threading.Thread(target=querier, daemon=True))
+
+    started = time.perf_counter()
+    pilot.start()
+    for thread in threads:
+        thread.start()
+    try:
+        # phase 1: burst until the autopilot splits (bounded wait)
+        deadline = started + burst_deadline_s
+        while ingest.shards == 1 and time.perf_counter() < deadline:
+            time.sleep(0.01)
+        peak_shards = ingest.shards
+        split_at_s = time.perf_counter() - started
+        # keep the crowd up briefly past the first split so the window
+        # prices reads *through* a transition, not just up to one
+        hold = time.perf_counter() + 0.5
+        while time.perf_counter() < min(hold, deadline):
+            peak_shards = max(peak_shards, ingest.shards)
+            time.sleep(0.01)
+
+        # phase 2: burst over — the queues drain and the cold
+        # watermark must bring the plane back down to min_shards
+        stop_feeding.set()
+        deadline = time.perf_counter() + settle_deadline_s
+        while (
+            ingest.shards > policy.min_shards
+            and time.perf_counter() < deadline
+        ):
+            peak_shards = max(peak_shards, ingest.shards)
+            time.sleep(0.01)
+        elapsed = time.perf_counter() - started
+    finally:
+        stop_feeding.set()
+        stop_all.set()
+        pilot.stop()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        ingest.close()
+
+    topology = ingest.topology()
+    transitions = topology["transitions"]
+    splits = [t for t in transitions if t["action"] == "split"]
+    merges = [t for t in transitions if t["action"] == "merge"]
+    answered, dropped = ok[0], failed[0]
+    total = answered + dropped
+    stats = ingest.stats()
+    return {
+        "autopilot_splits": len(splits),
+        "autopilot_merges": len(merges),
+        "peak_shards": int(peak_shards),
+        "final_shards": int(ingest.shards),
+        "first_split_after_s": split_at_s,
+        "flash_window_s": elapsed,
+        "split_ms": (
+            float(np.mean([t["transition_ms"] for t in splits]))
+            if splits
+            else float("nan")
+        ),
+        "merge_ms": (
+            float(np.mean([t["transition_ms"] for t in merges]))
+            if merges
+            else float("nan")
+        ),
+        "query_availability_during_reconfig": (
+            answered / total if total else 0.0
+        ),
+        "queries_answered_during_reconfig": answered,
+        "queries_failed_during_reconfig": dropped,
+        "queries_during_reconfig_pps": (
+            answered * query_batch / elapsed if elapsed else 0.0
+        ),
+        "version_rewinds_observed": version_rewinds[0],
+        "samples_applied": int(stats.applied),
+        "samples_shed_backpressure": int(ingest.dropped_backpressure),
+        "autopilot_errors": len(pilot.errors),
+    }
+
+
+def _time_transitions(
+    ingest, store_arrays: Callable[[], "tuple[np.ndarray, np.ndarray]"]
+) -> Dict[str, object]:
+    """Split 2->3->4, merge 4->3->2; time each step, check parity."""
+    reference = store_arrays()
+    timings: dict = {}
+    for action, target in (
+        ("split", 3),
+        ("split", 4),
+        ("merge", 3),
+        ("merge", 2),
+    ):
+        versions_before = list(ingest.topology_versions())
+        start = time.perf_counter()
+        ingest.set_shard_count(target, reason="bench")
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        timings.setdefault(f"{action}_ms", []).append(elapsed_ms)
+        versions_after = list(ingest.topology_versions())
+        if min(versions_after) <= max(versions_before):
+            timings["version_rewound"] = True
+    U, V = store_arrays()
+    parity = bool(
+        np.array_equal(U, reference[0]) and np.array_equal(V, reference[1])
+    )
+    return {
+        "split_ms": float(np.mean(timings["split_ms"])),
+        "merge_ms": float(np.mean(timings["merge_ms"])),
+        "parity_bitwise": parity,
+        "version_monotone": not timings.get("version_rewound", False),
+    }
+
+
+def transition_latency(
+    *, nodes: int = 240, seed: int = 20111206
+) -> Dict[str, object]:
+    """Direct split/merge latency + parity, thread and process modes."""
+    rng = np.random.default_rng(seed)
+    result: Dict[str, object] = {}
+
+    # -- thread mode ---------------------------------------------------
+    engine = _engine(nodes, seed)
+    store = ShardedCoordinateStore(engine.coordinates, shards=2)
+    ingest = ShardedIngest(engine, store, workers=False)
+    ingest.topology_versions = lambda: [
+        p.version for p in store.snapshot().parts
+    ]
+    try:
+        src = rng.integers(0, nodes, size=2000)
+        dst = (src + 1 + rng.integers(0, nodes - 1, size=2000)) % nodes
+        ingest.submit_many(src, dst, rng.choice([-1.0, 1.0], size=2000))
+        ingest.flush()
+        ingest.publish()
+
+        def thread_arrays():
+            table = store.snapshot().as_table()
+            return table.U.copy(), table.V.copy()
+
+        timing = _time_transitions(ingest, thread_arrays)
+    finally:
+        ingest.close()
+    result.update({f"thread_{k}": v for k, v in timing.items()})
+
+    # -- process mode --------------------------------------------------
+    engine = _engine(nodes, seed + 1)
+    store = ProcessShardedStore.create(engine.coordinates, shards=2)
+    spec = WorkerSpec(
+        engine=EngineSpec.from_engine(engine, seed=seed + 1),
+        batch_size=64,
+        refresh_interval=256,
+    )
+    supervisor = WorkerSupervisor(
+        store, spec, queue_depth=64, monitor=False, command_timeout=15.0
+    ).start()
+    ingest = ProcessShardedIngest(store, supervisor)
+    ingest.topology_versions = lambda: list(store.versions)
+    try:
+        src = rng.integers(0, nodes, size=2000)
+        dst = (src + 1 + rng.integers(0, nodes - 1, size=2000)) % nodes
+        ingest.submit_many(src, dst, rng.choice([-1.0, 1.0], size=2000))
+        ingest.drain()
+        ingest.flush()
+        ingest.publish()
+        timing = _time_transitions(ingest, store.as_full_arrays)
+    finally:
+        ingest.close()
+    result.update({f"process_{k}": v for k, v in timing.items()})
+    return result

@@ -1,0 +1,335 @@
+"""The named scenario matrix.
+
+Six internet-scale workload shapes, each built from the simnet drivers
+as primitives and replayed tick-deterministically by
+:mod:`repro.scenarios.runner` (paper Section 6 evaluates against
+exactly these axes: replayed latency matrices, streamed measurements,
+skewed hot traffic, drifting distributions, malicious reporters and
+churn):
+
+========== =============================================================
+name       workload
+========== =============================================================
+diurnal    sinusoidal load curve with the hot pair rotating every few
+           ticks (:class:`~repro.simnet.livefeed.HotPairDriver`)
+flash_crowd calm -> burst -> settle with scheduled ``set_shards``
+           split/merge events under load; the realtime autopilot
+           split/merge gate (:mod:`repro.scenarios.flashcrowd`) rides
+           along on the thread plane
+drift      geo-correlated latency drift: region-block factors re-drawn
+           on a schedule and applied to the feeder's quantity matrix
+poison     Byzantine feeders (:class:`~repro.simnet.livefeed.ByzantineDriver`)
+           the static/adaptive AdmissionGuard must shed
+churn_storm partition-then-heal: a burst of leaves, then joins, pricing
+           the two-phase membership epoch on both planes
+replay     a Meridian/P2PSim-shaped matrix and a Harvard-shaped stream
+           replayed through the datasets trace loaders
+========== =============================================================
+
+Every scenario here must keep availability >= 99.9%, read zero torn
+snapshots and never observe a version rewind — the standing invariants
+``compare.py --check`` gates per scenario and per worker mode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.scenarios.engine import (
+    BurstLoad,
+    ConstantLoad,
+    EventSpec,
+    Phase,
+    Scenario,
+    SineLoad,
+)
+
+__all__ = ["SCENARIOS", "get_scenario", "scenario_names"]
+
+
+def _diurnal() -> Scenario:
+    period = 32
+    return Scenario(
+        name="diurnal",
+        description=(
+            "sinusoidal offered load with the hot pair rotating — the "
+            "day/night cycle of measurement traffic with a moving hot spot"
+        ),
+        phases=(
+            Phase(
+                name="dawn",
+                ticks=12,
+                load=SineLoad(base=140, amplitude=60, period=period),
+                traffic="hot_pair",
+                traffic_params={"background": 0.6},
+                events=(
+                    EventSpec(
+                        action="rotate_hot_pair",
+                        every=6,
+                        offset=3,
+                        draw_nodes=2,
+                    ),
+                ),
+            ),
+            Phase(
+                name="peak",
+                ticks=32,
+                load=SineLoad(
+                    base=260, amplitude=140, period=period, phase_shift=12
+                ),
+                traffic="hot_pair",
+                traffic_params={"background": 0.5},
+                events=(
+                    EventSpec(
+                        action="rotate_hot_pair",
+                        every=8,
+                        offset=4,
+                        draw_nodes=2,
+                    ),
+                ),
+            ),
+            Phase(
+                name="dusk",
+                ticks=16,
+                load=SineLoad(
+                    base=140, amplitude=60, period=period, phase_shift=44
+                ),
+                traffic="hot_pair",
+                traffic_params={"background": 0.7},
+            ),
+        ),
+    )
+
+
+def _flash_crowd() -> Scenario:
+    return Scenario(
+        name="flash_crowd",
+        description=(
+            "calm -> flash burst -> settle, with scheduled split/merge "
+            "topology transitions priced under load (the realtime "
+            "autopilot gate rides along on the thread plane)"
+        ),
+        shards=1,
+        supports_cluster=False,
+        phases=(
+            Phase(
+                name="calm",
+                ticks=10,
+                load=ConstantLoad(80),
+                traffic="uniform",
+            ),
+            Phase(
+                name="flash",
+                ticks=20,
+                load=BurstLoad(quiet=100, burst=640, start=2, stop=18),
+                traffic="hot_pair",
+                traffic_params={"background": 0.3},
+                events=(
+                    EventSpec(
+                        action="set_shards", at=(4,), params={"target": 2}
+                    ),
+                    EventSpec(
+                        action="set_shards", at=(10,), params={"target": 4}
+                    ),
+                ),
+            ),
+            Phase(
+                name="settle",
+                ticks=14,
+                load=ConstantLoad(60),
+                traffic="uniform",
+                events=(
+                    EventSpec(
+                        action="set_shards", at=(4,), params={"target": 2}
+                    ),
+                    EventSpec(
+                        action="set_shards", at=(10,), params={"target": 1}
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def _drift() -> Scenario:
+    return Scenario(
+        name="drift",
+        description=(
+            "geo-correlated latency drift: the feeder's ground-truth "
+            "matrix shifts by region-block factors on a seeded schedule"
+        ),
+        phases=(
+            Phase(
+                name="baseline",
+                ticks=12,
+                load=ConstantLoad(180),
+                traffic="drift",
+                traffic_params={"jitter": 0.08},
+            ),
+            Phase(
+                name="drifting",
+                ticks=28,
+                load=ConstantLoad(220),
+                traffic="drift",
+                traffic_params={"jitter": 0.08},
+                events=(
+                    EventSpec(action="drift_step", every=4, draws=1),
+                ),
+            ),
+            Phase(
+                name="settled",
+                ticks=8,
+                load=ConstantLoad(160),
+                traffic="drift",
+                traffic_params={"jitter": 0.08},
+            ),
+        ),
+    )
+
+
+def _poison() -> Scenario:
+    return Scenario(
+        name="poison",
+        description=(
+            "Byzantine feeders: a fixed liar set reports scaled values "
+            "and garbage the admission guard must shed (rejected_guard "
+            "vs dropped_invalid, within declared bounds)"
+        ),
+        guard="static",
+        phases=(
+            Phase(
+                name="honest",
+                ticks=12,
+                load=ConstantLoad(200),
+                traffic="poison",
+                traffic_params={"liar_fraction": 0.0},
+            ),
+            Phase(
+                name="attack",
+                ticks=24,
+                load=ConstantLoad(260),
+                traffic="poison",
+                traffic_params={
+                    "liar_fraction": 0.10,
+                    "scale": 40.0,
+                    "garbage_rate": 0.25,
+                },
+            ),
+            Phase(
+                name="recovery",
+                ticks=12,
+                load=ConstantLoad(200),
+                traffic="poison",
+                traffic_params={"liar_fraction": 0.0},
+            ),
+        ),
+    )
+
+
+def _churn_storm() -> Scenario:
+    return Scenario(
+        name="churn_storm",
+        description=(
+            "partition-then-heal: a burst of leaves then joins through "
+            "the membership manager, pricing the two-phase epoch on "
+            "both worker planes"
+        ),
+        membership=True,
+        supports_cluster=False,
+        phases=(
+            Phase(
+                name="calm",
+                ticks=6,
+                load=ConstantLoad(120),
+                traffic="uniform",
+            ),
+            Phase(
+                name="partition",
+                ticks=16,
+                load=ConstantLoad(150),
+                traffic="uniform",
+                events=(
+                    EventSpec(
+                        action="leave",
+                        count=8,
+                        draw_nodes=1,
+                        node_low=32,
+                    ),
+                ),
+            ),
+            Phase(
+                name="heal",
+                ticks=16,
+                load=ConstantLoad(150),
+                traffic="uniform",
+                events=(
+                    EventSpec(action="join", count=8),
+                ),
+            ),
+            Phase(
+                name="steady",
+                ticks=6,
+                load=ConstantLoad(120),
+                traffic="uniform",
+            ),
+        ),
+    )
+
+
+def _replay() -> Scenario:
+    return Scenario(
+        name="replay",
+        description=(
+            "public-dataset replay: a Meridian/P2PSim-shaped static "
+            "matrix streamed as a trace, then a Harvard-shaped "
+            "timestamped stream, through the datasets trace loaders"
+        ),
+        phases=(
+            Phase(
+                name="meridian",
+                ticks=20,
+                load=ConstantLoad(280),
+                traffic="trace",
+                traffic_params={"source": "meridian"},
+            ),
+            Phase(
+                name="harvard",
+                ticks=20,
+                load=ConstantLoad(280),
+                traffic="trace",
+                traffic_params={"source": "harvard"},
+            ),
+        ),
+    )
+
+
+def _build_all() -> Dict[str, Scenario]:
+    scenarios = [
+        _diurnal(),
+        _flash_crowd(),
+        _drift(),
+        _poison(),
+        _churn_storm(),
+        _replay(),
+    ]
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+#: every named scenario, keyed by name
+SCENARIOS: Dict[str, Scenario] = _build_all()
+
+
+def scenario_names() -> List[str]:
+    """The registered scenario names, in registration order."""
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a named scenario (clear error with the known names)."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; "
+            f"known scenarios: {', '.join(SCENARIOS)}"
+        ) from None

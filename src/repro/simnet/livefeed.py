@@ -17,6 +17,11 @@ produces the traffic:
   probes), the traffic pattern that diverges an unguarded ingest path
   and that the admission guard
   (:mod:`repro.serving.guard`) exists to absorb;
+* :class:`ByzantineDriver` models *lying nodes* rather than broken
+  probes: a fixed set of sources reports systematically corrupted
+  values (scaled, or outright garbage) mixed into honest traffic —
+  the ``poison`` scenario's feeder, and the traffic the
+  :class:`~repro.serving.guard.AdmissionGuard` sigma filter must shed;
 * :class:`ChurnDriver` replays paper-style join/leave schedules
   against a *membership controller* — the in-process
   :class:`~repro.serving.membership.MembershipManager` or a
@@ -60,6 +65,7 @@ __all__ = [
     "MembershipController",
     "LiveFeedDriver",
     "HotPairDriver",
+    "ByzantineDriver",
     "ChurnDriver",
     "ClusterOutageDriver",
     "ChaosDriver",
@@ -175,6 +181,59 @@ class LiveFeedDriver:
         self.rounds_done += 1
         self.samples_fed += fed
         return fed
+
+    def step_samples(self, count: int) -> int:
+        """Probe ``count`` random (source, neighbor) pairs in one burst.
+
+        The sample-granular sibling of :meth:`step_round` for load
+        curves that do not come in multiples of ``n``: sources are
+        drawn uniformly, each probes one of its reference-set
+        neighbors, and the same jitter / loss / outlier machinery
+        applies.  Returns the samples handed to the sink (losses and
+        NaN pairs feed nothing, like a failed probe).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        rows = self._rng.integers(0, self.n, size=count)
+        picks = self._rng.integers(0, self.neighbor_sets.shape[1], size=count)
+        cols = self.neighbor_sets[rows, picks]
+        values = self.quantities[rows, cols]
+        if self.jitter > 0.0:
+            values = values * self._rng.lognormal(
+                mean=0.0, sigma=self.jitter, size=count
+            )
+        spikes = np.zeros(count, dtype=bool)
+        if self.outlier_rate > 0.0:
+            spikes = self._rng.random(count) < self.outlier_rate
+            values = np.where(spikes, values * self.outlier_scale, values)
+        keep = np.isfinite(values)
+        if self.loss_rate > 0.0:
+            keep &= self._rng.random(count) >= self.loss_rate
+        self.outliers_fed += int((spikes & keep).sum())
+        fed = int(keep.sum())
+        if fed:
+            self.sink.submit_many(rows[keep], cols[keep], values[keep])
+        self.samples_fed += fed
+        return fed
+
+    def set_quantities(self, quantities: np.ndarray) -> None:
+        """Swap the ground-truth matrix live (same shape required).
+
+        The ``drift`` scenario's hook: geo-correlated latency drift is
+        modelled by re-deriving the quantity matrix between probe
+        bursts, so subsequent probes measure the shifted network while
+        the driver's rng stream (and hence the probe schedule) is
+        untouched.
+        """
+        quantities = check_square_matrix(
+            np.asarray(quantities, dtype=float), "quantities"
+        )
+        if quantities.shape[0] != self.n:
+            raise ValueError(
+                f"quantities must stay ({self.n}, {self.n}), "
+                f"got {quantities.shape}"
+            )
+        self.quantities = quantities
 
     def run(self, rounds: int) -> int:
         """Drive ``rounds`` rounds of traffic; returns total samples fed."""
@@ -302,10 +361,134 @@ class HotPairDriver:
             remaining -= fed if fed else size
         return fed_this_call
 
+    def retarget(
+        self, pair: "tuple[int, int]", *, value: Optional[float] = None
+    ) -> None:
+        """Rotate the hammered pair (the diurnal hot-spot moving on).
+
+        Same validation as construction: the pair must be in range,
+        not a self-pair, and must have a finite ground-truth quantity
+        unless an explicit ``value`` is given.  Cumulative counters
+        keep counting across rotations.
+        """
+        source, target = int(pair[0]), int(pair[1])
+        if not (0 <= source < self.n and 0 <= target < self.n):
+            raise ValueError(f"pair {pair} out of range for n={self.n}")
+        if source == target:
+            raise ValueError("the hot pair cannot be a self-pair")
+        if value is None:
+            value = float(self.quantities[source, target])
+            if not np.isfinite(value):
+                raise ValueError(
+                    f"pair {pair} has no ground-truth quantity; pass value="
+                )
+        self.pair = (source, target)
+        self.value = float(value)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"HotPairDriver(pair={self.pair}, value={self.value}, "
             f"samples_fed={self.samples_fed})"
+        )
+
+
+class ByzantineDriver:
+    """Probe traffic with a fixed set of *lying* source nodes.
+
+    :class:`LiveFeedDriver`'s ``outlier_rate`` models a broken tool —
+    any probe may spike.  This driver models a Byzantine node: probes
+    *from* a ``liars`` set are systematically corrupted (the measured
+    value multiplied by ``scale``), and a ``garbage_rate`` fraction of
+    the lies is submitted as non-finite garbage instead — the raw
+    feed a gateway must drop at validation (``dropped_invalid``) while
+    the scaled lies fall to the admission guard's sigma filter
+    (``rejected_guard``).  Honest sources report ground truth.
+
+    Parameters
+    ----------
+    quantities:
+        Ground-truth ``(n, n)`` quantity matrix (NaN = unmeasurable).
+    sink:
+        Destination implementing :class:`MeasurementSink`.
+    liars:
+        Node ids whose probes lie.
+    scale:
+        Multiplier a lying probe applies to the true value.
+    garbage_rate:
+        Fraction of lying probes reporting NaN instead of a scaled
+        value (submitted to the sink unfiltered, on purpose).
+    rng:
+        Seed/generator for probe choice and lie selection.
+    """
+
+    def __init__(
+        self,
+        quantities: np.ndarray,
+        sink: MeasurementSink,
+        liars: Iterable[int],
+        *,
+        scale: float = 50.0,
+        garbage_rate: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        self.quantities = check_square_matrix(
+            np.asarray(quantities, dtype=float), "quantities"
+        )
+        self.n = self.quantities.shape[0]
+        liar_ids = sorted(int(i) for i in liars)
+        if any(i < 0 or i >= self.n for i in liar_ids):
+            raise ValueError(f"liars must be in [0, {self.n})")
+        self.liars = frozenset(liar_ids)
+        self._liar_mask = np.zeros(self.n, dtype=bool)
+        self._liar_mask[liar_ids] = True
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+        self.garbage_rate = check_probability(garbage_rate, "garbage_rate")
+        self.sink = sink
+        self._rng = ensure_rng(rng)
+        self.samples_fed = 0
+        self.honest_fed = 0
+        self.poisoned_fed = 0
+        self.garbage_fed = 0
+
+    def feed(self, count: int) -> int:
+        """Feed ``count`` probes (honest + lies) in one submission.
+
+        Returns the samples handed to the sink.  Unmeasurable (NaN)
+        *honest* pairs feed nothing; a lying probe always feeds — a
+        Byzantine node fabricates readings it never took.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        sources = self._rng.integers(0, self.n, size=count)
+        targets = (
+            sources + 1 + self._rng.integers(0, self.n - 1, size=count)
+        ) % self.n
+        values = self.quantities[sources, targets]
+        lying = self._liar_mask[sources]
+        honest_keep = np.isfinite(values) & ~lying
+        # lies: scale the true value (fabricate one where truth is NaN)
+        fabricated = np.where(np.isfinite(values), values, 1.0)
+        values = np.where(lying, fabricated * self.scale, values)
+        garbage = np.zeros(count, dtype=bool)
+        if self.garbage_rate > 0.0:
+            garbage = lying & (self._rng.random(count) < self.garbage_rate)
+            values = np.where(garbage, np.nan, values)
+        keep = honest_keep | lying
+        fed = int(keep.sum())
+        if fed:
+            self.sink.submit_many(sources[keep], targets[keep], values[keep])
+        self.samples_fed += fed
+        self.honest_fed += int(honest_keep.sum())
+        self.poisoned_fed += int((lying & ~garbage).sum())
+        self.garbage_fed += int(garbage.sum())
+        return fed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ByzantineDriver(liars={len(self.liars)}, scale={self.scale}, "
+            f"poisoned_fed={self.poisoned_fed})"
         )
 
 

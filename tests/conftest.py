@@ -53,6 +53,12 @@ def pytest_configure(config):
         "chaos_smoke: fast fault-plane tests (tier-1, ~5 s: standard "
         "fault soup + overload shedding, zero torn reads)",
     )
+    config.addinivalue_line(
+        "markers",
+        "scenario_smoke: fast scenario-matrix tests (tier-1, ~5 s: "
+        "shortened scenarios on the thread plane, seeded schedules "
+        "fully fired, invariants hold)",
+    )
 
 
 @pytest.fixture
