@@ -76,9 +76,23 @@ applied, ...).  Against a committed baseline with a matching seed the
 schedule digest and the counters must match *exactly* — scenario runs
 are seed-deterministic, so any drift is a behaviour change, not noise.
 
+And the telemetry-overhead measurement (``benchmarks/obs_bench.py``,
+shared with ``benchmarks/test_obs_smoke.py``) into ``BENCH_obs.json``:
+the instrumented ingest hot path (metrics registry bound, tracing
+off) must stay within 5% of the uninstrumented path — measured as a
+batch-interleaved paired ratio, so the gate is absolute on every
+machine — the latency families' p99 keys must be present in the
+quantile summary, and every span minted by the traced configuration
+must complete all five stage stamps.
+
 When a committed ``BENCH_*.json`` baseline predates a gate key,
 ``--check`` names the missing key in its output instead of silently
 skipping the diff, so stale baselines are visible.
+
+On ``--check`` the committed baselines' recorded ``notices`` are
+echoed (``notice (BENCH_x.json): ...``) even when the check passes,
+so the caveats a baseline carries are visible in every CI log, not
+only inside the JSON files.
 
 Every ``BENCH_*.json`` this gate writes records the machine's
 ``cpu_count`` and a ``notices`` list naming any gate that was skipped
@@ -123,6 +137,7 @@ import chaos_bench  # noqa: E402
 import churn_bench  # noqa: E402
 import cluster_bench  # noqa: E402
 import mp_bench  # noqa: E402
+import obs_bench  # noqa: E402
 import reconfig_bench  # noqa: E402
 import scenario_bench  # noqa: E402
 
@@ -161,6 +176,7 @@ MP_SUMMARY_PATH = mp_bench.SUMMARY_PATH
 CLUSTER_SUMMARY_PATH = cluster_bench.SUMMARY_PATH
 RECONFIG_SUMMARY_PATH = reconfig_bench.SUMMARY_PATH
 CHAOS_SUMMARY_PATH = chaos_bench.SUMMARY_PATH
+OBS_SUMMARY_PATH = obs_bench.SUMMARY_PATH
 
 #: PR 2's guarded admission throughput (measurements/s): the scale-out
 #: work must hold at least 2x this (the issue's acceptance bar).
@@ -858,6 +874,57 @@ def check_scenarios(scenarios: dict, tolerance: float) -> list:
     return failures
 
 
+def check_obs(obs: dict, tolerance: float) -> list:
+    """BENCH_obs.json invariants; returns failure strings.
+
+    The overhead ratio is a same-run paired comparison, so — unlike
+    the throughput gates — it is absolute on every machine and there
+    is no same-core baseline diff.  ``tolerance`` is accepted for
+    signature symmetry but unused.
+    """
+    del tolerance  # the overhead ratio is same-run relative, not a diff
+    failures = []
+    overhead = obs["overhead_ratio"]
+    if overhead > obs_bench.OBS_OVERHEAD_CEILING:
+        failures.append(
+            f"instrumented ingest is {overhead:.3f}x the uninstrumented "
+            f"hot path (ceiling {obs_bench.OBS_OVERHEAD_CEILING}x)"
+        )
+    quantiles = obs.get("quantiles", {})
+    for family in obs_bench.QUANTILE_FAMILIES:
+        if "p99" not in quantiles.get(family, {}):
+            failures.append(
+                f"latency family {family!r} has no p99 in the summary — "
+                "the scrape surface lost a histogram"
+            )
+    if obs["trace_spans_started"] < 1:
+        failures.append("the traced configuration never minted a span")
+    if obs["trace_spans_completed"] < obs["trace_spans_started"]:
+        failures.append(
+            f"only {obs['trace_spans_completed']} of "
+            f"{obs['trace_spans_started']} trace spans completed — a "
+            "stage stamp went missing on the ingest pipeline"
+        )
+    return failures
+
+
+def echo_committed_notices() -> None:
+    """Print every committed baseline's skip-with-notice caveats.
+
+    Each ``BENCH_*.json`` records a ``notices`` list naming the gates
+    its measuring machine could not enforce.  ``--check`` echoes them
+    so a passing run still names what its baselines did *not* gate —
+    without this the caveats only live inside the JSON files.
+    """
+    for path in sorted(REPO_ROOT.glob("BENCH_*.json")):
+        try:
+            committed = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        for notice in committed.get("notices", ()):
+            print(f"notice ({path.name}): {notice}")
+
+
 def check(
     result: dict,
     churn: dict,
@@ -866,6 +933,7 @@ def check(
     reconfig: dict,
     chaos: dict,
     scenarios: dict,
+    obs: dict,
     tolerance: float,
 ) -> int:
     """Compare fresh numbers against the committed baselines.
@@ -873,12 +941,14 @@ def check(
     Returns a process exit code: 0 when everything holds, 1 on any
     regression beyond ``tolerance`` or a broken acceptance invariant.
     """
+    echo_committed_notices()
     failures = []
     failures.extend(check_mp(mp, tolerance))
     failures.extend(check_cluster(cluster, tolerance))
     failures.extend(check_reconfig(reconfig, tolerance))
     failures.extend(check_chaos(chaos, tolerance))
     failures.extend(check_scenarios(scenarios, tolerance))
+    failures.extend(check_obs(obs, tolerance))
     if SUMMARY_PATH.exists():
         committed = json.loads(SUMMARY_PATH.read_text())
         failures.extend(
@@ -1013,6 +1083,10 @@ def main(argv=None) -> int:
     scenarios = scenario_bench.run()
     for payload in scenarios.values():
         print(format_scenario_rows(payload))
+    obs = obs_bench.run()
+    print(
+        format_table(obs_bench.format_rows(obs), headers=["obs", "value"])
+    )
     if args.check:
         return check(
             result,
@@ -1022,6 +1096,7 @@ def main(argv=None) -> int:
             reconfig,
             chaos,
             scenarios,
+            obs,
             args.tolerance,
         )
     SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
@@ -1036,6 +1111,8 @@ def main(argv=None) -> int:
     print(f"wrote {RECONFIG_SUMMARY_PATH}")
     CHAOS_SUMMARY_PATH.write_text(json.dumps(chaos, indent=2) + "\n")
     print(f"wrote {CHAOS_SUMMARY_PATH}")
+    OBS_SUMMARY_PATH.write_text(json.dumps(obs, indent=2) + "\n")
+    print(f"wrote {OBS_SUMMARY_PATH}")
     for name, payload in scenarios.items():
         path = scenario_bench.summary_path(name)
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -33,6 +33,10 @@ def pytest_configure(config):
         "markers",
         "scenario_smoke: fast scenario-matrix benchmarks (tier-1, < 60 s)",
     )
+    config.addinivalue_line(
+        "markers",
+        "obs_smoke: fast telemetry-overhead benchmarks (tier-1, < 60 s)",
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,250 @@
+"""Telemetry overhead benchmark (shared measurement module).
+
+Used by ``benchmarks/test_obs_smoke.py`` (tier-1, writes
+``BENCH_obs.json``) and by ``benchmarks/compare.py --check`` (the CI
+regression gate).  Prices the observability plane on the ingest hot
+path — the same duplicate-heavy stream as ``BENCH_scaleout.json``
+through a 2-shard :class:`~repro.serving.shard.ShardedIngest` — in
+three configurations:
+
+* **uninstrumented** — no registry bound: chunks carry no metadata and
+  every telemetry hook is one ``is None`` branch;
+* **instrumented** — a :class:`~repro.obs.metrics.MetricsRegistry`
+  bound (queue-wait + apply latency histograms recorded per chunk),
+  tracing still off.  The acceptance gate: this must stay within
+  ``OBS_OVERHEAD_CEILING`` (5%) of the uninstrumented run;
+* **traced** — registry bound *and* the module-global tracer armed,
+  one span minted per submitted batch (the gateway's behaviour),
+  recorded for the books.
+
+Methodology: both ingests run **inline** (workers closed, so submits
+apply on the caller thread — the identical routing + instrumented
+apply code path minus thread-scheduler noise), and each trial
+interleaves the two configurations *batch by batch*, accumulating
+separate time sums.  Machine noise — frequency steps, neighbour
+interference — lands on both accumulators almost equally, so the
+per-trial ratio is stable where whole-pass pairing is not; the gate
+takes the median ratio over ``TRIALS``.  A same-run comparison on one
+machine, so the gate is absolute — no core-count calibration.
+
+The instrumented run's quantile summary (what ``/stats`` serves as
+``obs``) is committed too; ``--check`` requires the p99 keys to be
+present so the scrape surface cannot silently lose its latency
+families.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.config import DMFSGDConfig  # noqa: E402
+from repro.core.engine import DMFSGDEngine, null_label_fn  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
+from repro.obs import tracing  # noqa: E402
+from repro.serving.shard import (  # noqa: E402
+    ShardedCoordinateStore,
+    ShardedIngest,
+)
+
+SEED = 20111206
+NODES = 500
+RANK = 10
+SAMPLES = 120_000
+BATCH = 1024
+HOT_FRACTION = 0.3
+SHARDS = 2
+TRIALS = 5
+SUMMARY_PATH = REPO_ROOT / "BENCH_obs.json"
+
+#: the acceptance ceiling: instrumented ingest vs uninstrumented,
+#: median of TRIALS batch-interleaved paired ratios (absolute gate)
+OBS_OVERHEAD_CEILING = 1.05
+
+#: histogram families whose p99 keys --check requires in the summary
+QUANTILE_FAMILIES = (
+    "repro_ingest_queue_wait_seconds",
+    "repro_ingest_apply_seconds",
+)
+
+
+def _stream(rng):
+    """The ingest-guard bench's duplicate-heavy admission stream."""
+    sources = rng.integers(0, NODES, size=SAMPLES)
+    targets = (sources + 1 + rng.integers(0, NODES - 1, size=SAMPLES)) % NODES
+    hot = rng.random(SAMPLES) < HOT_FRACTION
+    sources[hot], targets[hot] = 3, 7
+    values = rng.choice([-1.0, 1.0], size=SAMPLES)
+    return sources, targets, values
+
+
+def _engine(seed=1):
+    config = DMFSGDConfig(neighbors=8)
+    return DMFSGDEngine(NODES, null_label_fn, config, rng=seed)
+
+
+def _inline_ingest(registry=None) -> ShardedIngest:
+    """A closed (worker-less) sharded ingest: submits apply inline."""
+    engine = _engine()
+    store = ShardedCoordinateStore(engine.coordinates, shards=SHARDS)
+    ingest = ShardedIngest(
+        engine,
+        store,
+        batch_size=BATCH,
+        refresh_interval=10 * BATCH,
+        step_clip=0.1,
+        queue_depth=256,
+    )
+    ingest.close()
+    if registry is not None:
+        ingest.bind_obs(registry)
+    return ingest
+
+
+def bench_pair(sources, targets, values, registry) -> "tuple[float, float]":
+    """One interleaved trial: (plain_seconds, instrumented_seconds)."""
+    plain = _inline_ingest()
+    instr = _inline_ingest(registry)
+    t_plain = t_instr = 0.0
+    for lo in range(0, SAMPLES, BATCH):
+        s = sources[lo : lo + BATCH]
+        t = targets[lo : lo + BATCH]
+        v = values[lo : lo + BATCH]
+        start = time.perf_counter()
+        plain.submit_many(s, t, v)
+        t_plain += time.perf_counter() - start
+        start = time.perf_counter()
+        instr.submit_many(s, t, v)
+        t_instr += time.perf_counter() - start
+    plain.flush()
+    instr.flush()
+    return t_plain, t_instr
+
+
+def bench_traced(sources, targets, values, registry) -> dict:
+    """The traced configuration: one span per batch, for the books."""
+    tracer = tracing.install()
+    try:
+        ingest = _inline_ingest(registry)
+        start = time.perf_counter()
+        for lo in range(0, SAMPLES, BATCH):
+            accept_us = tracing.now_us()
+            span_id = tracer.begin(
+                route="/ingest",
+                samples=min(BATCH, SAMPLES - lo),
+                accept_us=accept_us,
+            )
+            tracing.set_context(span_id, accept_us)
+            try:
+                ingest.submit_many(
+                    sources[lo : lo + BATCH],
+                    targets[lo : lo + BATCH],
+                    values[lo : lo + BATCH],
+                )
+            finally:
+                tracing.clear_context()
+        ingest.publish()  # complete the tail spans' publish stamps
+        elapsed = time.perf_counter() - start
+        return {
+            "traced_mps": SAMPLES / elapsed,
+            "trace_spans_started": tracer.started,
+            "trace_spans_completed": tracer.completed,
+        }
+    finally:
+        tracing.uninstall()
+
+
+def run() -> dict:
+    rng = np.random.default_rng(SEED)
+    sources, targets, values = _stream(rng)
+    registry = MetricsRegistry()
+
+    plain_s = []
+    instr_s = []
+    for _ in range(TRIALS):
+        t_plain, t_instr = bench_pair(sources, targets, values, registry)
+        plain_s.append(t_plain)
+        instr_s.append(t_instr)
+    ratios = sorted(i / p for p, i in zip(plain_s, instr_s))
+    overhead = ratios[len(ratios) // 2]
+
+    traced = bench_traced(sources, targets, values, registry)
+
+    quantiles = registry.summary()
+    best_plain = SAMPLES / min(plain_s)
+    best_instr = SAMPLES / min(instr_s)
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "notices": [],
+        "nodes": NODES,
+        "rank": RANK,
+        "samples": SAMPLES,
+        "hot_fraction": HOT_FRACTION,
+        "seed": SEED,
+        "shards": SHARDS,
+        "trials": TRIALS,
+        "uninstrumented_mps": best_plain,
+        "instrumented_mps": best_instr,
+        "overhead_ratio": overhead,
+        "overhead_ratios": ratios,
+        **traced,
+        "traced_overhead_ratio": (
+            best_plain / traced["traced_mps"]
+            if traced["traced_mps"]
+            else float("inf")
+        ),
+        "quantiles": quantiles,
+    }
+
+
+def format_rows(result: dict) -> list:
+    rows = [
+        [
+            "ingest, uninstrumented",
+            f"{result['uninstrumented_mps']:,.0f} mps",
+        ],
+        [
+            "ingest, instrumented",
+            f"{result['instrumented_mps']:,.0f} mps",
+        ],
+        [
+            "instrumentation overhead (median)",
+            f"{result['overhead_ratio']:.3f}x",
+        ],
+        ["ingest, traced", f"{result['traced_mps']:,.0f} mps"],
+        [
+            "trace spans completed",
+            f"{result['trace_spans_completed']}"
+            f"/{result['trace_spans_started']}",
+        ],
+    ]
+    for family in QUANTILE_FAMILIES:
+        entry = result["quantiles"].get(family, {})
+        if "p99" in entry:
+            rows.append(
+                [f"{family} p99", f"{entry['p99'] * 1e3:.3f} ms"]
+            )
+    return rows
+
+
+def main() -> int:  # pragma: no cover - manual invocation
+    import json
+
+    from repro.utils.tables import format_table
+
+    result = run()
+    print(format_table(format_rows(result), headers=["obs", "value"]))
+    SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {SUMMARY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

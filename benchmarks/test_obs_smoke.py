@@ -1,0 +1,54 @@
+"""Telemetry-overhead benchmark -> ``BENCH_obs.json``.
+
+Prices the observability plane's acceptance claims: binding a metrics
+registry onto the sharded ingest hot path (queue-wait + apply latency
+histograms recorded per chunk, tracing off) must stay within 5% of
+the uninstrumented path — measured batch-interleaved and paired, so
+the ratio is machine-independent — the latency families must surface
+p99 quantiles in the ``/stats`` summary, and arming the tracer must
+complete every minted span through all five stage stamps.
+
+Runs in tier-1 (``obs_smoke``): a few interleaved passes of the
+standard admission stream, well under a minute.
+"""
+
+import json
+
+import pytest
+
+import obs_bench
+
+pytestmark = pytest.mark.obs_smoke
+
+
+def test_obs_benchmark(report, run_once):
+    result = run_once(obs_bench.run)
+
+    from repro.utils.tables import format_table
+
+    report(
+        "telemetry plane: instrumentation overhead",
+        format_table(
+            obs_bench.format_rows(result), headers=["obs", "value"]
+        ),
+    )
+
+    obs_bench.SUMMARY_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    # the acceptance ceiling: instrumented ingest within 5% of plain
+    assert result["overhead_ratio"] <= obs_bench.OBS_OVERHEAD_CEILING, (
+        f"instrumented ingest is {result['overhead_ratio']:.3f}x the "
+        f"uninstrumented hot path (ceiling "
+        f"{obs_bench.OBS_OVERHEAD_CEILING}x)"
+    )
+    # both latency families surfaced quantiles with observations
+    for family in obs_bench.QUANTILE_FAMILIES:
+        entry = result["quantiles"][family]
+        assert entry["count"] > 0, f"{family} recorded nothing"
+        assert "p99" in entry and "p999" in entry
+        assert entry["p50"] <= entry["p95"] <= entry["p99"] <= entry["p999"]
+    # tracing completed every span end to end
+    assert result["trace_spans_started"] > 0
+    assert (
+        result["trace_spans_completed"] == result["trace_spans_started"]
+    ), "a stage stamp went missing on the ingest pipeline"

@@ -11,7 +11,10 @@ The commands cover the everyday workflows:
   (:mod:`repro.serving`), optionally as a multi-group cluster plane
   (``--cluster G``);
 * ``cluster-status`` — query a running cluster gateway's per-group
-  health, mirror lag and routing counters;
+  health, heartbeat age, breaker state, mirror lag and routing
+  counters;
+* ``top`` — live terminal view of a running gateway's telemetry
+  (ingest rates, shard table, latency quantiles, slowest traces);
 * ``bench`` — drive a named workload scenario
   (:mod:`repro.scenarios`) through the serving planes and write its
   ``BENCH_scenario_<name>.json``.
@@ -25,6 +28,7 @@ Examples::
     python -m repro serve --dataset meridian --nodes 200 --port 8787
     python -m repro serve --cluster 2 --workers processes --shards 2
     python -m repro cluster-status --url http://127.0.0.1:8787
+    python -m repro top --url http://127.0.0.1:8787
     python -m repro bench --list
     python -m repro bench --scenario diurnal --workers both
     python -m repro bench --scenario poison --workers threads --cluster 2
@@ -406,6 +410,13 @@ def build_parser() -> argparse.ArgumentParser:
         "file (seeded rules firing at named fault points); the ONLY "
         "way to enable injection — without it every hook is a no-op",
     )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help="arm per-request tracing: POST /ingest mints a span whose "
+        "per-stage timestamps (accept/admit/queue/apply/publish) "
+        "surface in /stats under 'traces'; off = one-branch fast path",
+    )
     serve.add_argument("--seed", type=int, default=20111206)
 
     cluster_status = commands.add_parser(
@@ -421,6 +432,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the raw cluster section as JSON",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live terminal view of a running gateway's telemetry",
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8787",
+        help="gateway base URL (default http://127.0.0.1:8787)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval (default 2s)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (no screen clearing)",
     )
 
     report = commands.add_parser(
@@ -635,6 +668,7 @@ def _build_serve_gateway(args: argparse.Namespace):
         ),
         shed_watermark=args.shed_watermark,
         chaos_plan=args.chaos_plan,
+        trace=args.trace,
     )
 
 
@@ -669,12 +703,15 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
     )
     rows: List[List[object]] = []
     for group in cluster["groups"]:
+        breaker = group.get("breaker") or {}
         rows.append(
             [
                 group.get("group"),
                 "up" if group.get("alive") else "DOWN",
                 ",".join(str(pid) for pid in group.get("pids", [])) or "-",
                 group.get("version"),
+                f"{group.get('heartbeat_age_s', 0):.3f}",
+                breaker.get("state", "-"),
                 group.get("mirror_version_lag"),
                 f"{group.get('mirror_age_s', 0):.3f}",
                 group.get("forwarded"),
@@ -690,6 +727,8 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
                 "state",
                 "pids",
                 "version",
+                "hb age s",
+                "breaker",
                 "mirror lag",
                 "mirror age s",
                 "forwarded",
@@ -699,6 +738,15 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    try:
+        return run_top(args.url, interval=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -786,6 +834,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "serve": _cmd_serve,
         "cluster-status": _cmd_cluster_status,
+        "top": _cmd_top,
         "report": _cmd_report,
         "bench": _cmd_bench,
     }

@@ -1,0 +1,43 @@
+"""Telemetry plane: unified metrics, latency histograms, request tracing.
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: lock-free
+  counters/gauges/histograms (per-thread cells summed on scrape, one
+  shared log-spaced bucket ladder) plus scrape-time collectors and the
+  Prometheus text renderer behind ``GET /metrics``;
+* :mod:`repro.obs.tracing` — span ids minted at the gateway and
+  stamped through accept → admit → queue → apply → publish, crossing
+  the shared-memory boundary in process mode; armed exactly like the
+  fault plane (module-global ``tracer``, off by default);
+* :mod:`repro.obs.bridge` — collectors mapping every existing stats
+  surface (ingest counters, shard rows, breaker/shedder/chaos vitals,
+  mirror lag, autopilot signals) onto canonical metric families so all
+  three worker planes export identical names;
+* :mod:`repro.obs.top` — the ``repro top`` live terminal view.
+"""
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    BUCKET_COUNT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bucket_index,
+    escape_label_value,
+    histogram_quantile,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "BUCKET_COUNT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "bucket_index",
+    "escape_label_value",
+    "histogram_quantile",
+]

@@ -1,0 +1,369 @@
+"""Scrape-time collectors over the serving stack's existing surfaces.
+
+Every subsystem grown over PRs 1–9 already keeps counters — the ingest
+pipelines, the shard rows, the breakers/shedders/chaos injector from
+the fault plane, the cluster mirror, the autopilot's decision signals.
+None of that state needs re-instrumenting: :func:`bind_gateway`
+registers one collector that, at scrape time, walks the same
+thread-safe snapshot surfaces ``/stats`` uses and emits them as
+canonically-named Prometheus families.
+
+Because the payload shapes are identical across worker modes (that was
+PR 7's ``shard_count`` unification), the thread, process and cluster
+gateways expose **identical metric names** — only label values differ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["bind_gateway", "collect_core"]
+
+#: cumulative counters in the ``ingest`` section of ``/stats``
+_INGEST_COUNTERS = (
+    "received",
+    "applied",
+    "deduped",
+    "clipped",
+    "rejected_guard",
+    "dropped_invalid",
+    "dropped_nan",
+    "batches",
+    "publishes",
+    "dropped_backpressure",
+    "dropped_membership",
+    "dropped_injected",
+)
+
+#: point-in-time values in the ``ingest`` section
+_INGEST_GAUGES = ("buffered", "since_publish", "shard_count")
+
+#: per-shard row fields surfaced as gauges, keyed by metric suffix
+_SHARD_GAUGES = (
+    ("queue_samples", "repro_shard_queue_samples"),
+    ("queue_capacity", "repro_shard_queue_capacity"),
+    ("buffered", "repro_shard_buffered"),
+    ("version", "repro_shard_version"),
+    ("snapshot_age_s", "repro_shard_snapshot_age_seconds"),
+    ("pps", "repro_shard_applied_pps"),
+    ("heartbeat", "repro_shard_heartbeat"),
+)
+
+_SHARD_COUNTERS = (
+    ("applied", "repro_shard_applied_total"),
+    ("rejected_guard", "repro_shard_rejected_guard_total"),
+    ("publishes", "repro_shard_publishes_total"),
+    ("restarts", "repro_shard_restarts_total"),
+)
+
+_BREAKER_STATES = {"closed": 0.0, "half-open": 1.0, "half_open": 1.0, "open": 2.0}
+
+
+def _num(value) -> Optional[float]:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self._families: Dict[str, list] = {}
+
+    def add(self, name, kind, help, labels, value) -> None:
+        value = _num(value)
+        if value is None:
+            return
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = [name, kind, help, []]
+        family[3].append((labels, value))
+
+    def families(self) -> List[tuple]:
+        return [tuple(f) for f in self._families.values()]
+
+
+def _collect_ingest(out: _Builder, payload: dict) -> None:
+    ingest = payload.get("ingest", {})
+    for key in _INGEST_COUNTERS:
+        out.add(
+            f"repro_ingest_{key}_total",
+            "counter",
+            f"Cumulative ingest {key.replace('_', ' ')}.",
+            {},
+            ingest.get(key),
+        )
+    for key in _INGEST_GAUGES:
+        out.add(
+            f"repro_ingest_{key}",
+            "gauge",
+            f"Current ingest {key.replace('_', ' ')}.",
+            {},
+            ingest.get(key),
+        )
+    topology = payload.get("topology", {})
+    out.add(
+        "repro_topology_epoch",
+        "gauge",
+        "Live-topology epoch (bumps on every shard-count transition).",
+        {},
+        topology.get("topology_epoch"),
+    )
+    for row in payload.get("shards", ()):
+        if not isinstance(row, dict):
+            continue
+        labels = {"shard": row.get("shard", "?")}
+        if "group" in row:
+            labels["group"] = row["group"]
+        for key, name in _SHARD_GAUGES:
+            out.add(name, "gauge", f"Per-shard {key}.", labels, row.get(key))
+        for key, name in _SHARD_COUNTERS:
+            out.add(name, "counter", f"Per-shard {key}.", labels, row.get(key))
+
+
+def _collect_overload(out: _Builder, info: Optional[dict]) -> None:
+    if not info:
+        return
+    out.add(
+        "repro_deadline_exceeded_total",
+        "counter",
+        "Requests answered after their deadline (reported, then 503).",
+        {},
+        info.get("deadline_exceeded"),
+    )
+    out.add(
+        "repro_injected_rejects_total",
+        "counter",
+        "Chaos-injected gateway rejections.",
+        {},
+        info.get("injected_rejects"),
+    )
+    shedder = info.get("shedder")
+    if shedder:
+        out.add(
+            "repro_shed_ingest_total",
+            "counter",
+            "Ingest requests shed at the overload watermark.",
+            {},
+            shedder.get("shed_ingest"),
+        )
+        out.add(
+            "repro_shed_batch_total",
+            "counter",
+            "Batch queries shed at the overload watermark.",
+            {},
+            shedder.get("shed_batch"),
+        )
+        out.add(
+            "repro_queue_fill_ratio",
+            "gauge",
+            "Load shedder's observed worst-queue fill fraction.",
+            {},
+            shedder.get("queue_fill"),
+        )
+
+
+def _collect_faults(out: _Builder) -> None:
+    # imported lazily: repro.serving imports repro.obs at module load,
+    # and a scrape only happens long after both packages exist
+    from repro.serving import faults
+
+    injector = faults.injector
+    if injector is None:
+        return
+    for key, count in dict(injector.injected).items():
+        point, _, action = key.partition(":")
+        out.add(
+            "repro_faults_injected_total",
+            "counter",
+            "Chaos faults fired by the installed plan, by point/action.",
+            {"point": point, "action": action},
+            count,
+        )
+
+
+def _collect_cluster(out: _Builder, cluster: Optional[dict]) -> None:
+    if not cluster:
+        return
+    mirror = cluster.get("mirror", {})
+    out.add(
+        "repro_mirror_pulls_total",
+        "counter",
+        "Mirror refresh pulls across all groups.",
+        {},
+        mirror.get("pulls"),
+    )
+    out.add(
+        "repro_mirror_pull_failures_total",
+        "counter",
+        "Mirror refresh pulls that failed (breaker open, group down).",
+        {},
+        mirror.get("pull_failures"),
+    )
+    for row in cluster.get("groups", ()):
+        if not isinstance(row, dict):
+            continue
+        labels = {"group": row.get("group", "?")}
+        out.add(
+            "repro_group_up",
+            "gauge",
+            "Whether the worker group is alive (1) or fenced down (0).",
+            labels,
+            row.get("alive"),
+        )
+        out.add(
+            "repro_group_heartbeat_age_seconds",
+            "gauge",
+            "Seconds since the group's heartbeat counter last advanced.",
+            labels,
+            row.get("heartbeat_age_s"),
+        )
+        out.add(
+            "repro_group_restarts_total",
+            "counter",
+            "Times the supervisor restarted this group.",
+            labels,
+            row.get("restarts"),
+        )
+        out.add(
+            "repro_mirror_version_lag",
+            "gauge",
+            "Group version minus the mirror's replicated version.",
+            labels,
+            row.get("mirror_version_lag"),
+        )
+        out.add(
+            "repro_mirror_age_seconds",
+            "gauge",
+            "Age of the mirror's replica of this group.",
+            labels,
+            row.get("mirror_age_s"),
+        )
+        out.add(
+            "repro_group_forwarded_total",
+            "counter",
+            "Ingest requests forwarded to this owning group.",
+            labels,
+            row.get("forwarded"),
+        )
+        out.add(
+            "repro_group_rejected_down_total",
+            "counter",
+            "Ingest requests fenced because the owning group was down.",
+            labels,
+            row.get("rejected_group_down"),
+        )
+        breaker = row.get("breaker")
+        if isinstance(breaker, dict):
+            out.add(
+                "repro_breaker_state",
+                "gauge",
+                "Transport circuit breaker: 0 closed, 1 half-open, 2 open.",
+                labels,
+                _BREAKER_STATES.get(str(breaker.get("state")), -1.0),
+            )
+            out.add(
+                "repro_breaker_opens_total",
+                "counter",
+                "Times the transport breaker opened.",
+                labels,
+                breaker.get("opens"),
+            )
+            out.add(
+                "repro_breaker_fast_failures_total",
+                "counter",
+                "Calls failed fast while the breaker was open.",
+                labels,
+                breaker.get("fast_failures"),
+            )
+
+
+def _collect_autopilot(out: _Builder, autopilot) -> None:
+    if autopilot is None:
+        return
+    info = autopilot.as_dict()
+    out.add(
+        "repro_autopilot_actions_total",
+        "counter",
+        "Reconfig actions the autopilot has taken.",
+        {},
+        info.get("actions_taken"),
+    )
+    out.add(
+        "repro_autopilot_samples_total",
+        "counter",
+        "Control-loop samples the autopilot has evaluated.",
+        {},
+        info.get("samples"),
+    )
+    signals = info.get("signals") or {}
+    for name, value in signals.items():
+        out.add(
+            "repro_autopilot_signal",
+            "gauge",
+            "The autopilot's latest decision signals, by name "
+            "(provenance for every reconfig).",
+            {"name": name},
+            value,
+        )
+
+
+def _collect_tracer(out: _Builder) -> None:
+    active = tracing.tracer
+    out.add(
+        "repro_trace_enabled",
+        "gauge",
+        "Whether request tracing is armed.",
+        {},
+        active is not None,
+    )
+    if active is None:
+        return
+    out.add(
+        "repro_trace_spans_started_total",
+        "counter",
+        "Spans minted at the gateway.",
+        {},
+        active.started,
+    )
+    out.add(
+        "repro_trace_spans_completed_total",
+        "counter",
+        "Spans that reached their publish stamp.",
+        {},
+        active.completed,
+    )
+    out.add(
+        "repro_trace_spans_harvested_total",
+        "counter",
+        "Shared-memory ring entries folded back into the tracer.",
+        {},
+        active.harvested,
+    )
+
+
+def collect_core(core) -> List[tuple]:
+    """One scrape pass over a :class:`GatewayCore`'s stat surfaces."""
+    out = _Builder()
+    ingest = core.ingest
+    if ingest is not None:
+        stats_payload = getattr(ingest, "stats_payload", None)
+        if stats_payload is not None:
+            _collect_ingest(out, stats_payload())
+        cluster_info = getattr(ingest, "cluster_info", None)
+        if cluster_info is not None:
+            _collect_cluster(out, cluster_info())
+    _collect_overload(out, core.overload_info())
+    _collect_faults(out)
+    _collect_autopilot(out, core.autopilot)
+    _collect_tracer(out)
+    return out.families()
+
+
+def bind_gateway(registry: MetricsRegistry, core) -> None:
+    """Register the stats-surface collector for one gateway core."""
+    registry.register_collector(lambda: collect_core(core))

@@ -1,0 +1,433 @@
+"""Unified metrics core: counters, gauges and log-bucketed histograms.
+
+Design constraints, in order:
+
+* **The hot path takes no lock.**  Every instrument keeps one cell per
+  writer thread (keyed by ``threading.get_ident()``); a write is a
+  plain ``+=`` on the thread's own cell, so instrumented code never
+  contends with the scrape or with other writers.  Cells are only
+  *created* under a lock (once per thread per instrument) and the
+  scrape sums them — the same aggregate-on-read shape the seqlock'd
+  worker segments already use for their counters.
+* **One bucket ladder everywhere.**  :data:`BUCKET_BOUNDS` is the
+  single log-spaced latency ladder (1 µs doubling up to ~8 s) shared
+  by the in-process histograms here and the shared-memory histogram
+  slots in :mod:`repro.serving.procs`, so per-process buckets merge
+  into the registry's families without resampling.
+* **Collectors for externally-owned state.**  Subsystems that already
+  maintain counters (worker segments, circuit breakers, the autopilot,
+  the fault injector) register a collector callback that emits
+  ready-made families at scrape time — zero cost between scrapes.
+
+The renderer speaks the Prometheus text exposition format 0.0.4:
+``# HELP`` / ``# TYPE`` headers, backslash/quote/newline label-value
+escaping, and cumulative ``le`` buckets with ``+Inf`` / ``_sum`` /
+``_count`` per histogram series.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "BUCKET_COUNT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "bucket_index",
+    "escape_label_value",
+    "histogram_quantile",
+]
+
+#: number of finite latency buckets; observations above the top bound
+#: land in the implicit ``+Inf`` bucket
+BUCKET_COUNT = 24
+
+#: log-spaced bucket upper bounds in seconds: 1 µs, 2 µs, 4 µs, ...
+#: doubling up to ~8.4 s.  Shared with the shared-memory histogram
+#: slots in :mod:`repro.serving.procs` so cross-process merges align.
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    1e-6 * (2.0**i) for i in range(BUCKET_COUNT)
+)
+
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+    ("p999", 0.999),
+)
+
+
+def bucket_index(seconds: float) -> int:
+    """Finite bucket index for a latency, ``BUCKET_COUNT`` for +Inf."""
+    return bisect_left(BUCKET_BOUNDS, seconds)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    return f"{bound:.10g}"
+
+
+def _render_labels(
+    labels: Dict[str, object], extra: Optional[Tuple[str, str]] = None
+) -> str:
+    pairs = [
+        (key, escape_label_value(str(labels[key]))) for key in sorted(labels)
+    ]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def histogram_quantile(
+    counts: Sequence[float], count: float, q: float
+) -> float:
+    """Interpolated quantile over the shared bucket ladder.
+
+    ``counts`` holds per-bucket (non-cumulative) observation counts for
+    the finite buckets; ``count`` is the total including +Inf overflow.
+    Observations that fell past the top bound report the top bound —
+    the ladder cannot resolve them further.
+    """
+    if count <= 0:
+        return 0.0
+    target = q * count
+    cumulative = 0.0
+    for i in range(min(len(counts), BUCKET_COUNT)):
+        in_bucket = counts[i]
+        previous = cumulative
+        cumulative += in_bucket
+        if cumulative >= target and in_bucket:
+            low = BUCKET_BOUNDS[i - 1] if i else 0.0
+            high = BUCKET_BOUNDS[i]
+            return low + (high - low) * ((target - previous) / in_bucket)
+    return BUCKET_BOUNDS[-1]
+
+
+class _ScalarCell:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class _HistCell:
+    __slots__ = ("counts", "sum")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (BUCKET_COUNT + 1)
+        self.sum = 0.0
+
+
+class _Child:
+    """One label-set series of a family: per-thread cells, summed on read."""
+
+    __slots__ = ("_family", "labels_dict", "_cells")
+
+    def __init__(self, family: "_Family", label_values: Tuple[str, ...]):
+        self._family = family
+        self.labels_dict = dict(zip(family.label_names, label_values))
+        self._cells: Dict[int, object] = {}
+
+    def _cell(self):
+        ident = threading.get_ident()
+        cell = self._cells.get(ident)
+        if cell is None:
+            with self._family._lock:
+                cell = self._cells.get(ident)
+                if cell is None:
+                    cell = self._family._new_cell()
+                    self._cells[ident] = cell
+        return cell
+
+
+class _Family:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str]):
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], _Child] = {}
+        self._default: Optional[_Child] = None
+        if not self.label_names:
+            self._default = self._child(())
+
+    def _new_cell(self):
+        return _ScalarCell()
+
+    def _child(self, key: Tuple[str, ...]) -> _Child:
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = _Child(self, key)
+                    self._children[key] = child
+        return child
+
+    def _resolve(self, labels: Dict[str, object]) -> _Child:
+        if not labels:
+            if self._default is None:
+                raise ValueError(
+                    f"metric {self.name!r} requires labels "
+                    f"{self.label_names}"
+                )
+            return self._default
+        key = tuple(str(labels[name]) for name in self.label_names)
+        return self._child(key)
+
+    def _read_child(self, child: _Child):
+        return sum(cell.value for cell in child._cells.values())
+
+    def collect(self):
+        samples = [
+            (child.labels_dict, self._read_child(child))
+            for _, child in sorted(self._children.items())
+        ]
+        return (self.name, self.kind, self.help, samples)
+
+
+class Counter(_Family):
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        self._resolve(labels)._cell().value += amount
+
+    def value(self, **labels) -> float:
+        return self._read_child(self._resolve(labels))
+
+
+class Gauge(_Family):
+    """Last-write-wins gauge; set/inc are rare, so a tiny lock is fine."""
+
+    kind = "gauge"
+
+    def _slot(self, child: _Child) -> _ScalarCell:
+        cell = child._cells.get(0)
+        if cell is None:
+            with self._lock:
+                cell = child._cells.get(0)
+                if cell is None:
+                    child._cells[0] = cell = _ScalarCell()
+        return cell
+
+    def set(self, value: float, **labels) -> None:
+        self._slot(self._resolve(labels)).value = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        cell = self._slot(self._resolve(labels))
+        with self._lock:
+            cell.value += amount
+
+    def value(self, **labels) -> float:
+        return self._read_child(self._resolve(labels))
+
+
+class Histogram(_Family):
+    kind = "histogram"
+
+    def _new_cell(self):
+        return _HistCell()
+
+    def observe(self, seconds: float, **labels) -> None:
+        cell = self._resolve(labels)._cell()
+        cell.counts[bucket_index(seconds)] += 1
+        cell.sum += seconds
+
+    def _read_child(self, child: _Child):
+        counts = [0] * (BUCKET_COUNT + 1)
+        total = 0.0
+        for cell in child._cells.values():
+            for i, c in enumerate(cell.counts):
+                counts[i] += c
+            total += cell.sum
+        count = sum(counts)
+        return (tuple(counts[:BUCKET_COUNT]), total, count)
+
+
+#: a collector yields family tuples ``(name, kind, help, samples)``:
+#: counter/gauge samples are ``(labels_dict, value)`` pairs, histogram
+#: samples are ``(labels_dict, (finite_bucket_counts, sum_s, count))``
+Collector = Callable[[], Iterable[tuple]]
+
+
+def _merge_samples(kind: str, samples: List[tuple]) -> List[tuple]:
+    """Fold samples sharing a label set into one (valid exposition).
+
+    Several collectors may legitimately emit the same family — e.g.
+    each cluster group's worker-latency collector — and Prometheus
+    text forbids duplicate series, so identical label sets are summed:
+    counters and gauges add values, histograms add buckets/sum/count.
+    """
+    merged: Dict[tuple, list] = {}
+    order: List[tuple] = []
+    for labels, value in samples:
+        key = tuple(sorted(labels.items()))
+        slot = merged.get(key)
+        if slot is None:
+            merged[key] = [labels, value]
+            order.append(key)
+        elif kind == "histogram":
+            counts, total, count = slot[1]
+            more, extra_total, extra_count = value
+            counts = tuple(
+                a + b for a, b in zip(counts, more)
+            )
+            slot[1] = (counts, total + extra_total, count + extra_count)
+        else:
+            slot[1] = slot[1] + value
+    return [tuple(merged[key]) for key in order]
+
+
+class MetricsRegistry:
+    """Named families + scrape-time collectors, rendered as one page."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Collector] = []
+
+    # -- instrument registration (get-or-create, idempotent by name) ---
+
+    def counter(self, name: str, help: str = "", labels=()) -> Counter:
+        return self._get(name, Counter, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels=()) -> Gauge:
+        return self._get(name, Gauge, help, labels)
+
+    def histogram(self, name: str, help: str = "", labels=()) -> Histogram:
+        return self._get(name, Histogram, help, labels)
+
+    def _get(self, name, cls, help, labels):
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = cls(name, help, labels)
+                self._families[name] = family
+            elif (
+                type(family) is not cls
+                or family.label_names != tuple(labels)
+            ):
+                raise ValueError(
+                    f"metric {name!r} is already registered as a "
+                    f"{family.kind} with labels {family.label_names}"
+                )
+            return family
+
+    def register_collector(self, collector: Collector) -> None:
+        with self._lock:
+            self._collectors.append(collector)
+
+    # -- scrape --------------------------------------------------------
+
+    def collect(self) -> List[tuple]:
+        with self._lock:
+            families = [f.collect() for f in self._families.values()]
+            collectors = list(self._collectors)
+        by_name: Dict[str, list] = {}
+        ordered: List[str] = []
+        for source in families, (
+            family for fn in collectors for family in fn()
+        ):
+            for name, kind, help, samples in source:
+                entry = by_name.get(name)
+                if entry is None:
+                    by_name[name] = [name, kind, help, list(samples)]
+                    ordered.append(name)
+                else:
+                    entry[3].extend(samples)
+        return [
+            (name, kind, help, _merge_samples(kind, samples))
+            for name, kind, help, samples in (
+                by_name[name] for name in sorted(ordered)
+            )
+        ]
+
+    def render(self) -> str:
+        """The Prometheus text page (the ``GET /metrics`` body)."""
+        lines: List[str] = []
+        for name, kind, help, samples in self.collect():
+            if help:
+                lines.append(f"# HELP {name} {_escape_help(help)}")
+            lines.append(f"# TYPE {name} {kind}")
+            if kind == "histogram":
+                for labels, (counts, total, count) in samples:
+                    cumulative = 0
+                    for bound, in_bucket in zip(BUCKET_BOUNDS, counts):
+                        cumulative += in_bucket
+                        le = ("le", _format_bound(bound))
+                        lines.append(
+                            f"{name}_bucket{_render_labels(labels, le)} "
+                            f"{_format_value(cumulative)}"
+                        )
+                    lines.append(
+                        f'{name}_bucket{_render_labels(labels, ("le", "+Inf"))} '
+                        f"{_format_value(count)}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_render_labels(labels)} "
+                        f"{_format_value(total)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(labels)} "
+                        f"{_format_value(count)}"
+                    )
+            else:
+                for labels, value in samples:
+                    lines.append(
+                        f"{name}{_render_labels(labels)} "
+                        f"{_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-histogram quantiles (the ``obs`` section of ``/stats``).
+
+        Label sets are merged per family — this is the operator's
+        at-a-glance latency summary, not the full scrape.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for name, kind, _help, samples in self.collect():
+            if kind != "histogram":
+                continue
+            counts = [0.0] * BUCKET_COUNT
+            total = 0.0
+            count = 0.0
+            for _labels, (c, s, n) in samples:
+                for i in range(min(len(c), BUCKET_COUNT)):
+                    counts[i] += c[i]
+                total += s
+                count += n
+            entry: Dict[str, float] = {
+                "count": count,
+                "sum_seconds": total,
+            }
+            for key, q in QUANTILES:
+                entry[key] = histogram_quantile(counts, count, q)
+            out[name] = entry
+        return out

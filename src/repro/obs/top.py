@@ -1,0 +1,218 @@
+"""``repro top`` — a live terminal view over any running gateway.
+
+Polls ``GET /stats`` (which PR 10 made a thin view over the metrics
+registry, so everything here is the same data ``/metrics`` exports)
+and redraws a compact operator screen: ingest counters and rates,
+per-shard queue/version rows, latency-histogram quantiles from the
+``obs`` section, and the slowest recent spans when tracing is armed.
+
+Stdlib only, like the rest of the serving stack: ``urllib`` for the
+poll, ANSI clear codes for the redraw.  ``--once`` renders a single
+frame without clearing — that is also what the tests drive.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+from typing import Dict, List, Optional
+
+from repro.utils.tables import format_table
+
+__all__ = ["fetch_stats", "render_frame", "run_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_stats(url: str, timeout: float = 5.0) -> dict:
+    """One ``GET /stats`` poll against ``url`` (the gateway base URL)."""
+    with urllib.request.urlopen(
+        url.rstrip("/") + "/stats", timeout=timeout
+    ) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _fmt(value, digits: int = 0) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:,.{digits or 3}f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _ingest_lines(stats: dict, previous: Optional[dict], dt: float) -> List[str]:
+    ingest = stats.get("ingest")
+    if not ingest:
+        return ["(read-only gateway: no ingest section)"]
+    applied = ingest.get("applied", 0)
+    rate = ""
+    if previous is not None and dt > 0:
+        prev_applied = previous.get("ingest", {}).get("applied", 0)
+        rate = f"   apply rate {max(0, applied - prev_applied) / dt:,.0f}/s"
+    lines = [
+        "ingest   received {received}   applied {applied}   buffered "
+        "{buffered}   rejected {rejected}   dropped {dropped}{rate}".format(
+            received=_fmt(ingest.get("received", 0)),
+            applied=_fmt(applied),
+            buffered=_fmt(ingest.get("buffered", 0)),
+            rejected=_fmt(ingest.get("rejected_guard", 0)),
+            dropped=_fmt(ingest.get("dropped", 0)),
+            rate=rate,
+        )
+    ]
+    if "shard_count" in ingest:
+        lines.append(
+            f"topology shard_count {ingest['shard_count']}   "
+            f"publishes {_fmt(ingest.get('publishes', 0))}   "
+            f"since_publish {_fmt(ingest.get('since_publish', 0))}"
+        )
+    return lines
+
+
+def _shard_table(stats: dict) -> Optional[str]:
+    rows = stats.get("shards")
+    if not rows:
+        return None
+    headers = ["shard", "queued", "buffered", "version", "age s", "applied"]
+    has_group = any("group" in row for row in rows)
+    if has_group:
+        headers.insert(0, "group")
+    table_rows = []
+    for row in rows:
+        cells = [
+            str(row.get("shard", "?")),
+            _fmt(row.get("queue_samples", 0)),
+            _fmt(row.get("buffered", 0)),
+            _fmt(row.get("version", 0)),
+            _fmt(float(row.get("snapshot_age_s", 0.0)), 2),
+            _fmt(row.get("applied", 0)),
+        ]
+        if has_group:
+            cells.insert(0, str(row.get("group", "-")))
+        table_rows.append(cells)
+    return format_table(table_rows, headers=headers)
+
+
+def _latency_table(stats: dict) -> Optional[str]:
+    obs: Dict[str, dict] = stats.get("obs") or {}
+    rows = []
+    for name in sorted(obs):
+        entry = obs[name]
+        if not entry.get("count"):
+            continue
+        rows.append(
+            [
+                name,
+                _fmt(entry["count"]),
+                f"{entry.get('p50', 0) * 1e3:.3f}",
+                f"{entry.get('p95', 0) * 1e3:.3f}",
+                f"{entry.get('p99', 0) * 1e3:.3f}",
+                f"{entry.get('p999', 0) * 1e3:.3f}",
+            ]
+        )
+    if not rows:
+        return None
+    return format_table(
+        rows,
+        headers=["latency", "count", "p50 ms", "p95 ms", "p99 ms", "p999 ms"],
+    )
+
+
+def _trace_table(stats: dict) -> Optional[str]:
+    traces = stats.get("traces")
+    if not traces:
+        return None
+    spans = traces.get("spans", [])
+    rows = []
+    for span in spans[:8]:
+        rows.append(
+            [
+                str(span.get("span_id", "?")),
+                str(span.get("route", "")),
+                _fmt(span.get("samples", 0)),
+                f"{span.get('duration_s', 0) * 1e3:.3f}",
+                "yes" if span.get("complete") else "no",
+            ]
+        )
+    if not rows:
+        return None
+    table = format_table(
+        rows,
+        headers=["span", "route", "samples", "total ms", "complete"],
+    )
+    return (
+        f"traces  started {traces.get('started', 0)}  completed "
+        f"{traces.get('completed', 0)}  slow {len(traces.get('slow', []))}"
+        f"\n{table}"
+    )
+
+
+def render_frame(
+    stats: dict, previous: Optional[dict] = None, dt: float = 0.0
+) -> str:
+    """One full screenful from a ``/stats`` payload."""
+    service = stats.get("service", {})
+    sections: List[str] = [
+        "repro top — {url}version {version}   cache hits {hits}".format(
+            url="",
+            version=_fmt(service.get("version", stats.get("version", "?"))),
+            hits=_fmt(service.get("cache_hits", 0)),
+        )
+    ]
+    sections.extend(_ingest_lines(stats, previous, dt))
+    for section in (
+        _shard_table(stats),
+        _latency_table(stats),
+        _trace_table(stats),
+    ):
+        if section:
+            sections.append(section)
+    overload = stats.get("overload")
+    if overload:
+        sections.append(
+            f"overload deadline_exceeded {overload.get('deadline_exceeded', 0)}"
+            + (
+                f"   shed ingest/batch "
+                f"{overload['shedder'].get('shed_ingest', 0)}/"
+                f"{overload['shedder'].get('shed_batch', 0)}"
+                if overload.get("shedder")
+                else ""
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def run_top(
+    url: str,
+    *,
+    interval: float = 2.0,
+    once: bool = False,
+    frames: Optional[int] = None,
+) -> int:
+    """Poll-and-redraw loop; returns a process exit code."""
+    previous: Optional[dict] = None
+    prev_at = time.monotonic()
+    shown = 0
+    while True:
+        try:
+            stats = fetch_stats(url)
+        except OSError as exc:
+            print(f"repro top: cannot reach {url}: {exc}")
+            return 1
+        now = time.monotonic()
+        frame = render_frame(stats, previous, now - prev_at)
+        if once:
+            print(frame)
+            return 0
+        print(f"{_CLEAR}{frame}", flush=True)
+        previous, prev_at = stats, now
+        shown += 1
+        if frames is not None and shown >= frames:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0

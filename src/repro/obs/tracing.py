@@ -1,0 +1,280 @@
+"""Lightweight request tracing across the gateway → worker pipeline.
+
+A *span* follows one ingest request through five stages::
+
+    accept ──► admit ──► queue ──► apply ──► publish
+    (gateway   (routed +  (worker   (SGD      (snapshot
+     parsed)   validated)  dequeued) applied)  published)
+
+Span ids are minted at the gateway, ride the ingest queues inside the
+chunk metadata tuple, and — in process mode — cross the shared-memory
+boundary: workers record their stage stamps into a small trace ring in
+their seqlock'd factor segment, and the gateway harvests those entries
+back into the tracer at scrape time.  All stamps are
+``time.monotonic()`` microseconds, which on Linux is the system-wide
+``CLOCK_MONOTONIC`` — comparable across processes on one host.
+
+Tracing follows the exact arming pattern of
+:mod:`repro.serving.faults`: the module-global :data:`tracer` is
+``None`` until :func:`install` arms it, and every hook in the serving
+stack is a single ``tracer is None`` branch — the off-by-default cost
+the observability bench prices.
+
+Spans that exceed ``slow_threshold_s`` end-to-end are copied into a
+separate slow-capture buffer so one burst of fast traffic cannot evict
+the request an operator actually needs to see.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "STAGES",
+    "Span",
+    "Tracer",
+    "clear_context",
+    "current_context",
+    "install",
+    "now_us",
+    "set_context",
+    "tracer",
+    "uninstall",
+]
+
+#: the five stage stamps, in pipeline order
+STAGES = ("accept_us", "admit_us", "queue_us", "apply_us", "publish_us")
+
+#: the installed tracer, or ``None`` when tracing is off (the default)
+tracer: Optional["Tracer"] = None
+
+_install_lock = threading.Lock()
+
+_context = threading.local()
+
+
+def now_us() -> int:
+    """Monotonic microseconds, comparable across processes on one host."""
+    return int(time.monotonic() * 1e6)
+
+
+def set_context(span_id: int, accept_us: int) -> None:
+    """Bind the current thread's in-flight span (gateway request scope)."""
+    _context.value = (span_id, accept_us)
+
+
+def clear_context() -> None:
+    _context.value = None
+
+
+def current_context() -> Optional[Tuple[int, int]]:
+    return getattr(_context, "value", None)
+
+
+class Span:
+    """One request's stage stamps (microseconds) plus its sample count."""
+
+    __slots__ = ("span_id", "route", "samples") + STAGES
+
+    def __init__(self, span_id: int, route: str = "", samples: int = 0):
+        self.span_id = span_id
+        self.route = route
+        self.samples = samples
+        self.accept_us = 0
+        self.admit_us = 0
+        self.queue_us = 0
+        self.apply_us = 0
+        self.publish_us = 0
+
+    @property
+    def last_us(self) -> int:
+        return max(
+            self.accept_us,
+            self.admit_us,
+            self.queue_us,
+            self.apply_us,
+            self.publish_us,
+        )
+
+    @property
+    def complete(self) -> bool:
+        return self.publish_us > 0
+
+    @property
+    def duration_s(self) -> float:
+        start = self.accept_us or self.admit_us
+        if not start:
+            return 0.0
+        return max(0, self.last_us - start) / 1e6
+
+    def stages_present(self) -> int:
+        return sum(1 for stage in STAGES if getattr(self, stage) > 0)
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "span_id": self.span_id,
+            "route": self.route,
+            "samples": self.samples,
+            "duration_s": round(self.duration_s, 6),
+            "complete": self.complete,
+        }
+        for stage in STAGES:
+            payload[stage] = getattr(self, stage)
+        return payload
+
+
+class Tracer:
+    """Bounded span ring + slow-capture buffer.
+
+    ``capacity`` bounds the recent-span ring (oldest evicted);
+    ``slow_capacity`` bounds the separate buffer keeping any span whose
+    end-to-end duration exceeded ``slow_threshold_s`` — typically a
+    fraction of the gateway's request deadline.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        slow_threshold_s: float = 0.1,
+        slow_capacity: int = 64,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.slow_threshold_s = float(slow_threshold_s)
+        self._lock = threading.Lock()
+        self._spans: "OrderedDict[int, Span]" = OrderedDict()
+        self._slow: deque = deque(maxlen=int(slow_capacity))
+        self._next_id = 1
+        self.started = 0
+        self.completed = 0
+        self.harvested = 0
+
+    # -- gateway side --------------------------------------------------
+
+    def begin(
+        self,
+        route: str = "",
+        samples: int = 0,
+        accept_us: Optional[int] = None,
+    ) -> int:
+        """Mint a span id and record its accept stamp."""
+        stamp = now_us() if accept_us is None else int(accept_us)
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            span = Span(span_id, route=route, samples=samples)
+            span.accept_us = stamp
+            self._spans[span_id] = span
+            while len(self._spans) > self.capacity:
+                self._spans.popitem(last=False)
+            self.started += 1
+        return span_id
+
+    # -- pipeline side -------------------------------------------------
+
+    def stamp(self, span_id: int, *, samples: Optional[int] = None, **stages) -> None:
+        """Record stage stamps (microseconds) onto an in-flight span."""
+        with self._lock:
+            span = self._spans.get(span_id)
+            if span is None:
+                return
+            was_complete = span.complete
+            for stage, value in stages.items():
+                if stage not in STAGES:
+                    raise ValueError(f"unknown trace stage {stage!r}")
+                if value:
+                    setattr(span, stage, int(value))
+            if samples:
+                span.samples += int(samples)
+            if span.complete and not was_complete:
+                self._note_completed(span)
+
+    def merge(
+        self,
+        span_id: int,
+        *,
+        accept_us: int = 0,
+        admit_us: int = 0,
+        queue_us: int = 0,
+        apply_us: int = 0,
+        publish_us: int = 0,
+        samples: int = 0,
+    ) -> None:
+        """Fold a harvested shared-memory ring entry into the tracer.
+
+        Harvests re-read the whole ring every scrape, so an entry whose
+        span already completed is a duplicate and is skipped.
+        """
+        with self._lock:
+            span = self._spans.get(span_id)
+            if span is None:
+                span = Span(span_id, route="/ingest")
+                self._spans[span_id] = span
+                while len(self._spans) > self.capacity:
+                    self._spans.popitem(last=False)
+            if span.complete:
+                return
+            span.accept_us = span.accept_us or int(accept_us)
+            span.admit_us = span.admit_us or int(admit_us)
+            span.queue_us = span.queue_us or int(queue_us)
+            span.apply_us = span.apply_us or int(apply_us)
+            span.publish_us = span.publish_us or int(publish_us)
+            if samples:
+                span.samples = max(span.samples, int(samples))
+            self.harvested += 1
+            if span.complete:
+                self._note_completed(span)
+
+    def _note_completed(self, span: Span) -> None:
+        self.completed += 1
+        if span.duration_s >= self.slow_threshold_s:
+            self._slow.append(span.as_dict())
+
+    # -- readout -------------------------------------------------------
+
+    def get(self, span_id: int) -> Optional[Span]:
+        with self._lock:
+            return self._spans.get(span_id)
+
+    def snapshot(self, n: int = 10) -> Dict[str, object]:
+        """The ``traces`` section of ``/stats``: N slowest recent spans."""
+        with self._lock:
+            spans = list(self._spans.values())
+            slow = list(self._slow)
+            started, completed = self.started, self.completed
+            harvested = self.harvested
+        spans.sort(key=lambda s: s.duration_s, reverse=True)
+        return {
+            "enabled": True,
+            "started": started,
+            "completed": completed,
+            "harvested": harvested,
+            "slow_threshold_s": self.slow_threshold_s,
+            "spans": [span.as_dict() for span in spans[:n]],
+            "slow": slow,
+        }
+
+
+def install(
+    instance: Optional[Tracer] = None, **kwargs
+) -> Tracer:
+    """Arm the module-global tracer (mirrors ``faults.install``)."""
+    global tracer
+    with _install_lock:
+        if tracer is not None:
+            raise RuntimeError(
+                "a tracer is already installed; uninstall() it first"
+            )
+        tracer = instance if instance is not None else Tracer(**kwargs)
+        return tracer
+
+
+def uninstall() -> None:
+    """Disarm tracing; in-flight spans are dropped with it."""
+    global tracer
+    with _install_lock:
+        tracer = None

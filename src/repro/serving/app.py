@@ -85,6 +85,7 @@ def build_gateway(
     deadline_s: Optional[float] = None,
     shed_watermark: Optional[float] = None,
     chaos_plan: Optional[str] = None,
+    trace: bool = False,
     verbose: bool = False,
 ) -> ServingGateway:
     """Pre-train a model on a synthetic dataset and wrap it for serving.
@@ -214,6 +215,12 @@ def build_gateway(
         Path to a :class:`~repro.serving.faults.FaultPlan` JSON file.
         **The only way ``repro serve`` arms fault injection** — without
         this flag every fault hook stays the no-op fast path.
+    trace:
+        Arm per-request tracing (:mod:`repro.obs.tracing`): ``POST
+        /ingest`` mints a span whose per-stage timestamps (accept,
+        admit, queue-wait, apply, publish) surface under ``/stats``'s
+        ``traces`` section.  Off by default — the untraced hot path
+        pays a single branch.
     """
     from repro.experiments.common import PAPER_NEIGHBORS, get_dataset
 
@@ -393,6 +400,7 @@ def build_gateway(
             coalesce_window=coalesce_window,
             deadline_s=deadline_s,
             shed_watermark=shed_watermark,
+            trace=trace,
             verbose=verbose,
         )
 
@@ -540,5 +548,6 @@ def build_gateway(
         autopilot=pilot,
         deadline_s=deadline_s,
         shed_watermark=shed_watermark,
+        trace=trace,
         verbose=verbose,
     )

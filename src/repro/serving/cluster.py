@@ -69,6 +69,7 @@ from repro.measurement.metrics import Metric
 from repro.serving import faults
 from repro.serving.faults import BreakerOpenError, CircuitBreaker
 from repro.serving.ingest import IngestStats
+from repro.serving.plane import SHARDS_ALIAS_TOMBSTONE
 from repro.serving.procs import (
     HEARTBEAT,
     ProcessShardedIngest,
@@ -248,6 +249,10 @@ class WorkerGroup:
         # drop replays this frozen value (the stalled-worker shape the
         # supervisor's no-progress detection must catch)
         self._last_heartbeat = 0
+        # when the counter last *advanced* — a frozen heartbeat (chaos
+        # drop, wedged worker) leaves this stamp behind, so the age
+        # surfaced in info()/cluster-status grows visibly
+        self._heartbeat_at = time.monotonic()
 
     # -- identity / liveness -------------------------------------------
 
@@ -302,10 +307,21 @@ class WorkerGroup:
             beat = sum(
                 int(segment.slot(HEARTBEAT)) for segment in state.segments
             )
+            if beat != self._last_heartbeat:
+                self._heartbeat_at = time.monotonic()
         else:
+            # a thread group's beat is a liveness bit, not a counter:
+            # any truthy report counts as an advance
             beat = int(self.ingest.running)
+            if beat:
+                self._heartbeat_at = time.monotonic()
         self._last_heartbeat = beat
         return beat
+
+    @property
+    def heartbeat_age_s(self) -> float:
+        """Seconds since the heartbeat counter last advanced."""
+        return max(0.0, time.monotonic() - self._heartbeat_at)
 
     def pids(self) -> List[Optional[int]]:
         """Worker process ids (empty in thread mode)."""
@@ -455,6 +471,7 @@ class WorkerGroup:
     def info(self) -> Dict[str, object]:
         """Identity + health vitals for the ``cluster`` stats section."""
         pids = [pid for pid in self.pids() if pid]
+        self.heartbeat()  # refresh the advance stamp at report time
         return {
             "group": self.name,
             "index": self.index,
@@ -465,6 +482,8 @@ class WorkerGroup:
             "version": self.version,
             "restarts": self.restarts,
             "pids": pids,
+            "heartbeat": self._last_heartbeat,
+            "heartbeat_age_s": round(self.heartbeat_age_s, 3),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -1016,6 +1035,35 @@ class RoutingGateway:
                 if group is not None:
                     group.close()
 
+    # -- telemetry ------------------------------------------------------
+
+    def bind_obs(self, registry) -> None:
+        """Arm telemetry on every group's routed ingest plane.
+
+        The groups are unmodified thread/process planes, so their own
+        ``bind_obs`` does the per-plane work (chunk metadata, latency
+        histograms, shm collectors); span context set by the gateway's
+        ``/ingest`` handler crosses into the groups on the same thread,
+        so a traced request keeps its id through the routing hop.
+        """
+        for group in self._group_ingests():
+            bind = getattr(group.ingest, "bind_obs", None)
+            if bind is not None:
+                bind(registry)
+
+    def harvest_traces(self) -> List[Dict[str, int]]:
+        """Span-ring entries from every process-mode group's segments."""
+        out: List[Dict[str, int]] = []
+        for group in self._group_ingests():
+            harvest = getattr(group.ingest, "harvest_traces", None)
+            if harvest is None:
+                continue
+            try:
+                out.extend(harvest())
+            except Exception:  # a dead group's ring is unreadable
+                pass
+        return out
+
     # -- introspection --------------------------------------------------
 
     def _group_ingests(self):
@@ -1201,6 +1249,7 @@ class RoutingGateway:
         # canonical key shared with the thread/process planes (their
         # deprecated "shards" alias maps to "groups" here)
         ingest["shard_count"] = len(self.transports)
+        ingest["shards"] = SHARDS_ALIAS_TOMBSTONE
         with self._counter_lock:
             ingest["forwarded"] = sum(self.forwarded)
             ingest["rejected_group_down"] = sum(self.rejected_group_down)

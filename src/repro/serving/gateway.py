@@ -25,6 +25,8 @@ method    path                     meaning
 GET       ``/health``              liveness + model vitals
 GET       ``/version``             served snapshot version
 GET       ``/stats``               service + ingest + guard + shards + ...
+GET       ``/metrics``             Prometheus text exposition (the same
+                                   registry ``/stats`` summarizes)
 GET       ``/shards``              per-shard queue depth / snapshot age
                                    (+ ``cluster`` section on a cluster
                                    gateway: per-group health + mirrors)
@@ -73,6 +75,8 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from repro.obs import bridge, tracing
+from repro.obs.metrics import MetricsRegistry
 from repro.serving import faults
 from repro.serving.guard import BackgroundCheckpointer
 from repro.serving.service import PredictionService, classify_score
@@ -113,6 +117,28 @@ def _request_class(method: str, path: str) -> Optional[str]:
     return None
 
 
+#: routes that may appear as a ``route`` metric label — anything else
+#: collapses into "other" so scans cannot explode series cardinality
+_OBS_ROUTES = frozenset(
+    {
+        "/health",
+        "/version",
+        "/stats",
+        "/metrics",
+        "/membership",
+        "/shards",
+        "/predict",
+        "/predict_from",
+        "/estimate/batch",
+        "/ingest",
+        "/refresh",
+        "/membership/join",
+        "/membership/leave",
+        "/admin/reconfig",
+    }
+)
+
+
 class GatewayCore:
     """Transport-independent request routing.
 
@@ -133,6 +159,7 @@ class GatewayCore:
         autopilot=None,
         deadline_s: Optional[float] = None,
         shedder: Optional[faults.LoadShedder] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be positive, got {deadline_s}")
@@ -144,6 +171,18 @@ class GatewayCore:
         self.autopilot = autopilot
         self.deadline_s = deadline_s
         self.shedder = shedder
+        self.obs = registry
+        if registry is not None:
+            self._m_requests = registry.counter(
+                "repro_requests_total",
+                "HTTP requests handled, by route and status.",
+                labels=("route", "status"),
+            )
+            self._m_request_seconds = registry.histogram(
+                "repro_request_seconds",
+                "End-to-end request handling latency.",
+                labels=("route",),
+            )
         self._overload_lock = threading.Lock()
         self.deadline_exceeded = 0
         self.injected_rejects = 0
@@ -161,6 +200,26 @@ class GatewayCore:
         self, method: str, path: str, params: Dict[str, list], body: bytes
     ) -> Tuple[int, Dict]:
         """Route one request; returns ``(http_status, json_payload)``.
+
+        With a metrics registry bound, every request lands in the
+        ``repro_requests_total`` / ``repro_request_seconds`` families
+        on its way out; an unbound gateway pays one attribute check.
+        """
+        if self.obs is None:
+            return self._handle(method, path, params, body)
+        started = time.monotonic()
+        status, payload = self._handle(method, path, params, body)
+        route = path if path in _OBS_ROUTES else "other"
+        self._m_requests.inc(route=route, status=status)
+        self._m_request_seconds.observe(
+            time.monotonic() - started, route=route
+        )
+        return status, payload
+
+    def _handle(
+        self, method: str, path: str, params: Dict[str, list], body: bytes
+    ) -> Tuple[int, Dict]:
+        """The actual routing behind :meth:`handle`.
 
         Overload protection runs here, in order: an armed chaos plan
         may reject the request at ``gateway.accept``; the load shedder
@@ -282,7 +341,24 @@ class GatewayCore:
             overload = self.overload_info()
             if overload is not None:
                 payload["overload"] = overload
+            if self.obs is not None:
+                payload["obs"] = self.obs.summary()
+            tracer = tracing.tracer
+            if tracer is not None:
+                harvest = getattr(self.ingest, "harvest_traces", None)
+                if harvest is not None:
+                    # fold worker-side ring entries (shm or per-group)
+                    # into the tracer before snapshotting
+                    for entry in harvest():
+                        tracer.merge(**entry)
+                payload["traces"] = tracer.snapshot()
             return 200, payload
+        if path == "/metrics":
+            if self.obs is None:
+                return 404, {
+                    "error": "no metrics registry is bound on this gateway"
+                }
+            return 200, self.obs.render()
         if path == "/membership":
             if self.membership is None:
                 return 400, {
@@ -438,22 +514,38 @@ class GatewayCore:
                         "each measurement must be [source, target, value]"
                     )
                 triples.append(entry)
-            if len(triples) == 1:
-                # the scalar fast path: single-measurement posts
-                # skip the array round-trip entirely (None -> NaN,
-                # matching np.asarray's coercion on the batch path)
-                src, dst, value = (
-                    float("nan") if entry is None else float(entry)
-                    for entry in triples[0]
+            tracer = tracing.tracer
+            if tracer is not None and triples:
+                # mint the request's span and park it in thread-local
+                # context; the routed plane stamps admit and threads
+                # the id through the shard queues from there
+                accept_us = tracing.now_us()
+                span_id = tracer.begin(
+                    route="/ingest",
+                    samples=len(triples),
+                    accept_us=accept_us,
                 )
-                kept = int(ingest.submit(src, dst, value))
-            elif triples:
-                array = np.asarray(triples, dtype=float)
-                kept = ingest.submit_many(
-                    array[:, 0], array[:, 1], array[:, 2]
-                )
-            else:
-                kept = 0
+                tracing.set_context(span_id, accept_us)
+            try:
+                if len(triples) == 1:
+                    # the scalar fast path: single-measurement posts
+                    # skip the array round-trip entirely (None -> NaN,
+                    # matching np.asarray's coercion on the batch path)
+                    src, dst, value = (
+                        float("nan") if entry is None else float(entry)
+                        for entry in triples[0]
+                    )
+                    kept = int(ingest.submit(src, dst, value))
+                elif triples:
+                    array = np.asarray(triples, dtype=float)
+                    kept = ingest.submit_many(
+                        array[:, 0], array[:, 1], array[:, 2]
+                    )
+                else:
+                    kept = 0
+            finally:
+                if tracer is not None:
+                    tracing.clear_context()
             return 200, {
                 "accepted": kept,
                 "received": len(triples),
@@ -584,12 +676,21 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:  # pragma: no cover - debug aid
             super().log_message(format, *args)
 
-    def _send_json(self, payload: Dict, status: int = 200) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_json(self, payload, status: int = 200) -> None:
+        if isinstance(payload, str):
+            # a pre-rendered text page (GET /metrics), not JSON
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+            retry_after = None
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+            retry_after = (
+                payload.get("retry_after") if status == 503 else None
+            )
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        retry_after = payload.get("retry_after") if status == 503 else None
         if retry_after is not None:
             # RFC 7231 Retry-After in seconds; clients honor it on 503
             self.send_header("Retry-After", f"{float(retry_after):g}")
@@ -897,10 +998,19 @@ class _SelectorsServer:
         503: "Service Unavailable",
     }
 
-    def _respond(self, conn: _Connection, status: int, payload: Dict) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _respond(self, conn: _Connection, status: int, payload) -> None:
+        if isinstance(payload, str):
+            # a pre-rendered text page (GET /metrics), not JSON
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+            retry_after = None
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
+            retry_after = (
+                payload.get("retry_after") if status == 503 else None
+            )
         reason = self._REASONS.get(status, "OK")
-        retry_after = payload.get("retry_after") if status == 503 else None
         retry_line = (
             f"Retry-After: {float(retry_after):g}\r\n"
             if retry_after is not None
@@ -908,7 +1018,7 @@ class _SelectorsServer:
         )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"{retry_line}"
             "Connection: close\r\n\r\n"
@@ -987,8 +1097,21 @@ class ServingGateway:
         :class:`~repro.serving.faults.LoadShedder` over the ingest
         plane: ingest sheds at the watermark, batch estimates at
         ``min(watermark + 0.1, 1.0)``, single reads never.
+    trace:
+        Arm the module-global request tracer (off by default: the
+        untraced hot path pays one branch).  Spans are minted per
+        ``POST /ingest`` and stamped through admit → queue → apply →
+        publish; read them back in the ``traces`` section of
+        ``/stats``.  The tracer is process-global, like the fault
+        injector; a gateway that armed it disarms it on :meth:`stop`.
     verbose:
         Log requests to stderr (quiet by default: tests and benches).
+
+    Every gateway owns a :class:`~repro.obs.metrics.MetricsRegistry`
+    (:attr:`registry`) serving ``GET /metrics``: request counters and
+    latency histograms are first-class instruments; ingest/shard/
+    fault/cluster/autopilot vitals ride scrape-time collectors over
+    the same snapshot surfaces ``/stats`` reads.
     """
 
     def __init__(
@@ -1006,6 +1129,7 @@ class ServingGateway:
         autopilot=None,
         deadline_s: Optional[float] = None,
         shed_watermark: Optional[float] = None,
+        trace: bool = False,
         verbose: bool = False,
     ) -> None:
         if backend not in BACKENDS:
@@ -1042,6 +1166,11 @@ class ServingGateway:
                 ingest_watermark=shed_watermark,
                 batch_watermark=min(shed_watermark + 0.1, 1.0),
             )
+        self._owns_tracer = False
+        if trace and tracing.tracer is None:
+            tracing.install()
+            self._owns_tracer = True
+        self.registry = MetricsRegistry()
         self.core = GatewayCore(
             service,
             ingest,
@@ -1051,7 +1180,13 @@ class ServingGateway:
             autopilot=autopilot,
             deadline_s=deadline_s,
             shedder=shedder,
+            registry=self.registry,
         )
+        bridge.bind_gateway(self.registry, self.core)
+        bind_obs = getattr(ingest, "bind_obs", None)
+        if bind_obs is not None:
+            # the routed planes arm chunk metadata + latency histograms
+            bind_obs(self.registry)
         if backend == "selectors":
             self._server = _SelectorsServer((host, port), self.core, verbose)
         else:
@@ -1119,6 +1254,9 @@ class ServingGateway:
         if close_ingest is not None:
             close_ingest()
         self._server.server_close()
+        if self._owns_tracer:
+            self._owns_tracer = False
+            tracing.uninstall()
 
     def __enter__(self) -> "ServingGateway":
         return self.start()

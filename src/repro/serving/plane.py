@@ -45,11 +45,11 @@ from __future__ import annotations
 
 import threading
 import time
-import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import tracing
 from repro.serving import faults
 
 try:  # Protocol is 3.8+; keep a soft fallback for older interpreters
@@ -64,30 +64,16 @@ except ImportError:  # pragma: no cover - ancient python
 __all__ = [
     "ShardPlane",
     "RoutedIngestBase",
+    "SHARDS_ALIAS_TOMBSTONE",
     "carried_versions",
 ]
 
-_shards_alias_warned = False
-
-
-def _warn_shards_alias_once() -> None:
-    """One-time deprecation notice for the ``shards`` stats alias.
-
-    PR 7 made ``shard_count`` the canonical key; the alias is slated
-    for removal in PR 10 (``docs/serving-api.md`` has the migration
-    note).  Warn once per process, not per ``/stats`` poll.
-    """
-    global _shards_alias_warned
-    if _shards_alias_warned:
-        return
-    _shards_alias_warned = True
-    warnings.warn(
-        'the "shards" ingest-stats key is a deprecated alias of '
-        '"shard_count" (canonical since PR 7) and will be removed in '
-        "PR 10; migrate dashboards to shard_count",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+#: tombstone for the removed ``shards`` ingest-stats alias: PR 7 made
+#: ``shard_count`` canonical and deprecated the alias with a removal
+#: promise for PR 10 — this string keeps one release of a loud error
+#: (numeric consumers fail with the replacement name in hand) before
+#: the key disappears entirely
+SHARDS_ALIAS_TOMBSTONE = "removed: use shard_count"
 
 
 def carried_versions(versions: Sequence[int], target: int) -> List[int]:
@@ -218,6 +204,36 @@ class RoutedIngestBase:
         #: (distinct from ``dropped_backpressure`` so injected loss
         #: never masquerades as a real overload signal)
         self.dropped_injected = 0
+        #: metrics registry once the gateway binds one (``bind_obs``);
+        #: until then — and with no tracer installed — chunks carry no
+        #: metadata and the hot path pays exactly one branch
+        self._obs = None
+
+    # -- telemetry ------------------------------------------------------
+
+    def bind_obs(self, registry) -> None:
+        """Attach a metrics registry; subclasses add their instruments."""
+        self._obs = registry
+
+    def _chunk_meta(self):
+        """Stage metadata for one routed chunk, or ``None`` when idle.
+
+        ``(span_id, accept_us, admit_us)``: the span id (0 for
+        metrics-only chunks with no traced request in scope), the
+        gateway accept stamp carried by the tracing context, and the
+        admit stamp taken here — routing + validation are done, the
+        chunk is entering its queue, so queue-wait is measured from
+        ``admit_us`` to the worker's dequeue.
+        """
+        tracer = tracing.tracer
+        if self._obs is None and tracer is None:
+            return None
+        admit_us = tracing.now_us()
+        context = tracing.current_context() if tracer is not None else None
+        if context is None:
+            return (0, 0, admit_us)
+        tracer.stamp(context[0], admit_us=admit_us)
+        return (context[0], context[1], admit_us)
 
     # -- routing-time validation ---------------------------------------
 
@@ -316,6 +332,7 @@ class RoutedIngestBase:
         depends on: a worker must only ever apply updates for rows it
         owns.  Skipped entirely until the first re-stride.
         """
+        meta = self._chunk_meta()
         if self._dynamic and vals.size:
             P = self.shards
             shard_ids = src % P
@@ -323,10 +340,13 @@ class RoutedIngestBase:
                 accepted = 0
                 for s in np.unique(shard_ids):
                     mask = shard_ids == s
-                    accepted += self._put_chunk(
-                        int(s), (src[mask], dst[mask], vals[mask])
-                    )
+                    chunk = (src[mask], dst[mask], vals[mask])
+                    if meta is not None:
+                        chunk += (meta,)
+                    accepted += self._put_chunk(int(s), chunk)
                 return accepted
+        if meta is not None:
+            return self._put_chunk(shard, (src, dst, vals, meta))
         return self._put_chunk(shard, (src, dst, vals))
 
     def _enqueue(self, shard: int, item) -> int:
@@ -539,18 +559,16 @@ class RoutedIngestBase:
     # -- unified stats keys ---------------------------------------------
 
     def _unify_shard_keys(self, ingest: Dict[str, object]) -> Dict[str, object]:
-        """Canonical ``shard_count`` key (+ ``shards`` kept as alias).
+        """Canonical ``shard_count`` key; the old alias is tombstoned.
 
-        The thread and process payloads historically both used
-        ``ingest["shards"]``; ``shard_count`` is the canonical key now,
-        and ``shards`` stays as a **deprecated alias** so dashboards
-        keep working.  Producing the alias emits a one-time
-        :class:`DeprecationWarning`; removal target is PR 10 (see
-        ``docs/serving-api.md``).
+        ``shard_count`` has been the canonical key since PR 7; the
+        numeric ``shards`` alias was deprecated then and removed here
+        in PR 10 as promised.  For one release the key still exists as
+        :data:`SHARDS_ALIAS_TOMBSTONE` so stale dashboards fail loudly
+        with the replacement name, instead of silently reading nothing.
         """
         ingest["shard_count"] = self.shards
-        ingest["shards"] = self.shards  # deprecated alias of shard_count
-        _warn_shards_alias_once()
+        ingest["shards"] = SHARDS_ALIAS_TOMBSTONE
         if self.dropped_injected:
             ingest["dropped_injected"] = self.dropped_injected
         return ingest

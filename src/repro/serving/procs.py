@@ -86,6 +86,7 @@ import numpy as np
 
 from repro.core.coordinates import CoordinateTable
 from repro.core.engine import EngineSpec
+from repro.obs.metrics import BUCKET_COUNT
 from repro.serving.guard import (
     AdaptiveGuardTuner,
     AdmissionGuard,
@@ -110,7 +111,7 @@ __all__ = [
 # ----------------------------------------------------------------------
 
 #: int64 slots at the head of every segment, before the U/V payload
-HEADER_SLOTS = 48
+HEADER_SLOTS = 160
 
 # seqlock + layout (written by the creator, layout never changes)
 SEQ = 0  # seqlock counter: even = stable, odd = write in progress
@@ -154,6 +155,25 @@ ADAPTIVE_UPDATES = 36
 PUBLISHED_AT_US = 37  # time.monotonic() * 1e6 at last publish
 PID = 38
 
+# telemetry (PR 10): per-worker latency histograms on the shared
+# bucket ladder of repro.obs.metrics (microsecond bounds 2**i), plus a
+# small span ring so traces cross the process boundary without IPC.
+# Observations past the top bound land only in the COUNT slot; the
+# scrape derives +Inf as count - sum(buckets).
+H_QUEUE_BUCKETS = 48  # BUCKET_COUNT slots: admit-to-dequeue wait
+H_QUEUE_COUNT = H_QUEUE_BUCKETS + BUCKET_COUNT  # 72
+H_QUEUE_SUM_US = H_QUEUE_COUNT + 1  # 73
+H_APPLY_BUCKETS = H_QUEUE_SUM_US + 1  # 74: dequeue-to-applied latency
+H_APPLY_COUNT = H_APPLY_BUCKETS + BUCKET_COUNT  # 98
+H_APPLY_SUM_US = H_APPLY_COUNT + 1  # 99
+TRACE_NEXT = 100  # monotone write cursor into the span ring
+TRACE_RING = 101  # TRACE_ENTRIES entries of TRACE_FIELDS slots each
+TRACE_ENTRIES = 8
+#: per entry: accept, admit, queue, apply, publish (all µs),
+#: samples, span_id — span_id is written *last* and re-read by the
+#: harvester, so a torn entry is skipped rather than misread
+TRACE_FIELDS = 7
+
 #: slots [COUNTERS_FROM:] are carried over verbatim into a new epoch's
 #: segments, so restarts and epoch swaps never rewind a counter
 COUNTERS_FROM = 8
@@ -189,7 +209,10 @@ _ADDITIVE_SLOTS = (
     GUARD_ADMITTED,
     EVAL_OBSERVED,
     ADAPTIVE_UPDATES,
-)
+    # histogram buckets/counts/sums are cumulative totals too, so a
+    # merge folds them and the aggregated quantiles stay monotone; the
+    # trace ring is *not* additive and is never folded
+) + tuple(range(H_QUEUE_BUCKETS, H_APPLY_SUM_US + 1))
 
 
 def _owned_rows(shard: int, shards: int, n: int) -> int:
@@ -470,6 +493,10 @@ class _ShardWorker:
             )
         }
         self._eval_batches = -1
+        # spans applied but not yet published: flushed into the trace
+        # ring by publish_own (lives only in this worker; a crash loses
+        # at most the unpublished spans, like the unpublished steps)
+        self._pending_spans: List[Tuple[int, int, int, int, int, int]] = []
         header[PID] = os.getpid()
 
     # -- segment plumbing ----------------------------------------------
@@ -533,7 +560,81 @@ class _ShardWorker:
             coordinates.V[self.shard :: P],
             segment.slot(VERSION) + 1,
         )
+        if self._pending_spans:
+            publish_us = int(time.monotonic() * 1e6)
+            for entry in self._pending_spans:
+                self._ring_write(entry, publish_us)
+            self._pending_spans = []
         self._refresh_mirrors()
+
+    # -- telemetry (histogram slots + the span ring) -------------------
+
+    def _observe(self, buckets_at: int, count_at: int, sum_at: int, us: int) -> None:
+        """One latency observation into a header histogram triple."""
+        header = self.own_segment.header
+        # (us - 1).bit_length() == bisect_left over the 2**i µs ladder
+        index = (us - 1).bit_length() if us > 0 else 0
+        if index < BUCKET_COUNT:
+            header[buckets_at + index] += 1
+        header[count_at] += 1
+        header[sum_at] += us
+
+    def _ring_write(
+        self, entry: Tuple[int, int, int, int, int, int], publish_us: int
+    ) -> None:
+        """Commit one completed span into the segment's trace ring."""
+        header = self.own_segment.header
+        span_id, accept_us, admit_us, queue_us, apply_us, samples = entry
+        slot = TRACE_RING + (
+            int(header[TRACE_NEXT]) % TRACE_ENTRIES
+        ) * TRACE_FIELDS
+        header[slot + 6] = 0  # invalidate while the fields change
+        header[slot + 0] = accept_us
+        header[slot + 1] = admit_us
+        header[slot + 2] = queue_us
+        header[slot + 3] = apply_us
+        header[slot + 4] = publish_us
+        header[slot + 5] = samples
+        header[slot + 6] = span_id  # commit: the harvester keys on this
+        header[TRACE_NEXT] += 1
+
+    def _apply_traced(self, meta, sources, targets, values) -> None:
+        """Apply one instrumented chunk, stamping stages as it goes."""
+        span_id, accept_us, admit_us = meta
+        dequeue_us = int(time.monotonic() * 1e6)
+        self._observe(
+            H_QUEUE_BUCKETS,
+            H_QUEUE_COUNT,
+            H_QUEUE_SUM_US,
+            max(0, dequeue_us - admit_us),
+        )
+        pubs_before = self.pipeline.stats().publishes
+        try:
+            self.pipeline.submit_valid(sources, targets, values)
+        finally:
+            done_us = int(time.monotonic() * 1e6)
+            self._observe(
+                H_APPLY_BUCKETS,
+                H_APPLY_COUNT,
+                H_APPLY_SUM_US,
+                max(0, done_us - dequeue_us),
+            )
+            if span_id:
+                entry = (
+                    span_id,
+                    accept_us,
+                    admit_us,
+                    dequeue_us,
+                    done_us,
+                    int(values.size),
+                )
+                if self.pipeline.stats().publishes > pubs_before:
+                    # this chunk triggered its own publish: publish_own
+                    # already flushed earlier pendings, so ring-commit
+                    # the entry directly with the post-apply stamp
+                    self._ring_write(entry, done_us)
+                else:
+                    self._pending_spans.append(entry)
 
     # -- stats sync ----------------------------------------------------
 
@@ -619,10 +720,14 @@ class _ShardWorker:
             header[HEARTBEAT] += 1
             kind = item[0]
             if kind == "chunk":
-                _, sources, targets, values = item
+                sources, targets, values = item[1:4]
+                meta = item[4] if len(item) > 4 else None
                 self._refresh_mirrors()
                 try:
-                    self.pipeline.submit_valid(sources, targets, values)
+                    if meta is not None:
+                        self._apply_traced(meta, sources, targets, values)
+                    else:
+                        self.pipeline.submit_valid(sources, targets, values)
                 finally:
                     header[CONSUMED] += int(values.size)
                     self._sync_counters()
@@ -1798,16 +1903,21 @@ class ProcessShardedIngest(RoutedIngestBase):
 
     def _put_chunk(self, shard: int, item) -> int:
         """Ship one chunk to a shard worker (gate held by the base)."""
-        src, dst, vals = item
+        src, dst, vals = item[:3]
         samples = int(vals.size)
         if not self.supervisor.running:
             # workers are gone (shutdown race): shed, never wedge
             with self._counter_lock:
                 self.dropped_backpressure += samples
             return 0
+        command = (
+            ("chunk", src, dst, vals, item[3])
+            if len(item) > 3
+            else ("chunk", src, dst, vals)
+        )
         try:
             self.supervisor.queues[shard].put(
-                ("chunk", src, dst, vals), timeout=self.put_timeout
+                command, timeout=self.put_timeout
             )
         except stdlib_queue.Full:
             with self._counter_lock:
@@ -1816,6 +1926,92 @@ class ProcessShardedIngest(RoutedIngestBase):
         with self._counter_lock:
             self._submitted_samples[shard] += samples
         return samples
+
+    # -- telemetry -----------------------------------------------------
+
+    def bind_obs(self, registry) -> None:
+        """Arm chunk metadata and expose the workers' shm histograms.
+
+        Unlike thread mode, the latency histograms are not registry
+        instruments: the observations happen in the worker processes,
+        which write the shared bucket-ladder slots of their segment
+        headers.  A scrape-time collector merges those slots into the
+        *same* family names thread mode emits, so all planes report
+        identically-shaped telemetry.
+        """
+        super().bind_obs(registry)
+        registry.register_collector(self._collect_worker_latency)
+
+    def _collect_worker_latency(self) -> List[tuple]:
+        families: List[tuple] = []
+        for buckets_at, count_at, sum_at, name, help in (
+            (
+                H_QUEUE_BUCKETS,
+                H_QUEUE_COUNT,
+                H_QUEUE_SUM_US,
+                "repro_ingest_queue_wait_seconds",
+                "Admit-to-dequeue wait of routed ingest chunks.",
+            ),
+            (
+                H_APPLY_BUCKETS,
+                H_APPLY_COUNT,
+                H_APPLY_SUM_US,
+                "repro_ingest_apply_seconds",
+                "Dequeue-to-applied latency of drained ingest batches.",
+            ),
+        ):
+            counts = [0] * BUCKET_COUNT
+            total_us = 0
+            count = 0
+            for s in range(self.shards):
+                header = self._segment(s).header
+                for i in range(BUCKET_COUNT):
+                    counts[i] += int(header[buckets_at + i])
+                count += int(header[count_at])
+                total_us += int(header[sum_at])
+            families.append(
+                (
+                    name,
+                    "histogram",
+                    help,
+                    [({}, (tuple(counts), total_us / 1e6, count))],
+                )
+            )
+        return families
+
+    def harvest_traces(self) -> List[Dict[str, int]]:
+        """Drain every worker's span ring into merge-ready stage dicts.
+
+        Reads are torn-entry-safe: the span id is read, then the
+        fields, then the span id again — a writer re-using the entry
+        mid-read changes the id, and the entry is skipped.  Entries
+        stay in the ring (they survive worker restarts with the rest of
+        the segment); :meth:`repro.obs.tracing.Tracer.merge` dedupes
+        re-harvested spans by completeness.
+        """
+        out: List[Dict[str, int]] = []
+        for s in range(self.shards):
+            header = self._segment(s).header
+            for e in range(TRACE_ENTRIES):
+                slot = TRACE_RING + e * TRACE_FIELDS
+                span_id = int(header[slot + 6])
+                if not span_id:
+                    continue
+                fields = [int(header[slot + i]) for i in range(6)]
+                if int(header[slot + 6]) != span_id:
+                    continue  # torn: the writer lapped this entry
+                out.append(
+                    {
+                        "span_id": span_id,
+                        "accept_us": fields[0],
+                        "admit_us": fields[1],
+                        "queue_us": fields[2],
+                        "apply_us": fields[3],
+                        "publish_us": fields[4],
+                        "samples": fields[5],
+                    }
+                )
+        return out
 
     # -- live topology -------------------------------------------------
 

@@ -62,6 +62,7 @@ from repro.core.coordinates import (
     row_estimate,
 )
 from repro.core.engine import DMFSGDEngine
+from repro.obs import tracing
 from repro.serving.guard import (
     AdaptiveGuardTuner,
     AdmissionGuard,
@@ -877,6 +878,12 @@ class ShardedIngest(RoutedIngestBase):
         self._queued_samples: List[int] = [0] * store.shards
         self.worker_errors: List[str] = []
         self._init_plane()
+        # telemetry: latency histograms appear when the gateway binds a
+        # registry (bind_obs); per-shard span ids applied but awaiting
+        # their publish stamp live here while tracing is armed
+        self._h_queue_wait = None
+        self._h_apply = None
+        self._pending_spans: List[List[int]] = [[] for _ in range(self.shards)]
         # counters absorbed from pipelines retired by a shard merge, so
         # the aggregated stats stay cumulative across topology changes
         self._retired_stats = IngestStats()
@@ -921,6 +928,65 @@ class ShardedIngest(RoutedIngestBase):
             ),
         )
 
+    def bind_obs(self, registry) -> None:
+        """Attach a metrics registry: per-stage latency histograms.
+
+        Thread mode records straight into registry instruments (the
+        per-thread cells make the worker-side observe lock-free);
+        process mode records into shared-memory slots instead and
+        reaches the registry through a collector — both use the same
+        bucket ladder, so the families merge under identical names.
+        """
+        super().bind_obs(registry)
+        self._h_queue_wait = registry.histogram(
+            "repro_ingest_queue_wait_seconds",
+            "Admit-to-dequeue wait of routed ingest chunks.",
+        )
+        self._h_apply = registry.histogram(
+            "repro_ingest_apply_seconds",
+            "Dequeue-to-applied latency of drained ingest batches.",
+        )
+
+    def _apply_instrumented(
+        self, shard, pipeline, metas, sources, targets, values
+    ) -> None:
+        """``submit_valid`` with stage stamps (chunks carried metadata)."""
+        dequeue_us = tracing.now_us()
+        if self._h_queue_wait is not None:
+            for meta in metas:
+                self._h_queue_wait.observe(max(0, dequeue_us - meta[2]) / 1e6)
+        tracer = tracing.tracer
+        spans = (
+            [m[0] for m in metas if m[0]] if tracer is not None else []
+        )
+        pubs_before = pipeline.stats().publishes if tracer is not None else 0
+        pipeline.submit_valid(sources, targets, values)
+        done_us = tracing.now_us()
+        if self._h_apply is not None:
+            self._h_apply.observe((done_us - dequeue_us) / 1e6)
+        if tracer is None:
+            return
+        for span_id in spans:
+            tracer.stamp(span_id, queue_us=dequeue_us, apply_us=done_us)
+        if spans:
+            with self._counter_lock:
+                self._pending_spans[shard].extend(spans)
+        if pipeline.stats().publishes > pubs_before:
+            self._stamp_publish(shard, done_us)
+
+    def _stamp_publish(self, shard: int, publish_us: int) -> None:
+        """Stamp the publish stage onto every span the publish covered."""
+        tracer = tracing.tracer
+        if tracer is None:
+            return
+        with self._counter_lock:
+            if shard >= len(self._pending_spans):
+                return
+            pending = self._pending_spans[shard]
+            self._pending_spans[shard] = []
+        for span_id in pending:
+            tracer.stamp(span_id, publish_us=publish_us)
+
     def _start_worker(self, shard: int) -> None:
         """Append shard ``shard``'s bounded queue + worker thread."""
         self._queues.append(queue.Queue(maxsize=self.queue_depth))
@@ -958,12 +1024,18 @@ class ShardedIngest(RoutedIngestBase):
             try:
                 if chunks:
                     if len(chunks) == 1:
-                        sources, targets, values = chunks[0]
+                        sources, targets, values = chunks[0][:3]
                     else:
                         sources = np.concatenate([c[0] for c in chunks])
                         targets = np.concatenate([c[1] for c in chunks])
                         values = np.concatenate([c[2] for c in chunks])
-                    pipeline.submit_valid(sources, targets, values)
+                    metas = [c[3] for c in chunks if len(c) > 3]
+                    if metas:
+                        self._apply_instrumented(
+                            shard, pipeline, metas, sources, targets, values
+                        )
+                    else:
+                        pipeline.submit_valid(sources, targets, values)
             except Exception as exc:  # pragma: no cover - defensive
                 with self._counter_lock:
                     self.worker_errors.append(f"shard {shard}: {exc!r}")
@@ -994,7 +1066,12 @@ class ShardedIngest(RoutedIngestBase):
         samples = int(item[2].size)
         if self._closed or not self._workers:
             # workers are gone: apply inline, losing nothing
-            self.pipelines[shard].submit_valid(*item)
+            if len(item) > 3:
+                self._apply_instrumented(
+                    shard, self.pipelines[shard], [item[3]], *item[:3]
+                )
+            else:
+                self.pipelines[shard].submit_valid(*item)
             return samples
         with self._counter_lock:
             self._queued_samples[shard] += samples
@@ -1035,6 +1112,12 @@ class ShardedIngest(RoutedIngestBase):
     def _submit_single(self, shard: int, item) -> bool:
         if self._workers:
             return self._enqueue(shard, item) > 0
+        meta = self._chunk_meta()
+        if meta is not None:
+            self._apply_instrumented(
+                shard, self.pipelines[shard], [meta], *item
+            )
+            return bool(item[2].size)
         return bool(self.pipelines[shard].submit_valid(*item))
 
     def _submit_chunk(self, shard: int, item) -> int:
@@ -1042,7 +1125,13 @@ class ShardedIngest(RoutedIngestBase):
             # shed (backpressure) or re-dropped (a membership epoch
             # raced the routing validation) samples are excluded
             return self._enqueue(shard, item)
-        self.pipelines[shard].submit_valid(*item)
+        meta = self._chunk_meta()
+        if meta is not None:
+            self._apply_instrumented(
+                shard, self.pipelines[shard], [meta], *item
+            )
+        else:
+            self.pipelines[shard].submit_valid(*item)
         return int(item[2].size)
 
     # ------------------------------------------------------------------
@@ -1077,6 +1166,10 @@ class ShardedIngest(RoutedIngestBase):
         for pipeline in self.pipelines:
             pipeline.flush()
             pipeline.publish()
+        if tracing.tracer is not None:
+            now_us = tracing.now_us()
+            for shard in range(len(self._pending_spans)):
+                self._stamp_publish(shard, now_us)
         if shards < old:
             # retire the tail: stop its workers (queues are empty and
             # the gate blocks refills), absorb its counters
@@ -1103,11 +1196,13 @@ class ShardedIngest(RoutedIngestBase):
             del self._workers[shards:]
             with self._counter_lock:
                 del self._queued_samples[shards:]
+                del self._pending_spans[shards:]
         self.store.repartition(shards)
         self.shards = shards
         if shards > old:
             with self._counter_lock:
                 self._queued_samples.extend([0] * (shards - old))
+                self._pending_spans.extend([] for _ in range(shards - old))
             for s in range(old, shards):
                 guard = (
                     self._guard_factory(s)
@@ -1180,6 +1275,10 @@ class ShardedIngest(RoutedIngestBase):
         self.drain()
         for pipeline in self.pipelines:
             pipeline.publish()
+        if tracing.tracer is not None:
+            now_us = tracing.now_us()
+            for shard in range(len(self._pending_spans)):
+                self._stamp_publish(shard, now_us)
         return self.store.version
 
     # ------------------------------------------------------------------

@@ -8,6 +8,7 @@ own inputs.
 from __future__ import annotations
 
 import faulthandler
+import os
 
 import numpy as np
 import pytest
@@ -18,8 +19,10 @@ from repro.datasets import load_harvard, load_hps3, load_meridian
 #: join, a breaker probe that never returns) used to look like a silent
 #: CI timeout.  Dump every thread's traceback to stderr instead if any
 #: single test exceeds this many seconds — the dump does not fail the
-#: test, it just makes the hang debuggable.
-HANG_DUMP_AFTER_S = 300.0
+#: test, it just makes the hang debuggable.  ``REPRO_TEST_TIMEOUT``
+#: overrides the default 300 s (slow CI runners raise it, local
+#: debugging lowers it).
+HANG_DUMP_AFTER_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
 
 
 @pytest.fixture(autouse=True)
@@ -58,6 +61,12 @@ def pytest_configure(config):
         "scenario_smoke: fast scenario-matrix tests (tier-1, ~5 s: "
         "shortened scenarios on the thread plane, seeded schedules "
         "fully fired, invariants hold)",
+    )
+    config.addinivalue_line(
+        "markers",
+        "obs_smoke: fast telemetry-plane tests (tier-1, ~5 s: /metrics "
+        "scrapes on every plane, trace stage stamps survive the "
+        "process boundary)",
     )
 
 

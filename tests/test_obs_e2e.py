@@ -1,0 +1,202 @@
+"""End-to-end telemetry tests: scrape ``/metrics``, follow a trace.
+
+The acceptance contract of the observability plane, exercised over
+real HTTP on every worker plane:
+
+* ``GET /metrics`` serves Prometheus text (content type
+  ``text/plain; version=0.0.4; charset=utf-8``) from the thread,
+  process and cluster gateways — and from both HTTP backends — with
+  the **same** canonical family names, so one dashboard fits all
+  deployments;
+* a traced ingest request shows all five stage stamps
+  (accept → admit → queue → apply → publish) in the ``traces``
+  section of ``/stats``, including across the shared-memory boundary
+  in process mode, and tracing keeps working after a worker is
+  SIGKILLed and the supervisor restarts it against the same segments;
+* the deprecated ``shards`` stats alias stays a tombstone string, not
+  a number (stale dashboards fail loudly instead of plotting garbage).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from urllib.request import urlopen
+
+import pytest
+
+from repro.obs.tracing import STAGES
+from repro.serving import ServingClient, build_gateway
+from repro.serving.plane import SHARDS_ALIAS_TOMBSTONE
+
+pytestmark = pytest.mark.obs_smoke
+
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: canonical families every plane must export under identical names
+SHARED_FAMILIES = frozenset(
+    {
+        "repro_requests_total",
+        "repro_request_seconds",
+        "repro_ingest_received_total",
+        "repro_ingest_applied_total",
+        "repro_ingest_queue_wait_seconds",
+        "repro_ingest_apply_seconds",
+        "repro_shard_version",
+        "repro_shard_applied_total",
+        "repro_trace_enabled",
+        "repro_trace_spans_started_total",
+    }
+)
+
+#: extra families only the cluster plane owns
+CLUSTER_FAMILIES = frozenset(
+    {
+        "repro_group_up",
+        "repro_group_heartbeat_age_seconds",
+        "repro_breaker_state",
+        "repro_mirror_version_lag",
+    }
+)
+
+
+def _build(**kwargs):
+    kwargs.setdefault("nodes", 40)
+    kwargs.setdefault("rounds", 0)
+    kwargs.setdefault("batch_size", 32)
+    gateway = build_gateway("meridian", port=0, trace=True, **kwargs)
+    gateway.start()
+    return gateway
+
+
+def _scrape(url: str):
+    with urlopen(url + "/metrics", timeout=10) as resp:
+        return resp.read().decode("utf-8"), resp.headers.get("Content-Type")
+
+
+def _family_names(page: str):
+    return {
+        line.split()[2]
+        for line in page.splitlines()
+        if line.startswith("# TYPE ")
+    }
+
+
+def _exercise(client: ServingClient, n: int = 40) -> None:
+    """Drive every instrumented surface once: query, ingest, publish."""
+    client.predict(0, 1)
+    client.ingest(
+        [(i % n, (i + 1) % n, 40.0 + i) for i in range(64) if i % n != (i + 1) % n]
+    )
+    client.refresh()  # publish completes any open spans
+
+
+def _complete_spans(stats: dict):
+    spans = stats["traces"]["spans"] + stats["traces"]["slow"]
+    return [
+        span
+        for span in spans
+        if span["complete"] and all(span[stage] > 0 for stage in STAGES)
+    ]
+
+
+def _assert_metrics_contract(url: str, extra=frozenset()):
+    page, content_type = _scrape(url)
+    assert content_type == PROM_CONTENT_TYPE
+    names = _family_names(page)
+    missing = (SHARED_FAMILIES | extra) - names
+    assert not missing, f"families absent from /metrics: {sorted(missing)}"
+    # no duplicate series: Prometheus rejects the whole page otherwise
+    samples = [
+        line for line in page.splitlines() if line and not line.startswith("#")
+    ]
+    keys = [line.rsplit(" ", 1)[0] for line in samples]
+    assert len(keys) == len(set(keys)), "duplicate series in exposition"
+    return page
+
+
+class TestThreadPlane:
+    def test_metrics_trace_and_alias_tombstone(self):
+        gateway = _build(shards=2, workers="threads")
+        try:
+            client = ServingClient(gateway.url)
+            _exercise(client)
+            page = _assert_metrics_contract(gateway.url)
+            assert "repro_trace_enabled 1" in page
+            stats = client.stats()
+            # the removed alias answers with the tombstone, not a count
+            assert stats["ingest"]["shards"] == SHARDS_ALIAS_TOMBSTONE
+            assert stats["ingest"]["shard_count"] == 2
+            assert _complete_spans(stats), "no span completed all stages"
+        finally:
+            gateway.stop()
+
+    def test_selectors_backend_serves_identical_families(self):
+        gateway = _build(shards=2, workers="threads", backend="selectors")
+        try:
+            _exercise(ServingClient(gateway.url))
+            _assert_metrics_contract(gateway.url)
+        finally:
+            gateway.stop()
+
+
+class TestProcessPlane:
+    def test_metrics_and_trace_survive_worker_restart(self):
+        gateway = _build(shards=2, workers="processes")
+        try:
+            client = ServingClient(gateway.url)
+            _exercise(client)
+            _assert_metrics_contract(gateway.url)
+
+            # a span crossed the shm boundary with all five stamps
+            before = _complete_spans(client.stats())
+            assert before, "no complete span before the crash"
+
+            # SIGKILL one worker; the supervisor restarts it against
+            # the same segments (restart-with-reattach)
+            supervisor = gateway.ingest.supervisor
+            victim = supervisor.procs[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=5.0)
+            assert supervisor.health_check() == [0]
+            assert supervisor.alive(0)
+
+            # earlier spans survive in the ring, and a fresh request
+            # traces end to end through the revived worker
+            _exercise(client)
+            stats = client.stats()
+            after = _complete_spans(stats)
+            survivors = {span["span_id"] for span in after}
+            assert {span["span_id"] for span in before} <= survivors
+            assert len(after) > len(before), "no new span after restart"
+        finally:
+            gateway.stop()
+
+
+class TestClusterPlane:
+    def test_metrics_trace_and_group_vitals(self):
+        gateway = _build(
+            nodes=40,
+            cluster_groups=2,
+            workers="threads",
+            staleness_budget=0.5,
+        )
+        try:
+            client = ServingClient(gateway.url)
+            _exercise(client, n=40)
+            page = _assert_metrics_contract(
+                gateway.url, extra=CLUSTER_FAMILIES
+            )
+            # per-group vitals carry the group label
+            assert 'repro_group_up{group="' in page
+            stats = client.stats()
+            assert stats["ingest"]["shards"] == SHARDS_ALIAS_TOMBSTONE
+            deadline = time.monotonic() + 5.0
+            while not _complete_spans(stats):
+                if time.monotonic() >= deadline:
+                    pytest.fail("no span completed across the cluster hop")
+                client.refresh()
+                stats = client.stats()
+        finally:
+            gateway.stop()

@@ -1,0 +1,182 @@
+"""Unit tests for the metrics core (``repro.obs.metrics``).
+
+Format conformance of the Prometheus text exposition — label
+escaping, cumulative bucket monotonicity, TYPE/HELP lines — plus the
+registry contract (get-or-create idempotence, kind/label mismatch
+errors, duplicate-series merging) and quantile sanity.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import pytest
+
+from repro.obs import (
+    BUCKET_BOUNDS,
+    BUCKET_COUNT,
+    MetricsRegistry,
+    bucket_index,
+    escape_label_value,
+    histogram_quantile,
+)
+
+pytestmark = pytest.mark.obs_smoke
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_escaping_round_trips_in_render(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total", "t", labels=("route",))
+        counter.inc(route='we"ird\n\\path')
+        page = registry.render()
+        assert 't_total{route="we\\"ird\\n\\\\path"} 1' in page
+
+    def test_plain_values_untouched(self):
+        assert escape_label_value("/ingest") == "/ingest"
+
+
+class TestBucketLadder:
+    def test_bounds_double_from_one_microsecond(self):
+        assert len(BUCKET_BOUNDS) == BUCKET_COUNT
+        assert BUCKET_BOUNDS[0] == pytest.approx(1e-6)
+        for lo, hi in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]):
+            assert hi == pytest.approx(2 * lo)
+
+    def test_bucket_index_edges(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(1e-6) == 0
+        assert bucket_index(1.01e-6) == 1
+        # beyond the top bound: overflow (only the +Inf bucket)
+        assert bucket_index(BUCKET_BOUNDS[-1] * 2) >= BUCKET_COUNT
+
+
+class TestHistogramRender:
+    def test_cumulative_buckets_are_monotone_and_end_at_count(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "t")
+        for value in (1e-6, 5e-5, 5e-5, 1e-3, 0.2, 99.0):
+            hist.observe(value)
+        page = registry.render()
+        bucket_re = re.compile(
+            r'lat_seconds_bucket\{le="([^"]+)"\} (\d+)'
+        )
+        counts = []
+        for bound, count in bucket_re.findall(page):
+            counts.append(int(count))
+        assert counts, "no bucket samples rendered"
+        assert counts == sorted(counts), "cumulative buckets must be monotone"
+        assert 'le="+Inf"' in page
+        # +Inf bucket equals _count (here: 6, one observation overflowed)
+        assert counts[-1] == 6
+        assert "lat_seconds_count 6" in page
+        assert "lat_seconds_sum" in page
+
+    def test_type_and_help_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "things done").inc()
+        registry.gauge("b", "a level").set(3)
+        registry.histogram("c_seconds", "a latency").observe(0.01)
+        page = registry.render()
+        assert "# HELP a_total things done" in page
+        assert "# TYPE a_total counter" in page
+        assert "# TYPE b gauge" in page
+        assert "# TYPE c_seconds histogram" in page
+        assert page.endswith("\n")
+
+    def test_escaped_help_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("d_total", "line one\nline two").inc()
+        page = registry.render()
+        assert "# HELP d_total line one\\nline two" in page
+
+
+class TestRegistryContract:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "t")
+        b = registry.counter("x_total", "t")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "t")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total", "t")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "t", labels=("route",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", "t", labels=("status",))
+
+    def test_counter_accumulates_across_threads(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("y_total", "t")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert "y_total 4000" in registry.render()
+
+    def test_duplicate_collector_series_are_merged(self):
+        registry = MetricsRegistry()
+
+        def collector():
+            return [
+                ("z_total", "counter", "t", [({}, 2.0)]),
+                (
+                    "w_seconds",
+                    "histogram",
+                    "t",
+                    [({}, ((1,) + (0,) * (BUCKET_COUNT - 1), 1e-6, 1))],
+                ),
+            ]
+
+        registry.register_collector(collector)
+        registry.register_collector(collector)
+        page = registry.render()
+        assert "z_total 4" in page
+        assert "w_seconds_count 2" in page
+        # exactly one series per name: no duplicate exposition lines
+        lines = [l for l in page.splitlines() if l.startswith("z_total")]
+        assert len(lines) == 1
+
+
+class TestQuantiles:
+    def test_quantile_sanity(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("q_seconds", "t")
+        for _ in range(99):
+            hist.observe(1e-4)
+        hist.observe(0.5)
+        summary = registry.summary()["q_seconds"]
+        assert summary["count"] == 100
+        assert summary["p50"] == pytest.approx(1e-4, rel=1.0)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["p999"] >= summary["p99"]
+        assert summary["p999"] <= 1.0  # interpolated within its bucket
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert histogram_quantile([0.0] * BUCKET_COUNT, 0, 0.99) == 0.0
+
+    def test_overflow_lands_in_top_bound(self):
+        counts = [0.0] * BUCKET_COUNT
+        # one observation beyond every finite bucket
+        value = histogram_quantile(counts, 1, 0.99)
+        assert value == pytest.approx(BUCKET_BOUNDS[-1])
+        assert math.isfinite(value)

@@ -16,6 +16,7 @@ from repro.serving import (
     ServingClient,
     ServingGateway,
 )
+from repro.serving.plane import SHARDS_ALIAS_TOMBSTONE
 from repro.serving.store import CoordinateStore
 
 
@@ -557,7 +558,10 @@ class TestShardedGateway:
         stats = sharded_client.stats()
         assert len(stats["shards"]) == 4
         assert "coalescer" in stats
-        assert stats["ingest"]["shards"] == 4
+        assert stats["ingest"]["shard_count"] == 4
+        # the deprecated numeric alias is gone; a tombstone names the
+        # replacement key for one release
+        assert stats["ingest"]["shards"] == SHARDS_ALIAS_TOMBSTONE
 
     def test_ingest_routes_through_shards(self, sharded_client):
         response = sharded_client.ingest(

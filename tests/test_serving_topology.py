@@ -26,7 +26,12 @@ from repro.core.config import DMFSGDConfig
 from repro.core.engine import DMFSGDEngine
 from repro.serving.autopilot import Autopilot, AutopilotPolicy, PeriodicController
 from repro.serving.guard import AdmissionGuard, TokenBucketRateLimiter
-from repro.serving.plane import RoutedIngestBase, ShardPlane, carried_versions
+from repro.serving.plane import (
+    SHARDS_ALIAS_TOMBSTONE,
+    RoutedIngestBase,
+    ShardPlane,
+    carried_versions,
+)
 from repro.serving.shard import ShardedCoordinateStore, ShardedIngest
 
 
@@ -148,9 +153,9 @@ class TestThreadTopology:
         assert topology["transitions"][-1]["action"] == "merge"
         assert topology["repartitioned_from"] == 3
         payload = ingest.stats_payload()
-        # satellite: one canonical key + the deprecated alias
+        # one canonical key; the removed alias answers with a tombstone
         assert payload["ingest"]["shard_count"] == 2
-        assert payload["ingest"]["shards"] == 2
+        assert payload["ingest"]["shards"] == SHARDS_ALIAS_TOMBSTONE
         assert payload["topology"]["shard_count"] == 2
         ingest.close()
 
@@ -566,7 +571,7 @@ class TestProcessTopology:
             assert all(row["alive"] for row in ingest.shard_info())
             payload = ingest.stats_payload()
             assert payload["ingest"]["shard_count"] == 2
-            assert payload["ingest"]["shards"] == 2
+            assert payload["ingest"]["shards"] == SHARDS_ALIAS_TOMBSTONE
             assert payload["topology"]["shard_count"] == 2
 
             # the re-strided plane still ingests end to end
